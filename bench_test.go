@@ -1,0 +1,602 @@
+package usersignals
+
+// One benchmark per paper table/figure (see DESIGN.md §4), plus the
+// ablations DESIGN.md §5 calls out and micro-benchmarks of the hot
+// substrate paths. Each figure benchmark measures its analysis pipeline
+// over a cached dataset and reports the figure's headline quantity via
+// b.ReportMetric, so `go test -bench=.` doubles as a compact reproduction
+// report.
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"usersignals/internal/conference"
+	"usersignals/internal/leo"
+	"usersignals/internal/media"
+	"usersignals/internal/netsim"
+	"usersignals/internal/newswire"
+	"usersignals/internal/nlp"
+	"usersignals/internal/ocr"
+	"usersignals/internal/simrand"
+	"usersignals/internal/social"
+	"usersignals/internal/stats"
+	"usersignals/internal/telemetry"
+	"usersignals/internal/timeline"
+	"usersignals/internal/usaas"
+)
+
+// --- cached datasets -----------------------------------------------------
+
+var benchCache sync.Map
+
+func benchSweep(b *testing.B, name string, configure func(*netsim.Sweep)) []telemetry.SessionRecord {
+	b.Helper()
+	if v, ok := benchCache.Load(name); ok {
+		return v.([]telemetry.SessionRecord)
+	}
+	sw := netsim.ControlBands()
+	configure(&sw)
+	opts := conference.Defaults(uint64(len(name))+500, 400)
+	opts.Paths = &sw
+	opts.SurveyRate = 0.05
+	g, err := conference.New(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs, err := g.GenerateAll()
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchCache.Store(name, recs)
+	return recs
+}
+
+var (
+	benchCorpusOnce sync.Once
+	benchCorpus     *social.Corpus
+	benchCorpusCfg  social.Config
+	benchNews       *newswire.Index
+	benchAnalyzer   = nlp.NewAnalyzer()
+)
+
+func corpusForBench(b *testing.B) (*social.Corpus, *newswire.Index, social.Config) {
+	b.Helper()
+	benchCorpusOnce.Do(func() {
+		benchCorpusCfg = social.DefaultConfig(99)
+		var err error
+		benchCorpus, err = social.Generate(benchCorpusCfg)
+		if err != nil {
+			panic(err)
+		}
+		benchNews = newswire.Build(benchCorpusCfg.Model.Launches(), benchCorpusCfg.Outages, benchCorpusCfg.Milestones)
+	})
+	return benchCorpus, benchNews, benchCorpusCfg
+}
+
+// --- Fig. 1 ----------------------------------------------------------------
+
+func benchFig1(b *testing.B, name string, metric telemetry.Metric, eng telemetry.Engagement, lo, hi float64, configure func(*netsim.Sweep)) {
+	recs := benchSweep(b, name, configure)
+	binner := stats.NewBinner(lo, hi, 10)
+	var drop float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := usaas.DoseResponse(recs, metric, eng, binner, telemetry.StudyCohort())
+		if err != nil {
+			b.Fatal(err)
+		}
+		drop = usaas.RelativeDrop(s)
+	}
+	b.ReportMetric(100*drop, "drop%")
+}
+
+func BenchmarkFig1Latency(b *testing.B) {
+	benchFig1(b, "lat", telemetry.LatencyMean, telemetry.MicOn, 0, 300,
+		func(s *netsim.Sweep) { s.LatencyMs = [2]float64{0, 300} })
+}
+
+func BenchmarkFig1Loss(b *testing.B) {
+	benchFig1(b, "loss", telemetry.LossMean, telemetry.Presence, 0, 2,
+		func(s *netsim.Sweep) { s.LossPct = [2]float64{0, 4} })
+}
+
+func BenchmarkFig1Jitter(b *testing.B) {
+	benchFig1(b, "jit", telemetry.JitterMean, telemetry.CamOn, 0, 12,
+		func(s *netsim.Sweep) { s.JitterMs = [2]float64{0, 12} })
+}
+
+func BenchmarkFig1Bandwidth(b *testing.B) {
+	benchFig1(b, "bw", telemetry.BandwidthMean, telemetry.CamOn, 0.25, 4,
+		func(s *netsim.Sweep) { s.BandwidthMbps = [2]float64{0.25, 4} })
+}
+
+// --- Fig. 2 ----------------------------------------------------------------
+
+func BenchmarkFig2Compounding(b *testing.B) {
+	recs := benchSweep(b, "compound", func(s *netsim.Sweep) {
+		s.LatencyMs = [2]float64{0, 300}
+		s.LossPct = [2]float64{0, 3.5}
+	})
+	xb := stats.NewBinner(0, 300, 4)
+	yb := stats.NewBinner(0, 3.5, 4)
+	var dip float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := usaas.Compounding(recs, telemetry.LatencyMean, telemetry.LossMean,
+			telemetry.Presence, xb, yb, telemetry.StudyCohort())
+		if err != nil {
+			b.Fatal(err)
+		}
+		best, worst, _ := g.BestWorst()
+		dip = (best - worst) / best
+	}
+	b.ReportMetric(100*dip, "dip%")
+}
+
+// --- Fig. 3 ----------------------------------------------------------------
+
+func BenchmarkFig3Platforms(b *testing.B) {
+	recs := benchSweep(b, "plat", func(s *netsim.Sweep) {
+		s.LossPct = [2]float64{0, 4}
+	})
+	binner := stats.NewBinner(0, 4, 4)
+	var platforms int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		series, err := usaas.ByPlatform(recs, telemetry.LossMean, telemetry.Presence, binner, telemetry.StudyCohort())
+		if err != nil {
+			b.Fatal(err)
+		}
+		platforms = len(series)
+	}
+	b.ReportMetric(float64(platforms), "platforms")
+}
+
+// --- Fig. 4 ----------------------------------------------------------------
+
+func BenchmarkFig4MOS(b *testing.B) {
+	recs := benchSweep(b, "mos", func(s *netsim.Sweep) {
+		s.LatencyMs = [2]float64{0, 300}
+		s.LossPct = [2]float64{0, 3}
+	})
+	var pearson float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report, err := usaas.MOSReport(recs, 10, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pearson = report[0].Pearson
+	}
+	b.ReportMetric(pearson, "presence_r")
+}
+
+// --- Table 1 ----------------------------------------------------------------
+
+func BenchmarkCorpusStats(b *testing.B) {
+	c, _, _ := corpusForBench(b)
+	var posts float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		posts, _, _ = c.WeeklyAverages()
+	}
+	b.ReportMetric(posts, "posts/week")
+}
+
+// --- Fig. 5 ----------------------------------------------------------------
+
+func BenchmarkFig5Peaks(b *testing.B) {
+	c, news, _ := corpusForBench(b)
+	var unannotated int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		peaks := usaas.AnnotatePeaks(c, benchAnalyzer, news, 3)
+		unannotated = 0
+		for _, pk := range peaks {
+			if len(pk.News) == 0 {
+				unannotated++
+			}
+		}
+	}
+	b.ReportMetric(float64(unannotated), "peaks_without_news")
+}
+
+func BenchmarkFig5WordCloud(b *testing.B) {
+	c, _, _ := corpusForBench(b)
+	day := timeline.Date(2022, 4, 22)
+	var texts []string
+	for _, p := range c.OnDay(day) {
+		texts = append(texts, p.Text())
+	}
+	var top int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cloud := nlp.WordCloud(texts, 12)
+		top = len(cloud)
+	}
+	b.ReportMetric(float64(top), "terms")
+}
+
+// --- Fig. 6 ----------------------------------------------------------------
+
+func BenchmarkFig6Outages(b *testing.B) {
+	c, _, cfg := corpusForBench(b)
+	dict := nlp.OutageDictionary()
+	outageDays := map[timeline.Day]bool{}
+	for _, o := range cfg.Outages {
+		outageDays[o.Day] = true
+	}
+	var recall float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		series := usaas.OutageKeywordSeries(c, benchAnalyzer, dict, true)
+		cmp := usaas.CompareMonitors(series, outageDays, 3, 150)
+		recall = float64(cmp.KeywordDetectedDays) / float64(cmp.TotalOutageDays)
+	}
+	b.ReportMetric(100*recall, "recall%")
+}
+
+// --- Fig. 7 ----------------------------------------------------------------
+
+func BenchmarkFig7Speeds(b *testing.B) {
+	c, _, cfg := corpusForBench(b)
+	var corr float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		months := usaas.MonthlySpeeds(c, benchAnalyzer, cfg.Model, 7)
+		corr = usaas.AnalyzeConditioning(months).SpeedPosCorrelation
+	}
+	b.ReportMetric(corr, "speed_pos_r")
+}
+
+// --- Roaming ----------------------------------------------------------------
+
+func BenchmarkRoamingLeadTime(b *testing.B) {
+	c, _, _ := corpusForBench(b)
+	tweet := timeline.Date(2022, 3, 3)
+	var lead int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trends := usaas.MineTrends(c, benchAnalyzer, usaas.TrendOptions{})
+		lead, _ = usaas.LeadTime(trends, "roaming", tweet)
+	}
+	b.ReportMetric(float64(lead), "lead_days")
+}
+
+// --- Fig. 8 / §5: the service ----------------------------------------------
+
+func BenchmarkUSaaSQuery(b *testing.B) {
+	recs := benchSweep(b, "svc", func(s *netsim.Sweep) {
+		s.LatencyMs = [2]float64{0, 300}
+	})
+	srv := usaas.NewServer(nil, usaas.ServerOptions{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := usaas.NewClient(ts.URL, ts.Client())
+	ctx := context.Background()
+	if _, err := client.IngestSessions(ctx, recs); err != nil {
+		b.Fatal(err)
+	}
+	q := usaas.EngagementQuery{
+		Metric: telemetry.LatencyMean, Engagement: telemetry.MicOn,
+		Lo: 0, Hi: 300, Bins: 10,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Engagement(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMOSPredictor(b *testing.B) {
+	recs := benchSweep(b, "pred", func(s *netsim.Sweep) {
+		s.LatencyMs = [2]float64{0, 300}
+		s.LossPct = [2]float64{0, 3}
+	})
+	var mae float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eval, err := usaas.EvaluateMOSPredictor(recs, 0.7, 1.0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mae = eval.PredictorMAE
+	}
+	b.ReportMetric(mae, "mae")
+}
+
+// --- ablations (DESIGN.md §5) ------------------------------------------------
+
+// BenchmarkAblationMitigationOff re-runs the Fig. 1 loss panel with the
+// media safeguards disabled: the flat curve steepens, showing the paper's
+// explanation ("application layer safeguards") is what the simulator
+// encodes.
+func BenchmarkAblationMitigationOff(b *testing.B) {
+	gen := func(m media.Mitigation, seed uint64) []telemetry.SessionRecord {
+		sw := netsim.ControlBands()
+		sw.LossPct = [2]float64{0, 2}
+		opts := conference.Defaults(seed, 200)
+		opts.Paths = &sw
+		opts.Mitigation = m
+		g, err := conference.New(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		recs, err := g.GenerateAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return recs
+	}
+	binner := stats.NewBinner(0, 2, 6)
+	var onDrop, offDrop float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		on := gen(media.DefaultMitigation(), 900)
+		off := gen(media.Mitigation{AdaptiveJitterBuf: true, VideoRateAdaptation: true}, 900)
+		sOn, _ := usaas.DoseResponse(on, telemetry.LossMean, telemetry.Presence, binner, nil)
+		sOff, _ := usaas.DoseResponse(off, telemetry.LossMean, telemetry.Presence, binner, nil)
+		onDrop = usaas.RelativeDrop(sOn)
+		offDrop = usaas.RelativeDrop(sOff)
+	}
+	b.ReportMetric(100*onDrop, "drop_mitigated%")
+	b.ReportMetric(100*offDrop, "drop_unmitigated%")
+}
+
+// BenchmarkAblationSentimentGate measures how many keyword occurrences the
+// Fig. 6 negative-sentiment gate removes (false-positive suppression).
+func BenchmarkAblationSentimentGate(b *testing.B) {
+	c, _, _ := corpusForBench(b)
+	dict := nlp.OutageDictionary()
+	var removedFrac float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gated := usaas.OutageKeywordSeries(c, benchAnalyzer, dict, true)
+		ungated := usaas.OutageKeywordSeries(c, benchAnalyzer, dict, false)
+		var g, u int
+		for j := range gated {
+			g += gated[j].Count
+			u += ungated[j].Count
+		}
+		removedFrac = 1 - float64(g)/float64(u)
+	}
+	b.ReportMetric(100*removedFrac, "removed%")
+}
+
+// BenchmarkAblationConditioningOff regenerates the corpus without the
+// expectation term and checks the Fig. 7 anomaly disappears.
+func BenchmarkAblationConditioningOff(b *testing.B) {
+	var anomaly float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := social.DefaultConfig(77)
+		cfg.ConditioningOff = true
+		c, err := social.Generate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		months := usaas.MonthlySpeeds(c, benchAnalyzer, cfg.Model, 7)
+		if usaas.AnalyzeConditioning(months).DecemberBelowApril {
+			anomaly = 1
+		}
+	}
+	b.ReportMetric(anomaly, "anomaly_present")
+}
+
+// BenchmarkAblationP95Metric reruns the Fig. 1 latency panel on P95
+// session aggregates instead of means (the paper: "similar trends hold").
+func BenchmarkAblationP95Metric(b *testing.B) {
+	recs := benchSweep(b, "lat", func(s *netsim.Sweep) { s.LatencyMs = [2]float64{0, 300} })
+	binner := stats.NewBinner(0, 400, 10)
+	var drop float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := usaas.DoseResponse(recs, telemetry.LatencyP95, telemetry.MicOn, binner, telemetry.StudyCohort())
+		if err != nil {
+			b.Fatal(err)
+		}
+		drop = usaas.RelativeDrop(s)
+	}
+	b.ReportMetric(100*drop, "drop%")
+}
+
+// --- §6 extensions ------------------------------------------------------------
+
+func BenchmarkConfounderReport(b *testing.B) {
+	recs := benchSweep(b, "conf", func(s *netsim.Sweep) {})
+	var spread float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		effects, err := usaas.ConfounderReport(recs, telemetry.CamOn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		spread = effects[0].Spread
+	}
+	b.ReportMetric(100*spread, "platform_spread%")
+}
+
+func BenchmarkTrafficEngineeringAdvice(b *testing.B) {
+	recs := benchSweep(b, "te", func(s *netsim.Sweep) {
+		s.LatencyMs = [2]float64{0, 300}
+		s.JitterMs = [2]float64{0, 12}
+	})
+	var topLift float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recos, err := usaas.AdviseTrafficEngineering(recs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		topLift = recos[0].TotalLift
+	}
+	b.ReportMetric(topLift, "top_lift_mos")
+}
+
+func BenchmarkDeploymentAdvice(b *testing.B) {
+	model := leoModel()
+	from := timeline.Date(2022, 6, 1)
+	horizon := timeline.Date(2022, 12, 1)
+	var marginal float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		advice, err := usaas.AdviseDeployment(model, from, horizon, 8, 50, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		marginal = advice.Scenarios[1].ProjectedSpeed - advice.Scenarios[0].ProjectedSpeed
+	}
+	b.ReportMetric(marginal, "mbps_per_launch")
+}
+
+func leoModel() *leo.Model { return leo.NewModel() }
+
+// BenchmarkMOSTreeVsRidge contrasts the two §5 predictor families.
+func BenchmarkMOSTreeVsRidge(b *testing.B) {
+	recs := benchSweep(b, "pred", func(s *netsim.Sweep) {
+		s.LatencyMs = [2]float64{0, 300}
+		s.LossPct = [2]float64{0, 3}
+	})
+	var ridgeMAE, treeMAE float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eval, err := usaas.EvaluateMOSPredictor(recs, 0.7, 1.0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ridgeMAE, treeMAE = eval.PredictorMAE, eval.TreeMAE
+	}
+	b.ReportMetric(ridgeMAE, "ridge_mae")
+	b.ReportMetric(treeMAE, "tree_mae")
+}
+
+// BenchmarkIncidentDetection measures the engagement incident monitor on a
+// workload with an injected week-long network incident, reporting both the
+// engagement monitor's recall and the survey-based strawman's.
+func BenchmarkIncidentDetection(b *testing.B) {
+	truth := timeline.Range{
+		From: timeline.Date(2022, 2, 7),
+		To:   timeline.Date(2022, 2, 13),
+	}
+	var recs []telemetry.SessionRecord
+	if v, ok := benchCache.Load("incident"); ok {
+		recs = v.([]telemetry.SessionRecord)
+	} else {
+		opts := conference.Defaults(404, 1500)
+		opts.Window = timeline.Range{From: timeline.Date(2022, 1, 10), To: timeline.Date(2022, 3, 10)}
+		bad := netsim.ControlBands()
+		bad.LatencyMs = [2]float64{220, 320}
+		bad.LossPct = [2]float64{2, 4}
+		opts.DegradedWindow = truth
+		opts.DegradedPaths = &bad
+		g, err := conference.New(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		recs, err = g.GenerateAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchCache.Store("incident", recs)
+	}
+	var engRecall, mosRecall float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		days := usaas.DailyEngagement(recs, nil)
+		eng := usaas.EngagementIncidents(days, telemetry.Presence, usaas.IncidentOptions{})
+		mos := usaas.MOSIncidents(days, usaas.IncidentOptions{MinSessions: 1})
+		engRecall, _ = usaas.IncidentRecall(eng, truth)
+		mosRecall, _ = usaas.IncidentRecall(mos, truth)
+	}
+	b.ReportMetric(100*engRecall, "engagement_recall%")
+	b.ReportMetric(100*mosRecall, "survey_recall%")
+}
+
+// BenchmarkLongitudinalConditioning measures the §6 long-term-conditioning
+// effect over a persistent user pool: the presence gap between bad sessions
+// preceded by bad versus good history.
+func BenchmarkLongitudinalConditioning(b *testing.B) {
+	var recs []telemetry.SessionRecord
+	if v, ok := benchCache.Load("longitudinal"); ok {
+		recs = v.([]telemetry.SessionRecord)
+	} else {
+		good := netsim.AccessProfile{Name: "good", LatencyMedianMs: 20, LatencySpread: 1.2,
+			JitterMedianMs: 1.5, JitterSpread: 1.3, CapacityMedianMbps: 3.5, CapacitySpread: 1.1}
+		awful := netsim.AccessProfile{Name: "awful", LatencyMedianMs: 260, LatencySpread: 1.15,
+			JitterMedianMs: 4, JitterSpread: 1.3, CapacityMedianMbps: 3.5, CapacitySpread: 1.1,
+			LossyProb: 1, LossScalePct: 1.2}
+		opts := conference.Defaults(606, 1200)
+		opts.Paths = &netsim.Mixture{Profiles: []netsim.AccessProfile{good, awful}, Weights: []float64{0.5, 0.5}}
+		opts.UserPool = 400
+		opts.UserConditioningAlpha = 0.8
+		opts.ConditioningWeight = 0.9
+		g, err := conference.New(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		recs, err = g.GenerateAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchCache.Store("longitudinal", recs)
+	}
+	var effect float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		effect = usaas.AnalyzeLongitudinalConditioning(recs).Effect()
+	}
+	b.ReportMetric(effect, "presence_pts")
+}
+
+// --- substrate micro-benchmarks ----------------------------------------------
+
+func BenchmarkMediaEvaluate(b *testing.B) {
+	m := media.DefaultMitigation()
+	for i := 0; i < b.N; i++ {
+		media.Evaluate(float64(i%300), float64(i%4), float64(i%12), 3.5, m)
+	}
+}
+
+func BenchmarkSentimentScore(b *testing.B) {
+	text := "Constant buffering and lag this week. Very frustrating experience, almost unusable."
+	for i := 0; i < b.N; i++ {
+		benchAnalyzer.Score(text)
+	}
+}
+
+func BenchmarkOCRExtract(b *testing.B) {
+	r := ocr.Report{Provider: ocr.Ookla, DownMbps: 95.4, UpMbps: 12.3, LatencyMs: 42}
+	shot := ocr.RenderNoisy(r, simrand.New(1, 2), 0.03)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ocr.Extract(shot); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCallGeneration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		opts := conference.Defaults(uint64(i), 10)
+		g, err := conference.New(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := g.GenerateAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPathSampling(b *testing.B) {
+	p := netsim.NewPath(netsim.PathConfig{BaseLatencyMs: 50, BaseLossPct: 0.5, BaseJitterMs: 3, CapacityMbps: 4,
+		LossBurstRate: 0.01, JitterSpikeRate: 0.01, BandwidthDipRate: 0.01, UtilizationJitter: 0.3}, simrand.New(3, 4))
+	for i := 0; i < b.N; i++ {
+		p.Next()
+	}
+}

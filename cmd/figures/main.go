@@ -1,0 +1,127 @@
+// Command figures regenerates every figure and table of the paper's
+// evaluation from freshly generated synthetic data, printing an ASCII
+// rendition of each and writing the underlying series as CSV files.
+//
+// Usage:
+//
+//	figures -outdir out            # full run
+//	figures -outdir out -quick     # smaller datasets, same shapes
+//	figures -only fig7             # one experiment
+//
+// Experiments: fig1, fig2, fig3, fig4, table1, fig5, fig6, fig7, roaming,
+// usaas (Fig. 8's service, evaluated end to end).
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+type runCtx struct {
+	outDir string
+	quick  bool
+}
+
+// experiment is one reproducible unit. Each returns a short summary line
+// recorded in the run manifest.
+type experiment struct {
+	name string
+	desc string
+	run  func(*runCtx) (string, error)
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"fig1", "engagement vs latency / loss / jitter / bandwidth", runFig1},
+		{"fig2", "latency x loss compounding on Presence", runFig2},
+		{"fig3", "Presence vs loss per platform", runFig3},
+		{"fig4", "engagement vs MOS", runFig4},
+		{"table1", "corpus statistics (posts/upvotes/comments per week)", runTable1},
+		{"fig5", "sentiment peaks with word clouds and news annotation", runFig5},
+		{"fig6", "outage-keyword series with sentiment gate", runFig6},
+		{"fig7", "monthly speed medians, subsampling, Pos sentiment", runFig7},
+		{"roaming", "early-trend detection lead time", runRoaming},
+		{"usaas", "service end-to-end + MOS predictor evaluation", runUSaaS},
+		{"confounders", "platform/meeting-size effects at controlled network (§6)", runConfounders},
+		{"incident", "engagement incident monitor vs survey strawman (§6 extension)", runIncident},
+		{"longitudinal", "long-term conditioning over a persistent user pool (§6)", runLongitudinal},
+	}
+}
+
+func main() {
+	var (
+		outDir = flag.String("outdir", "figures-out", "directory for CSV outputs")
+		quick  = flag.Bool("quick", false, "smaller datasets (~4x faster), same qualitative shapes")
+		only   = flag.String("only", "", "run a single experiment by name")
+	)
+	flag.Parse()
+	if err := run(*outDir, *quick, *only); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(outDir string, quick bool, only string) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	ctx := &runCtx{outDir: outDir, quick: quick}
+	var manifest []string
+	for _, exp := range experiments() {
+		if only != "" && exp.name != only {
+			continue
+		}
+		fmt.Printf("=== %s: %s ===\n", exp.name, exp.desc)
+		summary, err := exp.run(ctx)
+		if err != nil {
+			return fmt.Errorf("%s: %w", exp.name, err)
+		}
+		fmt.Println(summary)
+		fmt.Println()
+		manifest = append(manifest, exp.name+": "+summary)
+	}
+	if only == "" {
+		if err := os.WriteFile(filepath.Join(outDir, "SUMMARY.txt"),
+			[]byte(strings.Join(manifest, "\n")+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeCSV writes a rectangular table.
+func (c *runCtx) writeCSV(name string, header []string, rows [][]string) error {
+	f, err := os.Create(filepath.Join(c.outDir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func f2s(v float64) string { return fmt.Sprintf("%.4g", v) }
+
+// size scales dataset sizes for quick mode.
+func (c *runCtx) size(full int) int {
+	if c.quick {
+		return full / 4
+	}
+	return full
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, true, "table1"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table1-corpus.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, col := range []string{"posts_per_week", "upvotes_per_week", "speedtest_screenshots"} {
+		if !strings.Contains(s, col) {
+			t.Fatalf("table1 CSV missing %s:\n%s", col, s)
+		}
+	}
+}
+
+// TestRunRepresentativeExperiments exercises one experiment of each shape
+// (sweep panel, 2D grid, platform strata, MOS, corpus pipeline, monitor,
+// longitudinal) in quick mode, checking each writes its CSV artifacts.
+func TestRunRepresentativeExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second dataset generation")
+	}
+	cases := []struct {
+		name  string
+		files []string
+	}{
+		{"fig2", []string{"fig2-compounding.csv"}},
+		{"fig3", []string{"fig3-platforms.csv"}},
+		{"fig4", []string{"fig4-mos.csv"}},
+		{"fig6", []string{"fig6-outage-keywords.csv"}},
+		{"roaming", []string{"roaming-trends.csv"}},
+		{"confounders", []string{"ext-confounders.csv"}},
+		{"incident", []string{"ext-incident-daily.csv"}},
+		{"longitudinal", []string{"ext-longitudinal.csv"}},
+	}
+	dir := t.TempDir()
+	for _, tc := range cases {
+		if err := run(dir, true, tc.name); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		for _, f := range tc.files {
+			st, err := os.Stat(filepath.Join(dir, f))
+			if err != nil {
+				t.Fatalf("%s: missing artifact %s: %v", tc.name, f, err)
+			}
+			if st.Size() == 0 {
+				t.Fatalf("%s: empty artifact %s", tc.name, f)
+			}
+		}
+	}
+}
+
+func TestRunUnknownExperimentIsNoop(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, true, "fig99"); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("unknown experiment produced files: %v", entries)
+	}
+}
+
+func TestWriteCSVErrors(t *testing.T) {
+	c := &runCtx{outDir: filepath.Join(t.TempDir(), "missing-dir")}
+	if err := c.writeCSV("x.csv", []string{"a"}, nil); err == nil {
+		t.Fatal("unwritable outdir accepted")
+	}
+}
+
+func TestSizeScaling(t *testing.T) {
+	full := &runCtx{}
+	quick := &runCtx{quick: true}
+	if full.size(1000) != 1000 || quick.size(1000) != 250 {
+		t.Fatal("size scaling wrong")
+	}
+}

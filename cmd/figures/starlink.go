@@ -1,0 +1,301 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"usersignals/internal/conference"
+	"usersignals/internal/newswire"
+	"usersignals/internal/nlp"
+	"usersignals/internal/social"
+	"usersignals/internal/textplot"
+	"usersignals/internal/timeline"
+	"usersignals/internal/usaas"
+)
+
+// The social corpus is expensive to score repeatedly; build once per run.
+var (
+	corpusOnce sync.Once
+	corpusVal  *social.Corpus
+	corpusCfg  social.Config
+	corpusErr  error
+	newsIdx    *newswire.Index
+	analyzer   = nlp.NewAnalyzer()
+)
+
+func studyCorpus() (*social.Corpus, *newswire.Index, social.Config, error) {
+	corpusOnce.Do(func() {
+		corpusCfg = social.DefaultConfig(42)
+		corpusVal, corpusErr = social.Generate(corpusCfg)
+		if corpusErr == nil {
+			newsIdx = newswire.Build(corpusCfg.Model.Launches(), corpusCfg.Outages, corpusCfg.Milestones)
+		}
+	})
+	return corpusVal, newsIdx, corpusCfg, corpusErr
+}
+
+func runTable1(c *runCtx) (string, error) {
+	corpus, _, _, err := studyCorpus()
+	if err != nil {
+		return "", err
+	}
+	posts, upvotes, comments := corpus.WeeklyAverages()
+	screenshots := 0
+	for i := range corpus.Posts {
+		if corpus.Posts[i].Screenshot != nil {
+			screenshots++
+		}
+	}
+	rows := [][]string{
+		{"posts_per_week", f2s(posts), "372"},
+		{"upvotes_per_week", f2s(upvotes), "8190"},
+		{"comments_per_week", f2s(comments), "5702"},
+		{"speedtest_screenshots", strconv.Itoa(screenshots), "~1750"},
+	}
+	if err := c.writeCSV("table1-corpus.csv", []string{"statistic", "measured", "paper"}, rows); err != nil {
+		return "", err
+	}
+	fmt.Print(textplot.Bars{
+		Title:  "Table 1: corpus statistics (measured)",
+		Labels: []string{"posts/wk", "upvotes/wk", "comments/wk"},
+		Values: []float64{posts, upvotes, comments},
+	}.Render())
+	return fmt.Sprintf("%.0f posts/wk (372), %.0f upvotes/wk (8190), %.0f comments/wk (5702), %d screenshots (~1750)",
+		posts, upvotes, comments, screenshots), nil
+}
+
+func runFig5(c *runCtx) (string, error) {
+	corpus, news, _, err := studyCorpus()
+	if err != nil {
+		return "", err
+	}
+	daily := usaas.DailySentiment(corpus, analyzer)
+	var rows [][]string
+	xs := make([]float64, len(daily))
+	ys := make([]float64, len(daily))
+	for i, d := range daily {
+		xs[i] = float64(d.Day)
+		ys[i] = float64(d.Strong())
+		rows = append(rows, []string{d.Day.String(), strconv.Itoa(d.Posts),
+			strconv.Itoa(d.StrongPos), strconv.Itoa(d.StrongNeg)})
+	}
+	if err := c.writeCSV("fig5a-sentiment.csv",
+		[]string{"day", "posts", "strong_pos", "strong_neg"}, rows); err != nil {
+		return "", err
+	}
+	fmt.Print(textplot.Chart{
+		Title: "Fig 5a: strong-sentiment posts per day", XLabel: "day index (0 = 2021-01-01)",
+		YMinZero: true,
+		Series:   []textplot.Series{{Name: "strong", X: xs, Y: ys}},
+	}.Render())
+
+	peaks := usaas.AnnotatePeaks(corpus, analyzer, news, 3)
+	var peakRows [][]string
+	var summaries []string
+	for _, pk := range peaks {
+		words := make([]string, 0, 3)
+		for i, wc := range pk.TopWords {
+			if i == 3 {
+				break
+			}
+			words = append(words, wc.Word)
+		}
+		annotation := "NO NEWS FOUND"
+		if len(pk.News) > 0 {
+			annotation = pk.News[0].Headline
+		}
+		polarity := "negative"
+		if pk.Positive {
+			polarity = "positive"
+		}
+		peakRows = append(peakRows, []string{pk.Day.String(), strconv.Itoa(pk.Strong), polarity,
+			strings.Join(words, " "), annotation})
+		summaries = append(summaries, fmt.Sprintf("%s(%s,%d strong)→%q", pk.Day, polarity, pk.Strong, annotation))
+		fmt.Printf("peak %s [%s, %d strong] top words: %v\n  news: %s\n",
+			pk.Day, polarity, pk.Strong, words, annotation)
+	}
+	if err := c.writeCSV("fig5-peaks.csv",
+		[]string{"day", "strong_posts", "polarity", "top_words", "news"}, peakRows); err != nil {
+		return "", err
+	}
+
+	// Fig 5b: the word cloud of the April outage day as a bar chart.
+	aprDay := timeline.Date(2022, time.April, 22)
+	var texts []string
+	for _, p := range corpus.OnDay(aprDay) {
+		texts = append(texts, p.Text())
+	}
+	cloud := nlp.WordCloud(texts, 10)
+	labels := make([]string, len(cloud))
+	values := make([]float64, len(cloud))
+	var cloudRows [][]string
+	for i, wc := range cloud {
+		labels[i], values[i] = wc.Word, float64(wc.Count)
+		cloudRows = append(cloudRows, []string{wc.Word, strconv.Itoa(wc.Count)})
+	}
+	if err := c.writeCSV("fig5b-wordcloud.csv", []string{"word", "count"}, cloudRows); err != nil {
+		return "", err
+	}
+	fmt.Print(textplot.Bars{Title: "Fig 5b: word cloud for 2022-04-22 (top unigrams)",
+		Labels: labels, Values: values}.Render())
+	return strings.Join(summaries, "; "), nil
+}
+
+func runFig6(c *runCtx) (string, error) {
+	corpus, _, cfg, err := studyCorpus()
+	if err != nil {
+		return "", err
+	}
+	dict := nlp.OutageDictionary()
+	gated := usaas.OutageKeywordSeries(corpus, analyzer, dict, true)
+	ungated := usaas.OutageKeywordSeries(corpus, analyzer, dict, false)
+	var rows [][]string
+	xs := make([]float64, len(gated))
+	ys := make([]float64, len(gated))
+	for i := range gated {
+		xs[i] = float64(gated[i].Day)
+		ys[i] = float64(gated[i].Count)
+		rows = append(rows, []string{gated[i].Day.String(),
+			strconv.Itoa(gated[i].Count), strconv.Itoa(ungated[i].Count)})
+	}
+	if err := c.writeCSV("fig6-outage-keywords.csv",
+		[]string{"day", "keywords_gated", "keywords_ungated"}, rows); err != nil {
+		return "", err
+	}
+	fmt.Print(textplot.Chart{
+		Title: "Fig 6: outage keywords/day (negative-sentiment gated)", XLabel: "day index",
+		YMinZero: true,
+		Series:   []textplot.Series{{Name: "keywords", X: xs, Y: ys}},
+	}.Render())
+
+	// Monitor comparison (Downdetector-style baseline).
+	outageDays := map[timeline.Day]bool{}
+	for _, o := range cfg.Outages {
+		outageDays[o.Day] = true
+	}
+	cmp := usaas.CompareMonitors(gated, outageDays, 3, 150)
+	return fmt.Sprintf("keyword monitor: %d/%d outage days; large-incident baseline: %d/%d; false-alarm days: %d",
+		cmp.KeywordDetectedDays, cmp.TotalOutageDays,
+		cmp.BaselineDetectedDays, cmp.TotalOutageDays, cmp.FalseAlarmDays), nil
+}
+
+func runFig7(c *runCtx) (string, error) {
+	corpus, _, cfg, err := studyCorpus()
+	if err != nil {
+		return "", err
+	}
+	months := usaas.MonthlySpeeds(corpus, analyzer, cfg.Model, 7)
+	var rows [][]string
+	var xs, med, m95, m90, pos []float64
+	for i, m := range months {
+		rows = append(rows, []string{m.Month.String(), strconv.Itoa(m.Reports),
+			f2s(m.MedianDownMbps), f2s(m.Median95), f2s(m.Median90),
+			f2s(m.Pos), strconv.Itoa(m.Launches), f2s(m.Users)})
+		xs = append(xs, float64(i))
+		med = append(med, m.MedianDownMbps)
+		m95 = append(m95, m.Median95)
+		m90 = append(m90, m.Median90)
+		pos = append(pos, m.Pos*100)
+	}
+	if err := c.writeCSV("fig7-speeds.csv",
+		[]string{"month", "reports", "median_down_mbps", "median_95pct_sample",
+			"median_90pct_sample", "pos_ratio", "launches", "users"}, rows); err != nil {
+		return "", err
+	}
+	fmt.Print(textplot.Chart{
+		Title:  "Fig 7: monthly median downlink (OCR) + Pos sentiment (scaled x100)",
+		XLabel: "month index (0 = 2021-01)",
+		Series: []textplot.Series{
+			{Name: "median", X: xs, Y: med},
+			{Name: "p95-sample", X: xs, Y: m95},
+			{Name: "p90-sample", X: xs, Y: m90},
+			{Name: "Pos x100", X: xs, Y: pos},
+		},
+	}.Render())
+	finding := usaas.AnalyzeConditioning(months)
+	return fmt.Sprintf("speed-Pos correlation r=%.2f; Dec'21<Apr'21 Pos anomaly=%v; late-'22 Pos recovery=%v",
+		finding.SpeedPosCorrelation, finding.DecemberBelowApril, finding.LateRecovery), nil
+}
+
+func runRoaming(c *runCtx) (string, error) {
+	corpus, _, _, err := studyCorpus()
+	if err != nil {
+		return "", err
+	}
+	trends := usaas.MineTrends(corpus, analyzer, usaas.TrendOptions{})
+	var rows [][]string
+	for _, tr := range trends {
+		rows = append(rows, []string{tr.Term, tr.FirstDay.String(), f2s(tr.Weight), f2s(tr.PositiveShare)})
+	}
+	if err := c.writeCSV("roaming-trends.csv",
+		[]string{"term", "first_day", "surge_weight", "positive_share"}, rows); err != nil {
+		return "", err
+	}
+	tweetDay := timeline.Date(2022, time.March, 3)
+	lead, ok := usaas.LeadTime(trends, "roaming", tweetDay)
+	if !ok {
+		return "", fmt.Errorf("roaming trend not detected")
+	}
+	return fmt.Sprintf("'roaming' surfaced %d days before the announcement (paper: ~2 weeks); %d emerging terms total",
+		lead, len(trends)), nil
+}
+
+func runUSaaS(c *runCtx) (string, error) {
+	corpus, news, cfg, err := studyCorpus()
+	if err != nil {
+		return "", err
+	}
+	opts := conference.Defaults(801, c.size(2000))
+	opts.SurveyRate = 0.05
+	g, err := conference.New(opts)
+	if err != nil {
+		return "", err
+	}
+	recs, err := g.GenerateAll()
+	if err != nil {
+		return "", err
+	}
+
+	srv := usaas.NewServer(nil, usaas.ServerOptions{News: news, Model: cfg.Model})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := usaas.NewClient(ts.URL, ts.Client())
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	if _, err := client.IngestSessions(ctx, recs); err != nil {
+		return "", err
+	}
+	if _, err := client.IngestPosts(ctx, corpus.Posts); err != nil {
+		return "", err
+	}
+	mos, err := client.MOS(ctx)
+	if err != nil {
+		return "", err
+	}
+	exp, err := client.Experience(ctx, "starlink")
+	if err != nil {
+		return "", err
+	}
+	var rows [][]string
+	rows = append(rows, []string{"predictor_mae", f2s(mos.Predictor.PredictorMAE)})
+	rows = append(rows, []string{"baseline_mae", f2s(mos.Predictor.BaselineMAE)})
+	rows = append(rows, []string{"survey_coverage", f2s(mos.Predictor.SurveyCoverage)})
+	rows = append(rows, []string{"predictor_coverage", f2s(mos.Predictor.PredictorCoverage)})
+	rows = append(rows, []string{"starlink_sessions", strconv.Itoa(exp.Sessions)})
+	rows = append(rows, []string{"starlink_predicted_mos", f2s(exp.PredictedMOS)})
+	rows = append(rows, []string{"starlink_social_pos_ratio", f2s(exp.SocialPosRatio)})
+	rows = append(rows, []string{"starlink_outage_mentions", strconv.Itoa(exp.OutageMentions)})
+	if err := c.writeCSV("usaas-eval.csv", []string{"metric", "value"}, rows); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("predictor MAE %.3f vs baseline %.3f; coverage %.2f%%→100%%; starlink query: %d sessions, predicted MOS %.2f, social Pos %.2f, %d outage mentions",
+		mos.Predictor.PredictorMAE, mos.Predictor.BaselineMAE,
+		100*mos.Predictor.SurveyCoverage, exp.Sessions, exp.PredictedMOS,
+		exp.SocialPosRatio, exp.OutageMentions), nil
+}

@@ -1,0 +1,217 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"usersignals/internal/conference"
+	"usersignals/internal/netsim"
+	"usersignals/internal/stats"
+	"usersignals/internal/telemetry"
+	"usersignals/internal/textplot"
+	"usersignals/internal/usaas"
+)
+
+// sweepRecords generates a dataset sweeping one metric over its Fig. 1
+// range while the rest stay in the control bands.
+func sweepRecords(c *runCtx, seed uint64, calls int, configure func(*netsim.Sweep)) ([]telemetry.SessionRecord, error) {
+	sw := netsim.ControlBands()
+	configure(&sw)
+	opts := conference.Defaults(seed, c.size(calls))
+	opts.Paths = &sw
+	opts.SurveyRate = 0.05
+	g, err := conference.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	return g.GenerateAll()
+}
+
+// fig1Panel computes the three engagement curves for one swept metric.
+func fig1Panel(c *runCtx, name string, seed uint64, metric telemetry.Metric, lo, hi float64, configure func(*netsim.Sweep)) (string, error) {
+	recs, err := sweepRecords(c, seed, 2000, configure)
+	if err != nil {
+		return "", err
+	}
+	b := stats.NewBinner(lo, hi, 10)
+	var plotSeries []textplot.Series
+	var rows [][]string
+	var drops []string
+	for _, eng := range telemetry.Engagements() {
+		s, err := usaas.DoseResponse(recs, metric, eng, b, telemetry.StudyCohort())
+		if err != nil {
+			return "", err
+		}
+		norm := usaas.Normalize100(s).NonEmpty()
+		plotSeries = append(plotSeries, textplot.Series{Name: eng.String(), X: norm.X, Y: norm.Y})
+		for i := range norm.X {
+			rows = append(rows, []string{eng.String(), f2s(norm.X[i]), f2s(norm.Y[i]), strconv.Itoa(norm.Count[i])})
+		}
+		drops = append(drops, fmt.Sprintf("%s drop %.0f%%", eng, 100*usaas.RelativeDrop(s)))
+	}
+	if err := c.writeCSV("fig1-"+name+".csv", []string{"engagement", metric.String(), "normalized", "sessions"}, rows); err != nil {
+		return "", err
+	}
+	chart := textplot.Chart{
+		Title:  fmt.Sprintf("Fig 1 (%s): normalized engagement vs %s", name, metric),
+		XLabel: metric.String(),
+		Series: plotSeries,
+	}
+	fmt.Print(chart.Render())
+	return strings.Join(drops, ", "), nil
+}
+
+func runFig1(c *runCtx) (string, error) {
+	var parts []string
+	lat, err := fig1Panel(c, "latency", 101, telemetry.LatencyMean, 0, 300,
+		func(s *netsim.Sweep) { s.LatencyMs = [2]float64{0, 300} })
+	if err != nil {
+		return "", err
+	}
+	parts = append(parts, "latency["+lat+"]")
+	loss, err := fig1Panel(c, "loss", 102, telemetry.LossMean, 0, 4,
+		func(s *netsim.Sweep) { s.LossPct = [2]float64{0, 4} })
+	if err != nil {
+		return "", err
+	}
+	parts = append(parts, "loss["+loss+"]")
+	jit, err := fig1Panel(c, "jitter", 103, telemetry.JitterMean, 0, 12,
+		func(s *netsim.Sweep) { s.JitterMs = [2]float64{0, 12} })
+	if err != nil {
+		return "", err
+	}
+	parts = append(parts, "jitter["+jit+"]")
+	bw, err := fig1Panel(c, "bandwidth", 104, telemetry.BandwidthMean, 0.25, 4,
+		func(s *netsim.Sweep) { s.BandwidthMbps = [2]float64{0.25, 4} })
+	if err != nil {
+		return "", err
+	}
+	parts = append(parts, "bandwidth["+bw+"]")
+	return strings.Join(parts, "  "), nil
+}
+
+func runFig2(c *runCtx) (string, error) {
+	recs, err := sweepRecords(c, 201, 3000, func(s *netsim.Sweep) {
+		s.LatencyMs = [2]float64{0, 300}
+		s.LossPct = [2]float64{0, 3.5}
+	})
+	if err != nil {
+		return "", err
+	}
+	xb := stats.NewBinner(0, 300, 5)
+	yb := stats.NewBinner(0, 3.5, 5)
+	grid, err := usaas.Compounding(recs, telemetry.LatencyMean, telemetry.LossMean, telemetry.Presence, xb, yb, telemetry.StudyCohort())
+	if err != nil {
+		return "", err
+	}
+	// Render: rows = loss bins (top = high loss), cols = latency bins.
+	values := make([][]float64, yb.NBins)
+	yLabels := make([]string, yb.NBins)
+	for yi := 0; yi < yb.NBins; yi++ {
+		row := make([]float64, xb.NBins)
+		for xi := 0; xi < xb.NBins; xi++ {
+			row[xi] = grid.Mean[xi][yb.NBins-1-yi]
+		}
+		values[yi] = row
+		yLabels[yi] = fmt.Sprintf("loss %.1f%%", yb.Center(yb.NBins-1-yi))
+	}
+	xLabels := make([]string, xb.NBins)
+	var rows [][]string
+	for xi := 0; xi < xb.NBins; xi++ {
+		xLabels[xi] = fmt.Sprintf("%.0f", xb.Center(xi))
+		for yi := 0; yi < yb.NBins; yi++ {
+			rows = append(rows, []string{
+				f2s(xb.Center(xi)), f2s(yb.Center(yi)),
+				f2s(grid.Mean[xi][yi]), strconv.Itoa(grid.Count[xi][yi]),
+			})
+		}
+	}
+	if err := c.writeCSV("fig2-compounding.csv",
+		[]string{"latency_ms", "loss_pct", "mean_presence", "sessions"}, rows); err != nil {
+		return "", err
+	}
+	fmt.Print(textplot.Heatmap{
+		Title:   "Fig 2: mean Presence over latency x loss (dark = high presence)",
+		XLabels: xLabels, YLabels: yLabels, Values: values,
+	}.Render())
+	best, worst, _ := grid.BestWorst()
+	return fmt.Sprintf("presence best %.1f, worst %.1f (dip %.0f%%; paper ~50%%)",
+		best, worst, 100*(best-worst)/best), nil
+}
+
+func runFig3(c *runCtx) (string, error) {
+	recs, err := sweepRecords(c, 301, 3000, func(s *netsim.Sweep) {
+		s.LossPct = [2]float64{0, 4}
+	})
+	if err != nil {
+		return "", err
+	}
+	b := stats.NewBinner(0, 4, 6)
+	series, err := usaas.ByPlatform(recs, telemetry.LossMean, telemetry.Presence, b, telemetry.StudyCohort())
+	if err != nil {
+		return "", err
+	}
+	var plot []textplot.Series
+	var rows [][]string
+	var summary []string
+	for _, platform := range []string{"windows-pc", "mac-pc", "ios-mobile", "android-mobile"} {
+		s, ok := series[platform]
+		if !ok {
+			continue
+		}
+		ne := s.NonEmpty()
+		plot = append(plot, textplot.Series{Name: platform, X: ne.X, Y: ne.Y})
+		for i := range ne.X {
+			rows = append(rows, []string{platform, f2s(ne.X[i]), f2s(ne.Y[i]), strconv.Itoa(ne.Count[i])})
+		}
+		if len(ne.Y) > 0 {
+			summary = append(summary, fmt.Sprintf("%s@high-loss=%.0f", platform, ne.Y[len(ne.Y)-1]))
+		}
+	}
+	if err := c.writeCSV("fig3-platforms.csv",
+		[]string{"platform", "loss_pct", "mean_presence", "sessions"}, rows); err != nil {
+		return "", err
+	}
+	fmt.Print(textplot.Chart{
+		Title: "Fig 3: Presence vs loss rate per platform", XLabel: "loss %", Series: plot,
+	}.Render())
+	return strings.Join(summary, ", "), nil
+}
+
+func runFig4(c *runCtx) (string, error) {
+	opts := conference.Defaults(401, c.size(4000))
+	opts.SurveyRate = 0.05
+	g, err := conference.New(opts)
+	if err != nil {
+		return "", err
+	}
+	recs, err := g.GenerateAll()
+	if err != nil {
+		return "", err
+	}
+	report, err := usaas.MOSReport(recs, 8, nil)
+	if err != nil {
+		return "", err
+	}
+	var plot []textplot.Series
+	var rows [][]string
+	var summary []string
+	for _, em := range report {
+		ne := em.Series.NonEmpty()
+		plot = append(plot, textplot.Series{Name: em.Engagement.String(), X: ne.X, Y: ne.Y})
+		for i := range ne.X {
+			rows = append(rows, []string{em.Engagement.String(), f2s(ne.X[i]), f2s(ne.Y[i]), strconv.Itoa(ne.Count[i])})
+		}
+		summary = append(summary, fmt.Sprintf("%s r=%.2f rho=%.2f", em.Engagement, em.Pearson, em.Spearman))
+	}
+	if err := c.writeCSV("fig4-mos.csv",
+		[]string{"engagement", "engagement_pct", "mean_mos", "sessions"}, rows); err != nil {
+		return "", err
+	}
+	fmt.Print(textplot.Chart{
+		Title: "Fig 4: MOS vs engagement (rated sessions)", XLabel: "engagement %", Series: plot,
+	}.Render())
+	return fmt.Sprintf("%s (rated %d of %d sessions)",
+		strings.Join(summary, ", "), report[0].RatedSessions, len(recs)), nil
+}

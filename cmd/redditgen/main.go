@@ -1,0 +1,59 @@
+// Command redditgen generates the two-year social corpus — the r/Starlink
+// stand-in of §4 — as JSON Lines, one post per line (screenshots inline).
+//
+// Usage:
+//
+//	redditgen -seed 1 -out posts.jsonl
+//	redditgen -seed 1 -no-conditioning -out posts-ablation.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"usersignals/internal/social"
+)
+
+func main() {
+	var (
+		seed           = flag.Uint64("seed", 1, "generation seed")
+		out            = flag.String("out", "posts.jsonl", "output path (.jsonl)")
+		noConditioning = flag.Bool("no-conditioning", false, "disable the expectation-conditioning term (§4.2 ablation)")
+		quiet          = flag.Bool("q", false, "suppress summary output")
+	)
+	flag.Parse()
+	if err := run(*seed, *out, *noConditioning, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "redditgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed uint64, out string, noConditioning, quiet bool) error {
+	cfg := social.DefaultConfig(seed)
+	cfg.ConditioningOff = noConditioning
+	corpus, err := social.Generate(cfg)
+	if err != nil {
+		return err
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := social.WritePostsJSONL(f, corpus.Posts); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	if !quiet {
+		posts, upvotes, comments := corpus.WeeklyAverages()
+		fmt.Printf("wrote %d posts to %s (seed %d)\n", corpus.Len(), out, seed)
+		fmt.Printf("weekly averages: %.0f posts, %.0f upvotes, %.0f comments (paper: 372 / 8190 / 5702)\n",
+			posts, upvotes, comments)
+	}
+	return nil
+}

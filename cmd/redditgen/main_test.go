@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"usersignals/internal/social"
+)
+
+func TestRunWritesCorpus(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "posts.jsonl")
+	if err := run(1, out, false, true); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	n := 0
+	screenshots := 0
+	for sc.Scan() {
+		var p social.Post
+		if err := json.Unmarshal(sc.Bytes(), &p); err != nil {
+			t.Fatalf("line %d: %v", n+1, err)
+		}
+		if p.Screenshot != nil {
+			screenshots++
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n < 30000 {
+		t.Fatalf("only %d posts", n)
+	}
+	if screenshots < 1000 {
+		t.Fatalf("only %d screenshots survived serialization", screenshots)
+	}
+}
+
+func TestRunAblationFlag(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.jsonl")
+	b := filepath.Join(dir, "b.jsonl")
+	if err := run(3, a, false, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(3, b, true, true); err != nil {
+		t.Fatal(err)
+	}
+	da, _ := os.ReadFile(a)
+	db, _ := os.ReadFile(b)
+	if string(da) == string(db) {
+		t.Fatal("conditioning ablation changed nothing")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(1, filepath.Join(t.TempDir(), "no", "dir.jsonl"), false, true); err == nil {
+		t.Fatal("unwritable path accepted")
+	}
+}

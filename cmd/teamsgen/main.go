@@ -1,0 +1,122 @@
+// Command teamsgen generates a synthetic conferencing-telemetry dataset —
+// the MS Teams stand-in of §3 — as CSV or JSON Lines.
+//
+// Usage:
+//
+//	teamsgen -calls 20000 -seed 1 -out calls.csv
+//	teamsgen -calls 5000 -sweep latency -out latency-sweep.csv
+//
+// With -sweep, one network metric is drawn uniformly over its Fig. 1 range
+// while the others stay inside the paper's control bands, giving dense
+// coverage of every bin of the corresponding figure.
+package main
+
+import (
+	"compress/gzip"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"usersignals/internal/conference"
+	"usersignals/internal/netsim"
+	"usersignals/internal/telemetry"
+)
+
+func main() {
+	var (
+		seed       = flag.Uint64("seed", 1, "generation seed (datasets are deterministic per seed)")
+		calls      = flag.Int("calls", 5000, "number of calls to generate")
+		out        = flag.String("out", "calls.csv", "output path (.csv or .jsonl)")
+		sweep      = flag.String("sweep", "", "sweep one metric over its figure range: latency|loss|jitter|bandwidth")
+		surveyRate = flag.Float64("survey-rate", telemetry.DefaultSurveyRate, "fraction of sessions prompted for a rating")
+		quiet      = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+	if err := run(*seed, *calls, *out, *sweep, *surveyRate, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "teamsgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed uint64, calls int, out, sweep string, surveyRate float64, quiet bool) error {
+	opts := conference.Defaults(seed, calls)
+	opts.SurveyRate = surveyRate
+	if sweep != "" {
+		sw := netsim.ControlBands()
+		switch sweep {
+		case "latency":
+			sw.LatencyMs = [2]float64{0, 300}
+		case "loss":
+			sw.LossPct = [2]float64{0, 4}
+		case "jitter":
+			sw.JitterMs = [2]float64{0, 12}
+		case "bandwidth":
+			sw.BandwidthMbps = [2]float64{0.25, 4}
+		default:
+			return fmt.Errorf("unknown sweep %q (latency|loss|jitter|bandwidth)", sweep)
+		}
+		opts.Paths = &sw
+	}
+
+	g, err := conference.New(opts)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	// Transparent gzip when the path ends in .gz.
+	var sink io.Writer = f
+	var gz *gzip.Writer
+	logical := out
+	if strings.EqualFold(filepath.Ext(out), ".gz") {
+		gz = gzip.NewWriter(f)
+		sink = gz
+		logical = strings.TrimSuffix(out, filepath.Ext(out))
+	}
+
+	var write func(*telemetry.SessionRecord) error
+	var flush func() error
+	switch strings.ToLower(filepath.Ext(logical)) {
+	case ".jsonl":
+		w := telemetry.NewJSONLWriter(sink)
+		write, flush = w.Write, w.Flush
+	case ".csv":
+		w := telemetry.NewCSVWriter(sink)
+		write, flush = w.Write, w.Flush
+	default:
+		return fmt.Errorf("unsupported extension on %q (use .csv or .jsonl, optionally .gz)", out)
+	}
+
+	n := 0
+	if err := g.Generate(func(r *telemetry.SessionRecord) error {
+		n++
+		if !quiet && n%50000 == 0 {
+			fmt.Fprintf(os.Stderr, "  %d sessions...\n", n)
+		}
+		return write(r)
+	}); err != nil {
+		return err
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	if gz != nil {
+		if err := gz.Close(); err != nil {
+			return fmt.Errorf("closing gzip stream: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Printf("wrote %d sessions from %d calls to %s (seed %d)\n", n, calls, out, seed)
+	}
+	return nil
+}

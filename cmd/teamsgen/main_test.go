@@ -1,0 +1,138 @@
+package main
+
+import (
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"usersignals/internal/telemetry"
+)
+
+func TestRunCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "calls.csv")
+	if err := run(1, 20, out, "", 0.05, true); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	n := 0
+	if err := telemetry.ReadCSV(f, func(*telemetry.SessionRecord) error {
+		n++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n < 40 {
+		t.Fatalf("only %d sessions from 20 calls", n)
+	}
+}
+
+func TestRunJSONL(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "calls.jsonl")
+	if err := run(1, 10, out, "", 0.05, true); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	n := 0
+	if err := telemetry.ReadJSONL(f, func(*telemetry.SessionRecord) error {
+		n++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no sessions written")
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "sweep.csv")
+	if err := run(2, 30, out, "latency", 0.05, true); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var maxLat float64
+	if err := telemetry.ReadCSV(f, func(r *telemetry.SessionRecord) error {
+		if r.Net.LatencyMean > maxLat {
+			maxLat = r.Net.LatencyMean
+		}
+		// Control bands hold.
+		if r.Net.BWMean < 2.5 || r.Net.BWMean > 4.5 {
+			t.Fatalf("bandwidth out of control band: %v", r.Net.BWMean)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if maxLat < 150 {
+		t.Fatalf("latency sweep max %v; range not covered", maxLat)
+	}
+}
+
+func TestRunGzipOutput(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "calls.csv.gz")
+	if err := run(1, 10, out, "", 0.05, true); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		t.Fatalf("output is not gzip: %v", err)
+	}
+	n := 0
+	if err := telemetry.ReadCSV(gz, func(*telemetry.SessionRecord) error {
+		n++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no sessions in gzip output")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(1, 5, filepath.Join(dir, "x.txt"), "", 0.05, true); err == nil {
+		t.Fatal("bad extension accepted")
+	}
+	if err := run(1, 5, filepath.Join(dir, "x.csv"), "warp-speed", 0.05, true); err == nil {
+		t.Fatal("unknown sweep accepted")
+	}
+	if err := run(1, 5, filepath.Join(dir, "nope", "x.csv"), "", 0.05, true); err == nil {
+		t.Fatal("unwritable path accepted")
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.csv")
+	b := filepath.Join(dir, "b.csv")
+	if err := run(7, 10, a, "", 0.05, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(7, 10, b, "", 0.05, true); err != nil {
+		t.Fatal(err)
+	}
+	da, _ := os.ReadFile(a)
+	db, _ := os.ReadFile(b)
+	if string(da) != string(db) {
+		t.Fatal("same seed produced different files")
+	}
+}

@@ -1,0 +1,175 @@
+// Command usaasd runs the User Signals as-a-Service HTTP server (§5),
+// optionally preloading generated datasets.
+//
+// Usage:
+//
+//	usaasd -addr :8080 -sessions calls.csv -posts posts.jsonl
+//
+// Endpoints (all JSON):
+//
+//	POST /v1/sessions             ingest session records (array)
+//	POST /v1/posts                ingest social posts (array)
+//	GET  /v1/stats                store counts
+//	GET  /v1/insights/engagement  dose-response curves (Fig. 1)
+//	GET  /v1/insights/mos         engagement↔MOS + predictor (Fig. 4, §5)
+//	GET  /v1/insights/sentiment   daily sentiment series (Fig. 5a)
+//	GET  /v1/insights/peaks       annotated sentiment peaks (Fig. 5)
+//	GET  /v1/insights/outages     outage-keyword series / alerts (Fig. 6)
+//	GET  /v1/insights/speeds      monthly OCR speed medians (Fig. 7)
+//	GET  /v1/insights/trends      emerging discussion topics
+//	GET  /v1/query/experience     cross-source ISP experience query (§5)
+//	GET  /v1/insights/confounders confounder effects at controlled network (§6)
+//	GET  /v1/advice/traffic-engineering  ranked network improvements (§6)
+//	GET  /v1/advice/deployment    launch-plan scenarios vs sentiment (§6)
+//	GET  /v1/report               composed operator report (add ?format=text)
+package main
+
+import (
+	"compress/gzip"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"usersignals/internal/leo"
+	"usersignals/internal/newswire"
+	"usersignals/internal/social"
+	"usersignals/internal/telemetry"
+	"usersignals/internal/usaas"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
+		sessions = flag.String("sessions", "", "preload session records (.csv or .jsonl, optionally .gz)")
+		posts    = flag.String("posts", "", "preload social posts (.jsonl, optionally .gz)")
+		token    = flag.String("token", "", "require this bearer token on every request")
+	)
+	flag.Parse()
+	if err := run(*addr, *sessions, *posts, *token); err != nil {
+		fmt.Fprintln(os.Stderr, "usaasd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, sessionsPath, postsPath, token string) error {
+	store := &usaas.Store{}
+	if sessionsPath != "" {
+		n, err := loadSessions(store, sessionsPath)
+		if err != nil {
+			return fmt.Errorf("loading sessions: %w", err)
+		}
+		fmt.Printf("loaded %d sessions from %s\n", n, sessionsPath)
+	}
+	if postsPath != "" {
+		n, err := loadPosts(store, postsPath)
+		if err != nil {
+			return fmt.Errorf("loading posts: %w", err)
+		}
+		fmt.Printf("loaded %d posts from %s\n", n, postsPath)
+	}
+
+	model := leo.NewModel()
+	news := newswire.Build(model.Launches(), leo.MajorOutages(), leo.DefaultMilestones())
+	srv := usaas.NewServer(store, usaas.ServerOptions{Model: model, News: news, AuthToken: token})
+
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("usaasd listening on http://%s\n", addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+	case s := <-sig:
+		fmt.Printf("received %v, shutting down\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+	}
+	return nil
+}
+
+// openMaybeGzip opens a dataset file, transparently decompressing ".gz",
+// and returns the logical extension (.csv/.jsonl) alongside the reader.
+func openMaybeGzip(path string) (io.ReadCloser, string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", err
+	}
+	name := path
+	if strings.EqualFold(filepath.Ext(name), ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			f.Close()
+			return nil, "", fmt.Errorf("opening gzip %q: %w", path, err)
+		}
+		name = strings.TrimSuffix(name, filepath.Ext(name))
+		return struct {
+			io.Reader
+			io.Closer
+		}{gz, f}, strings.ToLower(filepath.Ext(name)), nil
+	}
+	return f, strings.ToLower(filepath.Ext(name)), nil
+}
+
+func loadSessions(store *usaas.Store, path string) (int, error) {
+	f, ext, err := openMaybeGzip(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var recs []telemetry.SessionRecord
+	appendRec := func(r *telemetry.SessionRecord) error {
+		recs = append(recs, *r)
+		return nil
+	}
+	switch ext {
+	case ".csv":
+		err = telemetry.ReadCSV(f, appendRec)
+	case ".jsonl":
+		err = telemetry.ReadJSONL(f, appendRec)
+	default:
+		return 0, fmt.Errorf("unsupported extension on %q", path)
+	}
+	if err != nil {
+		return 0, err
+	}
+	store.AddSessions(recs)
+	return len(recs), nil
+}
+
+func loadPosts(store *usaas.Store, path string) (int, error) {
+	f, _, err := openMaybeGzip(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	posts, err := social.CollectPostsJSONL(f)
+	if err != nil {
+		return 0, err
+	}
+	store.AddPosts(posts)
+	return len(posts), nil
+}

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"usersignals/internal/conference"
+	"usersignals/internal/social"
+	"usersignals/internal/telemetry"
+	"usersignals/internal/usaas"
+)
+
+func writeSessionsCSV(t *testing.T, path string, n int) int {
+	t.Helper()
+	g, err := conference.New(conference.Defaults(1, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w := telemetry.NewCSVWriter(f)
+	count := 0
+	if err := g.Generate(func(r *telemetry.SessionRecord) error {
+		count++
+		return w.Write(r)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return count
+}
+
+func TestLoadSessionsCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "calls.csv")
+	want := writeSessionsCSV(t, path, 15)
+	store := &usaas.Store{}
+	got, err := loadSessions(store, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("loaded %d, wrote %d", got, want)
+	}
+	sessions, _ := store.Counts()
+	if sessions != want {
+		t.Fatalf("store holds %d", sessions)
+	}
+}
+
+func TestLoadSessionsErrors(t *testing.T) {
+	store := &usaas.Store{}
+	if _, err := loadSessions(store, filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(bad, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadSessions(store, bad); err == nil {
+		t.Fatal("bad extension accepted")
+	}
+}
+
+func TestLoadPosts(t *testing.T) {
+	cfg := social.DefaultConfig(2)
+	corpus, err := social.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "posts.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := enc.Encode(&corpus.Posts[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	store := &usaas.Store{}
+	got, err := loadPosts(store, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != n {
+		t.Fatalf("loaded %d", got)
+	}
+	if store.Corpus() == nil || store.Corpus().Len() != n {
+		t.Fatal("corpus not rebuilt")
+	}
+}
+
+func TestLoadSessionsGzip(t *testing.T) {
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "calls.csv")
+	want := writeSessionsCSV(t, plain, 10)
+	// Compress it.
+	data, err := os.ReadFile(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gzPath := filepath.Join(dir, "calls.csv.gz")
+	f, err := os.Create(gzPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gz := gzip.NewWriter(f)
+	if _, err := gz.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	store := &usaas.Store{}
+	got, err := loadSessions(store, gzPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("gzip load %d, want %d", got, want)
+	}
+	// A non-gzip file with a .gz name must fail loudly.
+	fake := filepath.Join(dir, "fake.csv.gz")
+	if err := os.WriteFile(fake, []byte("not gzip"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadSessions(store, fake); err == nil {
+		t.Fatal("bogus gzip accepted")
+	}
+}
+
+func TestLoadPostsErrors(t *testing.T) {
+	store := &usaas.Store{}
+	if _, err := loadPosts(store, filepath.Join(t.TempDir(), "missing.jsonl")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("{broken\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadPosts(store, bad); err == nil {
+		t.Fatal("broken JSON accepted")
+	}
+}

@@ -1,0 +1,85 @@
+// Planning demonstrates §6's "traffic engineering & network planning
+// opportunities": USaaS insights turned into operator decisions. The
+// conferencing operator asks which network metric deserves optimization
+// budget; the constellation operator asks how many launches keep user
+// sentiment above a target.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"usersignals"
+)
+
+func main() {
+	// --- conferencing side: where should the network budget go? ---
+	opts := usersignals.DefaultCallOptions(51, 800)
+	opts.SurveyRate = 0.05
+	records, err := usersignals.GenerateCalls(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("analyzing %d sessions\n\n", len(records))
+
+	recos, err := usersignals.AdviseTrafficEngineering(records)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("traffic-engineering advice (ranked by population MOS payoff):")
+	for i, r := range recos {
+		fmt.Printf("  %d. %-22s affects %4.1f%% of sessions, +%.3f MOS each → total %.4f\n",
+			i+1, r.Improvement+" ("+r.Metric.String()+")",
+			100*r.AffectedFrac, r.MeanMOSLift, r.TotalLift)
+	}
+
+	// --- confounder check before spending that budget (§6: "are networks
+	// to blame always?") ---
+	effects, err := usersignals.ConfounderReport(records, usersignals.CamOn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ncamera-use confounders at controlled network conditions:")
+	for _, e := range effects {
+		fmt.Printf("  %-13s moves cam-on by %4.1f%% across levels %v\n",
+			e.Confounder, 100*e.Spread, fmtLevels(e.Levels))
+	}
+
+	// --- constellation side: launches vs sentiment ---
+	model := usersignals.NewConstellationModel()
+	from := usersignals.Date(2022, time.June, 1)
+	horizon := usersignals.Date(2022, time.December, 1)
+	advice, err := usersignals.AdviseDeployment(model, from, horizon, 8, 50, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ndeployment scenarios for Jun→Dec 2022 (50 sats per extra launch):")
+	for _, sc := range advice.Scenarios {
+		fmt.Printf("  +%d launches: projected median %.1f Mbps, projected Pos %.2f\n",
+			sc.ExtraLaunches, sc.ProjectedSpeed, sc.ProjectedPos)
+	}
+	target := (advice.Scenarios[0].ProjectedPos + advice.Scenarios[len(advice.Scenarios)-1].ProjectedPos) / 2
+	advice2, err := usersignals.AdviseDeployment(model, from, horizon, 8, 50, target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nto keep Pos ≥ %.2f through December, schedule %d extra launches\n",
+		target, advice2.LaunchesForTarget)
+}
+
+func fmtLevels(levels map[string]float64) string {
+	out := "{"
+	first := true
+	for _, name := range []string{"windows-pc", "mac-pc", "ios-mobile", "android-mobile",
+		"small-3-5", "medium-6-10", "large-11+"} {
+		if v, ok := levels[name]; ok {
+			if !first {
+				out += ", "
+			}
+			out += fmt.Sprintf("%s: %.0f%%", name, v)
+			first = false
+		}
+	}
+	return out + "}"
+}

@@ -1,0 +1,112 @@
+// usaas-service demonstrates Fig. 8: it starts the USaaS HTTP service,
+// ingests both signal families through the API, and runs the paper's §5
+// example query — "how do users on the satellite network perceive the
+// conferencing experience?" — fusing implicit actions, sparse surveys, a
+// trained predictor, and social sentiment into one answer.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"usersignals"
+)
+
+func main() {
+	// --- generate both signal families ---
+	callOpts := usersignals.DefaultCallOptions(31, 600)
+	callOpts.SurveyRate = 0.05
+	sessions, err := usersignals.GenerateCalls(callOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	socialCfg := usersignals.DefaultSocialConfig(31)
+	corpus, err := usersignals.GenerateSocial(socialCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- start the service on an ephemeral port ---
+	svc := usersignals.NewService(usersignals.ServiceOptions{
+		News:  usersignals.BuildNews(socialCfg),
+		Model: socialCfg.Model,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	server := &http.Server{Handler: svc.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := server.Serve(ln); err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+	defer server.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Println("USaaS listening on", base)
+
+	// --- ingest through the public API ---
+	client := usersignals.NewServiceClient(base)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	if _, err := client.IngestSessions(ctx, sessions); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := client.IngestPosts(ctx, corpus.Posts); err != nil {
+		log.Fatal(err)
+	}
+	st, err := client.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ingested %d sessions and %d posts\n\n", st.Sessions, st.Posts)
+
+	// --- the §5 cross-source query ---
+	for _, isp := range []string{"starlink", "metrofiber", "cellone"} {
+		exp, err := client.Experience(ctx, isp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-11s %4d sessions | presence %5.1f%% cam %5.1f%% mic %5.1f%% | predicted MOS %.2f",
+			exp.ISP, exp.Sessions, exp.MeanPresence, exp.MeanCamOn, exp.MeanMicOn, exp.PredictedMOS)
+		if exp.SurveyedCount > 0 {
+			fmt.Printf(" (surveyed %.2f over %d)", exp.SurveyedMOS, exp.SurveyedCount)
+		}
+		fmt.Println()
+	}
+
+	exp, err := client.Experience(ctx, "starlink")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsocial side for the satellite ISP: Pos ratio %.2f, %d outage mentions in the corpus\n",
+		exp.SocialPosRatio, exp.OutageMentions)
+
+	// --- one insight endpoint for good measure ---
+	curve, err := client.Engagement(ctx, usersignals.EngagementQuery{
+		Metric:     usersignals.LatencyMean,
+		Engagement: usersignals.MicOn,
+		Lo:         0, Hi: 300, Bins: 6,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nmic-on vs latency over HTTP:")
+	for i := range curve.X {
+		if curve.Count[i] > 0 {
+			fmt.Printf("  %6.0f ms: %5.1f%%\n", curve.X[i], curve.Y[i])
+		}
+	}
+
+	// --- and the composed operator report ---
+	rep, err := client.Report(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(rep.Render())
+}

@@ -1,0 +1,3 @@
+module usersignals
+
+go 1.22

@@ -1,0 +1,264 @@
+package behavior
+
+import (
+	"math"
+
+	"usersignals/internal/media"
+	"usersignals/internal/simrand"
+)
+
+// AgentOptions configures one agent-session.
+type AgentOptions struct {
+	// MeetingSize is the number of participants; larger meetings lower
+	// the baseline mic-on fraction (listeners mute) and slightly dilute
+	// per-user sensitivity (§6 confounder).
+	MeetingSize int
+	// ExpectationUtility is the user's conditioned expectation of call
+	// quality in [0, 1] (their EWMA over past sessions). Annoyance blends
+	// absolute badness with shortfall versus this expectation. Default
+	// 0.8 (a user accustomed to good calls).
+	ExpectationUtility float64
+	// ConditioningWeight in [0, 1] is the share of annoyance attributed
+	// to expectation shortfall rather than absolute badness. 0 disables
+	// conditioning (the ablation). Default 0.3.
+	ConditioningWeight float64
+}
+
+func (o AgentOptions) withDefaults() AgentOptions {
+	if o.MeetingSize < 2 {
+		o.MeetingSize = 3
+	}
+	if o.ExpectationUtility <= 0 || o.ExpectationUtility > 1 {
+		o.ExpectationUtility = 0.8
+	}
+	if o.ConditioningWeight < 0 || o.ConditioningWeight > 1 {
+		o.ConditioningWeight = 0.3
+	}
+	return o
+}
+
+// Agent simulates one participant for one session. Not safe for concurrent
+// use; create one per (participant, session).
+type Agent struct {
+	prof Profile
+	opts AgentOptions
+	rng  *simrand.RNG
+
+	inCall bool
+	micOn  bool
+	camOn  bool
+
+	windows    int
+	micWindows int
+	camWindows int
+	utilitySum float64
+	leftEarly  bool
+
+	// stickiness of the mic/cam Markov chains (per-window switching
+	// scale); lower = longer dwell times.
+	stickiness float64
+}
+
+// StepResult reports the agent's state during one window.
+type StepResult struct {
+	InCall bool
+	MicOn  bool
+	CamOn  bool
+}
+
+// NewAgent creates an agent. The RNG is owned by the agent afterwards.
+func NewAgent(prof Profile, opts AgentOptions, rng *simrand.RNG) *Agent {
+	opts = opts.withDefaults()
+	a := &Agent{
+		prof:       prof,
+		opts:       opts,
+		rng:        rng,
+		inCall:     true,
+		stickiness: 0.08,
+	}
+	// Initial states drawn from the perfect-conditions targets so that
+	// session starts are unbiased.
+	a.micOn = rng.Bool(a.micTarget(0))
+	a.camOn = rng.Bool(a.camTarget(0, 0))
+	return a
+}
+
+// micTarget is the stationary mic-on probability given conversational
+// difficulty in [0, 1].
+func (a *Agent) micTarget(difficulty float64) float64 {
+	base := a.prof.MicBase * meetingMicScale(a.opts.MeetingSize)
+	// Calibrated so 0→300 ms latency costs ~25-30% relative mic-on, with
+	// the saturation shape coming from difficulty itself.
+	t := base * (1 - 0.32*difficulty*a.sensitivity())
+	return clamp(t, 0.02, 1)
+}
+
+// camTarget is the stationary cam-on probability given video badness and
+// conversational difficulty, both in [0, 1].
+func (a *Agent) camTarget(videoBad, difficulty float64) float64 {
+	s := a.sensitivity()
+	// Video badness is the dominant driver (jitter, bandwidth); delay adds
+	// a deliberate "turn video off to save the call" component. Camera-off
+	// is more drastic than muting, hence the smaller delay coefficient
+	// relative to micTarget's.
+	t := a.prof.CamBase * (1 - 0.55*videoBad*s - 0.24*difficulty*s)
+	return clamp(t, 0.01, 1)
+}
+
+// sensitivity dilutes platform sensitivity slightly in large meetings:
+// a listener in a 20-person all-hands is less bothered than a participant
+// in a 3-person working session.
+func (a *Agent) sensitivity() float64 {
+	return a.prof.Sensitivity / (1 + 0.02*float64(a.opts.MeetingSize-3))
+}
+
+func meetingMicScale(size int) float64 {
+	// 3-person: ~1.0; 10-person: ~0.55; 30-person: ~0.3.
+	return clamp(0.22+2.3/float64(size), 0.15, 1)
+}
+
+// Step advances the agent by one telemetry window experienced at the given
+// delivered quality. It reports the agent's state during that window. Once
+// the agent has left, further steps keep reporting InCall=false.
+func (a *Agent) Step(q media.Quality) StepResult {
+	if !a.inCall {
+		return StepResult{}
+	}
+
+	difficulty := convDifficulty(q.MouthToEarMs)
+	videoBad := clamp(1-q.VideoScore, 0, 1)
+	utility := experienceUtility(q, difficulty)
+	a.utilitySum += utility
+	a.windows++
+
+	// Conditioning: annoyance is a blend of absolute badness and the
+	// shortfall against the user's conditioned expectation.
+	absBad := clamp(1-utility, 0, 1)
+	shortfall := clamp(a.opts.ExpectationUtility-utility, 0, 1)
+	annoy := (1-a.opts.ConditioningWeight)*absBad + a.opts.ConditioningWeight*shortfall
+
+	// --- leave decision ---
+	// Two channels drive abandonment, with quadratic (threshold-like)
+	// shapes: media breakup from residual loss (audio dropouts, frozen
+	// video — "unacceptably poor" in the paper's words, kicking in around
+	// 3%+ network loss once FEC is overwhelmed), and a broken conversation
+	// from delay. Conditioned annoyance adds a small direct push. The
+	// calibration targets §3.2: ~20% presence loss at 300 ms latency,
+	// negligible at 2% loss, >10% at 5% loss, ~40-50% when latency and
+	// loss compound (Fig. 2).
+	artifacts := 1 - math.Exp(-q.ResidualLossPct/2)
+	s := a.sensitivity()
+	leaveHazard := a.prof.LeaveHazard +
+		0.008*artifacts*artifacts*s +
+		0.0026*difficulty*difficulty*s +
+		0.006*artifacts*difficulty*s + // compounding: broken audio AND broken turn-taking (Fig. 2)
+		0.002*annoy*s
+	if a.rng.Bool(leaveHazard) {
+		a.inCall = false
+		a.leftEarly = true
+		return StepResult{}
+	}
+
+	// --- mic chain ---
+	micT := a.micTarget(difficulty)
+	if a.micOn {
+		if a.rng.Bool(a.stickiness * (1 - micT)) {
+			a.micOn = false
+		}
+	} else {
+		if a.rng.Bool(a.stickiness * micT) {
+			a.micOn = true
+		}
+	}
+
+	// --- cam chain (slower: turning video on/off is a deliberate act) ---
+	camT := a.camTarget(videoBad, difficulty)
+	camStick := a.stickiness * 0.6
+	if a.camOn {
+		if a.rng.Bool(camStick * (1 - camT)) {
+			a.camOn = false
+		}
+	} else {
+		if a.rng.Bool(camStick * camT) {
+			a.camOn = true
+		}
+	}
+
+	if a.micOn {
+		a.micWindows++
+	}
+	if a.camOn {
+		a.camWindows++
+	}
+	return StepResult{InCall: true, MicOn: a.micOn, CamOn: a.camOn}
+}
+
+// convDifficulty maps mouth-to-ear delay to conversational difficulty in
+// [0, 1]. The shape — negligible below ~100 ms, steep to ~250 ms, then
+// saturating — is what gives the Mic On curve of Fig. 1 its knee at 150 ms
+// network latency: beyond that, conversation is already broken and further
+// delay cannot break it much more.
+func convDifficulty(mouthToEarMs float64) float64 {
+	x := math.Max(0, mouthToEarMs-100)
+	return 1 - math.Exp(-x/130)
+}
+
+// experienceUtility is the latent per-window experience in [0, 1] shared by
+// actions and ratings.
+func experienceUtility(q media.Quality, difficulty float64) float64 {
+	audio := clamp((q.AudioMOS-1)/3.4, 0, 1)
+	return clamp(0.55*audio+0.25*q.VideoScore+0.20*(1-difficulty), 0, 1)
+}
+
+// SessionBehavior is the per-session outcome consumed by telemetry.
+type SessionBehavior struct {
+	WindowsAttended int     // windows before leaving (or all scheduled)
+	LeftEarly       bool    // user abandoned before the scheduled end
+	MicOnFrac       float64 // fraction of attended windows with mic on
+	CamOnFrac       float64 // fraction of attended windows with camera on
+	MeanUtility     float64 // latent experienced utility in [0, 1]
+}
+
+// Summary finalizes the session.
+func (a *Agent) Summary() SessionBehavior {
+	s := SessionBehavior{WindowsAttended: a.windows, LeftEarly: a.leftEarly}
+	if a.windows > 0 {
+		s.MicOnFrac = float64(a.micWindows) / float64(a.windows)
+		s.CamOnFrac = float64(a.camWindows) / float64(a.windows)
+		s.MeanUtility = a.utilitySum / float64(a.windows)
+	}
+	return s
+}
+
+// Rate produces the agent's explicit 1–5 rating for the session, the raw
+// material of MOS. Ratings are noisy, integer, and anchored to the same
+// latent utility that drove the agent's actions — which is why §3.3 finds
+// engagement and MOS correlate.
+func (a *Agent) Rate() int {
+	u := 0.0
+	if a.windows > 0 {
+		u = a.utilitySum / float64(a.windows)
+	}
+	score := 1 + 4*u + a.rng.Normal(0, 0.55)
+	r := int(math.Round(score))
+	if r < 1 {
+		r = 1
+	}
+	if r > 5 {
+		r = 5
+	}
+	return r
+}
+
+// InCall reports whether the agent is still in the call.
+func (a *Agent) InCall() bool { return a.inCall }
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

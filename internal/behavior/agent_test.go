@@ -1,0 +1,315 @@
+package behavior
+
+import (
+	"math"
+	"testing"
+
+	"usersignals/internal/media"
+	"usersignals/internal/simrand"
+)
+
+// runPopulation simulates n agents through `windows` identical-quality
+// windows and returns mean mic-on, cam-on, presence fraction and mean
+// utility.
+func runPopulation(t *testing.T, n, windows int, q media.Quality, prof Profile, opts AgentOptions, seed uint64) (mic, cam, presence, utility float64) {
+	t.Helper()
+	root := simrand.Root(seed)
+	var micSum, camSum, presSum, utilSum float64
+	for i := 0; i < n; i++ {
+		a := NewAgent(prof, opts, root.Derive("agent/%d", i).RNG())
+		for w := 0; w < windows; w++ {
+			a.Step(q)
+			if !a.InCall() {
+				break
+			}
+		}
+		s := a.Summary()
+		micSum += s.MicOnFrac
+		camSum += s.CamOnFrac
+		presSum += float64(s.WindowsAttended) / float64(windows)
+		utilSum += s.MeanUtility
+	}
+	f := float64(n)
+	return micSum / f, camSum / f, presSum / f, utilSum / f
+}
+
+func qualityAt(lat, loss, jit, bw float64) media.Quality {
+	return media.Evaluate(lat, loss, jit, bw, media.DefaultMitigation())
+}
+
+const (
+	popN    = 400
+	popWins = 360 // 30-minute session
+)
+
+func TestLatencyReducesEngagement(t *testing.T) {
+	prof := ProfileFor(WindowsPC)
+	good := qualityAt(20, 0.1, 1, 3.5)
+	bad := qualityAt(300, 0.1, 1, 3.5)
+	m0, c0, p0, _ := runPopulation(t, popN, popWins, good, prof, AgentOptions{}, 1)
+	m1, c1, p1, _ := runPopulation(t, popN, popWins, bad, prof, AgentOptions{}, 1)
+
+	micDrop := (m0 - m1) / m0
+	camDrop := (c0 - c1) / c0
+	presDrop := (p0 - p1) / p0
+	if micDrop < 0.15 || micDrop > 0.45 {
+		t.Fatalf("mic-on drop at 300ms = %v, want ~0.25", micDrop)
+	}
+	if camDrop < 0.10 || camDrop > 0.40 {
+		t.Fatalf("cam-on drop at 300ms = %v, want ~0.20", camDrop)
+	}
+	if presDrop < 0.08 || presDrop > 0.45 {
+		t.Fatalf("presence drop at 300ms = %v, want ~0.20", presDrop)
+	}
+	// Paper: mic reacts more strongly to latency than camera or presence
+	// (muting is the means of first resort).
+	if micDrop <= camDrop {
+		t.Fatalf("mic drop %v should exceed cam drop %v under latency", micDrop, camDrop)
+	}
+}
+
+func TestMicCurveSaturates(t *testing.T) {
+	// Mic-on loss from 0→150ms should exceed the loss from 150→300ms.
+	prof := ProfileFor(WindowsPC)
+	m0, _, _, _ := runPopulation(t, popN, popWins, qualityAt(10, 0.1, 1, 3.5), prof, AgentOptions{}, 2)
+	m150, _, _, _ := runPopulation(t, popN, popWins, qualityAt(150, 0.1, 1, 3.5), prof, AgentOptions{}, 2)
+	m300, _, _, _ := runPopulation(t, popN, popWins, qualityAt(300, 0.1, 1, 3.5), prof, AgentOptions{}, 2)
+	first := m0 - m150
+	second := m150 - m300
+	if first <= second {
+		t.Fatalf("mic curve should be steeper before 150ms: first=%v second=%v", first, second)
+	}
+}
+
+func TestModerateLossBarelyHurts(t *testing.T) {
+	// With safeguards on, 2% loss costs <10% of every engagement metric.
+	prof := ProfileFor(WindowsPC)
+	m0, c0, p0, _ := runPopulation(t, popN, popWins, qualityAt(20, 0, 1, 3.5), prof, AgentOptions{}, 3)
+	m2, c2, p2, _ := runPopulation(t, popN, popWins, qualityAt(20, 2, 1, 3.5), prof, AgentOptions{}, 3)
+	for _, tc := range []struct {
+		name       string
+		base, drop float64
+	}{
+		{"mic", m0, (m0 - m2) / m0},
+		{"cam", c0, (c0 - c2) / c0},
+		{"presence", p0, (p0 - p2) / p0},
+	} {
+		if tc.drop > 0.10 {
+			t.Fatalf("%s drop at 2%% loss = %v, want < 0.10 (mitigation)", tc.name, tc.drop)
+		}
+	}
+}
+
+func TestHeavyLossDrivesDropOff(t *testing.T) {
+	prof := ProfileFor(WindowsPC)
+	_, _, p0, _ := runPopulation(t, popN, popWins, qualityAt(20, 0, 1, 3.5), prof, AgentOptions{}, 4)
+	_, _, p5, _ := runPopulation(t, popN, popWins, qualityAt(20, 5, 1, 3.5), prof, AgentOptions{}, 4)
+	if drop := (p0 - p5) / p0; drop < 0.10 {
+		t.Fatalf("presence drop at 5%% loss = %v, want > 0.10", drop)
+	}
+}
+
+func TestJitterHitsCamera(t *testing.T) {
+	prof := ProfileFor(WindowsPC)
+	_, c0, _, _ := runPopulation(t, popN, popWins, qualityAt(20, 0.1, 1, 3.5), prof, AgentOptions{}, 5)
+	_, c10, _, _ := runPopulation(t, popN, popWins, qualityAt(20, 0.1, 10, 3.5), prof, AgentOptions{}, 5)
+	if drop := (c0 - c10) / c0; drop < 0.12 {
+		t.Fatalf("cam-on drop at 10ms jitter = %v, want > 0.12", drop)
+	}
+}
+
+func TestBandwidthBarelyMatters(t *testing.T) {
+	prof := ProfileFor(WindowsPC)
+	m4, c4, p4, _ := runPopulation(t, popN, popWins, qualityAt(20, 0.1, 1, 4), prof, AgentOptions{}, 6)
+	m1, c1, p1, _ := runPopulation(t, popN, popWins, qualityAt(20, 0.1, 1, 1), prof, AgentOptions{}, 6)
+	if drop := (c4 - c1) / c4; drop > 0.08 {
+		t.Fatalf("cam-on drop at 1 Mbps = %v, want < 0.08", drop)
+	}
+	if drop := (p4 - p1) / p4; drop > 0.05 {
+		t.Fatalf("presence drop at 1 Mbps = %v", drop)
+	}
+	// Mic-on must not correlate with bandwidth at all (audio is tiny).
+	if drop := math.Abs(m4-m1) / m4; drop > 0.05 {
+		t.Fatalf("mic-on moved %v with bandwidth; should be flat", drop)
+	}
+}
+
+func TestCompoundingLatencyLoss(t *testing.T) {
+	prof := ProfileFor(WindowsPC)
+	_, _, pBest, _ := runPopulation(t, popN, popWins, qualityAt(20, 0, 1, 3.5), prof, AgentOptions{}, 7)
+	_, _, pWorst, _ := runPopulation(t, popN, popWins, qualityAt(300, 3.5, 1, 3.5), prof, AgentOptions{}, 7)
+	drop := (pBest - pWorst) / pBest
+	if drop < 0.30 {
+		t.Fatalf("compounded presence drop = %v, want >= 0.30 (Fig 2: ~0.5)", drop)
+	}
+}
+
+func TestMobileDropsSooner(t *testing.T) {
+	q := qualityAt(120, 1.5, 4, 3)
+	_, _, pPC, _ := runPopulation(t, popN, popWins, q, ProfileFor(WindowsPC), AgentOptions{}, 8)
+	_, _, pMob, _ := runPopulation(t, popN, popWins, q, ProfileFor(MobileAndroid), AgentOptions{}, 8)
+	if pMob >= pPC {
+		t.Fatalf("mobile presence %v should be below PC %v at same conditions", pMob, pPC)
+	}
+}
+
+func TestMeetingSizeLowersMicOn(t *testing.T) {
+	q := qualityAt(20, 0.1, 1, 3.5)
+	prof := ProfileFor(WindowsPC)
+	mSmall, _, _, _ := runPopulation(t, popN, popWins, q, prof, AgentOptions{MeetingSize: 3}, 9)
+	mBig, _, _, _ := runPopulation(t, popN, popWins, q, prof, AgentOptions{MeetingSize: 20}, 9)
+	if mBig >= mSmall*0.8 {
+		t.Fatalf("20-person mic-on %v should be well below 3-person %v", mBig, mSmall)
+	}
+}
+
+func TestConditioningShiftsAnnoyance(t *testing.T) {
+	// A user conditioned to bad networks (low expectation) tolerates a
+	// mediocre call better than one conditioned to great networks.
+	q := qualityAt(250, 2, 10, 1.5)
+	prof := ProfileFor(WindowsPC)
+	optLow := AgentOptions{ExpectationUtility: 0.35, ConditioningWeight: 0.7}
+	optHigh := AgentOptions{ExpectationUtility: 0.99, ConditioningWeight: 0.7}
+	_, _, pLow, _ := runPopulation(t, 1500, popWins, q, prof, optLow, 10)
+	_, _, pHigh, _ := runPopulation(t, 1500, popWins, q, prof, optHigh, 10)
+	if pLow <= pHigh {
+		t.Fatalf("low-expectation presence %v should exceed high-expectation %v", pLow, pHigh)
+	}
+}
+
+func TestRatingsTrackUtility(t *testing.T) {
+	root := simrand.Root(11)
+	prof := ProfileFor(WindowsPC)
+	rate := func(q media.Quality, label string) float64 {
+		sum := 0.0
+		const n = 300
+		for i := 0; i < n; i++ {
+			a := NewAgent(prof, AgentOptions{}, root.Derive("%s/%d", label, i).RNG())
+			for w := 0; w < 120; w++ {
+				a.Step(q)
+			}
+			sum += float64(a.Rate())
+		}
+		return sum / n
+	}
+	good := rate(qualityAt(20, 0.1, 1, 3.5), "good")
+	bad := rate(qualityAt(300, 4, 15, 1), "bad")
+	if good < 4.0 {
+		t.Fatalf("good-call mean rating %v, want >= 4.0", good)
+	}
+	if bad > 3.0 {
+		t.Fatalf("bad-call mean rating %v, want <= 3.0", bad)
+	}
+	if good-bad < 1.0 {
+		t.Fatalf("rating separation %v too small", good-bad)
+	}
+}
+
+func TestRateBounds(t *testing.T) {
+	root := simrand.Root(12)
+	for i := 0; i < 200; i++ {
+		a := NewAgent(ProfileFor(MobileIOS), AgentOptions{}, root.Derive("r/%d", i).RNG())
+		a.Step(qualityAt(500, 20, 50, 0.2))
+		r := a.Rate()
+		if r < 1 || r > 5 {
+			t.Fatalf("rating %d out of scale", r)
+		}
+	}
+}
+
+func TestStepAfterLeaveIsInert(t *testing.T) {
+	a := NewAgent(ProfileFor(WindowsPC), AgentOptions{}, simrand.New(1, 2))
+	terrible := qualityAt(800, 40, 80, 0.1)
+	for i := 0; i < 10000 && a.InCall(); i++ {
+		a.Step(terrible)
+	}
+	if a.InCall() {
+		t.Fatal("agent never left under catastrophic conditions")
+	}
+	before := a.Summary()
+	res := a.Step(terrible)
+	if res.InCall || res.MicOn || res.CamOn {
+		t.Fatalf("step after leave = %+v", res)
+	}
+	if after := a.Summary(); after != before {
+		t.Fatalf("summary changed after leave: %+v vs %+v", after, before)
+	}
+	if !before.LeftEarly {
+		t.Fatal("LeftEarly not set")
+	}
+}
+
+func TestSummaryFractionsBounded(t *testing.T) {
+	root := simrand.Root(13)
+	for i := 0; i < 100; i++ {
+		a := NewAgent(ProfileFor(MobileAndroid), AgentOptions{MeetingSize: 5}, root.Derive("b/%d", i).RNG())
+		q := qualityAt(root.Derive("q/%d", i).RNG().Range(0, 400), 1, 5, 2)
+		for w := 0; w < 100; w++ {
+			a.Step(q)
+		}
+		s := a.Summary()
+		if s.MicOnFrac < 0 || s.MicOnFrac > 1 || s.CamOnFrac < 0 || s.CamOnFrac > 1 {
+			t.Fatalf("fractions out of range: %+v", s)
+		}
+		if s.MeanUtility < 0 || s.MeanUtility > 1 {
+			t.Fatalf("utility out of range: %+v", s)
+		}
+		if s.WindowsAttended > 100 {
+			t.Fatalf("attended more windows than stepped: %+v", s)
+		}
+	}
+}
+
+func TestEmptySessionSummary(t *testing.T) {
+	a := NewAgent(ProfileFor(WindowsPC), AgentOptions{}, simrand.New(3, 4))
+	s := a.Summary()
+	if s.WindowsAttended != 0 || s.MicOnFrac != 0 || s.CamOnFrac != 0 || s.MeanUtility != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestPlatformStringRoundTrip(t *testing.T) {
+	for _, p := range Platforms() {
+		got, err := ParsePlatform(p.String())
+		if err != nil || got != p {
+			t.Fatalf("round trip %v: got %v err %v", p, got, err)
+		}
+	}
+	if _, err := ParsePlatform("toaster"); err == nil {
+		t.Fatal("unknown platform should error")
+	}
+	if s := Platform(99).String(); s == "" {
+		t.Fatal("out-of-range platform String empty")
+	}
+}
+
+func TestEnterpriseMixSums(t *testing.T) {
+	sum := 0.0
+	for _, w := range EnterpriseMix() {
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("mix weights sum to %v", sum)
+	}
+	if len(EnterpriseMix()) != len(Platforms()) {
+		t.Fatal("mix length mismatch")
+	}
+}
+
+func TestConvDifficultyShape(t *testing.T) {
+	if d := convDifficulty(80); d != 0 {
+		t.Fatalf("difficulty below 100ms = %v, want 0", d)
+	}
+	d200 := convDifficulty(200)
+	d350 := convDifficulty(350)
+	d500 := convDifficulty(500)
+	if !(d200 > 0 && d350 > d200 && d500 > d350) {
+		t.Fatal("difficulty not increasing")
+	}
+	if d500-d350 >= d350-d200 {
+		t.Fatal("difficulty should saturate")
+	}
+	if d500 > 1 {
+		t.Fatalf("difficulty %v > 1", d500)
+	}
+}

@@ -1,0 +1,116 @@
+// Package behavior models conferencing users as agents whose in-call actions
+// — muting, turning the camera off, leaving — respond to the media quality
+// they experience. This is the causal link the paper investigates from the
+// observational side: §3.2's finding is that network conditions shape these
+// actions, and §3.3's that the same latent experience also drives explicit
+// ratings (MOS). The agent therefore derives both its actions and its
+// end-of-call rating from one latent "experienced utility" signal, which is
+// exactly why engagement can proxy for MOS in the analysis.
+//
+// Design notes:
+//
+//   - Actions are modelled as a two-state Markov chain per control (mic,
+//     camera) whose stationary distribution is a calibrated target; this
+//     yields realistic dwell times (people don't flap their mic every five
+//     seconds) while keeping session-level fractions analyzable.
+//   - Muting responds primarily to conversational difficulty (delay), the
+//     camera primarily to picture quality (jitter, bandwidth) with a
+//     deliberate-action latency component — the paper's observation that
+//     muting is the "means of first resort" while camera-off is more
+//     drastic falls out of the coefficient ordering.
+//   - Leaving is a hazard driven by severe degradation (audible residual
+//     loss, failed conversation), with platform-dependent baselines: mobile
+//     users abandon sooner (Fig. 3).
+//   - Long-term conditioning enters as an expectation level: annoyance is a
+//     blend of absolute badness and shortfall versus expectation (§6).
+package behavior
+
+import "fmt"
+
+// Platform identifies the client platform, the §3.2 confounder shown in
+// Fig. 3.
+type Platform int
+
+// Platforms, ordered roughly by engagement baseline.
+const (
+	WindowsPC Platform = iota
+	MacPC
+	MobileIOS
+	MobileAndroid
+	numPlatforms
+)
+
+// String returns the platform label used in datasets and figures.
+func (p Platform) String() string {
+	switch p {
+	case WindowsPC:
+		return "windows-pc"
+	case MacPC:
+		return "mac-pc"
+	case MobileIOS:
+		return "ios-mobile"
+	case MobileAndroid:
+		return "android-mobile"
+	default:
+		return fmt.Sprintf("platform(%d)", int(p))
+	}
+}
+
+// ParsePlatform is the inverse of String.
+func ParsePlatform(s string) (Platform, error) {
+	for p := Platform(0); p < numPlatforms; p++ {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("behavior: unknown platform %q", s)
+}
+
+// Platforms returns all platforms.
+func Platforms() []Platform {
+	return []Platform{WindowsPC, MacPC, MobileIOS, MobileAndroid}
+}
+
+// Profile parameterizes platform-dependent behaviour.
+type Profile struct {
+	Platform Platform
+
+	// LeaveHazard is the per-window baseline probability of leaving for
+	// reasons unrelated to quality (other meeting, battery, commute).
+	LeaveHazard float64
+	// CamBase is the baseline probability of keeping the camera on under
+	// perfect conditions.
+	CamBase float64
+	// MicBase is the baseline mic-on fraction in a 3-person call under
+	// perfect conditions; meeting size scales it down.
+	MicBase float64
+	// Sensitivity multiplies the quality-driven components of every
+	// hazard: mobile users react more sharply to the same degradation.
+	Sensitivity float64
+}
+
+// ProfileFor returns the default profile for a platform.
+//
+// The ordering encodes Fig. 3: at the same network conditions, mobile users
+// drop off sooner (higher baseline hazard and higher sensitivity) and show
+// less camera use; the two desktop OSes differ mildly.
+func ProfileFor(p Platform) Profile {
+	switch p {
+	case WindowsPC:
+		return Profile{Platform: p, LeaveHazard: 0.0005, CamBase: 0.60, MicBase: 0.85, Sensitivity: 1.0}
+	case MacPC:
+		return Profile{Platform: p, LeaveHazard: 0.0006, CamBase: 0.65, MicBase: 0.85, Sensitivity: 0.85}
+	case MobileIOS:
+		return Profile{Platform: p, LeaveHazard: 0.0011, CamBase: 0.38, MicBase: 0.75, Sensitivity: 1.35}
+	case MobileAndroid:
+		return Profile{Platform: p, LeaveHazard: 0.0013, CamBase: 0.33, MicBase: 0.75, Sensitivity: 1.5}
+	default:
+		return Profile{Platform: p, LeaveHazard: 0.0008, CamBase: 0.5, MicBase: 0.8, Sensitivity: 1.0}
+	}
+}
+
+// EnterpriseMix returns the platform distribution of the simulated
+// enterprise call population (weights aligned with Platforms()).
+func EnterpriseMix() []float64 {
+	return []float64{0.55, 0.2, 0.15, 0.10}
+}

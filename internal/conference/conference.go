@@ -1,0 +1,415 @@
+// Package conference generates synthetic conferencing calls: the stand-in
+// for the paper's MS Teams workload. Each call has participants with their
+// own network paths, platforms, and behaviour agents; the generator runs
+// the causal chain network → delivered media quality → user actions window
+// by window and emits one telemetry.SessionRecord per participant, with
+// MOS surveys sampled at the paper's sparse rate.
+//
+// The generator is deterministic for a given Options.Seed and streams
+// records through a callback so dataset size is bounded only by disk.
+package conference
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"usersignals/internal/behavior"
+	"usersignals/internal/media"
+	"usersignals/internal/netsim"
+	"usersignals/internal/simrand"
+	"usersignals/internal/stats"
+	"usersignals/internal/telemetry"
+	"usersignals/internal/timeline"
+)
+
+// Options configures a call-generation run. The zero value is not useful;
+// start from Defaults().
+type Options struct {
+	Seed  uint64
+	Calls int
+
+	// Window is the span of days calls are scheduled in.
+	Window timeline.Range
+
+	// Paths supplies per-participant network paths. Defaults to the
+	// realistic enterprise mixture; experiments substitute a netsim.Sweep.
+	Paths netsim.PathSource
+
+	// Mitigation is the media-stack safeguard configuration (the loss
+	// ablation flips these off).
+	Mitigation media.Mitigation
+
+	// SurveyRate is the fraction of sessions prompted for a rating
+	// (default telemetry.DefaultSurveyRate).
+	SurveyRate float64
+
+	// MeanDurationMin is the median scheduled call length in minutes
+	// (default 25).
+	MeanDurationMin float64
+
+	// MeetingSizeMax bounds the Zipf-distributed meeting size (default
+	// 24; sizes start at 2).
+	MeetingSizeMax int
+
+	// ConditioningWeight is passed to agents (§6 ablation). Negative
+	// values select the agent default.
+	ConditioningWeight float64
+
+	// Population impurities, so cohort filters have something to filter:
+	// fraction of non-US participants, consumer (non-enterprise) calls,
+	// and calls scheduled outside business hours.
+	ForeignFrac  float64
+	ConsumerFrac float64
+	OffHoursFrac float64
+
+	// DegradedWindow, when non-empty with DegradedPaths set, makes calls
+	// starting inside the window draw their paths from DegradedPaths
+	// instead of Paths: an injected network incident, used to evaluate
+	// engagement-based incident detection.
+	DegradedWindow timeline.Range
+	DegradedPaths  netsim.PathSource
+
+	// UserPool, when positive, draws participants from a persistent pool
+	// of that many users instead of minting a fresh identity per session.
+	// Pool users keep a longitudinal quality expectation (an EWMA of the
+	// utility they experienced), so §6's long-term conditioning becomes a
+	// mechanism: a user recently exposed to bad calls tolerates the next
+	// bad call better. Zero (the default) keeps sessions independent.
+	UserPool int
+	// UserConditioningAlpha is the per-session EWMA rate of a pool user's
+	// expectation (default 0.3).
+	UserConditioningAlpha float64
+}
+
+// Defaults returns the standard configuration for n calls.
+func Defaults(seed uint64, n int) Options {
+	return Options{
+		Seed:               seed,
+		Calls:              n,
+		Window:             timeline.TeamsWindow,
+		Paths:              netsim.DefaultMixture(),
+		Mitigation:         media.DefaultMitigation(),
+		SurveyRate:         telemetry.DefaultSurveyRate,
+		MeanDurationMin:    25,
+		MeetingSizeMax:     24,
+		ConditioningWeight: -1,
+		ForeignFrac:        0.08,
+		ConsumerFrac:       0.10,
+		OffHoursFrac:       0.12,
+	}
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Calls < 0 {
+		return o, fmt.Errorf("conference: negative call count %d", o.Calls)
+	}
+	if o.Paths == nil {
+		o.Paths = netsim.DefaultMixture()
+	}
+	if o.Window.Len() <= 0 {
+		o.Window = timeline.TeamsWindow
+	}
+	if o.SurveyRate <= 0 {
+		o.SurveyRate = telemetry.DefaultSurveyRate
+	}
+	if o.MeanDurationMin <= 0 {
+		o.MeanDurationMin = 25
+	}
+	if o.MeetingSizeMax < 2 {
+		o.MeetingSizeMax = 24
+	}
+	return o, nil
+}
+
+// Generator produces calls. Create with New.
+type Generator struct {
+	opts Options
+	root *simrand.Stream
+	zipf *simrand.Zipfian
+
+	// Longitudinal user pool (nil unless Options.UserPool > 0).
+	userExpectation []float64 // NaN until the user's first session
+}
+
+// New validates options and returns a generator.
+func New(opts Options) (*Generator, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	g := &Generator{
+		opts: opts,
+		root: simrand.Root(opts.Seed).Derive("conference"),
+		// Meeting sizes: Zipf over 2..MeetingSizeMax+1 biased to small
+		// meetings, matching enterprise calendars.
+		zipf: simrand.NewZipf(opts.MeetingSizeMax-1, 1.3),
+	}
+	if opts.UserPool > 0 {
+		g.userExpectation = make([]float64, opts.UserPool)
+		for i := range g.userExpectation {
+			g.userExpectation[i] = math.NaN()
+		}
+	}
+	return g, nil
+}
+
+// Generate runs all calls, invoking emit once per participant session.
+// The record passed to emit is reused; copy it if it must be retained.
+// A non-nil error from emit aborts generation.
+//
+// With a user pool, calls run in chronological order (longitudinal state
+// must evolve forward in time); otherwise they run in call-ID order.
+func (g *Generator) Generate(emit func(*telemetry.SessionRecord) error) error {
+	order := make([]uint64, g.opts.Calls)
+	for i := range order {
+		order[i] = uint64(i)
+	}
+	if g.opts.UserPool > 0 {
+		// Each call's start time is a pure function of its stream, so
+		// peeking it here and re-drawing it in generateCall agree.
+		starts := make([]time.Time, g.opts.Calls)
+		for i := range order {
+			starts[i] = g.callStart(g.root.Derive("call/%d", uint64(i)).RNG())
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return starts[order[a]].Before(starts[order[b]])
+		})
+	}
+	for _, call := range order {
+		if err := g.generateCall(call, emit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// participantState holds one participant through a call.
+type participantState struct {
+	userID   uint64
+	userIdx  int // pool index, -1 outside pool mode
+	platform behavior.Platform
+	path     *netsim.Path
+	client   telemetry.Client
+	agent    *behavior.Agent
+	rng      *simrand.RNG
+	inCall   bool
+	windows  int
+}
+
+// poolUserIDBase offsets pool user IDs so they are recognizably stable.
+const poolUserIDBase = 1 << 32
+
+func (g *Generator) generateCall(callID uint64, emit func(*telemetry.SessionRecord) error) error {
+	callStream := g.root.Derive("call/%d", callID)
+	rng := callStream.RNG()
+
+	start := g.callStart(rng)
+	paths := g.opts.Paths
+	if g.opts.DegradedPaths != nil && g.opts.DegradedWindow.Len() > 0 &&
+		g.opts.DegradedWindow.Contains(timeline.DayOf(start)) {
+		paths = g.opts.DegradedPaths
+	}
+	enterprise := !rng.Bool(g.opts.ConsumerFrac)
+	size := 2 + g.zipf.Draw(rng) // 3..MeetingSizeMax+1; Zipf rank 1 → size 3
+	if rng.Bool(0.07) {
+		size = 2 // a minority of 1:1 calls, filtered out by the cohort
+	}
+	scheduledWindows := g.scheduledWindows(rng)
+
+	mix := behavior.EnterpriseMix()
+	platforms := behavior.Platforms()
+
+	parts := make([]*participantState, size)
+	for i := range parts {
+		ps := callStream.Derive("participant/%d", i)
+		prng := ps.RNG()
+		platform := simrand.PickWeighted(prng, platforms, mix)
+		opts := behavior.AgentOptions{
+			MeetingSize: size,
+			// Conditioned expectation varies across users.
+			ExpectationUtility: prng.TruncNormal(0.8, 0.1, 0.4, 0.98),
+			// Negative means "agent default"; zero is the §6 ablation
+			// (conditioning off) and is passed through unchanged.
+			ConditioningWeight: g.opts.ConditioningWeight,
+		}
+		userID := prng.Uint64()
+		userIdx := -1
+		if g.opts.UserPool > 0 {
+			userIdx = prng.Intn(g.opts.UserPool)
+			userID = poolUserIDBase + uint64(userIdx)
+			// A pool user carries their longitudinal expectation into
+			// the session (first session keeps the drawn prior).
+			if exp := g.userExpectation[userIdx]; !math.IsNaN(exp) {
+				opts.ExpectationUtility = exp
+			}
+		}
+		parts[i] = &participantState{
+			userID:   userID,
+			userIdx:  userIdx,
+			platform: platform,
+			path:     paths.NewPath(ps.Derive("path").RNG()),
+			agent:    behavior.NewAgent(behavior.ProfileFor(platform), opts, ps.Derive("agent").RNG()),
+			rng:      prng,
+			inCall:   true,
+		}
+	}
+
+	// Run the call window by window.
+	for w := 0; w < scheduledWindows; w++ {
+		for _, p := range parts {
+			if !p.inCall {
+				continue
+			}
+			cond := p.path.Next()
+			p.client.Record(cond)
+			q := media.Evaluate(cond.LatencyMs, cond.LossPct, cond.JitterMs, cond.BandwidthMbps, g.opts.Mitigation)
+			p.agent.Step(q)
+			if !p.agent.InCall() {
+				p.inCall = false
+				continue
+			}
+			p.windows++
+		}
+	}
+
+	// Presence baseline: median session duration across participants
+	// (robust to the colleague who lingers — §3.1).
+	durations := make([]float64, len(parts))
+	for i, p := range parts {
+		durations[i] = float64(p.windows)
+	}
+	medianDur := stats.Median(durations)
+
+	surveyor := telemetry.SurveySampler{Rate: g.opts.SurveyRate}
+	var rec telemetry.SessionRecord
+	for _, p := range parts {
+		summary := p.agent.Summary()
+		if p.userIdx >= 0 && summary.WindowsAttended > 0 {
+			// Longitudinal conditioning: fold the experienced utility
+			// into the pool user's expectation.
+			alpha := g.opts.UserConditioningAlpha
+			if alpha <= 0 || alpha > 1 {
+				alpha = 0.3
+			}
+			prev := g.userExpectation[p.userIdx]
+			if math.IsNaN(prev) {
+				g.userExpectation[p.userIdx] = summary.MeanUtility
+			} else {
+				g.userExpectation[p.userIdx] = alpha*summary.MeanUtility + (1-alpha)*prev
+			}
+		}
+		presence := 100.0
+		if medianDur > 0 {
+			presence = math.Min(100, 100*float64(p.windows)/medianDur)
+		} else if p.windows == 0 {
+			presence = 0
+		}
+		country := "US"
+		if p.rng.Bool(g.opts.ForeignFrac) {
+			country = simrand.Pick(p.rng, []string{"CA", "GB", "IN", "DE", "AU"})
+		}
+		rec = telemetry.SessionRecord{
+			CallID:      callID,
+			UserID:      p.userID,
+			Platform:    p.platform.String(),
+			MeetingSize: size,
+			Start:       start,
+			DurationSec: float64(p.windows) * netsim.SampleInterval.Seconds(),
+			Net:         p.client.Aggregates(),
+			PresencePct: presence,
+			CamOnPct:    100 * summary.CamOnFrac,
+			MicOnPct:    100 * summary.MicOnFrac,
+			LeftEarly:   summary.LeftEarly,
+			Country:     country,
+			Enterprise:  enterprise,
+			ISP:         ispForLabel(p.path.Config().Label),
+		}
+		if surveyor.ShouldSurvey(p.rng) {
+			rec.Rated = true
+			rec.Rating = p.agent.Rate()
+		}
+		if err := emit(&rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// callStart places a call in the window, mostly on weekday business hours.
+func (g *Generator) callStart(r *simrand.RNG) time.Time {
+	for attempt := 0; attempt < 64; attempt++ {
+		day := g.opts.Window.From + timeline.Day(r.Intn(g.opts.Window.Len()))
+		offHours := r.Bool(g.opts.OffHoursFrac)
+		var hourUTC int
+		if offHours {
+			hourUTC = r.Intn(24)
+		} else {
+			// 9 AM–7 PM EST = 14–24 UTC; pick start hour so the call fits.
+			hourUTC = 14 + r.Intn(10)
+		}
+		t := day.Time().Add(time.Duration(hourUTC)*time.Hour + time.Duration(r.Intn(60))*time.Minute)
+		if offHours || timeline.ESTBusinessHours.Contains(t) {
+			return t
+		}
+	}
+	// Unreachable in practice; fall back to window start.
+	return g.opts.Window.From.Time()
+}
+
+// scheduledWindows draws the scheduled call length in 5-second windows.
+func (g *Generator) scheduledWindows(r *simrand.RNG) int {
+	minutes := r.LogNormalMeanMedian(g.opts.MeanDurationMin, 1.6)
+	if minutes < 5 {
+		minutes = 5
+	}
+	if minutes > 120 {
+		minutes = 120
+	}
+	return int(minutes * 60 / netsim.SampleInterval.Seconds())
+}
+
+// GenerateAll collects every record in memory: convenience for tests and
+// moderate experiment sizes.
+func (g *Generator) GenerateAll() ([]telemetry.SessionRecord, error) {
+	var out []telemetry.SessionRecord
+	err := g.Generate(func(r *telemetry.SessionRecord) error {
+		out = append(out, *r)
+		return nil
+	})
+	return out, err
+}
+
+// ispForLabel maps an access-population label to the (synthetic) provider
+// name recorded in telemetry, the key §5's cross-source query filters on.
+func ispForLabel(label string) string {
+	switch label {
+	case "fiber":
+		return "metrofiber"
+	case "cable", "wifi-congested":
+		return "cablecorp"
+	case "dsl":
+		return "dslnet"
+	case "lte":
+		return "cellone"
+	case "long-haul":
+		return "globalwan"
+	case "leo-satellite":
+		return "starlink"
+	case "":
+		return "unknown"
+	default:
+		return label
+	}
+}
+
+// SortByCall orders records by (CallID, UserID) for stable output.
+func SortByCall(recs []telemetry.SessionRecord) {
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].CallID != recs[j].CallID {
+			return recs[i].CallID < recs[j].CallID
+		}
+		return recs[i].UserID < recs[j].UserID
+	})
+}

@@ -1,0 +1,299 @@
+package conference
+
+import (
+	"testing"
+
+	"usersignals/internal/netsim"
+	"usersignals/internal/stats"
+	"usersignals/internal/telemetry"
+	"usersignals/internal/timeline"
+)
+
+func generate(t *testing.T, opts Options) []telemetry.SessionRecord {
+	t.Helper()
+	g, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := g.GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func TestGenerateBasics(t *testing.T) {
+	recs := generate(t, Defaults(1, 200))
+	if len(recs) < 600 { // >= 3 participants per call on average
+		t.Fatalf("got %d records from 200 calls", len(recs))
+	}
+	calls := map[uint64]int{}
+	for i := range recs {
+		r := &recs[i]
+		calls[r.CallID]++
+		if r.PresencePct < 0 || r.PresencePct > 100 {
+			t.Fatalf("presence out of range: %+v", r)
+		}
+		if r.MicOnPct < 0 || r.MicOnPct > 100 || r.CamOnPct < 0 || r.CamOnPct > 100 {
+			t.Fatalf("engagement out of range: %+v", r)
+		}
+		if r.MeetingSize < 2 {
+			t.Fatalf("meeting size %d", r.MeetingSize)
+		}
+		if r.DurationSec < 0 || r.DurationSec > 3*3600 {
+			t.Fatalf("odd duration %v", r.DurationSec)
+		}
+		if r.Rated && (r.Rating < 1 || r.Rating > 5) {
+			t.Fatalf("bad rating %+v", r)
+		}
+		if !r.Rated && r.Rating != 0 {
+			t.Fatalf("unrated record has rating %+v", r)
+		}
+		if !timeline.TeamsWindow.Contains(timeline.DayOf(r.Start)) {
+			t.Fatalf("start %v outside window", r.Start)
+		}
+	}
+	if len(calls) != 200 {
+		t.Fatalf("expected 200 distinct calls, got %d", len(calls))
+	}
+	for id, n := range calls {
+		if n < 2 {
+			t.Fatalf("call %d has %d participants", id, n)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := generate(t, Defaults(42, 30))
+	b := generate(t, Defaults(42, 30))
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+	c := generate(t, Defaults(43, 30))
+	same := 0
+	for i := range c {
+		if i < len(a) && c[i] == a[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical datasets")
+	}
+}
+
+func TestSurveySparsity(t *testing.T) {
+	opts := Defaults(7, 400)
+	recs := generate(t, opts)
+	rated := 0
+	for i := range recs {
+		if recs[i].Rated {
+			rated++
+		}
+	}
+	frac := float64(rated) / float64(len(recs))
+	if frac > 0.03 {
+		t.Fatalf("survey fraction %v too high (paper: 0.1-1%%)", frac)
+	}
+}
+
+func TestCohortImpurities(t *testing.T) {
+	recs := generate(t, Defaults(11, 300))
+	var foreign, consumer int
+	for i := range recs {
+		if recs[i].Country != "US" {
+			foreign++
+		}
+		if !recs[i].Enterprise {
+			consumer++
+		}
+	}
+	if foreign == 0 || consumer == 0 {
+		t.Fatal("expected some non-US and non-enterprise records to exercise filters")
+	}
+	// And the cohort filter keeps a solid majority.
+	kept := 0
+	cohort := telemetry.StudyCohort()
+	for i := range recs {
+		if cohort(&recs[i]) {
+			kept++
+		}
+	}
+	if frac := float64(kept) / float64(len(recs)); frac < 0.4 || frac > 0.95 {
+		t.Fatalf("cohort keeps %v of records; population mix implausible", frac)
+	}
+}
+
+func TestPresenceMedianDefinition(t *testing.T) {
+	recs := generate(t, Defaults(3, 150))
+	// Group by call; at least one participant per call must be at 100
+	// (whoever matches or exceeds the median duration).
+	byCall := map[uint64][]float64{}
+	for i := range recs {
+		byCall[recs[i].CallID] = append(byCall[recs[i].CallID], recs[i].PresencePct)
+	}
+	for id, ps := range byCall {
+		if stats.Max(ps) < 99.999 {
+			t.Fatalf("call %d has max presence %v; median-based cap broken", id, stats.Max(ps))
+		}
+	}
+}
+
+func TestSweepSourceProducesControlledSessions(t *testing.T) {
+	sw := netsim.ControlBands()
+	sw.LatencyMs = [2]float64{0, 300}
+	opts := Defaults(5, 120)
+	opts.Paths = &sw
+	recs := generate(t, opts)
+	inBand := 0
+	for i := range recs {
+		a := recs[i].Net
+		if a.LossMean <= 0.5 && a.JitterMean <= 6 && a.BWMean >= 2.5 && a.BWMean <= 4.5 {
+			inBand++
+		}
+	}
+	if frac := float64(inBand) / float64(len(recs)); frac < 0.9 {
+		t.Fatalf("only %v of sweep sessions respect control bands", frac)
+	}
+}
+
+func TestLatencySweepLowersEngagementInDataset(t *testing.T) {
+	// End-to-end sanity: in a latency sweep the high-latency sessions show
+	// lower mic-on than the low-latency ones.
+	sw := netsim.ControlBands()
+	sw.LatencyMs = [2]float64{0, 300}
+	opts := Defaults(9, 400)
+	opts.Paths = &sw
+	recs := generate(t, opts)
+	var lowAcc, highAcc stats.Online
+	for i := range recs {
+		r := &recs[i]
+		switch {
+		case r.Net.LatencyMean < 60:
+			lowAcc.Add(r.MicOnPct)
+		case r.Net.LatencyMean > 220:
+			highAcc.Add(r.MicOnPct)
+		}
+	}
+	if lowAcc.N() < 30 || highAcc.N() < 30 {
+		t.Fatalf("sweep coverage too thin: %d low, %d high", lowAcc.N(), highAcc.N())
+	}
+	if highAcc.Mean() >= lowAcc.Mean()*0.95 {
+		t.Fatalf("mic-on at high latency %v not below low latency %v", highAcc.Mean(), lowAcc.Mean())
+	}
+}
+
+func TestAggregateInvariants(t *testing.T) {
+	// Per-session aggregates must satisfy P95 >= median >= 0 and similar
+	// order relations for every metric, on every record the generator
+	// emits.
+	recs := generate(t, Defaults(21, 150))
+	for i := range recs {
+		a := recs[i].Net
+		type triple struct {
+			name              string
+			mean, median, p95 float64
+		}
+		for _, tr := range []triple{
+			{"latency", a.LatencyMean, a.LatencyMedian, a.LatencyP95},
+			{"loss", a.LossMean, a.LossMedian, a.LossP95},
+			{"jitter", a.JitterMean, a.JitterMedian, a.JitterP95},
+			{"bandwidth", a.BWMean, a.BWMedian, a.BWP95},
+		} {
+			if tr.median < 0 || tr.mean < 0 {
+				t.Fatalf("negative %s aggregate: %+v", tr.name, a)
+			}
+			if tr.p95+1e-9 < tr.median {
+				t.Fatalf("%s P95 %v below median %v", tr.name, tr.p95, tr.median)
+			}
+		}
+		if recs[i].Net.LossMean > 100 {
+			t.Fatalf("loss above 100%%: %+v", a)
+		}
+	}
+}
+
+func TestISPAssignment(t *testing.T) {
+	recs := generate(t, Defaults(22, 400))
+	isps := map[string]int{}
+	for i := range recs {
+		if recs[i].ISP == "" || recs[i].ISP == "unknown" {
+			t.Fatalf("record without ISP: %+v", recs[i])
+		}
+		isps[recs[i].ISP]++
+	}
+	if len(isps) < 4 {
+		t.Fatalf("only %d ISPs in the mixture: %v", len(isps), isps)
+	}
+	if isps["starlink"] == 0 {
+		t.Fatal("no satellite-ISP sessions (the §5 query target)")
+	}
+	// Satellite sessions should show the jittery profile.
+	var satJit, fiberJit stats.Online
+	for i := range recs {
+		switch recs[i].ISP {
+		case "starlink":
+			satJit.Add(recs[i].Net.JitterMean)
+		case "metrofiber":
+			fiberJit.Add(recs[i].Net.JitterMean)
+		}
+	}
+	if satJit.Mean() <= fiberJit.Mean() {
+		t.Fatalf("satellite jitter %v not above fiber %v", satJit.Mean(), fiberJit.Mean())
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	if _, err := New(Options{Calls: -1}); err == nil {
+		t.Fatal("negative calls accepted")
+	}
+	// Zero-value options (besides Calls) get defaults.
+	g, err := New(Options{Calls: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := g.GenerateAll()
+	if err != nil || len(recs) == 0 {
+		t.Fatalf("defaulted options broken: %v, %d recs", err, len(recs))
+	}
+}
+
+func TestSortByCall(t *testing.T) {
+	recs := []telemetry.SessionRecord{
+		{CallID: 2, UserID: 1}, {CallID: 1, UserID: 9}, {CallID: 1, UserID: 3},
+	}
+	SortByCall(recs)
+	if recs[0].CallID != 1 || recs[0].UserID != 3 || recs[2].CallID != 2 {
+		t.Fatalf("sorted = %+v", recs)
+	}
+}
+
+func TestEmitErrorAborts(t *testing.T) {
+	g, err := New(Defaults(2, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	sentinel := errSentinel{}
+	err = g.Generate(func(*telemetry.SessionRecord) error {
+		count++
+		if count == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if err != sentinel {
+		t.Fatalf("err = %v", err)
+	}
+	if count != 3 {
+		t.Fatalf("generation continued after error: %d", count)
+	}
+}
+
+type errSentinel struct{}
+
+func (errSentinel) Error() string { return "sentinel" }

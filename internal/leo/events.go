@@ -1,0 +1,166 @@
+package leo
+
+import (
+	"time"
+
+	"usersignals/internal/simrand"
+	"usersignals/internal/timeline"
+)
+
+// OutageScope classifies how widely an outage is felt.
+type OutageScope int
+
+// Outage scopes, smallest to largest.
+const (
+	ScopeLocal    OutageScope = iota // one cell / ground-station footprint
+	ScopeRegional                    // one or a few countries
+	ScopeGlobal                      // the whole network
+)
+
+// String names the scope.
+func (s OutageScope) String() string {
+	switch s {
+	case ScopeLocal:
+		return "local"
+	case ScopeRegional:
+		return "regional"
+	case ScopeGlobal:
+		return "global"
+	default:
+		return "unknown"
+	}
+}
+
+// Outage is one service interruption.
+type Outage struct {
+	Day       timeline.Day
+	Scope     OutageScope
+	Hours     float64 // duration
+	Countries int     // countries noticeably affected
+	// Reported records whether mainstream coverage exists (feeds
+	// newswire). Per the paper, only large incidents get press — and one
+	// deliberately large one (22 Apr '22) does not.
+	Reported bool
+	Name     string
+}
+
+// Severity is a 0–1 impact weight used by the social generator to scale
+// post volume.
+func (o Outage) Severity() float64 {
+	base := 0.15
+	switch o.Scope {
+	case ScopeRegional:
+		base = 0.45
+	case ScopeGlobal:
+		base = 1.0
+	}
+	f := o.Hours / 6
+	if f > 1 {
+		f = 1
+	}
+	return base * (0.4 + 0.6*f)
+}
+
+// MajorOutages returns the anchor incidents of the study window:
+// the two press-covered global outages the paper ties to Fig. 6's largest
+// spikes, and the 22 Apr '22 incident that Redditors in 14 countries
+// confirmed but no news reported (Fig. 5's third peak).
+func MajorOutages() []Outage {
+	return []Outage{
+		{
+			Day: timeline.Date(2022, time.January, 7), Scope: ScopeGlobal,
+			Hours: 4, Countries: 30, Reported: true, Name: "january-global-outage",
+		},
+		{
+			Day: timeline.Date(2022, time.April, 22), Scope: ScopeGlobal,
+			Hours: 3, Countries: 14, Reported: false, Name: "april-unreported-outage",
+		},
+		{
+			Day: timeline.Date(2022, time.August, 30), Scope: ScopeGlobal,
+			Hours: 5, Countries: 28, Reported: true, Name: "august-global-outage",
+		},
+	}
+}
+
+// TransientOutages draws the background of small, unreported interruptions
+// — satellite/earth geometry, weather, GEO-arc avoidance, deployment issues
+// (§4.1) — as a seeded Poisson process over the window, averaging roughly
+// perWeek events per week.
+func TransientOutages(seed uint64, window timeline.Range, perWeek float64) []Outage {
+	rng := simrand.Root(seed).Derive("leo/transient-outages").RNG()
+	var out []Outage
+	pDay := perWeek / 7
+	window.Days(func(d timeline.Day) {
+		n := rng.Poisson(pDay)
+		for i := 0; i < n; i++ {
+			scope := ScopeLocal
+			countries := 1
+			if rng.Bool(0.18) {
+				scope = ScopeRegional
+				countries = 1 + rng.Intn(4)
+			}
+			out = append(out, Outage{
+				Day:       d,
+				Scope:     scope,
+				Hours:     0.2 + rng.Exponential(1.2),
+				Countries: countries,
+				Reported:  false,
+				Name:      "transient",
+			})
+		}
+	})
+	return out
+}
+
+// AllOutages merges major and transient outages for a window, sorted by day.
+func AllOutages(seed uint64, window timeline.Range, transientPerWeek float64) []Outage {
+	out := TransientOutages(seed, window, transientPerWeek)
+	for _, o := range MajorOutages() {
+		if window.Contains(o.Day) {
+			out = append(out, o)
+		}
+	}
+	// Insertion sort by day (list is nearly sorted already).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Day < out[j-1].Day; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// MilestoneKind labels non-outage events on the ISP timeline.
+type MilestoneKind int
+
+// Milestone kinds.
+const (
+	MilestonePreorder        MilestoneKind = iota // pre-ordering opens
+	MilestoneDelay                                // delivery-delay notice
+	MilestoneFeatureLeak                          // users discover a feature early
+	MilestoneFeatureTweet                         // executive announces the feature
+	MilestoneFeatureOfficial                      // official notification
+)
+
+// Milestone is a dated event with an expected sentiment polarity.
+type Milestone struct {
+	Day      timeline.Day
+	Kind     MilestoneKind
+	Name     string
+	Positive bool
+	// Strength scales how loudly the community reacts (post volume).
+	Strength float64
+}
+
+// DefaultMilestones returns the §4.1 anchor events: the 9 Feb '21 pre-order
+// opening (top positive peak), the 24 Nov '21 delivery-delay email (top
+// negative peak), and the roaming-feature sequence — community discovery
+// ~2 weeks before the CEO tweet, official notice ~3 months later.
+func DefaultMilestones() []Milestone {
+	return []Milestone{
+		{Day: timeline.Date(2021, time.February, 9), Kind: MilestonePreorder, Name: "preorder-open", Positive: true, Strength: 1.0},
+		{Day: timeline.Date(2021, time.November, 24), Kind: MilestoneDelay, Name: "delivery-delay-email", Positive: false, Strength: 0.95},
+		{Day: timeline.Date(2022, time.February, 15), Kind: MilestoneFeatureLeak, Name: "roaming-discovered", Positive: true, Strength: 0.35},
+		{Day: timeline.Date(2022, time.March, 3), Kind: MilestoneFeatureTweet, Name: "roaming-announced", Positive: true, Strength: 0.6},
+		{Day: timeline.Date(2022, time.May, 30), Kind: MilestoneFeatureOfficial, Name: "portability-official", Positive: true, Strength: 0.4},
+	}
+}

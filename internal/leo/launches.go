@@ -1,0 +1,96 @@
+// Package leo models the deploying LEO constellation behind the §4 study: a
+// launch schedule that grows capacity, a subscriber curve that grows demand,
+// the per-user downlink speed that emerges from their ratio, and the outage
+// and milestone events that drive user posts.
+//
+// The paper's Fig. 7 narrative is a capacity-versus-demand race: median
+// user speeds rise while launches outpace subscribers (Jan–Sep '21, 14
+// launches, 10K→90K users), dip sharply when 21K users join with no
+// launches (Jun–Aug '21), and then fall almost steadily as subscribers grow
+// 90K→1M+ against 37 launches (Sep '21–Dec '22). The model encodes that
+// mechanism with a launch list and subscriber milestones shaped on the
+// public record the paper cites, so the analysis pipeline can recover the
+// curve (and its annotations) from generated speed-test posts.
+package leo
+
+import (
+	"time"
+
+	"usersignals/internal/timeline"
+)
+
+// Launch is one batch of satellites reaching orbit.
+type Launch struct {
+	Day  timeline.Day
+	Sats int
+}
+
+// satsInServiceBefore2021 approximates the v1.0 shells deployed during
+// 2019–2020 and already serving users at the study start.
+const satsInServiceBefore2021 = 955
+
+// activationLagDays is the time from launch to service. Historically orbit
+// raising took weeks to months; the model uses a short lag because the
+// paper's own Fig. 7 reasoning ("no new launches happening" directly
+// explaining the Jun–Aug '21 dip) treats launches as serving promptly.
+const activationLagDays = 14
+
+// attritionFrac is the fraction of launched satellites that never enter or
+// fall out of service.
+const attritionFrac = 0.03
+
+// DefaultLaunches returns the study-window launch schedule: 14 batches
+// Jan–Sep '21 (with the Jun–Aug gap the paper highlights), then 37 batches
+// through Dec '22.
+func DefaultLaunches() []Launch {
+	d := func(y int, m time.Month, day int) timeline.Day { return timeline.Date(y, m, day) }
+	return []Launch{
+		// 2021, pre-gap: 14 launches.
+		{d(2021, 1, 20), 60}, {d(2021, 2, 4), 60}, {d(2021, 2, 16), 60},
+		{d(2021, 3, 4), 60}, {d(2021, 3, 11), 60}, {d(2021, 3, 14), 60},
+		{d(2021, 3, 24), 60}, {d(2021, 4, 7), 60}, {d(2021, 4, 29), 60},
+		{d(2021, 5, 4), 60}, {d(2021, 5, 9), 60}, {d(2021, 5, 15), 52},
+		{d(2021, 5, 26), 60}, {d(2021, 6, 30), 3},
+		// Jun–Aug '21: no launches (the Fig. 7 dip).
+		// Sep '21 – Dec '21.
+		{d(2021, 9, 14), 51}, {d(2021, 11, 13), 53}, {d(2021, 12, 2), 48},
+		{d(2021, 12, 18), 52},
+		// 2022: roughly two to four batches a month.
+		{d(2022, 1, 6), 49}, {d(2022, 1, 19), 49}, {d(2022, 2, 3), 49},
+		{d(2022, 2, 21), 46}, {d(2022, 2, 25), 50}, {d(2022, 3, 3), 47},
+		{d(2022, 3, 9), 48}, {d(2022, 3, 19), 53}, {d(2022, 4, 21), 53},
+		{d(2022, 4, 29), 53}, {d(2022, 5, 6), 53}, {d(2022, 5, 13), 53},
+		{d(2022, 5, 18), 53}, {d(2022, 6, 17), 53},
+		{d(2022, 7, 7), 53}, {d(2022, 7, 11), 46}, {d(2022, 7, 17), 53},
+		{d(2022, 7, 22), 46}, {d(2022, 8, 10), 52},
+		{d(2022, 8, 12), 46}, {d(2022, 8, 19), 53}, {d(2022, 8, 28), 54},
+		{d(2022, 8, 31), 46}, {d(2022, 9, 5), 51}, {d(2022, 9, 11), 34},
+		{d(2022, 9, 19), 52}, {d(2022, 9, 24), 52}, {d(2022, 10, 5), 52},
+		{d(2022, 10, 20), 54}, {d(2022, 10, 28), 53}, {d(2022, 11, 12), 54},
+		{d(2022, 12, 17), 54}, {d(2022, 12, 28), 54},
+	}
+}
+
+// SubscriberMilestone anchors the subscriber curve at a public report.
+type SubscriberMilestone struct {
+	Day   timeline.Day
+	Users float64
+}
+
+// DefaultSubscribers returns the milestone list from the public record the
+// paper cites (FCC filings, company statements, press).
+func DefaultSubscribers() []SubscriberMilestone {
+	d := func(y int, m time.Month, day int) timeline.Day { return timeline.Date(y, m, day) }
+	return []SubscriberMilestone{
+		{d(2020, 12, 1), 5000},
+		{d(2021, 2, 1), 10000},
+		{d(2021, 6, 25), 69420}, // the tweeted "strategically important threshold"
+		{d(2021, 8, 15), 90000},
+		{d(2022, 1, 15), 145000},
+		{d(2022, 2, 14), 250000},
+		{d(2022, 5, 15), 400000},
+		{d(2022, 9, 15), 700000},
+		{d(2022, 12, 19), 1000000},
+		{d(2023, 5, 1), 1500000},
+	}
+}

@@ -1,0 +1,277 @@
+package leo
+
+import (
+	"testing"
+	"time"
+
+	"usersignals/internal/simrand"
+	"usersignals/internal/stats"
+	"usersignals/internal/timeline"
+)
+
+func d(y int, m time.Month, day int) timeline.Day { return timeline.Date(y, m, day) }
+
+func TestActiveSatsGrowMonotonically(t *testing.T) {
+	m := NewModel()
+	prev := 0
+	timeline.StarlinkWindow.Days(func(day timeline.Day) {
+		n := m.ActiveSats(day)
+		if n < prev {
+			t.Fatalf("active sats decreased on %v: %d < %d", day, n, prev)
+		}
+		prev = n
+	})
+	if start := m.ActiveSats(d(2021, time.January, 1)); start < 900 || start > 1100 {
+		t.Fatalf("start-of-window sats %d, want ~955", start)
+	}
+	if end := m.ActiveSats(d(2022, time.December, 31)); end < 2800 || end > 3800 {
+		t.Fatalf("end-of-window sats %d, want ~3200", end)
+	}
+}
+
+func TestActivationLag(t *testing.T) {
+	m := NewModel()
+	// The 20 Jan '21 launch should not serve until late March.
+	before := m.ActiveSats(d(2021, time.January, 25))
+	after := m.ActiveSats(d(2021, time.March, 25))
+	if after <= before {
+		t.Fatalf("launch never activated: %d vs %d", before, after)
+	}
+}
+
+func TestLaunchesBetween(t *testing.T) {
+	m := NewModel()
+	// The paper: 14 launches Jan–Sep '21 (pre the September resumption).
+	preGap := m.LaunchesBetween(d(2021, time.January, 1), d(2021, time.August, 31))
+	if preGap != 14 {
+		t.Fatalf("Jan-Aug '21 launches = %d, want 14", preGap)
+	}
+	// And 37 between Sep '21 and Dec '22.
+	later := m.LaunchesBetween(d(2021, time.September, 1), d(2022, time.December, 31))
+	if later != 37 {
+		t.Fatalf("Sep'21-Dec'22 launches = %d, want 37", later)
+	}
+	// Jun-Aug '21: the gap (one tiny rideshare on 30 Jun aside).
+	gap := m.LaunchesBetween(d(2021, time.July, 1), d(2021, time.August, 31))
+	if gap != 0 {
+		t.Fatalf("Jul-Aug '21 launches = %d, want 0", gap)
+	}
+}
+
+func TestUsersInterpolation(t *testing.T) {
+	m := NewModel()
+	cases := []struct {
+		day    timeline.Day
+		lo, hi float64
+	}{
+		{d(2021, time.February, 1), 9000, 11000},
+		{d(2021, time.August, 15), 80000, 100000},
+		{d(2022, time.December, 19), 950000, 1050000},
+	}
+	for _, c := range cases {
+		if got := m.Users(c.day); got < c.lo || got > c.hi {
+			t.Fatalf("Users(%v) = %v, want in [%v, %v]", c.day, got, c.lo, c.hi)
+		}
+	}
+	// Monotone growth.
+	prev := 0.0
+	timeline.StarlinkWindow.Days(func(day timeline.Day) {
+		u := m.Users(day)
+		if u < prev {
+			t.Fatalf("users decreased on %v", day)
+		}
+		prev = u
+	})
+	// Clamped outside milestones.
+	if m.Users(d(2019, time.January, 1)) != 5000 {
+		t.Fatal("pre-window users should clamp to first milestone")
+	}
+	if m.Users(d(2024, time.January, 1)) != 1500000 {
+		t.Fatal("post-window users should clamp to last milestone")
+	}
+}
+
+func TestSpeedArcMatchesFig7(t *testing.T) {
+	m := NewModel()
+	sp := func(day timeline.Day) float64 { return m.MedianDownMbps(day) }
+
+	feb21 := sp(d(2021, time.February, 15))
+	sep21 := sp(d(2021, time.September, 15))
+	dec21 := sp(d(2021, time.December, 15))
+	apr21 := sp(d(2021, time.April, 15))
+	mar22 := sp(d(2022, time.March, 15))
+	dec22 := sp(d(2022, time.December, 15))
+
+	// Rising phase: launches outpace users.
+	if sep21 <= feb21*1.1 {
+		t.Fatalf("speeds should rise Feb'21→Sep'21: %v → %v", feb21, sep21)
+	}
+	// Falling phase: users outpace launches.
+	if dec22 >= sep21*0.85 {
+		t.Fatalf("speeds should fall Sep'21→Dec'22: %v → %v", sep21, dec22)
+	}
+	// Fig. 7's conditioning anecdote requires Dec'21 > Apr'21.
+	if dec21 <= apr21 {
+		t.Fatalf("Dec'21 (%v) should exceed Apr'21 (%v)", dec21, apr21)
+	}
+	// And a monotone-ish decline Mar'22→Dec'22.
+	if dec22 >= mar22 {
+		t.Fatalf("Mar'22 (%v) → Dec'22 (%v) should decline", mar22, dec22)
+	}
+	// Sanity: plausible absolute range.
+	if feb21 < 30 || feb21 > 120 || dec22 < 25 || dec22 > 100 {
+		t.Fatalf("speeds outside plausible band: feb21=%v dec22=%v", feb21, dec22)
+	}
+}
+
+func TestJunAugDip(t *testing.T) {
+	// 21K users joined Jun–Aug '21 with no launches: speeds must dip.
+	m := NewModel()
+	jun := m.MedianDownMbps(d(2021, time.June, 10))
+	aug := m.MedianDownMbps(d(2021, time.August, 25))
+	if aug >= jun {
+		t.Fatalf("no-launch period should dip: Jun %v → Aug %v", jun, aug)
+	}
+}
+
+func TestSampleUserDistribution(t *testing.T) {
+	m := NewModel()
+	r := simrand.New(3, 14)
+	day := d(2021, time.September, 15)
+	med := m.MedianDownMbps(day)
+	var downs, lats []float64
+	for i := 0; i < 4000; i++ {
+		s := m.SampleUser(r, day)
+		if s.DownMbps < 1 || s.DownMbps > 400 || s.UpMbps < 0.5 || s.UpMbps > 60 ||
+			s.LatencyMs < 18 || s.LatencyMs > 150 {
+			t.Fatalf("sample out of bounds: %+v", s)
+		}
+		if s.UpMbps >= s.DownMbps {
+			t.Fatalf("uplink %v >= downlink %v", s.UpMbps, s.DownMbps)
+		}
+		downs = append(downs, s.DownMbps)
+		lats = append(lats, s.LatencyMs)
+	}
+	if gotMed := stats.Median(downs); gotMed < med*0.9 || gotMed > med*1.1 {
+		t.Fatalf("sample median %v, model median %v", gotMed, med)
+	}
+	if latMed := stats.Median(lats); latMed < 25 || latMed > 60 {
+		t.Fatalf("latency median %v outside LEO band", latMed)
+	}
+}
+
+func TestMajorOutages(t *testing.T) {
+	majors := MajorOutages()
+	if len(majors) != 3 {
+		t.Fatalf("want 3 anchor outages, got %d", len(majors))
+	}
+	var unreported int
+	for _, o := range majors {
+		if o.Scope != ScopeGlobal {
+			t.Fatalf("major outage %q not global", o.Name)
+		}
+		if !o.Reported {
+			unreported++
+			if o.Day != d(2022, time.April, 22) {
+				t.Fatalf("the unreported outage should be 22 Apr '22, got %v", o.Day)
+			}
+			if o.Countries < 14 {
+				t.Fatalf("April outage should span 14+ countries, got %d", o.Countries)
+			}
+		}
+	}
+	if unreported != 1 {
+		t.Fatalf("exactly one major outage should lack press coverage, got %d", unreported)
+	}
+}
+
+func TestTransientOutages(t *testing.T) {
+	w := timeline.StarlinkWindow
+	outs := TransientOutages(1, w, 1.5)
+	perWeek := float64(len(outs)) / (float64(w.Len()) / 7)
+	if perWeek < 1.0 || perWeek > 2.0 {
+		t.Fatalf("transient rate %v/week, want ~1.5", perWeek)
+	}
+	for _, o := range outs {
+		if !w.Contains(o.Day) {
+			t.Fatalf("outage outside window: %+v", o)
+		}
+		if o.Reported {
+			t.Fatal("transient outages must be unreported")
+		}
+		if o.Scope == ScopeGlobal {
+			t.Fatal("transient outages must not be global")
+		}
+		if o.Hours <= 0 {
+			t.Fatalf("non-positive duration: %+v", o)
+		}
+	}
+	// Deterministic under the same seed.
+	again := TransientOutages(1, w, 1.5)
+	if len(again) != len(outs) {
+		t.Fatal("transient outages not deterministic")
+	}
+}
+
+func TestAllOutagesSortedAndMerged(t *testing.T) {
+	outs := AllOutages(2, timeline.StarlinkWindow, 1.5)
+	var globals int
+	for i, o := range outs {
+		if i > 0 && o.Day < outs[i-1].Day {
+			t.Fatal("outages not sorted")
+		}
+		if o.Scope == ScopeGlobal {
+			globals++
+		}
+	}
+	if globals != 3 {
+		t.Fatalf("merged list has %d globals, want 3", globals)
+	}
+}
+
+func TestSeverityOrdering(t *testing.T) {
+	local := Outage{Scope: ScopeLocal, Hours: 2}
+	regional := Outage{Scope: ScopeRegional, Hours: 2}
+	global := Outage{Scope: ScopeGlobal, Hours: 2}
+	if !(local.Severity() < regional.Severity() && regional.Severity() < global.Severity()) {
+		t.Fatal("severity ordering broken")
+	}
+	long := Outage{Scope: ScopeLocal, Hours: 12}
+	if long.Severity() <= local.Severity() {
+		t.Fatal("longer outages should be more severe")
+	}
+	if global.Severity() > 1 {
+		t.Fatalf("severity should cap at 1: %v", global.Severity())
+	}
+}
+
+func TestMilestones(t *testing.T) {
+	ms := DefaultMilestones()
+	var leak, tweet, official *Milestone
+	for i := range ms {
+		switch ms[i].Kind {
+		case MilestoneFeatureLeak:
+			leak = &ms[i]
+		case MilestoneFeatureTweet:
+			tweet = &ms[i]
+		case MilestoneFeatureOfficial:
+			official = &ms[i]
+		}
+	}
+	if leak == nil || tweet == nil || official == nil {
+		t.Fatal("roaming sequence incomplete")
+	}
+	// The paper's lead times: discovery ~2 weeks before the tweet,
+	// official notice ~3 months after.
+	leadDays := int(tweet.Day - leak.Day)
+	if leadDays < 10 || leadDays > 21 {
+		t.Fatalf("leak lead time %d days, want ~14", leadDays)
+	}
+	officialLag := int(official.Day - tweet.Day)
+	if officialLag < 60 || officialLag > 120 {
+		t.Fatalf("official notice lag %d days, want ~90", officialLag)
+	}
+	if scope := (OutageScope(99)).String(); scope != "unknown" {
+		t.Fatal("unknown scope string")
+	}
+}

@@ -1,0 +1,150 @@
+package leo
+
+import (
+	"math"
+	"sort"
+
+	"usersignals/internal/simrand"
+	"usersignals/internal/timeline"
+)
+
+// Model computes constellation state and user-experienced performance by
+// day. Construct with NewModel; the zero value is not useful.
+type Model struct {
+	launches    []Launch
+	subscribers []SubscriberMilestone
+
+	// Speed-model parameters; see MedianDownMbps.
+	PlanMbps        float64 // nominal service-plan ceiling
+	CoverageScale   float64 // satellites for ~63% coverage maturity
+	ComfortRatio    float64 // users-per-active-satellite before congestion
+	CongestionScale float64 // users-per-satellite scale of the decline
+}
+
+// NewModel returns the historically parameterized model.
+func NewModel() *Model {
+	m := &Model{
+		launches:        DefaultLaunches(),
+		subscribers:     DefaultSubscribers(),
+		PlanMbps:        170,
+		CoverageScale:   3000,
+		ComfortRatio:    40,
+		CongestionScale: 220,
+	}
+	sort.Slice(m.launches, func(i, j int) bool { return m.launches[i].Day < m.launches[j].Day })
+	sort.Slice(m.subscribers, func(i, j int) bool { return m.subscribers[i].Day < m.subscribers[j].Day })
+	return m
+}
+
+// WithExtraLaunches returns a copy of the model with additional launches
+// appended: the what-if primitive behind deployment planning (§6 — "could
+// the operator change deployment plans given current deployment, footprint,
+// and user sentiment?").
+func (m *Model) WithExtraLaunches(extra []Launch) *Model {
+	clone := *m
+	clone.launches = append(append([]Launch(nil), m.launches...), extra...)
+	sort.Slice(clone.launches, func(i, j int) bool { return clone.launches[i].Day < clone.launches[j].Day })
+	return &clone
+}
+
+// ActiveSats returns the number of satellites in service on day d:
+// the pre-window base plus every launched batch past its activation lag,
+// with attrition.
+func (m *Model) ActiveSats(d timeline.Day) int {
+	total := float64(satsInServiceBefore2021)
+	for _, l := range m.launches {
+		if d-l.Day >= activationLagDays {
+			total += float64(l.Sats) * (1 - attritionFrac)
+		}
+	}
+	return int(total)
+}
+
+// LaunchesBetween counts launches in the inclusive day range.
+func (m *Model) LaunchesBetween(from, to timeline.Day) int {
+	n := 0
+	for _, l := range m.launches {
+		if l.Day >= from && l.Day <= to {
+			n++
+		}
+	}
+	return n
+}
+
+// Launches returns the schedule (shared slice; do not modify).
+func (m *Model) Launches() []Launch { return m.launches }
+
+// Users returns the subscriber count on day d, interpolated geometrically
+// between milestones (subscriber growth is multiplicative).
+func (m *Model) Users(d timeline.Day) float64 {
+	subs := m.subscribers
+	if len(subs) == 0 {
+		return 0
+	}
+	if d <= subs[0].Day {
+		return subs[0].Users
+	}
+	if d >= subs[len(subs)-1].Day {
+		return subs[len(subs)-1].Users
+	}
+	i := sort.Search(len(subs), func(i int) bool { return subs[i].Day > d }) - 1
+	a, b := subs[i], subs[i+1]
+	frac := float64(d-a.Day) / float64(b.Day-a.Day)
+	return a.Users * math.Pow(b.Users/a.Users, frac)
+}
+
+// MedianDownMbps returns the population-median downlink speed on day d.
+//
+// Two factors multiply the plan ceiling: coverage maturity (early, sparse
+// shells leave gaps and beta-quality service; saturating in the satellite
+// count) and congestion (per-cell contention once users-per-satellite
+// exceeds a comfort threshold). The product rises while launches outpace
+// subscribers and falls once subscribers win — Fig. 7's arc.
+func (m *Model) MedianDownMbps(d timeline.Day) float64 {
+	sats := float64(m.ActiveSats(d))
+	users := m.Users(d)
+	coverage := 1 - math.Exp(-sats/m.CoverageScale)
+	x := users / math.Max(1, sats)
+	congestion := 1.0
+	if x > m.ComfortRatio {
+		congestion = 1 / (1 + (x-m.ComfortRatio)/m.CongestionScale)
+	}
+	return m.PlanMbps * coverage * congestion
+}
+
+// UserSample is one user's momentary service performance.
+type UserSample struct {
+	DownMbps  float64
+	UpMbps    float64
+	LatencyMs float64
+}
+
+// SampleUser draws one user's speed-test result on day d: log-normal
+// around the population median (terrain, cell load, weather), with uplink
+// roughly an eighth of downlink and latency in the LEO 25–60 ms band,
+// degrading slightly under congestion.
+func (m *Model) SampleUser(r *simrand.RNG, d timeline.Day) UserSample {
+	med := m.MedianDownMbps(d)
+	down := r.LogNormalMeanMedian(med, 1.6)
+	up := down / 8 * r.Range(0.7, 1.3)
+	lat := r.LogNormalMeanMedian(38, 1.25)
+	// Congestion inflates latency a little.
+	if med < m.PlanMbps*0.4 {
+		lat *= r.Range(1.05, 1.3)
+	}
+	return UserSample{
+		DownMbps:  clampF(down, 1, 400),
+		UpMbps:    clampF(up, 0.5, 60),
+		LatencyMs: clampF(lat, 18, 150),
+	}
+}
+
+func clampF(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

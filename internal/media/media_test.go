@@ -1,0 +1,255 @@
+package media
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"usersignals/internal/simrand"
+)
+
+func good() Quality {
+	return Evaluate(20, 0, 1, 4, DefaultMitigation())
+}
+
+func TestGoodConditionsGoodQuality(t *testing.T) {
+	q := good()
+	if q.AudioMOS < 4.0 {
+		t.Fatalf("clean-path audio MOS %v, want >= 4.0", q.AudioMOS)
+	}
+	if q.VideoScore < 0.8 {
+		t.Fatalf("clean-path video %v, want >= 0.8", q.VideoScore)
+	}
+	if q.MouthToEarMs > 120 {
+		t.Fatalf("clean-path mouth-to-ear %v ms too high", q.MouthToEarMs)
+	}
+}
+
+func TestQualityBounds(t *testing.T) {
+	f := func(lat, loss, jit, bw float64) bool {
+		if math.IsNaN(lat) || math.IsNaN(loss) || math.IsNaN(jit) || math.IsNaN(bw) {
+			return true
+		}
+		if math.IsInf(lat, 0) || math.IsInf(loss, 0) || math.IsInf(jit, 0) || math.IsInf(bw, 0) {
+			return true
+		}
+		q := Evaluate(lat, loss, jit, bw, DefaultMitigation())
+		return q.AudioMOS >= 1 && q.AudioMOS <= 5 &&
+			q.VideoScore >= 0 && q.VideoScore <= 1 &&
+			q.MouthToEarMs >= 0 && q.ResidualLossPct >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyDegradesAudioNotVideo(t *testing.T) {
+	m := DefaultMitigation()
+	prev := 5.1
+	for _, lat := range []float64{0, 50, 100, 150, 200, 300} {
+		q := Evaluate(lat, 0.1, 1, 4, m)
+		if q.AudioMOS >= prev {
+			t.Fatalf("audio MOS not strictly decreasing in latency at %v ms: %v >= %v", lat, q.AudioMOS, prev)
+		}
+		prev = q.AudioMOS
+	}
+	// Video quality itself should be latency-insensitive (it is the
+	// interactivity, not the picture, that suffers).
+	v0 := Evaluate(0, 0.1, 1, 4, m).VideoScore
+	v300 := Evaluate(300, 0.1, 1, 4, m).VideoScore
+	if math.Abs(v0-v300) > 0.05 {
+		t.Fatalf("video should not depend on latency: %v vs %v", v0, v300)
+	}
+}
+
+func TestDelayImpairmentAccelerates(t *testing.T) {
+	// The E-model Id term grows faster past ~177 ms mouth-to-ear, which is
+	// what makes the Mic On curve steep then saturating.
+	m := DefaultMitigation()
+	drop1 := Evaluate(50, 0, 1, 4, m).AudioMOS - Evaluate(150, 0, 1, 4, m).AudioMOS
+	drop2 := Evaluate(150, 0, 1, 4, m).AudioMOS - Evaluate(250, 0, 1, 4, m).AudioMOS
+	if drop2 <= drop1 {
+		t.Fatalf("delay impairment should accelerate: first 100ms cost %v, second %v", drop1, drop2)
+	}
+}
+
+func TestLossMitigationFlattensCurve(t *testing.T) {
+	on := DefaultMitigation()
+	off := Mitigation{AdaptiveJitterBuf: true, VideoRateAdaptation: true}
+	base := Evaluate(20, 0, 1, 4, on).AudioMOS
+	at2on := Evaluate(20, 2, 1, 4, on).AudioMOS
+	at2off := Evaluate(20, 2, 1, 4, off).AudioMOS
+	dropOn := base - at2on
+	dropOff := base - at2off
+	if dropOn > 0.4 {
+		t.Fatalf("with safeguards, 2%% loss cost %v MOS; should be small", dropOn)
+	}
+	if dropOff < 2*dropOn {
+		t.Fatalf("ablation: without safeguards 2%% loss cost %v, with %v; expected much worse", dropOff, dropOn)
+	}
+}
+
+func TestHighLossEventuallyHurts(t *testing.T) {
+	m := DefaultMitigation()
+	at2 := Evaluate(20, 2, 1, 4, m).AudioMOS
+	at6 := Evaluate(20, 6, 1, 4, m).AudioMOS
+	if at2-at6 < 0.3 {
+		t.Fatalf("heavy loss should overwhelm FEC: MOS at 2%%=%v, 6%%=%v", at2, at6)
+	}
+}
+
+func TestJitterHurtsVideoMoreThanAudio(t *testing.T) {
+	m := DefaultMitigation()
+	q0 := Evaluate(20, 0.1, 1, 4, m)
+	q10 := Evaluate(20, 0.1, 10, 4, m)
+	videoDrop := (q0.VideoScore - q10.VideoScore) / q0.VideoScore
+	audioDrop := (q0.AudioMOS - q10.AudioMOS) / q0.AudioMOS
+	if videoDrop < 0.15 {
+		t.Fatalf("10 ms jitter should visibly hurt video (Fig 1): drop %v", videoDrop)
+	}
+	if videoDrop <= audioDrop {
+		t.Fatalf("jitter should hurt video (%v) more than audio (%v)", videoDrop, audioDrop)
+	}
+}
+
+func TestAdaptiveJitterBufferTradesDelayForLoss(t *testing.T) {
+	adaptive := Mitigation{FEC: true, Concealment: true, AdaptiveJitterBuf: true, VideoRateAdaptation: true}
+	fixed := adaptive
+	fixed.AdaptiveJitterBuf = false
+	// Under heavy jitter the adaptive buffer grows (more delay) but keeps
+	// late loss low; the fixed buffer keeps delay but leaks late packets.
+	qa := Evaluate(20, 0, 40, 4, adaptive)
+	qf := Evaluate(20, 0, 40, 4, fixed)
+	if qa.MouthToEarMs <= qf.MouthToEarMs {
+		t.Fatalf("adaptive buffer should add delay under jitter: %v <= %v", qa.MouthToEarMs, qf.MouthToEarMs)
+	}
+	if qa.ResidualLossPct >= qf.ResidualLossPct {
+		t.Fatalf("adaptive buffer should reduce late loss: %v >= %v", qa.ResidualLossPct, qf.ResidualLossPct)
+	}
+}
+
+func TestBandwidthLadder(t *testing.T) {
+	m := DefaultMitigation()
+	var prevScore, prevRate float64
+	for _, bw := range []float64{0.3, 0.8, 1.5, 2.5, 4} {
+		q := Evaluate(20, 0.1, 1, bw, m)
+		if q.VideoBitrateMbps < prevRate {
+			t.Fatalf("bitrate ladder not monotone at bw=%v", bw)
+		}
+		if q.VideoScore+1e-9 < prevScore {
+			t.Fatalf("video score not monotone in bandwidth at bw=%v: %v < %v", bw, q.VideoScore, prevScore)
+		}
+		prevScore, prevRate = q.VideoScore, q.VideoBitrateMbps
+	}
+	// Paper: at 1 Mbps quality is within a few percent of the 4 Mbps best.
+	at1 := Evaluate(20, 0.1, 1, 1, m)
+	at4 := Evaluate(20, 0.1, 1, 4, m)
+	if rel := (at4.VideoScore - at1.VideoScore) / at4.VideoScore; rel > 0.25 {
+		t.Fatalf("1 Mbps video %v vs 4 Mbps %v: gap %v too large", at1.VideoScore, at4.VideoScore, rel)
+	}
+	// Audio should be bandwidth-insensitive across the broadband range.
+	if math.Abs(at1.AudioMOS-at4.AudioMOS) > 0.05 {
+		t.Fatalf("audio should not care about bandwidth: %v vs %v", at1.AudioMOS, at4.AudioMOS)
+	}
+}
+
+func TestNoRateAdaptationSelfCongests(t *testing.T) {
+	on := DefaultMitigation()
+	off := on
+	off.VideoRateAdaptation = false
+	qOn := Evaluate(20, 0.1, 1, 1, on)
+	qOff := Evaluate(20, 0.1, 1, 1, off)
+	if qOff.VideoScore >= qOn.VideoScore {
+		t.Fatalf("fixed-rate sender on a 1 Mbps link should crater: %v >= %v", qOff.VideoScore, qOn.VideoScore)
+	}
+}
+
+func TestRToMOSBounds(t *testing.T) {
+	if got := rToMOS(-10); got != 1 {
+		t.Fatalf("rToMOS(-10) = %v", got)
+	}
+	if got := rToMOS(150); got != 4.5 {
+		t.Fatalf("rToMOS(150) = %v", got)
+	}
+	if got := rToMOS(93.2); got < 4.3 || got > 4.6 {
+		t.Fatalf("rToMOS(93.2) = %v, want ~4.4", got)
+	}
+}
+
+func TestPacketSimMatchesAnalyticResidual(t *testing.T) {
+	// The analytic residual-loss model must agree with first-principles
+	// packet accounting (independent loss, group FEC) within sampling
+	// tolerance across the loss range of interest.
+	ps := DefaultPacketSim()
+	r := simrand.New(31, 37)
+	for _, lossPct := range []float64{0.5, 1, 2, 4, 8} {
+		totalSent, totalResidual := 0, 0
+		for i := 0; i < 400; i++ { // 400 windows = 100k packets
+			res := ps.Run(r, lossPct, 0, 100, true)
+			totalSent += res.Sent
+			totalResidual += res.ResidualLost
+		}
+		simResidual := 100 * float64(totalResidual) / float64(totalSent)
+		analytic := lossPct * (1 - fecRecovery(lossPct))
+		if diff := math.Abs(simResidual - analytic); diff > 0.25+analytic*0.25 {
+			t.Fatalf("loss %v%%: packet-sim residual %v vs analytic %v", lossPct, simResidual, analytic)
+		}
+	}
+}
+
+func TestPacketSimNoFEC(t *testing.T) {
+	ps := DefaultPacketSim()
+	r := simrand.New(41, 43)
+	totalSent, totalResidual := 0, 0
+	for i := 0; i < 200; i++ {
+		res := ps.Run(r, 5, 0, 100, false)
+		totalSent += res.Sent
+		totalResidual += res.ResidualLost
+		if res.RecoveredFEC != 0 {
+			t.Fatal("FEC recoveries reported with FEC off")
+		}
+	}
+	got := 100 * float64(totalResidual) / float64(totalSent)
+	if math.Abs(got-5) > 0.5 {
+		t.Fatalf("without FEC residual %v, want ~5", got)
+	}
+}
+
+func TestPacketSimJitterLateLoss(t *testing.T) {
+	ps := DefaultPacketSim()
+	r := simrand.New(51, 53)
+	res := ps.Run(r, 0, 30, 30, false)
+	// Buffer of one sigma: ~16% of packets late.
+	frac := float64(res.LostLate) / float64(res.Sent)
+	if frac < 0.08 || frac > 0.25 {
+		t.Fatalf("late-loss fraction %v, want ~0.16", frac)
+	}
+	// And the analytic lateLoss should agree.
+	if analytic := lateLoss(30, 30); math.Abs(analytic-100*frac) > 6 {
+		t.Fatalf("analytic late loss %v vs simulated %v", analytic, 100*frac)
+	}
+}
+
+func TestPacketSimDefaultsApplied(t *testing.T) {
+	var ps PacketSim // all zero: defaults kick in inside Run
+	r := simrand.New(61, 67)
+	res := ps.Run(r, 0, 0, 50, true)
+	if res.Sent != 250 {
+		t.Fatalf("default window should send 250 packets, got %d", res.Sent)
+	}
+	if res.ResidualLost != 0 || res.ResidualPct != 0 {
+		t.Fatalf("lossless run has residual %+v", res)
+	}
+}
+
+func TestResidualAccounting(t *testing.T) {
+	ps := DefaultPacketSim()
+	r := simrand.New(71, 73)
+	res := ps.Run(r, 10, 20, 40, true)
+	if res.ResidualLost != res.LostNetwork+res.LostLate-res.RecoveredFEC {
+		t.Fatalf("accounting identity violated: %+v", res)
+	}
+	if res.ResidualPct < 0 || res.ResidualPct > 100 {
+		t.Fatalf("residual pct out of range: %v", res.ResidualPct)
+	}
+}

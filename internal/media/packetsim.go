@@ -1,0 +1,91 @@
+package media
+
+import (
+	"usersignals/internal/simrand"
+)
+
+// PacketSim is a first-principles packet-level simulator for one audio
+// stream over one telemetry window. It exists to validate the analytic
+// shortcut in Evaluate: tests assert that the residual loss the analytic
+// model predicts matches what actual packet accounting produces.
+//
+// The model: packets are sent every PacketIntervalMs; each is independently
+// lost with the network loss probability; surviving packets experience a
+// normally distributed jitter delay and are dropped if they miss the playout
+// buffer deadline; FEC groups of GroupSize packets carry one parity packet
+// that repairs a single in-group loss.
+type PacketSim struct {
+	PacketIntervalMs float64 // default 20 (Opus frame)
+	GroupSize        int     // FEC group size, default 5
+	WindowMs         float64 // default 5000 (one telemetry window)
+}
+
+// DefaultPacketSim returns the production parameterization. GroupSize
+// matches the analytic model's fecGroupSize so the two agree in
+// expectation.
+func DefaultPacketSim() PacketSim {
+	return PacketSim{PacketIntervalMs: 20, GroupSize: fecGroupSize, WindowMs: 5000}
+}
+
+// PacketResult summarizes one simulated window.
+type PacketResult struct {
+	Sent         int
+	LostNetwork  int // lost in the network
+	LostLate     int // arrived after the playout deadline
+	RecoveredFEC int // repaired by parity
+	ResidualLost int // unplayable after all recovery
+	ResidualPct  float64
+}
+
+// Run simulates one window under the given conditions and mitigation.
+func (ps PacketSim) Run(r *simrand.RNG, lossPct, jitterMs, bufMs float64, fec bool) PacketResult {
+	if ps.PacketIntervalMs <= 0 {
+		ps.PacketIntervalMs = 20
+	}
+	if ps.GroupSize <= 0 {
+		ps.GroupSize = fecGroupSize
+	}
+	if ps.WindowMs <= 0 {
+		ps.WindowMs = 5000
+	}
+	n := int(ps.WindowMs / ps.PacketIntervalMs)
+	res := PacketResult{Sent: n}
+	p := lossPct / 100
+
+	lostInGroup := 0
+	groupCount := 0
+	flushGroup := func() {
+		if fec && lostInGroup == 1 {
+			// Single loss in the group: parity repairs it.
+			res.RecoveredFEC++
+			res.ResidualLost--
+		}
+		lostInGroup = 0
+		groupCount = 0
+	}
+
+	for i := 0; i < n; i++ {
+		lost := r.Bool(p)
+		if lost {
+			res.LostNetwork++
+			res.ResidualLost++
+			lostInGroup++
+		} else if jitterMs > 0 {
+			delay := r.Normal(0, jitterMs)
+			if delay > bufMs {
+				res.LostLate++
+				res.ResidualLost++
+				lostInGroup++ // late packets are losses to the decoder; FEC can still help
+			}
+		}
+		groupCount++
+		if groupCount == ps.GroupSize {
+			flushGroup()
+		}
+	}
+	flushGroup()
+	if n > 0 {
+		res.ResidualPct = 100 * float64(res.ResidualLost) / float64(n)
+	}
+	return res
+}

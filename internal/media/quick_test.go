@@ -1,0 +1,82 @@
+package media
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Monotonicity properties of the analytic quality model: these are the
+// physical invariants the behaviour layer depends on.
+
+func TestAudioMonotoneInLoss(t *testing.T) {
+	m := DefaultMitigation()
+	f := func(latRaw, lossRaw uint8) bool {
+		lat := float64(latRaw) * 2       // 0..510 ms
+		loss := float64(lossRaw%80) / 10 // 0..7.9 %
+		q1 := Evaluate(lat, loss, 2, 3.5, m)
+		q2 := Evaluate(lat, loss+1, 2, 3.5, m)
+		return q2.AudioMOS <= q1.AudioMOS+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAudioMonotoneInLatency(t *testing.T) {
+	m := DefaultMitigation()
+	f := func(latRaw, lossRaw uint8) bool {
+		lat := float64(latRaw) * 2
+		loss := float64(lossRaw%30) / 10
+		q1 := Evaluate(lat, loss, 2, 3.5, m)
+		q2 := Evaluate(lat+20, loss, 2, 3.5, m)
+		return q2.AudioMOS <= q1.AudioMOS+1e-9 &&
+			q2.MouthToEarMs >= q1.MouthToEarMs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVideoMonotoneInBandwidth(t *testing.T) {
+	m := DefaultMitigation()
+	f := func(bwRaw uint8) bool {
+		bw := 0.2 + float64(bwRaw)/32 // 0.2 .. 8.2 Mbps
+		q1 := Evaluate(30, 0.2, 2, bw, m)
+		q2 := Evaluate(30, 0.2, 2, bw+0.5, m)
+		return q2.VideoScore >= q1.VideoScore-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMitigationNeverHurtsAudio(t *testing.T) {
+	// At equal conditions, turning loss safeguards on must never lower
+	// audio quality.
+	on := DefaultMitigation()
+	off := Mitigation{AdaptiveJitterBuf: true, VideoRateAdaptation: true}
+	f := func(latRaw, lossRaw, jitRaw uint8) bool {
+		lat := float64(latRaw)
+		loss := float64(lossRaw%60) / 10
+		jit := float64(jitRaw % 30)
+		qOn := Evaluate(lat, loss, jit, 3.5, on)
+		qOff := Evaluate(lat, loss, jit, 3.5, off)
+		return qOn.AudioMOS >= qOff.AudioMOS-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResidualNeverExceedsInputLoss(t *testing.T) {
+	m := DefaultMitigation()
+	f := func(lossRaw uint8) bool {
+		loss := float64(lossRaw%100) / 5 // 0..19.8
+		q := Evaluate(30, loss, 0, 3.5, m)
+		// With zero jitter there is no late loss, so FEC can only reduce.
+		return q.ResidualLossPct <= loss+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,84 @@
+// Package netsim models end-to-end network path conditions for simulated
+// conferencing sessions. It stands in for the real networks under the
+// paper's MS Teams clients: each session gets a Path whose conditions —
+// latency, packet loss, jitter, available bandwidth — evolve over time with
+// realistic temporal correlation and transient impairment events, and are
+// observed by the telemetry layer every five seconds, exactly the cadence
+// §3.1 describes.
+//
+// The package deliberately does not know anything about users or
+// engagement; it produces network truth. internal/media converts that truth
+// into delivered media quality, and internal/behavior converts quality into
+// user actions. Keeping the chain causal (network → quality → behaviour) is
+// what lets the analysis pipeline *recover* the paper's curves rather than
+// having them painted on.
+package netsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// SampleInterval is the telemetry sampling cadence from §3.1.
+const SampleInterval = 5 * time.Second
+
+// Conditions is one instantaneous observation of a path.
+type Conditions struct {
+	LatencyMs     float64 // one-way network latency, milliseconds
+	LossPct       float64 // packet loss percentage in [0, 100]
+	JitterMs      float64 // latency variation, milliseconds
+	BandwidthMbps float64 // available bandwidth, Mbps
+}
+
+// Valid reports whether the observation is physically plausible; used by
+// property tests and by telemetry ingestion as a guard.
+func (c Conditions) Valid() bool {
+	return c.LatencyMs >= 0 &&
+		c.LossPct >= 0 && c.LossPct <= 100 &&
+		c.JitterMs >= 0 &&
+		c.BandwidthMbps >= 0
+}
+
+func (c Conditions) String() string {
+	return fmt.Sprintf("lat=%.1fms loss=%.2f%% jitter=%.1fms bw=%.2fMbps",
+		c.LatencyMs, c.LossPct, c.JitterMs, c.BandwidthMbps)
+}
+
+// Series is a sequence of equally spaced condition samples.
+type Series []Conditions
+
+// Latencies extracts the latency column.
+func (s Series) Latencies() []float64 {
+	out := make([]float64, len(s))
+	for i, c := range s {
+		out[i] = c.LatencyMs
+	}
+	return out
+}
+
+// Losses extracts the loss column.
+func (s Series) Losses() []float64 {
+	out := make([]float64, len(s))
+	for i, c := range s {
+		out[i] = c.LossPct
+	}
+	return out
+}
+
+// Jitters extracts the jitter column.
+func (s Series) Jitters() []float64 {
+	out := make([]float64, len(s))
+	for i, c := range s {
+		out[i] = c.JitterMs
+	}
+	return out
+}
+
+// Bandwidths extracts the bandwidth column.
+func (s Series) Bandwidths() []float64 {
+	out := make([]float64, len(s))
+	for i, c := range s {
+		out[i] = c.BandwidthMbps
+	}
+	return out
+}

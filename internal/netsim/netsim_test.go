@@ -1,0 +1,216 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"usersignals/internal/simrand"
+	"usersignals/internal/stats"
+)
+
+func TestConditionsValid(t *testing.T) {
+	good := Conditions{LatencyMs: 50, LossPct: 1, JitterMs: 5, BandwidthMbps: 3}
+	if !good.Valid() {
+		t.Fatal("plausible conditions reported invalid")
+	}
+	bad := []Conditions{
+		{LatencyMs: -1},
+		{LossPct: -0.1},
+		{LossPct: 101},
+		{JitterMs: -2},
+		{BandwidthMbps: -3},
+	}
+	for i, c := range bad {
+		if c.Valid() {
+			t.Fatalf("case %d should be invalid: %+v", i, c)
+		}
+	}
+}
+
+func TestConditionsString(t *testing.T) {
+	s := Conditions{LatencyMs: 50, LossPct: 1.5, JitterMs: 5, BandwidthMbps: 3}.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestPathSamplesAlwaysValid(t *testing.T) {
+	// Property: whatever the config (even hostile), samples are physical.
+	f := func(lat, loss, jit, cap float64, burst uint8) bool {
+		cfg := PathConfig{
+			BaseLatencyMs: lat, BaseLossPct: loss, BaseJitterMs: jit,
+			CapacityMbps: cap, UtilizationJitter: 2,
+			LossBurstRate: float64(burst) / 255, JitterSpikeRate: 0.1, BandwidthDipRate: 0.1,
+		}
+		if math.IsNaN(lat) || math.IsNaN(loss) || math.IsNaN(jit) || math.IsNaN(cap) ||
+			math.IsInf(lat, 0) || math.IsInf(loss, 0) || math.IsInf(jit, 0) || math.IsInf(cap, 0) {
+			return true
+		}
+		if math.Abs(lat) > 1e6 || math.Abs(loss) > 1e6 || math.Abs(jit) > 1e6 || math.Abs(cap) > 1e6 {
+			return true
+		}
+		p := NewPath(cfg, simrand.New(uint64(burst), 3))
+		for i := 0; i < 50; i++ {
+			if !p.Next().Valid() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathTracksBase(t *testing.T) {
+	cfg := PathConfig{BaseLatencyMs: 100, BaseLossPct: 1, BaseJitterMs: 8, CapacityMbps: 4}
+	p := NewPath(cfg, simrand.New(1, 2))
+	s := p.GenerateSeries(500)
+	if got := stats.Mean(s.Latencies()); math.Abs(got-100) > 10 {
+		t.Fatalf("mean latency %v, want ~100", got)
+	}
+	if got := stats.Mean(s.Losses()); math.Abs(got-1) > 0.3 {
+		t.Fatalf("mean loss %v, want ~1", got)
+	}
+	if got := stats.Mean(s.Jitters()); math.Abs(got-8) > 3 {
+		t.Fatalf("mean jitter %v, want ~8", got)
+	}
+	if got := stats.Mean(s.Bandwidths()); math.Abs(got-4) > 0.5 {
+		t.Fatalf("mean bw %v, want ~4", got)
+	}
+}
+
+func TestPathTemporalCorrelation(t *testing.T) {
+	cfg := PathConfig{BaseLatencyMs: 80, BaseJitterMs: 4, CapacityMbps: 5}
+	p := NewPath(cfg, simrand.New(5, 6))
+	s := p.GenerateSeries(2000)
+	lat := s.Latencies()
+	// Lag-1 autocorrelation of an AR(0.7) process should be clearly positive.
+	r, err := stats.Pearson(lat[:len(lat)-1], lat[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 0.4 {
+		t.Fatalf("lag-1 autocorrelation %v, want strongly positive", r)
+	}
+}
+
+func TestLossBurstsRaiseLossAndLatency(t *testing.T) {
+	base := PathConfig{BaseLatencyMs: 30, BaseLossPct: 0.1, BaseJitterMs: 2, CapacityMbps: 5}
+	quiet := NewPath(base, simrand.New(7, 8)).GenerateSeries(2000)
+	bursty := base
+	bursty.LossBurstRate = 0.05
+	noisy := NewPath(bursty, simrand.New(7, 8)).GenerateSeries(2000)
+	if lq, ln := stats.Mean(quiet.Losses()), stats.Mean(noisy.Losses()); ln <= lq*1.5 {
+		t.Fatalf("bursts did not raise loss: quiet %v noisy %v", lq, ln)
+	}
+	if lq, ln := stats.Mean(quiet.Latencies()), stats.Mean(noisy.Latencies()); ln <= lq {
+		t.Fatalf("loss bursts should also raise latency: quiet %v noisy %v", lq, ln)
+	}
+}
+
+func TestBandwidthDips(t *testing.T) {
+	base := PathConfig{BaseLatencyMs: 30, CapacityMbps: 5}
+	dippy := base
+	dippy.BandwidthDipRate = 0.08
+	q := NewPath(base, simrand.New(9, 10)).GenerateSeries(2000)
+	d := NewPath(dippy, simrand.New(9, 10)).GenerateSeries(2000)
+	if bq, bd := stats.Mean(q.Bandwidths()), stats.Mean(d.Bandwidths()); bd >= bq {
+		t.Fatalf("dips did not lower bandwidth: %v vs %v", bq, bd)
+	}
+}
+
+func TestConfigClamping(t *testing.T) {
+	cfg := PathConfig{BaseLatencyMs: -5, BaseLossPct: 150, BaseJitterMs: -1, CapacityMbps: -10, UtilizationJitter: 5}
+	p := NewPath(cfg, simrand.New(1, 1))
+	got := p.Config()
+	if got.BaseLatencyMs != 0 || got.BaseLossPct != 100 || got.BaseJitterMs != 0 {
+		t.Fatalf("clamp failed: %+v", got)
+	}
+	if got.CapacityMbps <= 0 || got.UtilizationJitter > 1 {
+		t.Fatalf("clamp failed: %+v", got)
+	}
+}
+
+func TestMixtureDeterminism(t *testing.T) {
+	m := DefaultMixture()
+	a := m.NewPath(simrand.New(1, 2)).GenerateSeries(10)
+	b := m.NewPath(simrand.New(1, 2)).GenerateSeries(10)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different series at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMixtureDiversity(t *testing.T) {
+	m := DefaultMixture()
+	root := simrand.Root(99)
+	var lats []float64
+	for i := 0; i < 500; i++ {
+		p := m.NewPath(root.Derive("s/%d", i).RNG())
+		lats = append(lats, p.Config().BaseLatencyMs)
+	}
+	// The mixture spans fast fiber to long-haul paths.
+	if stats.Quantile(lats, 0.1) > 30 {
+		t.Fatalf("p10 latency %v too high; fiber missing?", stats.Quantile(lats, 0.1))
+	}
+	if stats.Quantile(lats, 0.95) < 80 {
+		t.Fatalf("p95 latency %v too low; tails missing?", stats.Quantile(lats, 0.95))
+	}
+}
+
+func TestSweepCoversRange(t *testing.T) {
+	sw := ControlBands()
+	sw.LatencyMs = [2]float64{0, 300}
+	root := simrand.Root(5)
+	b := stats.NewBinner(0, 300, 10)
+	counts := make([]int, 10)
+	for i := 0; i < 1000; i++ {
+		p := sw.NewPath(root.Derive("p/%d", i).RNG())
+		if idx := b.Index(p.Config().BaseLatencyMs); idx >= 0 {
+			counts[idx]++
+		}
+		// Control bands hold for the other metrics.
+		cfg := p.Config()
+		if cfg.BaseLossPct < 0 || cfg.BaseLossPct > 0.2 {
+			t.Fatalf("loss %v outside control band", cfg.BaseLossPct)
+		}
+		if cfg.CapacityMbps < 3 || cfg.CapacityMbps > 4 {
+			t.Fatalf("bw %v outside control band", cfg.CapacityMbps)
+		}
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Fatalf("latency bin %d never sampled", i)
+		}
+	}
+}
+
+func TestFixedSource(t *testing.T) {
+	f := &Fixed{Cfg: PathConfig{BaseLatencyMs: 42, CapacityMbps: 3}}
+	p := f.NewPath(simrand.New(0, 1))
+	if p.Config().BaseLatencyMs != 42 {
+		t.Fatalf("Fixed config not honored: %+v", p.Config())
+	}
+}
+
+func TestSeriesColumns(t *testing.T) {
+	s := Series{
+		{LatencyMs: 1, LossPct: 2, JitterMs: 3, BandwidthMbps: 4},
+		{LatencyMs: 5, LossPct: 6, JitterMs: 7, BandwidthMbps: 8},
+	}
+	if l := s.Latencies(); l[0] != 1 || l[1] != 5 {
+		t.Fatalf("Latencies = %v", l)
+	}
+	if l := s.Losses(); l[0] != 2 || l[1] != 6 {
+		t.Fatalf("Losses = %v", l)
+	}
+	if j := s.Jitters(); j[0] != 3 || j[1] != 7 {
+		t.Fatalf("Jitters = %v", j)
+	}
+	if b := s.Bandwidths(); b[0] != 4 || b[1] != 8 {
+		t.Fatalf("Bandwidths = %v", b)
+	}
+}

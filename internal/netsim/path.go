@@ -1,0 +1,158 @@
+package netsim
+
+import (
+	"math"
+
+	"usersignals/internal/simrand"
+)
+
+// PathConfig fixes the base (session-long) characteristics of one path.
+// Per-sample variation and transient events are layered on top by Path.
+type PathConfig struct {
+	// Label identifies the access population the path was drawn from
+	// (e.g. "fiber", "leo-satellite"); consumers map it to an ISP name.
+	Label string
+
+	BaseLatencyMs     float64 // steady-state one-way latency
+	BaseLossPct       float64 // background random loss percentage
+	BaseJitterMs      float64 // steady-state jitter
+	CapacityMbps      float64 // nominal access capacity
+	UtilizationJitter float64 // relative cross-traffic variability in [0, 1]
+
+	// Event rates per sample (i.e. per 5 s): probabilities of transient
+	// impairments starting at a given sample.
+	LossBurstRate    float64 // burst of heavy loss (congestion, wifi fade)
+	JitterSpikeRate  float64 // buffer-bloat style delay variation episode
+	BandwidthDipRate float64 // competing traffic grabs capacity
+}
+
+// clampConfig sanitizes out-of-range fields so a Path is always physical.
+func (c PathConfig) clamp() PathConfig {
+	if c.BaseLatencyMs < 0 {
+		c.BaseLatencyMs = 0
+	}
+	if c.BaseLossPct < 0 {
+		c.BaseLossPct = 0
+	}
+	if c.BaseLossPct > 100 {
+		c.BaseLossPct = 100
+	}
+	if c.BaseJitterMs < 0 {
+		c.BaseJitterMs = 0
+	}
+	if c.CapacityMbps < 0.05 {
+		c.CapacityMbps = 0.05
+	}
+	if c.UtilizationJitter < 0 {
+		c.UtilizationJitter = 0
+	}
+	if c.UtilizationJitter > 1 {
+		c.UtilizationJitter = 1
+	}
+	return c
+}
+
+// Path is a stateful generator of condition samples for one session. It is
+// not safe for concurrent use; each session owns its Path.
+type Path struct {
+	cfg PathConfig
+	rng *simrand.RNG
+
+	// replay, when non-nil, makes Next serve these samples verbatim
+	// (looping) instead of generating — see TraceSource.
+	replay    Series
+	replayPos int
+
+	// AR(1) states for smooth variation around the base values.
+	latAR, jitAR, bwAR float64
+
+	// remaining samples of active transient events
+	lossBurstLeft    int
+	lossBurstLevel   float64
+	jitterSpikeLeft  int
+	jitterSpikeLevel float64
+	bwDipLeft        int
+	bwDipLevel       float64
+}
+
+// AR(1) smoothing factor for sample-to-sample correlation: conditions five
+// seconds apart are strongly related.
+const arPhi = 0.7
+
+// NewPath returns a path generator with the given base configuration. The
+// RNG is owned by the path afterwards.
+func NewPath(cfg PathConfig, rng *simrand.RNG) *Path {
+	return &Path{cfg: cfg.clamp(), rng: rng}
+}
+
+// Config returns the path's base configuration.
+func (p *Path) Config() PathConfig { return p.cfg }
+
+// Next produces the next 5-second condition sample.
+func (p *Path) Next() Conditions {
+	if len(p.replay) > 0 {
+		c := p.replay[p.replayPos%len(p.replay)]
+		p.replayPos++
+		return c
+	}
+	r := p.rng
+	cfg := p.cfg
+
+	// --- transient events ---
+	if p.lossBurstLeft == 0 && r.Bool(cfg.LossBurstRate) {
+		p.lossBurstLeft = 1 + r.Intn(6) // 5-30 s bursts
+		p.lossBurstLevel = r.Range(1, 8)
+	}
+	if p.jitterSpikeLeft == 0 && r.Bool(cfg.JitterSpikeRate) {
+		p.jitterSpikeLeft = 1 + r.Intn(4)
+		p.jitterSpikeLevel = r.Range(5, 30)
+	}
+	if p.bwDipLeft == 0 && r.Bool(cfg.BandwidthDipRate) {
+		p.bwDipLeft = 1 + r.Intn(12)
+		p.bwDipLevel = r.Range(0.3, 0.8) // multiplicative capacity retained
+	}
+
+	// --- smooth AR(1) components ---
+	p.latAR = arPhi*p.latAR + r.Normal(0, cfg.BaseLatencyMs*0.06+0.5)
+	p.jitAR = arPhi*p.jitAR + r.Normal(0, cfg.BaseJitterMs*0.15+0.1)
+	p.bwAR = arPhi*p.bwAR + r.Normal(0, cfg.CapacityMbps*cfg.UtilizationJitter*0.08)
+
+	lat := cfg.BaseLatencyMs + p.latAR
+	jit := cfg.BaseJitterMs + math.Abs(p.jitAR)
+	bw := cfg.CapacityMbps + p.bwAR
+	loss := cfg.BaseLossPct * r.Range(0.5, 1.5)
+
+	if p.lossBurstLeft > 0 {
+		p.lossBurstLeft--
+		loss += p.lossBurstLevel
+		// Loss bursts usually come with queueing delay.
+		lat += p.lossBurstLevel * 3
+		jit += p.lossBurstLevel * 0.8
+	}
+	if p.jitterSpikeLeft > 0 {
+		p.jitterSpikeLeft--
+		jit += p.jitterSpikeLevel
+		lat += p.jitterSpikeLevel * 1.5 // bufferbloat raises delay too
+	}
+	if p.bwDipLeft > 0 {
+		p.bwDipLeft--
+		bw *= p.bwDipLevel
+	}
+
+	c := Conditions{
+		LatencyMs:     math.Max(0, lat),
+		LossPct:       math.Min(100, math.Max(0, loss)),
+		JitterMs:      math.Max(0, jit),
+		BandwidthMbps: math.Max(0.05, bw),
+	}
+	return c
+}
+
+// GenerateSeries produces n consecutive samples.
+func (p *Path) GenerateSeries(n int) Series {
+	s := make(Series, n)
+	for i := range s {
+		s[i] = p.Next()
+	}
+	return s
+}

@@ -1,0 +1,215 @@
+package netsim
+
+import "usersignals/internal/simrand"
+
+// PathSource draws per-session path configurations from some population of
+// access networks. Implementations must be deterministic given the RNG.
+type PathSource interface {
+	// NewPath returns a fresh path for one session. The returned path owns
+	// the provided RNG.
+	NewPath(rng *simrand.RNG) *Path
+}
+
+// AccessProfile describes one access-technology population (fiber, cable,
+// DSL, Wi-Fi on cable, LTE, GEO satellite...) as distributions over
+// PathConfig fields.
+type AccessProfile struct {
+	Name string
+
+	// Medians and multiplicative spreads of log-normal base conditions.
+	LatencyMedianMs    float64
+	LatencySpread      float64
+	JitterMedianMs     float64
+	JitterSpread       float64
+	CapacityMedianMbps float64
+	CapacitySpread     float64
+
+	// Loss: probability a session has elevated background loss, and the
+	// Pareto scale of that loss when present. Most sessions see ~0 loss;
+	// the tail is heavy — matching the paper's note that >2% loss is rare.
+	LossyProb    float64
+	LossScalePct float64
+
+	// Event rates (per 5 s sample).
+	LossBurstRate    float64
+	JitterSpikeRate  float64
+	BandwidthDipRate float64
+
+	UtilizationJitter float64
+}
+
+// Draw samples one PathConfig from the profile.
+func (a AccessProfile) Draw(r *simrand.RNG) PathConfig {
+	loss := 0.0
+	if r.Bool(a.LossyProb) {
+		loss = r.Pareto(a.LossScalePct, 1.6)
+		if loss > 12 {
+			loss = 12
+		}
+	}
+	return PathConfig{
+		Label:             a.Name,
+		BaseLatencyMs:     r.LogNormalMeanMedian(a.LatencyMedianMs, a.LatencySpread),
+		BaseLossPct:       loss,
+		BaseJitterMs:      r.LogNormalMeanMedian(a.JitterMedianMs, a.JitterSpread),
+		CapacityMbps:      r.LogNormalMeanMedian(a.CapacityMedianMbps, a.CapacitySpread),
+		UtilizationJitter: a.UtilizationJitter,
+		LossBurstRate:     a.LossBurstRate,
+		JitterSpikeRate:   a.JitterSpikeRate,
+		BandwidthDipRate:  a.BandwidthDipRate,
+	}
+}
+
+// DefaultProfiles is a US-enterprise-flavoured access mix for the Teams
+// study: mostly good wired/Wi-Fi connectivity with minority cellular and
+// congested tails.
+func DefaultProfiles() []AccessProfile {
+	return []AccessProfile{
+		{
+			Name:            "fiber",
+			LatencyMedianMs: 12, LatencySpread: 1.5,
+			JitterMedianMs: 1.2, JitterSpread: 1.6,
+			CapacityMedianMbps: 8, CapacitySpread: 1.4,
+			LossyProb: 0.03, LossScalePct: 0.1,
+			LossBurstRate: 0.002, JitterSpikeRate: 0.002, BandwidthDipRate: 0.004,
+			UtilizationJitter: 0.15,
+		},
+		{
+			Name:            "cable",
+			LatencyMedianMs: 28, LatencySpread: 1.7,
+			JitterMedianMs: 3, JitterSpread: 1.8,
+			CapacityMedianMbps: 5, CapacitySpread: 1.5,
+			LossyProb: 0.08, LossScalePct: 0.15,
+			LossBurstRate: 0.006, JitterSpikeRate: 0.006, BandwidthDipRate: 0.01,
+			UtilizationJitter: 0.3,
+		},
+		{
+			Name:            "dsl",
+			LatencyMedianMs: 45, LatencySpread: 1.8,
+			JitterMedianMs: 5, JitterSpread: 2,
+			CapacityMedianMbps: 2.5, CapacitySpread: 1.6,
+			LossyProb: 0.12, LossScalePct: 0.2,
+			LossBurstRate: 0.008, JitterSpikeRate: 0.01, BandwidthDipRate: 0.015,
+			UtilizationJitter: 0.35,
+		},
+		{
+			Name:            "wifi-congested",
+			LatencyMedianMs: 60, LatencySpread: 2.2,
+			JitterMedianMs: 8, JitterSpread: 2.2,
+			CapacityMedianMbps: 3.5, CapacitySpread: 1.8,
+			LossyProb: 0.3, LossScalePct: 0.3,
+			LossBurstRate: 0.02, JitterSpikeRate: 0.025, BandwidthDipRate: 0.03,
+			UtilizationJitter: 0.5,
+		},
+		{
+			Name:            "lte",
+			LatencyMedianMs: 70, LatencySpread: 2,
+			JitterMedianMs: 10, JitterSpread: 2.2,
+			CapacityMedianMbps: 4, CapacitySpread: 2,
+			LossyProb: 0.25, LossScalePct: 0.25,
+			LossBurstRate: 0.015, JitterSpikeRate: 0.03, BandwidthDipRate: 0.025,
+			UtilizationJitter: 0.5,
+		},
+		{
+			Name:            "long-haul",
+			LatencyMedianMs: 160, LatencySpread: 1.6,
+			JitterMedianMs: 6, JitterSpread: 2,
+			CapacityMedianMbps: 4, CapacitySpread: 1.6,
+			LossyProb: 0.2, LossScalePct: 0.25,
+			LossBurstRate: 0.01, JitterSpikeRate: 0.012, BandwidthDipRate: 0.015,
+			UtilizationJitter: 0.35,
+		},
+		{
+			// LEO satellite access: moderate latency, jittery (satellite
+			// handovers), occasional short dropouts. The §5 cross-source
+			// query keys on this population.
+			Name:            "leo-satellite",
+			LatencyMedianMs: 45, LatencySpread: 1.5,
+			JitterMedianMs: 9, JitterSpread: 1.9,
+			CapacityMedianMbps: 5, CapacitySpread: 1.8,
+			LossyProb: 0.3, LossScalePct: 0.3,
+			LossBurstRate: 0.02, JitterSpikeRate: 0.03, BandwidthDipRate: 0.025,
+			UtilizationJitter: 0.45,
+		},
+	}
+}
+
+// Mixture draws sessions from a weighted mix of access profiles — the
+// observational population the §3 study would see.
+type Mixture struct {
+	Profiles []AccessProfile
+	Weights  []float64
+}
+
+// DefaultMixture returns the default enterprise access mix.
+func DefaultMixture() *Mixture {
+	return &Mixture{
+		Profiles: DefaultProfiles(),
+		Weights:  []float64{0.26, 0.29, 0.11, 0.12, 0.10, 0.08, 0.04},
+	}
+}
+
+// NewPath implements PathSource.
+func (m *Mixture) NewPath(rng *simrand.RNG) *Path {
+	i := rng.Categorical(m.Weights)
+	cfg := m.Profiles[i].Draw(rng)
+	return NewPath(cfg, rng)
+}
+
+// Sweep draws base conditions uniformly over configured ranges instead of
+// from a realistic mixture. Experiments use it to guarantee dense coverage
+// of every bin in a figure's sweep axis while other conditions stay inside
+// their control bands — the simulation analogue of the paper's "analyze the
+// calls where other metrics are roughly constant".
+type Sweep struct {
+	LatencyMs     [2]float64
+	LossPct       [2]float64
+	JitterMs      [2]float64
+	BandwidthMbps [2]float64
+
+	// Quiet disables transient events so the per-session mean stays close
+	// to the swept base value (tight bins). Default false.
+	Quiet bool
+}
+
+// ControlBands are the §3.2 confounder bands: latency 0–40 ms, loss
+// 0–0.2%, jitter 0–5 ms, bandwidth 3–4 Mbps. A Sweep for one metric starts
+// from these and widens exactly one axis.
+func ControlBands() Sweep {
+	return Sweep{
+		LatencyMs:     [2]float64{5, 40},
+		LossPct:       [2]float64{0, 0.2},
+		JitterMs:      [2]float64{0.5, 5},
+		BandwidthMbps: [2]float64{3, 4},
+		Quiet:         true,
+	}
+}
+
+// NewPath implements PathSource.
+func (s *Sweep) NewPath(rng *simrand.RNG) *Path {
+	cfg := PathConfig{
+		Label:         "sweep",
+		BaseLatencyMs: rng.Range(s.LatencyMs[0], s.LatencyMs[1]),
+		BaseLossPct:   rng.Range(s.LossPct[0], s.LossPct[1]),
+		BaseJitterMs:  rng.Range(s.JitterMs[0], s.JitterMs[1]),
+		CapacityMbps:  rng.Range(s.BandwidthMbps[0], s.BandwidthMbps[1]),
+	}
+	if !s.Quiet {
+		cfg.LossBurstRate = 0.005
+		cfg.JitterSpikeRate = 0.005
+		cfg.BandwidthDipRate = 0.01
+		cfg.UtilizationJitter = 0.3
+	}
+	return NewPath(cfg, rng)
+}
+
+// Fixed always returns paths with exactly the given configuration; useful
+// in unit tests and ablations.
+type Fixed struct {
+	Cfg PathConfig
+}
+
+// NewPath implements PathSource.
+func (f *Fixed) NewPath(rng *simrand.RNG) *Path {
+	return NewPath(f.Cfg, rng)
+}

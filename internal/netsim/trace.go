@@ -1,0 +1,133 @@
+package netsim
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"usersignals/internal/simrand"
+)
+
+// Trace is a recorded set of condition sessions — the bridge between real
+// network measurements and the simulator. A study that has actual client
+// traces (which this repository's synthetic substrate stands in for) can
+// replay them through the exact same analysis pipeline via TraceSource.
+type Trace struct {
+	Sessions []Series
+}
+
+// traceHeader is the CSV schema: a session index plus the four condition
+// fields, one row per 5-second sample.
+var traceHeader = []string{"session", "latency_ms", "loss_pct", "jitter_ms", "bandwidth_mbps"}
+
+// WriteTrace encodes the trace as CSV.
+func WriteTrace(w io.Writer, tr *Trace) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(traceHeader); err != nil {
+		return fmt.Errorf("netsim: writing trace header: %w", err)
+	}
+	for si, sess := range tr.Sessions {
+		for _, c := range sess {
+			row := []string{
+				strconv.Itoa(si),
+				strconv.FormatFloat(c.LatencyMs, 'g', 8, 64),
+				strconv.FormatFloat(c.LossPct, 'g', 8, 64),
+				strconv.FormatFloat(c.JitterMs, 'g', 8, 64),
+				strconv.FormatFloat(c.BandwidthMbps, 'g', 8, 64),
+			}
+			if err := cw.Write(row); err != nil {
+				return fmt.Errorf("netsim: writing trace row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("netsim: flushing trace: %w", err)
+	}
+	return nil
+}
+
+// ReadTrace decodes a CSV trace. Sessions must be numbered contiguously
+// from 0 but rows may arrive in any order within a session. Invalid
+// samples are rejected.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err == io.EOF {
+		return &Trace{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("netsim: reading trace header: %w", err)
+	}
+	if len(header) != len(traceHeader) {
+		return nil, fmt.Errorf("netsim: trace header has %d columns, want %d", len(header), len(traceHeader))
+	}
+	tr := &Trace{}
+	line := 1
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("netsim: reading trace: %w", err)
+		}
+		line++
+		si, err := strconv.Atoi(row[0])
+		if err != nil || si < 0 {
+			return nil, fmt.Errorf("netsim: trace line %d: bad session index %q", line, row[0])
+		}
+		var vals [4]float64
+		for i := 0; i < 4; i++ {
+			vals[i], err = strconv.ParseFloat(row[i+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("netsim: trace line %d: column %s: %w", line, traceHeader[i+1], err)
+			}
+		}
+		c := Conditions{LatencyMs: vals[0], LossPct: vals[1], JitterMs: vals[2], BandwidthMbps: vals[3]}
+		if !c.Valid() {
+			return nil, fmt.Errorf("netsim: trace line %d: invalid sample %v", line, c)
+		}
+		for si >= len(tr.Sessions) {
+			tr.Sessions = append(tr.Sessions, nil)
+		}
+		tr.Sessions[si] = append(tr.Sessions[si], c)
+	}
+	for i, s := range tr.Sessions {
+		if len(s) == 0 {
+			return nil, fmt.Errorf("netsim: trace session %d has no samples", i)
+		}
+	}
+	return tr, nil
+}
+
+// TraceSource replays trace sessions as paths. Each NewPath call consumes
+// the next session round-robin; a replayed path loops its samples if asked
+// for more windows than were recorded. Safe for single-goroutine use by a
+// generator (matching the other PathSources).
+type TraceSource struct {
+	Trace *Trace
+	next  int
+}
+
+// NewPath implements PathSource by replaying the next recorded session.
+func (t *TraceSource) NewPath(rng *simrand.RNG) *Path {
+	if t.Trace == nil || len(t.Trace.Sessions) == 0 {
+		// Degenerate: an idle path, so callers fail soft and visibly
+		// (zero-valued conditions) rather than panicking mid-simulation.
+		return NewPath(PathConfig{Label: "trace-empty"}, rng)
+	}
+	sess := t.Trace.Sessions[t.next%len(t.Trace.Sessions)]
+	t.next++
+	return newReplayPath(sess, rng)
+}
+
+// newReplayPath builds a Path that serves recorded samples verbatim
+// (looping) instead of generating them.
+func newReplayPath(samples Series, rng *simrand.RNG) *Path {
+	p := NewPath(PathConfig{Label: "trace"}, rng)
+	p.replay = append(Series(nil), samples...)
+	return p
+}

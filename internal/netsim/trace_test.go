@@ -1,0 +1,110 @@
+package netsim
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"usersignals/internal/simrand"
+)
+
+func sampleTrace() *Trace {
+	return &Trace{Sessions: []Series{
+		{
+			{LatencyMs: 20, LossPct: 0.1, JitterMs: 2, BandwidthMbps: 4},
+			{LatencyMs: 25, LossPct: 0.2, JitterMs: 3, BandwidthMbps: 3.8},
+		},
+		{
+			{LatencyMs: 120, LossPct: 1.5, JitterMs: 8, BandwidthMbps: 2},
+		},
+	}}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, back) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", tr, back)
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	cases := []string{
+		"a,b\n", // bad header
+		"session,latency_ms,loss_pct,jitter_ms,bandwidth_mbps\n-1,1,1,1,1\n",   // negative session
+		"session,latency_ms,loss_pct,jitter_ms,bandwidth_mbps\n0,x,1,1,1\n",    // bad number
+		"session,latency_ms,loss_pct,jitter_ms,bandwidth_mbps\n0,-5,1,1,1\n",   // invalid sample
+		"session,latency_ms,loss_pct,jitter_ms,bandwidth_mbps\n1,10,0.1,1,3\n", // session 0 missing
+	}
+	for i, in := range cases {
+		if _, err := ReadTrace(strings.NewReader(in)); err == nil {
+			t.Fatalf("case %d accepted: %q", i, in)
+		}
+	}
+	// Empty input is an empty trace.
+	tr, err := ReadTrace(strings.NewReader(""))
+	if err != nil || len(tr.Sessions) != 0 {
+		t.Fatalf("empty trace: %v %v", tr, err)
+	}
+}
+
+func TestTraceSourceReplays(t *testing.T) {
+	tr := sampleTrace()
+	src := &TraceSource{Trace: tr}
+	p1 := src.NewPath(simrand.New(1, 1))
+	if p1.Config().Label != "trace" {
+		t.Fatalf("label = %q", p1.Config().Label)
+	}
+	if got := p1.Next(); got != tr.Sessions[0][0] {
+		t.Fatalf("first sample %v, want %v", got, tr.Sessions[0][0])
+	}
+	if got := p1.Next(); got != tr.Sessions[0][1] {
+		t.Fatalf("second sample mismatch: %v", got)
+	}
+	// Looping past the end.
+	if got := p1.Next(); got != tr.Sessions[0][0] {
+		t.Fatalf("loop sample %v", got)
+	}
+	// Round-robin across sessions.
+	p2 := src.NewPath(simrand.New(1, 2))
+	if got := p2.Next(); got != tr.Sessions[1][0] {
+		t.Fatalf("second path should replay session 1: %v", got)
+	}
+	p3 := src.NewPath(simrand.New(1, 3))
+	if got := p3.Next(); got != tr.Sessions[0][0] {
+		t.Fatalf("third path should wrap to session 0: %v", got)
+	}
+}
+
+func TestTraceSourceEmpty(t *testing.T) {
+	src := &TraceSource{}
+	p := src.NewPath(simrand.New(1, 1))
+	c := p.Next()
+	if !c.Valid() {
+		t.Fatalf("empty-trace path produced invalid sample: %v", c)
+	}
+	if p.Config().Label != "trace-empty" {
+		t.Fatalf("label = %q", p.Config().Label)
+	}
+}
+
+func TestReplayPathIgnoresGenerativeNoise(t *testing.T) {
+	// Two replay paths over the same session with different RNGs must
+	// produce identical series (the RNG is unused in replay mode).
+	tr := sampleTrace()
+	a := newReplayPath(tr.Sessions[0], simrand.New(1, 1))
+	b := newReplayPath(tr.Sessions[0], simrand.New(999, 999))
+	for i := 0; i < 10; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("replay depends on RNG")
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Package newswire is a synthetic, dated, keyword-searchable news corpus:
+// the stand-in for the paper's "discover relevant news articles by
+// searching online for the top word-cloud unigrams with the date". It is
+// generated from the same ISP timeline as the forum corpus, with the
+// crucial deliberate gap the paper found: unreported outages have no
+// coverage, so annotation honestly fails for them.
+package newswire
+
+import (
+	"fmt"
+	"sort"
+
+	"usersignals/internal/leo"
+	"usersignals/internal/nlp"
+	"usersignals/internal/timeline"
+)
+
+// Article is one news item.
+type Article struct {
+	Day      timeline.Day
+	Source   string
+	Headline string
+	Body     string
+}
+
+// Text returns the searchable text.
+func (a Article) Text() string { return a.Headline + ". " + a.Body }
+
+// Index is a date-ordered, token-indexed article collection.
+type Index struct {
+	articles []Article
+	tokens   []map[string]bool // stemmed token set per article
+}
+
+// Build generates coverage from the timeline: launches, reported outages,
+// and milestones. Unreported outages produce nothing.
+func Build(launches []leo.Launch, outages []leo.Outage, milestones []leo.Milestone) *Index {
+	var arts []Article
+	for _, l := range launches {
+		arts = append(arts, Article{
+			Day:      l.Day,
+			Source:   "space-desk",
+			Headline: fmt.Sprintf("Operator launches %d more satellites", l.Sats),
+			Body:     "The latest batch lifted off this morning, expanding the broadband constellation's coverage footprint.",
+		})
+	}
+	for _, o := range outages {
+		if !o.Reported {
+			continue
+		}
+		arts = append(arts, Article{
+			Day:      o.Day,
+			Source:   "tech-wire",
+			Headline: "Satellite internet service suffers global outage",
+			Body: fmt.Sprintf("Users across %d countries reported their service down for about %.0f hours before connectivity was restored. The company acknowledged the outage.",
+				o.Countries, o.Hours),
+		})
+	}
+	for _, m := range milestones {
+		var headline, body string
+		switch m.Kind {
+		case leo.MilestonePreorder:
+			headline = "Satellite broadband opens pre-orders in US, Canada and UK"
+			body = "Customers can now reserve the service with a deposit as the operator begins accepting pre-orders."
+		case leo.MilestoneDelay:
+			headline = "Satellite internet disappoints pre-order customers with delivery delays"
+			body = "An email to waiting customers pushed delivery estimates back, citing chip shortages and production constraints on the delay."
+		case leo.MilestoneFeatureTweet:
+			headline = "CEO announces mobile roaming for satellite internet"
+			body = "The roaming capability lets subscribers use their terminals away from their registered address, the executive said."
+		case leo.MilestoneFeatureOfficial:
+			headline = "Satellite internet adds official portability option"
+			body = "The operator formally notified subscribers that roaming, or portability, is now a supported service option."
+		default:
+			continue // leaks get no coverage — that's the point
+		}
+		arts = append(arts, Article{Day: m.Day, Source: "tech-wire", Headline: headline, Body: body})
+	}
+	sort.Slice(arts, func(i, j int) bool { return arts[i].Day < arts[j].Day })
+	ix := &Index{articles: arts, tokens: make([]map[string]bool, len(arts))}
+	for i, a := range arts {
+		set := map[string]bool{}
+		for _, tok := range nlp.ContentTokens(a.Text()) {
+			set[nlp.Stem(tok)] = true
+		}
+		ix.tokens[i] = set
+	}
+	return ix
+}
+
+// Len returns the article count.
+func (ix *Index) Len() int { return len(ix.articles) }
+
+// Articles returns all articles (shared slice; do not modify).
+func (ix *Index) Articles() []Article { return ix.articles }
+
+// Search returns articles within ±windowDays of day matching at least one
+// of the keywords (stem-matched), best-match first (more keyword hits, then
+// closer in time).
+func (ix *Index) Search(keywords []string, day timeline.Day, windowDays int) []Article {
+	stems := make([]string, 0, len(keywords))
+	for _, k := range keywords {
+		for _, tok := range nlp.Tokenize(k) {
+			stems = append(stems, nlp.Stem(tok))
+		}
+	}
+	type hit struct {
+		article Article
+		score   int
+		dist    int
+	}
+	var hits []hit
+	for i, a := range ix.articles {
+		dist := int(a.Day - day)
+		if dist < 0 {
+			dist = -dist
+		}
+		if dist > windowDays {
+			continue
+		}
+		score := 0
+		for _, s := range stems {
+			if ix.tokens[i][s] {
+				score++
+			}
+		}
+		if score > 0 {
+			hits = append(hits, hit{article: a, score: score, dist: dist})
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].score != hits[j].score {
+			return hits[i].score > hits[j].score
+		}
+		if hits[i].dist != hits[j].dist {
+			return hits[i].dist < hits[j].dist
+		}
+		return hits[i].article.Day < hits[j].article.Day
+	})
+	out := make([]Article, len(hits))
+	for i, h := range hits {
+		out[i] = h.article
+	}
+	return out
+}

@@ -1,0 +1,41 @@
+package nlp_test
+
+import (
+	"fmt"
+
+	"usersignals/internal/nlp"
+)
+
+func ExampleAnalyzer_Score() {
+	an := nlp.NewAnalyzer()
+	s := an.Score("Terrible outage again, absolutely unacceptable service.")
+	fmt.Printf("negative=%v strong=%v\n", s.Negative > s.Positive, s.StrongNegative())
+	// Output: negative=true strong=true
+}
+
+func ExampleWordCloud() {
+	texts := []string{
+		"Outage in Ohio, massive outage everywhere",
+		"Another outage and more disconnects tonight",
+	}
+	for _, wc := range nlp.WordCloud(texts, 2) {
+		fmt.Printf("%s:%d\n", wc.Word, wc.Count)
+	}
+	// Output:
+	// outage:3
+	// another:1
+}
+
+func ExampleDictionary_Matches() {
+	dict := nlp.OutageDictionary()
+	fmt.Println(dict.Matches("no connection since the storm"))
+	fmt.Println(dict.Matches("lovely sunset over the dish"))
+	// Output:
+	// true
+	// false
+}
+
+func ExampleStem() {
+	fmt.Println(nlp.Stem("outages"), nlp.Stem("disconnected"), nlp.Stem("dropping"))
+	// Output: outage disconnect drop
+}

@@ -1,0 +1,122 @@
+package nlp
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property tests on the NLP primitives: these guard the invariants the
+// pipelines rely on regardless of input text.
+
+func TestStemProperties(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			stem := Stem(tok)
+			if stem == "" {
+				return false
+			}
+			if len(stem) > len(tok) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTokenizeNoSeparatorsSurvive(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			if strings.ContainsAny(tok, " \t\n.,!?;:()[]{}\"'") {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDictionaryCountMatchesConsistency(t *testing.T) {
+	d := OutageDictionary()
+	f := func(s string) bool {
+		c := d.Count(s)
+		if c < 0 {
+			return false
+		}
+		return d.Matches(s) == (c > 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDictionaryCountAdditive(t *testing.T) {
+	// Concatenating two texts with a separator yields at least the sum of
+	// word hits (phrases could span the boundary, hence ≥, except our
+	// separator breaks token adjacency so equality holds for words).
+	d := NewDictionary("outage", "down")
+	f := func(a, b string) bool {
+		joined := a + " xx " + b
+		return d.Count(joined) >= d.Count(a)+d.Count(b)-1 // tolerate boundary effects
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopIsSortedAndBounded(t *testing.T) {
+	f := func(words []string, k uint8) bool {
+		counts := map[string]int{}
+		for _, w := range words {
+			counts[w]++
+		}
+		top := Top(counts, int(k))
+		if len(top) > int(k) && int(k) < len(counts) {
+			return false
+		}
+		for i := 1; i < len(top); i++ {
+			if top[i].Count > top[i-1].Count {
+				return false
+			}
+			if top[i].Count == top[i-1].Count && top[i].Word < top[i-1].Word {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalyzerScoreDeterministic(t *testing.T) {
+	a := NewAnalyzer()
+	f := func(s string) bool {
+		return a.Score(s) == a.Score(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCustomLexiconAnalyzer(t *testing.T) {
+	a := NewAnalyzerWithLexicon(map[string]float64{"zorp": 0.9, "blarg": -0.9})
+	pos := a.Score("zorp zorp zorp")
+	neg := a.Score("blarg blarg blarg")
+	if pos.Positive <= pos.Negative {
+		t.Fatalf("custom positive word misread: %+v", pos)
+	}
+	if neg.Negative <= neg.Positive {
+		t.Fatalf("custom negative word misread: %+v", neg)
+	}
+	// Unknown vocabulary is neutral.
+	neu := a.Score("the quick brown fox")
+	if neu.Neutral <= neu.Positive || neu.Neutral <= neu.Negative {
+		t.Fatalf("unknown text should be neutral: %+v", neu)
+	}
+}

@@ -1,0 +1,155 @@
+package nlp
+
+import "strings"
+
+// Sentiment is the score triple the cloud API in the paper returns: three
+// non-negative components summing to 1.
+type Sentiment struct {
+	Positive float64
+	Negative float64
+	Neutral  float64
+}
+
+// StrongThreshold is the paper's cutoff for counting a post as strongly
+// positive or negative (≥ 0.7).
+const StrongThreshold = 0.7
+
+// StrongPositive reports Positive ≥ 0.7.
+func (s Sentiment) StrongPositive() bool { return s.Positive >= StrongThreshold }
+
+// StrongNegative reports Negative ≥ 0.7.
+func (s Sentiment) StrongNegative() bool { return s.Negative >= StrongThreshold }
+
+// Analyzer scores text against a valence lexicon with negation and
+// intensifier handling. The zero value is unusable; construct with
+// NewAnalyzer (default lexicon) or NewAnalyzerWithLexicon.
+type Analyzer struct {
+	lexicon      map[string]float64
+	negations    map[string]bool
+	intensifiers map[string]float64
+}
+
+// NewAnalyzer returns an analyzer with the built-in lexicon.
+func NewAnalyzer() *Analyzer {
+	return NewAnalyzerWithLexicon(DefaultLexicon())
+}
+
+// NewAnalyzerWithLexicon returns an analyzer over a custom valence lexicon
+// (token → valence in [-1, 1]). Lexicon keys must be lowercase stems.
+func NewAnalyzerWithLexicon(lexicon map[string]float64) *Analyzer {
+	return &Analyzer{
+		lexicon: lexicon,
+		negations: map[string]bool{
+			"not": true, "no": true, "never": true, "nothing": true,
+			"dont": true, "cant": true, "wont": true, "didnt": true,
+			"doesnt": true, "isnt": true, "arent": true, "wasnt": true,
+			"without": true, "barely": true, "hardly": true,
+		},
+		intensifiers: map[string]float64{
+			"very": 1.5, "really": 1.5, "extremely": 1.9, "so": 1.4,
+			"super": 1.6, "absolutely": 1.8, "totally": 1.6, "incredibly": 1.8,
+			"slightly": 0.5, "somewhat": 0.6, "bit": 0.6, "little": 0.6,
+		},
+	}
+}
+
+// negationWindow is how many following valenced tokens a negation flips.
+const negationWindow = 3
+
+// Score produces the sentiment triple for a text. Deterministic and
+// pure.
+func (a *Analyzer) Score(text string) Sentiment {
+	toks := Tokenize(text)
+	var pos, neg float64
+	plain := 0
+	negateLeft := 0
+	boost := 1.0
+	for _, tok := range toks {
+		stem := Stem(tok)
+		if a.negations[tok] {
+			negateLeft = negationWindow
+			boost = 1.0
+			continue
+		}
+		if m, ok := a.intensifiers[tok]; ok {
+			boost = m
+			continue
+		}
+		v, ok := a.lexicon[stem]
+		if !ok {
+			v, ok = a.lexicon[tok]
+		}
+		if !ok {
+			if !stopwords[tok] {
+				plain++
+			}
+			if negateLeft > 0 {
+				negateLeft--
+			}
+			continue
+		}
+		v *= boost
+		boost = 1.0
+		if negateLeft > 0 {
+			v = -v * 0.8 // negated sentiment is weaker than its opposite
+			negateLeft--
+		}
+		if v > 0 {
+			pos += v
+		} else {
+			neg += -v
+		}
+	}
+	// Neutral mass: a floor plus the unvalenced content tokens, so short
+	// emphatic posts can cross the strong threshold while long rambling
+	// ones dilute toward neutral.
+	neutral := 0.55 + 0.05*float64(plain)
+	total := pos + neg + neutral
+	return Sentiment{Positive: pos / total, Negative: neg / total, Neutral: neutral / total}
+}
+
+// DefaultLexicon returns the built-in valence lexicon. Keys are lowercase
+// stems (see Stem). The vocabulary covers general English sentiment plus
+// the networking/ISP domain the studies need.
+func DefaultLexicon() map[string]float64 {
+	lex := map[string]float64{}
+	add := func(v float64, words string) {
+		for _, w := range strings.Fields(words) {
+			lex[w] = v
+		}
+	}
+	// Strong positive.
+	add(0.9, `amazing awesome fantastic excellent incredible outstanding
+		phenomenal perfect love loving blazing stellar flawless thrilled`)
+	add(0.7, `great happy excited impressive impressed wonderful excite
+		delighted beautiful superb smooth rock rocks solid blown stoked
+		grateful game-changer gamechanger`)
+	add(0.5, `good nice fast quick reliable stable improved improvement
+		improve better best upgrade upgraded win winner winning works
+		worked working glad pleased enjoy enjoyed recommend consistent
+		usable playable respectable`)
+	add(0.3, `fine okay ok decent fair acceptable enough finally promising
+		useful handy helpful hope hopeful cool neat`)
+	// Mild negative.
+	add(-0.3, `slow sluggish laggy spotty patchy meh mediocre concern
+		concerned worried iffy shaky choppy inconsistent underwhelming
+		expensive pricey`)
+	add(-0.5, `bad poor disappointing disappointed disappoint drop dropped
+		dropping drops problem problems issue issues trouble glitch
+		glitchy stutter stuttered freeze frozen freezing lag lagging
+		buffering delay delayed delays degraded degrade worse annoying
+		annoyed frustrating frustrated frustrate fail failed failing
+		fails struggle struggling unstable unusable`)
+	// Strong negative.
+	add(-0.8, `terrible horrible awful unacceptable garbage useless broken
+		furious angry outage outages offline dead disconnected
+		disconnect disconnects nightmare worst hate hated scam refund
+		cancel cancelled cancelling unusably abysmal atrocious`)
+	// Stem-collisions: make sure stems of the above also resolve (add()
+	// already lists many stems; a few irregulars need explicit entries).
+	lex["outage"] = -0.8
+	lex["drop"] = -0.5
+	lex["freez"] = -0.5 // stem of freezing after undouble
+	lex["disconnect"] = -0.8
+	return lex
+}

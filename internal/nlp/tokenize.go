@@ -1,0 +1,133 @@
+// Package nlp is the from-scratch text-analysis stack standing in for the
+// cloud NLP services the paper uses (Azure Cognitive Services for sentiment,
+// NLTK for word clouds): a tokenizer, a stopword list, a light stemmer, a
+// negation- and intensifier-aware lexicon sentiment model whose
+// (positive, negative, neutral) scores sum to 1, n-gram frequency tables,
+// and keyword dictionaries for the §4.1 outage monitor.
+package nlp
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize lowercases s and splits it into word tokens. Apostrophes inside
+// words are kept ("don't" stays one token, normalized to "dont"), every
+// other non-alphanumeric rune separates tokens.
+func Tokenize(s string) []string {
+	var tokens []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			tokens = append(tokens, b.String())
+			b.Reset()
+		}
+	}
+	runes := []rune(s)
+	for i, r := range runes {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+		case r == '\'' && b.Len() > 0 && i+1 < len(runes) && unicode.IsLetter(runes[i+1]):
+			// intra-word apostrophe: drop it, keep the word together
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// stopwords is a compact English stopword list (NLTK-flavoured) used when
+// building word clouds; sentiment keeps stopwords because negations matter.
+var stopwords = map[string]bool{}
+
+func init() {
+	for _, w := range strings.Fields(`
+		a about above after again all am an and any are as at be because
+		been before being below between both but by could did do does doing
+		down during each few for from further had has have having he her
+		here hers him his how i if in into is it its itself just me more
+		most my no nor not of off on once only or other our ours out over
+		own same she should so some such than that the their theirs them
+		then there these they this those through to too under until up very
+		was we were what when where which while who whom why will with you
+		your yours ive im dont cant wont didnt doesnt isnt arent wasnt its
+		thats theres youre theyre weve hes shes id youd wed get got gets
+		getting also can may would us
+	`) {
+		stopwords[w] = true
+	}
+}
+
+// IsStopword reports whether the (lowercased) token is a stopword.
+func IsStopword(tok string) bool { return stopwords[tok] }
+
+// ContentTokens tokenizes s and removes stopwords and single-letter tokens:
+// the preprocessing used for word clouds.
+func ContentTokens(s string) []string {
+	toks := Tokenize(s)
+	out := toks[:0:0]
+	for _, t := range toks {
+		if len(t) > 1 && !stopwords[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Stem applies a light suffix-stripping stemmer (a conservative Porter
+// subset) so that "outages"/"outage" and "disconnects"/"disconnected"
+// collapse together for dictionary matching and word clouds.
+func Stem(tok string) string {
+	n := len(tok)
+	switch {
+	case n > 4 && strings.HasSuffix(tok, "ies"):
+		return tok[:n-3] + "y"
+	case n > 4 && strings.HasSuffix(tok, "sses"):
+		return tok[:n-2]
+	case n > 3 && strings.HasSuffix(tok, "es") && !strings.HasSuffix(tok, "ses"):
+		return tok[:n-1] // outages → outage
+	case n > 3 && strings.HasSuffix(tok, "s") && !strings.HasSuffix(tok, "ss") && !strings.HasSuffix(tok, "us"):
+		return tok[:n-1]
+	case n > 5 && strings.HasSuffix(tok, "ing"):
+		stem := tok[:n-3]
+		return undouble(stem)
+	case n > 4 && strings.HasSuffix(tok, "ed"):
+		stem := tok[:n-2]
+		return undouble(stem)
+	default:
+		return tok
+	}
+}
+
+// undouble collapses a doubled final consonant left by suffix stripping
+// ("dropp" → "drop"), except for the legitimate doubles ll/ss/zz.
+func undouble(s string) string {
+	n := len(s)
+	if n < 3 {
+		return s
+	}
+	last := s[n-1]
+	if last == s[n-2] && last != 'l' && last != 's' && last != 'z' && !isVowelByte(last) {
+		return s[:n-1]
+	}
+	return s
+}
+
+func isVowelByte(b byte) bool {
+	switch b {
+	case 'a', 'e', 'i', 'o', 'u':
+		return true
+	}
+	return false
+}
+
+// StemAll stems every token.
+func StemAll(toks []string) []string {
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = Stem(t)
+	}
+	return out
+}

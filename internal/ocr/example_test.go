@@ -1,0 +1,29 @@
+package ocr_test
+
+import (
+	"fmt"
+
+	"usersignals/internal/ocr"
+)
+
+func ExampleExtract() {
+	report := ocr.Report{Provider: ocr.Ookla, DownMbps: 95.4, UpMbps: 12.3, LatencyMs: 42}
+	shot := ocr.Render(report)
+	ex, err := ocr.Extract(shot)
+	if err != nil {
+		fmt.Println("unreadable:", err)
+		return
+	}
+	fmt.Printf("%s: down=%.1f up=%.1f latency=%.0f\n", ex.Provider, ex.DownMbps, ex.UpMbps, ex.LatencyMs)
+	// Output: ookla: down=95.4 up=12.3 latency=42
+}
+
+func ExampleExtract_repair() {
+	// OCR confusions inside numeric tokens are repaired: S→5, l→1, O→0.
+	shot := ocr.Screenshot{Lines: []string{
+		"SPEEDTEST by Ookla", "DOWNLOAD Mbps", "9S.4", "UPLOAD Mbps", "l2.3", "Ping 4O ms",
+	}}
+	ex, _ := ocr.Extract(shot)
+	fmt.Printf("%.1f %.1f %.0f\n", ex.DownMbps, ex.UpMbps, ex.LatencyMs)
+	// Output: 95.4 12.3 40
+}

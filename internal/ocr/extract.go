@@ -1,0 +1,225 @@
+package ocr
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Extraction is the structured result of reading a screenshot.
+type Extraction struct {
+	Provider  Provider
+	DownMbps  float64
+	UpMbps    float64
+	LatencyMs float64
+	// HasUp / HasLatency report which optional fields parsed; downlink is
+	// mandatory (extraction fails without it).
+	HasUp      bool
+	HasLatency bool
+}
+
+// ErrUnreadable is returned when the screenshot cannot be attributed to a
+// known template or its mandatory fields cannot be parsed.
+var ErrUnreadable = errors.New("ocr: screenshot unreadable")
+
+// Extract reads a screenshot: template detection, numeric repair, field
+// parsing, range validation.
+func Extract(s Screenshot) (Extraction, error) {
+	text := strings.ToLower(s.Text())
+	var ex Extraction
+	switch {
+	case fuzzyContains(text, "speedtest"):
+		ex.Provider = Ookla
+	case fuzzyContains(text, "starlink") && fuzzyContains(text, "speed test"):
+		ex.Provider = StarlinkApp
+	case fuzzyContains(text, "fast"):
+		ex.Provider = Fast
+	default:
+		return Extraction{}, fmt.Errorf("%w: no known template marker", ErrUnreadable)
+	}
+
+	var err error
+	switch ex.Provider {
+	case Ookla:
+		err = extractOokla(s, &ex)
+	case Fast:
+		err = extractFast(s, &ex)
+	case StarlinkApp:
+		err = extractLabelled(s, &ex)
+	}
+	if err != nil {
+		return Extraction{}, err
+	}
+	if !validDown(ex.DownMbps) {
+		return Extraction{}, fmt.Errorf("%w: implausible downlink %v", ErrUnreadable, ex.DownMbps)
+	}
+	if ex.HasUp && !validUp(ex.UpMbps) {
+		ex.HasUp = false
+		ex.UpMbps = 0
+	}
+	if ex.HasLatency && !validLatency(ex.LatencyMs) {
+		ex.HasLatency = false
+		ex.LatencyMs = 0
+	}
+	return ex, nil
+}
+
+func validDown(v float64) bool    { return v >= 0.5 && v <= 2000 }
+func validUp(v float64) bool      { return v >= 0.1 && v <= 500 }
+func validLatency(v float64) bool { return v >= 5 && v <= 2000 }
+
+// extractOokla reads the vertical Ookla layout: the number on the line
+// after "DOWNLOAD", then after "UPLOAD", and "Ping N ms".
+func extractOokla(s Screenshot, ex *Extraction) error {
+	for i, line := range s.Lines {
+		low := strings.ToLower(line)
+		switch {
+		case fuzzyContains(low, "download") && i+1 < len(s.Lines):
+			if v, ok := firstNumber(s.Lines[i+1]); ok {
+				ex.DownMbps = v
+			}
+		case fuzzyContains(low, "upload") && i+1 < len(s.Lines):
+			if v, ok := firstNumber(s.Lines[i+1]); ok {
+				ex.UpMbps = v
+				ex.HasUp = true
+			}
+		case fuzzyContains(low, "ping"):
+			if v, ok := firstNumber(line); ok {
+				ex.LatencyMs = v
+				ex.HasLatency = true
+			}
+		}
+	}
+	if ex.DownMbps == 0 {
+		return fmt.Errorf("%w: ookla downlink missing", ErrUnreadable)
+	}
+	return nil
+}
+
+// extractFast reads the Fast layout: the big headline number is the
+// downlink; the detail line has "latency ... upload ...".
+func extractFast(s Screenshot, ex *Extraction) error {
+	for _, line := range s.Lines {
+		low := strings.ToLower(line)
+		hasLat := fuzzyContains(low, "latency")
+		hasUp := fuzzyContains(low, "upload")
+		if hasLat || hasUp {
+			nums := allNumbers(line)
+			idx := 0
+			if hasLat && idx < len(nums) {
+				ex.LatencyMs = nums[idx]
+				ex.HasLatency = true
+				idx++
+			}
+			if hasUp && idx < len(nums) {
+				ex.UpMbps = nums[idx]
+				ex.HasUp = true
+			}
+			continue
+		}
+		if ex.DownMbps == 0 && fuzzyContains(low, "mbps") {
+			if v, ok := firstNumber(line); ok {
+				ex.DownMbps = v
+			}
+		}
+	}
+	if ex.DownMbps == 0 {
+		return fmt.Errorf("%w: fast downlink missing", ErrUnreadable)
+	}
+	return nil
+}
+
+// extractLabelled reads "Label value unit" lines (the Starlink app).
+func extractLabelled(s Screenshot, ex *Extraction) error {
+	for _, line := range s.Lines {
+		low := strings.ToLower(line)
+		v, ok := firstNumber(line)
+		if !ok {
+			continue
+		}
+		switch {
+		case fuzzyContains(low, "download"):
+			ex.DownMbps = v
+		case fuzzyContains(low, "upload"):
+			ex.UpMbps = v
+			ex.HasUp = true
+		case fuzzyContains(low, "latency") || fuzzyContains(low, "ping"):
+			ex.LatencyMs = v
+			ex.HasLatency = true
+		}
+	}
+	if ex.DownMbps == 0 {
+		return fmt.Errorf("%w: downlink missing", ErrUnreadable)
+	}
+	return nil
+}
+
+// repairNumeric maps common OCR confusions back to digits.
+var repairNumeric = strings.NewReplacer(
+	"O", "0", "o", "0", "l", "1", "I", "1", "S", "5", "s", "5", "B", "8", "b", "6",
+)
+
+// firstNumber finds the first parseable number in a line, repairing OCR
+// confusions inside numeric-looking tokens.
+func firstNumber(line string) (float64, bool) {
+	for _, tok := range strings.Fields(line) {
+		if v, ok := parseNumeric(tok); ok {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// allNumbers collects every parseable number in order.
+func allNumbers(line string) []float64 {
+	var out []float64
+	for _, tok := range strings.Fields(line) {
+		if v, ok := parseNumeric(tok); ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// parseNumeric accepts tokens that are mostly digits (after confusion
+// repair), tolerating trailing punctuation.
+func parseNumeric(tok string) (float64, bool) {
+	tok = strings.Trim(tok, ".,:;()")
+	if tok == "" {
+		return 0, false
+	}
+	// A numeric candidate must be digit-dominated before repair, so that
+	// words like "Mbps" don't become numbers.
+	digitish := 0
+	for _, r := range tok {
+		if r >= '0' && r <= '9' || r == '.' {
+			digitish++
+		}
+	}
+	if float64(digitish) < 0.5*float64(len(tok)) {
+		return 0, false
+	}
+	repaired := repairNumeric.Replace(tok)
+	v, err := strconv.ParseFloat(repaired, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// fuzzyContains matches a marker word allowing one dropped character, which
+// keeps template detection robust to the renderer's deletion noise.
+func fuzzyContains(haystack, marker string) bool {
+	if strings.Contains(haystack, marker) {
+		return true
+	}
+	// Try the marker with each single character removed.
+	for i := range marker {
+		variant := marker[:i] + marker[i+1:]
+		if len(variant) >= 3 && strings.Contains(haystack, variant) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,167 @@
+package ocr
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"usersignals/internal/simrand"
+)
+
+func report(p Provider) Report {
+	return Report{Provider: p, DownMbps: 95.4, UpMbps: 12.3, LatencyMs: 42}
+}
+
+func TestCleanRoundTripAllProviders(t *testing.T) {
+	for _, p := range Providers() {
+		r := report(p)
+		ex, err := Extract(Render(r))
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if ex.Provider != p {
+			t.Fatalf("%v: detected %v", p, ex.Provider)
+		}
+		if math.Abs(ex.DownMbps-r.DownMbps) > 0.05 {
+			t.Fatalf("%v: down %v, want %v", p, ex.DownMbps, r.DownMbps)
+		}
+		if !ex.HasUp || math.Abs(ex.UpMbps-r.UpMbps) > 0.05 {
+			t.Fatalf("%v: up %v (has %v), want %v", p, ex.UpMbps, ex.HasUp, r.UpMbps)
+		}
+		if !ex.HasLatency || math.Abs(ex.LatencyMs-r.LatencyMs) > 0.5 {
+			t.Fatalf("%v: latency %v (has %v), want %v", p, ex.LatencyMs, ex.HasLatency, r.LatencyMs)
+		}
+	}
+}
+
+func TestNoisyExtractionAccuracy(t *testing.T) {
+	// At a moderate noise level the extractor must read the downlink
+	// correctly (within 10%) for the large majority of screenshots, and
+	// wrong-but-confident extractions must be rare.
+	root := simrand.Root(5)
+	const n = 1500
+	okCount, badValue := 0, 0
+	for i := 0; i < n; i++ {
+		rng := root.Derive("shot/%d", i).RNG()
+		r := Report{
+			Provider:  Providers()[i%3],
+			DownMbps:  rng.Range(5, 250),
+			UpMbps:    rng.Range(1, 30),
+			LatencyMs: rng.Range(20, 90),
+		}
+		shot := RenderNoisy(r, rng, 0.04)
+		ex, err := Extract(shot)
+		if err != nil {
+			continue // rejection is acceptable; silent corruption is not
+		}
+		okCount++
+		if math.Abs(ex.DownMbps-r.DownMbps)/r.DownMbps > 0.1 {
+			badValue++
+		}
+	}
+	if frac := float64(okCount) / n; frac < 0.75 {
+		t.Fatalf("extraction yield %v too low at 4%% noise", frac)
+	}
+	if frac := float64(badValue) / float64(okCount); frac > 0.05 {
+		t.Fatalf("silently wrong downlink in %v of accepted shots", frac)
+	}
+}
+
+func TestConfusionRepair(t *testing.T) {
+	// 95.4 rendered with 9->9, 5->S, 4->4: "9S.4" must repair to 95.4.
+	shot := Screenshot{Lines: []string{
+		"SPEEDTEST by Ookla", "DOWNLOAD Mbps", "9S.4", "UPLOAD Mbps", "l2.3", "Ping 4O ms",
+	}}
+	ex, err := Extract(shot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.DownMbps != 95.4 || ex.UpMbps != 12.3 || ex.LatencyMs != 40 {
+		t.Fatalf("repair failed: %+v", ex)
+	}
+}
+
+func TestWordsDoNotBecomeNumbers(t *testing.T) {
+	// "Mbps", "SOS", "Ookla" must never parse as numeric.
+	if _, ok := parseNumeric("Mbps"); ok {
+		t.Fatal("Mbps parsed as a number")
+	}
+	if _, ok := parseNumeric("SOS"); ok {
+		t.Fatal("SOS parsed as a number")
+	}
+	if v, ok := parseNumeric("42,"); !ok || v != 42 {
+		t.Fatal("trailing punctuation not trimmed")
+	}
+}
+
+func TestUnreadableScreenshots(t *testing.T) {
+	cases := []Screenshot{
+		{Lines: []string{"a photo of my cat"}},
+		{Lines: nil},
+		{Lines: []string{"SPEEDTEST by Ookla", "DOWNLOAD Mbps"}}, // no value line
+	}
+	for i, s := range cases {
+		if _, err := Extract(s); !errors.Is(err, ErrUnreadable) {
+			t.Fatalf("case %d: err = %v, want ErrUnreadable", i, err)
+		}
+	}
+}
+
+func TestImplausibleValuesRejectedOrDropped(t *testing.T) {
+	// Downlink out of range: hard failure.
+	shot := Render(Report{Provider: Ookla, DownMbps: 90000, UpMbps: 10, LatencyMs: 40})
+	if _, err := Extract(shot); !errors.Is(err, ErrUnreadable) {
+		t.Fatalf("implausible downlink accepted: %v", err)
+	}
+	// Optional field out of range: dropped, not fatal.
+	shot2 := Render(Report{Provider: StarlinkApp, DownMbps: 100, UpMbps: 9999, LatencyMs: 40})
+	ex, err := Extract(shot2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.HasUp {
+		t.Fatalf("implausible uplink kept: %+v", ex)
+	}
+	if !ex.HasLatency {
+		t.Fatal("valid latency dropped")
+	}
+}
+
+func TestRenderNoisyClampsNoise(t *testing.T) {
+	rng := simrand.New(1, 2)
+	r := report(Ookla)
+	// Negative noise behaves as clean.
+	clean := Render(r)
+	noisy := RenderNoisy(r, rng, -1)
+	if clean.Text() != noisy.Text() {
+		t.Fatal("negative noise altered output")
+	}
+	// Extreme noise is clamped: output still has most characters.
+	chaotic := RenderNoisy(r, rng, 10)
+	if len(chaotic.Text()) < len(clean.Text())/2 {
+		t.Fatalf("noise clamp failed: %q", chaotic.Text())
+	}
+}
+
+func TestProviderString(t *testing.T) {
+	for _, p := range Providers() {
+		if p.String() == "" {
+			t.Fatal("empty provider name")
+		}
+	}
+	if Provider(42).String() == "" {
+		t.Fatal("unknown provider name empty")
+	}
+}
+
+func TestFastLayoutFieldOrder(t *testing.T) {
+	// Latency and upload share one line; ordering must hold.
+	shot := Render(Report{Provider: Fast, DownMbps: 88.1, UpMbps: 9.5, LatencyMs: 51})
+	ex, err := Extract(shot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.LatencyMs != 51 || math.Abs(ex.UpMbps-9.5) > 0.01 {
+		t.Fatalf("fast detail line misparsed: %+v", ex)
+	}
+}

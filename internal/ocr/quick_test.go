@@ -1,0 +1,55 @@
+package ocr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Property: every plausible report round-trips losslessly through a clean
+// render, for every provider template.
+func TestCleanRoundTripProperty(t *testing.T) {
+	f := func(downRaw, upRaw, latRaw uint16, providerRaw uint8) bool {
+		r := Report{
+			Provider:  Providers()[int(providerRaw)%3],
+			DownMbps:  1 + float64(downRaw%3500)/10, // 1.0 .. 351.0
+			UpMbps:    0.5 + float64(upRaw%400)/10,  // 0.5 .. 40.5
+			LatencyMs: 10 + float64(latRaw%190),     // 10 .. 199
+		}
+		ex, err := Extract(Render(r))
+		if err != nil {
+			return false
+		}
+		return math.Abs(ex.DownMbps-r.DownMbps) < 0.06 &&
+			ex.HasUp && math.Abs(ex.UpMbps-r.UpMbps) < 0.06 &&
+			ex.HasLatency && math.Abs(ex.LatencyMs-r.LatencyMs) < 0.6 &&
+			ex.Provider == r.Provider
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: extraction never reports a value outside the validated ranges,
+// no matter how corrupted the input.
+func TestExtractOutputAlwaysValidated(t *testing.T) {
+	f := func(lines []string) bool {
+		ex, err := Extract(Screenshot{Lines: lines})
+		if err != nil {
+			return true
+		}
+		if !validDown(ex.DownMbps) {
+			return false
+		}
+		if ex.HasUp && !validUp(ex.UpMbps) {
+			return false
+		}
+		if ex.HasLatency && !validLatency(ex.LatencyMs) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,133 @@
+// Package ocr simulates the screenshot-to-fields pipeline of §4.2: Redditors
+// post screenshots of speed-test results from several providers, and the
+// paper extracts downlink/uplink/latency numbers with a cloud OCR service.
+//
+// Here a renderer lays each report out in a provider-specific text template
+// and injects OCR-style noise (character confusions, dropped characters),
+// and an extractor detects the template, repairs numeric confusions, parses
+// the fields, and validates ranges. Because ground truth is known, the
+// extractor's accuracy is itself measurable — something the paper could not
+// do — and is covered by tests.
+package ocr
+
+import (
+	"fmt"
+	"strings"
+
+	"usersignals/internal/simrand"
+)
+
+// Provider identifies the speed-test tool in the screenshot.
+type Provider int
+
+// Providers seen on the subreddit.
+const (
+	Ookla Provider = iota
+	Fast
+	StarlinkApp
+	numProviders
+)
+
+// String names the provider.
+func (p Provider) String() string {
+	switch p {
+	case Ookla:
+		return "ookla"
+	case Fast:
+		return "fast"
+	case StarlinkApp:
+		return "starlink-app"
+	default:
+		return fmt.Sprintf("provider(%d)", int(p))
+	}
+}
+
+// Providers returns all providers.
+func Providers() []Provider { return []Provider{Ookla, Fast, StarlinkApp} }
+
+// Report is the ground-truth content of a speed-test screenshot.
+type Report struct {
+	Provider  Provider
+	DownMbps  float64
+	UpMbps    float64
+	LatencyMs float64
+}
+
+// Screenshot is the rendered (and possibly noisy) text the OCR stage sees:
+// one string per visual line.
+type Screenshot struct {
+	Lines []string
+}
+
+// Text joins the lines.
+func (s Screenshot) Text() string { return strings.Join(s.Lines, "\n") }
+
+// Render lays out the report in its provider's template with no noise.
+func Render(r Report) Screenshot {
+	f1 := func(v float64) string { return fmt.Sprintf("%.1f", v) }
+	f0 := func(v float64) string { return fmt.Sprintf("%.0f", v) }
+	switch r.Provider {
+	case Fast:
+		return Screenshot{Lines: []string{
+			"FAST",
+			"Your Internet speed is",
+			f1(r.DownMbps) + " Mbps",
+			"Latency: " + f0(r.LatencyMs) + " ms   Upload: " + f1(r.UpMbps) + " Mbps",
+		}}
+	case StarlinkApp:
+		return Screenshot{Lines: []string{
+			"STARLINK",
+			"SPEED TEST",
+			"Download " + f1(r.DownMbps) + " Mbps",
+			"Upload " + f1(r.UpMbps) + " Mbps",
+			"Latency " + f0(r.LatencyMs) + " ms",
+		}}
+	default: // Ookla
+		return Screenshot{Lines: []string{
+			"SPEEDTEST by Ookla",
+			"DOWNLOAD Mbps",
+			f1(r.DownMbps),
+			"UPLOAD Mbps",
+			f1(r.UpMbps),
+			"Ping " + f0(r.LatencyMs) + " ms",
+			"Starlink",
+		}}
+	}
+}
+
+// confusions maps characters to what a sloppy OCR pass misreads them as.
+var confusions = map[rune]rune{
+	'0': 'O', '1': 'l', '5': 'S', '8': 'B', '6': 'b',
+	'O': '0', 'l': '1', 'S': '5', 'B': '8',
+}
+
+// RenderNoisy renders the report and corrupts it with character confusions
+// (probability confuse per character) and deletions (probability confuse/4).
+// confuse is clamped to [0, 0.5].
+func RenderNoisy(r Report, rng *simrand.RNG, confuse float64) Screenshot {
+	if confuse < 0 {
+		confuse = 0
+	}
+	if confuse > 0.5 {
+		confuse = 0.5
+	}
+	clean := Render(r)
+	out := make([]string, len(clean.Lines))
+	for i, line := range clean.Lines {
+		var b strings.Builder
+		for _, ch := range line {
+			if rng.Bool(confuse / 4) {
+				continue // dropped character
+			}
+			if rng.Bool(confuse) {
+				if repl, ok := confusions[ch]; ok {
+					b.WriteRune(repl)
+					continue
+				}
+			}
+			b.WriteRune(ch)
+		}
+		out[i] = b.String()
+	}
+	return Screenshot{Lines: out}
+}

@@ -1,0 +1,258 @@
+package simrand
+
+import (
+	"math"
+	"sort"
+)
+
+// Normal returns a normal variate with the given mean and standard
+// deviation. sigma < 0 is treated as 0.
+func (r *RNG) Normal(mean, sigma float64) float64 {
+	if sigma <= 0 {
+		return mean
+	}
+	return mean + sigma*r.NormFloat64()
+}
+
+// TruncNormal returns a normal variate clamped to [lo, hi]. Clamping (rather
+// than rejection) is deliberate: simulators use it for physically bounded
+// quantities (loss in [0,1], non-negative latency) where the tail mass is
+// tiny and a hard bound is the actual constraint.
+func (r *RNG) TruncNormal(mean, sigma, lo, hi float64) float64 {
+	return clamp(r.Normal(mean, sigma), lo, hi)
+}
+
+// LogNormal returns exp(N(mu, sigma)). Note mu and sigma parameterize the
+// underlying normal, not the resulting distribution's mean.
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Normal(mu, sigma))
+}
+
+// LogNormalMeanMedian returns a log-normal variate parameterized by its
+// median m and a multiplicative spread s (s >= 1); roughly 68% of samples
+// fall within [m/s, m*s]. This is the natural way to specify skewed network
+// metrics ("median latency 40 ms, spread 1.6x").
+func (r *RNG) LogNormalMeanMedian(median, spread float64) float64 {
+	if median <= 0 {
+		return 0
+	}
+	if spread <= 1 {
+		return median
+	}
+	return r.LogNormal(math.Log(median), math.Log(spread))
+}
+
+// Exponential returns an exponential variate with the given mean.
+func (r *RNG) Exponential(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return mean * r.ExpFloat64()
+}
+
+// Pareto returns a Pareto(xm, alpha) variate: heavy-tailed, minimum xm.
+func (r *RNG) Pareto(xm, alpha float64) float64 {
+	if xm <= 0 || alpha <= 0 {
+		return xm
+	}
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return xm / math.Pow(u, 1/alpha)
+		}
+	}
+}
+
+// Poisson returns a Poisson variate with the given mean, using Knuth's
+// method for small means and a normal approximation for large ones.
+func (r *RNG) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 60 {
+		// Normal approximation with continuity correction.
+		n := int(math.Round(r.Normal(mean, math.Sqrt(mean))))
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Binomial returns the number of successes in n Bernoulli(p) trials. For
+// large n it uses a normal approximation.
+func (r *RNG) Binomial(n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if n > 100 {
+		mean := float64(n) * p
+		sd := math.Sqrt(mean * (1 - p))
+		k := int(math.Round(r.Normal(mean, sd)))
+		return clampInt(k, 0, n)
+	}
+	k := 0
+	for i := 0; i < n; i++ {
+		if r.Float64() < p {
+			k++
+		}
+	}
+	return k
+}
+
+// Beta returns a Beta(a, b) variate via the ratio of gammas.
+func (r *RNG) Beta(a, b float64) float64 {
+	x := r.Gamma(a)
+	y := r.Gamma(b)
+	if x+y == 0 {
+		return 0.5
+	}
+	return x / (x + y)
+}
+
+// Gamma returns a Gamma(shape, 1) variate using the Marsaglia-Tsang method.
+func (r *RNG) Gamma(shape float64) float64 {
+	if shape <= 0 {
+		return 0
+	}
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		return r.Gamma(shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Zipf returns a variate in [1, n] following a Zipf distribution with
+// exponent s > 0 (1 is most likely). It uses inverse-CDF over the
+// precomputable harmonic sum; for repeated draws prefer NewZipf.
+func (r *RNG) Zipf(n int, s float64) int {
+	z := NewZipf(n, s)
+	return z.Draw(r)
+}
+
+// Zipfian precomputes the CDF of a Zipf(n, s) distribution for fast draws.
+type Zipfian struct {
+	cdf []float64
+}
+
+// NewZipf builds a Zipf sampler over ranks 1..n with exponent s.
+func NewZipf(n int, s float64) *Zipfian {
+	if n < 1 {
+		n = 1
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), s)
+		cdf[i-1] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipfian{cdf: cdf}
+}
+
+// Draw returns a rank in [1, n].
+func (z *Zipfian) Draw(r *RNG) int {
+	u := r.Float64()
+	i := sort.SearchFloat64s(z.cdf, u)
+	if i >= len(z.cdf) {
+		i = len(z.cdf) - 1
+	}
+	return i + 1
+}
+
+// Categorical draws an index in [0, len(weights)) with probability
+// proportional to weights[i]. Non-positive weights are treated as 0; if all
+// weights are non-positive it returns 0.
+func (r *RNG) Categorical(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return 0
+	}
+	u := r.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Pick returns a uniformly chosen element of items. It panics on an empty
+// slice.
+func Pick[T any](r *RNG, items []T) T {
+	return items[r.Intn(len(items))]
+}
+
+// PickWeighted returns items[i] with probability proportional to weights[i].
+// len(items) must equal len(weights).
+func PickWeighted[T any](r *RNG, items []T, weights []float64) T {
+	if len(items) != len(weights) {
+		panic("simrand: PickWeighted length mismatch")
+	}
+	return items[r.Categorical(weights)]
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func clampInt(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

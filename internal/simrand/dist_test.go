@@ -1,0 +1,307 @@
+package simrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalMoments(t *testing.T) {
+	r := New(1, 10)
+	const n = 100000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := r.Normal(50, 5)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean-50) > 0.1 {
+		t.Fatalf("mean %v, want ~50", mean)
+	}
+	if math.Abs(sd-5) > 0.1 {
+		t.Fatalf("sd %v, want ~5", sd)
+	}
+}
+
+func TestNormalZeroSigma(t *testing.T) {
+	r := New(1, 11)
+	if got := r.Normal(42, 0); got != 42 {
+		t.Fatalf("Normal(42, 0) = %v", got)
+	}
+	if got := r.Normal(42, -3); got != 42 {
+		t.Fatalf("Normal(42, -3) = %v", got)
+	}
+}
+
+func TestTruncNormalBounds(t *testing.T) {
+	r := New(1, 12)
+	f := func(seedByte uint8) bool {
+		x := r.TruncNormal(0, 100, -1, 1)
+		return x >= -1 && x <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	r := New(1, 13)
+	const n = 100001
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.LogNormalMeanMedian(40, 1.5)
+	}
+	med := quickSelectMedian(xs)
+	if med < 38 || med > 42 {
+		t.Fatalf("log-normal median %v, want ~40", med)
+	}
+	for _, x := range xs[:100] {
+		if x <= 0 {
+			t.Fatalf("log-normal produced non-positive %v", x)
+		}
+	}
+}
+
+func TestLogNormalDegenerate(t *testing.T) {
+	r := New(1, 14)
+	if got := r.LogNormalMeanMedian(0, 2); got != 0 {
+		t.Fatalf("median 0 should yield 0, got %v", got)
+	}
+	// Spread below 1 clamps to deterministic median.
+	if got := r.LogNormalMeanMedian(10, 0.5); got != 10 {
+		t.Fatalf("spread<1 should be deterministic, got %v", got)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := New(1, 15)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exponential(30)
+	}
+	if mean := sum / n; math.Abs(mean-30) > 0.5 {
+		t.Fatalf("exponential mean %v, want ~30", mean)
+	}
+	if got := r.Exponential(0); got != 0 {
+		t.Fatalf("Exponential(0) = %v", got)
+	}
+}
+
+func TestParetoMinimumAndTail(t *testing.T) {
+	r := New(1, 16)
+	const n = 50000
+	over := 0
+	for i := 0; i < n; i++ {
+		x := r.Pareto(1, 2)
+		if x < 1 {
+			t.Fatalf("Pareto below xm: %v", x)
+		}
+		if x > 10 {
+			over++
+		}
+	}
+	// P(X > 10) = (1/10)^2 = 1%.
+	frac := float64(over) / n
+	if frac < 0.005 || frac > 0.02 {
+		t.Fatalf("Pareto tail mass %v, want ~0.01", frac)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := New(1, 17)
+	for _, mean := range []float64{0.5, 3, 20, 200} {
+		const n = 50000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += r.Poisson(mean)
+		}
+		got := float64(sum) / n
+		tol := 3 * math.Sqrt(mean/float64(n)) * 3
+		if tol < 0.05 {
+			tol = 0.05
+		}
+		if math.Abs(got-mean) > tol+mean*0.02 {
+			t.Fatalf("Poisson(%v) sample mean %v", mean, got)
+		}
+	}
+	if got := r.Poisson(-1); got != 0 {
+		t.Fatalf("Poisson(-1) = %d", got)
+	}
+}
+
+func TestBinomialMeanAndBounds(t *testing.T) {
+	r := New(1, 18)
+	for _, tc := range []struct {
+		n int
+		p float64
+	}{{10, 0.3}, {1000, 0.01}, {500, 0.9}} {
+		const trials = 20000
+		sum := 0
+		for i := 0; i < trials; i++ {
+			k := r.Binomial(tc.n, tc.p)
+			if k < 0 || k > tc.n {
+				t.Fatalf("Binomial(%d,%v) = %d out of range", tc.n, tc.p, k)
+			}
+			sum += k
+		}
+		want := float64(tc.n) * tc.p
+		got := float64(sum) / trials
+		if math.Abs(got-want) > want*0.05+0.3 {
+			t.Fatalf("Binomial(%d,%v) mean %v, want %v", tc.n, tc.p, got, want)
+		}
+	}
+	if r.Binomial(10, 0) != 0 || r.Binomial(10, 1) != 10 || r.Binomial(0, 0.5) != 0 {
+		t.Fatal("Binomial edge cases wrong")
+	}
+}
+
+func TestBetaMoments(t *testing.T) {
+	r := New(1, 19)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		x := r.Beta(2, 5)
+		if x < 0 || x > 1 {
+			t.Fatalf("Beta out of [0,1]: %v", x)
+		}
+		sum += x
+	}
+	want := 2.0 / 7.0
+	if got := sum / n; math.Abs(got-want) > 0.01 {
+		t.Fatalf("Beta(2,5) mean %v, want %v", got, want)
+	}
+}
+
+func TestGammaMean(t *testing.T) {
+	r := New(1, 20)
+	for _, shape := range []float64{0.5, 1, 4.5} {
+		const n = 100000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += r.Gamma(shape)
+		}
+		if got := sum / n; math.Abs(got-shape) > shape*0.03+0.02 {
+			t.Fatalf("Gamma(%v) mean %v", shape, got)
+		}
+	}
+}
+
+func TestZipfRankOrdering(t *testing.T) {
+	r := New(1, 21)
+	z := NewZipf(100, 1.1)
+	counts := make([]int, 101)
+	for i := 0; i < 100000; i++ {
+		k := z.Draw(r)
+		if k < 1 || k > 100 {
+			t.Fatalf("Zipf draw %d out of range", k)
+		}
+		counts[k]++
+	}
+	if counts[1] <= counts[10] || counts[10] <= counts[100] {
+		t.Fatalf("Zipf counts not decreasing: c1=%d c10=%d c100=%d", counts[1], counts[10], counts[100])
+	}
+}
+
+func TestCategorical(t *testing.T) {
+	r := New(1, 22)
+	w := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	for i := 0; i < 40000; i++ {
+		counts[r.Categorical(w)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight category drawn %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Fatalf("weight ratio %v, want ~3", ratio)
+	}
+	if r.Categorical([]float64{0, 0}) != 0 {
+		t.Fatal("all-zero weights should return 0")
+	}
+	if r.Categorical(nil) != 0 {
+		t.Fatal("nil weights should return 0")
+	}
+}
+
+func TestPickWeightedMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PickWeighted(New(1, 1), []string{"a"}, []float64{1, 2})
+}
+
+func TestStreamDeterminismAndIndependence(t *testing.T) {
+	root := Root(42)
+	a1 := root.Derive("call/%d", 7).RNG().Uint64()
+	a2 := root.Derive("call/%d", 7).RNG().Uint64()
+	b := root.Derive("call/%d", 8).RNG().Uint64()
+	if a1 != a2 {
+		t.Fatal("same derivation path yielded different RNGs")
+	}
+	if a1 == b {
+		t.Fatal("sibling derivations collided")
+	}
+	// Order independence: deriving b first must not change a.
+	root2 := Root(42)
+	_ = root2.Derive("call/%d", 8)
+	if got := root2.Derive("call/%d", 7).RNG().Uint64(); got != a1 {
+		t.Fatal("derivation depends on sibling creation order")
+	}
+}
+
+func TestStreamPath(t *testing.T) {
+	s := Root(1).Derive("a").Derive("b/%d", 3)
+	if got := s.Path(); got != "root/a/b/3" {
+		t.Fatalf("Path = %q", got)
+	}
+}
+
+func TestRootFromString(t *testing.T) {
+	a := RootFromString("exp1").RNG().Uint64()
+	b := RootFromString("exp1").RNG().Uint64()
+	c := RootFromString("exp2").RNG().Uint64()
+	if a != b || a == c {
+		t.Fatalf("RootFromString not stable/distinct: %d %d %d", a, b, c)
+	}
+}
+
+// quickSelectMedian computes the median without pulling in the stats package
+// (which depends on nothing, but keeping test deps minimal).
+func quickSelectMedian(xs []float64) float64 {
+	cp := append([]float64(nil), xs...)
+	k := len(cp) / 2
+	lo, hi := 0, len(cp)-1
+	for {
+		if lo == hi {
+			return cp[lo]
+		}
+		pivot := cp[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for cp[i] < pivot {
+				i++
+			}
+			for cp[j] > pivot {
+				j--
+			}
+			if i <= j {
+				cp[i], cp[j] = cp[j], cp[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			return cp[k]
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package simrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a := New(1, 2)
+	b := New(1, 2)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("sequence diverged at %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestSeedsDiverge(t *testing.T) {
+	a := New(1, 2)
+	b := New(1, 3)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("nearby seeds produced %d identical outputs in 100 draws", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7, 7)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11, 13)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3, 9)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Fatalf("Intn(10) value %d drawn %d times of 100000; distribution skewed", v, c)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1, 1).Intn(0)
+}
+
+func TestUint64nUniformSmall(t *testing.T) {
+	// Lemire rejection must not bias small moduli.
+	r := New(5, 5)
+	counts := make([]int, 3)
+	for i := 0; i < 90000; i++ {
+		counts[r.Uint64n(3)]++
+	}
+	for v, c := range counts {
+		if c < 28000 || c > 32000 {
+			t.Fatalf("Uint64n(3) value %d count %d, want ~30000", v, c)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(21, 42)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance %v, want ~1", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := New(77, 1)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Fatalf("exponential mean %v, want ~1", mean)
+	}
+}
+
+func TestNewFromStringStable(t *testing.T) {
+	a := NewFromString("fig1/latency").Uint64()
+	b := NewFromString("fig1/latency").Uint64()
+	c := NewFromString("fig1/loss").Uint64()
+	if a != b {
+		t.Fatal("same string seed produced different sequences")
+	}
+	if a == c {
+		t.Fatal("different string seeds produced the same first draw")
+	}
+}
+
+func TestBool(t *testing.T) {
+	r := New(2, 4)
+	if r.Bool(0) {
+		t.Fatal("Bool(0) returned true")
+	}
+	if !r.Bool(1) {
+		t.Fatal("Bool(1) returned false")
+	}
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	if frac := float64(hits) / n; math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) hit rate %v", frac)
+	}
+}
+
+func TestRange(t *testing.T) {
+	r := New(8, 8)
+	for i := 0; i < 10000; i++ {
+		v := r.Range(-5, 10)
+		if v < -5 || v >= 10 {
+			t.Fatalf("Range(-5,10) = %v", v)
+		}
+	}
+	if got := r.Range(3, 3); got != 3 {
+		t.Fatalf("degenerate Range = %v, want 3", got)
+	}
+	if got := r.Range(4, 2); got != 4 {
+		t.Fatalf("inverted Range = %v, want lo", got)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(14, 15)
+	check := func(n uint8) bool {
+		p := r.Perm(int(n))
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= int(n) || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(p) == int(n)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleUniformFirstElement(t *testing.T) {
+	r := New(99, 100)
+	counts := make([]int, 4)
+	for i := 0; i < 40000; i++ {
+		s := []int{0, 1, 2, 3}
+		r.Shuffle(4, func(i, j int) { s[i], s[j] = s[j], s[i] })
+		counts[s[0]]++
+	}
+	for v, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Fatalf("element %d first %d times of 40000", v, c)
+		}
+	}
+}

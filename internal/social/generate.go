@@ -1,0 +1,425 @@
+package social
+
+import (
+	"errors"
+	"math"
+
+	"usersignals/internal/leo"
+	"usersignals/internal/ocr"
+	"usersignals/internal/simrand"
+	"usersignals/internal/timeline"
+)
+
+// Config parameterizes corpus generation. Start from DefaultConfig.
+type Config struct {
+	Seed   uint64
+	Window timeline.Range
+
+	Model      *leo.Model
+	Milestones []leo.Milestone
+	Outages    []leo.Outage
+
+	// Daily baseline post volume: Base + PerMUsers * users/1e6. Defaults
+	// reproduce the §4.1 corpus statistics (~372 posts/week).
+	BasePostsPerDay float64
+	PerMUsers       float64
+
+	// SpeedTestsPerDay is the screenshot-post rate (~1750 over two years).
+	SpeedTestsPerDay float64
+
+	// ConditioningAlpha is the per-day EWMA rate of the community's speed
+	// expectation; ConditioningOff disables the relative term (§4.2
+	// ablation: the "wheel of time" effects disappear).
+	ConditioningAlpha float64
+	ConditioningOff   bool
+
+	// OCRNoise is the screenshot corruption level.
+	OCRNoise float64
+}
+
+// DefaultConfig returns the study configuration over the Starlink window.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Seed:              seed,
+		Window:            timeline.StarlinkWindow,
+		Model:             leo.NewModel(),
+		Milestones:        leo.DefaultMilestones(),
+		Outages:           leo.AllOutages(seed, timeline.StarlinkWindow, 1.5),
+		BasePostsPerDay:   30,
+		PerMUsers:         58,
+		SpeedTestsPerDay:  2.4,
+		ConditioningAlpha: 0.02,
+		OCRNoise:          0.03,
+	}
+}
+
+// sentiment-tilt weights: how much absolute speed versus
+// expectation-relative speed moves everyday posting mood. The relative
+// term dominating is what produces Fig. 7's conditioning anomalies.
+const (
+	tiltAbsWeight   = 0.35
+	tiltRelWeight   = 1.4
+	tiltAnchorMbps  = 75 // "decent broadband" anchor for the absolute term
+	tiltSharpness   = 3.0
+	maxMoodFraction = 0.30 // cap on praise (or complaint) share of chatter
+)
+
+// Generate builds the corpus.
+func Generate(cfg Config) (*Corpus, error) {
+	if cfg.Model == nil {
+		return nil, errors.New("social: Config.Model is required")
+	}
+	if cfg.Window.Len() <= 0 {
+		return nil, errors.New("social: empty window")
+	}
+	if cfg.BasePostsPerDay <= 0 {
+		cfg.BasePostsPerDay = 30
+	}
+	if cfg.PerMUsers < 0 {
+		cfg.PerMUsers = 0
+	}
+	if cfg.SpeedTestsPerDay < 0 {
+		cfg.SpeedTestsPerDay = 0
+	}
+	if cfg.ConditioningAlpha <= 0 || cfg.ConditioningAlpha > 1 {
+		cfg.ConditioningAlpha = 0.02
+	}
+
+	g := &generator{cfg: cfg, root: simrand.Root(cfg.Seed).Derive("social")}
+	g.byDayOutages = map[timeline.Day][]leo.Outage{}
+	for _, o := range cfg.Outages {
+		g.byDayOutages[o.Day] = append(g.byDayOutages[o.Day], o)
+	}
+	g.byDayMilestones = map[timeline.Day][]leo.Milestone{}
+	for _, m := range cfg.Milestones {
+		g.byDayMilestones[m.Day] = append(g.byDayMilestones[m.Day], m)
+	}
+	g.leakUntil = -1
+	for _, m := range cfg.Milestones {
+		if m.Kind == leo.MilestoneFeatureTweet {
+			g.tweetDay = m.Day
+		}
+	}
+
+	expectation := cfg.Model.MedianDownMbps(cfg.Window.From)
+	var posts []Post
+	cfg.Window.Days(func(d timeline.Day) {
+		med := cfg.Model.MedianDownMbps(d)
+		expectation = cfg.ConditioningAlpha*med + (1-cfg.ConditioningAlpha)*expectation
+		posts = append(posts, g.day(d, med, expectation)...)
+	})
+	return NewCorpus(cfg.Window, posts), nil
+}
+
+type generator struct {
+	cfg             Config
+	root            *simrand.Stream
+	nextID          uint64
+	byDayOutages    map[timeline.Day][]leo.Outage
+	byDayMilestones map[timeline.Day][]leo.Milestone
+	leakUntil       timeline.Day
+	tweetDay        timeline.Day
+}
+
+// tilt computes the community mood for a given speed versus expectation.
+func (g *generator) tilt(speed, expectation float64) float64 {
+	abs := speed/tiltAnchorMbps - 1
+	if g.cfg.ConditioningOff {
+		return tiltAbsWeight*abs + tiltRelWeight*abs
+	}
+	rel := speed/math.Max(1, expectation) - 1
+	return tiltAbsWeight*abs + tiltRelWeight*rel
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+func (g *generator) day(d timeline.Day, medianSpeed, expectation float64) []Post {
+	rng := g.root.Derive("day/%d", int(d)).RNG()
+	users := g.cfg.Model.Users(d)
+	var out []Post
+
+	// --- everyday chatter: general / praise / complaint ---
+	volume := g.cfg.BasePostsPerDay + g.cfg.PerMUsers*users/1e6
+	n := rng.Poisson(volume)
+	tilt := g.tilt(medianSpeed, expectation)
+	pPraise := maxMoodFraction * sigmoid(tiltSharpness*tilt)
+	pComplain := maxMoodFraction * sigmoid(-tiltSharpness*tilt)
+	for i := 0; i < n; i++ {
+		u := rng.Float64()
+		var p Post
+		switch {
+		case u < pPraise:
+			p = g.newPost(rng, d, KindPraise, simrand.Pick(rng, praiseTemplates), "")
+		case u < pPraise+pComplain:
+			p = g.newPost(rng, d, KindComplaint, simrand.Pick(rng, complaintTemplates), "")
+		default:
+			p = g.newPost(rng, d, KindGeneral, simrand.Pick(rng, generalTemplates), "")
+		}
+		out = append(out, p)
+	}
+
+	// --- speed-test screenshot posts ---
+	nTests := rng.Poisson(g.cfg.SpeedTestsPerDay)
+	for i := 0; i < nTests; i++ {
+		out = append(out, g.speedTestPost(rng, d, medianSpeed, expectation))
+	}
+
+	// --- outage threads ---
+	for _, o := range g.byDayOutages[d] {
+		out = append(out, g.outagePosts(rng, d, o, users)...)
+	}
+
+	// --- milestone reactions ---
+	for _, m := range g.byDayMilestones[d] {
+		out = append(out, g.milestonePosts(rng, d, m)...)
+	}
+
+	// --- feature-leak trickle (roaming discovered organically) ---
+	if g.leakUntil >= d {
+		for i, k := 0, rng.Poisson(9); i < k; i++ {
+			p := g.newPost(rng, d, KindFeature, simrand.Pick(rng, featureTemplates), "")
+			// Popular discussions: the §4.1 miner keys on upvotes and
+			// comment counts. Keep the retained-reply invariant
+			// (len(Replies) <= Comments) when overriding the count.
+			p.Upvotes = int(rng.LogNormalMeanMedian(50, 2.2))
+			p.Comments = int(rng.LogNormalMeanMedian(35, 2.2))
+			if len(p.Replies) > p.Comments {
+				p.Replies = p.Replies[:p.Comments]
+			}
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func (g *generator) newPost(rng *simrand.RNG, d timeline.Day, kind PostKind, body, country string) Post {
+	return g.newTitledPost(rng, d, kind, titleFor(kind), body, country)
+}
+
+// maxTextReplies caps how many comments per thread carry text.
+const maxTextReplies = 4
+
+func (g *generator) newTitledPost(rng *simrand.RNG, d timeline.Day, kind PostKind, title, body, country string) Post {
+	g.nextID++
+	if country == "" {
+		country = simrand.Pick(rng, countries)
+	}
+	p := Post{
+		ID:        g.nextID,
+		Day:       d,
+		Author:    authorName(rng),
+		Title:     title,
+		Body:      body,
+		Upvotes:   int(rng.LogNormalMeanMedian(12, 3)),
+		Comments:  int(rng.LogNormalMeanMedian(9, 2.8)),
+		Country:   country,
+		TruthKind: kind,
+	}
+	// Replies draw from their own substream (keyed by post ID) so that
+	// attaching them does not perturb any other draw in the corpus.
+	g.attachReplies(g.root.Derive("replies/%d", p.ID).RNG(), &p)
+	return p
+}
+
+// attachReplies fills the sampled textual comments, toned to the thread.
+func (g *generator) attachReplies(rng *simrand.RNG, p *Post) {
+	n := p.Comments
+	if n > maxTextReplies {
+		n = maxTextReplies
+	}
+	if n <= 0 {
+		return
+	}
+	var pool []string
+	switch p.TruthKind {
+	case KindOutage:
+		pool = outageReplyTemplates
+	case KindPraise:
+		pool = praiseReplyTemplates
+	case KindComplaint:
+		pool = complaintReplyTemplates
+	case KindFeature:
+		pool = featureReplyTemplates
+	case KindSpeedTest:
+		pool = speedReplyTemplates
+	default:
+		pool = generalReplyTemplates
+	}
+	p.Replies = make([]Comment, n)
+	for i := range p.Replies {
+		p.Replies[i] = Comment{
+			Author: authorName(rng),
+			Text:   fillPlace(rng, simrand.Pick(rng, pool), p.Country),
+		}
+	}
+}
+
+func titleFor(kind PostKind) string {
+	switch kind {
+	case KindPraise:
+		return "Loving the service lately"
+	case KindComplaint:
+		return "Is anyone else seeing this"
+	case KindOutage:
+		// Content-bearing on purpose: the Fig. 5b word cloud and the
+		// news-search keywords come from the day's dominant unigrams.
+		return "Outage reports"
+	case KindSpeedTest:
+		return "Speed test result"
+	case KindMilestone:
+		return "Big news today"
+	case KindFeature:
+		return "Interesting discovery"
+	default:
+		return "Dishy diary"
+	}
+}
+
+// Speed-post mood weights. A poster judges their result three ways: the
+// absolute service level, how their personal number compares with what the
+// community typically sees, and — dominating, per §4.2 — how the current
+// service compares with what everyone has become *accustomed to*. The
+// conditioning gain is large because the expectation gap is small in
+// relative terms (a few percent) yet reliably flips community mood.
+const (
+	speedLevelWeight    = 0.5
+	speedPersonalWeight = 0.8
+	speedCondGain       = 8.0
+)
+
+func (g *generator) speedTilt(sample, median, expectation float64) float64 {
+	level := median/tiltAnchorMbps - 1
+	personal := sample/math.Max(1, median) - 1
+	if g.cfg.ConditioningOff {
+		return speedLevelWeight*level + speedPersonalWeight*personal
+	}
+	cond := median/math.Max(1, expectation) - 1
+	return speedLevelWeight*level + speedPersonalWeight*personal + speedCondGain*cond
+}
+
+func (g *generator) speedTestPost(rng *simrand.RNG, d timeline.Day, medianSpeed, expectation float64) Post {
+	sample := g.cfg.Model.SampleUser(rng, d)
+	report := ocr.Report{
+		Provider:  simrand.PickWeighted(rng, ocr.Providers(), []float64{0.55, 0.2, 0.25}),
+		DownMbps:  round1(sample.DownMbps),
+		UpMbps:    round1(sample.UpMbps),
+		LatencyMs: math.Round(sample.LatencyMs),
+	}
+	tilt := g.speedTilt(report.DownMbps, medianSpeed, expectation)
+	u := rng.Float64()
+	var body string
+	switch {
+	case u < 0.65*sigmoid(tiltSharpness*tilt):
+		body = simrand.Pick(rng, speedPraiseTemplates)
+	case u < 0.65:
+		body = simrand.Pick(rng, speedComplaintTemplates)
+	default:
+		body = simrand.Pick(rng, speedNeutralTemplates)
+	}
+	p := g.newPost(rng, d, KindSpeedTest, body, "")
+	shot := ocr.RenderNoisy(report, rng, g.cfg.OCRNoise)
+	p.Screenshot = &shot
+	p.TruthReport = &report
+	return p
+}
+
+// outagePosts generates the thread burst for one outage.
+//
+// Volume scales with severity and the subscriber base. Press-covered
+// incidents draw extra confirm-and-compare traffic; an *unreported* global
+// outage draws an even larger, angrier burst — with no coverage anywhere
+// else, the subreddit is where everyone goes (this is the paper's 22 Apr
+// story). Angry posts use emphatic negative language; reported incidents
+// are mostly symptom lists.
+func (g *generator) outagePosts(rng *simrand.RNG, d timeline.Day, o leo.Outage, users float64) []Post {
+	sev := o.Severity()
+	var volume, angryFrac float64
+	switch {
+	case o.Scope == leo.ScopeGlobal && !o.Reported:
+		volume = sev * (40 + 200*math.Sqrt(users/1e6)) * 2.0
+		angryFrac = 0.9
+	case o.Scope == leo.ScopeGlobal:
+		volume = sev * (40 + 200*math.Sqrt(users/1e6)) * 1.6
+		angryFrac = 0.25
+	default:
+		volume = sev * (2.5 + 14*math.Sqrt(users/1e6))
+		angryFrac = 0.5
+	}
+	n := rng.Poisson(volume)
+	// Distinct non-US countries that must appear for a multi-country
+	// outage (the paper counts 14 including the US on 22 Apr).
+	foreign := []string{"CA", "GB", "AU", "DE", "FR", "NZ", "MX", "BR", "IT", "PL", "CL", "PT", "ES"}
+	out := make([]Post, 0, n)
+	for i := 0; i < n; i++ {
+		country := "US"
+		if o.Scope == leo.ScopeGlobal {
+			if i < len(foreign) && o.Countries > len(foreign) {
+				country = foreign[i] // guarantee the country spread
+			} else if rng.Bool(0.12) {
+				country = simrand.Pick(rng, foreign)
+			}
+		} else if o.Countries <= 1 && rng.Bool(0.3) {
+			country = simrand.Pick(rng, foreign)
+		}
+		var tmpl string
+		angry := rng.Bool(angryFrac)
+		if angry {
+			tmpl = simrand.Pick(rng, outageAngryTemplates)
+		} else {
+			tmpl = simrand.Pick(rng, outageReportTemplates)
+		}
+		p := g.newPost(rng, d, KindOutage, fillPlace(rng, tmpl, country), country)
+		if angry {
+			// Angry threads attract venting, not symptom confirmations;
+			// re-tone the replies from a derived substream.
+			rrng := g.root.Derive("replies-angry/%d", p.ID).RNG()
+			for j := range p.Replies {
+				p.Replies[j] = Comment{
+					Author: authorName(rrng),
+					Text:   simrand.Pick(rrng, outageAngryReplyTemplates),
+				}
+			}
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func (g *generator) milestonePosts(rng *simrand.RNG, d timeline.Day, m leo.Milestone) []Post {
+	var pool []string
+	var volume float64
+	var title string
+	switch m.Kind {
+	case leo.MilestonePreorder:
+		pool, volume, title = preorderTemplates, 330*m.Strength, "Pre-orders are open"
+	case leo.MilestoneDelay:
+		pool, volume, title = delayTemplates, 290*m.Strength, "Delivery delay email"
+	case leo.MilestoneFeatureLeak:
+		// The leak is a trickle, not a burst: open the window through the
+		// announcement day and emit nothing today beyond the trickle.
+		g.leakUntil = g.tweetDay
+		if g.leakUntil < d {
+			g.leakUntil = d + 16
+		}
+		return nil
+	case leo.MilestoneFeatureTweet:
+		pool, volume, title = featureAnnounceTemplates, 260*m.Strength, "Roaming announcement"
+	case leo.MilestoneFeatureOfficial:
+		pool, volume, title = featureAnnounceTemplates, 160*m.Strength, "Portability notice"
+	default:
+		return nil
+	}
+	n := rng.Poisson(volume)
+	out := make([]Post, 0, n)
+	for i := 0; i < n; i++ {
+		kind := KindMilestone
+		if m.Kind == leo.MilestoneFeatureTweet || m.Kind == leo.MilestoneFeatureOfficial {
+			kind = KindFeature
+		}
+		p := g.newTitledPost(rng, d, kind, title, simrand.Pick(rng, pool), "")
+		out = append(out, p)
+	}
+	return out
+}
+
+func round1(v float64) float64 { return math.Round(v*10) / 10 }

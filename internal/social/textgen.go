@@ -1,0 +1,198 @@
+package social
+
+import (
+	"fmt"
+	"strings"
+
+	"usersignals/internal/simrand"
+)
+
+// Template pools. Placeholders: %s slots are filled by the callers below.
+// The emotional vocabulary deliberately overlaps nlp.DefaultLexicon — that
+// is not cheating but the premise of lexicon sentiment analysis: people use
+// sentiment-bearing words, and the analyzer knows them. Tests verify the
+// analyzer recovers the intended polarity without seeing TruthKind.
+
+var praiseTemplates = []string{
+	"Absolutely amazing speeds tonight, I love this service!",
+	"Service has been fantastic lately. So impressed with the reliability.",
+	"Speeds are excellent out here, streaming is totally smooth. Love it.",
+	"Really happy with the connection this month, works great for video calls.",
+	"This is a game-changer for rural internet. Extremely happy, flawless week.",
+	"Upgraded from DSL and wow — incredible difference, super fast and stable.",
+	"Another great month. Reliable, quick, and the family is thrilled.",
+	// Mentions an outage positively — exactly the false positive the
+	// Fig. 6 sentiment gate exists to filter out.
+	"Back online after yesterday's outage — impressed how fast it recovered, great service.",
+}
+
+var complaintTemplates = []string{
+	"Speeds have been terrible lately, really disappointed with the service.",
+	"Constant buffering and lag this week. Very frustrating experience.",
+	"Evening speeds are awful now. Unacceptable for the price, honestly.",
+	"So disappointed — everything is slow and choppy during peak hours.",
+	"Quality keeps getting worse every month. Extremely annoyed.",
+	"Video calls keep freezing, uploads fail, genuinely unusable some evenings.",
+	"The congestion is horrible lately. Regretting the upgrade, very frustrated.",
+}
+
+// Angry outage templates: emphatic negative language around a single
+// "outage" keyword (the 22 Apr '22 flavour: fury, not symptom lists).
+var outageAngryTemplates = []string{
+	"Total outage here in %s, absolutely unacceptable. Horrible, horrible evening.",
+	"Outage in %s for hours. Furious — this is terrible, truly awful service.",
+	"Another outage in %s?! Unusable garbage tonight, I am so angry.",
+	"Horrible outage in %s again. Absolutely the worst evening yet, hate this.",
+}
+
+// Matter-of-fact outage templates: keyword-dense but mildly worded (the
+// press-covered incidents read as confirmations and symptom lists, not
+// rage). They deliberately lean on dictionary keywords that carry little
+// lexicon valence (down, no connection, not working) so Fig. 6's keyword
+// counts and Fig. 5a's strong-sentiment counts can diverge, as they do in
+// the paper.
+var outageReportTemplates = []string{
+	"Is it down for anyone else in %s? No connection since morning, went down around nine, router shows no internet.",
+	"Outage check from %s — everything down here, no service on the app, dish not working since the news broke.",
+	"%s here: down as well. No connection, no internet, stopped working an hour ago. Seems like wide downtime.",
+	"Confirming from %s: service went down, no connection on two dishes, app says no service, still not working.",
+	"Down in %s too. No internet, no connection, cant connect to anything. Downtime tracker says the same.",
+}
+
+var generalTemplates = []string{
+	"Finally mounted the dish on the roof. Cable routing under the eaves took a while.",
+	"Question about the router placement — garage or living room for a two-floor house?",
+	"Dish survived the first storm of the season. Snow melt feature kicked in overnight.",
+	"Sharing my cable run photos. Used the ridge mount with a conduit into the attic.",
+	"Anyone tried the ethernet adapter with a mesh setup? Looking for pointers.",
+	"Obstruction map shows a pine tree clipping the view. Considering a taller pole.",
+	"Power draw measurements for the dish across a week, numbers in the comments.",
+	"Moving the dish from the yard to the roof this weekend. Wish me luck.",
+	// Neutral keyword mention, another gate-test case.
+	"Planning for downtime: what do you folks do when the service is down? Starting a hobby thread.",
+}
+
+var speedPraiseTemplates = []string{
+	"These numbers are absolutely amazing, so happy, love this service.",
+	"Excellent results tonight, really impressed — fantastic and reliable.",
+	"New personal best! Fantastic speeds, love it, so excited.",
+}
+
+var speedComplaintTemplates = []string{
+	"Terrible numbers tonight, so disappointed — awful and frustrating trend.",
+	"Horrible result. Terrible speeds, dropping every month, very frustrated.",
+	"Awful peak-hour result, extremely disappointed, this is really bad now.",
+}
+
+var speedNeutralTemplates = []string{
+	"Speed test result from this evening, posting for the data collection thread.",
+	"Monthly speed test screenshot. North-facing dish, clear view.",
+	"Test result attached. Rural cell, posting for comparison.",
+}
+
+var preorderTemplates = []string{
+	"Pre-orders open! Absolutely amazing news, so excited, love it.",
+	"Ordered today — fantastic, thrilled, this is wonderful news.",
+	"Pre-order confirmed! Absolutely thrilled, incredible, love where this is going.",
+	"Placed mine! Incredible milestone, so happy, truly excellent news.",
+}
+
+var delayTemplates = []string{
+	"Delay email. Terrible, so disappointed, really frustrating wait.",
+	"Pushed back again. So disappointed, extremely frustrating, awful communication.",
+	"The delay notice is absolutely unacceptable. Furious, terrible handling.",
+	"Another delay?! Awful, extremely disappointed, horrible communication.",
+}
+
+var featureTemplates = []string{
+	"Roaming is working! Took the dish to a different state and it connected. Amazing.",
+	"Roaming enabled on my account it seems — used the dish at the lake cabin, works great.",
+	"Tried the dish two counties over: roaming works. Really exciting development.",
+	"Roaming seems enabled now, tested while camping. Fantastic surprise.",
+}
+
+var featureAnnounceTemplates = []string{
+	"Roaming officially announced! Great news, so excited to travel with the dish.",
+	"The roaming announcement is here — love it, exactly what I hoped for.",
+	"Mobile roaming confirmed by the company. Excellent, been waiting for this.",
+}
+
+// Reply pools, mirroring the tone of their thread kinds. Outage-thread
+// confirmations are deliberately keyword-bearing — that is where the
+// Fig. 6 thread-level counts come from.
+var outageReplyTemplates = []string{
+	"Same here, down in %s since this morning.",
+	"Confirming — no connection in %s either.",
+	"Down as well, app shows offline.",
+	"No internet here too, router rebooted twice, still nothing.",
+	"Went down around the same time for us. No service on the dish.",
+}
+
+// Angry-thread replies vent rather than report symptoms: emphatic and
+// nearly keyword-free, mirroring the 22 Apr '22 thread tone.
+var outageAngryReplyTemplates = []string{
+	"Absolutely ridiculous, furious over here too.",
+	"Unacceptable. Second time this month, so angry.",
+	"Same, this is terrible. Considering cancelling.",
+	"Horrible evening, hate when this happens.",
+}
+
+var praiseReplyTemplates = []string{
+	"Same experience here, it has been great lately.",
+	"Glad it works for you — solid on our end too.",
+	"Agreed, really impressive this month.",
+}
+
+var complaintReplyTemplates = []string{
+	"Seeing the same thing, very frustrating.",
+	"Yep, evenings are rough here as well.",
+	"Same. Hope they fix the congestion soon.",
+}
+
+var generalReplyTemplates = []string{
+	"Nice setup! How long did the cable run take?",
+	"Thanks for sharing, very helpful.",
+	"Following this, in the same situation.",
+	"Photos would help, but sounds reasonable.",
+}
+
+var featureReplyTemplates = []string{
+	"Can confirm, roaming works for me as well.",
+	"Tried it last weekend — roaming enabled here too.",
+	"Great find! Hope it stays enabled.",
+}
+
+var speedReplyTemplates = []string{
+	"What cell are you in? Mine looks similar.",
+	"Thanks for the data point.",
+	"Peak hours tell a different story here.",
+}
+
+var countries = []string{
+	"US", "US", "US", "US", "US", "US", "US", "US", // ~2/3 US
+	"CA", "CA", "GB", "AU", "DE", "FR", "NZ", "MX", "BR", "IT", "PL", "CL",
+}
+
+var usStates = []string{
+	"Ohio", "Texas", "Montana", "Vermont", "Idaho", "Maine", "Oregon",
+	"Georgia", "Michigan", "Colorado", "Washington", "Virginia",
+}
+
+// fillPlace substitutes a location into templates with one %s.
+func fillPlace(r *simrand.RNG, tmpl, country string) string {
+	place := country
+	if country == "US" {
+		place = simrand.Pick(r, usStates)
+	}
+	if strings.Contains(tmpl, "%s") {
+		return fmt.Sprintf(tmpl, place)
+	}
+	return tmpl
+}
+
+// authorName derives a stable pseudonymous author handle.
+func authorName(r *simrand.RNG) string {
+	adjectives := []string{"rural", "northern", "snowy", "remote", "mobile", "offgrid", "prairie", "coastal"}
+	nouns := []string{"dish", "beam", "orbit", "antenna", "router", "signal", "sat", "node"}
+	return simrand.Pick(r, adjectives) + "_" + simrand.Pick(r, nouns) + fmt.Sprint(r.Intn(1000))
+}

@@ -1,0 +1,177 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Binner maps a continuous x value to one of a fixed set of equal-width bins
+// over [Lo, Hi). Values outside the range are rejected (index -1), which is
+// how the analysis pipelines hold confounders "roughly constant": sessions
+// whose other metrics fall outside their control band simply don't bin.
+type Binner struct {
+	Lo, Hi float64
+	NBins  int
+}
+
+// NewBinner returns a Binner over [lo, hi) with n equal-width bins.
+// It panics if n <= 0 or hi <= lo, which are programming errors.
+func NewBinner(lo, hi float64, n int) Binner {
+	if n <= 0 {
+		panic("stats: NewBinner with n <= 0")
+	}
+	if hi <= lo {
+		panic("stats: NewBinner with hi <= lo")
+	}
+	return Binner{Lo: lo, Hi: hi, NBins: n}
+}
+
+// Index returns the bin index for x, or -1 if x is outside [Lo, Hi).
+func (b Binner) Index(x float64) int {
+	if x < b.Lo || x >= b.Hi || math.IsNaN(x) {
+		return -1
+	}
+	i := int((x - b.Lo) / (b.Hi - b.Lo) * float64(b.NBins))
+	if i >= b.NBins { // guard against floating-point edge
+		i = b.NBins - 1
+	}
+	return i
+}
+
+// Center returns the midpoint of bin i.
+func (b Binner) Center(i int) float64 {
+	w := (b.Hi - b.Lo) / float64(b.NBins)
+	return b.Lo + (float64(i)+0.5)*w
+}
+
+// Centers returns all bin midpoints in order.
+func (b Binner) Centers() []float64 {
+	out := make([]float64, b.NBins)
+	for i := range out {
+		out[i] = b.Center(i)
+	}
+	return out
+}
+
+// Width returns the width of each bin.
+func (b Binner) Width() float64 { return (b.Hi - b.Lo) / float64(b.NBins) }
+
+// BinnedSeries is the result of aggregating a response variable y within
+// bins of a predictor x: the dose-response curves of Fig. 1 and Fig. 4.
+type BinnedSeries struct {
+	X     []float64 // bin centers
+	Y     []float64 // mean of y per bin (NaN where empty)
+	Count []int     // observations per bin
+}
+
+// BinMeans groups ys by the bin of the corresponding xs value and returns
+// per-bin means. xs and ys must have equal length.
+func BinMeans(b Binner, xs, ys []float64) (BinnedSeries, error) {
+	if len(xs) != len(ys) {
+		return BinnedSeries{}, fmt.Errorf("stats: BinMeans length mismatch: %d xs vs %d ys", len(xs), len(ys))
+	}
+	accs := make([]Online, b.NBins)
+	for i, x := range xs {
+		if idx := b.Index(x); idx >= 0 {
+			accs[idx].Add(ys[i])
+		}
+	}
+	s := BinnedSeries{
+		X:     b.Centers(),
+		Y:     make([]float64, b.NBins),
+		Count: make([]int, b.NBins),
+	}
+	for i := range accs {
+		s.Y[i] = accs[i].Mean()
+		s.Count[i] = accs[i].N()
+	}
+	return s, nil
+}
+
+// NonEmpty returns a copy of the series with empty bins removed, which is
+// what plotting and trend tests want.
+func (s BinnedSeries) NonEmpty() BinnedSeries {
+	out := BinnedSeries{}
+	for i := range s.X {
+		if s.Count[i] > 0 && !math.IsNaN(s.Y[i]) {
+			out.X = append(out.X, s.X[i])
+			out.Y = append(out.Y, s.Y[i])
+			out.Count = append(out.Count, s.Count[i])
+		}
+	}
+	return out
+}
+
+// Grid2D aggregates a response over a 2D grid of two predictors — the
+// latency x loss compounding analysis of Fig. 2.
+type Grid2D struct {
+	XBins, YBins Binner
+	Mean         [][]float64 // [xi][yi], NaN where empty
+	Count        [][]int
+}
+
+// BinMeans2D computes a Grid2D from paired predictors (xs, ys) and response
+// zs. All slices must have equal length.
+func BinMeans2D(xb, yb Binner, xs, ys, zs []float64) (Grid2D, error) {
+	if len(xs) != len(ys) || len(xs) != len(zs) {
+		return Grid2D{}, fmt.Errorf("stats: BinMeans2D length mismatch: %d/%d/%d", len(xs), len(ys), len(zs))
+	}
+	accs := make([][]Online, xb.NBins)
+	for i := range accs {
+		accs[i] = make([]Online, yb.NBins)
+	}
+	for i := range xs {
+		xi := xb.Index(xs[i])
+		yi := yb.Index(ys[i])
+		if xi >= 0 && yi >= 0 {
+			accs[xi][yi].Add(zs[i])
+		}
+	}
+	g := Grid2D{XBins: xb, YBins: yb}
+	g.Mean = make([][]float64, xb.NBins)
+	g.Count = make([][]int, xb.NBins)
+	for i := range accs {
+		g.Mean[i] = make([]float64, yb.NBins)
+		g.Count[i] = make([]int, yb.NBins)
+		for j := range accs[i] {
+			g.Mean[i][j] = accs[i][j].Mean()
+			g.Count[i][j] = accs[i][j].N()
+		}
+	}
+	return g, nil
+}
+
+// BestWorst returns the maximum and minimum non-empty cell means. The
+// paper's Fig. 2 claim is worst ≈ 50% below best.
+func (g Grid2D) BestWorst() (best, worst float64, ok bool) {
+	best, worst = math.Inf(-1), math.Inf(1)
+	for i := range g.Mean {
+		for j := range g.Mean[i] {
+			if g.Count[i][j] == 0 || math.IsNaN(g.Mean[i][j]) {
+				continue
+			}
+			ok = true
+			if g.Mean[i][j] > best {
+				best = g.Mean[i][j]
+			}
+			if g.Mean[i][j] < worst {
+				worst = g.Mean[i][j]
+			}
+		}
+	}
+	if !ok {
+		return math.NaN(), math.NaN(), false
+	}
+	return best, worst, true
+}
+
+// Histogram counts observations per bin.
+func Histogram(b Binner, xs []float64) []int {
+	counts := make([]int, b.NBins)
+	for _, x := range xs {
+		if i := b.Index(x); i >= 0 {
+			counts[i]++
+		}
+	}
+	return counts
+}

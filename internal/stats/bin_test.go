@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinnerIndex(t *testing.T) {
+	b := NewBinner(0, 100, 10)
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{0, 0}, {9.99, 0}, {10, 1}, {55, 5}, {99.99, 9},
+		{100, -1}, {-0.01, -1}, {math.NaN(), -1},
+	}
+	for _, c := range cases {
+		if got := b.Index(c.x); got != c.want {
+			t.Fatalf("Index(%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestBinnerCenters(t *testing.T) {
+	b := NewBinner(0, 10, 5)
+	want := []float64{1, 3, 5, 7, 9}
+	for i, w := range want {
+		if got := b.Center(i); got != w {
+			t.Fatalf("Center(%d) = %v, want %v", i, got, w)
+		}
+	}
+	if got := b.Width(); got != 2 {
+		t.Fatalf("Width = %v", got)
+	}
+	cs := b.Centers()
+	if len(cs) != 5 || cs[2] != 5 {
+		t.Fatalf("Centers = %v", cs)
+	}
+}
+
+func TestBinnerPanicsOnBadConfig(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewBinner(0, 10, 0) },
+		func() { NewBinner(5, 5, 3) },
+		func() { NewBinner(10, 0, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBinnerIndexAlwaysInRange(t *testing.T) {
+	b := NewBinner(-3, 7, 13)
+	f := func(x float64) bool {
+		i := b.Index(x)
+		if i == -1 {
+			return math.IsNaN(x) || x < -3 || x >= 7
+		}
+		return i >= 0 && i < 13 && x >= -3 && x < 7
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinMeans(t *testing.T) {
+	b := NewBinner(0, 30, 3)
+	xs := []float64{5, 6, 15, 25, 26, -1, 100}
+	ys := []float64{10, 20, 7, 1, 3, 999, 999}
+	s, err := BinMeans(b, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Count[0] != 2 || s.Count[1] != 1 || s.Count[2] != 2 {
+		t.Fatalf("counts = %v", s.Count)
+	}
+	if s.Y[0] != 15 || s.Y[1] != 7 || s.Y[2] != 2 {
+		t.Fatalf("means = %v", s.Y)
+	}
+	if _, err := BinMeans(b, xs, ys[:2]); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+}
+
+func TestBinnedSeriesNonEmpty(t *testing.T) {
+	b := NewBinner(0, 30, 3)
+	xs := []float64{5, 25}
+	ys := []float64{1, 2}
+	s, _ := BinMeans(b, xs, ys)
+	ne := s.NonEmpty()
+	if len(ne.X) != 2 || ne.X[0] != 5 || ne.X[1] != 25 {
+		t.Fatalf("NonEmpty = %+v", ne)
+	}
+}
+
+func TestBinMeans2D(t *testing.T) {
+	xb := NewBinner(0, 2, 2)
+	yb := NewBinner(0, 2, 2)
+	xs := []float64{0.5, 0.5, 1.5, 1.5}
+	ys := []float64{0.5, 1.5, 0.5, 1.5}
+	zs := []float64{10, 20, 30, 40}
+	g, err := BinMeans2D(xb, yb, xs, ys, zs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Mean[0][0] != 10 || g.Mean[0][1] != 20 || g.Mean[1][0] != 30 || g.Mean[1][1] != 40 {
+		t.Fatalf("grid = %v", g.Mean)
+	}
+	best, worst, ok := g.BestWorst()
+	if !ok || best != 40 || worst != 10 {
+		t.Fatalf("BestWorst = %v %v %v", best, worst, ok)
+	}
+	if _, err := BinMeans2D(xb, yb, xs, ys, zs[:2]); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+}
+
+func TestBestWorstEmpty(t *testing.T) {
+	g, _ := BinMeans2D(NewBinner(0, 1, 2), NewBinner(0, 1, 2), nil, nil, nil)
+	if _, _, ok := g.BestWorst(); ok {
+		t.Fatal("empty grid should report !ok")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	b := NewBinner(0, 10, 2)
+	h := Histogram(b, []float64{1, 2, 3, 7, 8, -5, 50})
+	if h[0] != 3 || h[1] != 2 {
+		t.Fatalf("Histogram = %v", h)
+	}
+}
+
+func TestHistogramTotalProperty(t *testing.T) {
+	b := NewBinner(0, 1, 7)
+	f := func(raw []float64) bool {
+		h := Histogram(b, raw)
+		total := 0
+		for _, c := range h {
+			total += c
+		}
+		inRange := 0
+		for _, x := range raw {
+			if x >= 0 && x < 1 && !math.IsNaN(x) {
+				inRange++
+			}
+		}
+		return total == inRange
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

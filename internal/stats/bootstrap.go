@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"usersignals/internal/simrand"
+)
+
+// Interval is a two-sided confidence interval.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether x lies inside the interval.
+func (iv Interval) Contains(x float64) bool { return x >= iv.Lo && x <= iv.Hi }
+
+// Width returns Hi - Lo.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// BootstrapCI estimates a percentile confidence interval for statistic f of
+// xs by resampling with replacement. conf is the coverage (e.g. 0.95);
+// rounds is the number of bootstrap resamples. Returns a degenerate interval
+// for empty input.
+func BootstrapCI(r *simrand.RNG, xs []float64, f func([]float64) float64, conf float64, rounds int) Interval {
+	if len(xs) == 0 || rounds <= 0 {
+		nan := math.NaN()
+		return Interval{Lo: nan, Hi: nan}
+	}
+	if conf <= 0 || conf >= 1 {
+		conf = 0.95
+	}
+	estimates := make([]float64, rounds)
+	resample := make([]float64, len(xs))
+	for b := 0; b < rounds; b++ {
+		for i := range resample {
+			resample[i] = xs[r.Intn(len(xs))]
+		}
+		estimates[b] = f(resample)
+	}
+	sort.Float64s(estimates)
+	alpha := (1 - conf) / 2
+	return Interval{
+		Lo: quantileSorted(estimates, alpha),
+		Hi: quantileSorted(estimates, 1-alpha),
+	}
+}
+
+// SubsampleStat applies statistic f to repeated uniform subsamples of xs at
+// the given fraction and returns the per-round values. This is the Fig. 7
+// stability check: "monthly medians with 95% and 90% of the data picked
+// uniformly at random closely follow the full-series medians".
+func SubsampleStat(r *simrand.RNG, xs []float64, frac float64, f func([]float64) float64, rounds int) []float64 {
+	if len(xs) == 0 || rounds <= 0 {
+		return nil
+	}
+	if frac <= 0 || frac > 1 {
+		frac = 1
+	}
+	k := int(math.Round(frac * float64(len(xs))))
+	if k < 1 {
+		k = 1
+	}
+	out := make([]float64, rounds)
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sub := make([]float64, k)
+	for b := 0; b < rounds; b++ {
+		// Partial Fisher-Yates: choose k distinct indices.
+		for i := 0; i < k; i++ {
+			j := i + r.Intn(len(idx)-i)
+			idx[i], idx[j] = idx[j], idx[i]
+			sub[i] = xs[idx[i]]
+		}
+		out[b] = f(sub)
+	}
+	return out
+}

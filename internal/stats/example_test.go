@@ -1,0 +1,47 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"usersignals/internal/stats"
+)
+
+func ExampleFitRidge() {
+	// y = 1 + 2*x with a collinear duplicate feature: ridge handles it.
+	X := [][]float64{{0, 0}, {1, 1}, {2, 2}, {3, 3}}
+	y := []float64{1, 3, 5, 7}
+	m, _ := stats.FitRidge(X, y, 0.1)
+	fmt.Printf("prediction at x=4: %.1f\n", m.Predict([]float64{4, 4}))
+	// Output: prediction at x=4: 9.0
+}
+
+func ExampleBinMeans() {
+	b := stats.NewBinner(0, 300, 3)
+	latencies := []float64{20, 40, 130, 160, 250, 280}
+	engagement := []float64{95, 93, 85, 83, 70, 68}
+	s, _ := stats.BinMeans(b, latencies, engagement)
+	for i := range s.X {
+		fmt.Printf("%.0f ms: %.0f%% (%d sessions)\n", s.X[i], s.Y[i], s.Count[i])
+	}
+	// Output:
+	// 50 ms: 94% (2 sessions)
+	// 150 ms: 84% (2 sessions)
+	// 250 ms: 69% (2 sessions)
+}
+
+func ExampleDetectPeaks() {
+	series := make([]float64, 40)
+	for i := range series {
+		series[i] = 10
+	}
+	series[25] = 60 // a burst day
+	peaks := stats.DetectPeaks(series, stats.PeakOptions{})
+	fmt.Printf("%d peak at index %d\n", len(peaks), peaks[0].Index)
+	// Output: 1 peak at index 25
+}
+
+func ExampleSummarize() {
+	s := stats.Summarize([]float64{10, 20, 30, 40, 50})
+	fmt.Printf("mean=%.0f median=%.0f p95=%.0f\n", s.Mean, s.Median, s.P95)
+	// Output: mean=30 median=30 p95=48
+}

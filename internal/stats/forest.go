@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+
+	"usersignals/internal/simrand"
+)
+
+// Forest is a bagged ensemble of regression trees (a random forest with
+// bootstrap resampling and per-tree feature subsampling). It trades the
+// single tree's interpretability for variance reduction.
+type Forest struct {
+	trees    []*RegressionTree
+	features [][]int // per-tree feature subset (indices into the full vector)
+	p        int
+}
+
+// ForestOptions bounds forest growth.
+type ForestOptions struct {
+	// Trees is the ensemble size (default 25).
+	Trees int
+	// Tree configures each member tree.
+	Tree TreeOptions
+	// FeatureFrac is the fraction of features each tree sees. The default
+	// is 1 (pure bagging): per-tree feature dropping only helps when the
+	// feature space is wide; with a handful of features it risks hiding
+	// the dominant predictor from a third of the ensemble.
+	FeatureFrac float64
+	// Seed makes training deterministic.
+	Seed uint64
+}
+
+func (o ForestOptions) withDefaults() ForestOptions {
+	if o.Trees <= 0 {
+		o.Trees = 25
+	}
+	if o.FeatureFrac <= 0 || o.FeatureFrac > 1 {
+		o.FeatureFrac = 1
+	}
+	return o
+}
+
+// FitForest trains the ensemble on X (row-major) and targets y.
+func FitForest(X [][]float64, y []float64, opts ForestOptions) (*Forest, error) {
+	if len(X) == 0 {
+		return nil, errors.New("stats: FitForest with no observations")
+	}
+	if len(X) != len(y) {
+		return nil, fmt.Errorf("stats: FitForest rows %d != targets %d", len(X), len(y))
+	}
+	opts = opts.withDefaults()
+	p := len(X[0])
+	nFeat := int(opts.FeatureFrac * float64(p))
+	if nFeat < 1 {
+		nFeat = 1
+	}
+	root := simrand.Root(opts.Seed).Derive("forest")
+	f := &Forest{p: p}
+	n := len(X)
+	for t := 0; t < opts.Trees; t++ {
+		rng := root.Derive("tree/%d", t).RNG()
+		// Bootstrap sample.
+		bx := make([][]float64, n)
+		by := make([]float64, n)
+		// Feature subset for this tree.
+		perm := rng.Perm(p)[:nFeat]
+		for i := 0; i < n; i++ {
+			j := rng.Intn(n)
+			row := make([]float64, nFeat)
+			for k, fi := range perm {
+				row[k] = X[j][fi]
+			}
+			bx[i] = row
+			by[i] = y[j]
+		}
+		tree, err := FitTree(bx, by, opts.Tree)
+		if err != nil {
+			return nil, fmt.Errorf("stats: forest tree %d: %w", t, err)
+		}
+		f.trees = append(f.trees, tree)
+		f.features = append(f.features, perm)
+	}
+	return f, nil
+}
+
+// Predict averages the member trees' predictions.
+func (f *Forest) Predict(x []float64) float64 {
+	if len(f.trees) == 0 {
+		return 0
+	}
+	sum := 0.0
+	sub := make([]float64, 0, f.p)
+	for t, tree := range f.trees {
+		sub = sub[:0]
+		for _, fi := range f.features[t] {
+			v := 0.0
+			if fi < len(x) {
+				v = x[fi]
+			}
+			sub = append(sub, v)
+		}
+		sum += tree.Predict(sub)
+	}
+	return sum / float64(len(f.trees))
+}
+
+// Size returns the ensemble size.
+func (f *Forest) Size() int { return len(f.trees) }

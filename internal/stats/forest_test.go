@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"usersignals/internal/simrand"
+)
+
+func forestTrainingSet(seed uint64, n int) ([][]float64, []float64) {
+	r := simrand.New(seed, seed+1)
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a := r.Range(0, 10)
+		b := r.Range(-5, 5)
+		c := r.Range(0, 1)
+		X[i] = []float64{a, b, c}
+		// Non-linear target with an interaction and noise.
+		y[i] = 2*a + b*b + 5*c*a/10 + r.Normal(0, 0.5)
+	}
+	return X, y
+}
+
+func TestForestBeatsSingleTreeOnNoise(t *testing.T) {
+	X, y := forestTrainingSet(1, 1500)
+	Xtest, ytest := forestTrainingSet(2, 500)
+
+	tree, err := FitTree(X, y, TreeOptions{MaxDepth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forest, err := FitForest(X, y, ForestOptions{Trees: 30, Tree: TreeOptions{MaxDepth: 6}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var treeErr, forestErr float64
+	for i := range Xtest {
+		treeErr += math.Abs(tree.Predict(Xtest[i]) - ytest[i])
+		forestErr += math.Abs(forest.Predict(Xtest[i]) - ytest[i])
+	}
+	// The ensemble should at least match the single tree out of sample
+	// (variance reduction); allow a small tolerance.
+	if forestErr > treeErr*1.05 {
+		t.Fatalf("forest MAE %v worse than tree %v", forestErr/500, treeErr/500)
+	}
+	if forest.Size() != 30 {
+		t.Fatalf("size = %d", forest.Size())
+	}
+}
+
+func TestForestDeterministic(t *testing.T) {
+	X, y := forestTrainingSet(5, 300)
+	a, err := FitForest(X, y, ForestOptions{Trees: 10, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FitForest(X, y, ForestOptions{Trees: 10, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		x := []float64{float64(i) / 5, float64(i%7) - 3, float64(i % 2)}
+		if a.Predict(x) != b.Predict(x) {
+			t.Fatal("same seed, different forests")
+		}
+	}
+	c, err := FitForest(X, y, ForestOptions{Trees: 10, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := 0; i < 50 && same; i++ {
+		x := []float64{float64(i) / 5, 0, 0}
+		if a.Predict(x) != c.Predict(x) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical forests")
+	}
+}
+
+func TestForestErrors(t *testing.T) {
+	if _, err := FitForest(nil, nil, ForestOptions{}); err == nil {
+		t.Fatal("empty fit accepted")
+	}
+	if _, err := FitForest([][]float64{{1}}, []float64{1, 2}, ForestOptions{}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestForestDefaultsAndEdges(t *testing.T) {
+	X, y := forestTrainingSet(7, 200)
+	f, err := FitForest(X, y, ForestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 25 {
+		t.Fatalf("default size = %d", f.Size())
+	}
+	// Short and nil feature vectors must not panic.
+	_ = f.Predict(nil)
+	_ = f.Predict([]float64{1})
+	// Empty forest predicts zero.
+	var empty Forest
+	if empty.Predict([]float64{1, 2, 3}) != 0 {
+		t.Fatal("empty forest should predict 0")
+	}
+}

@@ -1,0 +1,149 @@
+package stats
+
+import "math"
+
+// Online accumulates streaming summary statistics using Welford's algorithm,
+// so the telemetry pipeline can aggregate millions of sessions without
+// holding them in memory. The zero value is an empty accumulator ready for
+// use.
+type Online struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+	sum  float64
+}
+
+// Add folds one observation into the accumulator.
+func (o *Online) Add(x float64) {
+	o.n++
+	if o.n == 1 {
+		o.min, o.max = x, x
+	} else {
+		if x < o.min {
+			o.min = x
+		}
+		if x > o.max {
+			o.max = x
+		}
+	}
+	o.sum += x
+	delta := x - o.mean
+	o.mean += delta / float64(o.n)
+	o.m2 += delta * (x - o.mean)
+}
+
+// AddAll folds a slice of observations.
+func (o *Online) AddAll(xs []float64) {
+	for _, x := range xs {
+		o.Add(x)
+	}
+}
+
+// Merge combines another accumulator into this one (parallel reduction),
+// using Chan et al.'s pairwise update.
+func (o *Online) Merge(other Online) {
+	if other.n == 0 {
+		return
+	}
+	if o.n == 0 {
+		*o = other
+		return
+	}
+	n1, n2 := float64(o.n), float64(other.n)
+	delta := other.mean - o.mean
+	total := n1 + n2
+	o.m2 += other.m2 + delta*delta*n1*n2/total
+	o.mean += delta * n2 / total
+	o.sum += other.sum
+	o.n += other.n
+	if other.min < o.min {
+		o.min = other.min
+	}
+	if other.max > o.max {
+		o.max = other.max
+	}
+}
+
+// N returns the number of observations.
+func (o *Online) N() int { return o.n }
+
+// Mean returns the running mean, or NaN if empty.
+func (o *Online) Mean() float64 {
+	if o.n == 0 {
+		return math.NaN()
+	}
+	return o.mean
+}
+
+// Sum returns the running sum.
+func (o *Online) Sum() float64 { return o.sum }
+
+// Variance returns the unbiased sample variance, or NaN if n < 2.
+func (o *Online) Variance() float64 {
+	if o.n < 2 {
+		return math.NaN()
+	}
+	return o.m2 / float64(o.n-1)
+}
+
+// StdDev returns the sample standard deviation, or NaN if n < 2.
+func (o *Online) StdDev() float64 { return math.Sqrt(o.Variance()) }
+
+// Min returns the minimum observation, or NaN if empty.
+func (o *Online) Min() float64 {
+	if o.n == 0 {
+		return math.NaN()
+	}
+	return o.min
+}
+
+// Max returns the maximum observation, or NaN if empty.
+func (o *Online) Max() float64 {
+	if o.n == 0 {
+		return math.NaN()
+	}
+	return o.max
+}
+
+// EWMA is an exponentially weighted moving average, used to model a user's
+// long-term conditioning to network performance (§4.2's "wheel of time"): the
+// current value is the user's expectation; deviations from it, not absolute
+// values, drive sentiment.
+type EWMA struct {
+	alpha float64
+	value float64
+	init  bool
+}
+
+// NewEWMA returns an EWMA with smoothing factor alpha in (0, 1]; higher alpha
+// weights recent observations more.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.1
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Add folds in one observation and returns the updated average.
+func (e *EWMA) Add(x float64) float64 {
+	if !e.init {
+		e.value = x
+		e.init = true
+		return x
+	}
+	e.value = e.alpha*x + (1-e.alpha)*e.value
+	return e.value
+}
+
+// Value returns the current average, or NaN before the first Add.
+func (e *EWMA) Value() float64 {
+	if !e.init {
+		return math.NaN()
+	}
+	return e.value
+}
+
+// Initialized reports whether the EWMA has seen at least one observation.
+func (e *EWMA) Initialized() bool { return e.init }

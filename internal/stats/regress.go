@@ -1,0 +1,196 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// LinearModel is a fitted linear (or ridge) regression y = b0 + b·x.
+type LinearModel struct {
+	Intercept float64
+	Coef      []float64
+	R2        float64 // coefficient of determination on the training set
+	N         int
+}
+
+// ErrSingular is returned when the normal-equation matrix is not positive
+// definite (collinear features and no ridge penalty).
+var ErrSingular = errors.New("stats: singular design matrix")
+
+// FitOLS fits ordinary least squares by solving the normal equations with
+// Cholesky decomposition. X is row-major: X[i] is the feature vector of
+// observation i. All rows must have the same length as the first.
+func FitOLS(X [][]float64, y []float64) (*LinearModel, error) {
+	return FitRidge(X, y, 0)
+}
+
+// FitRidge fits ridge regression with L2 penalty lambda >= 0 on the
+// coefficients (the intercept is not penalized). This is the MOS predictor
+// of §5: small, convex, exactly solvable, and robust to the collinearity
+// between engagement metrics.
+func FitRidge(X [][]float64, y []float64, lambda float64) (*LinearModel, error) {
+	n := len(X)
+	if n == 0 {
+		return nil, errors.New("stats: FitRidge with no observations")
+	}
+	if n != len(y) {
+		return nil, fmt.Errorf("stats: FitRidge rows %d != targets %d", n, len(y))
+	}
+	p := len(X[0])
+	for i, row := range X {
+		if len(row) != p {
+			return nil, fmt.Errorf("stats: FitRidge row %d has %d features, want %d", i, len(row), p)
+		}
+	}
+	if lambda < 0 {
+		lambda = 0
+	}
+
+	// Augmented design with intercept column: dimension d = p + 1.
+	d := p + 1
+	// A = X'X + lambda*I (no penalty on intercept), b = X'y.
+	A := make([][]float64, d)
+	for i := range A {
+		A[i] = make([]float64, d)
+	}
+	b := make([]float64, d)
+	for i := 0; i < n; i++ {
+		// feature vector with leading 1 for intercept
+		xi := X[i]
+		A[0][0]++
+		b[0] += y[i]
+		for j := 0; j < p; j++ {
+			A[0][j+1] += xi[j]
+			A[j+1][0] += xi[j]
+			b[j+1] += xi[j] * y[i]
+			for k := 0; k <= j; k++ {
+				A[j+1][k+1] += xi[j] * xi[k]
+				if k != j {
+					A[k+1][j+1] += xi[j] * xi[k]
+				}
+			}
+		}
+	}
+	for j := 1; j < d; j++ {
+		A[j][j] += lambda
+	}
+
+	beta, err := solveCholesky(A, b)
+	if err != nil {
+		return nil, err
+	}
+
+	m := &LinearModel{Intercept: beta[0], Coef: beta[1:], N: n}
+	// R^2 on training data.
+	meanY := Mean(y)
+	var ssRes, ssTot float64
+	for i := 0; i < n; i++ {
+		pred := m.Predict(X[i])
+		ssRes += (y[i] - pred) * (y[i] - pred)
+		ssTot += (y[i] - meanY) * (y[i] - meanY)
+	}
+	if ssTot > 0 {
+		m.R2 = 1 - ssRes/ssTot
+	} else {
+		m.R2 = math.NaN()
+	}
+	return m, nil
+}
+
+// Predict evaluates the model on one feature vector. Short vectors are an
+// error in the caller; extra features are ignored.
+func (m *LinearModel) Predict(x []float64) float64 {
+	pred := m.Intercept
+	for j, c := range m.Coef {
+		if j < len(x) {
+			pred += c * x[j]
+		}
+	}
+	return pred
+}
+
+// PredictAll evaluates the model over many rows.
+func (m *LinearModel) PredictAll(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, row := range X {
+		out[i] = m.Predict(row)
+	}
+	return out
+}
+
+// solveCholesky solves A x = b for symmetric positive-definite A in place.
+func solveCholesky(A [][]float64, b []float64) ([]float64, error) {
+	d := len(A)
+	// Decompose A = L L'.
+	L := make([][]float64, d)
+	for i := range L {
+		L[i] = make([]float64, d)
+	}
+	for i := 0; i < d; i++ {
+		for j := 0; j <= i; j++ {
+			sum := A[i][j]
+			for k := 0; k < j; k++ {
+				sum -= L[i][k] * L[j][k]
+			}
+			if i == j {
+				if sum <= 1e-12 {
+					return nil, ErrSingular
+				}
+				L[i][j] = math.Sqrt(sum)
+			} else {
+				L[i][j] = sum / L[j][j]
+			}
+		}
+	}
+	// Forward substitution: L z = b.
+	z := make([]float64, d)
+	for i := 0; i < d; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= L[i][k] * z[k]
+		}
+		z[i] = sum / L[i][i]
+	}
+	// Back substitution: L' x = z.
+	x := make([]float64, d)
+	for i := d - 1; i >= 0; i-- {
+		sum := z[i]
+		for k := i + 1; k < d; k++ {
+			sum -= L[k][i] * x[k]
+		}
+		x[i] = sum / L[i][i]
+	}
+	return x, nil
+}
+
+// MAE returns the mean absolute error between predictions and targets.
+func MAE(pred, y []float64) (float64, error) {
+	if len(pred) != len(y) {
+		return math.NaN(), fmt.Errorf("stats: MAE length mismatch: %d vs %d", len(pred), len(y))
+	}
+	if len(y) == 0 {
+		return math.NaN(), nil
+	}
+	sum := 0.0
+	for i := range y {
+		sum += math.Abs(pred[i] - y[i])
+	}
+	return sum / float64(len(y)), nil
+}
+
+// RMSE returns the root-mean-square error between predictions and targets.
+func RMSE(pred, y []float64) (float64, error) {
+	if len(pred) != len(y) {
+		return math.NaN(), fmt.Errorf("stats: RMSE length mismatch: %d vs %d", len(pred), len(y))
+	}
+	if len(y) == 0 {
+		return math.NaN(), nil
+	}
+	sum := 0.0
+	for i := range y {
+		d := pred[i] - y[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(y))), nil
+}

@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"usersignals/internal/simrand"
+)
+
+func TestFitOLSExact(t *testing.T) {
+	// y = 3 + 2*x0 - x1, exactly.
+	X := [][]float64{{0, 0}, {1, 0}, {0, 1}, {2, 3}, {5, 1}, {4, 4}}
+	y := make([]float64, len(X))
+	for i, row := range X {
+		y[i] = 3 + 2*row[0] - row[1]
+	}
+	m, err := FitOLS(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(m.Intercept, 3, 1e-9) || !almostEq(m.Coef[0], 2, 1e-9) || !almostEq(m.Coef[1], -1, 1e-9) {
+		t.Fatalf("model = %+v", m)
+	}
+	if !almostEq(m.R2, 1, 1e-9) {
+		t.Fatalf("R2 = %v", m.R2)
+	}
+	if got := m.Predict([]float64{10, 2}); !almostEq(got, 21, 1e-9) {
+		t.Fatalf("Predict = %v", got)
+	}
+}
+
+func TestFitOLSNoisy(t *testing.T) {
+	r := simrand.New(4, 2)
+	n := 2000
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x0 := r.Range(0, 10)
+		x1 := r.Range(-5, 5)
+		X[i] = []float64{x0, x1}
+		y[i] = 1.5 + 0.7*x0 - 0.3*x1 + r.Normal(0, 0.5)
+	}
+	m, err := FitOLS(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(m.Intercept, 1.5, 0.1) || !almostEq(m.Coef[0], 0.7, 0.03) || !almostEq(m.Coef[1], -0.3, 0.03) {
+		t.Fatalf("noisy fit = %+v", m)
+	}
+	if m.R2 < 0.8 {
+		t.Fatalf("R2 = %v, expected strong fit", m.R2)
+	}
+}
+
+func TestFitRidgeHandlesCollinearity(t *testing.T) {
+	// x1 == x0: OLS normal equations are singular; ridge is not.
+	X := [][]float64{{1, 1}, {2, 2}, {3, 3}, {4, 4}}
+	y := []float64{2, 4, 6, 8}
+	if _, err := FitOLS(X, y); err == nil {
+		t.Fatal("OLS on collinear features should fail")
+	}
+	m, err := FitRidge(X, y, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ridge splits the weight across the duplicated feature.
+	if !almostEq(m.Coef[0], m.Coef[1], 1e-6) {
+		t.Fatalf("ridge coefs %v should be symmetric", m.Coef)
+	}
+	if got := m.Predict([]float64{5, 5}); math.Abs(got-10) > 0.5 {
+		t.Fatalf("ridge prediction %v, want ~10", got)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := FitOLS(nil, nil); err == nil {
+		t.Fatal("empty fit should error")
+	}
+	if _, err := FitOLS([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Fatal("row/target mismatch should error")
+	}
+	if _, err := FitOLS([][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+		t.Fatal("ragged rows should error")
+	}
+}
+
+func TestNegativeLambdaTreatedAsZero(t *testing.T) {
+	X := [][]float64{{0}, {1}, {2}, {3}}
+	y := []float64{1, 3, 5, 7}
+	m, err := FitRidge(X, y, -5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(m.Coef[0], 2, 1e-9) {
+		t.Fatalf("coef = %v", m.Coef[0])
+	}
+}
+
+func TestPredictAllAndErrors(t *testing.T) {
+	m := &LinearModel{Intercept: 1, Coef: []float64{2}}
+	preds := m.PredictAll([][]float64{{0}, {1}, {2}})
+	want := []float64{1, 3, 5}
+	for i := range want {
+		if preds[i] != want[i] {
+			t.Fatalf("PredictAll = %v", preds)
+		}
+	}
+	mae, err := MAE(preds, []float64{1, 4, 5})
+	if err != nil || !almostEq(mae, 1.0/3.0, 1e-12) {
+		t.Fatalf("MAE = %v err=%v", mae, err)
+	}
+	rmse, err := RMSE(preds, []float64{1, 4, 5})
+	if err != nil || !almostEq(rmse, math.Sqrt(1.0/3.0), 1e-12) {
+		t.Fatalf("RMSE = %v err=%v", rmse, err)
+	}
+	if _, err := MAE(preds, want[:1]); err == nil {
+		t.Fatal("MAE mismatch should error")
+	}
+	if _, err := RMSE(preds, want[:1]); err == nil {
+		t.Fatal("RMSE mismatch should error")
+	}
+	if v, _ := MAE(nil, nil); !math.IsNaN(v) {
+		t.Fatal("empty MAE should be NaN")
+	}
+}
+
+func TestPredictIgnoresExtraFeatures(t *testing.T) {
+	m := &LinearModel{Intercept: 0, Coef: []float64{1, 1}}
+	if got := m.Predict([]float64{1, 2, 99}); got != 3 {
+		t.Fatalf("Predict with extra features = %v", got)
+	}
+	if got := m.Predict([]float64{1}); got != 1 {
+		t.Fatalf("Predict with short vector = %v", got)
+	}
+}

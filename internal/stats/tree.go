@@ -1,0 +1,194 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// RegressionTree is a CART-style regression tree: axis-aligned binary
+// splits chosen to minimize squared error, grown greedily to a depth and
+// leaf-size limit. It is the non-linear counterpart to FitRidge for the §5
+// MOS predictor — engagement/quality relations have knees and plateaus
+// that a linear model smooths over.
+type RegressionTree struct {
+	root *treeNode
+	p    int // feature count
+}
+
+type treeNode struct {
+	// leaf
+	value float64
+	n     int
+	// split
+	feature     int
+	threshold   float64
+	left, right *treeNode
+}
+
+func (n *treeNode) isLeaf() bool { return n.left == nil }
+
+// TreeOptions bounds tree growth.
+type TreeOptions struct {
+	// MaxDepth limits tree height (default 6).
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf (default 8).
+	MinLeaf int
+}
+
+func (o TreeOptions) withDefaults() TreeOptions {
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 6
+	}
+	if o.MinLeaf <= 0 {
+		o.MinLeaf = 8
+	}
+	return o
+}
+
+// FitTree grows a regression tree on X (row-major) and targets y.
+func FitTree(X [][]float64, y []float64, opts TreeOptions) (*RegressionTree, error) {
+	if len(X) == 0 {
+		return nil, errors.New("stats: FitTree with no observations")
+	}
+	if len(X) != len(y) {
+		return nil, fmt.Errorf("stats: FitTree rows %d != targets %d", len(X), len(y))
+	}
+	p := len(X[0])
+	for i, row := range X {
+		if len(row) != p {
+			return nil, fmt.Errorf("stats: FitTree row %d has %d features, want %d", i, len(row), p)
+		}
+	}
+	opts = opts.withDefaults()
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	t := &RegressionTree{p: p}
+	t.root = grow(X, y, idx, opts, 0)
+	return t, nil
+}
+
+// grow builds a subtree over the rows in idx (which it may reorder).
+func grow(X [][]float64, y []float64, idx []int, opts TreeOptions, depth int) *treeNode {
+	n := len(idx)
+	mean, sse := meanSSE(y, idx)
+	node := &treeNode{value: mean, n: n}
+	if depth >= opts.MaxDepth || n < 2*opts.MinLeaf || sse <= 1e-12 {
+		return node
+	}
+
+	bestGain := 0.0
+	bestFeature := -1
+	bestThreshold := 0.0
+	p := len(X[0])
+	sorted := make([]int, n)
+	for f := 0; f < p; f++ {
+		copy(sorted, idx)
+		sort.Slice(sorted, func(a, b int) bool { return X[sorted[a]][f] < X[sorted[b]][f] })
+		// Incremental split scan: maintain left/right sums.
+		var lSum, lSq float64
+		rSum, rSq := 0.0, 0.0
+		for _, i := range sorted {
+			rSum += y[i]
+			rSq += y[i] * y[i]
+		}
+		lN := 0
+		for k := 0; k < n-1; k++ {
+			i := sorted[k]
+			lSum += y[i]
+			lSq += y[i] * y[i]
+			rSum -= y[i]
+			rSq -= y[i] * y[i]
+			lN++
+			rN := n - lN
+			if lN < opts.MinLeaf || rN < opts.MinLeaf {
+				continue
+			}
+			// Skip ties: can't split between equal feature values.
+			if X[sorted[k]][f] == X[sorted[k+1]][f] {
+				continue
+			}
+			lSSE := lSq - lSum*lSum/float64(lN)
+			rSSE := rSq - rSum*rSum/float64(rN)
+			gain := sse - lSSE - rSSE
+			if gain > bestGain+1e-12 {
+				bestGain = gain
+				bestFeature = f
+				bestThreshold = (X[sorted[k]][f] + X[sorted[k+1]][f]) / 2
+			}
+		}
+	}
+	if bestFeature < 0 {
+		return node
+	}
+
+	var left, right []int
+	for _, i := range idx {
+		if X[i][bestFeature] <= bestThreshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return node
+	}
+	node.feature = bestFeature
+	node.threshold = bestThreshold
+	node.left = grow(X, y, left, opts, depth+1)
+	node.right = grow(X, y, right, opts, depth+1)
+	return node
+}
+
+func meanSSE(y []float64, idx []int) (mean, sse float64) {
+	var sum, sq float64
+	for _, i := range idx {
+		sum += y[i]
+		sq += y[i] * y[i]
+	}
+	n := float64(len(idx))
+	mean = sum / n
+	return mean, sq - sum*sum/n
+}
+
+// Predict evaluates the tree on one feature vector. Missing trailing
+// features read as 0.
+func (t *RegressionTree) Predict(x []float64) float64 {
+	node := t.root
+	for !node.isLeaf() {
+		v := 0.0
+		if node.feature < len(x) {
+			v = x[node.feature]
+		}
+		if v <= node.threshold {
+			node = node.left
+		} else {
+			node = node.right
+		}
+	}
+	return node.value
+}
+
+// Depth returns the height of the tree (0 for a stump).
+func (t *RegressionTree) Depth() int { return depthOf(t.root) }
+
+func depthOf(n *treeNode) int {
+	if n.isLeaf() {
+		return 0
+	}
+	l, r := depthOf(n.left), depthOf(n.right)
+	return 1 + int(math.Max(float64(l), float64(r)))
+}
+
+// Leaves returns the number of leaf nodes.
+func (t *RegressionTree) Leaves() int { return leavesOf(t.root) }
+
+func leavesOf(n *treeNode) int {
+	if n.isLeaf() {
+		return 1
+	}
+	return leavesOf(n.left) + leavesOf(n.right)
+}

@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"usersignals/internal/simrand"
+)
+
+func TestTreeFitsStepFunction(t *testing.T) {
+	// A tree should nail a piecewise-constant target that a line cannot.
+	r := simrand.New(5, 6)
+	n := 2000
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	step := func(x float64) float64 {
+		switch {
+		case x < 100:
+			return 5
+		case x < 200:
+			return 3
+		default:
+			return 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		x := r.Range(0, 300)
+		X[i] = []float64{x}
+		y[i] = step(x) + r.Normal(0, 0.1)
+	}
+	tree, err := FitTree(X, y, TreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{50, 150, 250} {
+		got := tree.Predict([]float64{x})
+		if math.Abs(got-step(x)) > 0.2 {
+			t.Fatalf("tree(%v) = %v, want ~%v", x, got, step(x))
+		}
+	}
+	// The linear model structurally cannot: its error must be larger.
+	lin, err := FitOLS(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var treeErr, linErr float64
+	for i := range X {
+		treeErr += math.Abs(tree.Predict(X[i]) - y[i])
+		linErr += math.Abs(lin.Predict(X[i]) - y[i])
+	}
+	if treeErr >= linErr {
+		t.Fatalf("tree MAE %v not better than line %v on a step function", treeErr, linErr)
+	}
+}
+
+func TestTreeInteraction(t *testing.T) {
+	// y = 1 if (x0>0 AND x1>0) else 0: pure interaction, no main effects.
+	r := simrand.New(7, 8)
+	n := 3000
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a, b := r.Range(-1, 1), r.Range(-1, 1)
+		X[i] = []float64{a, b}
+		if a > 0 && b > 0 {
+			y[i] = 1
+		}
+	}
+	tree, err := FitTree(X, y, TreeOptions{MaxDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Predict([]float64{0.5, 0.5}); got < 0.8 {
+		t.Fatalf("interaction corner = %v, want ~1", got)
+	}
+	if got := tree.Predict([]float64{-0.5, 0.5}); got > 0.2 {
+		t.Fatalf("off corner = %v, want ~0", got)
+	}
+}
+
+func TestTreeRespectsLimits(t *testing.T) {
+	r := simrand.New(9, 10)
+	n := 500
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		X[i] = []float64{r.Float64(), r.Float64()}
+		y[i] = r.Float64()
+	}
+	tree, err := FitTree(X, y, TreeOptions{MaxDepth: 3, MinLeaf: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() > 3 {
+		t.Fatalf("depth %d > 3", tree.Depth())
+	}
+	if tree.Leaves() > 8 {
+		t.Fatalf("leaves %d > 2^3", tree.Leaves())
+	}
+}
+
+func TestTreeConstantTarget(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{7, 7, 7, 7}
+	tree, err := FitTree(X, y, TreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() != 0 {
+		t.Fatalf("constant target grew depth %d", tree.Depth())
+	}
+	if got := tree.Predict([]float64{99}); got != 7 {
+		t.Fatalf("Predict = %v", got)
+	}
+}
+
+func TestTreeErrors(t *testing.T) {
+	if _, err := FitTree(nil, nil, TreeOptions{}); err == nil {
+		t.Fatal("empty fit accepted")
+	}
+	if _, err := FitTree([][]float64{{1}}, []float64{1, 2}, TreeOptions{}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := FitTree([][]float64{{1, 2}, {3}}, []float64{1, 2}, TreeOptions{}); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+}
+
+func TestTreeTiedFeatureValues(t *testing.T) {
+	// All feature values identical: no legal split; must return a stump
+	// rather than looping or splitting on a tie.
+	X := [][]float64{{1}, {1}, {1}, {1}, {1}, {1}}
+	y := []float64{1, 2, 3, 4, 5, 6}
+	tree, err := FitTree(X, y, TreeOptions{MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() != 0 {
+		t.Fatalf("tied features produced splits: depth %d", tree.Depth())
+	}
+	if got := tree.Predict([]float64{1}); got != 3.5 {
+		t.Fatalf("stump value %v, want 3.5", got)
+	}
+}
+
+func TestTreeShortFeatureVector(t *testing.T) {
+	r := simrand.New(11, 12)
+	X := make([][]float64, 200)
+	y := make([]float64, 200)
+	for i := range X {
+		X[i] = []float64{r.Float64(), r.Float64()}
+		y[i] = X[i][1] * 10
+	}
+	tree, err := FitTree(X, y, TreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predicting with a short vector must not panic; missing features
+	// read as zero.
+	_ = tree.Predict([]float64{0.5})
+	_ = tree.Predict(nil)
+}

@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"usersignals/internal/netsim"
+	"usersignals/internal/simrand"
+	"usersignals/internal/timeline"
+)
+
+// businessHours is the §3.1 filter zone (9 AM–8 PM EST, weekdays).
+var businessHours = timeline.ESTBusinessHours
+
+// Client is the in-session measurement agent running on each participant's
+// device: it records one network sample per telemetry window and produces
+// the session aggregates at the end. The zero value is ready to use.
+type Client struct {
+	series netsim.Series
+}
+
+// Record appends one 5-second sample. Invalid samples (out-of-range values)
+// are clamped into validity rather than dropped, mirroring defensive client
+// code; telemetry gaps would otherwise bias per-session means.
+func (c *Client) Record(s netsim.Conditions) {
+	if s.LatencyMs < 0 {
+		s.LatencyMs = 0
+	}
+	if s.LossPct < 0 {
+		s.LossPct = 0
+	}
+	if s.LossPct > 100 {
+		s.LossPct = 100
+	}
+	if s.JitterMs < 0 {
+		s.JitterMs = 0
+	}
+	if s.BandwidthMbps < 0 {
+		s.BandwidthMbps = 0
+	}
+	c.series = append(c.series, s)
+}
+
+// Samples returns the number of recorded windows.
+func (c *Client) Samples() int { return len(c.series) }
+
+// Aggregates finalizes the session statistics.
+func (c *Client) Aggregates() NetAggregates { return Aggregate(c.series) }
+
+// Reset clears the client for a new session.
+func (c *Client) Reset() { c.series = c.series[:0] }
+
+// SurveySampler decides which sessions receive an end-of-call rating
+// prompt. The paper reports feedback on 0.1–1% of sessions; the default
+// rate is 0.5%.
+type SurveySampler struct {
+	// Rate is the fraction of sessions surveyed, in [0, 1].
+	Rate float64
+}
+
+// DefaultSurveyRate is the default sampling fraction (0.5%).
+const DefaultSurveyRate = 0.005
+
+// ShouldSurvey reports whether this session is prompted for feedback.
+func (s SurveySampler) ShouldSurvey(r *simrand.RNG) bool {
+	rate := s.Rate
+	if rate <= 0 {
+		rate = DefaultSurveyRate
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	return r.Bool(rate)
+}
+
+// MOS computes the mean opinion score of a set of 1–5 ratings; NaN-free:
+// returns 0, false when no ratings are present.
+func MOS(ratings []int) (float64, bool) {
+	if len(ratings) == 0 {
+		return 0, false
+	}
+	sum := 0
+	for _, x := range ratings {
+		sum += x
+	}
+	return float64(sum) / float64(len(ratings)), true
+}

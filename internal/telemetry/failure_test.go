@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// Failure-injection tests: the dataset readers must fail loudly and
+// precisely on corrupted input, never silently truncate.
+
+func TestCSVTruncatedRow(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewCSVWriter(&buf)
+	r := sampleRecord()
+	if err := w.Write(&r); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.String()
+	// Chop the last row in half.
+	cut := full[:len(full)-20]
+	err := ReadCSV(strings.NewReader(cut), func(*SessionRecord) error { return nil })
+	if err == nil {
+		t.Fatal("truncated CSV accepted")
+	}
+}
+
+func TestCSVCallbackErrorPropagates(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewCSVWriter(&buf)
+	for i := 0; i < 5; i++ {
+		r := sampleRecord()
+		r.CallID = uint64(i)
+		if err := w.Write(&r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = w.Flush()
+	sentinel := errors.New("stop")
+	count := 0
+	err := ReadCSV(bytes.NewReader(buf.Bytes()), func(*SessionRecord) error {
+		count++
+		if count == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if count != 2 {
+		t.Fatalf("read continued after callback error: %d", count)
+	}
+}
+
+func TestCSVRecordReuseSemantics(t *testing.T) {
+	// The callback record is reused; retaining the pointer is a bug the
+	// docs warn about. Verify the documented behaviour.
+	var buf bytes.Buffer
+	w := NewCSVWriter(&buf)
+	for i := 0; i < 3; i++ {
+		r := sampleRecord()
+		r.CallID = uint64(100 + i)
+		if err := w.Write(&r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = w.Flush()
+	var retained *SessionRecord
+	if err := ReadCSV(bytes.NewReader(buf.Bytes()), func(r *SessionRecord) error {
+		retained = r
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if retained.CallID != 102 {
+		t.Fatalf("reused record should hold the last row, got %d", retained.CallID)
+	}
+}
+
+func TestJSONLOversizedLine(t *testing.T) {
+	// The scanner caps line size at 4 MiB; a larger line must error, not
+	// hang or silently skip.
+	huge := `{"call_id":1,"pad":"` + strings.Repeat("x", 5<<20) + `"}`
+	err := ReadJSONL(strings.NewReader(huge), func(*SessionRecord) error { return nil })
+	if err == nil {
+		t.Fatal("oversized JSONL line accepted")
+	}
+}
+
+func TestJSONLCallbackErrorPropagates(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	for i := 0; i < 3; i++ {
+		r := sampleRecord()
+		if err := w.Write(&r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = w.Flush()
+	sentinel := errors.New("stop")
+	err := ReadJSONL(bytes.NewReader(buf.Bytes()), func(*SessionRecord) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCSVErrorNamesColumnAndLine(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewCSVWriter(&buf)
+	r := sampleRecord()
+	if err := w.Write(&r); err != nil {
+		t.Fatal(err)
+	}
+	_ = w.Flush()
+	corrupt := strings.Replace(buf.String(), "1800", "NaN?!", 1) // duration_sec
+	err := ReadCSV(strings.NewReader(corrupt), func(*SessionRecord) error { return nil })
+	if err == nil {
+		t.Fatal("corrupt duration accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "line 2") || !strings.Contains(msg, "duration_sec") {
+		t.Fatalf("error should name line and column: %q", msg)
+	}
+}

@@ -1,0 +1,335 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"usersignals/internal/netsim"
+	"usersignals/internal/simrand"
+)
+
+func sampleRecord() SessionRecord {
+	return SessionRecord{
+		CallID: 12345, UserID: 999, Platform: "windows-pc", MeetingSize: 5,
+		Start:       time.Date(2022, 3, 2, 15, 30, 0, 0, time.UTC),
+		DurationSec: 1800,
+		Net: NetAggregates{
+			LatencyMean: 42.5, LatencyMedian: 40, LatencyP95: 90,
+			LossMean: 0.15, LossMedian: 0.1, LossP95: 0.8,
+			JitterMean: 3.2, JitterMedian: 3, JitterP95: 8,
+			BWMean: 3.6, BWMedian: 3.5, BWP95: 4.1,
+		},
+		PresencePct: 95.5, CamOnPct: 60.25, MicOnPct: 80,
+		LeftEarly: false, Rated: true, Rating: 4,
+		Country: "US", Enterprise: true, ISP: "cablecorp",
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	s := netsim.Series{
+		{LatencyMs: 10, LossPct: 0, JitterMs: 1, BandwidthMbps: 3},
+		{LatencyMs: 20, LossPct: 1, JitterMs: 2, BandwidthMbps: 4},
+		{LatencyMs: 30, LossPct: 2, JitterMs: 3, BandwidthMbps: 5},
+	}
+	a := Aggregate(s)
+	if a.LatencyMean != 20 || a.LatencyMedian != 20 {
+		t.Fatalf("latency agg wrong: %+v", a)
+	}
+	if a.LossMean != 1 || a.BWMean != 4 || a.JitterMean != 2 {
+		t.Fatalf("agg wrong: %+v", a)
+	}
+	if a.LatencyP95 < 29 || a.LatencyP95 > 30 {
+		t.Fatalf("p95 = %v", a.LatencyP95)
+	}
+}
+
+func TestClientClampsInvalidSamples(t *testing.T) {
+	var c Client
+	c.Record(netsim.Conditions{LatencyMs: -5, LossPct: 150, JitterMs: -1, BandwidthMbps: -2})
+	a := c.Aggregates()
+	if a.LatencyMean != 0 || a.LossMean != 100 || a.JitterMean != 0 || a.BWMean != 0 {
+		t.Fatalf("clamping failed: %+v", a)
+	}
+	if c.Samples() != 1 {
+		t.Fatalf("Samples = %d", c.Samples())
+	}
+	c.Reset()
+	if c.Samples() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestMetricAccessors(t *testing.T) {
+	a := sampleRecord().Net
+	cases := []struct {
+		m    Metric
+		want float64
+	}{
+		{LatencyMean, 42.5}, {LossMean, 0.15}, {JitterMean, 3.2}, {BandwidthMean, 3.6},
+		{LatencyP95, 90}, {LossP95, 0.8}, {JitterP95, 8}, {BandwidthP95, 4.1},
+	}
+	for _, c := range cases {
+		if got := c.m.Of(a); got != c.want {
+			t.Fatalf("%v.Of = %v, want %v", c.m, got, c.want)
+		}
+		if c.m.String() == "" || strings.HasPrefix(c.m.String(), "metric(") {
+			t.Fatalf("missing name for %d", int(c.m))
+		}
+	}
+	if Metric(99).Of(a) != 0 {
+		t.Fatal("unknown metric should read 0")
+	}
+}
+
+func TestEngagementAccessors(t *testing.T) {
+	r := sampleRecord()
+	if r.EngagementOf(Presence) != 95.5 || r.EngagementOf(CamOn) != 60.25 || r.EngagementOf(MicOn) != 80 {
+		t.Fatal("engagement accessors wrong")
+	}
+	if len(Engagements()) != 3 {
+		t.Fatal("Engagements() wrong")
+	}
+	for _, e := range Engagements() {
+		if e.String() == "" {
+			t.Fatal("missing engagement name")
+		}
+	}
+	if r.EngagementOf(Engagement(9)) != 0 {
+		t.Fatal("unknown engagement should read 0")
+	}
+}
+
+func TestStudyCohortFilter(t *testing.T) {
+	f := StudyCohort()
+	ok := sampleRecord()
+	if !f(&ok) {
+		t.Fatalf("cohort record rejected: %+v", ok)
+	}
+	for _, mutate := range []func(*SessionRecord){
+		func(r *SessionRecord) { r.Enterprise = false },
+		func(r *SessionRecord) { r.Country = "CA" },
+		func(r *SessionRecord) { r.MeetingSize = 2 },
+		func(r *SessionRecord) { r.Start = time.Date(2022, 3, 5, 15, 0, 0, 0, time.UTC) }, // Saturday
+		func(r *SessionRecord) { r.Start = time.Date(2022, 3, 2, 5, 0, 0, 0, time.UTC) },  // midnight EST
+	} {
+		r := sampleRecord()
+		mutate(&r)
+		if f(&r) {
+			t.Fatalf("filter passed a non-cohort record: %+v", r)
+		}
+	}
+}
+
+func TestControlBands(t *testing.T) {
+	r := sampleRecord()
+	r.Net.LatencyMean = 200 // out of band
+	if ControlBands(LossMean)(&r) {
+		t.Fatal("latency out of band should reject when varying loss")
+	}
+	if !ControlBands(LatencyMean)(&r) {
+		t.Fatal("varying latency should ignore the latency band")
+	}
+	r2 := sampleRecord()
+	r2.Net.LatencyMean = 30 // bring the held metrics in band
+	r2.Net.BWMean = 1
+	if ControlBands(LatencyMean)(&r2) {
+		t.Fatal("bandwidth out of band should reject")
+	}
+	if !ControlBands(BandwidthMean)(&r2) {
+		t.Fatal("varying bandwidth should ignore the bandwidth band")
+	}
+}
+
+func TestAndFilter(t *testing.T) {
+	yes := Filter(func(*SessionRecord) bool { return true })
+	no := Filter(func(*SessionRecord) bool { return false })
+	r := sampleRecord()
+	if !And(yes, yes)(&r) || And(yes, no)(&r) || !And()(&r) {
+		t.Fatal("And combinator wrong")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewCSVWriter(&buf)
+	want := []SessionRecord{sampleRecord(), sampleRecord()}
+	want[1].CallID = 2
+	want[1].Rated = false
+	want[1].Rating = 0
+	want[1].LeftEarly = true
+	for i := range want {
+		if err := w.Write(&want[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := CollectCSV(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d records", len(got))
+	}
+	for i := range want {
+		if !got[i].Start.Equal(want[i].Start) {
+			t.Fatalf("start mismatch: %v vs %v", got[i].Start, want[i].Start)
+		}
+		got[i].Start = want[i].Start // normalize monotonic clock for equality
+		if got[i] != want[i] {
+			t.Fatalf("record %d mismatch:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCSVRoundTripProperty(t *testing.T) {
+	f := func(lat, loss, pres float64, size uint8, rated bool) bool {
+		if math.IsNaN(lat) || math.IsInf(lat, 0) || math.IsNaN(loss) || math.IsInf(loss, 0) ||
+			math.IsNaN(pres) || math.IsInf(pres, 0) {
+			return true
+		}
+		r := sampleRecord()
+		r.Net.LatencyMean = lat
+		r.Net.LossMean = loss
+		r.PresencePct = pres
+		r.MeetingSize = int(size)
+		r.Rated = rated
+		var buf bytes.Buffer
+		w := NewCSVWriter(&buf)
+		if w.Write(&r) != nil || w.Flush() != nil {
+			return false
+		}
+		got, err := CollectCSV(&buf, nil)
+		if err != nil || len(got) != 1 {
+			return false
+		}
+		// 'g' format with 8 significant digits: compare with relative tolerance.
+		relEq := func(a, b float64) bool {
+			if a == b {
+				return true
+			}
+			return math.Abs(a-b) <= 1e-6*(math.Abs(a)+math.Abs(b))
+		}
+		return relEq(got[0].Net.LatencyMean, lat) && relEq(got[0].Net.LossMean, loss) &&
+			relEq(got[0].PresencePct, pres) && got[0].MeetingSize == int(size) && got[0].Rated == rated
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	// Wrong header width.
+	if err := ReadCSV(strings.NewReader("a,b,c\n1,2,3\n"), func(*SessionRecord) error { return nil }); err == nil {
+		t.Fatal("bad header accepted")
+	}
+	// Empty input is fine.
+	if err := ReadCSV(strings.NewReader(""), func(*SessionRecord) error { return nil }); err != nil {
+		t.Fatalf("empty input: %v", err)
+	}
+	// Corrupt numeric field.
+	var buf bytes.Buffer
+	w := NewCSVWriter(&buf)
+	r := sampleRecord()
+	if err := w.Write(&r); err != nil {
+		t.Fatal(err)
+	}
+	_ = w.Flush()
+	corrupted := strings.Replace(buf.String(), "42.5", "forty-two", 1)
+	if err := ReadCSV(strings.NewReader(corrupted), func(*SessionRecord) error { return nil }); err == nil {
+		t.Fatal("corrupt field accepted")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	want := sampleRecord()
+	if err := w.Write(&want); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var got []SessionRecord
+	if err := ReadJSONL(&buf, func(r *SessionRecord) error {
+		got = append(got, *r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("read %d", len(got))
+	}
+	if !got[0].Start.Equal(want.Start) {
+		t.Fatal("start mismatch")
+	}
+	got[0].Start = want.Start
+	if got[0] != want {
+		t.Fatalf("mismatch:\n got %+v\nwant %+v", got[0], want)
+	}
+}
+
+func TestJSONLSkipsBlankLinesAndReportsErrors(t *testing.T) {
+	input := "\n{\"call_id\":1,\"user_id\":2,\"platform\":\"x\",\"meeting_size\":3,\"start\":\"2022-01-01T00:00:00Z\",\"duration_sec\":1,\"net\":{},\"presence_pct\":1,\"cam_on_pct\":1,\"mic_on_pct\":1,\"left_early\":false,\"rated\":false,\"country\":\"US\",\"enterprise\":true}\n"
+	count := 0
+	if err := ReadJSONL(strings.NewReader(input), func(*SessionRecord) error {
+		count++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("count = %d", count)
+	}
+	if err := ReadJSONL(strings.NewReader("{broken\n"), func(*SessionRecord) error { return nil }); err == nil {
+		t.Fatal("broken JSON accepted")
+	}
+}
+
+func TestSurveySampler(t *testing.T) {
+	r := simrand.New(7, 11)
+	s := SurveySampler{Rate: 0.01}
+	hits := 0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		if s.ShouldSurvey(r) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.007 || frac > 0.013 {
+		t.Fatalf("survey rate %v, want ~0.01", frac)
+	}
+	// Default rate and clamping.
+	d := SurveySampler{}
+	hits = 0
+	for i := 0; i < n; i++ {
+		if d.ShouldSurvey(r) {
+			hits++
+		}
+	}
+	frac = float64(hits) / n
+	if frac < 0.003 || frac > 0.008 {
+		t.Fatalf("default survey rate %v, want ~0.005", frac)
+	}
+	always := SurveySampler{Rate: 5}
+	if !always.ShouldSurvey(r) {
+		t.Fatal("rate > 1 should clamp to always")
+	}
+}
+
+func TestMOS(t *testing.T) {
+	if _, ok := MOS(nil); ok {
+		t.Fatal("empty MOS should report !ok")
+	}
+	m, ok := MOS([]int{5, 4, 3})
+	if !ok || m != 4 {
+		t.Fatalf("MOS = %v %v", m, ok)
+	}
+}

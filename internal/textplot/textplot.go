@@ -1,0 +1,258 @@
+// Package textplot renders simple terminal charts — line series, grouped
+// bar charts, and heatmaps — used by cmd/figures to display each
+// reproduced figure next to its CSV output. Rendering is deterministic and
+// dependency-free.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart renders one or more series as an ASCII scatter/line chart of the
+// given size. NaN points are skipped. Each series uses its own marker rune.
+type Chart struct {
+	Title    string
+	XLabel   string
+	YLabel   string
+	Width    int // plot area columns (default 64)
+	Height   int // plot area rows (default 16)
+	Series   []Series
+	YMinZero bool // force the y-axis to start at zero
+}
+
+var markers = []rune{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the chart.
+func (c Chart) Render() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 64
+	}
+	if h <= 0 {
+		h = 16
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range c.Series {
+		for i := range s.X {
+			if i >= len(s.Y) || math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			any = true
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		b.WriteString(c.Title + "\n")
+	}
+	if !any {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if c.YMinZero && ymin > 0 {
+		ymin = 0
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]rune, h)
+	for i := range grid {
+		grid[i] = make([]rune, w)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	for si, s := range c.Series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			if i >= len(s.Y) || math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			col := int((s.X[i] - xmin) / (xmax - xmin) * float64(w-1))
+			row := h - 1 - int((s.Y[i]-ymin)/(ymax-ymin)*float64(h-1))
+			if col >= 0 && col < w && row >= 0 && row < h {
+				grid[row][col] = m
+			}
+		}
+	}
+
+	yTop := fmt.Sprintf("%.4g", ymax)
+	yBot := fmt.Sprintf("%.4g", ymin)
+	pad := len(yTop)
+	if len(yBot) > pad {
+		pad = len(yBot)
+	}
+	for i, row := range grid {
+		label := strings.Repeat(" ", pad)
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%*s", pad, yTop)
+		case h - 1:
+			label = fmt.Sprintf("%*s", pad, yBot)
+		}
+		b.WriteString(label + " |" + string(row) + "\n")
+	}
+	b.WriteString(strings.Repeat(" ", pad) + " +" + strings.Repeat("-", w) + "\n")
+	xAxis := fmt.Sprintf("%*s  %-10.4g%s%10.4g", pad, "", xmin,
+		strings.Repeat(" ", maxInt(0, w-22)), xmax)
+	b.WriteString(xAxis + "\n")
+	if c.XLabel != "" || len(c.Series) > 1 {
+		var legend []string
+		for si, s := range c.Series {
+			if s.Name != "" {
+				legend = append(legend, fmt.Sprintf("%c=%s", markers[si%len(markers)], s.Name))
+			}
+		}
+		line := "  " + c.XLabel
+		if len(legend) > 0 {
+			line += "   [" + strings.Join(legend, "  ") + "]"
+		}
+		b.WriteString(line + "\n")
+	}
+	return b.String()
+}
+
+// Heatmap renders a 2D grid of values with a density ramp (low → high:
+// " .:-=+*#%@"). NaN cells render as '?'.
+type Heatmap struct {
+	Title   string
+	XLabels []string
+	YLabels []string
+	Values  [][]float64 // [y][x]
+}
+
+var ramp = []rune(" .:-=+*#%@")
+
+// Render draws the heatmap.
+func (hm Heatmap) Render() string {
+	var b strings.Builder
+	if hm.Title != "" {
+		b.WriteString(hm.Title + "\n")
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, row := range hm.Values {
+		for _, v := range row {
+			if math.IsNaN(v) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	labelPad := 0
+	for _, l := range hm.YLabels {
+		if len(l) > labelPad {
+			labelPad = len(l)
+		}
+	}
+	for yi, row := range hm.Values {
+		label := ""
+		if yi < len(hm.YLabels) {
+			label = hm.YLabels[yi]
+		}
+		b.WriteString(fmt.Sprintf("%*s |", labelPad, label))
+		for _, v := range row {
+			if math.IsNaN(v) {
+				b.WriteString(" ? ")
+				continue
+			}
+			idx := int((v - lo) / (hi - lo) * float64(len(ramp)-1))
+			b.WriteString(" " + string(ramp[idx]) + " ")
+		}
+		b.WriteString("\n")
+	}
+	if len(hm.XLabels) > 0 {
+		b.WriteString(fmt.Sprintf("%*s  ", labelPad, ""))
+		for _, l := range hm.XLabels {
+			b.WriteString(fmt.Sprintf("%-3s", firstN(l, 3)))
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString(fmt.Sprintf("scale: %.4g (' ') to %.4g ('@')\n", lo, hi))
+	return b.String()
+}
+
+// Bars renders a labelled horizontal bar chart.
+type Bars struct {
+	Title  string
+	Labels []string
+	Values []float64
+	Width  int // max bar width (default 50)
+}
+
+// Render draws the bars.
+func (bc Bars) Render() string {
+	var b strings.Builder
+	if bc.Title != "" {
+		b.WriteString(bc.Title + "\n")
+	}
+	w := bc.Width
+	if w <= 0 {
+		w = 50
+	}
+	maxV := 0.0
+	labelPad := 0
+	for i, v := range bc.Values {
+		if !math.IsNaN(v) && v > maxV {
+			maxV = v
+		}
+		if i < len(bc.Labels) && len(bc.Labels[i]) > labelPad {
+			labelPad = len(bc.Labels[i])
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	for i, v := range bc.Values {
+		label := ""
+		if i < len(bc.Labels) {
+			label = bc.Labels[i]
+		}
+		if math.IsNaN(v) {
+			b.WriteString(fmt.Sprintf("%*s | (n/a)\n", labelPad, label))
+			continue
+		}
+		n := int(v / maxV * float64(w))
+		b.WriteString(fmt.Sprintf("%*s |%s %.4g\n", labelPad, label, strings.Repeat("█", n), v))
+	}
+	return b.String()
+}
+
+func firstN(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,112 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestChartRender(t *testing.T) {
+	c := Chart{
+		Title:  "Engagement vs latency",
+		XLabel: "latency ms",
+		Series: []Series{
+			{Name: "mic-on", X: []float64{0, 100, 200, 300}, Y: []float64{100, 90, 80, 75}},
+			{Name: "cam-on", X: []float64{0, 100, 200, 300}, Y: []float64{100, 95, 88, 82}},
+		},
+	}
+	out := c.Render()
+	if !strings.Contains(out, "Engagement vs latency") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("series markers missing")
+	}
+	if !strings.Contains(out, "mic-on") || !strings.Contains(out, "cam-on") {
+		t.Fatal("legend missing")
+	}
+	if !strings.Contains(out, "100") || !strings.Contains(out, "75") {
+		t.Fatal("y-axis labels missing")
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	out := Chart{Title: "t"}.Render()
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty chart = %q", out)
+	}
+	nan := Chart{Series: []Series{{X: []float64{1}, Y: []float64{math.NaN()}}}}
+	if !strings.Contains(nan.Render(), "(no data)") {
+		t.Fatal("all-NaN chart should render as no data")
+	}
+}
+
+func TestChartDegenerateRanges(t *testing.T) {
+	// Single point: must not divide by zero.
+	c := Chart{Series: []Series{{X: []float64{5}, Y: []float64{7}}}}
+	out := c.Render()
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point lost: %q", out)
+	}
+	// YMinZero extends the axis.
+	c2 := Chart{YMinZero: true, Series: []Series{{X: []float64{0, 1}, Y: []float64{50, 60}}}}
+	if !strings.Contains(c2.Render(), " 0") {
+		t.Fatal("YMinZero not applied")
+	}
+}
+
+func TestHeatmapRender(t *testing.T) {
+	hm := Heatmap{
+		Title:   "Presence",
+		XLabels: []string{"0", "1", "2"},
+		YLabels: []string{"low", "high"},
+		Values:  [][]float64{{10, 50, 90}, {5, math.NaN(), 100}},
+	}
+	out := hm.Render()
+	if !strings.Contains(out, "Presence") || !strings.Contains(out, "low") {
+		t.Fatal("labels missing")
+	}
+	if !strings.Contains(out, "?") {
+		t.Fatal("NaN cell not marked")
+	}
+	if !strings.Contains(out, "@") {
+		t.Fatal("max cell not at top of ramp")
+	}
+	if !strings.Contains(out, "scale:") {
+		t.Fatal("scale line missing")
+	}
+}
+
+func TestHeatmapEmpty(t *testing.T) {
+	if !strings.Contains((Heatmap{}).Render(), "(no data)") {
+		t.Fatal("empty heatmap")
+	}
+}
+
+func TestBarsRender(t *testing.T) {
+	b := Bars{
+		Title:  "Weekly averages",
+		Labels: []string{"posts", "upvotes"},
+		Values: []float64{372, 8190},
+	}
+	out := b.Render()
+	if !strings.Contains(out, "posts") || !strings.Contains(out, "8190") {
+		t.Fatalf("bars output: %q", out)
+	}
+	// Longest bar belongs to the max value.
+	lines := strings.Split(out, "\n")
+	if strings.Count(lines[1], "█") >= strings.Count(lines[2], "█") {
+		t.Fatal("bar lengths not proportional")
+	}
+}
+
+func TestBarsDegenerate(t *testing.T) {
+	out := Bars{Labels: []string{"a"}, Values: []float64{math.NaN()}}.Render()
+	if !strings.Contains(out, "(n/a)") {
+		t.Fatalf("NaN bar: %q", out)
+	}
+	zero := Bars{Labels: []string{"z"}, Values: []float64{0}}.Render()
+	if !strings.Contains(zero, "z") {
+		t.Fatal("zero bar lost its label")
+	}
+}

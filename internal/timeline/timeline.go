@@ -1,0 +1,183 @@
+// Package timeline provides the simulation calendar: date arithmetic over
+// the study windows, business-hours filters, and day/week/month bucketing.
+//
+// Both studies in the paper are calendar-bound — the Teams analysis covers
+// weekday business-hours calls in Jan–Apr 2022, and the Starlink analysis
+// buckets two years of posts by day and month — so dates are first-class
+// here. Days are represented as integer offsets from an epoch to keep
+// map keys and series indices cheap; conversion to time.Time is explicit.
+package timeline
+
+import (
+	"fmt"
+	"time"
+)
+
+// Day is a calendar day, counted as days since the package epoch
+// (2021-01-01 UTC, the start of the Starlink study window).
+type Day int
+
+// Epoch is day 0.
+var Epoch = time.Date(2021, time.January, 1, 0, 0, 0, 0, time.UTC)
+
+// DayOf converts a time to its Day (UTC calendar date).
+func DayOf(t time.Time) Day {
+	t = t.UTC()
+	days := t.Sub(Epoch).Hours() / 24
+	if t.Before(Epoch) {
+		return Day(int(days) - boolToInt(days != float64(int(days))))
+	}
+	return Day(int(days))
+}
+
+// Date builds the Day for a calendar date.
+func Date(year int, month time.Month, day int) Day {
+	return DayOf(time.Date(year, month, day, 0, 0, 0, 0, time.UTC))
+}
+
+// Time returns midnight UTC of the day.
+func (d Day) Time() time.Time { return Epoch.AddDate(0, 0, int(d)) }
+
+// String formats the day as YYYY-MM-DD.
+func (d Day) String() string { return d.Time().Format("2006-01-02") }
+
+// Weekday returns the day of week.
+func (d Day) Weekday() time.Weekday { return d.Time().Weekday() }
+
+// IsWeekday reports whether the day is Monday–Friday.
+func (d Day) IsWeekday() bool {
+	wd := d.Weekday()
+	return wd != time.Saturday && wd != time.Sunday
+}
+
+// Month is a calendar month, identified by year*12 + (month-1).
+type Month int
+
+// MonthOf returns the Month containing d.
+func MonthOf(d Day) Month {
+	t := d.Time()
+	return Month(t.Year()*12 + int(t.Month()) - 1)
+}
+
+// YearMonth builds a Month from its parts.
+func YearMonth(year int, month time.Month) Month {
+	return Month(year*12 + int(month) - 1)
+}
+
+// Year returns the calendar year of the month.
+func (m Month) Year() int { return int(m) / 12 }
+
+// Month returns the calendar month.
+func (m Month) Month() time.Month { return time.Month(int(m)%12 + 1) }
+
+// First returns the first Day of the month.
+func (m Month) First() Day {
+	return DayOf(time.Date(m.Year(), m.Month(), 1, 0, 0, 0, 0, time.UTC))
+}
+
+// Days returns the number of days in the month.
+func (m Month) Days() int {
+	next := time.Date(m.Year(), m.Month(), 1, 0, 0, 0, 0, time.UTC).AddDate(0, 1, 0)
+	return int(DayOf(next) - m.First())
+}
+
+// String formats as YYYY-MM.
+func (m Month) String() string {
+	return fmt.Sprintf("%04d-%02d", m.Year(), int(m.Month()))
+}
+
+// Range is an inclusive span of days.
+type Range struct {
+	From, To Day
+}
+
+// NewRange returns the inclusive day range [from, to]. It panics if
+// to < from, which is a programming error in experiment setup.
+func NewRange(from, to Day) Range {
+	if to < from {
+		panic("timeline: inverted Range")
+	}
+	return Range{From: from, To: to}
+}
+
+// Len returns the number of days in the range.
+func (r Range) Len() int { return int(r.To-r.From) + 1 }
+
+// Contains reports whether d lies in the range.
+func (r Range) Contains(d Day) bool { return d >= r.From && d <= r.To }
+
+// Days iterates the range in order.
+func (r Range) Days(fn func(Day)) {
+	for d := r.From; d <= r.To; d++ {
+		fn(d)
+	}
+}
+
+// Months returns the distinct months intersecting the range, in order.
+func (r Range) Months() []Month {
+	var out []Month
+	cur := MonthOf(r.From)
+	last := MonthOf(r.To)
+	for m := cur; m <= last; m++ {
+		out = append(out, m)
+	}
+	return out
+}
+
+// Study windows from the paper.
+var (
+	// TeamsWindow is the implicit-signals study window (Jan–Apr 2022).
+	TeamsWindow = Range{From: Date(2022, time.January, 1), To: Date(2022, time.April, 30)}
+	// StarlinkWindow is the explicit-signals study window (Jan'21–Dec'22).
+	StarlinkWindow = Range{From: Date(2021, time.January, 1), To: Date(2022, time.December, 31)}
+)
+
+// BusinessHours describes the §3.1 call filter: business hours in a fixed
+// offset zone. Hours are [Start, End) in local hours; the paper uses
+// 9 AM – 8 PM EST on weekdays.
+type BusinessHours struct {
+	Start, End int           // local hours, [Start, End)
+	Offset     time.Duration // zone offset from UTC (EST = -5h)
+}
+
+// ESTBusinessHours is the paper's filter: 9 AM–8 PM EST.
+var ESTBusinessHours = BusinessHours{Start: 9, End: 20, Offset: -5 * time.Hour}
+
+// Contains reports whether the instant falls inside business hours on a
+// weekday in the configured zone.
+func (b BusinessHours) Contains(t time.Time) bool {
+	local := t.UTC().Add(b.Offset)
+	wd := local.Weekday()
+	if wd == time.Saturday || wd == time.Sunday {
+		return false
+	}
+	h := local.Hour()
+	return h >= b.Start && h < b.End
+}
+
+// RandomInstant is the signature used by generators to place events inside a
+// day; implemented by simulation RNG adapters in callers. Kept here so the
+// contract is documented near the calendar.
+type RandomInstant func(d Day) time.Time
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Week is an ISO-like week bucket: days since epoch divided by 7 (epoch
+// aligned, not ISO-8601 aligned, which is sufficient for weekly averages).
+type Week int
+
+// WeekOf returns the Week containing d.
+func WeekOf(d Day) Week {
+	if d < 0 {
+		return Week((int(d) - 6) / 7)
+	}
+	return Week(int(d) / 7)
+}
+
+// First returns the first day of the week bucket.
+func (w Week) First() Day { return Day(int(w) * 7) }

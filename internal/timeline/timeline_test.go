@@ -1,0 +1,177 @@
+package timeline
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDayRoundTrip(t *testing.T) {
+	d := Date(2022, time.April, 22)
+	if got := d.String(); got != "2022-04-22" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := DayOf(d.Time()); got != d {
+		t.Fatalf("round trip: %v != %v", got, d)
+	}
+	if Date(2021, time.January, 1) != 0 {
+		t.Fatalf("epoch day should be 0, got %d", Date(2021, time.January, 1))
+	}
+	if Date(2021, time.January, 2) != 1 {
+		t.Fatal("day arithmetic off")
+	}
+}
+
+func TestDayOfIgnoresTimeOfDay(t *testing.T) {
+	morning := time.Date(2022, time.March, 5, 1, 0, 0, 0, time.UTC)
+	night := time.Date(2022, time.March, 5, 23, 59, 0, 0, time.UTC)
+	if DayOf(morning) != DayOf(night) {
+		t.Fatal("same date mapped to different Days")
+	}
+}
+
+func TestDayRoundTripProperty(t *testing.T) {
+	f := func(offset uint16) bool {
+		d := Day(offset)
+		return DayOf(d.Time()) == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeekday(t *testing.T) {
+	// 2021-01-01 was a Friday.
+	d := Date(2021, time.January, 1)
+	if d.Weekday() != time.Friday || !d.IsWeekday() {
+		t.Fatalf("epoch weekday = %v", d.Weekday())
+	}
+	sat := Date(2021, time.January, 2)
+	if sat.IsWeekday() {
+		t.Fatal("Saturday reported as weekday")
+	}
+}
+
+func TestMonth(t *testing.T) {
+	d := Date(2022, time.April, 22)
+	m := MonthOf(d)
+	if m.Year() != 2022 || m.Month() != time.April {
+		t.Fatalf("MonthOf = %v-%v", m.Year(), m.Month())
+	}
+	if m.String() != "2022-04" {
+		t.Fatalf("Month.String = %q", m.String())
+	}
+	if m.First() != Date(2022, time.April, 1) {
+		t.Fatalf("First = %v", m.First())
+	}
+	if m.Days() != 30 {
+		t.Fatalf("April has %d days?", m.Days())
+	}
+	if YearMonth(2022, time.April) != m {
+		t.Fatal("YearMonth mismatch")
+	}
+	// Leap year February.
+	if YearMonth(2024, time.February).Days() != 29 {
+		t.Fatal("2024 February should have 29 days")
+	}
+}
+
+func TestMonthSuccession(t *testing.T) {
+	dec := YearMonth(2021, time.December)
+	jan := YearMonth(2022, time.January)
+	if jan != dec+1 {
+		t.Fatalf("month succession across year broken: %v %v", dec, jan)
+	}
+}
+
+func TestRange(t *testing.T) {
+	r := NewRange(Date(2022, time.January, 30), Date(2022, time.February, 2))
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if !r.Contains(Date(2022, time.February, 1)) || r.Contains(Date(2022, time.February, 3)) {
+		t.Fatal("Contains wrong")
+	}
+	var days []Day
+	r.Days(func(d Day) { days = append(days, d) })
+	if len(days) != 4 || days[0] != r.From || days[3] != r.To {
+		t.Fatalf("Days iteration = %v", days)
+	}
+	months := r.Months()
+	if len(months) != 2 || months[0].Month() != time.January || months[1].Month() != time.February {
+		t.Fatalf("Months = %v", months)
+	}
+}
+
+func TestRangePanicsOnInversion(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRange(5, 4)
+}
+
+func TestStudyWindows(t *testing.T) {
+	if TeamsWindow.Len() != 120 {
+		t.Fatalf("Teams window %d days, want 120 (Jan-Apr 2022)", TeamsWindow.Len())
+	}
+	if StarlinkWindow.Len() != 730 {
+		t.Fatalf("Starlink window %d days, want 730", StarlinkWindow.Len())
+	}
+	if len(StarlinkWindow.Months()) != 24 {
+		t.Fatalf("Starlink window spans %d months, want 24", len(StarlinkWindow.Months()))
+	}
+}
+
+func TestBusinessHours(t *testing.T) {
+	bh := ESTBusinessHours
+	// 2022-03-02 was a Wednesday. 15:00 UTC = 10:00 EST: inside.
+	in := time.Date(2022, time.March, 2, 15, 0, 0, 0, time.UTC)
+	if !bh.Contains(in) {
+		t.Fatal("10 AM EST Wednesday should be business hours")
+	}
+	// 05:00 UTC = midnight EST: outside.
+	out := time.Date(2022, time.March, 2, 5, 0, 0, 0, time.UTC)
+	if bh.Contains(out) {
+		t.Fatal("midnight EST should not be business hours")
+	}
+	// Saturday noon EST: outside.
+	sat := time.Date(2022, time.March, 5, 17, 0, 0, 0, time.UTC)
+	if bh.Contains(sat) {
+		t.Fatal("Saturday should not be business hours")
+	}
+	// Boundary: 9 AM inclusive, 8 PM exclusive.
+	nine := time.Date(2022, time.March, 2, 14, 0, 0, 0, time.UTC) // 9 AM EST
+	eight := time.Date(2022, time.March, 3, 1, 0, 0, 0, time.UTC) // 8 PM EST Wed
+	if !bh.Contains(nine) {
+		t.Fatal("9 AM EST should be included")
+	}
+	if bh.Contains(eight) {
+		t.Fatal("8 PM EST should be excluded")
+	}
+}
+
+func TestWeekOf(t *testing.T) {
+	if WeekOf(0) != 0 || WeekOf(6) != 0 || WeekOf(7) != 1 {
+		t.Fatalf("WeekOf basics wrong: %d %d %d", WeekOf(0), WeekOf(6), WeekOf(7))
+	}
+	if WeekOf(-1) != -1 {
+		t.Fatalf("WeekOf(-1) = %d", WeekOf(-1))
+	}
+	if Week(2).First() != 14 {
+		t.Fatalf("Week.First = %d", Week(2).First())
+	}
+}
+
+func TestWeekPartitionProperty(t *testing.T) {
+	f := func(offset int16) bool {
+		d := Day(offset)
+		w := WeekOf(d)
+		first := w.First()
+		return d >= first && d < first+7
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,261 @@
+package usaas
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"usersignals/internal/social"
+	"usersignals/internal/telemetry"
+	"usersignals/internal/timeline"
+)
+
+// Client is a typed HTTP client for the USaaS service.
+type Client struct {
+	base  string
+	http  *http.Client
+	token string
+}
+
+// NewClient returns a client for the service at baseURL (e.g.
+// "http://127.0.0.1:8080"). httpClient may be nil for the default.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: baseURL, http: httpClient}
+}
+
+// WithToken returns a copy of the client that authenticates with the given
+// bearer token.
+func (c *Client) WithToken(token string) *Client {
+	cp := *c
+	cp.token = token
+	return &cp
+}
+
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("usaas client: encoding %s request: %w", path, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("usaas client: building %s request: %w", path, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *Client) get(ctx context.Context, path string, query url.Values, out any) error {
+	u := c.base + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return fmt.Errorf("usaas client: building %s request: %w", path, err)
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("usaas client: %s %s: %w", req.Method, req.URL.Path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var apiErr apiError
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("usaas client: %s %s: %s (status %d)", req.Method, req.URL.Path, apiErr.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("usaas client: %s %s: status %d", req.Method, req.URL.Path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("usaas client: decoding %s response: %w", req.URL.Path, err)
+	}
+	return nil
+}
+
+// IngestSessionsNDJSON streams session records from r as JSON Lines,
+// without buffering the dataset in the client.
+func (c *Client) IngestSessionsNDJSON(ctx context.Context, r io.Reader) (IngestResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/sessions", r)
+	if err != nil {
+		return IngestResponse{}, fmt.Errorf("usaas client: building NDJSON request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	var out IngestResponse
+	err = c.do(req, &out)
+	return out, err
+}
+
+// IngestSessions uploads session records.
+func (c *Client) IngestSessions(ctx context.Context, recs []telemetry.SessionRecord) (IngestResponse, error) {
+	var out IngestResponse
+	err := c.post(ctx, "/v1/sessions", recs, &out)
+	return out, err
+}
+
+// IngestPosts uploads social posts.
+func (c *Client) IngestPosts(ctx context.Context, posts []social.Post) (IngestResponse, error) {
+	var out IngestResponse
+	err := c.post(ctx, "/v1/posts", posts, &out)
+	return out, err
+}
+
+// Stats fetches store counts.
+func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
+	var out StatsResponse
+	err := c.get(ctx, "/v1/stats", nil, &out)
+	return out, err
+}
+
+// EngagementQuery parameterizes Engagement.
+type EngagementQuery struct {
+	Metric     telemetry.Metric
+	Engagement telemetry.Engagement
+	Lo, Hi     float64
+	Bins       int
+	ISP        string // optional
+}
+
+// Engagement fetches a dose-response curve.
+func (c *Client) Engagement(ctx context.Context, q EngagementQuery) (EngagementResponse, error) {
+	v := url.Values{}
+	v.Set("metric", q.Metric.String())
+	v.Set("engagement", q.Engagement.String())
+	v.Set("lo", fmt.Sprint(q.Lo))
+	v.Set("hi", fmt.Sprint(q.Hi))
+	if q.Bins > 0 {
+		v.Set("bins", fmt.Sprint(q.Bins))
+	}
+	if q.ISP != "" {
+		v.Set("isp", q.ISP)
+	}
+	var out EngagementResponse
+	err := c.get(ctx, "/v1/insights/engagement", v, &out)
+	return out, err
+}
+
+// MOS fetches the Fig. 4 correlations and predictor evaluation.
+func (c *Client) MOS(ctx context.Context) (MOSResponse, error) {
+	var out MOSResponse
+	err := c.get(ctx, "/v1/insights/mos", nil, &out)
+	return out, err
+}
+
+// DailySentiment fetches the Fig. 5a series.
+func (c *Client) DailySentiment(ctx context.Context) ([]DaySentiment, error) {
+	var out []DaySentiment
+	err := c.get(ctx, "/v1/insights/sentiment", nil, &out)
+	return out, err
+}
+
+// Peaks fetches the top-k annotated sentiment peaks.
+func (c *Client) Peaks(ctx context.Context, k int) ([]AnnotatedPeak, error) {
+	v := url.Values{}
+	v.Set("k", fmt.Sprint(k))
+	var out []AnnotatedPeak
+	err := c.get(ctx, "/v1/insights/peaks", v, &out)
+	return out, err
+}
+
+// OutageSeries fetches the Fig. 6 keyword series.
+func (c *Client) OutageSeries(ctx context.Context) ([]DayKeywords, error) {
+	var out []DayKeywords
+	err := c.get(ctx, "/v1/insights/outages", nil, &out)
+	return out, err
+}
+
+// OutageAlerts fetches alert days above the threshold.
+func (c *Client) OutageAlerts(ctx context.Context, threshold int) ([]OutageAlert, error) {
+	v := url.Values{}
+	v.Set("threshold", fmt.Sprint(threshold))
+	var out []OutageAlert
+	err := c.get(ctx, "/v1/insights/outages", v, &out)
+	return out, err
+}
+
+// MonthlySpeeds fetches the Fig. 7 series.
+func (c *Client) MonthlySpeeds(ctx context.Context) ([]MonthSpeed, error) {
+	var out []MonthSpeed
+	err := c.get(ctx, "/v1/insights/speeds", nil, &out)
+	return out, err
+}
+
+// Trends fetches emerging discussion topics.
+func (c *Client) Trends(ctx context.Context) ([]Trend, error) {
+	var out []Trend
+	err := c.get(ctx, "/v1/insights/trends", nil, &out)
+	return out, err
+}
+
+// Confounders fetches the §6 confounder-effect report for one engagement
+// metric.
+func (c *Client) Confounders(ctx context.Context, eng telemetry.Engagement) ([]ConfounderEffect, error) {
+	v := url.Values{}
+	v.Set("engagement", eng.String())
+	var out []ConfounderEffect
+	err := c.get(ctx, "/v1/insights/confounders", v, &out)
+	return out, err
+}
+
+// TrafficEngineeringAdvice fetches ranked network-improvement
+// recommendations.
+func (c *Client) TrafficEngineeringAdvice(ctx context.Context) ([]TERecommendation, error) {
+	var out []TERecommendation
+	err := c.get(ctx, "/v1/advice/traffic-engineering", nil, &out)
+	return out, err
+}
+
+// DeploymentAdvice fetches constellation launch-plan scenarios.
+func (c *Client) DeploymentAdvice(ctx context.Context, from, horizon timeline.Day, maxExtra, satsPerLaunch int, posTarget float64) (DeploymentAdvice, error) {
+	v := url.Values{}
+	v.Set("from", fmt.Sprint(int(from)))
+	v.Set("horizon", fmt.Sprint(int(horizon)))
+	v.Set("max", fmt.Sprint(maxExtra))
+	v.Set("sats", fmt.Sprint(satsPerLaunch))
+	v.Set("target", fmt.Sprint(posTarget))
+	var out DeploymentAdvice
+	err := c.get(ctx, "/v1/advice/deployment", v, &out)
+	return out, err
+}
+
+// Incidents fetches the daily engagement series and detected incidents for
+// one engagement metric.
+func (c *Client) Incidents(ctx context.Context, eng telemetry.Engagement) (IncidentResponse, error) {
+	v := url.Values{}
+	v.Set("engagement", eng.String())
+	var out IncidentResponse
+	err := c.get(ctx, "/v1/insights/incidents", v, &out)
+	return out, err
+}
+
+// Report fetches the composed operator report.
+func (c *Client) Report(ctx context.Context) (OperatorReport, error) {
+	var out OperatorReport
+	err := c.get(ctx, "/v1/report", nil, &out)
+	return out, err
+}
+
+// Experience runs the §5 cross-source query for an ISP.
+func (c *Client) Experience(ctx context.Context, isp string) (ExperienceResponse, error) {
+	v := url.Values{}
+	v.Set("isp", isp)
+	var out ExperienceResponse
+	err := c.get(ctx, "/v1/query/experience", v, &out)
+	return out, err
+}

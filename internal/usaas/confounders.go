@@ -1,0 +1,254 @@
+package usaas
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"usersignals/internal/stats"
+	"usersignals/internal/telemetry"
+)
+
+// This file implements the §6 "Are networks to blame always?" analysis: a
+// toolkit for quantifying how much of an apparent network→engagement
+// relationship survives confounder control. The paper names three
+// confounders — platform (Fig. 3), meeting size, and long-term
+// conditioning — and argues an effective USaaS must account for all of
+// them.
+
+// SizeBucket labels a meeting-size stratum.
+type SizeBucket struct {
+	Name   string
+	Lo, Hi int // inclusive participant-count range
+}
+
+// DefaultSizeBuckets covers the enterprise meeting spectrum.
+func DefaultSizeBuckets() []SizeBucket {
+	return []SizeBucket{
+		{Name: "small-3-5", Lo: 3, Hi: 5},
+		{Name: "medium-6-10", Lo: 6, Hi: 10},
+		{Name: "large-11+", Lo: 11, Hi: 1 << 30},
+	}
+}
+
+// ByMeetingSize computes one dose-response series per size stratum.
+func ByMeetingSize(records []telemetry.SessionRecord, metric telemetry.Metric, eng telemetry.Engagement, b stats.Binner, buckets []SizeBucket, filter telemetry.Filter) (map[string]stats.BinnedSeries, error) {
+	if len(buckets) == 0 {
+		buckets = DefaultSizeBuckets()
+	}
+	grouped := map[string][]telemetry.SessionRecord{}
+	for i := range records {
+		r := &records[i]
+		if filter != nil && !filter(r) {
+			continue
+		}
+		for _, bk := range buckets {
+			if r.MeetingSize >= bk.Lo && r.MeetingSize <= bk.Hi {
+				grouped[bk.Name] = append(grouped[bk.Name], *r)
+				break
+			}
+		}
+	}
+	out := make(map[string]stats.BinnedSeries, len(grouped))
+	for name, recs := range grouped {
+		s, err := DoseResponse(recs, metric, eng, b, nil)
+		if err != nil {
+			return nil, fmt.Errorf("usaas: meeting-size stratum %s: %w", name, err)
+		}
+		out[name] = s
+	}
+	return out, nil
+}
+
+// ConfounderEffect quantifies one confounder's marginal impact on an
+// engagement metric, holding network conditions in the control bands.
+type ConfounderEffect struct {
+	Confounder string
+	// Levels maps each level (platform name, size bucket) to its mean
+	// engagement under controlled network conditions.
+	Levels map[string]float64
+	// Spread is (max-min)/max across levels: how much the confounder
+	// alone moves the metric. 0 = no effect.
+	Spread float64
+}
+
+// ConfounderReport measures platform and meeting-size effects on one
+// engagement metric with every network metric held in the §3.2 control
+// bands, so the network cannot be the explanation.
+func ConfounderReport(records []telemetry.SessionRecord, eng telemetry.Engagement) ([]ConfounderEffect, error) {
+	controlled := telemetry.AllControlBands()
+	var inBand []telemetry.SessionRecord
+	for i := range records {
+		if controlled(&records[i]) {
+			inBand = append(inBand, records[i])
+		}
+	}
+	if len(inBand) < 20 {
+		return nil, fmt.Errorf("usaas: only %d sessions inside the control bands", len(inBand))
+	}
+
+	platform := ConfounderEffect{Confounder: "platform", Levels: map[string]float64{}}
+	size := ConfounderEffect{Confounder: "meeting-size", Levels: map[string]float64{}}
+	platAcc := map[string]*stats.Online{}
+	sizeAcc := map[string]*stats.Online{}
+	buckets := DefaultSizeBuckets()
+	for i := range inBand {
+		r := &inBand[i]
+		v := r.EngagementOf(eng)
+		acc := platAcc[r.Platform]
+		if acc == nil {
+			acc = &stats.Online{}
+			platAcc[r.Platform] = acc
+		}
+		acc.Add(v)
+		for _, bk := range buckets {
+			if r.MeetingSize >= bk.Lo && r.MeetingSize <= bk.Hi {
+				acc := sizeAcc[bk.Name]
+				if acc == nil {
+					acc = &stats.Online{}
+					sizeAcc[bk.Name] = acc
+				}
+				acc.Add(v)
+				break
+			}
+		}
+	}
+	for name, acc := range platAcc {
+		platform.Levels[name] = acc.Mean()
+	}
+	for name, acc := range sizeAcc {
+		size.Levels[name] = acc.Mean()
+	}
+	platform.Spread = levelSpread(platform.Levels)
+	size.Spread = levelSpread(size.Levels)
+	return []ConfounderEffect{platform, size}, nil
+}
+
+func levelSpread(levels map[string]float64) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range levels {
+		if math.IsNaN(v) {
+			continue
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if math.IsInf(hi, -1) || hi <= 0 {
+		return math.NaN()
+	}
+	return (hi - lo) / hi
+}
+
+// LongitudinalConditioning measures §6's third confounder from telemetry
+// alone: among *bad-network* sessions of returning users, does engagement
+// depend on what the user experienced last time? A user whose previous
+// session was also bad has a lowered expectation and tolerates the current
+// one better — the in-call analogue of Fig. 7's "wheel of time".
+type LongitudinalConditioning struct {
+	// PresenceBadAfterBad / PresenceBadAfterGood are mean Presence in bad
+	// sessions, split by the quality of the same user's previous session.
+	PresenceBadAfterBad  float64
+	PresenceBadAfterGood float64
+	NBadAfterBad         int
+	NBadAfterGood        int
+}
+
+// Effect is the conditioning gap in presence points (positive = conditioned
+// users tolerate degradation better).
+func (l LongitudinalConditioning) Effect() float64 {
+	return l.PresenceBadAfterBad - l.PresenceBadAfterGood
+}
+
+// badSession classifies a session's network as degraded.
+func badSession(r *telemetry.SessionRecord) bool {
+	return r.Net.LatencyMean > 150 || r.Net.LossMean > 1.5
+}
+
+// AnalyzeLongitudinalConditioning groups sessions by user, orders each
+// user's history by start time, and compares bad-session engagement by
+// previous-session quality. Requires stable user IDs across sessions (see
+// conference.Options.UserPool).
+func AnalyzeLongitudinalConditioning(records []telemetry.SessionRecord) LongitudinalConditioning {
+	byUser := map[uint64][]*telemetry.SessionRecord{}
+	for i := range records {
+		r := &records[i]
+		byUser[r.UserID] = append(byUser[r.UserID], r)
+	}
+	var afterBad, afterGood stats.Online
+	for _, sessions := range byUser {
+		if len(sessions) < 2 {
+			continue
+		}
+		sort.Slice(sessions, func(a, b int) bool { return sessions[a].Start.Before(sessions[b].Start) })
+		for i := 1; i < len(sessions); i++ {
+			cur, prev := sessions[i], sessions[i-1]
+			if !badSession(cur) {
+				continue
+			}
+			if badSession(prev) {
+				afterBad.Add(cur.PresencePct)
+			} else {
+				afterGood.Add(cur.PresencePct)
+			}
+		}
+	}
+	return LongitudinalConditioning{
+		PresenceBadAfterBad:  afterBad.Mean(),
+		PresenceBadAfterGood: afterGood.Mean(),
+		NBadAfterBad:         afterBad.N(),
+		NBadAfterGood:        afterGood.N(),
+	}
+}
+
+// StratificationCheck compares the pooled dose-response slope with the
+// within-stratum slopes: when confounders correlate with both the network
+// metric and engagement, the pooled slope is biased (Simpson-style), and
+// the gap measures how much an uncontrolled analysis would mis-estimate
+// the network effect.
+type StratificationCheck struct {
+	PooledSlope      float64
+	MeanStratumSlope float64
+	Strata           map[string]float64 // per-stratum slope
+	// Bias is pooled - mean-stratum slope; near 0 means pooling is safe.
+	Bias float64
+}
+
+// CheckPlatformStratification runs the check with platforms as strata.
+func CheckPlatformStratification(records []telemetry.SessionRecord, metric telemetry.Metric, eng telemetry.Engagement, b stats.Binner, filter telemetry.Filter) (StratificationCheck, error) {
+	pooled, err := DoseResponse(records, metric, eng, b, filter)
+	if err != nil {
+		return StratificationCheck{}, err
+	}
+	pne := pooled.NonEmpty()
+	check := StratificationCheck{Strata: map[string]float64{}}
+	check.PooledSlope, _ = stats.TrendSlope(pne.X, pne.Y)
+
+	perPlatform, err := ByPlatform(records, metric, eng, b, filter)
+	if err != nil {
+		return StratificationCheck{}, err
+	}
+	names := make([]string, 0, len(perPlatform))
+	for name := range perPlatform {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var sum float64
+	var n int
+	for _, name := range names {
+		ne := perPlatform[name].NonEmpty()
+		slope, _ := stats.TrendSlope(ne.X, ne.Y)
+		if math.IsNaN(slope) {
+			continue
+		}
+		check.Strata[name] = slope
+		sum += slope
+		n++
+	}
+	if n > 0 {
+		check.MeanStratumSlope = sum / float64(n)
+	} else {
+		check.MeanStratumSlope = math.NaN()
+	}
+	check.Bias = check.PooledSlope - check.MeanStratumSlope
+	return check, nil
+}

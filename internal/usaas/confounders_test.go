@@ -1,0 +1,152 @@
+package usaas
+
+import (
+	"math"
+	"testing"
+
+	"usersignals/internal/netsim"
+	"usersignals/internal/stats"
+	"usersignals/internal/telemetry"
+)
+
+func TestByMeetingSize(t *testing.T) {
+	recs := sweepDataset(t, "latency", 500, func(s *netsim.Sweep) {
+		s.LatencyMs = [2]float64{0, 300}
+	})
+	b := stats.NewBinner(0, 300, 5)
+	strata, err := ByMeetingSize(recs, telemetry.LatencyMean, telemetry.MicOn, b, nil, cohortOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strata) < 2 {
+		t.Fatalf("only %d size strata populated", len(strata))
+	}
+	// Mic On baseline is lower in larger meetings (listeners mute): the
+	// §6 confounder the agent model encodes.
+	small, okS := strata["small-3-5"]
+	large, okL := strata["large-11+"]
+	if !okS || !okL {
+		t.Fatalf("expected small and large strata, got %v", keysOf(strata))
+	}
+	sm := small.NonEmpty()
+	lg := large.NonEmpty()
+	if len(sm.Y) == 0 || len(lg.Y) == 0 {
+		t.Fatal("empty strata series")
+	}
+	if stats.Mean(lg.Y) >= stats.Mean(sm.Y) {
+		t.Fatalf("large meetings should show lower mic-on: %v vs %v", stats.Mean(lg.Y), stats.Mean(sm.Y))
+	}
+}
+
+func keysOf(m map[string]stats.BinnedSeries) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestConfounderReport(t *testing.T) {
+	recs := mixDataset(t)
+	effects, err := ConfounderReport(recs, telemetry.CamOn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(effects) != 2 {
+		t.Fatalf("effects = %d", len(effects))
+	}
+	var platform, size *ConfounderEffect
+	for i := range effects {
+		switch effects[i].Confounder {
+		case "platform":
+			platform = &effects[i]
+		case "meeting-size":
+			size = &effects[i]
+		}
+	}
+	if platform == nil || size == nil {
+		t.Fatal("missing confounder entries")
+	}
+	// Platform moves camera use substantially even at perfect network
+	// conditions (mobile baseline ~half of desktop).
+	if platform.Spread < 0.15 {
+		t.Fatalf("platform spread %v; expected a strong platform effect", platform.Spread)
+	}
+	if len(platform.Levels) < 4 {
+		t.Fatalf("platform levels = %v", platform.Levels)
+	}
+	// Camera baselines don't depend on meeting size in the agent model,
+	// so the size effect on CamOn should be weaker than the platform one
+	// — the paper's "relatively weaker impact" phrasing.
+	if !math.IsNaN(size.Spread) && size.Spread > platform.Spread {
+		t.Fatalf("size spread %v exceeds platform spread %v on CamOn", size.Spread, platform.Spread)
+	}
+}
+
+func TestConfounderReportMicOnSize(t *testing.T) {
+	recs := mixDataset(t)
+	effects, err := ConfounderReport(recs, telemetry.MicOn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range effects {
+		if e.Confounder == "meeting-size" {
+			// Mic On *is* strongly size-dependent (listeners mute).
+			if e.Spread < 0.2 {
+				t.Fatalf("meeting-size spread on MicOn = %v; expected strong", e.Spread)
+			}
+			return
+		}
+	}
+	t.Fatal("meeting-size effect missing")
+}
+
+func TestConfounderReportNeedsData(t *testing.T) {
+	if _, err := ConfounderReport(nil, telemetry.CamOn); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestPlatformStratification(t *testing.T) {
+	recs := sweepDataset(t, "platforms", 700, func(s *netsim.Sweep) {
+		s.LossPct = [2]float64{0, 4}
+	})
+	b := stats.NewBinner(0, 4, 4)
+	check, err := CheckPlatformStratification(recs, telemetry.LossMean, telemetry.Presence, b, cohortOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(check.Strata) < 4 {
+		t.Fatalf("strata = %v", check.Strata)
+	}
+	// Every platform individually shows presence falling with loss.
+	for name, slope := range check.Strata {
+		if slope >= 0 {
+			t.Fatalf("platform %s slope %v; expected negative", name, slope)
+		}
+	}
+	if math.IsNaN(check.PooledSlope) || check.PooledSlope >= 0 {
+		t.Fatalf("pooled slope %v", check.PooledSlope)
+	}
+	// In the sweep design, platform assignment is independent of network
+	// conditions, so pooling is unbiased: the bias term should be small
+	// relative to the slope itself.
+	if math.Abs(check.Bias) > math.Abs(check.MeanStratumSlope) {
+		t.Fatalf("bias %v too large vs mean stratum slope %v", check.Bias, check.MeanStratumSlope)
+	}
+}
+
+func TestAllControlBandsFilter(t *testing.T) {
+	f := telemetry.AllControlBands()
+	good := telemetry.SessionRecord{Net: telemetry.NetAggregates{
+		LatencyMean: 20, LossMean: 0.1, JitterMean: 2, BWMean: 3.5,
+	}}
+	if !f(&good) {
+		t.Fatal("in-band record rejected")
+	}
+	bad := good
+	bad.Net.LatencyMean = 100
+	if f(&bad) {
+		t.Fatal("out-of-band latency accepted")
+	}
+}

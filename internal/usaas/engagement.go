@@ -1,0 +1,155 @@
+// Package usaas implements User Signals as-a-Service, the framework the
+// paper proposes in §5: a service that ingests implicit user signals
+// (in-call actions), sparse explicit feedback (MOS surveys), and offline
+// explicit feedback (social posts), correlates them with network
+// conditions, and serves user-centric insights back to network and service
+// operators.
+//
+// The analysis engines mirror the paper's studies —
+//
+//   - engagement.go: dose-response of engagement vs network conditions with
+//     confounder control (Fig. 1), compounding grids (Fig. 2), platform
+//     stratification (Fig. 3);
+//   - mos.go: engagement↔MOS correlation (Fig. 4), the engagement-based
+//     MOS predictor (§5), and the survey-coverage comparison that motivates
+//     the whole paper;
+//   - sentiment.go: daily sentiment series, peak detection and news
+//     annotation (Fig. 5), the outage-keyword monitor with its
+//     Downdetector-style baseline (Fig. 6);
+//   - speeds.go: OCR-extracted monthly speed medians with launch/subscriber
+//     annotations and the conditioning analysis (Fig. 7);
+//   - trends.go: the popularity-weighted early-trend miner (roaming);
+//
+// and service.go/client.go expose them over HTTP.
+package usaas
+
+import (
+	"fmt"
+	"math"
+
+	"usersignals/internal/stats"
+	"usersignals/internal/telemetry"
+)
+
+// DoseResponse bins one engagement metric by one per-session network metric
+// over the filtered records: the Fig. 1 curves. The returned series is the
+// per-bin mean engagement (in percent).
+func DoseResponse(records []telemetry.SessionRecord, metric telemetry.Metric, eng telemetry.Engagement, b stats.Binner, filter telemetry.Filter) (stats.BinnedSeries, error) {
+	xs := make([]float64, 0, len(records))
+	ys := make([]float64, 0, len(records))
+	for i := range records {
+		r := &records[i]
+		if filter != nil && !filter(r) {
+			continue
+		}
+		xs = append(xs, metric.Of(r.Net))
+		ys = append(ys, r.EngagementOf(eng))
+	}
+	s, err := stats.BinMeans(b, xs, ys)
+	if err != nil {
+		return stats.BinnedSeries{}, fmt.Errorf("usaas: dose-response %v/%v: %w", metric, eng, err)
+	}
+	return s, nil
+}
+
+// StudyFilter composes the §3.1 cohort with the §3.2 control bands for the
+// varied metric — the standard Fig. 1 filter.
+func StudyFilter(vary telemetry.Metric) telemetry.Filter {
+	return telemetry.And(telemetry.StudyCohort(), telemetry.ControlBands(vary))
+}
+
+// Normalize100 rescales a series so its maximum bin equals 100, matching
+// the paper's relative-engagement axes. Empty bins stay NaN.
+func Normalize100(s stats.BinnedSeries) stats.BinnedSeries {
+	best := math.Inf(-1)
+	for i, y := range s.Y {
+		if s.Count[i] > 0 && y > best {
+			best = y
+		}
+	}
+	out := stats.BinnedSeries{
+		X:     append([]float64(nil), s.X...),
+		Y:     make([]float64, len(s.Y)),
+		Count: append([]int(nil), s.Count...),
+	}
+	for i, y := range s.Y {
+		if s.Count[i] == 0 || best <= 0 {
+			out.Y[i] = math.NaN()
+			continue
+		}
+		out.Y[i] = 100 * y / best
+	}
+	return out
+}
+
+// RelativeDrop summarizes a dose-response curve: the relative fall (0–1)
+// from the best non-empty bin to the last non-empty bin. This is the
+// number the paper quotes ("Mic On reduces by more than 25%").
+func RelativeDrop(s stats.BinnedSeries) float64 {
+	ne := s.NonEmpty()
+	if len(ne.Y) < 2 {
+		return math.NaN()
+	}
+	best := stats.Max(ne.Y)
+	last := ne.Y[len(ne.Y)-1]
+	if best <= 0 {
+		return math.NaN()
+	}
+	return (best - last) / best
+}
+
+// HalfSlopes measures curve shape: the mean per-unit slope over the first
+// and second halves of the non-empty series. The Fig. 1 Mic On claim is
+// |first| > |second| (steep, then plateau).
+func HalfSlopes(s stats.BinnedSeries) (first, second float64) {
+	ne := s.NonEmpty()
+	n := len(ne.X)
+	if n < 4 {
+		return math.NaN(), math.NaN()
+	}
+	mid := n / 2
+	f, _ := stats.TrendSlope(ne.X[:mid+1], ne.Y[:mid+1])
+	g, _ := stats.TrendSlope(ne.X[mid:], ne.Y[mid:])
+	return f, g
+}
+
+// Compounding computes the 2D latency×loss grid of mean engagement — Fig. 2
+// — over the filtered records.
+func Compounding(records []telemetry.SessionRecord, xMetric, yMetric telemetry.Metric, eng telemetry.Engagement, xb, yb stats.Binner, filter telemetry.Filter) (stats.Grid2D, error) {
+	var xs, ys, zs []float64
+	for i := range records {
+		r := &records[i]
+		if filter != nil && !filter(r) {
+			continue
+		}
+		xs = append(xs, xMetric.Of(r.Net))
+		ys = append(ys, yMetric.Of(r.Net))
+		zs = append(zs, r.EngagementOf(eng))
+	}
+	g, err := stats.BinMeans2D(xb, yb, xs, ys, zs)
+	if err != nil {
+		return stats.Grid2D{}, fmt.Errorf("usaas: compounding grid: %w", err)
+	}
+	return g, nil
+}
+
+// ByPlatform computes one dose-response series per platform — Fig. 3.
+func ByPlatform(records []telemetry.SessionRecord, metric telemetry.Metric, eng telemetry.Engagement, b stats.Binner, filter telemetry.Filter) (map[string]stats.BinnedSeries, error) {
+	grouped := map[string][]telemetry.SessionRecord{}
+	for i := range records {
+		r := &records[i]
+		if filter != nil && !filter(r) {
+			continue
+		}
+		grouped[r.Platform] = append(grouped[r.Platform], *r)
+	}
+	out := make(map[string]stats.BinnedSeries, len(grouped))
+	for platform, recs := range grouped {
+		s, err := DoseResponse(recs, metric, eng, b, nil)
+		if err != nil {
+			return nil, err
+		}
+		out[platform] = s
+	}
+	return out, nil
+}

@@ -1,0 +1,240 @@
+package usaas
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"usersignals/internal/conference"
+	"usersignals/internal/netsim"
+	"usersignals/internal/stats"
+	"usersignals/internal/telemetry"
+)
+
+// sweepDataset generates (and caches) a dataset whose sessions sweep one
+// network metric across its figure range while the others stay in the
+// control bands — the experimental design behind every Fig. 1 panel.
+var sweepCache sync.Map
+
+func sweepDataset(t *testing.T, name string, calls int, configure func(*netsim.Sweep)) []telemetry.SessionRecord {
+	t.Helper()
+	if recs, ok := sweepCache.Load(name); ok {
+		return recs.([]telemetry.SessionRecord)
+	}
+	sw := netsim.ControlBands()
+	configure(&sw)
+	opts := conference.Defaults(uint64(len(name))*7919+1, calls)
+	opts.Paths = &sw
+	opts.SurveyRate = 0.05 // oversample surveys so Fig. 4 has data at test scale
+	g, err := conference.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := g.GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweepCache.Store(name, recs)
+	return recs
+}
+
+func cohortOnly() telemetry.Filter { return telemetry.StudyCohort() }
+
+func TestFig1LatencyPanel(t *testing.T) {
+	recs := sweepDataset(t, "latency", 500, func(s *netsim.Sweep) {
+		s.LatencyMs = [2]float64{0, 300}
+	})
+	b := stats.NewBinner(0, 300, 10)
+
+	mic, err := DoseResponse(recs, telemetry.LatencyMean, telemetry.MicOn, b, cohortOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cam, _ := DoseResponse(recs, telemetry.LatencyMean, telemetry.CamOn, b, cohortOnly())
+	pres, _ := DoseResponse(recs, telemetry.LatencyMean, telemetry.Presence, b, cohortOnly())
+
+	micDrop := RelativeDrop(mic)
+	camDrop := RelativeDrop(cam)
+	presDrop := RelativeDrop(pres)
+	if micDrop < 0.15 || micDrop > 0.5 {
+		t.Fatalf("Mic On drop over 0→300ms = %v, paper: >25%%", micDrop)
+	}
+	if camDrop < 0.08 || camDrop > 0.45 {
+		t.Fatalf("Cam On drop = %v, paper: ~20%%", camDrop)
+	}
+	if presDrop < 0.08 || presDrop > 0.45 {
+		t.Fatalf("Presence drop = %v, paper: ~20%%", presDrop)
+	}
+	// Mic On is the steepest responder and its slope flattens after the
+	// first half (the 150 ms knee).
+	if micDrop <= camDrop {
+		t.Fatalf("Mic On (%v) should fall more than Cam On (%v)", micDrop, camDrop)
+	}
+	first, second := HalfSlopes(mic)
+	if !(first < 0) {
+		t.Fatalf("Mic On first-half slope %v should be negative", first)
+	}
+	if math.Abs(first) <= math.Abs(second) {
+		t.Fatalf("Mic On should be steeper before 150ms: first %v vs second %v", first, second)
+	}
+}
+
+func TestFig1LossPanel(t *testing.T) {
+	recs := sweepDataset(t, "loss", 500, func(s *netsim.Sweep) {
+		s.LossPct = [2]float64{0, 4}
+	})
+	// Up to 2%: all engagement metrics drop < 10% (mitigation works).
+	b2 := stats.NewBinner(0, 2, 8)
+	for _, eng := range telemetry.Engagements() {
+		s, err := DoseResponse(recs, telemetry.LossMean, eng, b2, cohortOnly())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if drop := RelativeDrop(s); drop > 0.10 {
+			t.Fatalf("%v drop at 2%% loss = %v, paper: <10%%", eng, drop)
+		}
+	}
+	// Beyond 3%: presence falls noticeably (drop-off).
+	b4 := stats.NewBinner(0, 4, 8)
+	pres, _ := DoseResponse(recs, telemetry.LossMean, telemetry.Presence, b4, cohortOnly())
+	if drop := RelativeDrop(pres); drop < 0.08 {
+		t.Fatalf("Presence drop at ~4%% loss = %v, paper: >10%% beyond 3%%", drop)
+	}
+}
+
+func TestFig1JitterPanel(t *testing.T) {
+	recs := sweepDataset(t, "jitter", 500, func(s *netsim.Sweep) {
+		s.JitterMs = [2]float64{0, 12}
+	})
+	b := stats.NewBinner(0, 12, 8)
+	cam, err := DoseResponse(recs, telemetry.JitterMean, telemetry.CamOn, b, cohortOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drop := RelativeDrop(cam); drop < 0.12 {
+		t.Fatalf("Cam On drop at ~10ms jitter = %v, paper: >15%%", drop)
+	}
+	// Jitter hits the camera harder than the mic.
+	mic, _ := DoseResponse(recs, telemetry.JitterMean, telemetry.MicOn, b, cohortOnly())
+	if RelativeDrop(mic) >= RelativeDrop(cam) {
+		t.Fatalf("jitter should hit Cam On (%v) harder than Mic On (%v)", RelativeDrop(cam), RelativeDrop(mic))
+	}
+}
+
+func TestFig1BandwidthPanel(t *testing.T) {
+	recs := sweepDataset(t, "bandwidth", 500, func(s *netsim.Sweep) {
+		s.BandwidthMbps = [2]float64{0.25, 4}
+	})
+	b := stats.NewBinner(0.25, 4, 8)
+	for _, eng := range telemetry.Engagements() {
+		s, err := DoseResponse(recs, telemetry.BandwidthMean, eng, b, cohortOnly())
+		if err != nil {
+			t.Fatal(err)
+		}
+		norm := Normalize100(s)
+		ne := norm.NonEmpty()
+		// Find the bin nearest 1 Mbps and compare with the best.
+		for i, x := range ne.X {
+			if x >= 0.8 && x <= 1.3 {
+				if ne.Y[i] < 92 {
+					t.Fatalf("%v at ~1 Mbps = %v%% of best, paper: within 5%%", eng, ne.Y[i])
+				}
+				break
+			}
+		}
+	}
+	// Mic On must be flat across the whole range.
+	mic, _ := DoseResponse(recs, telemetry.BandwidthMean, telemetry.MicOn, b, cohortOnly())
+	if drop := RelativeDrop(mic); math.Abs(drop) > 0.05 {
+		t.Fatalf("Mic On moved %v with bandwidth; paper: no correlation", drop)
+	}
+}
+
+func TestFig2Compounding(t *testing.T) {
+	recs := sweepDataset(t, "compound", 700, func(s *netsim.Sweep) {
+		s.LatencyMs = [2]float64{0, 300}
+		s.LossPct = [2]float64{0, 3.5}
+	})
+	xb := stats.NewBinner(0, 300, 4)
+	yb := stats.NewBinner(0, 3.5, 4)
+	g, err := Compounding(recs, telemetry.LatencyMean, telemetry.LossMean, telemetry.Presence, xb, yb, cohortOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, worst, ok := g.BestWorst()
+	if !ok {
+		t.Fatal("empty grid")
+	}
+	rel := (best - worst) / best
+	if rel < 0.25 {
+		t.Fatalf("compounded presence dip = %v, paper: up to ~50%%", rel)
+	}
+	// The worst cell must be the high-latency, high-loss corner region:
+	// its mean must be below either axis-extreme alone.
+	cornerHighLat := g.Mean[3][0]
+	cornerHighLoss := g.Mean[0][3]
+	cornerBoth := g.Mean[3][3]
+	if !(cornerBoth < cornerHighLat && cornerBoth < cornerHighLoss) {
+		t.Fatalf("compounding not super-additive: both=%v lat=%v loss=%v", cornerBoth, cornerHighLat, cornerHighLoss)
+	}
+}
+
+func TestFig3Platforms(t *testing.T) {
+	recs := sweepDataset(t, "platforms", 700, func(s *netsim.Sweep) {
+		s.LossPct = [2]float64{0, 4}
+	})
+	b := stats.NewBinner(0, 4, 4)
+	series, err := ByPlatform(recs, telemetry.LossMean, telemetry.Presence, b, cohortOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) < 4 {
+		t.Fatalf("only %d platforms present", len(series))
+	}
+	// At high loss, mobile presence sits below PC presence.
+	lastBin := func(name string) float64 {
+		s := series[name].NonEmpty()
+		if len(s.Y) == 0 {
+			t.Fatalf("platform %s has no data", name)
+		}
+		return s.Y[len(s.Y)-1]
+	}
+	pc := lastBin("windows-pc")
+	android := lastBin("android-mobile")
+	if android >= pc {
+		t.Fatalf("Fig 3: android at high loss (%v) should be below windows (%v)", android, pc)
+	}
+	// And the platforms differ overall (not a single curve).
+	if math.Abs(lastBin("mac-pc")-android) < 1e-9 {
+		t.Fatal("platforms suspiciously identical")
+	}
+}
+
+func TestNormalize100(t *testing.T) {
+	s := stats.BinnedSeries{X: []float64{1, 2, 3}, Y: []float64{50, 100, 75}, Count: []int{5, 5, 0}}
+	n := Normalize100(s)
+	if n.Y[0] != 50 || n.Y[1] != 100 {
+		t.Fatalf("normalized = %v", n.Y)
+	}
+	if !math.IsNaN(n.Y[2]) {
+		t.Fatalf("empty bin should stay NaN: %v", n.Y[2])
+	}
+}
+
+func TestRelativeDropDegenerate(t *testing.T) {
+	if !math.IsNaN(RelativeDrop(stats.BinnedSeries{})) {
+		t.Fatal("empty series should be NaN")
+	}
+	one := stats.BinnedSeries{X: []float64{1}, Y: []float64{5}, Count: []int{3}}
+	if !math.IsNaN(RelativeDrop(one)) {
+		t.Fatal("single-bin series should be NaN")
+	}
+}
+
+func TestHalfSlopesDegenerate(t *testing.T) {
+	short := stats.BinnedSeries{X: []float64{1, 2}, Y: []float64{1, 2}, Count: []int{1, 1}}
+	f, s := HalfSlopes(short)
+	if !math.IsNaN(f) || !math.IsNaN(s) {
+		t.Fatal("short series should be NaN")
+	}
+}

@@ -1,0 +1,106 @@
+package usaas
+
+import (
+	"sync"
+	"testing"
+
+	"usersignals/internal/conference"
+	"usersignals/internal/netsim"
+	"usersignals/internal/telemetry"
+)
+
+// longitudinalDataset: a persistent user pool experiencing a 50/50 mix of
+// good and bad network sessions, with strong conditioning so the effect is
+// measurable at test scale.
+var (
+	longOnce sync.Once
+	longRecs []telemetry.SessionRecord
+)
+
+func longitudinalDataset(t *testing.T) []telemetry.SessionRecord {
+	t.Helper()
+	longOnce.Do(func() {
+		good := netsim.AccessProfile{
+			Name:            "good",
+			LatencyMedianMs: 20, LatencySpread: 1.2,
+			JitterMedianMs: 1.5, JitterSpread: 1.3,
+			CapacityMedianMbps: 3.5, CapacitySpread: 1.1,
+		}
+		awful := netsim.AccessProfile{
+			Name:            "awful",
+			LatencyMedianMs: 260, LatencySpread: 1.15,
+			JitterMedianMs: 4, JitterSpread: 1.3,
+			CapacityMedianMbps: 3.5, CapacitySpread: 1.1,
+			LossyProb: 1, LossScalePct: 1.2,
+		}
+		opts := conference.Defaults(606, 2500)
+		opts.Paths = &netsim.Mixture{
+			Profiles: []netsim.AccessProfile{good, awful},
+			Weights:  []float64{0.5, 0.5},
+		}
+		opts.UserPool = 600
+		opts.UserConditioningAlpha = 0.8
+		opts.ConditioningWeight = 0.9
+		g, err := conference.New(opts)
+		if err != nil {
+			panic(err)
+		}
+		longRecs, err = g.GenerateAll()
+		if err != nil {
+			panic(err)
+		}
+	})
+	return longRecs
+}
+
+func TestUserPoolProducesReturningUsers(t *testing.T) {
+	recs := longitudinalDataset(t)
+	sessionsPerUser := map[uint64]int{}
+	for i := range recs {
+		sessionsPerUser[recs[i].UserID]++
+	}
+	if len(sessionsPerUser) > 600 {
+		t.Fatalf("%d distinct users from a 600-user pool", len(sessionsPerUser))
+	}
+	multi := 0
+	for _, n := range sessionsPerUser {
+		if n >= 2 {
+			multi++
+		}
+	}
+	if multi < 400 {
+		t.Fatalf("only %d users have 2+ sessions", multi)
+	}
+}
+
+func TestLongitudinalConditioningEffect(t *testing.T) {
+	recs := longitudinalDataset(t)
+	lc := AnalyzeLongitudinalConditioning(recs)
+	if lc.NBadAfterBad < 200 || lc.NBadAfterGood < 200 {
+		t.Fatalf("thin cells: %+v", lc)
+	}
+	// The §6 mechanism: a user whose last session was bad tolerates the
+	// current bad session better.
+	if lc.Effect() <= 0 {
+		t.Fatalf("no conditioning effect: bad-after-bad %.2f vs bad-after-good %.2f (n=%d/%d)",
+			lc.PresenceBadAfterBad, lc.PresenceBadAfterGood, lc.NBadAfterBad, lc.NBadAfterGood)
+	}
+}
+
+func TestLongitudinalConditioningAblation(t *testing.T) {
+	// Without persistent users (fresh identity per session) the analysis
+	// has no repeat users and therefore no cells.
+	opts := conference.Defaults(607, 200)
+	g, err := conference.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := g.GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc := AnalyzeLongitudinalConditioning(recs)
+	if lc.NBadAfterBad != 0 || lc.NBadAfterGood != 0 {
+		t.Fatalf("fresh-identity dataset produced history cells: %+v", lc)
+	}
+}

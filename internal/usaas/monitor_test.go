@@ -1,0 +1,256 @@
+package usaas
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"usersignals/internal/conference"
+	"usersignals/internal/netsim"
+	"usersignals/internal/telemetry"
+	"usersignals/internal/timeline"
+)
+
+// incidentDataset generates a two-month workload with a one-week injected
+// network incident (heavy latency and loss) in the middle.
+var (
+	incidentOnce  sync.Once
+	incidentRecs  []telemetry.SessionRecord
+	incidentTruth timeline.Range
+)
+
+func incidentDataset(t *testing.T) ([]telemetry.SessionRecord, timeline.Range) {
+	t.Helper()
+	incidentOnce.Do(func() {
+		incidentTruth = timeline.Range{
+			From: timeline.Date(2022, time.February, 7),
+			To:   timeline.Date(2022, time.February, 13),
+		}
+		opts := conference.Defaults(404, 2600)
+		opts.Window = timeline.Range{
+			From: timeline.Date(2022, time.January, 10),
+			To:   timeline.Date(2022, time.March, 10),
+		}
+		opts.SurveyRate = telemetry.DefaultSurveyRate // realistic sparsity
+		bad := netsim.ControlBands()
+		bad.LatencyMs = [2]float64{220, 320}
+		bad.LossPct = [2]float64{2, 4}
+		opts.DegradedWindow = incidentTruth
+		opts.DegradedPaths = &bad
+		g, err := conference.New(opts)
+		if err != nil {
+			panic(err)
+		}
+		incidentRecs, err = g.GenerateAll()
+		if err != nil {
+			panic(err)
+		}
+	})
+	return incidentRecs, incidentTruth
+}
+
+func TestDailyEngagementAggregation(t *testing.T) {
+	recs, _ := incidentDataset(t)
+	days := DailyEngagement(recs, nil)
+	if len(days) < 50 {
+		t.Fatalf("only %d days aggregated", len(days))
+	}
+	total := 0
+	for i, d := range days {
+		if i > 0 && d.Day <= days[i-1].Day {
+			t.Fatal("days not sorted/unique")
+		}
+		if d.Sessions <= 0 {
+			t.Fatal("empty day present")
+		}
+		if d.Presence < 0 || d.Presence > 100 || d.MicOn < 0 || d.MicOn > 100 {
+			t.Fatalf("implausible aggregates: %+v", d)
+		}
+		if d.Ratings > 0 && (math.IsNaN(d.MOS) || d.MOS < 1 || d.MOS > 5) {
+			t.Fatalf("MOS inconsistent: %+v", d)
+		}
+		if d.Ratings == 0 && !math.IsNaN(d.MOS) {
+			t.Fatalf("MOS present without ratings: %+v", d)
+		}
+		total += d.Sessions
+	}
+	if total != len(recs) {
+		t.Fatalf("sessions %d != records %d", total, len(recs))
+	}
+}
+
+func TestEngagementMonitorDetectsInjectedIncident(t *testing.T) {
+	recs, truth := incidentDataset(t)
+	days := DailyEngagement(recs, nil)
+	incidents := EngagementIncidents(days, telemetry.Presence, IncidentOptions{})
+	recall, falseDays := IncidentRecall(incidents, truth)
+	if recall < 0.5 {
+		t.Fatalf("engagement monitor recall %v over the injected week (incidents: %+v)", recall, incidents)
+	}
+	if falseDays > 6 {
+		t.Fatalf("%d false-positive days", falseDays)
+	}
+}
+
+func TestSurveyMonitorIsBlindAtProductionRates(t *testing.T) {
+	// The paper's coverage argument, quantified: at 0.5% survey rate the
+	// daily MOS series barely exists, so the survey-based monitor cannot
+	// match the engagement monitor.
+	recs, truth := incidentDataset(t)
+	days := DailyEngagement(recs, nil)
+	daysWithRatings := 0
+	for _, d := range days {
+		if d.Ratings >= 5 {
+			daysWithRatings++
+		}
+	}
+	if frac := float64(daysWithRatings) / float64(len(days)); frac > 0.5 {
+		t.Fatalf("survey rate too generous for the argument: %v of days have 5+ ratings", frac)
+	}
+	mosIncidents := MOSIncidents(days, IncidentOptions{MinSessions: 1})
+	mosRecall, _ := IncidentRecall(mosIncidents, truth)
+	engIncidents := EngagementIncidents(days, telemetry.Presence, IncidentOptions{})
+	engRecall, _ := IncidentRecall(engIncidents, truth)
+	if !(engRecall > mosRecall) {
+		t.Fatalf("engagement recall %v should beat survey recall %v", engRecall, mosRecall)
+	}
+}
+
+func TestDetectIncidentsQuietBaseline(t *testing.T) {
+	// A flat series must produce no incidents.
+	var days []DayEngagement
+	for i := 0; i < 60; i++ {
+		days = append(days, DayEngagement{
+			Day: timeline.Day(i), Sessions: 100,
+			Presence: 90, CamOn: 55, MicOn: 60, MOS: math.NaN(),
+		})
+	}
+	if got := EngagementIncidents(days, telemetry.Presence, IncidentOptions{}); len(got) != 0 {
+		t.Fatalf("flat series produced incidents: %+v", got)
+	}
+}
+
+func TestDetectIncidentsMergesRuns(t *testing.T) {
+	var days []DayEngagement
+	for i := 0; i < 40; i++ {
+		v := 90.0
+		if i >= 20 && i <= 24 {
+			v = 70 // five-day incident
+		}
+		days = append(days, DayEngagement{Day: timeline.Day(i), Sessions: 100, Presence: v, MOS: math.NaN()})
+	}
+	incidents := EngagementIncidents(days, telemetry.Presence, IncidentOptions{})
+	if len(incidents) != 1 {
+		t.Fatalf("incidents = %+v", incidents)
+	}
+	in := incidents[0]
+	if in.Start != 20 || in.End != 24 {
+		t.Fatalf("incident span [%d,%d], want [20,24]", in.Start, in.End)
+	}
+	if in.Drop < 0.15 || in.Drop > 0.3 {
+		t.Fatalf("drop = %v, want ~0.22", in.Drop)
+	}
+}
+
+func TestDetectIncidentsBaselineNotPoisoned(t *testing.T) {
+	// A long incident must stay flagged to its end: the baseline excludes
+	// already-flagged days.
+	var days []DayEngagement
+	for i := 0; i < 60; i++ {
+		v := 90.0
+		if i >= 25 && i <= 45 {
+			v = 65
+		}
+		days = append(days, DayEngagement{Day: timeline.Day(i), Sessions: 100, Presence: v, MOS: math.NaN()})
+	}
+	incidents := EngagementIncidents(days, telemetry.Presence, IncidentOptions{})
+	if len(incidents) != 1 {
+		t.Fatalf("incidents = %+v", incidents)
+	}
+	if incidents[0].End != 45 {
+		t.Fatalf("incident ended at %d, want 45 (baseline poisoned?)", incidents[0].End)
+	}
+}
+
+func TestDetectIncidentsSkipsThinDays(t *testing.T) {
+	var days []DayEngagement
+	for i := 0; i < 30; i++ {
+		d := DayEngagement{Day: timeline.Day(i), Sessions: 100, Presence: 90, MOS: math.NaN()}
+		if i == 20 {
+			d.Sessions = 3 // thin day with a terrible value
+			d.Presence = 10
+		}
+		days = append(days, d)
+	}
+	if got := EngagementIncidents(days, telemetry.Presence, IncidentOptions{}); len(got) != 0 {
+		t.Fatalf("thin day flagged: %+v", got)
+	}
+}
+
+func TestDayEngagementJSONRoundTrip(t *testing.T) {
+	for _, d := range []DayEngagement{
+		{Day: 10, Sessions: 50, Presence: 88.5, CamOn: 52, MicOn: 61, Ratings: 0, MOS: math.NaN()},
+		{Day: 11, Sessions: 40, Presence: 80, CamOn: 50, MicOn: 60, Ratings: 3, MOS: 4.33},
+	} {
+		data, err := json.Marshal(d)
+		if err != nil {
+			t.Fatalf("marshal %+v: %v", d, err)
+		}
+		var back DayEngagement
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back.Day != d.Day || back.Sessions != d.Sessions || back.Ratings != d.Ratings {
+			t.Fatalf("round trip: %+v vs %+v", back, d)
+		}
+		if d.Ratings == 0 {
+			if !math.IsNaN(back.MOS) {
+				t.Fatalf("NaN MOS not preserved: %+v", back)
+			}
+		} else if back.MOS != d.MOS {
+			t.Fatalf("MOS lost: %+v", back)
+		}
+	}
+}
+
+func TestMonthSpeedJSONRoundTrip(t *testing.T) {
+	empty := MonthSpeed{Month: timeline.YearMonth(2021, time.March), Reports: 0,
+		MedianDownMbps: math.NaN(), Median95: math.NaN(), Median90: math.NaN(), Pos: math.NaN()}
+	full := MonthSpeed{Month: timeline.YearMonth(2022, time.June), Reports: 70,
+		MedianDownMbps: 61.2, Median95: 61.0, Median90: 60.8, Pos: 0.4, Launches: 2, Users: 450000}
+	for _, m := range []MonthSpeed{empty, full} {
+		data, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("marshal %+v: %v", m, err)
+		}
+		var back MonthSpeed
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back.Month != m.Month || back.Reports != m.Reports || back.Launches != m.Launches {
+			t.Fatalf("round trip: %+v vs %+v", back, m)
+		}
+		if m.Reports == 0 && !math.IsNaN(back.MedianDownMbps) {
+			t.Fatalf("NaN median not preserved: %+v", back)
+		}
+		if m.Reports > 0 && back.MedianDownMbps != m.MedianDownMbps {
+			t.Fatalf("median lost: %+v", back)
+		}
+	}
+}
+
+func TestIncidentRecallEdgeCases(t *testing.T) {
+	r, f := IncidentRecall(nil, timeline.Range{From: 5, To: 7})
+	if r != 0 || f != 0 {
+		t.Fatalf("empty incidents: %v %v", r, f)
+	}
+	r, _ = IncidentRecall([]Incident{{Start: 0, End: 10}}, timeline.Range{From: 5, To: 7})
+	if r != 1 {
+		t.Fatalf("full coverage recall = %v", r)
+	}
+	if _, f = IncidentRecall([]Incident{{Start: 0, End: 10}}, timeline.Range{From: 5, To: 7}); f != 8 {
+		t.Fatalf("false days = %d, want 8", f)
+	}
+}

@@ -1,0 +1,305 @@
+package usaas
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"usersignals/internal/stats"
+	"usersignals/internal/telemetry"
+)
+
+// EngagementMOS is the Fig. 4 analysis: for sessions with explicit ratings,
+// mean MOS as a function of normalized engagement, plus rank correlations.
+type EngagementMOS struct {
+	Engagement telemetry.Engagement
+	// Series is mean rating per normalized-engagement bin (x in [0, 100]).
+	Series stats.BinnedSeries
+	// Pearson and Spearman correlate raw engagement with ratings across
+	// the rated sessions.
+	Pearson  float64
+	Spearman float64
+	// RatedSessions is the sample size (the paper's point: it is tiny
+	// compared with the dataset).
+	RatedSessions int
+}
+
+// MOSByEngagement computes the Fig. 4 relation for one engagement metric.
+func MOSByEngagement(records []telemetry.SessionRecord, eng telemetry.Engagement, nBins int, filter telemetry.Filter) (EngagementMOS, error) {
+	if nBins < 2 {
+		nBins = 10
+	}
+	var xs, ys []float64
+	for i := range records {
+		r := &records[i]
+		if !r.Rated {
+			continue
+		}
+		if filter != nil && !filter(r) {
+			continue
+		}
+		xs = append(xs, r.EngagementOf(eng))
+		ys = append(ys, float64(r.Rating))
+	}
+	out := EngagementMOS{Engagement: eng, RatedSessions: len(xs)}
+	if len(xs) < 10 {
+		return out, fmt.Errorf("usaas: only %d rated sessions; need at least 10", len(xs))
+	}
+	b := stats.NewBinner(0, 100.0001, nBins) // engagement is a percentage
+	series, err := stats.BinMeans(b, xs, ys)
+	if err != nil {
+		return out, err
+	}
+	out.Series = series
+	out.Pearson, _ = stats.Pearson(xs, ys)
+	out.Spearman, _ = stats.Spearman(xs, ys)
+	return out, nil
+}
+
+// MOSReport runs Fig. 4 for all engagement metrics.
+func MOSReport(records []telemetry.SessionRecord, nBins int, filter telemetry.Filter) ([]EngagementMOS, error) {
+	var out []EngagementMOS
+	for _, eng := range telemetry.Engagements() {
+		em, err := MOSByEngagement(records, eng, nBins, filter)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, em)
+	}
+	return out, nil
+}
+
+// MOSPredictor is the §5 model: predict a session's rating from its
+// engagement metrics and network aggregates, so that every session — not
+// just the 0.1–1% surveyed — gets a quality estimate.
+type MOSPredictor struct {
+	model *stats.LinearModel
+}
+
+// FeatureSet selects which signals feed the predictor — the §5 ablation
+// ("predict MOS scores from user engagement and network conditions"):
+// either family alone, or both.
+type FeatureSet int
+
+// Feature sets.
+const (
+	FeaturesCombined FeatureSet = iota
+	FeaturesEngagementOnly
+	FeaturesNetworkOnly
+)
+
+// String names the feature set.
+func (f FeatureSet) String() string {
+	switch f {
+	case FeaturesEngagementOnly:
+		return "engagement-only"
+	case FeaturesNetworkOnly:
+		return "network-only"
+	default:
+		return "combined"
+	}
+}
+
+// featuresFor builds the feature vector for a set.
+func featuresFor(r *telemetry.SessionRecord, set FeatureSet) []float64 {
+	eng := []float64{r.PresencePct, r.CamOnPct, r.MicOnPct}
+	net := []float64{r.Net.LatencyMean, r.Net.LossMean, r.Net.JitterMean, r.Net.BWMean}
+	switch set {
+	case FeaturesEngagementOnly:
+		return eng
+	case FeaturesNetworkOnly:
+		return net
+	default:
+		return append(eng, net...)
+	}
+}
+
+// predictorFeatures builds the default (combined) feature vector.
+func predictorFeatures(r *telemetry.SessionRecord) []float64 {
+	return featuresFor(r, FeaturesCombined)
+}
+
+// FeatureSetMAE evaluates held-out ridge MAE for one feature set (70/30
+// chronological split of the rated sessions).
+func FeatureSetMAE(records []telemetry.SessionRecord, set FeatureSet, lambda float64) (float64, error) {
+	var rated []telemetry.SessionRecord
+	for i := range records {
+		if records[i].Rated {
+			rated = append(rated, records[i])
+		}
+	}
+	if len(rated) < 20 {
+		return 0, fmt.Errorf("usaas: %d rated sessions; need at least 20", len(rated))
+	}
+	cut := int(0.7 * float64(len(rated)))
+	train, test := rated[:cut], rated[cut:]
+	X := make([][]float64, len(train))
+	y := make([]float64, len(train))
+	for i := range train {
+		X[i] = featuresFor(&train[i], set)
+		y[i] = float64(train[i].Rating)
+	}
+	m, err := stats.FitRidge(X, y, lambda)
+	if err != nil {
+		return 0, fmt.Errorf("usaas: feature-set %v: %w", set, err)
+	}
+	var sum float64
+	for i := range test {
+		pred := m.Predict(featuresFor(&test[i], set))
+		if pred < 1 {
+			pred = 1
+		}
+		if pred > 5 {
+			pred = 5
+		}
+		sum += math.Abs(pred - float64(test[i].Rating))
+	}
+	return sum / float64(len(test)), nil
+}
+
+// ErrNoRatings is returned when the training set has no rated sessions.
+var ErrNoRatings = errors.New("usaas: no rated sessions to train on")
+
+// TrainMOSPredictor fits a ridge regression on the rated subset.
+func TrainMOSPredictor(records []telemetry.SessionRecord, lambda float64) (*MOSPredictor, error) {
+	var X [][]float64
+	var y []float64
+	for i := range records {
+		r := &records[i]
+		if !r.Rated {
+			continue
+		}
+		X = append(X, predictorFeatures(r))
+		y = append(y, float64(r.Rating))
+	}
+	if len(X) == 0 {
+		return nil, ErrNoRatings
+	}
+	m, err := stats.FitRidge(X, y, lambda)
+	if err != nil {
+		return nil, fmt.Errorf("usaas: training MOS predictor: %w", err)
+	}
+	return &MOSPredictor{model: m}, nil
+}
+
+// Predict estimates the 1–5 rating for one session, clamped to the scale.
+func (p *MOSPredictor) Predict(r *telemetry.SessionRecord) float64 {
+	v := p.model.Predict(predictorFeatures(r))
+	if v < 1 {
+		return 1
+	}
+	if v > 5 {
+		return 5
+	}
+	return v
+}
+
+// R2 returns the training-set coefficient of determination.
+func (p *MOSPredictor) R2() float64 { return p.model.R2 }
+
+// MOSTree is the non-linear alternative predictor: a CART regression tree
+// over the same features, which can represent the knees and plateaus the
+// dose-response curves show.
+type MOSTree struct {
+	tree *stats.RegressionTree
+}
+
+// TrainMOSTree fits a regression tree on the rated subset.
+func TrainMOSTree(records []telemetry.SessionRecord, opts stats.TreeOptions) (*MOSTree, error) {
+	var X [][]float64
+	var y []float64
+	for i := range records {
+		r := &records[i]
+		if !r.Rated {
+			continue
+		}
+		X = append(X, predictorFeatures(r))
+		y = append(y, float64(r.Rating))
+	}
+	if len(X) == 0 {
+		return nil, ErrNoRatings
+	}
+	t, err := stats.FitTree(X, y, opts)
+	if err != nil {
+		return nil, fmt.Errorf("usaas: training MOS tree: %w", err)
+	}
+	return &MOSTree{tree: t}, nil
+}
+
+// Predict estimates the 1–5 rating for one session, clamped to the scale.
+func (p *MOSTree) Predict(r *telemetry.SessionRecord) float64 {
+	v := p.tree.Predict(predictorFeatures(r))
+	if v < 1 {
+		return 1
+	}
+	if v > 5 {
+		return 5
+	}
+	return v
+}
+
+// PredictorEval compares the predictors against the survey-only status quo.
+type PredictorEval struct {
+	TrainSessions int
+	TestSessions  int
+	// MAE of the ridge predictor on held-out rated sessions, versus the
+	// constant mean-rating baseline and the regression-tree alternative.
+	PredictorMAE float64
+	BaselineMAE  float64
+	TreeMAE      float64
+	// Coverage: fraction of all sessions with a quality estimate under
+	// each approach — the paper's core argument in one number.
+	SurveyCoverage    float64
+	PredictorCoverage float64
+}
+
+// EvaluateMOSPredictor trains on the first trainFrac of rated sessions and
+// evaluates on the rest.
+func EvaluateMOSPredictor(records []telemetry.SessionRecord, trainFrac, lambda float64) (PredictorEval, error) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		trainFrac = 0.7
+	}
+	var rated []telemetry.SessionRecord
+	for i := range records {
+		if records[i].Rated {
+			rated = append(rated, records[i])
+		}
+	}
+	var eval PredictorEval
+	if len(rated) < 20 {
+		return eval, fmt.Errorf("usaas: %d rated sessions; need at least 20 for train/test", len(rated))
+	}
+	cut := int(trainFrac * float64(len(rated)))
+	train, test := rated[:cut], rated[cut:]
+	eval.TrainSessions, eval.TestSessions = len(train), len(test)
+
+	p, err := TrainMOSPredictor(train, lambda)
+	if err != nil {
+		return eval, err
+	}
+	tree, err := TrainMOSTree(train, stats.TreeOptions{})
+	if err != nil {
+		return eval, err
+	}
+	meanRating := 0.0
+	for i := range train {
+		meanRating += float64(train[i].Rating)
+	}
+	meanRating /= float64(len(train))
+
+	var sumPred, sumBase, sumTree float64
+	for i := range test {
+		r := &test[i]
+		sumPred += math.Abs(p.Predict(r) - float64(r.Rating))
+		sumBase += math.Abs(meanRating - float64(r.Rating))
+		sumTree += math.Abs(tree.Predict(r) - float64(r.Rating))
+	}
+	eval.PredictorMAE = sumPred / float64(len(test))
+	eval.BaselineMAE = sumBase / float64(len(test))
+	eval.TreeMAE = sumTree / float64(len(test))
+	if len(records) > 0 {
+		eval.SurveyCoverage = float64(len(rated)) / float64(len(records))
+	}
+	eval.PredictorCoverage = 1 // engagement exists for every session
+	return eval, nil
+}

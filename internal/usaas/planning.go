@@ -1,0 +1,199 @@
+package usaas
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"usersignals/internal/leo"
+	"usersignals/internal/telemetry"
+	"usersignals/internal/timeline"
+)
+
+// This file implements the §6 "traffic engineering & network planning
+// opportunities": turning USaaS insights into actions. Two advisors are
+// provided — a traffic-engineering advisor for the conferencing service
+// ("which network metric should we spend optimization budget on?") and a
+// deployment advisor for the constellation operator ("how many extra
+// launches keep sentiment from sagging?").
+
+// TERecommendation ranks one candidate network improvement by its
+// predicted user-experience payoff.
+type TERecommendation struct {
+	Metric telemetry.Metric
+	// Improvement describes the modelled intervention (e.g. "-25%").
+	Improvement string
+	// AffectedFrac is the fraction of sessions whose metric is bad enough
+	// for the intervention to apply.
+	AffectedFrac float64
+	// MeanMOSLift is the mean predicted-MOS change across affected
+	// sessions.
+	MeanMOSLift float64
+	// TotalLift = AffectedFrac * MeanMOSLift: the population-level payoff
+	// used for ranking.
+	TotalLift float64
+}
+
+// teIntervention describes one candidate improvement: which metric, who
+// qualifies, and how the metric changes.
+type teIntervention struct {
+	metric    telemetry.Metric
+	label     string
+	qualifies func(telemetry.NetAggregates) bool
+	apply     func(*telemetry.NetAggregates)
+}
+
+func defaultInterventions() []teIntervention {
+	return []teIntervention{
+		{
+			metric: telemetry.LatencyMean, label: "-25% latency",
+			qualifies: func(a telemetry.NetAggregates) bool { return a.LatencyMean > 60 },
+			apply:     func(a *telemetry.NetAggregates) { a.LatencyMean *= 0.75 },
+		},
+		{
+			metric: telemetry.LossMean, label: "-50% loss",
+			qualifies: func(a telemetry.NetAggregates) bool { return a.LossMean > 0.5 },
+			apply:     func(a *telemetry.NetAggregates) { a.LossMean *= 0.5 },
+		},
+		{
+			metric: telemetry.JitterMean, label: "-30% jitter",
+			qualifies: func(a telemetry.NetAggregates) bool { return a.JitterMean > 5 },
+			apply:     func(a *telemetry.NetAggregates) { a.JitterMean *= 0.7 },
+		},
+		{
+			metric: telemetry.BandwidthMean, label: "+25% bandwidth",
+			qualifies: func(a telemetry.NetAggregates) bool { return a.BWMean < 2 },
+			apply:     func(a *telemetry.NetAggregates) { a.BWMean *= 1.25 },
+		},
+	}
+}
+
+// AdviseTrafficEngineering ranks the default interventions by their
+// predicted MOS payoff over the given sessions, using a predictor trained
+// on the rated subset. It answers §6's "if call latency is the discerning
+// factor, could resource allocation be tuned?" with a number per metric.
+func AdviseTrafficEngineering(records []telemetry.SessionRecord) ([]TERecommendation, error) {
+	if len(records) == 0 {
+		return nil, errors.New("usaas: no sessions to advise on")
+	}
+	p, err := TrainMOSPredictor(records, 1.0)
+	if err != nil {
+		return nil, fmt.Errorf("usaas: traffic-engineering advisor: %w", err)
+	}
+	var out []TERecommendation
+	for _, iv := range defaultInterventions() {
+		var affected int
+		var lift float64
+		for i := range records {
+			r := records[i] // copy; we mutate the aggregates
+			if !iv.qualifies(r.Net) {
+				continue
+			}
+			affected++
+			before := p.Predict(&r)
+			iv.apply(&r.Net)
+			lift += p.Predict(&r) - before
+		}
+		rec := TERecommendation{Metric: iv.metric, Improvement: iv.label}
+		if affected > 0 {
+			rec.AffectedFrac = float64(affected) / float64(len(records))
+			rec.MeanMOSLift = lift / float64(affected)
+			rec.TotalLift = rec.AffectedFrac * rec.MeanMOSLift
+		}
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TotalLift > out[j].TotalLift })
+	return out, nil
+}
+
+// DeploymentScenario is one candidate launch plan evaluated by the
+// deployment advisor.
+type DeploymentScenario struct {
+	ExtraLaunches int
+	// ProjectedSpeed is the median downlink at the horizon.
+	ProjectedSpeed float64
+	// ProjectedPos is the modelled strong-positive sentiment share at the
+	// horizon, accounting for conditioning (users judge against their
+	// expectation, so launches pay off in sentiment only while speeds are
+	// above the conditioned baseline).
+	ProjectedPos float64
+}
+
+// DeploymentAdvice is the advisor's output.
+type DeploymentAdvice struct {
+	Horizon   timeline.Day
+	Scenarios []DeploymentScenario
+	// LaunchesForTarget is the smallest evaluated extra-launch count whose
+	// projected Pos meets the target, or -1 if none does.
+	LaunchesForTarget int
+}
+
+// Sentiment projection constants: mirror the community-mood model of the
+// social generator (documented there); the advisor must use the same
+// calculus the users do.
+const (
+	planLevelWeight = 0.5
+	planCondGain    = 8.0
+	planAnchorMbps  = 75
+	planEWMAAlpha   = 0.02
+)
+
+// AdviseDeployment evaluates launch plans: starting from `from`, it
+// projects median speeds to `horizon` for 0..maxExtra extra launches
+// (satsPerLaunch each, spread evenly over the interval) and reports the
+// projected sentiment for each, plus the cheapest plan meeting posTarget.
+func AdviseDeployment(model *leo.Model, from, horizon timeline.Day, maxExtra, satsPerLaunch int, posTarget float64) (DeploymentAdvice, error) {
+	if model == nil {
+		return DeploymentAdvice{}, errors.New("usaas: nil constellation model")
+	}
+	if horizon <= from {
+		return DeploymentAdvice{}, fmt.Errorf("usaas: horizon %v not after start %v", horizon, from)
+	}
+	if maxExtra < 0 {
+		maxExtra = 0
+	}
+	if satsPerLaunch <= 0 {
+		satsPerLaunch = 50
+	}
+	advice := DeploymentAdvice{Horizon: horizon, LaunchesForTarget: -1}
+	span := int(horizon - from)
+	for extra := 0; extra <= maxExtra; extra++ {
+		launches := make([]leo.Launch, extra)
+		for i := range launches {
+			day := from + timeline.Day((i+1)*span/(extra+1))
+			launches[i] = leo.Launch{Day: day, Sats: satsPerLaunch}
+		}
+		scenario := model.WithExtraLaunches(launches)
+
+		// Project the conditioned expectation forward and read sentiment
+		// at the horizon.
+		expectation := scenario.MedianDownMbps(from)
+		var speed float64
+		for d := from; d <= horizon; d++ {
+			speed = scenario.MedianDownMbps(d)
+			expectation = planEWMAAlpha*speed + (1-planEWMAAlpha)*expectation
+		}
+		tilt := planLevelWeight*(speed/planAnchorMbps-1) + planCondGain*(speed/math.Max(1, expectation)-1)
+		pos := 1 / (1 + math.Exp(-3*tilt))
+		sc := DeploymentScenario{ExtraLaunches: extra, ProjectedSpeed: speed, ProjectedPos: pos}
+		advice.Scenarios = append(advice.Scenarios, sc)
+		if advice.LaunchesForTarget < 0 && pos >= posTarget {
+			advice.LaunchesForTarget = extra
+		}
+	}
+	return advice, nil
+}
+
+// LiftCurve summarizes the marginal value of each additional launch in an
+// advice: diffs of projected speed.
+func (a DeploymentAdvice) LiftCurve() []float64 {
+	if len(a.Scenarios) < 2 {
+		return nil
+	}
+	out := make([]float64, len(a.Scenarios)-1)
+	for i := 1; i < len(a.Scenarios); i++ {
+		out[i-1] = a.Scenarios[i].ProjectedSpeed - a.Scenarios[i-1].ProjectedSpeed
+	}
+	return out
+}

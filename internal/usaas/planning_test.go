@@ -1,0 +1,145 @@
+package usaas
+
+import (
+	"testing"
+	"time"
+
+	"usersignals/internal/leo"
+	"usersignals/internal/timeline"
+)
+
+func TestAdviseTrafficEngineering(t *testing.T) {
+	recs := mixDataset(t)
+	recos, err := AdviseTrafficEngineering(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recos) != 4 {
+		t.Fatalf("recommendations = %d", len(recos))
+	}
+	// Ranked by total lift, descending.
+	for i := 1; i < len(recos); i++ {
+		if recos[i].TotalLift > recos[i-1].TotalLift {
+			t.Fatalf("not ranked: %+v", recos)
+		}
+	}
+	// The top recommendation must have a positive payoff and a real
+	// affected population.
+	top := recos[0]
+	if top.TotalLift <= 0 {
+		t.Fatalf("top recommendation has no payoff: %+v", top)
+	}
+	if top.AffectedFrac <= 0 || top.AffectedFrac > 1 {
+		t.Fatalf("affected fraction %v", top.AffectedFrac)
+	}
+	// Improving a metric must not be predicted to *hurt* on average.
+	for _, r := range recos {
+		if r.AffectedFrac > 0.01 && r.MeanMOSLift < -0.05 {
+			t.Fatalf("intervention %v predicted harmful: %+v", r.Metric, r)
+		}
+	}
+}
+
+func TestAdviseTrafficEngineeringErrors(t *testing.T) {
+	if _, err := AdviseTrafficEngineering(nil); err == nil {
+		t.Fatal("empty sessions accepted")
+	}
+	// Sessions without ratings: predictor cannot train.
+	recs := mixDataset(t)
+	stripped := append(recs[:0:0], recs...)
+	for i := range stripped {
+		stripped[i].Rated = false
+		stripped[i].Rating = 0
+	}
+	if _, err := AdviseTrafficEngineering(stripped); err == nil {
+		t.Fatal("unrated dataset accepted")
+	}
+}
+
+func TestAdviseDeployment(t *testing.T) {
+	model := leo.NewModel()
+	from := timeline.Date(2022, time.June, 1)
+	horizon := timeline.Date(2022, time.December, 1)
+	advice, err := AdviseDeployment(model, from, horizon, 10, 50, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(advice.Scenarios) != 11 {
+		t.Fatalf("scenarios = %d", len(advice.Scenarios))
+	}
+	// More launches ⇒ faster projected speeds, monotonically.
+	for i := 1; i < len(advice.Scenarios); i++ {
+		if advice.Scenarios[i].ProjectedSpeed <= advice.Scenarios[i-1].ProjectedSpeed {
+			t.Fatalf("speed not increasing with launches: %+v", advice.Scenarios)
+		}
+	}
+	// And sentiment improves with them (conditioning notwithstanding,
+	// faster-than-expected is good news).
+	if advice.Scenarios[10].ProjectedPos <= advice.Scenarios[0].ProjectedPos {
+		t.Fatalf("Pos not improving with launches: %v vs %v",
+			advice.Scenarios[10].ProjectedPos, advice.Scenarios[0].ProjectedPos)
+	}
+	// Marginal lift per launch is positive and roughly diminishing.
+	lift := advice.LiftCurve()
+	if len(lift) != 10 {
+		t.Fatalf("lift curve = %v", lift)
+	}
+	for _, l := range lift {
+		if l <= 0 {
+			t.Fatalf("non-positive marginal lift: %v", lift)
+		}
+	}
+}
+
+func TestAdviseDeploymentTarget(t *testing.T) {
+	model := leo.NewModel()
+	from := timeline.Date(2022, time.June, 1)
+	horizon := timeline.Date(2022, time.December, 1)
+	// Find the Pos achievable with 0 and with 10 launches; a target in
+	// between must be met by some intermediate plan.
+	advice, err := AdviseDeployment(model, from, horizon, 10, 50, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := advice.Scenarios[0].ProjectedPos
+	hi := advice.Scenarios[10].ProjectedPos
+	target := (lo + hi) / 2
+	advice2, err := AdviseDeployment(model, from, horizon, 10, 50, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if advice2.LaunchesForTarget <= 0 || advice2.LaunchesForTarget > 10 {
+		t.Fatalf("LaunchesForTarget = %d for target %v in (%v, %v)",
+			advice2.LaunchesForTarget, target, lo, hi)
+	}
+	// An unreachable target reports -1.
+	advice3, err := AdviseDeployment(model, from, horizon, 2, 50, 0.999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if advice3.LaunchesForTarget != -1 {
+		t.Fatalf("unreachable target met: %+v", advice3)
+	}
+}
+
+func TestAdviseDeploymentValidation(t *testing.T) {
+	if _, err := AdviseDeployment(nil, 0, 10, 1, 50, 0.5); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	if _, err := AdviseDeployment(leo.NewModel(), 10, 10, 1, 50, 0.5); err == nil {
+		t.Fatal("degenerate horizon accepted")
+	}
+}
+
+func TestWithExtraLaunchesDoesNotMutate(t *testing.T) {
+	model := leo.NewModel()
+	day := timeline.Date(2022, time.December, 31)
+	before := model.ActiveSats(day)
+	clone := model.WithExtraLaunches([]leo.Launch{{Day: timeline.Date(2022, time.June, 1), Sats: 500}})
+	if model.ActiveSats(day) != before {
+		t.Fatal("WithExtraLaunches mutated the original model")
+	}
+	if clone.ActiveSats(day) <= before {
+		t.Fatal("clone did not gain satellites")
+	}
+}

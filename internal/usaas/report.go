@@ -1,0 +1,162 @@
+package usaas
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"usersignals/internal/nlp"
+	"usersignals/internal/stats"
+	"usersignals/internal/telemetry"
+)
+
+// OperatorReport is the composed insight product of the service: every
+// headline finding from both signal families in one structure, with a
+// human-readable rendering. This is the artifact §5 imagines operators
+// consuming.
+type OperatorReport struct {
+	// Implicit-signal side.
+	Sessions        int                `json:"sessions"`
+	EngagementDrops map[string]float64 `json:"engagement_drops"` // metric → relative drop over its range
+	MOS             []MOSCorrelation   `json:"mos_correlations,omitempty"`
+	Predictor       *PredictorEval     `json:"predictor,omitempty"`
+	TEAdvice        []TERecommendation `json:"traffic_engineering,omitempty"`
+
+	// Explicit-signal side.
+	Posts        int                  `json:"posts"`
+	WeeklyPosts  float64              `json:"weekly_posts"`
+	Peaks        []AnnotatedPeak      `json:"peaks,omitempty"`
+	OutageAlerts int                  `json:"outage_alert_days"`
+	Trends       []Trend              `json:"trends,omitempty"`
+	SpeedMonths  int                  `json:"speed_months"`
+	SpeedPosCorr float64              `json:"speed_pos_correlation"`
+	Conditioning *ConditioningFinding `json:"conditioning,omitempty"`
+}
+
+// reportDropRanges defines the per-metric binning used for the drop
+// summaries.
+var reportDropRanges = []struct {
+	metric telemetry.Metric
+	lo, hi float64
+}{
+	{telemetry.LatencyMean, 0, 300},
+	{telemetry.LossMean, 0, 4},
+	{telemetry.JitterMean, 0, 12},
+	{telemetry.BandwidthMean, 0.25, 4},
+}
+
+// BuildReport assembles the report from a store's contents. Sections
+// without data are omitted rather than failing the whole report.
+func BuildReport(store *Store, an *nlp.Analyzer, opts ServerOptions) OperatorReport {
+	if an == nil {
+		an = nlp.NewAnalyzer()
+	}
+	rep := OperatorReport{EngagementDrops: map[string]float64{}}
+
+	recs := store.Sessions()
+	rep.Sessions = len(recs)
+	if len(recs) > 0 {
+		for _, rr := range reportDropRanges {
+			s, err := DoseResponse(recs, rr.metric, telemetry.Presence,
+				stats.NewBinner(rr.lo, rr.hi, 8), nil)
+			if err == nil {
+				if drop := RelativeDrop(s); !math.IsNaN(drop) {
+					rep.EngagementDrops[rr.metric.String()] = drop
+				}
+			}
+		}
+		if mosReport, err := MOSReport(recs, 10, nil); err == nil {
+			for _, em := range mosReport {
+				rep.MOS = append(rep.MOS, MOSCorrelation{
+					Engagement:    em.Engagement.String(),
+					Pearson:       em.Pearson,
+					Spearman:      em.Spearman,
+					RatedSessions: em.RatedSessions,
+				})
+			}
+		}
+		if eval, err := EvaluateMOSPredictor(recs, 0.7, 1.0); err == nil {
+			rep.Predictor = &eval
+		}
+		if advice, err := AdviseTrafficEngineering(recs); err == nil {
+			rep.TEAdvice = advice
+		}
+	}
+
+	if c := store.Corpus(); c != nil {
+		rep.Posts = c.Len()
+		rep.WeeklyPosts, _, _ = c.WeeklyAverages()
+		rep.Peaks = AnnotatePeaks(c, an, opts.News, 3)
+		dict := opts.OutageDict
+		if dict == nil {
+			dict = nlp.OutageDictionary()
+		}
+		series := OutageKeywordSeries(c, an, dict, true)
+		rep.OutageAlerts = len(AlertsFromSeries(series, 3))
+		rep.Trends = MineTrends(c, an, TrendOptions{MaxTerms: 10})
+		months := MonthlySpeeds(c, an, opts.Model, 1)
+		for _, m := range months {
+			if m.Reports > 0 {
+				rep.SpeedMonths++
+			}
+		}
+		finding := AnalyzeConditioning(months)
+		rep.SpeedPosCorr = finding.SpeedPosCorrelation
+		rep.Conditioning = &finding
+	}
+	return rep
+}
+
+// Render produces the human-readable version.
+func (r OperatorReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "USER SIGNALS REPORT\n===================\n\n")
+
+	fmt.Fprintf(&b, "Implicit signals: %d sessions\n", r.Sessions)
+	for _, rr := range reportDropRanges {
+		if drop, ok := r.EngagementDrops[rr.metric.String()]; ok {
+			fmt.Fprintf(&b, "  presence falls %.0f%% over %s range %g-%g\n",
+				100*drop, rr.metric, rr.lo, rr.hi)
+		}
+	}
+	if r.Predictor != nil {
+		fmt.Fprintf(&b, "  MOS predictor MAE %.3f (baseline %.3f); coverage %.1f%% → 100%%\n",
+			r.Predictor.PredictorMAE, r.Predictor.BaselineMAE, 100*r.Predictor.SurveyCoverage)
+	}
+	if len(r.TEAdvice) > 0 {
+		fmt.Fprintf(&b, "  top network investment: %s (%s), +%.4f population MOS\n",
+			r.TEAdvice[0].Improvement, r.TEAdvice[0].Metric, r.TEAdvice[0].TotalLift)
+	}
+
+	fmt.Fprintf(&b, "\nExplicit signals: %d posts (%.0f/week)\n", r.Posts, r.WeeklyPosts)
+	for _, pk := range r.Peaks {
+		cause := "no reported cause found"
+		if len(pk.News) > 0 {
+			cause = pk.News[0].Headline
+		}
+		polarity := "negative"
+		if pk.Positive {
+			polarity = "positive"
+		}
+		fmt.Fprintf(&b, "  peak %s (%s, %d strong posts): %s\n", pk.Day, polarity, pk.Strong, cause)
+	}
+	fmt.Fprintf(&b, "  outage-alert days: %d\n", r.OutageAlerts)
+	if len(r.Trends) > 0 {
+		terms := make([]string, 0, 3)
+		for i, tr := range r.Trends {
+			if i == 3 {
+				break
+			}
+			terms = append(terms, fmt.Sprintf("%s (from %s)", tr.Term, tr.FirstDay))
+		}
+		fmt.Fprintf(&b, "  emerging topics: %s\n", strings.Join(terms, ", "))
+	}
+	if r.SpeedMonths > 0 {
+		fmt.Fprintf(&b, "  %d months of speed-test evidence; speed-sentiment correlation r=%.2f\n",
+			r.SpeedMonths, r.SpeedPosCorr)
+		if r.Conditioning != nil && r.Conditioning.DecemberBelowApril {
+			fmt.Fprintf(&b, "  conditioning detected: sentiment tracks expectations, not absolute speed\n")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package usaas
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildReportBothSides(t *testing.T) {
+	c, news, cfg := studyCorpus(t)
+	store := &Store{}
+	store.AddSessions(mixDataset(t))
+	store.AddPosts(c.Posts)
+	rep := BuildReport(store, analyzer, ServerOptions{News: news, Model: cfg.Model})
+
+	if rep.Sessions == 0 || rep.Posts == 0 {
+		t.Fatalf("report sides missing: %+v", rep)
+	}
+	if len(rep.EngagementDrops) == 0 {
+		t.Fatal("no engagement drops")
+	}
+	if rep.Predictor == nil || rep.Predictor.PredictorMAE <= 0 {
+		t.Fatal("predictor section missing")
+	}
+	if len(rep.TEAdvice) != 4 {
+		t.Fatalf("TE advice = %d", len(rep.TEAdvice))
+	}
+	if len(rep.Peaks) != 3 {
+		t.Fatalf("peaks = %d", len(rep.Peaks))
+	}
+	if rep.OutageAlerts == 0 {
+		t.Fatal("no outage alerts")
+	}
+	if rep.SpeedMonths != 24 {
+		t.Fatalf("speed months = %d", rep.SpeedMonths)
+	}
+	if rep.Conditioning == nil || !rep.Conditioning.DecemberBelowApril {
+		t.Fatal("conditioning finding missing")
+	}
+
+	text := rep.Render()
+	for _, want := range []string{
+		"USER SIGNALS REPORT", "MOS predictor", "peak 2021-02-09",
+		"outage-alert days", "conditioning detected",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("rendered report missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestBuildReportEmptyStore(t *testing.T) {
+	rep := BuildReport(&Store{}, nil, ServerOptions{})
+	if rep.Sessions != 0 || rep.Posts != 0 {
+		t.Fatalf("empty report = %+v", rep)
+	}
+	// Rendering an empty report must not panic and stays informative.
+	text := rep.Render()
+	if !strings.Contains(text, "0 sessions") {
+		t.Fatalf("empty render: %q", text)
+	}
+}
+
+func TestBuildReportSessionsOnly(t *testing.T) {
+	store := &Store{}
+	store.AddSessions(mixDataset(t))
+	rep := BuildReport(store, nil, ServerOptions{})
+	if rep.Sessions == 0 || rep.Posts != 0 {
+		t.Fatalf("sessions-only report = %+v", rep)
+	}
+	if len(rep.Peaks) != 0 || rep.Conditioning != nil {
+		t.Fatal("social sections present without posts")
+	}
+}

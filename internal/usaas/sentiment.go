@@ -1,0 +1,222 @@
+package usaas
+
+import (
+	"sort"
+	"usersignals/internal/newswire"
+	"usersignals/internal/nlp"
+	"usersignals/internal/social"
+	"usersignals/internal/stats"
+	"usersignals/internal/timeline"
+)
+
+// DaySentiment is one day of the Fig. 5a series.
+type DaySentiment struct {
+	Day       timeline.Day
+	Posts     int
+	StrongPos int
+	StrongNeg int
+}
+
+// Strong returns the total strong-sentiment post count, the quantity whose
+// peaks the paper annotates.
+func (d DaySentiment) Strong() int { return d.StrongPos + d.StrongNeg }
+
+// DailySentiment scores every post and aggregates by day over the corpus
+// window.
+func DailySentiment(c *social.Corpus, an *nlp.Analyzer) []DaySentiment {
+	out := make([]DaySentiment, 0, c.Window.Len())
+	c.Window.Days(func(d timeline.Day) {
+		ds := DaySentiment{Day: d}
+		for _, p := range c.OnDay(d) {
+			ds.Posts++
+			s := an.Score(p.Text())
+			if s.StrongPositive() {
+				ds.StrongPos++
+			}
+			if s.StrongNegative() {
+				ds.StrongNeg++
+			}
+		}
+		out = append(out, ds)
+	})
+	return out
+}
+
+// AnnotatedPeak is a detected sentiment peak with its word-cloud keywords
+// and any news coverage found for them — the full Fig. 5 pipeline output.
+type AnnotatedPeak struct {
+	Day       timeline.Day
+	Strong    int
+	StrongPos int
+	StrongNeg int
+	// Positive reports whether the peak leans positive.
+	Positive bool
+	// TopWords are the day's top word-cloud unigrams (the news-search
+	// keywords).
+	TopWords []nlp.WordCount
+	// News holds matching coverage; empty means the pipeline found no
+	// reported cause (the paper's 22 Apr '22 case).
+	News []newswire.Article
+}
+
+// AnnotatePeaks runs the §4.1 pipeline: detect the top-k strong-sentiment
+// peaks, build each day's word cloud, and search the news index for the
+// top unigrams around the peak date.
+func AnnotatePeaks(c *social.Corpus, an *nlp.Analyzer, news *newswire.Index, k int) []AnnotatedPeak {
+	daily := DailySentiment(c, an)
+	series := make([]float64, len(daily))
+	for i, d := range daily {
+		series[i] = float64(d.Strong())
+	}
+	// Detection is z-score based (a day must stand out from its local
+	// baseline), but the paper's "top peaks" are the *largest* ones, so
+	// rank qualifying peaks by absolute height before taking k.
+	peaks := stats.DetectPeaks(series, stats.PeakOptions{Window: 21, MinScore: 4, MinValue: 20, Separation: 5})
+	sort.Slice(peaks, func(i, j int) bool { return peaks[i].Value > peaks[j].Value })
+	if len(peaks) > k {
+		peaks = peaks[:k]
+	}
+
+	out := make([]AnnotatedPeak, 0, len(peaks))
+	for _, pk := range peaks {
+		ds := daily[pk.Index]
+		var texts []string
+		for _, p := range c.OnDay(ds.Day) {
+			texts = append(texts, p.Text())
+		}
+		top := nlp.WordCloud(texts, 12)
+		keywords := make([]string, 0, 3)
+		for _, wc := range top {
+			if len(keywords) < 3 {
+				keywords = append(keywords, wc.Word)
+			}
+		}
+		ap := AnnotatedPeak{
+			Day:       ds.Day,
+			Strong:    ds.Strong(),
+			StrongPos: ds.StrongPos,
+			StrongNeg: ds.StrongNeg,
+			Positive:  ds.StrongPos >= ds.StrongNeg,
+			TopWords:  top,
+		}
+		if news != nil {
+			ap.News = news.Search(keywords, ds.Day, 2)
+		}
+		out = append(out, ap)
+	}
+	return out
+}
+
+// DayKeywords is one day of the Fig. 6 series: outage-keyword occurrences
+// in negative-sentiment posts.
+type DayKeywords struct {
+	Day   timeline.Day
+	Count int
+}
+
+// OutageKeywordSeries counts outage-dictionary hits per day over whole
+// threads (post + retained replies — the paper counts occurrences "in
+// these filtered Reddit threads"), gated on the posting user's negative
+// sentiment to avoid false positives. Pass gate=false for the ablation
+// that shows why the gate exists.
+func OutageKeywordSeries(c *social.Corpus, an *nlp.Analyzer, dict *nlp.Dictionary, gate bool) []DayKeywords {
+	out := make([]DayKeywords, 0, c.Window.Len())
+	c.Window.Days(func(d timeline.Day) {
+		dk := DayKeywords{Day: d}
+		for _, p := range c.OnDay(d) {
+			n := dict.Count(p.ThreadText())
+			if n == 0 {
+				continue
+			}
+			if gate {
+				s := an.Score(p.Text())
+				if s.Negative <= s.Positive || s.Negative < 0.3 {
+					continue
+				}
+			}
+			dk.Count += n
+		}
+		out = append(out, dk)
+	})
+	return out
+}
+
+// OutageGeography localizes one day's outage chatter: negative-gated
+// keyword-bearing posts counted per reporting country. This is how the
+// paper established that the 22 Apr '22 incident spanned 14 countries with
+// ~190 US reports despite having no press coverage.
+func OutageGeography(c *social.Corpus, an *nlp.Analyzer, dict *nlp.Dictionary, d timeline.Day) map[string]int {
+	out := map[string]int{}
+	for _, p := range c.OnDay(d) {
+		if !dict.Matches(p.ThreadText()) {
+			continue
+		}
+		s := an.Score(p.Text())
+		if s.Negative <= s.Positive || s.Negative < 0.3 {
+			continue
+		}
+		out[p.Country]++
+	}
+	return out
+}
+
+// OutageAlert is a day flagged by an outage monitor.
+type OutageAlert struct {
+	Day   timeline.Day
+	Count int
+}
+
+// AlertsFromSeries flags days whose keyword count exceeds threshold — the
+// keyword monitor proper.
+func AlertsFromSeries(series []DayKeywords, threshold int) []OutageAlert {
+	var out []OutageAlert
+	for _, d := range series {
+		if d.Count >= threshold {
+			out = append(out, OutageAlert{Day: d.Day, Count: d.Count})
+		}
+	}
+	return out
+}
+
+// MonitorComparison contrasts the Reddit keyword monitor with a
+// Downdetector-style baseline that only logs large incidents (§4.1: "Ookla's
+// Downdetector only logs large-scale incidents ... it is critical to
+// understand transient small-scale outages too").
+type MonitorComparison struct {
+	// Detected{Keyword,Baseline} count ground-truth outage days each
+	// monitor flagged; Total is the number of ground-truth outage days.
+	TotalOutageDays      int
+	KeywordDetectedDays  int
+	BaselineDetectedDays int
+	// FalseAlarmDays are keyword-flagged days with no ground-truth outage.
+	FalseAlarmDays int
+}
+
+// CompareMonitors evaluates both monitors against ground-truth outage days.
+// keywordThreshold flags small excursions; baselineThreshold is the high
+// bar a large-incident logger effectively applies.
+func CompareMonitors(series []DayKeywords, outageDays map[timeline.Day]bool, keywordThreshold, baselineThreshold int) MonitorComparison {
+	cmp := MonitorComparison{TotalOutageDays: len(outageDays)}
+	flaggedKeyword := map[timeline.Day]bool{}
+	flaggedBaseline := map[timeline.Day]bool{}
+	for _, d := range series {
+		if d.Count >= keywordThreshold {
+			flaggedKeyword[d.Day] = true
+			if !outageDays[d.Day] {
+				cmp.FalseAlarmDays++
+			}
+		}
+		if d.Count >= baselineThreshold {
+			flaggedBaseline[d.Day] = true
+		}
+	}
+	for day := range outageDays {
+		if flaggedKeyword[day] {
+			cmp.KeywordDetectedDays++
+		}
+		if flaggedBaseline[day] {
+			cmp.BaselineDetectedDays++
+		}
+	}
+	return cmp
+}

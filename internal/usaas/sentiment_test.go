@@ -1,0 +1,377 @@
+package usaas
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"usersignals/internal/leo"
+	"usersignals/internal/newswire"
+	"usersignals/internal/nlp"
+	"usersignals/internal/social"
+	"usersignals/internal/timeline"
+)
+
+var (
+	corpusOnce sync.Once
+	corpus     *social.Corpus
+	corpusCfg  social.Config
+	newsIndex  *newswire.Index
+	analyzer   = nlp.NewAnalyzer()
+)
+
+func studyCorpus(t *testing.T) (*social.Corpus, *newswire.Index, social.Config) {
+	t.Helper()
+	corpusOnce.Do(func() {
+		corpusCfg = social.DefaultConfig(17)
+		var err error
+		corpus, err = social.Generate(corpusCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		newsIndex = newswire.Build(corpusCfg.Model.Launches(), corpusCfg.Outages, corpusCfg.Milestones)
+	})
+	return corpus, newsIndex, corpusCfg
+}
+
+func TestFig5aTopPeaks(t *testing.T) {
+	c, news, _ := studyCorpus(t)
+	peaks := AnnotatePeaks(c, analyzer, news, 3)
+	if len(peaks) != 3 {
+		t.Fatalf("found %d peaks, want 3", len(peaks))
+	}
+	want := map[timeline.Day]bool{
+		timeline.Date(2021, time.February, 9):  true, // pre-order (positive)
+		timeline.Date(2021, time.November, 24): true, // delay email (negative)
+		timeline.Date(2022, time.April, 22):    true, // unreported outage (negative)
+	}
+	for _, pk := range peaks {
+		if !want[pk.Day] {
+			t.Fatalf("unexpected peak day %v (peaks: %+v)", pk.Day, peakDays(peaks))
+		}
+	}
+	for _, pk := range peaks {
+		switch pk.Day {
+		case timeline.Date(2021, time.February, 9):
+			if !pk.Positive {
+				t.Fatal("pre-order peak should be positive")
+			}
+			if len(pk.News) == 0 {
+				t.Fatal("pre-order peak should be annotated with news")
+			}
+		case timeline.Date(2021, time.November, 24):
+			if pk.Positive {
+				t.Fatal("delay peak should be negative")
+			}
+			if len(pk.News) == 0 {
+				t.Fatal("delay peak should be annotated with news")
+			}
+		case timeline.Date(2022, time.April, 22):
+			if pk.Positive {
+				t.Fatal("April outage peak should be negative")
+			}
+			// Fig 5b: "outage" ranks in the top-3 unigrams.
+			top3 := pk.TopWords
+			if len(top3) > 3 {
+				top3 = top3[:3]
+			}
+			found := false
+			for _, wc := range top3 {
+				if wc.Word == "outage" {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("'outage' not in top-3 words: %+v", pk.TopWords[:min(6, len(pk.TopWords))])
+			}
+			// No news coverage exists — the honest failure the paper hit.
+			if len(pk.News) != 0 {
+				t.Fatalf("unreported outage got %d news hits", len(pk.News))
+			}
+		}
+	}
+}
+
+func peakDays(peaks []AnnotatedPeak) []string {
+	var out []string
+	for _, p := range peaks {
+		out = append(out, p.Day.String())
+	}
+	return out
+}
+
+func TestFig6OutageKeywordSeries(t *testing.T) {
+	c, _, cfg := studyCorpus(t)
+	series := OutageKeywordSeries(c, analyzer, nlp.OutageDictionary(), true)
+	if len(series) != c.Window.Len() {
+		t.Fatalf("series length %d", len(series))
+	}
+	byDay := map[timeline.Day]int{}
+	for _, d := range series {
+		byDay[d.Day] = d.Count
+	}
+	jan := byDay[timeline.Date(2022, time.January, 7)]
+	apr := byDay[timeline.Date(2022, time.April, 22)]
+	aug := byDay[timeline.Date(2022, time.August, 30)]
+
+	// The two press-covered outages carry the largest keyword spikes.
+	counts := make([]int, 0, len(series))
+	for _, d := range series {
+		counts = append(counts, d.Count)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	if !(jan >= counts[2] && aug >= counts[2]) {
+		t.Fatalf("Jan (%d) and Aug (%d) should be among the top keyword days (top3 floor %d, apr %d)", jan, aug, counts[2], apr)
+	}
+	if apr >= aug || apr >= jan {
+		t.Fatalf("April (%d) keyword count should sit below Jan (%d) and Aug (%d)", apr, jan, aug)
+	}
+
+	// Transient outages: many smaller non-zero spikes across the window.
+	smallSpikes := 0
+	for _, o := range cfg.Outages {
+		if o.Scope != leo.ScopeGlobal && byDay[o.Day] > 0 {
+			smallSpikes++
+		}
+	}
+	if smallSpikes < 30 {
+		t.Fatalf("only %d transient outages visible in the keyword series", smallSpikes)
+	}
+}
+
+func TestFig6SentimentGateAblation(t *testing.T) {
+	c, _, _ := studyCorpus(t)
+	gated := OutageKeywordSeries(c, analyzer, nlp.OutageDictionary(), true)
+	ungated := OutageKeywordSeries(c, analyzer, nlp.OutageDictionary(), false)
+	var gatedTotal, ungatedTotal int
+	for i := range gated {
+		gatedTotal += gated[i].Count
+		ungatedTotal += ungated[i].Count
+		if gated[i].Count > ungated[i].Count {
+			t.Fatal("gating increased a count")
+		}
+	}
+	if ungatedTotal <= gatedTotal {
+		t.Fatalf("gate removed nothing: %d vs %d", gatedTotal, ungatedTotal)
+	}
+}
+
+func TestMonitorComparison(t *testing.T) {
+	c, _, cfg := studyCorpus(t)
+	series := OutageKeywordSeries(c, analyzer, nlp.OutageDictionary(), true)
+	outageDays := map[timeline.Day]bool{}
+	for _, o := range cfg.Outages {
+		outageDays[o.Day] = true
+	}
+	cmp := CompareMonitors(series, outageDays, 3, 150)
+	if cmp.TotalOutageDays == 0 {
+		t.Fatal("no ground-truth outage days")
+	}
+	if cmp.KeywordDetectedDays <= cmp.BaselineDetectedDays {
+		t.Fatalf("keyword monitor (%d) should beat the large-incident baseline (%d)",
+			cmp.KeywordDetectedDays, cmp.BaselineDetectedDays)
+	}
+	if cmp.BaselineDetectedDays < 2 {
+		t.Fatalf("baseline should still catch the big reported outages, got %d", cmp.BaselineDetectedDays)
+	}
+	recall := float64(cmp.KeywordDetectedDays) / float64(cmp.TotalOutageDays)
+	if recall < 0.3 {
+		t.Fatalf("keyword monitor recall %v too low", recall)
+	}
+}
+
+func TestAlertsFromSeries(t *testing.T) {
+	series := []DayKeywords{{Day: 1, Count: 5}, {Day: 2, Count: 1}, {Day: 3, Count: 9}}
+	alerts := AlertsFromSeries(series, 5)
+	if len(alerts) != 2 || alerts[0].Day != 1 || alerts[1].Day != 3 {
+		t.Fatalf("alerts = %+v", alerts)
+	}
+}
+
+func TestDailySentimentShape(t *testing.T) {
+	c, _, _ := studyCorpus(t)
+	daily := DailySentiment(c, analyzer)
+	if len(daily) != c.Window.Len() {
+		t.Fatalf("daily length %d", len(daily))
+	}
+	var posts int
+	for _, d := range daily {
+		if d.StrongPos < 0 || d.StrongNeg < 0 || d.Strong() > d.Posts*2 {
+			t.Fatalf("implausible day: %+v", d)
+		}
+		posts += d.Posts
+	}
+	if posts != c.Len() {
+		t.Fatalf("daily posts %d != corpus %d", posts, c.Len())
+	}
+}
+
+func TestOutageGeography(t *testing.T) {
+	c, _, _ := studyCorpus(t)
+	// The pipeline (keyword + sentiment gate) must localize the April
+	// outage to 14+ countries with a strong US majority — without ever
+	// reading the generator's ground truth.
+	geo := OutageGeography(c, analyzer, nlp.OutageDictionary(), timeline.Date(2022, time.April, 22))
+	if len(geo) < 14 {
+		t.Fatalf("April outage localized to %d countries, want >= 14: %v", len(geo), geo)
+	}
+	if geo["US"] < 100 {
+		t.Fatalf("US reports = %d, want ~190", geo["US"])
+	}
+	// A quiet day yields little.
+	quiet := OutageGeography(c, analyzer, nlp.OutageDictionary(), timeline.Date(2022, time.June, 8))
+	total := 0
+	for _, n := range quiet {
+		total += n
+	}
+	if total > 20 {
+		t.Fatalf("quiet-day outage geography too loud: %v", quiet)
+	}
+}
+
+func TestBigramTrends(t *testing.T) {
+	c, _, _ := studyCorpus(t)
+	// Event-day bursts mint many heavy bigrams, so give the miner a large
+	// budget; the early trickle's bigram has a modest surge weight.
+	trends := MineTrends(c, analyzer, TrendOptions{Bigrams: true, MaxTerms: 600})
+	found := false
+	for _, tr := range trends {
+		if tr.Term == "roam enabl" {
+			found = true
+			if tr.PositiveShare < 0.5 {
+				t.Fatalf("bigram surge should be positive: %+v", tr)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("'roam enabl' bigram not mined; terms: %v", trendTerms(trends))
+	}
+}
+
+func TestRoamingTrendLeadTime(t *testing.T) {
+	c, _, _ := studyCorpus(t)
+	trends := MineTrends(c, analyzer, TrendOptions{})
+	tweetDay := timeline.Date(2022, time.March, 3)
+	lead, ok := LeadTime(trends, "roaming", tweetDay)
+	if !ok {
+		t.Fatalf("'roaming' never surfaced before the announcement; trends: %+v", trendTerms(trends))
+	}
+	if lead < 7 || lead > 21 {
+		t.Fatalf("roaming lead time %d days, paper: ~2 weeks", lead)
+	}
+	// And the surge is positive, as the paper observed.
+	for _, tr := range trends {
+		if tr.Term == nlp.Stem("roaming") {
+			if tr.PositiveShare < 0.5 {
+				t.Fatalf("roaming positive share %v", tr.PositiveShare)
+			}
+		}
+	}
+	// Established vocabulary must not appear as emerging.
+	for _, tr := range trends {
+		if tr.Term == "dish" || tr.Term == "speed" {
+			t.Fatalf("established term %q flagged as emerging", tr.Term)
+		}
+	}
+}
+
+func TestLeadTimeMiss(t *testing.T) {
+	if _, ok := LeadTime(nil, "roaming", 100); ok {
+		t.Fatal("empty trends produced a lead time")
+	}
+}
+
+func TestFig7MonthlySpeeds(t *testing.T) {
+	c, _, cfg := studyCorpus(t)
+	ms := MonthlySpeeds(c, analyzer, cfg.Model, 7)
+	if len(ms) != 24 {
+		t.Fatalf("%d months, want 24", len(ms))
+	}
+	total := 0
+	for _, m := range ms {
+		total += m.Reports
+	}
+	if total < 1200 || total > 2100 {
+		t.Fatalf("extracted reports = %d, want ~1750", total)
+	}
+
+	get := func(y, mo int) MonthSpeed {
+		for _, m := range ms {
+			if m.Month.Year() == y && int(m.Month.Month()) == mo {
+				return m
+			}
+		}
+		t.Fatalf("month %d-%d missing", y, mo)
+		return MonthSpeed{}
+	}
+	feb21 := get(2021, 2)
+	sep21 := get(2021, 9)
+	dec22 := get(2022, 12)
+	// The Fig. 7 arc, recovered through OCR.
+	if !(sep21.MedianDownMbps > feb21.MedianDownMbps) {
+		t.Fatalf("speeds should rise Feb'21 (%v) → Sep'21 (%v)", feb21.MedianDownMbps, sep21.MedianDownMbps)
+	}
+	if !(dec22.MedianDownMbps < sep21.MedianDownMbps) {
+		t.Fatalf("speeds should fall Sep'21 (%v) → Dec'22 (%v)", sep21.MedianDownMbps, dec22.MedianDownMbps)
+	}
+	// Subsampled medians track the full median (stability claim).
+	for _, m := range ms {
+		if m.Reports < 20 {
+			continue
+		}
+		if math.Abs(m.Median95-m.MedianDownMbps)/m.MedianDownMbps > 0.12 ||
+			math.Abs(m.Median90-m.MedianDownMbps)/m.MedianDownMbps > 0.15 {
+			t.Fatalf("subsample medians diverge in %v: full=%v p95=%v p90=%v",
+				m.Month, m.MedianDownMbps, m.Median95, m.Median90)
+		}
+	}
+	// Annotations present: launches and users grow.
+	if sep21.Users <= feb21.Users || dec22.Users <= sep21.Users {
+		t.Fatal("user annotations not growing")
+	}
+}
+
+func TestFig7Conditioning(t *testing.T) {
+	c, _, cfg := studyCorpus(t)
+	ms := MonthlySpeeds(c, analyzer, cfg.Model, 7)
+	finding := AnalyzeConditioning(ms)
+	if math.IsNaN(finding.SpeedPosCorrelation) || finding.SpeedPosCorrelation < 0 {
+		t.Fatalf("Pos should broadly follow speed: r=%v", finding.SpeedPosCorrelation)
+	}
+	if !finding.DecemberBelowApril {
+		t.Fatal("conditioning anomaly missing: Dec'21 should have higher speed but lower Pos than Apr'21")
+	}
+}
+
+func TestConditioningAblation(t *testing.T) {
+	// With conditioning off in the generator, sentiment follows absolute
+	// speed and the Dec-vs-Apr anomaly should (usually) vanish.
+	cfg := social.DefaultConfig(23)
+	cfg.ConditioningOff = true
+	c, err := social.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := MonthlySpeeds(c, analyzer, cfg.Model, 7)
+	finding := AnalyzeConditioning(ms)
+	if finding.DecemberBelowApril {
+		t.Fatal("ablation: anomaly persisted with conditioning off")
+	}
+}
+
+func trendTerms(trends []Trend) []string {
+	out := make([]string, len(trends))
+	for i, tr := range trends {
+		out[i] = tr.Term
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

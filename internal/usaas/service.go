@@ -1,0 +1,668 @@
+package usaas
+
+import (
+	"bufio"
+	"crypto/subtle"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"usersignals/internal/leo"
+	"usersignals/internal/newswire"
+	"usersignals/internal/nlp"
+	"usersignals/internal/social"
+	"usersignals/internal/stats"
+	"usersignals/internal/telemetry"
+	"usersignals/internal/timeline"
+)
+
+// Store is the service's ingested-signal repository: session telemetry
+// (implicit + sparse explicit feedback) and social posts (offline explicit
+// feedback). Safe for concurrent use.
+type Store struct {
+	mu       sync.RWMutex
+	sessions []telemetry.SessionRecord
+	posts    []social.Post
+	corpus   *social.Corpus // rebuilt lazily from posts
+}
+
+// AddSessions ingests session records.
+func (s *Store) AddSessions(recs []telemetry.SessionRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sessions = append(s.sessions, recs...)
+}
+
+// AddPosts ingests social posts.
+func (s *Store) AddPosts(posts []social.Post) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.posts = append(s.posts, posts...)
+	s.corpus = nil
+}
+
+// Sessions returns a snapshot copy of the sessions.
+func (s *Store) Sessions() []telemetry.SessionRecord {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]telemetry.SessionRecord(nil), s.sessions...)
+}
+
+// Corpus returns the posts as a day-indexed corpus (nil when no posts have
+// been ingested).
+func (s *Store) Corpus() *social.Corpus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.corpus == nil && len(s.posts) > 0 {
+		lo, hi := s.posts[0].Day, s.posts[0].Day
+		for _, p := range s.posts {
+			if p.Day < lo {
+				lo = p.Day
+			}
+			if p.Day > hi {
+				hi = p.Day
+			}
+		}
+		s.corpus = social.NewCorpus(timeline.Range{From: lo, To: hi},
+			append([]social.Post(nil), s.posts...))
+	}
+	return s.corpus
+}
+
+// Counts returns the store sizes.
+func (s *Store) Counts() (sessions, posts int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.sessions), len(s.posts)
+}
+
+// ServerOptions configures the USaaS HTTP service.
+type ServerOptions struct {
+	// Analyzer defaults to nlp.NewAnalyzer().
+	Analyzer *nlp.Analyzer
+	// OutageDict defaults to nlp.OutageDictionary().
+	OutageDict *nlp.Dictionary
+	// News enables peak annotation (optional).
+	News *newswire.Index
+	// Model enables Fig. 7 launch/subscriber annotations (optional).
+	Model *leo.Model
+	// MaxBodyBytes caps ingest request bodies (default 64 MiB).
+	MaxBodyBytes int64
+	// AuthToken, when set, requires every request to carry
+	// "Authorization: Bearer <token>" — the §5 "access control for
+	// different stakeholders" in its simplest form. Empty disables auth.
+	AuthToken string
+}
+
+// Server is the USaaS HTTP service.
+type Server struct {
+	store *Store
+	opts  ServerOptions
+	mux   *http.ServeMux
+}
+
+// NewServer builds a service around a store (a fresh one if nil).
+func NewServer(store *Store, opts ServerOptions) *Server {
+	if store == nil {
+		store = &Store{}
+	}
+	if opts.Analyzer == nil {
+		opts.Analyzer = nlp.NewAnalyzer()
+	}
+	if opts.OutageDict == nil {
+		opts.OutageDict = nlp.OutageDictionary()
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 64 << 20
+	}
+	s := &Server{store: store, opts: opts, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/v1/sessions", s.handleSessions)
+	s.mux.HandleFunc("/v1/posts", s.handlePosts)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/insights/engagement", s.handleEngagement)
+	s.mux.HandleFunc("/v1/insights/mos", s.handleMOS)
+	s.mux.HandleFunc("/v1/insights/sentiment", s.handleSentiment)
+	s.mux.HandleFunc("/v1/insights/peaks", s.handlePeaks)
+	s.mux.HandleFunc("/v1/insights/outages", s.handleOutages)
+	s.mux.HandleFunc("/v1/insights/speeds", s.handleSpeeds)
+	s.mux.HandleFunc("/v1/insights/trends", s.handleTrends)
+	s.mux.HandleFunc("/v1/query/experience", s.handleExperience)
+	s.mux.HandleFunc("/v1/insights/confounders", s.handleConfounders)
+	s.mux.HandleFunc("/v1/advice/traffic-engineering", s.handleTEAdvice)
+	s.mux.HandleFunc("/v1/advice/deployment", s.handleDeploymentAdvice)
+	s.mux.HandleFunc("/v1/report", s.handleReport)
+	s.mux.HandleFunc("/v1/insights/incidents", s.handleIncidents)
+	return s
+}
+
+// IncidentResponse pairs the daily series with detected incidents.
+type IncidentResponse struct {
+	Engagement string          `json:"engagement"`
+	Days       []DayEngagement `json:"days"`
+	Incidents  []Incident      `json:"incidents"`
+}
+
+func (s *Server) handleIncidents(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	eng, err := parseEngagement(r.URL.Query().Get("engagement"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	days := DailyEngagement(s.store.Sessions(), nil)
+	if len(days) == 0 {
+		writeErr(w, http.StatusNotFound, "no sessions ingested")
+		return
+	}
+	incidents := EngagementIncidents(days, eng, IncidentOptions{
+		MinDrop: queryFloat(r, "min_drop", 0),
+	})
+	writeJSON(w, http.StatusOK, IncidentResponse{
+		Engagement: eng.String(), Days: days, Incidents: incidents,
+	})
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	rep := BuildReport(s.store, s.opts.Analyzer, s.opts)
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, rep.Render())
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// Handler returns the HTTP handler, wrapped with bearer-token auth when
+// configured.
+func (s *Server) Handler() http.Handler {
+	if s.opts.AuthToken == "" {
+		return s.mux
+	}
+	want := "Bearer " + s.opts.AuthToken
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if subtle.ConstantTimeCompare([]byte(r.Header.Get("Authorization")), []byte(want)) != 1 {
+			writeErr(w, http.StatusUnauthorized, "missing or invalid bearer token")
+			return
+		}
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// --- helpers ---
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		writeErr(w, http.StatusMethodNotAllowed, "method %s not allowed; use %s", r.Method, method)
+		return false
+	}
+	return true
+}
+
+func queryInt(r *http.Request, key string, def int) int {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return def
+	}
+	return n
+}
+
+func queryFloat(r *http.Request, key string, def float64) float64 {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return def
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return def
+	}
+	return f
+}
+
+// --- ingestion ---
+
+// IngestResponse acknowledges an ingest call.
+type IngestResponse struct {
+	Accepted      int `json:"accepted"`
+	TotalSessions int `json:"total_sessions"`
+	TotalPosts    int `json:"total_posts"`
+}
+
+// isNDJSON reports whether the request body is JSON Lines (one record per
+// line) rather than a JSON array.
+func isNDJSON(r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	return strings.Contains(ct, "ndjson") || strings.Contains(ct, "jsonlines") || strings.Contains(ct, "jsonl")
+}
+
+func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	var recs []telemetry.SessionRecord
+	if isNDJSON(r) {
+		if err := telemetry.ReadJSONL(body, func(rec *telemetry.SessionRecord) error {
+			recs = append(recs, *rec)
+			return nil
+		}); err != nil {
+			writeErr(w, http.StatusBadRequest, "decoding NDJSON sessions: %v", err)
+			return
+		}
+	} else if err := json.NewDecoder(body).Decode(&recs); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding sessions: %v", err)
+		return
+	}
+	s.store.AddSessions(recs)
+	sessions, posts := s.store.Counts()
+	writeJSON(w, http.StatusOK, IngestResponse{Accepted: len(recs), TotalSessions: sessions, TotalPosts: posts})
+}
+
+func (s *Server) handlePosts(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	var posts []social.Post
+	if isNDJSON(r) {
+		sc := bufio.NewScanner(body)
+		sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+		line := 0
+		for sc.Scan() {
+			line++
+			if len(sc.Bytes()) == 0 {
+				continue
+			}
+			var p social.Post
+			if err := json.Unmarshal(sc.Bytes(), &p); err != nil {
+				writeErr(w, http.StatusBadRequest, "decoding NDJSON posts line %d: %v", line, err)
+				return
+			}
+			posts = append(posts, p)
+		}
+		if err := sc.Err(); err != nil {
+			writeErr(w, http.StatusBadRequest, "reading NDJSON posts: %v", err)
+			return
+		}
+	} else if err := json.NewDecoder(body).Decode(&posts); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding posts: %v", err)
+		return
+	}
+	s.store.AddPosts(posts)
+	sessions, total := s.store.Counts()
+	writeJSON(w, http.StatusOK, IngestResponse{Accepted: len(posts), TotalSessions: sessions, TotalPosts: total})
+}
+
+// StatsResponse reports store contents.
+type StatsResponse struct {
+	Sessions int `json:"sessions"`
+	Posts    int `json:"posts"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	sessions, posts := s.store.Counts()
+	writeJSON(w, http.StatusOK, StatsResponse{Sessions: sessions, Posts: posts})
+}
+
+// --- insights ---
+
+// zeroNaNs copies a series replacing NaN with 0; consumers must treat
+// Count[i] == 0 bins as "no data" (documented on EngagementResponse).
+func zeroNaNs(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		if !math.IsNaN(x) {
+			out[i] = x
+		}
+	}
+	return out
+}
+
+// EngagementResponse is a dose-response curve. Bins with Count == 0 carry
+// no data; their Y and Normalized entries are zeroed placeholders.
+type EngagementResponse struct {
+	Metric     string    `json:"metric"`
+	Engagement string    `json:"engagement"`
+	X          []float64 `json:"x"`
+	Y          []float64 `json:"y"`
+	Normalized []float64 `json:"normalized"`
+	Count      []int     `json:"count"`
+}
+
+func parseMetric(name string) (telemetry.Metric, error) {
+	for m := telemetry.LatencyMean; m <= telemetry.BandwidthP95; m++ {
+		if m.String() == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown metric %q", name)
+}
+
+func parseEngagement(name string) (telemetry.Engagement, error) {
+	for _, e := range telemetry.Engagements() {
+		if e.String() == name {
+			return e, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown engagement %q", name)
+}
+
+func (s *Server) handleEngagement(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	metric, err := parseMetric(r.URL.Query().Get("metric"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	eng, err := parseEngagement(r.URL.Query().Get("engagement"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	lo := queryFloat(r, "lo", 0)
+	hi := queryFloat(r, "hi", 300)
+	bins := queryInt(r, "bins", 10)
+	if hi <= lo || bins < 1 || bins > 1000 {
+		writeErr(w, http.StatusBadRequest, "invalid binning lo=%v hi=%v bins=%d", lo, hi, bins)
+		return
+	}
+	var filter telemetry.Filter
+	if isp := r.URL.Query().Get("isp"); isp != "" {
+		filter = telemetry.OnISP(isp)
+	}
+	series, err := DoseResponse(s.store.Sessions(), metric, eng, stats.NewBinner(lo, hi, bins), filter)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	norm := Normalize100(series)
+	writeJSON(w, http.StatusOK, EngagementResponse{
+		Metric:     metric.String(),
+		Engagement: eng.String(),
+		X:          series.X,
+		Y:          zeroNaNs(series.Y),
+		Normalized: zeroNaNs(norm.Y),
+		Count:      series.Count,
+	})
+}
+
+// MOSResponse carries the Fig. 4 correlations and the predictor evaluation.
+type MOSResponse struct {
+	Correlations []MOSCorrelation `json:"correlations"`
+	Predictor    *PredictorEval   `json:"predictor,omitempty"`
+}
+
+// MOSCorrelation is the wire form of EngagementMOS.
+type MOSCorrelation struct {
+	Engagement    string  `json:"engagement"`
+	Pearson       float64 `json:"pearson"`
+	Spearman      float64 `json:"spearman"`
+	RatedSessions int     `json:"rated_sessions"`
+}
+
+func (s *Server) handleMOS(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	recs := s.store.Sessions()
+	report, err := MOSReport(recs, queryInt(r, "bins", 10), nil)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	resp := MOSResponse{}
+	for _, em := range report {
+		resp.Correlations = append(resp.Correlations, MOSCorrelation{
+			Engagement:    em.Engagement.String(),
+			Pearson:       em.Pearson,
+			Spearman:      em.Spearman,
+			RatedSessions: em.RatedSessions,
+		})
+	}
+	if eval, err := EvaluateMOSPredictor(recs, 0.7, 1.0); err == nil {
+		resp.Predictor = &eval
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) corpusOr404(w http.ResponseWriter) *social.Corpus {
+	c := s.store.Corpus()
+	if c == nil {
+		writeErr(w, http.StatusNotFound, "no posts ingested")
+		return nil
+	}
+	return c
+}
+
+func (s *Server) handleSentiment(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	c := s.corpusOr404(w)
+	if c == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, DailySentiment(c, s.opts.Analyzer))
+}
+
+func (s *Server) handlePeaks(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	c := s.corpusOr404(w)
+	if c == nil {
+		return
+	}
+	k := queryInt(r, "k", 3)
+	if k < 1 || k > 50 {
+		writeErr(w, http.StatusBadRequest, "k out of range")
+		return
+	}
+	writeJSON(w, http.StatusOK, AnnotatePeaks(c, s.opts.Analyzer, s.opts.News, k))
+}
+
+func (s *Server) handleOutages(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	c := s.corpusOr404(w)
+	if c == nil {
+		return
+	}
+	series := OutageKeywordSeries(c, s.opts.Analyzer, s.opts.OutageDict, true)
+	threshold := queryInt(r, "threshold", 0)
+	if threshold > 0 {
+		writeJSON(w, http.StatusOK, AlertsFromSeries(series, threshold))
+		return
+	}
+	writeJSON(w, http.StatusOK, series)
+}
+
+func (s *Server) handleSpeeds(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	c := s.corpusOr404(w)
+	if c == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, MonthlySpeeds(c, s.opts.Analyzer, s.opts.Model, 1))
+}
+
+func (s *Server) handleTrends(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	c := s.corpusOr404(w)
+	if c == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, MineTrends(c, s.opts.Analyzer, TrendOptions{}))
+}
+
+func (s *Server) handleConfounders(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	eng, err := parseEngagement(r.URL.Query().Get("engagement"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	effects, err := ConfounderReport(s.store.Sessions(), eng)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, effects)
+}
+
+func (s *Server) handleTEAdvice(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	recos, err := AdviseTrafficEngineering(s.store.Sessions())
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, recos)
+}
+
+func (s *Server) handleDeploymentAdvice(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	if s.opts.Model == nil {
+		writeErr(w, http.StatusNotFound, "no constellation model configured")
+		return
+	}
+	from := timeline.Day(queryInt(r, "from", int(timeline.Date(2022, 6, 1))))
+	horizon := timeline.Day(queryInt(r, "horizon", int(timeline.Date(2022, 12, 1))))
+	maxExtra := queryInt(r, "max", 8)
+	sats := queryInt(r, "sats", 50)
+	target := queryFloat(r, "target", 0)
+	advice, err := AdviseDeployment(s.opts.Model, from, horizon, maxExtra, sats, target)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, advice)
+}
+
+// ExperienceResponse answers the §5 cross-source query: how users of one
+// access network experience the conferencing service, fused from implicit
+// actions, sparse surveys, the trained predictor, and social sentiment.
+type ExperienceResponse struct {
+	ISP            string  `json:"isp"`
+	Sessions       int     `json:"sessions"`
+	MeanPresence   float64 `json:"mean_presence_pct"`
+	MeanCamOn      float64 `json:"mean_cam_on_pct"`
+	MeanMicOn      float64 `json:"mean_mic_on_pct"`
+	SurveyedMOS    float64 `json:"surveyed_mos"`
+	SurveyedCount  int     `json:"surveyed_count"`
+	PredictedMOS   float64 `json:"predicted_mos"`
+	SocialPosRatio float64 `json:"social_pos_ratio"`
+	OutageMentions int     `json:"outage_mentions"`
+}
+
+func (s *Server) handleExperience(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	isp := r.URL.Query().Get("isp")
+	if isp == "" {
+		writeErr(w, http.StatusBadRequest, "isp parameter required")
+		return
+	}
+	recs := s.store.Sessions()
+	var sub []telemetry.SessionRecord
+	for i := range recs {
+		if recs[i].ISP == isp {
+			sub = append(sub, recs[i])
+		}
+	}
+	if len(sub) == 0 {
+		writeErr(w, http.StatusNotFound, "no sessions for isp %q", isp)
+		return
+	}
+	resp := ExperienceResponse{ISP: isp, Sessions: len(sub)}
+	var pres, cam, mic stats.Online
+	var ratings []int
+	for i := range sub {
+		pres.Add(sub[i].PresencePct)
+		cam.Add(sub[i].CamOnPct)
+		mic.Add(sub[i].MicOnPct)
+		if sub[i].Rated {
+			ratings = append(ratings, sub[i].Rating)
+		}
+	}
+	resp.MeanPresence = pres.Mean()
+	resp.MeanCamOn = cam.Mean()
+	resp.MeanMicOn = mic.Mean()
+	if mos, ok := telemetry.MOS(ratings); ok {
+		resp.SurveyedMOS = mos
+		resp.SurveyedCount = len(ratings)
+	}
+	// Predict MOS over every session of the ISP with a model trained on
+	// the full population (engagement generalizes across access networks).
+	if p, err := TrainMOSPredictor(recs, 1.0); err == nil {
+		var acc stats.Online
+		for i := range sub {
+			acc.Add(p.Predict(&sub[i]))
+		}
+		resp.PredictedMOS = acc.Mean()
+	}
+	// Social side: overall strong-sentiment balance and outage chatter.
+	if c := s.store.Corpus(); c != nil {
+		var pos, neg, outage int
+		for i := range c.Posts {
+			sc := s.opts.Analyzer.Score(c.Posts[i].Text())
+			if sc.StrongPositive() {
+				pos++
+			}
+			if sc.StrongNegative() {
+				neg++
+			}
+			if s.opts.OutageDict.Matches(c.Posts[i].ThreadText()) && sc.Negative > sc.Positive {
+				outage++
+			}
+		}
+		if pos+neg > 0 {
+			resp.SocialPosRatio = float64(pos) / float64(pos+neg)
+		}
+		resp.OutageMentions = outage
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

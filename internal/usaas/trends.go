@@ -1,0 +1,185 @@
+package usaas
+
+import (
+	"math"
+	"sort"
+
+	"usersignals/internal/nlp"
+	"usersignals/internal/social"
+	"usersignals/internal/timeline"
+)
+
+// Trend is an emerging topic surfaced by the miner: a term whose
+// popularity-weighted discussion volume surged from a silent baseline.
+type Trend struct {
+	Term string
+	// FirstDay is the first day of the surge window.
+	FirstDay timeline.Day
+	// Weight is the popularity-weighted volume over the surge window.
+	Weight float64
+	// PositiveShare is the fraction of surge posts with positive-leaning
+	// sentiment (the roaming discussions were positive).
+	PositiveShare float64
+}
+
+// TrendOptions tunes MineTrends.
+type TrendOptions struct {
+	// WindowDays is the surge-detection window (default 7).
+	WindowDays int
+	// MinWeight is the minimum windowed weight to call a surge
+	// (default 40).
+	MinWeight float64
+	// BaselineMax is the maximum average daily weight allowed over the
+	// 30 days before the surge for the term to count as *emerging*
+	// (default 1).
+	BaselineMax float64
+	// MaxTerms bounds the result (default 20).
+	MaxTerms int
+	// Bigrams additionally mines adjacent stem pairs ("roam enabl") —
+	// the paper reports both "roaming" and "roaming enabled" as the
+	// surge's most common terms.
+	Bigrams bool
+}
+
+func (o TrendOptions) withDefaults() TrendOptions {
+	if o.WindowDays <= 0 {
+		o.WindowDays = 7
+	}
+	if o.MinWeight <= 0 {
+		o.MinWeight = 40
+	}
+	if o.BaselineMax <= 0 {
+		o.BaselineMax = 1
+	}
+	if o.MaxTerms <= 0 {
+		o.MaxTerms = 60
+	}
+	return o
+}
+
+// MineTrends implements the §4.1 early-detection pipeline: it weights each
+// post by its community traction (log of upvotes+comments), accumulates
+// per-day stemmed-term weights, and reports terms whose windowed weight
+// surges out of a silent baseline — the mechanism that surfaced "roaming"
+// two weeks before the official announcement.
+func MineTrends(c *social.Corpus, an *nlp.Analyzer, opts TrendOptions) []Trend {
+	opts = opts.withDefaults()
+	days := c.Window.Len()
+
+	// Per-day term weights and per-term positive/total post counts.
+	type termDay struct {
+		weight map[timeline.Day]float64
+		pos    int
+		total  int
+	}
+	terms := map[string]*termDay{}
+	c.Window.Days(func(d timeline.Day) {
+		for _, p := range c.OnDay(d) {
+			w := 1 + math.Log1p(float64(p.Upvotes+p.Comments))
+			s := an.Score(p.Text())
+			positive := s.Positive > s.Negative
+			seen := map[string]bool{}
+			record := func(term string) {
+				if seen[term] {
+					return
+				}
+				seen[term] = true
+				td := terms[term]
+				if td == nil {
+					td = &termDay{weight: map[timeline.Day]float64{}}
+					terms[term] = td
+				}
+				td.weight[d] += w
+				td.total++
+				if positive {
+					td.pos++
+				}
+			}
+			prev := ""
+			for _, tok := range nlp.ContentTokens(p.Text()) {
+				stem := nlp.Stem(tok)
+				record(stem)
+				if opts.Bigrams && prev != "" {
+					record(prev + " " + stem)
+				}
+				prev = stem
+			}
+		}
+	})
+
+	var out []Trend
+	for term, td := range terms {
+		// Scan for the first window whose weight crosses MinWeight with a
+		// quiet 30-day baseline before it. Windows in the first 30 days
+		// have no baseline to judge against, so they cannot qualify —
+		// otherwise the corpus's ordinary vocabulary would all "emerge"
+		// on day one.
+		for i := 30; i+opts.WindowDays <= days; i++ {
+			start := c.Window.From + timeline.Day(i)
+			var windowW float64
+			for j := 0; j < opts.WindowDays; j++ {
+				windowW += td.weight[start+timeline.Day(j)]
+			}
+			if windowW < opts.MinWeight {
+				continue
+			}
+			var baseW float64
+			baseDays := 0
+			for j := 1; j <= 30; j++ {
+				d := start - timeline.Day(j)
+				if d < c.Window.From {
+					break
+				}
+				baseW += td.weight[d]
+				baseDays++
+			}
+			if baseDays > 0 && baseW/float64(baseDays) > opts.BaselineMax {
+				break // established topic, not emerging
+			}
+			// Anchor the trend at the first day inside the window that
+			// actually carries weight (not the window's leading edge),
+			// and measure the surge weight from there so a surge that
+			// starts mid-window is not under-weighted.
+			first := start
+			for j := 0; j < opts.WindowDays; j++ {
+				if td.weight[start+timeline.Day(j)] > 0 {
+					first = start + timeline.Day(j)
+					break
+				}
+			}
+			surgeW := 0.0
+			for j := 0; j < opts.WindowDays; j++ {
+				surgeW += td.weight[first+timeline.Day(j)]
+			}
+			out = append(out, Trend{
+				Term:          term,
+				FirstDay:      first,
+				Weight:        surgeW,
+				PositiveShare: float64(td.pos) / float64(td.total),
+			})
+			break
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		return out[i].Term < out[j].Term
+	})
+	if len(out) > opts.MaxTerms {
+		out = out[:opts.MaxTerms]
+	}
+	return out
+}
+
+// LeadTime returns how many days before reference the term surged, or
+// (0, false) if the term never surfaced before it.
+func LeadTime(trends []Trend, term string, reference timeline.Day) (int, bool) {
+	stem := nlp.Stem(term)
+	for _, tr := range trends {
+		if tr.Term == stem && tr.FirstDay < reference {
+			return int(reference - tr.FirstDay), true
+		}
+	}
+	return 0, false
+}

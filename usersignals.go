@@ -1,0 +1,266 @@
+// Package usersignals is the public API of the User Signals as-a-Service
+// reproduction of "Don't Forget the User: It's Time to Rethink Network
+// Measurements" (HotNets '23).
+//
+// It curates the stable surface of the internal packages into three groups:
+//
+//   - Workload generation: synthetic conferencing-call telemetry (the MS
+//     Teams stand-in of §3) and a two-year social corpus around a deploying
+//     LEO constellation (the r/Starlink stand-in of §4), both fully
+//     deterministic under an explicit seed.
+//   - Analyses: the paper's studies as functions — engagement dose-response
+//     with confounder control, compounding grids, platform stratification,
+//     engagement↔MOS correlation, the MOS predictor, sentiment peaks with
+//     news annotation, the outage-keyword monitor, monthly OCR speed
+//     medians with conditioning analysis, and the early-trend miner.
+//   - The USaaS service: an HTTP server and typed client that ingest both
+//     signal families and answer operator queries (§5).
+//
+// See the examples directory for runnable end-to-end walkthroughs and
+// cmd/figures for the full figure-by-figure reproduction.
+package usersignals
+
+import (
+	"time"
+
+	"usersignals/internal/conference"
+	"usersignals/internal/leo"
+	"usersignals/internal/newswire"
+	"usersignals/internal/nlp"
+	"usersignals/internal/ocr"
+	"usersignals/internal/social"
+	"usersignals/internal/stats"
+	"usersignals/internal/telemetry"
+	"usersignals/internal/timeline"
+	"usersignals/internal/usaas"
+)
+
+// --- dataset generation -----------------------------------------------
+
+// CallOptions configures conferencing-dataset generation.
+type CallOptions = conference.Options
+
+// DefaultCallOptions returns the standard configuration for n calls under
+// the given seed.
+func DefaultCallOptions(seed uint64, n int) CallOptions {
+	return conference.Defaults(seed, n)
+}
+
+// SessionRecord is one participant-session of call telemetry (§3.1).
+type SessionRecord = telemetry.SessionRecord
+
+// GenerateCalls produces the session records of a simulated call workload.
+func GenerateCalls(opts CallOptions) ([]SessionRecord, error) {
+	g, err := conference.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	return g.GenerateAll()
+}
+
+// StreamCalls produces records one at a time through emit (the record is
+// reused between calls; copy to retain).
+func StreamCalls(opts CallOptions, emit func(*SessionRecord) error) error {
+	g, err := conference.New(opts)
+	if err != nil {
+		return err
+	}
+	return g.Generate(emit)
+}
+
+// SocialConfig configures social-corpus generation.
+type SocialConfig = social.Config
+
+// DefaultSocialConfig returns the §4 study configuration.
+func DefaultSocialConfig(seed uint64) SocialConfig {
+	return social.DefaultConfig(seed)
+}
+
+// Corpus is a day-indexed post collection.
+type Corpus = social.Corpus
+
+// Post is one forum submission.
+type Post = social.Post
+
+// GenerateSocial produces the two-year social corpus.
+func GenerateSocial(cfg SocialConfig) (*Corpus, error) {
+	return social.Generate(cfg)
+}
+
+// ConstellationModel exposes the LEO capacity/subscriber timeline.
+type ConstellationModel = leo.Model
+
+// NewConstellationModel returns the historically parameterized model.
+func NewConstellationModel() *ConstellationModel { return leo.NewModel() }
+
+// NewsIndex is the dated keyword-searchable news corpus.
+type NewsIndex = newswire.Index
+
+// BuildNews generates coverage for a study configuration's timeline.
+func BuildNews(cfg SocialConfig) *NewsIndex {
+	return newswire.Build(cfg.Model.Launches(), cfg.Outages, cfg.Milestones)
+}
+
+// --- NLP and OCR primitives -------------------------------------------
+
+// SentimentAnalyzer scores text into (positive, negative, neutral).
+type SentimentAnalyzer = nlp.Analyzer
+
+// NewSentimentAnalyzer returns the default lexicon analyzer.
+func NewSentimentAnalyzer() *SentimentAnalyzer { return nlp.NewAnalyzer() }
+
+// OutageDictionary returns the §4.1 outage keyword dictionary.
+func OutageDictionary() *nlp.Dictionary { return nlp.OutageDictionary() }
+
+// ExtractScreenshot OCRs a speed-test screenshot into structured fields.
+func ExtractScreenshot(s ocr.Screenshot) (ocr.Extraction, error) { return ocr.Extract(s) }
+
+// --- analyses -----------------------------------------------------------
+
+// Metric selects a per-session network aggregate.
+type Metric = telemetry.Metric
+
+// Network metrics (means; P95 variants also exist in the internal API).
+const (
+	LatencyMean   = telemetry.LatencyMean
+	LossMean      = telemetry.LossMean
+	JitterMean    = telemetry.JitterMean
+	BandwidthMean = telemetry.BandwidthMean
+)
+
+// Engagement selects a user-engagement metric.
+type Engagement = telemetry.Engagement
+
+// Engagement metrics (§3.1).
+const (
+	Presence = telemetry.Presence
+	CamOn    = telemetry.CamOn
+	MicOn    = telemetry.MicOn
+)
+
+// Binner configures equal-width binning over a metric range.
+type Binner = stats.Binner
+
+// NewBinner returns a binner over [lo, hi) with n bins.
+func NewBinner(lo, hi float64, n int) Binner { return stats.NewBinner(lo, hi, n) }
+
+// BinnedSeries is a binned dose-response curve.
+type BinnedSeries = stats.BinnedSeries
+
+// DoseResponse computes engagement-vs-network curves (Fig. 1).
+func DoseResponse(records []SessionRecord, metric Metric, eng Engagement, b Binner) (BinnedSeries, error) {
+	return usaas.DoseResponse(records, metric, eng, b, nil)
+}
+
+// StudyDoseResponse applies the paper's cohort filter and control bands
+// before binning.
+func StudyDoseResponse(records []SessionRecord, metric Metric, eng Engagement, b Binner) (BinnedSeries, error) {
+	return usaas.DoseResponse(records, metric, eng, b, usaas.StudyFilter(metric))
+}
+
+// MOSReport computes the engagement↔MOS correlations (Fig. 4).
+func MOSReport(records []SessionRecord) ([]usaas.EngagementMOS, error) {
+	return usaas.MOSReport(records, 10, nil)
+}
+
+// TrainMOSPredictor fits the §5 engagement-based MOS predictor.
+func TrainMOSPredictor(records []SessionRecord) (*usaas.MOSPredictor, error) {
+	return usaas.TrainMOSPredictor(records, 1.0)
+}
+
+// DailySentiment computes the Fig. 5a daily series.
+func DailySentiment(c *Corpus, an *SentimentAnalyzer) []usaas.DaySentiment {
+	return usaas.DailySentiment(c, an)
+}
+
+// AnnotatePeaks detects and news-annotates the top-k sentiment peaks.
+func AnnotatePeaks(c *Corpus, an *SentimentAnalyzer, news *NewsIndex, k int) []usaas.AnnotatedPeak {
+	return usaas.AnnotatePeaks(c, an, news, k)
+}
+
+// OutageKeywordSeries computes the Fig. 6 daily keyword series with the
+// negative-sentiment gate applied.
+func OutageKeywordSeries(c *Corpus, an *SentimentAnalyzer) []usaas.DayKeywords {
+	return usaas.OutageKeywordSeries(c, an, nlp.OutageDictionary(), true)
+}
+
+// MonthlySpeeds runs the Fig. 7 OCR pipeline over a corpus.
+func MonthlySpeeds(c *Corpus, an *SentimentAnalyzer, model *ConstellationModel) []usaas.MonthSpeed {
+	return usaas.MonthlySpeeds(c, an, model, 1)
+}
+
+// MineTrends surfaces emerging, popularity-weighted discussion topics.
+func MineTrends(c *Corpus, an *SentimentAnalyzer) []usaas.Trend {
+	return usaas.MineTrends(c, an, usaas.TrendOptions{})
+}
+
+// DailyEngagement aggregates sessions into a per-day engagement series.
+func DailyEngagement(records []SessionRecord) []usaas.DayEngagement {
+	return usaas.DailyEngagement(records, nil)
+}
+
+// EngagementIncidents detects degraded-experience spans in a daily series:
+// §3.3's "early indication of call quality" as a monitor.
+func EngagementIncidents(days []usaas.DayEngagement, eng Engagement) []usaas.Incident {
+	return usaas.EngagementIncidents(days, eng, usaas.IncidentOptions{})
+}
+
+// ConfounderReport quantifies the §6 confounders (platform, meeting size)
+// on one engagement metric with network conditions controlled.
+func ConfounderReport(records []SessionRecord, eng Engagement) ([]usaas.ConfounderEffect, error) {
+	return usaas.ConfounderReport(records, eng)
+}
+
+// AdviseTrafficEngineering ranks network improvements by predicted MOS
+// payoff (§6).
+func AdviseTrafficEngineering(records []SessionRecord) ([]usaas.TERecommendation, error) {
+	return usaas.AdviseTrafficEngineering(records)
+}
+
+// AdviseDeployment evaluates constellation launch plans against a
+// sentiment target (§6).
+func AdviseDeployment(model *ConstellationModel, from, horizon Day, maxExtra, satsPerLaunch int, posTarget float64) (usaas.DeploymentAdvice, error) {
+	return usaas.AdviseDeployment(model, from, horizon, maxExtra, satsPerLaunch, posTarget)
+}
+
+// --- the USaaS service ---------------------------------------------------
+
+// Service is the USaaS HTTP server.
+type Service = usaas.Server
+
+// ServiceOptions configures the service.
+type ServiceOptions = usaas.ServerOptions
+
+// NewService builds a USaaS service (pass nil for a fresh store).
+func NewService(opts ServiceOptions) *Service {
+	return usaas.NewServer(nil, opts)
+}
+
+// ServiceClient is the typed HTTP client.
+type ServiceClient = usaas.Client
+
+// EngagementQuery parameterizes ServiceClient.Engagement.
+type EngagementQuery = usaas.EngagementQuery
+
+// NewServiceClient returns a client for a running service.
+func NewServiceClient(baseURL string) *ServiceClient {
+	return usaas.NewClient(baseURL, nil)
+}
+
+// --- calendar -------------------------------------------------------------
+
+// Day is a calendar day (days since 2021-01-01 UTC).
+type Day = timeline.Day
+
+// Date builds a Day from a calendar date.
+func Date(year int, month time.Month, day int) Day {
+	return timeline.Date(year, month, day)
+}
+
+// Study windows from the paper.
+var (
+	// TeamsWindow is the implicit-signals window (Jan–Apr 2022).
+	TeamsWindow = timeline.TeamsWindow
+	// StarlinkWindow is the explicit-signals window (Jan '21 – Dec '22).
+	StarlinkWindow = timeline.StarlinkWindow
+)

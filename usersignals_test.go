@@ -1,0 +1,177 @@
+package usersignals
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestPublicAPIEndToEnd walks the facade the way the README quickstart
+// does: generate both workloads, run one analysis from each study, and run
+// the service round trip.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	// Implicit-signals side.
+	opts := DefaultCallOptions(1, 120)
+	opts.SurveyRate = 0.05
+	recs, err := GenerateCalls(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 240 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	curve, err := DoseResponse(recs, LatencyMean, MicOn, NewBinner(0, 300, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve.X) != 6 {
+		t.Fatalf("curve bins = %d", len(curve.X))
+	}
+	if _, err := StudyDoseResponse(recs, LatencyMean, MicOn, NewBinner(0, 300, 6)); err != nil {
+		t.Fatal(err)
+	}
+	report, err := MOSReport(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report) != 3 {
+		t.Fatalf("MOS report entries = %d", len(report))
+	}
+	if _, err := TrainMOSPredictor(recs); err != nil {
+		t.Fatal(err)
+	}
+
+	// Explicit-signals side (smaller window for test speed).
+	cfg := DefaultSocialConfig(2)
+	cfg.Window = StarlinkWindow
+	corpus, err := GenerateSocial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := NewSentimentAnalyzer()
+	daily := DailySentiment(corpus, an)
+	if len(daily) != StarlinkWindow.Len() {
+		t.Fatalf("daily length = %d", len(daily))
+	}
+	news := BuildNews(cfg)
+	peaks := AnnotatePeaks(corpus, an, news, 3)
+	if len(peaks) != 3 {
+		t.Fatalf("peaks = %d", len(peaks))
+	}
+	series := OutageKeywordSeries(corpus, an)
+	if len(series) == 0 {
+		t.Fatal("empty outage series")
+	}
+	months := MonthlySpeeds(corpus, an, cfg.Model)
+	if len(months) != 24 {
+		t.Fatalf("months = %d", len(months))
+	}
+	if trends := MineTrends(corpus, an); len(trends) == 0 {
+		t.Fatal("no trends")
+	}
+
+	// The service round trip.
+	svc := NewService(ServiceOptions{News: news, Model: cfg.Model})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	client := NewServiceClient(ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if _, err := client.IngestSessions(ctx, recs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.IngestPosts(ctx, corpus.Posts[:2000]); err != nil {
+		t.Fatal(err)
+	}
+	st, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sessions != len(recs) || st.Posts != 2000 {
+		t.Fatalf("stats = %+v", st)
+	}
+	exp, err := client.Experience(ctx, "cablecorp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Sessions == 0 || exp.PredictedMOS < 1 {
+		t.Fatalf("experience = %+v", exp)
+	}
+}
+
+func TestFacadeExtensions(t *testing.T) {
+	opts := DefaultCallOptions(9, 250)
+	opts.SurveyRate = 0.05
+	recs, err := GenerateCalls(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	effects, err := ConfounderReport(recs, CamOn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(effects) != 2 {
+		t.Fatalf("confounders = %d", len(effects))
+	}
+
+	recos, err := AdviseTrafficEngineering(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recos) != 4 {
+		t.Fatalf("TE advice = %d", len(recos))
+	}
+
+	days := DailyEngagement(recs)
+	if len(days) == 0 {
+		t.Fatal("no daily engagement")
+	}
+	_ = EngagementIncidents(days, Presence) // quiet dataset: may be empty
+
+	model := NewConstellationModel()
+	advice, err := AdviseDeployment(model,
+		Date(2022, time.June, 1), Date(2022, time.December, 1), 3, 50, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(advice.Scenarios) != 4 {
+		t.Fatalf("deployment scenarios = %d", len(advice.Scenarios))
+	}
+}
+
+func TestDateAndWindows(t *testing.T) {
+	d := Date(2022, time.April, 22)
+	if d.String() != "2022-04-22" {
+		t.Fatalf("Date = %v", d)
+	}
+	if TeamsWindow.Len() != 120 || StarlinkWindow.Len() != 730 {
+		t.Fatal("study windows wrong")
+	}
+}
+
+func TestOCRFacade(t *testing.T) {
+	cfg := DefaultSocialConfig(3)
+	cfg.Window = StarlinkWindow
+	corpus, err := GenerateSocial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range corpus.Posts {
+		p := &corpus.Posts[i]
+		if p.Screenshot == nil {
+			continue
+		}
+		if _, err := ExtractScreenshot(*p.Screenshot); err == nil {
+			return // one successful extraction is all this facade test needs
+		}
+	}
+	t.Fatal("no screenshot extracted")
+}
+
+func TestOutageDictionaryFacade(t *testing.T) {
+	if !OutageDictionary().Matches("total outage in Ohio") {
+		t.Fatal("dictionary facade broken")
+	}
+}
