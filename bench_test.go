@@ -10,8 +10,10 @@ package usersignals
 import (
 	"context"
 	"net/http/httptest"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"usersignals/internal/conference"
 	"usersignals/internal/leo"
@@ -30,28 +32,42 @@ import (
 
 // --- cached datasets -----------------------------------------------------
 
-var benchCache sync.Map
+// benchEntry guards one cached dataset with its own sync.Once, so two
+// benchmarks racing on the same key (possible under -bench with parallel
+// subtests, and flagged by the race detector) generate it exactly once.
+type benchEntry struct {
+	once sync.Once
+	recs []telemetry.SessionRecord
+	err  error
+}
+
+var benchCache sync.Map // name -> *benchEntry
+
+func benchDataset(b *testing.B, name string, gen func() ([]telemetry.SessionRecord, error)) []telemetry.SessionRecord {
+	b.Helper()
+	v, _ := benchCache.LoadOrStore(name, &benchEntry{})
+	e := v.(*benchEntry)
+	e.once.Do(func() { e.recs, e.err = gen() })
+	if e.err != nil {
+		b.Fatal(e.err)
+	}
+	return e.recs
+}
 
 func benchSweep(b *testing.B, name string, configure func(*netsim.Sweep)) []telemetry.SessionRecord {
 	b.Helper()
-	if v, ok := benchCache.Load(name); ok {
-		return v.([]telemetry.SessionRecord)
-	}
-	sw := netsim.ControlBands()
-	configure(&sw)
-	opts := conference.Defaults(uint64(len(name))+500, 400)
-	opts.Paths = &sw
-	opts.SurveyRate = 0.05
-	g, err := conference.New(opts)
-	if err != nil {
-		b.Fatal(err)
-	}
-	recs, err := g.GenerateAll()
-	if err != nil {
-		b.Fatal(err)
-	}
-	benchCache.Store(name, recs)
-	return recs
+	return benchDataset(b, name, func() ([]telemetry.SessionRecord, error) {
+		sw := netsim.ControlBands()
+		configure(&sw)
+		opts := conference.Defaults(uint64(len(name))+500, 400)
+		opts.Paths = &sw
+		opts.SurveyRate = 0.05
+		g, err := conference.New(opts)
+		if err != nil {
+			return nil, err
+		}
+		return g.GenerateAll()
+	})
 }
 
 var (
@@ -482,10 +498,7 @@ func BenchmarkIncidentDetection(b *testing.B) {
 		From: timeline.Date(2022, 2, 7),
 		To:   timeline.Date(2022, 2, 13),
 	}
-	var recs []telemetry.SessionRecord
-	if v, ok := benchCache.Load("incident"); ok {
-		recs = v.([]telemetry.SessionRecord)
-	} else {
+	recs := benchDataset(b, "incident", func() ([]telemetry.SessionRecord, error) {
 		opts := conference.Defaults(404, 1500)
 		opts.Window = timeline.Range{From: timeline.Date(2022, 1, 10), To: timeline.Date(2022, 3, 10)}
 		bad := netsim.ControlBands()
@@ -495,14 +508,10 @@ func BenchmarkIncidentDetection(b *testing.B) {
 		opts.DegradedPaths = &bad
 		g, err := conference.New(opts)
 		if err != nil {
-			b.Fatal(err)
+			return nil, err
 		}
-		recs, err = g.GenerateAll()
-		if err != nil {
-			b.Fatal(err)
-		}
-		benchCache.Store("incident", recs)
-	}
+		return g.GenerateAll()
+	})
 	var engRecall, mosRecall float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -520,10 +529,7 @@ func BenchmarkIncidentDetection(b *testing.B) {
 // effect over a persistent user pool: the presence gap between bad sessions
 // preceded by bad versus good history.
 func BenchmarkLongitudinalConditioning(b *testing.B) {
-	var recs []telemetry.SessionRecord
-	if v, ok := benchCache.Load("longitudinal"); ok {
-		recs = v.([]telemetry.SessionRecord)
-	} else {
+	recs := benchDataset(b, "longitudinal", func() ([]telemetry.SessionRecord, error) {
 		good := netsim.AccessProfile{Name: "good", LatencyMedianMs: 20, LatencySpread: 1.2,
 			JitterMedianMs: 1.5, JitterSpread: 1.3, CapacityMedianMbps: 3.5, CapacitySpread: 1.1}
 		awful := netsim.AccessProfile{Name: "awful", LatencyMedianMs: 260, LatencySpread: 1.15,
@@ -536,20 +542,81 @@ func BenchmarkLongitudinalConditioning(b *testing.B) {
 		opts.ConditioningWeight = 0.9
 		g, err := conference.New(opts)
 		if err != nil {
-			b.Fatal(err)
+			return nil, err
 		}
-		recs, err = g.GenerateAll()
-		if err != nil {
-			b.Fatal(err)
-		}
-		benchCache.Store("longitudinal", recs)
-	}
+		return g.GenerateAll()
+	})
 	var effect float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		effect = usaas.AnalyzeLongitudinalConditioning(recs).Effect()
 	}
 	b.ReportMetric(effect, "presence_pts")
+}
+
+// --- parallel engine ---------------------------------------------------------
+
+// benchSpeedup times fn at one worker and at all cores inside the same b.N
+// loop and reports the ratio as "speedup_x". On a single-core machine the
+// ratio hovers near (or slightly below) 1 from pool overhead; on multi-core
+// hardware it tracks the core count.
+func benchSpeedup(b *testing.B, fn func(workers int)) {
+	b.Helper()
+	all := runtime.GOMAXPROCS(0)
+	var serial, par time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		fn(1)
+		serial += time.Since(t0)
+		t0 = time.Now()
+		fn(all)
+		par += time.Since(t0)
+	}
+	b.ReportMetric(float64(all), "workers")
+	b.ReportMetric(serial.Seconds()/par.Seconds(), "speedup_x")
+}
+
+// BenchmarkGenerateParallel measures sharded conference generation against
+// the serial path (identical output, see determinism tests).
+func BenchmarkGenerateParallel(b *testing.B) {
+	benchSpeedup(b, func(workers int) {
+		sw := netsim.ControlBands()
+		sw.LatencyMs = [2]float64{0, 300}
+		opts := conference.Defaults(7700, 300)
+		opts.Paths = &sw
+		opts.Workers = workers
+		g, err := conference.New(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := g.GenerateAll(); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+// BenchmarkSocialGenerateParallel measures day-sharded corpus generation.
+func BenchmarkSocialGenerateParallel(b *testing.B) {
+	benchSpeedup(b, func(workers int) {
+		cfg := social.DefaultConfig(7701)
+		cfg.Workers = workers
+		if _, err := social.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+// BenchmarkDoseResponseParallel measures chunk-sharded Fig-1 analysis.
+func BenchmarkDoseResponseParallel(b *testing.B) {
+	recs := benchSweep(b, "lat", func(s *netsim.Sweep) { s.LatencyMs = [2]float64{0, 300} })
+	binner := stats.NewBinner(0, 300, 10)
+	benchSpeedup(b, func(workers int) {
+		if _, err := usaas.DoseResponseN(recs, telemetry.LatencyMean, telemetry.MicOn,
+			binner, telemetry.StudyCohort(), workers); err != nil {
+			b.Fatal(err)
+		}
+	})
 }
 
 // --- substrate micro-benchmarks ----------------------------------------------

@@ -18,12 +18,16 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 )
 
 type runCtx struct {
 	outDir string
 	quick  bool
+	// workers shards generation and analysis across goroutines; <= 0
+	// means one per CPU. Figures are identical at any worker count.
+	workers int
 }
 
 // experiment is one reproducible unit. Each returns a short summary line
@@ -54,22 +58,23 @@ func experiments() []experiment {
 
 func main() {
 	var (
-		outDir = flag.String("outdir", "figures-out", "directory for CSV outputs")
-		quick  = flag.Bool("quick", false, "smaller datasets (~4x faster), same qualitative shapes")
-		only   = flag.String("only", "", "run a single experiment by name")
+		outDir  = flag.String("outdir", "figures-out", "directory for CSV outputs")
+		quick   = flag.Bool("quick", false, "smaller datasets (~4x faster), same qualitative shapes")
+		only    = flag.String("only", "", "run a single experiment by name")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "goroutines to shard generation and analysis across (figures are identical at any count)")
 	)
 	flag.Parse()
-	if err := run(*outDir, *quick, *only); err != nil {
+	if err := run(*outDir, *quick, *only, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
 }
 
-func run(outDir string, quick bool, only string) error {
+func run(outDir string, quick bool, only string, workers int) error {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
-	ctx := &runCtx{outDir: outDir, quick: quick}
+	ctx := &runCtx{outDir: outDir, quick: quick, workers: workers}
 	var manifest []string
 	for _, exp := range experiments() {
 		if only != "" && exp.name != only {

@@ -9,7 +9,7 @@ import (
 
 func TestRunSingleExperiment(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(dir, true, "table1"); err != nil {
+	if err := run(dir, true, "table1", 0); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "table1-corpus.csv"))
@@ -46,7 +46,7 @@ func TestRunRepresentativeExperiments(t *testing.T) {
 	}
 	dir := t.TempDir()
 	for _, tc := range cases {
-		if err := run(dir, true, tc.name); err != nil {
+		if err := run(dir, true, tc.name, 0); err != nil {
 			t.Fatalf("%s: %v", tc.name, err)
 		}
 		for _, f := range tc.files {
@@ -63,7 +63,7 @@ func TestRunRepresentativeExperiments(t *testing.T) {
 
 func TestRunUnknownExperimentIsNoop(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(dir, true, "fig99"); err != nil {
+	if err := run(dir, true, "fig99", 0); err != nil {
 		t.Fatal(err)
 	}
 	entries, err := os.ReadDir(dir)

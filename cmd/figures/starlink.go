@@ -28,9 +28,10 @@ var (
 	analyzer   = nlp.NewAnalyzer()
 )
 
-func studyCorpus() (*social.Corpus, *newswire.Index, social.Config, error) {
+func studyCorpus(c *runCtx) (*social.Corpus, *newswire.Index, social.Config, error) {
 	corpusOnce.Do(func() {
 		corpusCfg = social.DefaultConfig(42)
+		corpusCfg.Workers = c.workers
 		corpusVal, corpusErr = social.Generate(corpusCfg)
 		if corpusErr == nil {
 			newsIdx = newswire.Build(corpusCfg.Model.Launches(), corpusCfg.Outages, corpusCfg.Milestones)
@@ -40,7 +41,7 @@ func studyCorpus() (*social.Corpus, *newswire.Index, social.Config, error) {
 }
 
 func runTable1(c *runCtx) (string, error) {
-	corpus, _, _, err := studyCorpus()
+	corpus, _, _, err := studyCorpus(c)
 	if err != nil {
 		return "", err
 	}
@@ -70,7 +71,7 @@ func runTable1(c *runCtx) (string, error) {
 }
 
 func runFig5(c *runCtx) (string, error) {
-	corpus, news, _, err := studyCorpus()
+	corpus, news, _, err := studyCorpus(c)
 	if err != nil {
 		return "", err
 	}
@@ -147,7 +148,7 @@ func runFig5(c *runCtx) (string, error) {
 }
 
 func runFig6(c *runCtx) (string, error) {
-	corpus, _, cfg, err := studyCorpus()
+	corpus, _, cfg, err := studyCorpus(c)
 	if err != nil {
 		return "", err
 	}
@@ -185,7 +186,7 @@ func runFig6(c *runCtx) (string, error) {
 }
 
 func runFig7(c *runCtx) (string, error) {
-	corpus, _, cfg, err := studyCorpus()
+	corpus, _, cfg, err := studyCorpus(c)
 	if err != nil {
 		return "", err
 	}
@@ -223,7 +224,7 @@ func runFig7(c *runCtx) (string, error) {
 }
 
 func runRoaming(c *runCtx) (string, error) {
-	corpus, _, _, err := studyCorpus()
+	corpus, _, _, err := studyCorpus(c)
 	if err != nil {
 		return "", err
 	}
@@ -246,12 +247,13 @@ func runRoaming(c *runCtx) (string, error) {
 }
 
 func runUSaaS(c *runCtx) (string, error) {
-	corpus, news, cfg, err := studyCorpus()
+	corpus, news, cfg, err := studyCorpus(c)
 	if err != nil {
 		return "", err
 	}
 	opts := conference.Defaults(801, c.size(2000))
 	opts.SurveyRate = 0.05
+	opts.Workers = c.workers
 	g, err := conference.New(opts)
 	if err != nil {
 		return "", err

@@ -21,6 +21,7 @@ func sweepRecords(c *runCtx, seed uint64, calls int, configure func(*netsim.Swee
 	opts := conference.Defaults(seed, c.size(calls))
 	opts.Paths = &sw
 	opts.SurveyRate = 0.05
+	opts.Workers = c.workers
 	g, err := conference.New(opts)
 	if err != nil {
 		return nil, err
@@ -182,6 +183,7 @@ func runFig3(c *runCtx) (string, error) {
 func runFig4(c *runCtx) (string, error) {
 	opts := conference.Defaults(401, c.size(4000))
 	opts.SurveyRate = 0.05
+	opts.Workers = c.workers
 	g, err := conference.New(opts)
 	if err != nil {
 		return "", err

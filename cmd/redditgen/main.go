@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"usersignals/internal/social"
 )
@@ -20,18 +21,20 @@ func main() {
 		seed           = flag.Uint64("seed", 1, "generation seed")
 		out            = flag.String("out", "posts.jsonl", "output path (.jsonl)")
 		noConditioning = flag.Bool("no-conditioning", false, "disable the expectation-conditioning term (§4.2 ablation)")
+		workers        = flag.Int("workers", runtime.GOMAXPROCS(0), "goroutines to shard timeline days across (output is identical at any count)")
 		quiet          = flag.Bool("q", false, "suppress summary output")
 	)
 	flag.Parse()
-	if err := run(*seed, *out, *noConditioning, *quiet); err != nil {
+	if err := run(*seed, *out, *noConditioning, *workers, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "redditgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed uint64, out string, noConditioning, quiet bool) error {
+func run(seed uint64, out string, noConditioning bool, workers int, quiet bool) error {
 	cfg := social.DefaultConfig(seed)
 	cfg.ConditioningOff = noConditioning
+	cfg.Workers = workers
 	corpus, err := social.Generate(cfg)
 	if err != nil {
 		return err

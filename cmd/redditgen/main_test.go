@@ -12,7 +12,7 @@ import (
 
 func TestRunWritesCorpus(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "posts.jsonl")
-	if err := run(1, out, false, true); err != nil {
+	if err := run(1, out, false, 0, true); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -49,10 +49,10 @@ func TestRunAblationFlag(t *testing.T) {
 	dir := t.TempDir()
 	a := filepath.Join(dir, "a.jsonl")
 	b := filepath.Join(dir, "b.jsonl")
-	if err := run(3, a, false, true); err != nil {
+	if err := run(3, a, false, 0, true); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(3, b, true, true); err != nil {
+	if err := run(3, b, true, 0, true); err != nil {
 		t.Fatal(err)
 	}
 	da, _ := os.ReadFile(a)
@@ -63,7 +63,7 @@ func TestRunAblationFlag(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(1, filepath.Join(t.TempDir(), "no", "dir.jsonl"), false, true); err == nil {
+	if err := run(1, filepath.Join(t.TempDir(), "no", "dir.jsonl"), false, 0, true); err == nil {
 		t.Fatal("unwritable path accepted")
 	}
 }

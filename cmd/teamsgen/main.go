@@ -18,6 +18,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"usersignals/internal/conference"
@@ -32,18 +33,20 @@ func main() {
 		out        = flag.String("out", "calls.csv", "output path (.csv or .jsonl)")
 		sweep      = flag.String("sweep", "", "sweep one metric over its figure range: latency|loss|jitter|bandwidth")
 		surveyRate = flag.Float64("survey-rate", telemetry.DefaultSurveyRate, "fraction of sessions prompted for a rating")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "goroutines to shard calls across (output is identical at any count)")
 		quiet      = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
-	if err := run(*seed, *calls, *out, *sweep, *surveyRate, *quiet); err != nil {
+	if err := run(*seed, *calls, *out, *sweep, *surveyRate, *workers, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "teamsgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed uint64, calls int, out, sweep string, surveyRate float64, quiet bool) error {
+func run(seed uint64, calls int, out, sweep string, surveyRate float64, workers int, quiet bool) error {
 	opts := conference.Defaults(seed, calls)
 	opts.SurveyRate = surveyRate
+	opts.Workers = workers
 	if sweep != "" {
 		sw := netsim.ControlBands()
 		switch sweep {

@@ -11,7 +11,7 @@ import (
 
 func TestRunCSV(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "calls.csv")
-	if err := run(1, 20, out, "", 0.05, true); err != nil {
+	if err := run(1, 20, out, "", 0.05, 0, true); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -33,7 +33,7 @@ func TestRunCSV(t *testing.T) {
 
 func TestRunJSONL(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "calls.jsonl")
-	if err := run(1, 10, out, "", 0.05, true); err != nil {
+	if err := run(1, 10, out, "", 0.05, 0, true); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -55,7 +55,7 @@ func TestRunJSONL(t *testing.T) {
 
 func TestRunSweep(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "sweep.csv")
-	if err := run(2, 30, out, "latency", 0.05, true); err != nil {
+	if err := run(2, 30, out, "latency", 0.05, 0, true); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -83,7 +83,7 @@ func TestRunSweep(t *testing.T) {
 
 func TestRunGzipOutput(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "calls.csv.gz")
-	if err := run(1, 10, out, "", 0.05, true); err != nil {
+	if err := run(1, 10, out, "", 0.05, 0, true); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -109,13 +109,13 @@ func TestRunGzipOutput(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(1, 5, filepath.Join(dir, "x.txt"), "", 0.05, true); err == nil {
+	if err := run(1, 5, filepath.Join(dir, "x.txt"), "", 0.05, 0, true); err == nil {
 		t.Fatal("bad extension accepted")
 	}
-	if err := run(1, 5, filepath.Join(dir, "x.csv"), "warp-speed", 0.05, true); err == nil {
+	if err := run(1, 5, filepath.Join(dir, "x.csv"), "warp-speed", 0.05, 0, true); err == nil {
 		t.Fatal("unknown sweep accepted")
 	}
-	if err := run(1, 5, filepath.Join(dir, "nope", "x.csv"), "", 0.05, true); err == nil {
+	if err := run(1, 5, filepath.Join(dir, "nope", "x.csv"), "", 0.05, 0, true); err == nil {
 		t.Fatal("unwritable path accepted")
 	}
 }
@@ -124,10 +124,10 @@ func TestDeterministicOutput(t *testing.T) {
 	dir := t.TempDir()
 	a := filepath.Join(dir, "a.csv")
 	b := filepath.Join(dir, "b.csv")
-	if err := run(7, 10, a, "", 0.05, true); err != nil {
+	if err := run(7, 10, a, "", 0.05, 0, true); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(7, 10, b, "", 0.05, true); err != nil {
+	if err := run(7, 10, b, "", 0.05, 0, true); err != nil {
 		t.Fatal(err)
 	}
 	da, _ := os.ReadFile(a)

@@ -18,6 +18,7 @@ import (
 	"usersignals/internal/behavior"
 	"usersignals/internal/media"
 	"usersignals/internal/netsim"
+	"usersignals/internal/parallel"
 	"usersignals/internal/simrand"
 	"usersignals/internal/stats"
 	"usersignals/internal/telemetry"
@@ -29,6 +30,15 @@ import (
 type Options struct {
 	Seed  uint64
 	Calls int
+
+	// Workers is the number of goroutines calls are sharded across.
+	// Zero or negative means one per CPU. Every call derives its RNG
+	// substream from the seed and its own ID, and parallel results are
+	// merged back in call-ID order, so output is byte-identical to a
+	// serial run at any worker count. Ignored (forced serial) when
+	// UserPool > 0, because longitudinal state must evolve forward in
+	// time.
+	Workers int
 
 	// Window is the span of days calls are scheduled in.
 	Window timeline.Range
@@ -157,18 +167,21 @@ func New(opts Options) (*Generator, error) {
 
 // Generate runs all calls, invoking emit once per participant session.
 // The record passed to emit is reused; copy it if it must be retained.
-// A non-nil error from emit aborts generation.
+// A non-nil error from emit aborts generation. emit is always invoked from
+// a single goroutine.
 //
-// With a user pool, calls run in chronological order (longitudinal state
-// must evolve forward in time); otherwise they run in call-ID order.
+// With a user pool, calls run serially in chronological order
+// (longitudinal state must evolve forward in time); otherwise they are
+// sharded across Options.Workers goroutines and merged back in call-ID
+// order, which makes the emitted stream byte-identical to a serial run.
 func (g *Generator) Generate(emit func(*telemetry.SessionRecord) error) error {
-	order := make([]uint64, g.opts.Calls)
-	for i := range order {
-		order[i] = uint64(i)
-	}
 	if g.opts.UserPool > 0 {
 		// Each call's start time is a pure function of its stream, so
 		// peeking it here and re-drawing it in generateCall agree.
+		order := make([]uint64, g.opts.Calls)
+		for i := range order {
+			order[i] = uint64(i)
+		}
 		starts := make([]time.Time, g.opts.Calls)
 		for i := range order {
 			starts[i] = g.callStart(g.root.Derive("call/%d", uint64(i)).RNG())
@@ -176,13 +189,44 @@ func (g *Generator) Generate(emit func(*telemetry.SessionRecord) error) error {
 		sort.SliceStable(order, func(a, b int) bool {
 			return starts[order[a]].Before(starts[order[b]])
 		})
-	}
-	for _, call := range order {
-		if err := g.generateCall(call, emit); err != nil {
-			return err
+		for _, call := range order {
+			if err := g.generateCall(call, emit); err != nil {
+				return err
+			}
 		}
+		return nil
 	}
-	return nil
+
+	workers := parallel.Workers(g.opts.Workers)
+	if workers == 1 {
+		for call := 0; call < g.opts.Calls; call++ {
+			if err := g.generateCall(uint64(call), emit); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Shard call IDs across the pool: each call's RNG derives from
+	// (seed, "call/<id>") exactly as in the serial path, so per-call
+	// output does not depend on which worker ran it; the ordered merge
+	// restores the canonical call-ID emission order.
+	return parallel.OrderedStream(workers, g.opts.Calls,
+		func(call int) ([]telemetry.SessionRecord, error) {
+			var recs []telemetry.SessionRecord
+			err := g.generateCall(uint64(call), func(r *telemetry.SessionRecord) error {
+				recs = append(recs, *r)
+				return nil
+			})
+			return recs, err
+		},
+		func(_ int, recs []telemetry.SessionRecord) error {
+			for i := range recs {
+				if err := emit(&recs[i]); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
 }
 
 // participantState holds one participant through a call.

@@ -1,0 +1,78 @@
+package conference
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"usersignals/internal/netsim"
+	"usersignals/internal/telemetry"
+)
+
+// generateBytes runs a full generation at the given worker count and
+// returns the emitted stream as JSONL bytes, preserving emission order.
+func generateBytes(t *testing.T, workers int) []byte {
+	t.Helper()
+	sw := netsim.ControlBands()
+	sw.LatencyMs = [2]float64{0, 300}
+	opts := Defaults(12345, 150)
+	opts.Paths = &sw
+	opts.Workers = workers
+	g, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := telemetry.NewJSONLWriter(&buf)
+	if err := g.Generate(w.Write); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGenerateParallelByteIdentical is the determinism golden test: the
+// emitted record stream must be byte-for-byte identical at any worker
+// count, so parallelism can never silently change figure shapes.
+func TestGenerateParallelByteIdentical(t *testing.T) {
+	serial := generateBytes(t, 1)
+	if len(serial) == 0 {
+		t.Fatal("serial run emitted nothing")
+	}
+	for _, workers := range []int{4, runtime.NumCPU()} {
+		if got := generateBytes(t, workers); !bytes.Equal(got, serial) {
+			t.Fatalf("workers=%d output differs from serial (%d vs %d bytes)", workers, len(got), len(serial))
+		}
+	}
+}
+
+// TestGenerateParallelUserPoolFallsBackSerial checks the longitudinal pool
+// still works (serially) when workers are requested: pool state must evolve
+// chronologically, so Workers is ignored rather than corrupting output.
+func TestGenerateParallelUserPoolFallsBackSerial(t *testing.T) {
+	gen := func(workers int) []telemetry.SessionRecord {
+		opts := Defaults(777, 60)
+		opts.UserPool = 30
+		opts.Workers = workers
+		g, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, err := g.GenerateAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return recs
+	}
+	a, b := gen(1), gen(8)
+	if len(a) != len(b) {
+		t.Fatalf("pool runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pool record %d differs between worker counts", i)
+		}
+	}
+}

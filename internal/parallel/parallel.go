@@ -1,0 +1,268 @@
+// Package parallel provides the small shard-and-merge toolkit the
+// generators and analysis engines use to spread deterministic work across
+// cores. The design constraint throughout is reproducibility: callers shard
+// work into canonically ordered units whose results are merged in unit
+// order, so output is identical at any worker count — parallelism changes
+// wall-clock time, never bytes. See DESIGN.md "Performance & determinism".
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: values <= 0 mean "one worker
+// per available CPU" (runtime.GOMAXPROCS(0)).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for every i in [0, n) on up to `workers` goroutines.
+// Units are claimed from a shared counter, so scheduling is dynamic, but
+// fn must not depend on execution order. An error cancels the remaining
+// unclaimed units; the lowest-indexed error among the units that failed is
+// returned, and units already running finish first. workers <= 0 means
+// GOMAXPROCS; with workers == 1 or n <= 1 fn runs inline on the caller's
+// goroutine in index order.
+func ForEach(workers, n int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), workers, n, func(_ context.Context, i int) error {
+		return fn(i)
+	})
+}
+
+// ForEachCtx is ForEach with context cancellation: no new unit starts once
+// ctx is cancelled, and ctx.Err() is reported if nothing failed first.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		firstIdx = n // index of the failing unit, for deterministic reporting
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if err != nil && i < firstIdx {
+			firstErr, firstIdx = err, i
+		}
+		mu.Unlock()
+		cancel()
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || cctx.Err() != nil {
+					return
+				}
+				if err := fn(cctx, i); err != nil {
+					fail(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// item carries one produced unit through the reorder buffer.
+type item[T any] struct {
+	idx int
+	val T
+}
+
+// OrderedStream runs produce(i) for every i in [0, n) on up to `workers`
+// goroutines and delivers results to consume strictly in ascending index
+// order, regardless of completion order (a reorder buffer). consume runs on
+// a single goroutine; an error from either side cancels outstanding work
+// and is returned (lowest failing producer index wins over a later
+// consumer error). Memory is bounded: at most a few units per worker are
+// in flight or parked in the buffer at once.
+//
+// This is the canonical-merge primitive: sharded generators produce units
+// concurrently, and the merged stream is byte-identical to a serial run.
+func OrderedStream[T any](workers, n int, produce func(i int) (T, error), consume func(i int, v T) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			v, err := produce(i)
+			if err != nil {
+				return err
+			}
+			if err := consume(i, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Window the producers so a slow early unit cannot let later units pile
+	// up unboundedly in the pending buffer.
+	window := workers * 4
+	var (
+		sem     = make(chan struct{}, window)
+		results = make(chan item[T], window)
+		cctx, cancel = context.WithCancel(context.Background())
+	)
+	defer cancel()
+
+	var prodErr error
+	var prodIdx = n
+	var mu sync.Mutex
+	fail := func(i int, err error) {
+		mu.Lock()
+		if i < prodIdx {
+			prodErr, prodIdx = err, i
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case sem <- struct{}{}:
+				case <-cctx.Done():
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					<-sem
+					return
+				}
+				v, err := produce(i)
+				if err != nil {
+					<-sem
+					fail(i, err)
+					return
+				}
+				select {
+				case results <- item[T]{i, v}:
+				case <-cctx.Done():
+					<-sem
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Single consumer: drain completions, emit in ascending index order.
+	pending := make(map[int]T, window)
+	var consErr error
+	want := 0
+	for it := range results {
+		pending[it.idx] = it.val
+		for {
+			v, ok := pending[want]
+			if !ok {
+				break
+			}
+			delete(pending, want)
+			<-sem // unit fully retired; open the window
+			if consErr == nil {
+				if err := consume(want, v); err != nil {
+					consErr = err
+					cancel()
+				}
+			}
+			want++
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if prodErr != nil {
+		return prodErr
+	}
+	return consErr
+}
+
+// Map runs fn(i) for every i in [0, n) on up to `workers` goroutines and
+// returns the results indexed by unit: the gather half of shard-and-merge
+// when every result is needed at once (e.g. per-shard accumulators merged
+// in shard order afterwards).
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ChunkSize is the canonical shard granularity for record-sharded analyses.
+// Chunk boundaries depend only on input length — never on worker count — so
+// per-chunk accumulators merge in the same order (and produce bit-identical
+// floating-point results) whether the chunks ran on 1 goroutine or 64.
+const ChunkSize = 2048
+
+// Chunks returns the number of ChunkSize-sized shards covering n items.
+func Chunks(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + ChunkSize - 1) / ChunkSize
+}
+
+// ChunkBounds returns the half-open [lo, hi) record range of chunk i.
+func ChunkBounds(i, n int) (lo, hi int) {
+	lo = i * ChunkSize
+	hi = lo + ChunkSize
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}

@@ -1,0 +1,167 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Fatalf("Workers(3) = %d", Workers(3))
+	}
+	if Workers(0) < 1 || Workers(-5) < 1 {
+		t.Fatal("non-positive requests must resolve to at least one worker")
+	}
+}
+
+func TestForEachVisitsEveryUnit(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		var visited [100]atomic.Int32
+		err := ForEach(workers, len(visited), func(i int) error {
+			visited[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range visited {
+			if n := visited[i].Load(); n != 1 {
+				t.Fatalf("workers=%d: unit %d visited %d times", workers, i, n)
+			}
+		}
+	}
+}
+
+func TestForEachFirstErrorWins(t *testing.T) {
+	// Serially the first failing unit's error is returned; in parallel the
+	// lowest-indexed unit that actually failed before cancellation wins.
+	err := ForEach(1, 50, func(i int) error {
+		if i == 7 || i == 31 {
+			return fmt.Errorf("unit %d failed", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "unit 7 failed" {
+		t.Fatalf("serial err = %v, want unit 7's error", err)
+	}
+	err = ForEach(4, 50, func(i int) error {
+		if i == 7 || i == 31 {
+			return fmt.Errorf("unit %d failed", i)
+		}
+		return nil
+	})
+	if err == nil || (err.Error() != "unit 7 failed" && err.Error() != "unit 31 failed") {
+		t.Fatalf("parallel err = %v, want a failing unit's error", err)
+	}
+}
+
+func TestForEachCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	err := ForEachCtx(ctx, 4, 100, func(context.Context, int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestOrderedStreamPreservesOrder(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		var got []int
+		err := OrderedStream(workers, 200,
+			func(i int) (int, error) { return i * i, nil },
+			func(i, v int) error {
+				if v != i*i {
+					return fmt.Errorf("unit %d carried %d", i, v)
+				}
+				got = append(got, i)
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 200 {
+			t.Fatalf("workers=%d: consumed %d units", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("workers=%d: out of order at %d: %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestOrderedStreamProducerError(t *testing.T) {
+	err := OrderedStream(4, 100,
+		func(i int) (int, error) {
+			if i == 13 {
+				return 0, errors.New("boom")
+			}
+			return i, nil
+		},
+		func(i, v int) error { return nil })
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestOrderedStreamConsumerError(t *testing.T) {
+	var consumed int
+	err := OrderedStream(4, 100,
+		func(i int) (int, error) { return i, nil },
+		func(i, v int) error {
+			consumed++
+			if i == 5 {
+				return errors.New("sink full")
+			}
+			return nil
+		})
+	if err == nil || err.Error() != "sink full" {
+		t.Fatalf("err = %v, want sink full", err)
+	}
+	if consumed < 6 {
+		t.Fatalf("consumed %d units before the error, want >= 6", consumed)
+	}
+}
+
+func TestMap(t *testing.T) {
+	out, err := Map(4, 50, func(i int) (string, error) { return fmt.Sprint(i), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != fmt.Sprint(i) {
+			t.Fatalf("out[%d] = %q", i, v)
+		}
+	}
+}
+
+func TestChunkBounds(t *testing.T) {
+	n := 2*ChunkSize + 17
+	if c := Chunks(n); c != 3 {
+		t.Fatalf("Chunks(%d) = %d", n, c)
+	}
+	covered := 0
+	for i := 0; i < Chunks(n); i++ {
+		lo, hi := ChunkBounds(i, n)
+		if lo != covered {
+			t.Fatalf("chunk %d starts at %d, want %d", i, lo, covered)
+		}
+		if hi <= lo || hi > n {
+			t.Fatalf("chunk %d bounds [%d, %d) invalid", i, lo, hi)
+		}
+		covered = hi
+	}
+	if covered != n {
+		t.Fatalf("chunks cover %d of %d items", covered, n)
+	}
+	if Chunks(0) != 0 {
+		t.Fatal("Chunks(0) != 0")
+	}
+}

@@ -1,0 +1,43 @@
+package social
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestGenerateParallelIdentical is the determinism golden test for the
+// social corpus: the generated posts, replies, screenshots, and ground
+// truth must be identical at any worker count, so sharding timeline days
+// across goroutines can never silently change downstream OCR or
+// sentiment figures.
+func TestGenerateParallelIdentical(t *testing.T) {
+	gen := func(workers int) *Corpus {
+		cfg := DefaultConfig(42)
+		cfg.Workers = workers
+		c, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	serial := gen(1)
+	if len(serial.Posts) == 0 {
+		t.Fatal("serial run generated no posts")
+	}
+	for _, workers := range []int{4, runtime.NumCPU()} {
+		got := gen(workers)
+		if len(got.Posts) != len(serial.Posts) {
+			t.Fatalf("workers=%d: %d posts, serial has %d", workers, len(got.Posts), len(serial.Posts))
+		}
+		for i := range got.Posts {
+			if !reflect.DeepEqual(got.Posts[i], serial.Posts[i]) {
+				t.Fatalf("workers=%d: post %d differs:\n got %+v\nwant %+v",
+					workers, i, got.Posts[i], serial.Posts[i])
+			}
+		}
+		if !reflect.DeepEqual(got, serial) {
+			t.Fatalf("workers=%d: corpus differs from serial outside Posts", workers)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"usersignals/internal/leo"
 	"usersignals/internal/ocr"
+	"usersignals/internal/parallel"
 	"usersignals/internal/simrand"
 	"usersignals/internal/timeline"
 )
@@ -14,6 +15,14 @@ import (
 type Config struct {
 	Seed   uint64
 	Window timeline.Range
+
+	// Workers is the number of goroutines timeline days are sharded
+	// across; zero or negative means one per CPU. Each day derives its
+	// RNG from the seed and the day index, the community expectation each
+	// day depends on is a pure function of the model (precomputed
+	// serially), and post IDs are assigned during the ordered merge — so
+	// the corpus is byte-identical to a serial run at any worker count.
+	Workers int
 
 	Model      *leo.Model
 	Milestones []leo.Milestone
@@ -94,31 +103,100 @@ func Generate(cfg Config) (*Corpus, error) {
 	for _, m := range cfg.Milestones {
 		g.byDayMilestones[m.Day] = append(g.byDayMilestones[m.Day], m)
 	}
-	g.leakUntil = -1
 	for _, m := range cfg.Milestones {
 		if m.Kind == leo.MilestoneFeatureTweet {
 			g.tweetDay = m.Day
 		}
+		if m.Kind == leo.MilestoneFeatureLeak {
+			g.leakDays = append(g.leakDays, m.Day)
+		}
 	}
 
+	// Precompute the per-day state that is sequential in the serial
+	// formulation but is in fact a pure function of the config: the
+	// community speed expectation (an EWMA over the model's daily medians)
+	// and the feature-leak trickle window. With these in hand every day is
+	// independent and the days shard freely.
+	var days []timeline.Day
+	cfg.Window.Days(func(d timeline.Day) { days = append(days, d) })
+	medians := make([]float64, len(days))
+	expectations := make([]float64, len(days))
 	expectation := cfg.Model.MedianDownMbps(cfg.Window.From)
-	var posts []Post
-	cfg.Window.Days(func(d timeline.Day) {
-		med := cfg.Model.MedianDownMbps(d)
-		expectation = cfg.ConditioningAlpha*med + (1-cfg.ConditioningAlpha)*expectation
-		posts = append(posts, g.day(d, med, expectation)...)
+	for i, d := range days {
+		medians[i] = cfg.Model.MedianDownMbps(d)
+		expectation = cfg.ConditioningAlpha*medians[i] + (1-cfg.ConditioningAlpha)*expectation
+		expectations[i] = expectation
+	}
+
+	// Shard the days across the pool; merge assigns post IDs in canonical
+	// (day, within-day) order, exactly as the serial counter would have.
+	workers := parallel.Workers(cfg.Workers)
+	perDay, err := parallel.Map(workers, len(days), func(i int) ([]draft, error) {
+		return g.day(days[i], medians[i], expectations[i], g.inLeakWindow(days[i])), nil
 	})
+	if err != nil {
+		return nil, err
+	}
+	var drafts []draft
+	for _, dd := range perDay {
+		drafts = append(drafts, dd...)
+	}
+	posts := make([]Post, len(drafts))
+	for i := range drafts {
+		drafts[i].post.ID = uint64(i + 1)
+		posts[i] = drafts[i].post
+	}
+	// Replies draw from substreams keyed by the final post ID, so they can
+	// only attach after the merge — and, being per-post independent, they
+	// shard across the pool too.
+	if err := parallel.ForEach(workers, len(posts), func(i int) error {
+		g.attachReplies(&posts[i], drafts[i].replyN, drafts[i].angry)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	return NewCorpus(cfg.Window, posts), nil
 }
 
 type generator struct {
 	cfg             Config
 	root            *simrand.Stream
-	nextID          uint64
 	byDayOutages    map[timeline.Day][]leo.Outage
 	byDayMilestones map[timeline.Day][]leo.Milestone
-	leakUntil       timeline.Day
+	leakDays        []timeline.Day // MilestoneFeatureLeak days, in input order
 	tweetDay        timeline.Day
+}
+
+// draft is a post before the merge phase: the ID is unassigned and the
+// replies (which key their RNG substream on the final ID) are deferred.
+type draft struct {
+	post   Post
+	replyN int  // number of text replies to attach
+	angry  bool // re-tone replies from the angry-outage substream
+}
+
+// inLeakWindow reports whether day d falls in the feature-leak trickle
+// window: from the latest leak milestone at or before d through the
+// announcement tweet (or 16 days, if the tweet never lands). This
+// reproduces the serial formulation, where processing a leak milestone
+// opened the window for subsequent days.
+func (g *generator) inLeakWindow(d timeline.Day) bool {
+	opened := false
+	var latest timeline.Day
+	for _, l := range g.leakDays {
+		if l <= d && (!opened || l >= latest) {
+			opened = true
+			latest = l
+		}
+	}
+	if !opened {
+		return false
+	}
+	until := g.tweetDay
+	if until < latest {
+		until = latest + 16
+	}
+	return until >= d
 }
 
 // tilt computes the community mood for a given speed versus expectation.
@@ -133,10 +211,10 @@ func (g *generator) tilt(speed, expectation float64) float64 {
 
 func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
 
-func (g *generator) day(d timeline.Day, medianSpeed, expectation float64) []Post {
+func (g *generator) day(d timeline.Day, medianSpeed, expectation float64, inLeak bool) []draft {
 	rng := g.root.Derive("day/%d", int(d)).RNG()
 	users := g.cfg.Model.Users(d)
-	var out []Post
+	var out []draft
 
 	// --- everyday chatter: general / praise / complaint ---
 	volume := g.cfg.BasePostsPerDay + g.cfg.PerMUsers*users/1e6
@@ -146,7 +224,7 @@ func (g *generator) day(d timeline.Day, medianSpeed, expectation float64) []Post
 	pComplain := maxMoodFraction * sigmoid(-tiltSharpness*tilt)
 	for i := 0; i < n; i++ {
 		u := rng.Float64()
-		var p Post
+		var p draft
 		switch {
 		case u < pPraise:
 			p = g.newPost(rng, d, KindPraise, simrand.Pick(rng, praiseTemplates), "")
@@ -175,16 +253,16 @@ func (g *generator) day(d timeline.Day, medianSpeed, expectation float64) []Post
 	}
 
 	// --- feature-leak trickle (roaming discovered organically) ---
-	if g.leakUntil >= d {
+	if inLeak {
 		for i, k := 0, rng.Poisson(9); i < k; i++ {
 			p := g.newPost(rng, d, KindFeature, simrand.Pick(rng, featureTemplates), "")
 			// Popular discussions: the §4.1 miner keys on upvotes and
 			// comment counts. Keep the retained-reply invariant
-			// (len(Replies) <= Comments) when overriding the count.
-			p.Upvotes = int(rng.LogNormalMeanMedian(50, 2.2))
-			p.Comments = int(rng.LogNormalMeanMedian(35, 2.2))
-			if len(p.Replies) > p.Comments {
-				p.Replies = p.Replies[:p.Comments]
+			// (replyN <= Comments) when overriding the count.
+			p.post.Upvotes = int(rng.LogNormalMeanMedian(50, 2.2))
+			p.post.Comments = int(rng.LogNormalMeanMedian(35, 2.2))
+			if p.replyN > p.post.Comments {
+				p.replyN = p.post.Comments
 			}
 			out = append(out, p)
 		}
@@ -192,20 +270,18 @@ func (g *generator) day(d timeline.Day, medianSpeed, expectation float64) []Post
 	return out
 }
 
-func (g *generator) newPost(rng *simrand.RNG, d timeline.Day, kind PostKind, body, country string) Post {
+func (g *generator) newPost(rng *simrand.RNG, d timeline.Day, kind PostKind, body, country string) draft {
 	return g.newTitledPost(rng, d, kind, titleFor(kind), body, country)
 }
 
 // maxTextReplies caps how many comments per thread carry text.
 const maxTextReplies = 4
 
-func (g *generator) newTitledPost(rng *simrand.RNG, d timeline.Day, kind PostKind, title, body, country string) Post {
-	g.nextID++
+func (g *generator) newTitledPost(rng *simrand.RNG, d timeline.Day, kind PostKind, title, body, country string) draft {
 	if country == "" {
 		country = simrand.Pick(rng, countries)
 	}
 	p := Post{
-		ID:        g.nextID,
 		Day:       d,
 		Author:    authorName(rng),
 		Title:     title,
@@ -215,19 +291,31 @@ func (g *generator) newTitledPost(rng *simrand.RNG, d timeline.Day, kind PostKin
 		Country:   country,
 		TruthKind: kind,
 	}
-	// Replies draw from their own substream (keyed by post ID) so that
-	// attaching them does not perturb any other draw in the corpus.
-	g.attachReplies(g.root.Derive("replies/%d", p.ID).RNG(), &p)
-	return p
-}
-
-// attachReplies fills the sampled textual comments, toned to the thread.
-func (g *generator) attachReplies(rng *simrand.RNG, p *Post) {
 	n := p.Comments
 	if n > maxTextReplies {
 		n = maxTextReplies
 	}
+	return draft{post: p, replyN: n}
+}
+
+// attachReplies fills the sampled textual comments, toned to the thread.
+// Replies draw from their own substream (keyed by the post's final ID) so
+// that attaching them does not perturb any other draw in the corpus — and
+// so attachment can run after the merge, in parallel across posts.
+func (g *generator) attachReplies(p *Post, n int, angry bool) {
 	if n <= 0 {
+		return
+	}
+	if angry {
+		// Angry threads attract venting, not symptom confirmations.
+		rng := g.root.Derive("replies-angry/%d", p.ID).RNG()
+		p.Replies = make([]Comment, n)
+		for i := range p.Replies {
+			p.Replies[i] = Comment{
+				Author: authorName(rng),
+				Text:   simrand.Pick(rng, outageAngryReplyTemplates),
+			}
+		}
 		return
 	}
 	var pool []string
@@ -245,6 +333,7 @@ func (g *generator) attachReplies(rng *simrand.RNG, p *Post) {
 	default:
 		pool = generalReplyTemplates
 	}
+	rng := g.root.Derive("replies/%d", p.ID).RNG()
 	p.Replies = make([]Comment, n)
 	for i := range p.Replies {
 		p.Replies[i] = Comment{
@@ -297,7 +386,7 @@ func (g *generator) speedTilt(sample, median, expectation float64) float64 {
 	return speedLevelWeight*level + speedPersonalWeight*personal + speedCondGain*cond
 }
 
-func (g *generator) speedTestPost(rng *simrand.RNG, d timeline.Day, medianSpeed, expectation float64) Post {
+func (g *generator) speedTestPost(rng *simrand.RNG, d timeline.Day, medianSpeed, expectation float64) draft {
 	sample := g.cfg.Model.SampleUser(rng, d)
 	report := ocr.Report{
 		Provider:  simrand.PickWeighted(rng, ocr.Providers(), []float64{0.55, 0.2, 0.25}),
@@ -318,8 +407,8 @@ func (g *generator) speedTestPost(rng *simrand.RNG, d timeline.Day, medianSpeed,
 	}
 	p := g.newPost(rng, d, KindSpeedTest, body, "")
 	shot := ocr.RenderNoisy(report, rng, g.cfg.OCRNoise)
-	p.Screenshot = &shot
-	p.TruthReport = &report
+	p.post.Screenshot = &shot
+	p.post.TruthReport = &report
 	return p
 }
 
@@ -331,7 +420,7 @@ func (g *generator) speedTestPost(rng *simrand.RNG, d timeline.Day, medianSpeed,
 // else, the subreddit is where everyone goes (this is the paper's 22 Apr
 // story). Angry posts use emphatic negative language; reported incidents
 // are mostly symptom lists.
-func (g *generator) outagePosts(rng *simrand.RNG, d timeline.Day, o leo.Outage, users float64) []Post {
+func (g *generator) outagePosts(rng *simrand.RNG, d timeline.Day, o leo.Outage, users float64) []draft {
 	sev := o.Severity()
 	var volume, angryFrac float64
 	switch {
@@ -349,7 +438,7 @@ func (g *generator) outagePosts(rng *simrand.RNG, d timeline.Day, o leo.Outage, 
 	// Distinct non-US countries that must appear for a multi-country
 	// outage (the paper counts 14 including the US on 22 Apr).
 	foreign := []string{"CA", "GB", "AU", "DE", "FR", "NZ", "MX", "BR", "IT", "PL", "CL", "PT", "ES"}
-	out := make([]Post, 0, n)
+	out := make([]draft, 0, n)
 	for i := 0; i < n; i++ {
 		country := "US"
 		if o.Scope == leo.ScopeGlobal {
@@ -369,23 +458,15 @@ func (g *generator) outagePosts(rng *simrand.RNG, d timeline.Day, o leo.Outage, 
 			tmpl = simrand.Pick(rng, outageReportTemplates)
 		}
 		p := g.newPost(rng, d, KindOutage, fillPlace(rng, tmpl, country), country)
-		if angry {
-			// Angry threads attract venting, not symptom confirmations;
-			// re-tone the replies from a derived substream.
-			rrng := g.root.Derive("replies-angry/%d", p.ID).RNG()
-			for j := range p.Replies {
-				p.Replies[j] = Comment{
-					Author: authorName(rrng),
-					Text:   simrand.Pick(rrng, outageAngryReplyTemplates),
-				}
-			}
-		}
+		// Angry threads attract venting, not symptom confirmations; the
+		// attach phase re-tones them from the replies-angry substream.
+		p.angry = angry
 		out = append(out, p)
 	}
 	return out
 }
 
-func (g *generator) milestonePosts(rng *simrand.RNG, d timeline.Day, m leo.Milestone) []Post {
+func (g *generator) milestonePosts(rng *simrand.RNG, d timeline.Day, m leo.Milestone) []draft {
 	var pool []string
 	var volume float64
 	var title string
@@ -395,12 +476,8 @@ func (g *generator) milestonePosts(rng *simrand.RNG, d timeline.Day, m leo.Miles
 	case leo.MilestoneDelay:
 		pool, volume, title = delayTemplates, 290*m.Strength, "Delivery delay email"
 	case leo.MilestoneFeatureLeak:
-		// The leak is a trickle, not a burst: open the window through the
-		// announcement day and emit nothing today beyond the trickle.
-		g.leakUntil = g.tweetDay
-		if g.leakUntil < d {
-			g.leakUntil = d + 16
-		}
+		// The leak is a trickle, not a burst: the window it opens is
+		// precomputed (see inLeakWindow) and nothing bursts today.
 		return nil
 	case leo.MilestoneFeatureTweet:
 		pool, volume, title = featureAnnounceTemplates, 260*m.Strength, "Roaming announcement"
@@ -410,7 +487,7 @@ func (g *generator) milestonePosts(rng *simrand.RNG, d timeline.Day, m leo.Miles
 		return nil
 	}
 	n := rng.Poisson(volume)
-	out := make([]Post, 0, n)
+	out := make([]draft, 0, n)
 	for i := 0; i < n; i++ {
 		kind := KindMilestone
 		if m.Kind == leo.MilestoneFeatureTweet || m.Kind == leo.MilestoneFeatureOfficial {

@@ -70,22 +70,11 @@ func BinMeans(b Binner, xs, ys []float64) (BinnedSeries, error) {
 	if len(xs) != len(ys) {
 		return BinnedSeries{}, fmt.Errorf("stats: BinMeans length mismatch: %d xs vs %d ys", len(xs), len(ys))
 	}
-	accs := make([]Online, b.NBins)
+	acc := NewBinAcc(b)
 	for i, x := range xs {
-		if idx := b.Index(x); idx >= 0 {
-			accs[idx].Add(ys[i])
-		}
+		acc.Add(x, ys[i])
 	}
-	s := BinnedSeries{
-		X:     b.Centers(),
-		Y:     make([]float64, b.NBins),
-		Count: make([]int, b.NBins),
-	}
-	for i := range accs {
-		s.Y[i] = accs[i].Mean()
-		s.Count[i] = accs[i].N()
-	}
-	return s, nil
+	return acc.Series(), nil
 }
 
 // NonEmpty returns a copy of the series with empty bins removed, which is
@@ -116,29 +105,11 @@ func BinMeans2D(xb, yb Binner, xs, ys, zs []float64) (Grid2D, error) {
 	if len(xs) != len(ys) || len(xs) != len(zs) {
 		return Grid2D{}, fmt.Errorf("stats: BinMeans2D length mismatch: %d/%d/%d", len(xs), len(ys), len(zs))
 	}
-	accs := make([][]Online, xb.NBins)
-	for i := range accs {
-		accs[i] = make([]Online, yb.NBins)
-	}
+	acc := NewGrid2DAcc(xb, yb)
 	for i := range xs {
-		xi := xb.Index(xs[i])
-		yi := yb.Index(ys[i])
-		if xi >= 0 && yi >= 0 {
-			accs[xi][yi].Add(zs[i])
-		}
+		acc.Add(xs[i], ys[i], zs[i])
 	}
-	g := Grid2D{XBins: xb, YBins: yb}
-	g.Mean = make([][]float64, xb.NBins)
-	g.Count = make([][]int, xb.NBins)
-	for i := range accs {
-		g.Mean[i] = make([]float64, yb.NBins)
-		g.Count[i] = make([]int, yb.NBins)
-		for j := range accs[i] {
-			g.Mean[i][j] = accs[i][j].Mean()
-			g.Count[i][j] = accs[i][j].N()
-		}
-	}
-	return g, nil
+	return acc.Grid(), nil
 }
 
 // BestWorst returns the maximum and minimum non-empty cell means. The
@@ -167,11 +138,9 @@ func (g Grid2D) BestWorst() (best, worst float64, ok bool) {
 
 // Histogram counts observations per bin.
 func Histogram(b Binner, xs []float64) []int {
-	counts := make([]int, b.NBins)
+	h := NewHist(b)
 	for _, x := range xs {
-		if i := b.Index(x); i >= 0 {
-			counts[i]++
-		}
+		h.Add(x)
 	}
-	return counts
+	return h.Counts
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"usersignals/internal/parallel"
 	"usersignals/internal/stats"
 	"usersignals/internal/telemetry"
 )
@@ -31,31 +32,58 @@ func DefaultSizeBuckets() []SizeBucket {
 	}
 }
 
-// ByMeetingSize computes one dose-response series per size stratum.
+// ByMeetingSize computes one dose-response series per size stratum,
+// sharded across one worker per CPU.
 func ByMeetingSize(records []telemetry.SessionRecord, metric telemetry.Metric, eng telemetry.Engagement, b stats.Binner, buckets []SizeBucket, filter telemetry.Filter) (map[string]stats.BinnedSeries, error) {
+	return ByMeetingSizeN(records, metric, eng, b, buckets, filter, 0)
+}
+
+// ByMeetingSizeN is ByMeetingSize over an explicit worker count: each chunk
+// keeps one accumulator per stratum and the strata merge in chunk order, so
+// the result is bit-identical at any worker count.
+func ByMeetingSizeN(records []telemetry.SessionRecord, metric telemetry.Metric, eng telemetry.Engagement, b stats.Binner, buckets []SizeBucket, filter telemetry.Filter, workers int) (map[string]stats.BinnedSeries, error) {
 	if len(buckets) == 0 {
 		buckets = DefaultSizeBuckets()
 	}
-	grouped := map[string][]telemetry.SessionRecord{}
-	for i := range records {
-		r := &records[i]
-		if filter != nil && !filter(r) {
-			continue
-		}
-		for _, bk := range buckets {
-			if r.MeetingSize >= bk.Lo && r.MeetingSize <= bk.Hi {
-				grouped[bk.Name] = append(grouped[bk.Name], *r)
-				break
+	shards, err := parallel.Map(workers, parallel.Chunks(len(records)), func(i int) ([]*stats.BinAcc, error) {
+		lo, hi := parallel.ChunkBounds(i, len(records))
+		accs := make([]*stats.BinAcc, len(buckets))
+		for j := lo; j < hi; j++ {
+			r := &records[j]
+			if filter != nil && !filter(r) {
+				continue
+			}
+			for k, bk := range buckets {
+				if r.MeetingSize >= bk.Lo && r.MeetingSize <= bk.Hi {
+					if accs[k] == nil {
+						accs[k] = stats.NewBinAcc(b)
+					}
+					accs[k].Add(metric.Of(r.Net), r.EngagementOf(eng))
+					break
+				}
 			}
 		}
+		return accs, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("usaas: meeting-size strata: %w", err)
 	}
-	out := make(map[string]stats.BinnedSeries, len(grouped))
-	for name, recs := range grouped {
-		s, err := DoseResponse(recs, metric, eng, b, nil)
-		if err != nil {
-			return nil, fmt.Errorf("usaas: meeting-size stratum %s: %w", name, err)
+	out := make(map[string]stats.BinnedSeries, len(buckets))
+	for k, bk := range buckets {
+		var total *stats.BinAcc
+		for _, shard := range shards {
+			if shard[k] == nil {
+				continue
+			}
+			if total == nil {
+				total = shard[k]
+			} else {
+				total.Merge(shard[k])
+			}
 		}
-		out[name] = s
+		if total != nil {
+			out[bk.Name] = total.Series()
+		}
 	}
 	return out, nil
 }

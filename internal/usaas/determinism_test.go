@@ -1,0 +1,144 @@
+package usaas
+
+import (
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"usersignals/internal/conference"
+	"usersignals/internal/netsim"
+	"usersignals/internal/stats"
+	"usersignals/internal/telemetry"
+)
+
+var (
+	detOnce sync.Once
+	detRecs []telemetry.SessionRecord
+)
+
+// detDataset generates a record set large enough to span many analysis
+// chunks, so worker counts beyond one actually shard the work.
+func detDataset(t *testing.T) []telemetry.SessionRecord {
+	t.Helper()
+	detOnce.Do(func() {
+		sw := netsim.ControlBands()
+		sw.LatencyMs = [2]float64{0, 300}
+		sw.LossPct = [2]float64{0, 4}
+		opts := conference.Defaults(5150, 1200)
+		opts.Paths = &sw
+		opts.SurveyRate = 0.05
+		g, err := conference.New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		detRecs, err = g.GenerateAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	return detRecs
+}
+
+// workerCounts are the golden-test variants: serial, a small fixed pool,
+// and whatever this machine considers "all cores".
+func workerCounts() []int { return []int{1, 4, runtime.NumCPU()} }
+
+// TestDoseResponseParallelIdentical asserts the Fig-1 analysis is
+// bit-identical (not merely close) at every worker count: canonical
+// chunking means the Welford merges happen in the same order no matter
+// how the chunks were scheduled.
+func TestDoseResponseParallelIdentical(t *testing.T) {
+	recs := detDataset(t)
+	b := stats.NewBinner(0, 300, 10)
+	var want stats.BinnedSeries
+	for i, workers := range workerCounts() {
+		got, err := DoseResponseN(recs, telemetry.LatencyMean, telemetry.Presence, b, telemetry.StudyCohort(), workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if i == 0 {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: DoseResponse differs from serial\n got %+v\nwant %+v", workers, got, want)
+		}
+	}
+}
+
+func TestCompoundingParallelIdentical(t *testing.T) {
+	recs := detDataset(t)
+	xb := stats.NewBinner(0, 300, 5)
+	yb := stats.NewBinner(0, 4, 5)
+	var want stats.Grid2D
+	for i, workers := range workerCounts() {
+		got, err := CompoundingN(recs, telemetry.LatencyMean, telemetry.LossMean, telemetry.Presence, xb, yb, telemetry.StudyCohort(), workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if i == 0 {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: Compounding grid differs from serial", workers)
+		}
+	}
+}
+
+func TestByPlatformParallelIdentical(t *testing.T) {
+	recs := detDataset(t)
+	b := stats.NewBinner(0, 4, 6)
+	var want map[string]stats.BinnedSeries
+	for i, workers := range workerCounts() {
+		got, err := ByPlatformN(recs, telemetry.LossMean, telemetry.Presence, b, telemetry.StudyCohort(), workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if i == 0 {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: ByPlatform differs from serial", workers)
+		}
+	}
+}
+
+func TestByMeetingSizeParallelIdentical(t *testing.T) {
+	recs := detDataset(t)
+	b := stats.NewBinner(0, 300, 8)
+	var want map[string]stats.BinnedSeries
+	for i, workers := range workerCounts() {
+		got, err := ByMeetingSizeN(recs, telemetry.LatencyMean, telemetry.Presence, b, nil, telemetry.StudyCohort(), workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if i == 0 {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: ByMeetingSize differs from serial", workers)
+		}
+	}
+}
+
+// TestMonthlySpeedsParallelIdentical covers the OCR extraction sweep: the
+// per-month speed samples must be concatenated in corpus order across
+// shards, because the subsampling RNG draws depend on slice order.
+func TestMonthlySpeedsParallelIdentical(t *testing.T) {
+	c, _, cfg := studyCorpus(t)
+	var want []MonthSpeed
+	for i, workers := range workerCounts() {
+		got := MonthlySpeedsN(c, analyzer, cfg.Model, 7, workers)
+		if i == 0 {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: MonthlySpeeds differs from serial", workers)
+		}
+	}
+}

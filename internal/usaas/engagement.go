@@ -24,32 +24,46 @@
 package usaas
 
 import (
-	"fmt"
 	"math"
 
+	"usersignals/internal/parallel"
 	"usersignals/internal/stats"
 	"usersignals/internal/telemetry"
 )
 
 // DoseResponse bins one engagement metric by one per-session network metric
 // over the filtered records: the Fig. 1 curves. The returned series is the
-// per-bin mean engagement (in percent).
+// per-bin mean engagement (in percent). Work is sharded across one worker
+// per CPU; see DoseResponseN for the determinism contract.
 func DoseResponse(records []telemetry.SessionRecord, metric telemetry.Metric, eng telemetry.Engagement, b stats.Binner, filter telemetry.Filter) (stats.BinnedSeries, error) {
-	xs := make([]float64, 0, len(records))
-	ys := make([]float64, 0, len(records))
-	for i := range records {
-		r := &records[i]
-		if filter != nil && !filter(r) {
-			continue
+	return DoseResponseN(records, metric, eng, b, filter, 0)
+}
+
+// DoseResponseN is DoseResponse over an explicit worker count (<= 0 means
+// one per CPU). Records are sharded into canonical chunks whose per-bin
+// accumulators merge in chunk order, so the result is bit-identical at any
+// worker count — parallelism never changes figure shapes.
+func DoseResponseN(records []telemetry.SessionRecord, metric telemetry.Metric, eng telemetry.Engagement, b stats.Binner, filter telemetry.Filter, workers int) (stats.BinnedSeries, error) {
+	shards, err := parallel.Map(workers, parallel.Chunks(len(records)), func(i int) (*stats.BinAcc, error) {
+		lo, hi := parallel.ChunkBounds(i, len(records))
+		acc := stats.NewBinAcc(b)
+		for j := lo; j < hi; j++ {
+			r := &records[j]
+			if filter != nil && !filter(r) {
+				continue
+			}
+			acc.Add(metric.Of(r.Net), r.EngagementOf(eng))
 		}
-		xs = append(xs, metric.Of(r.Net))
-		ys = append(ys, r.EngagementOf(eng))
-	}
-	s, err := stats.BinMeans(b, xs, ys)
+		return acc, nil
+	})
 	if err != nil {
-		return stats.BinnedSeries{}, fmt.Errorf("usaas: dose-response %v/%v: %w", metric, eng, err)
+		return stats.BinnedSeries{}, err
 	}
-	return s, nil
+	total := stats.NewBinAcc(b)
+	for _, s := range shards {
+		total.Merge(s)
+	}
+	return total.Series(), nil
 }
 
 // StudyFilter composes the §3.1 cohort with the §3.2 control bands for the
@@ -114,42 +128,79 @@ func HalfSlopes(s stats.BinnedSeries) (first, second float64) {
 }
 
 // Compounding computes the 2D latency×loss grid of mean engagement — Fig. 2
-// — over the filtered records.
+// — over the filtered records, sharded across one worker per CPU.
 func Compounding(records []telemetry.SessionRecord, xMetric, yMetric telemetry.Metric, eng telemetry.Engagement, xb, yb stats.Binner, filter telemetry.Filter) (stats.Grid2D, error) {
-	var xs, ys, zs []float64
-	for i := range records {
-		r := &records[i]
-		if filter != nil && !filter(r) {
-			continue
-		}
-		xs = append(xs, xMetric.Of(r.Net))
-		ys = append(ys, yMetric.Of(r.Net))
-		zs = append(zs, r.EngagementOf(eng))
-	}
-	g, err := stats.BinMeans2D(xb, yb, xs, ys, zs)
-	if err != nil {
-		return stats.Grid2D{}, fmt.Errorf("usaas: compounding grid: %w", err)
-	}
-	return g, nil
+	return CompoundingN(records, xMetric, yMetric, eng, xb, yb, filter, 0)
 }
 
-// ByPlatform computes one dose-response series per platform — Fig. 3.
-func ByPlatform(records []telemetry.SessionRecord, metric telemetry.Metric, eng telemetry.Engagement, b stats.Binner, filter telemetry.Filter) (map[string]stats.BinnedSeries, error) {
-	grouped := map[string][]telemetry.SessionRecord{}
-	for i := range records {
-		r := &records[i]
-		if filter != nil && !filter(r) {
-			continue
+// CompoundingN is Compounding over an explicit worker count, with the same
+// canonical-chunk determinism contract as DoseResponseN.
+func CompoundingN(records []telemetry.SessionRecord, xMetric, yMetric telemetry.Metric, eng telemetry.Engagement, xb, yb stats.Binner, filter telemetry.Filter, workers int) (stats.Grid2D, error) {
+	shards, err := parallel.Map(workers, parallel.Chunks(len(records)), func(i int) (*stats.Grid2DAcc, error) {
+		lo, hi := parallel.ChunkBounds(i, len(records))
+		acc := stats.NewGrid2DAcc(xb, yb)
+		for j := lo; j < hi; j++ {
+			r := &records[j]
+			if filter != nil && !filter(r) {
+				continue
+			}
+			acc.Add(xMetric.Of(r.Net), yMetric.Of(r.Net), r.EngagementOf(eng))
 		}
-		grouped[r.Platform] = append(grouped[r.Platform], *r)
+		return acc, nil
+	})
+	if err != nil {
+		return stats.Grid2D{}, err
 	}
-	out := make(map[string]stats.BinnedSeries, len(grouped))
-	for platform, recs := range grouped {
-		s, err := DoseResponse(recs, metric, eng, b, nil)
-		if err != nil {
-			return nil, err
+	total := stats.NewGrid2DAcc(xb, yb)
+	for _, s := range shards {
+		total.Merge(s)
+	}
+	return total.Grid(), nil
+}
+
+// ByPlatform computes one dose-response series per platform — Fig. 3 —
+// sharded across one worker per CPU.
+func ByPlatform(records []telemetry.SessionRecord, metric telemetry.Metric, eng telemetry.Engagement, b stats.Binner, filter telemetry.Filter) (map[string]stats.BinnedSeries, error) {
+	return ByPlatformN(records, metric, eng, b, filter, 0)
+}
+
+// ByPlatformN is ByPlatform over an explicit worker count: each chunk keeps
+// one accumulator per platform it encounters, and the per-platform
+// accumulators merge in chunk order.
+func ByPlatformN(records []telemetry.SessionRecord, metric telemetry.Metric, eng telemetry.Engagement, b stats.Binner, filter telemetry.Filter, workers int) (map[string]stats.BinnedSeries, error) {
+	shards, err := parallel.Map(workers, parallel.Chunks(len(records)), func(i int) (map[string]*stats.BinAcc, error) {
+		lo, hi := parallel.ChunkBounds(i, len(records))
+		accs := map[string]*stats.BinAcc{}
+		for j := lo; j < hi; j++ {
+			r := &records[j]
+			if filter != nil && !filter(r) {
+				continue
+			}
+			acc := accs[r.Platform]
+			if acc == nil {
+				acc = stats.NewBinAcc(b)
+				accs[r.Platform] = acc
+			}
+			acc.Add(metric.Of(r.Net), r.EngagementOf(eng))
 		}
-		out[platform] = s
+		return accs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged := map[string]*stats.BinAcc{}
+	for _, shard := range shards {
+		for platform, acc := range shard {
+			if total := merged[platform]; total != nil {
+				total.Merge(acc)
+			} else {
+				merged[platform] = acc
+			}
+		}
+	}
+	out := make(map[string]stats.BinnedSeries, len(merged))
+	for platform, acc := range merged {
+		out[platform] = acc.Series()
 	}
 	return out, nil
 }

@@ -7,6 +7,7 @@ import (
 	"usersignals/internal/leo"
 	"usersignals/internal/nlp"
 	"usersignals/internal/ocr"
+	"usersignals/internal/parallel"
 	"usersignals/internal/simrand"
 	"usersignals/internal/social"
 	"usersignals/internal/stats"
@@ -38,42 +39,81 @@ type MonthSpeed struct {
 // posts, OCR-extract them, aggregate monthly medians with subsample checks,
 // score the carrying posts' sentiment, and annotate with the constellation
 // timeline. The model is used only for the public annotations (launches,
-// subscriber counts), never for speed values.
+// subscriber counts), never for speed values. The OCR extraction sweep is
+// sharded across one worker per CPU; see MonthlySpeedsN.
 func MonthlySpeeds(c *social.Corpus, an *nlp.Analyzer, model *leo.Model, seed uint64) []MonthSpeed {
+	return MonthlySpeedsN(c, an, model, seed, 0)
+}
+
+// speedShard accumulates one post-chunk of the Fig. 7 extraction sweep.
+type speedShard struct {
+	reports map[timeline.Month]int
+	speeds  map[timeline.Month][]float64
+	strong  map[timeline.Month][2]int // [pos, neg]
+}
+
+// MonthlySpeedsN is MonthlySpeeds over an explicit worker count (<= 0 means
+// one per CPU). Posts shard into canonical chunks; per-month extraction
+// results concatenate in chunk order, reproducing the serial scan exactly,
+// so the output is byte-identical at any worker count.
+func MonthlySpeedsN(c *social.Corpus, an *nlp.Analyzer, model *leo.Model, seed uint64, workers int) []MonthSpeed {
 	months := c.Window.Months()
 	byMonth := make(map[timeline.Month]*MonthSpeed, len(months))
 	speeds := make(map[timeline.Month][]float64, len(months))
-	strong := make(map[timeline.Month][2]int, len(months)) // [pos, neg]
+	strong := make(map[timeline.Month][2]int, len(months))
 
 	for _, m := range months {
 		byMonth[m] = &MonthSpeed{Month: m}
 	}
 
-	for i := range c.Posts {
-		p := &c.Posts[i]
-		if p.Screenshot == nil {
-			continue
+	shards, _ := parallel.Map(workers, parallel.Chunks(len(c.Posts)), func(i int) (speedShard, error) {
+		lo, hi := parallel.ChunkBounds(i, len(c.Posts))
+		sh := speedShard{
+			reports: map[timeline.Month]int{},
+			speeds:  map[timeline.Month][]float64{},
+			strong:  map[timeline.Month][2]int{},
 		}
-		m := timeline.MonthOf(p.Day)
-		ms, ok := byMonth[m]
-		if !ok {
-			continue
+		for j := lo; j < hi; j++ {
+			p := &c.Posts[j]
+			if p.Screenshot == nil {
+				continue
+			}
+			m := timeline.MonthOf(p.Day)
+			if _, ok := byMonth[m]; !ok {
+				continue
+			}
+			ex, err := ocr.Extract(*p.Screenshot)
+			if err != nil {
+				continue // unreadable screenshot: the pipeline moves on
+			}
+			sh.reports[m]++
+			sh.speeds[m] = append(sh.speeds[m], ex.DownMbps)
+			s := an.Score(p.Text())
+			cnt := sh.strong[m]
+			if s.StrongPositive() {
+				cnt[0]++
+			}
+			if s.StrongNegative() {
+				cnt[1]++
+			}
+			sh.strong[m] = cnt
 		}
-		ex, err := ocr.Extract(*p.Screenshot)
-		if err != nil {
-			continue // unreadable screenshot: the pipeline moves on
+		return sh, nil
+	})
+	for _, sh := range shards {
+		for m, n := range sh.reports {
+			byMonth[m].Reports += n
 		}
-		ms.Reports++
-		speeds[m] = append(speeds[m], ex.DownMbps)
-		s := an.Score(p.Text())
-		cnt := strong[m]
-		if s.StrongPositive() {
-			cnt[0]++
+		for _, m := range months {
+			if xs := sh.speeds[m]; len(xs) > 0 {
+				speeds[m] = append(speeds[m], xs...)
+			}
+			cnt := strong[m]
+			add := sh.strong[m]
+			cnt[0] += add[0]
+			cnt[1] += add[1]
+			strong[m] = cnt
 		}
-		if s.StrongNegative() {
-			cnt[1]++
-		}
-		strong[m] = cnt
 	}
 
 	rng := simrand.Root(seed).Derive("usaas/fig7-subsample").RNG()

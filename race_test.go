@@ -1,0 +1,94 @@
+package usersignals
+
+// A short-mode-friendly smoke test for the parallel engine. It is most
+// useful under the race detector (`go test -race ./...`, see README
+// "Testing"): generation and analysis run concurrently at full worker
+// counts, so any unsynchronized access to shared generator or accumulator
+// state trips -race even on a single-core machine.
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"usersignals/internal/conference"
+	"usersignals/internal/netsim"
+	"usersignals/internal/social"
+	"usersignals/internal/stats"
+	"usersignals/internal/telemetry"
+	"usersignals/internal/timeline"
+	"usersignals/internal/usaas"
+)
+
+func TestParallelEngineRaceSmoke(t *testing.T) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4 // force real concurrency even on tiny machines
+	}
+
+	var wg sync.WaitGroup
+	fail := make(chan error, 3)
+
+	// Sharded conference generation, feeding sharded analysis.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sw := netsim.ControlBands()
+		sw.LatencyMs = [2]float64{0, 300}
+		opts := conference.Defaults(31337, 80)
+		opts.Paths = &sw
+		opts.Workers = workers
+		g, err := conference.New(opts)
+		if err != nil {
+			fail <- err
+			return
+		}
+		recs, err := g.GenerateAll()
+		if err != nil {
+			fail <- err
+			return
+		}
+		b := stats.NewBinner(0, 300, 8)
+		if _, err := usaas.DoseResponseN(recs, telemetry.LatencyMean, telemetry.Presence, b, nil, workers); err != nil {
+			fail <- err
+		}
+	}()
+
+	// Day-sharded social generation on a trimmed window.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		cfg := social.DefaultConfig(31338)
+		cfg.Window = timeline.Range{
+			From: cfg.Window.From,
+			To:   cfg.Window.From + 45,
+		}
+		cfg.Workers = workers
+		if _, err := social.Generate(cfg); err != nil {
+			fail <- err
+		}
+	}()
+
+	// A second independent conference generation sharing nothing with the
+	// first except package-level state — which must therefore be read-only.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		opts := conference.Defaults(31339, 80)
+		opts.Workers = workers
+		g, err := conference.New(opts)
+		if err != nil {
+			fail <- err
+			return
+		}
+		if _, err := g.GenerateAll(); err != nil {
+			fail <- err
+		}
+	}()
+
+	wg.Wait()
+	close(fail)
+	for err := range fail {
+		t.Fatal(err)
+	}
+}
