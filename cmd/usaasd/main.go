@@ -3,7 +3,9 @@
 //
 // Usage:
 //
-//	usaasd -addr :8080 -sessions calls.csv -posts posts.jsonl
+//	usaasd -addr :8080 -sessions calls.csv -posts posts.jsonl \
+//	    -read-timeout 2m -write-timeout 2m -idle-timeout 2m \
+//	    -request-timeout 1m -max-inflight 256
 //
 // Endpoints (all JSON):
 //
@@ -46,21 +48,38 @@ import (
 	"usersignals/internal/usaas"
 )
 
+// serverConfig carries the listener and fault-tolerance knobs from flags.
+type serverConfig struct {
+	addr           string
+	token          string
+	readTimeout    time.Duration
+	writeTimeout   time.Duration
+	idleTimeout    time.Duration
+	requestTimeout time.Duration
+	maxInflight    int
+}
+
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
+		cfg      serverConfig
 		sessions = flag.String("sessions", "", "preload session records (.csv or .jsonl, optionally .gz)")
 		posts    = flag.String("posts", "", "preload social posts (.jsonl, optionally .gz)")
-		token    = flag.String("token", "", "require this bearer token on every request")
 	)
+	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:8080", "listen address")
+	flag.StringVar(&cfg.token, "token", "", "require this bearer token on every request")
+	flag.DurationVar(&cfg.readTimeout, "read-timeout", 2*time.Minute, "max time to read a full request (ingest bodies included); 0 disables")
+	flag.DurationVar(&cfg.writeTimeout, "write-timeout", 2*time.Minute, "max time to write a response; 0 disables")
+	flag.DurationVar(&cfg.idleTimeout, "idle-timeout", 2*time.Minute, "max keep-alive idle time per connection; 0 disables")
+	flag.DurationVar(&cfg.requestTimeout, "request-timeout", time.Minute, "per-request handling deadline (503 past it); <0 disables")
+	flag.IntVar(&cfg.maxInflight, "max-inflight", 0, "max concurrently handled requests (429 past it); 0 disables")
 	flag.Parse()
-	if err := run(*addr, *sessions, *posts, *token); err != nil {
+	if err := run(cfg, *sessions, *posts); err != nil {
 		fmt.Fprintln(os.Stderr, "usaasd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, sessionsPath, postsPath, token string) error {
+func run(cfg serverConfig, sessionsPath, postsPath string) error {
 	store := &usaas.Store{}
 	if sessionsPath != "" {
 		n, err := loadSessions(store, sessionsPath)
@@ -79,17 +98,26 @@ func run(addr, sessionsPath, postsPath, token string) error {
 
 	model := leo.NewModel()
 	news := newswire.Build(model.Launches(), leo.MajorOutages(), leo.DefaultMilestones())
-	srv := usaas.NewServer(store, usaas.ServerOptions{Model: model, News: news, AuthToken: token})
+	srv := usaas.NewServer(store, usaas.ServerOptions{
+		Model:          model,
+		News:           news,
+		AuthToken:      cfg.token,
+		RequestTimeout: cfg.requestTimeout,
+		MaxInflight:    cfg.maxInflight,
+	})
 
 	httpSrv := &http.Server{
-		Addr:              addr,
+		Addr:              cfg.addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       cfg.readTimeout,
+		WriteTimeout:      cfg.writeTimeout,
+		IdleTimeout:       cfg.idleTimeout,
 	}
 
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Printf("usaasd listening on http://%s\n", addr)
+		fmt.Printf("usaasd listening on http://%s\n", cfg.addr)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 

@@ -1,0 +1,291 @@
+// Package faults injects deterministic, seeded faults into HTTP paths so
+// that chaos tests are reproducible bit-for-bit.
+//
+// The paper's §5 service ingests telemetry over the same unreliable networks
+// it measures, so the client↔server path must be exercised under drops,
+// duplicates, latency, and truncation. An Injector draws every fault
+// decision from a simrand substream keyed by a per-injector request sequence
+// number: the Nth request through an injector always suffers the same fate
+// for a given seed, regardless of wall-clock time or scheduling — provided
+// requests flow through it serially (concurrent requests still get valid,
+// but order-dependent, decisions).
+//
+// The same Plan drives two attachment points:
+//
+//   - Transport wraps an http.RoundTripper on the client side: connection
+//     errors before the request is sent, injected latency, synthesized
+//     429/500/503 responses, and truncated response bodies.
+//   - Middleware wraps an http.Handler on the server side: injected
+//     latency, synthesized error statuses, and — the nastiest case —
+//     "lost replies" where the inner handler runs to completion (state
+//     changes are applied) but the client receives a 502. Lost replies are
+//     what make idempotent ingest necessary rather than merely nice.
+package faults
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"usersignals/internal/simrand"
+)
+
+// Plan configures an Injector. Probabilities are evaluated independently,
+// in a fixed order, per request: connection error (transport only), lost
+// reply (middleware only), status injection, latency, body truncation
+// (transport only). The zero value injects nothing.
+type Plan struct {
+	// Seed keys the decision stream; the same seed replays the same fault
+	// sequence.
+	Seed uint64
+
+	// ConnErrP is the probability a transport attempt fails with a
+	// connection error before the request reaches the server.
+	ConnErrP float64
+
+	// DropReplyP is the probability the middleware runs the inner handler
+	// (applying its side effects) and then discards its response, answering
+	// 502 instead — a lost acknowledgement.
+	DropReplyP float64
+
+	// StatusP is the probability of answering with an injected error
+	// status from Statuses instead of performing the request.
+	StatusP float64
+
+	// Statuses are the injected statuses (default 429, 500, 503), chosen
+	// uniformly.
+	Statuses []int
+
+	// RetryAfter, when positive, is advertised in a Retry-After header on
+	// injected 429/503 responses.
+	RetryAfter time.Duration
+
+	// LatencyP is the probability of sleeping a uniform duration in
+	// (0, MaxLatency] before proceeding.
+	LatencyP   float64
+	MaxLatency time.Duration
+
+	// TruncateP is the probability a successful transport response body is
+	// cut in half mid-stream (the read fails with io.ErrUnexpectedEOF).
+	TruncateP float64
+}
+
+// Counts tallies what an Injector actually did, for assertions that a chaos
+// test exercised real faults.
+type Counts struct {
+	Requests   int // decisions drawn
+	ConnErrs   int
+	DroppedOKs int // replies discarded after the handler ran
+	Statuses   int
+	Latencies  int
+	Truncated  int
+}
+
+// Faults returns the number of requests that suffered a visible failure
+// (connection error, dropped reply, injected status, or truncation).
+func (c Counts) Faults() int {
+	return c.ConnErrs + c.DroppedOKs + c.Statuses + c.Truncated
+}
+
+// Injector draws per-request fault decisions from a seeded stream. Safe for
+// concurrent use; determinism additionally requires serialized requests.
+type Injector struct {
+	plan   Plan
+	stream *simrand.Stream
+
+	mu     sync.Mutex
+	seq    uint64
+	counts Counts
+}
+
+// New returns an injector for the plan.
+func New(plan Plan) *Injector {
+	if len(plan.Statuses) == 0 {
+		plan.Statuses = []int{http.StatusTooManyRequests, http.StatusInternalServerError, http.StatusServiceUnavailable}
+	}
+	return &Injector{plan: plan, stream: simrand.Root(plan.Seed).Derive("faults")}
+}
+
+// Counts returns a snapshot of the tally so far.
+func (in *Injector) Counts() Counts {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.counts
+}
+
+// decision is one request's drawn fate.
+type decision struct {
+	seq      uint64
+	connErr  bool
+	dropOK   bool
+	status   int
+	latency  time.Duration
+	truncate bool
+}
+
+func (in *Injector) decide() decision {
+	in.mu.Lock()
+	d := decision{seq: in.seq}
+	in.seq++
+	in.counts.Requests++
+	rng := in.stream.Derive("req/%d", d.seq).RNG()
+	p := in.plan
+	d.connErr = rng.Bool(p.ConnErrP)
+	d.dropOK = rng.Bool(p.DropReplyP)
+	if rng.Bool(p.StatusP) {
+		d.status = p.Statuses[rng.Intn(len(p.Statuses))]
+	}
+	if rng.Bool(p.LatencyP) && p.MaxLatency > 0 {
+		d.latency = time.Duration(rng.Range(0, float64(p.MaxLatency))) + 1
+	}
+	d.truncate = rng.Bool(p.TruncateP)
+	in.mu.Unlock()
+	return d
+}
+
+func (in *Injector) count(f func(*Counts)) {
+	in.mu.Lock()
+	f(&in.counts)
+	in.mu.Unlock()
+}
+
+// --- client side ---
+
+type roundTripper struct {
+	in   *Injector
+	base http.RoundTripper
+}
+
+// Transport wraps base (nil means http.DefaultTransport) so every outgoing
+// request passes through the injector.
+func (in *Injector) Transport(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return roundTripper{in: in, base: base}
+}
+
+func (rt roundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	d := rt.in.decide()
+	if d.latency > 0 {
+		rt.in.count(func(c *Counts) { c.Latencies++ })
+		time.Sleep(d.latency)
+	}
+	if d.connErr {
+		rt.in.count(func(c *Counts) { c.ConnErrs++ })
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, fmt.Errorf("faults: injected connection error (request %d)", d.seq)
+	}
+	if d.status != 0 {
+		rt.in.count(func(c *Counts) { c.Statuses++ })
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return syntheticResponse(req, d.status, rt.in.plan.RetryAfter), nil
+	}
+	resp, err := rt.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if d.truncate {
+		rt.in.count(func(c *Counts) { c.Truncated++ })
+		resp.Body = truncateBody(resp.Body)
+		resp.ContentLength = -1
+		resp.Header.Del("Content-Length")
+	}
+	return resp, nil
+}
+
+// syntheticResponse fabricates an error response without touching the
+// network.
+func syntheticResponse(req *http.Request, status int, retryAfter time.Duration) *http.Response {
+	h := http.Header{"Content-Type": []string{"application/json"}}
+	if retryAfter > 0 && (status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable) {
+		h.Set("Retry-After", fmt.Sprint(int(retryAfter.Seconds())))
+	}
+	body := fmt.Sprintf(`{"error":"faults: injected status %d"}`, status)
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", status, http.StatusText(status)),
+		StatusCode:    status,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        h,
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// truncateBody reads the whole body and returns a reader that yields the
+// first half and then fails with io.ErrUnexpectedEOF, as if the connection
+// died mid-transfer.
+func truncateBody(body io.ReadCloser) io.ReadCloser {
+	data, _ := io.ReadAll(body)
+	body.Close()
+	return &truncatedReader{data: data[:len(data)/2]}
+}
+
+type truncatedReader struct {
+	data []byte
+	off  int
+}
+
+func (t *truncatedReader) Read(p []byte) (int, error) {
+	if t.off >= len(t.data) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	n := copy(p, t.data[t.off:])
+	t.off += n
+	return n, nil
+}
+
+func (t *truncatedReader) Close() error { return nil }
+
+// --- server side ---
+
+// Middleware wraps next so every inbound request passes through the
+// injector. Connection-error and truncation probabilities are ignored here;
+// DropReplyP applies only on this side.
+func (in *Injector) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		d := in.decide()
+		if d.latency > 0 {
+			in.count(func(c *Counts) { c.Latencies++ })
+			time.Sleep(d.latency)
+		}
+		if d.status != 0 {
+			in.count(func(c *Counts) { c.Statuses++ })
+			if in.plan.RetryAfter > 0 && (d.status == http.StatusTooManyRequests || d.status == http.StatusServiceUnavailable) {
+				w.Header().Set("Retry-After", fmt.Sprint(int(in.plan.RetryAfter.Seconds())))
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(d.status)
+			fmt.Fprintf(w, `{"error":"faults: injected status %d"}`, d.status)
+			return
+		}
+		if d.dropOK {
+			in.count(func(c *Counts) { c.DroppedOKs++ })
+			// Run the real handler so its side effects land, then lose the
+			// reply: the client sees a 502 for work that actually happened.
+			next.ServeHTTP(discardResponse{header: http.Header{}}, r)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusBadGateway)
+			fmt.Fprint(w, `{"error":"faults: reply lost after processing"}`)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// discardResponse swallows everything the inner handler writes.
+type discardResponse struct{ header http.Header }
+
+func (d discardResponse) Header() http.Header       { return d.header }
+func (d discardResponse) Write(p []byte) (int, error) { return len(p), nil }
+func (d discardResponse) WriteHeader(int)           {}

@@ -1,0 +1,186 @@
+package faults
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// chaosPlan is a representative plan used across the tests.
+func chaosPlan(seed uint64) Plan {
+	return Plan{
+		Seed:       seed,
+		ConnErrP:   0.15,
+		StatusP:    0.15,
+		TruncateP:  0.1,
+		DropReplyP: 0.1,
+		RetryAfter: time.Second,
+	}
+}
+
+// fateOf summarizes one decision for comparison.
+func fateOf(d decision) [4]any {
+	return [4]any{d.connErr, d.dropOK, d.status, d.truncate}
+}
+
+func TestDecisionsAreDeterministic(t *testing.T) {
+	a, b := New(chaosPlan(7)), New(chaosPlan(7))
+	other := New(chaosPlan(8))
+	same, diff := 0, 0
+	for i := 0; i < 200; i++ {
+		da, db, dc := a.decide(), b.decide(), other.decide()
+		if fateOf(da) != fateOf(db) {
+			t.Fatalf("request %d: same seed diverged: %v vs %v", i, da, db)
+		}
+		if fateOf(da) == fateOf(dc) {
+			same++
+		} else {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}
+
+func TestInjectionRateRoughlyMatchesPlan(t *testing.T) {
+	in := New(Plan{Seed: 3, ConnErrP: 0.25})
+	n, errs := 2000, 0
+	for i := 0; i < n; i++ {
+		if in.decide().connErr {
+			errs++
+		}
+	}
+	rate := float64(errs) / float64(n)
+	if rate < 0.20 || rate > 0.30 {
+		t.Fatalf("conn-error rate %.3f, want ~0.25", rate)
+	}
+}
+
+func TestTransportInjectsFaults(t *testing.T) {
+	var served atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"ok":true,"padding":"`+strings.Repeat("x", 256)+`"}`)
+	}))
+	defer ts.Close()
+
+	in := New(Plan{Seed: 11, ConnErrP: 0.3, StatusP: 0.3, TruncateP: 0.2, RetryAfter: 2 * time.Second})
+	client := &http.Client{Transport: in.Transport(ts.Client().Transport)}
+
+	var connErrs, statuses, truncated, ok int
+	for i := 0; i < 300; i++ {
+		resp, err := client.Get(ts.URL)
+		if err != nil {
+			if !strings.Contains(err.Error(), "injected connection error") {
+				t.Fatalf("unexpected transport error: %v", err)
+			}
+			connErrs++
+			continue
+		}
+		body, readErr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode != http.StatusOK:
+			statuses++
+			var apiErr struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(body, &apiErr); err != nil || apiErr.Error == "" {
+				t.Fatalf("injected status %d carried unparseable body %q", resp.StatusCode, body)
+			}
+			if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+				if resp.Header.Get("Retry-After") != "2" {
+					t.Fatalf("Retry-After = %q on status %d", resp.Header.Get("Retry-After"), resp.StatusCode)
+				}
+			}
+		case readErr != nil:
+			if readErr != io.ErrUnexpectedEOF {
+				t.Fatalf("truncated read error = %v", readErr)
+			}
+			truncated++
+		default:
+			ok++
+		}
+	}
+	c := in.Counts()
+	if c.ConnErrs != connErrs || c.Statuses != statuses || c.Truncated != truncated {
+		t.Fatalf("counts %+v vs observed conn=%d status=%d trunc=%d", c, connErrs, statuses, truncated)
+	}
+	if connErrs == 0 || statuses == 0 || truncated == 0 || ok == 0 {
+		t.Fatalf("fault mix not exercised: conn=%d status=%d trunc=%d ok=%d", connErrs, statuses, truncated, ok)
+	}
+	// Injected statuses and conn errors never reach the server.
+	if got := int(served.Load()); got != ok+truncated {
+		t.Fatalf("server served %d, want %d", got, ok+truncated)
+	}
+}
+
+func TestMiddlewareDropsRepliesAfterProcessing(t *testing.T) {
+	var applied atomic.Int64
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		applied.Add(1)
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, `{"ok":true}`)
+	})
+	in := New(Plan{Seed: 5, DropReplyP: 0.4, StatusP: 0.2})
+	ts := httptest.NewServer(in.Middleware(inner))
+	defer ts.Close()
+
+	var dropped, injected, ok int
+	for i := 0; i < 200; i++ {
+		resp, err := http.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			ok++
+		case http.StatusBadGateway:
+			dropped++
+		default:
+			injected++
+		}
+	}
+	if dropped == 0 || injected == 0 || ok == 0 {
+		t.Fatalf("mix not exercised: ok=%d dropped=%d injected=%d", ok, dropped, injected)
+	}
+	// Lost replies still ran the handler: side effects == OK + dropped.
+	if got := int(applied.Load()); got != ok+dropped {
+		t.Fatalf("handler ran %d times, want %d", got, ok+dropped)
+	}
+	c := in.Counts()
+	if c.DroppedOKs != dropped || c.Statuses != injected {
+		t.Fatalf("counts %+v vs dropped=%d injected=%d", c, dropped, injected)
+	}
+}
+
+func TestZeroPlanIsTransparent(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer ts.Close()
+	in := New(Plan{Seed: 1})
+	client := &http.Client{Transport: in.Transport(ts.Client().Transport)}
+	for i := 0; i < 50; i++ {
+		resp, err := client.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || string(body) != "ok" || resp.StatusCode != http.StatusOK {
+			t.Fatalf("zero plan interfered: %d %q %v", resp.StatusCode, body, err)
+		}
+	}
+	if c := in.Counts(); c.Faults() != 0 || c.Requests != 50 {
+		t.Fatalf("counts = %+v", c)
+	}
+}

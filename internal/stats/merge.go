@@ -33,16 +33,19 @@ func (a *BinAcc) Add(x, y float64) {
 }
 
 // Merge combines another accumulator over the same binner into this one.
-func (a *BinAcc) Merge(other *BinAcc) {
+// Merging accumulators over different binners returns an error (a malformed
+// shard must degrade the analysis, not crash the process).
+func (a *BinAcc) Merge(other *BinAcc) error {
 	if other == nil {
-		return
+		return nil
 	}
 	if a.B != other.B {
-		panic(fmt.Sprintf("stats: BinAcc.Merge binner mismatch: %+v vs %+v", a.B, other.B))
+		return fmt.Errorf("stats: BinAcc.Merge binner mismatch: %+v vs %+v", a.B, other.B)
 	}
 	for i := range a.Accs {
 		a.Accs[i].Merge(other.Accs[i])
 	}
+	return nil
 }
 
 // Series snapshots the accumulator as a BinnedSeries.
@@ -84,19 +87,22 @@ func (g *Grid2DAcc) Add(x, y, z float64) {
 	}
 }
 
-// Merge combines another accumulator over the same grid into this one.
-func (g *Grid2DAcc) Merge(other *Grid2DAcc) {
+// Merge combines another accumulator over the same grid into this one, or
+// returns an error on a grid mismatch.
+func (g *Grid2DAcc) Merge(other *Grid2DAcc) error {
 	if other == nil {
-		return
+		return nil
 	}
 	if g.XB != other.XB || g.YB != other.YB {
-		panic("stats: Grid2DAcc.Merge binner mismatch")
+		return fmt.Errorf("stats: Grid2DAcc.Merge binner mismatch: (%+v,%+v) vs (%+v,%+v)",
+			g.XB, g.YB, other.XB, other.YB)
 	}
 	for i := range g.Accs {
 		for j := range g.Accs[i] {
 			g.Accs[i][j].Merge(other.Accs[i][j])
 		}
 	}
+	return nil
 }
 
 // Grid snapshots the accumulator as a Grid2D.
@@ -133,17 +139,19 @@ func (h *Hist) Add(x float64) {
 	}
 }
 
-// Merge combines another histogram over the same binner into this one.
-func (h *Hist) Merge(other *Hist) {
+// Merge combines another histogram over the same binner into this one, or
+// returns an error on a binner mismatch.
+func (h *Hist) Merge(other *Hist) error {
 	if other == nil {
-		return
+		return nil
 	}
 	if h.B != other.B {
-		panic("stats: Hist.Merge binner mismatch")
+		return fmt.Errorf("stats: Hist.Merge binner mismatch: %+v vs %+v", h.B, other.B)
 	}
 	for i, c := range other.Counts {
 		h.Counts[i] += c
 	}
+	return nil
 }
 
 // BinMeansN is BinMeans over `workers` goroutines: xs is sharded into
@@ -166,7 +174,9 @@ func BinMeansN(b Binner, xs, ys []float64, workers int) (BinnedSeries, error) {
 	}
 	total := NewBinAcc(b)
 	for _, s := range shards {
-		total.Merge(s)
+		if err := total.Merge(s); err != nil {
+			return BinnedSeries{}, err
+		}
 	}
 	return total.Series(), nil
 }
@@ -190,7 +200,9 @@ func BinMeans2DN(xb, yb Binner, xs, ys, zs []float64, workers int) (Grid2D, erro
 	}
 	total := NewGrid2DAcc(xb, yb)
 	for _, s := range shards {
-		total.Merge(s)
+		if err := total.Merge(s); err != nil {
+			return Grid2D{}, err
+		}
 	}
 	return total.Grid(), nil
 }

@@ -71,7 +71,9 @@ func TestHistMergeProperty(t *testing.T) {
 		for _, x := range xs[split:] {
 			right.Add(x)
 		}
-		left.Merge(right)
+		if err := left.Merge(right); err != nil {
+			return false
+		}
 		return reflect.DeepEqual(left.Counts, whole.Counts)
 	}
 	if err := quick.Check(prop, quickCfg()); err != nil {
@@ -95,7 +97,9 @@ func TestBinAccMergeProperty(t *testing.T) {
 		add(whole, xs)
 		add(left, xs[:split])
 		add(right, xs[split:])
-		left.Merge(right)
+		if err := left.Merge(right); err != nil {
+			return false
+		}
 		ws, ls := whole.Series(), left.Series()
 		if !reflect.DeepEqual(ws.Count, ls.Count) {
 			return false
@@ -126,7 +130,9 @@ func TestGrid2DAccMergeProperty(t *testing.T) {
 		add(whole, xs)
 		add(left, xs[:split])
 		add(right, xs[split:])
-		left.Merge(right)
+		if err := left.Merge(right); err != nil {
+			return false
+		}
 		wg, lg := whole.Grid(), left.Grid()
 		if !reflect.DeepEqual(wg.Count, lg.Count) {
 			return false
@@ -142,6 +148,41 @@ func TestGrid2DAccMergeProperty(t *testing.T) {
 	}
 	if err := quick.Check(prop, quickCfg()); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestMergeBinnerMismatchErrors pins the degradation contract: a shard
+// accumulated over the wrong binner must surface as a returned error — never
+// a panic — and must leave the receiver untouched. Nil merges stay no-ops.
+func TestMergeBinnerMismatchErrors(t *testing.T) {
+	a, b := NewBinner(0, 10, 5), NewBinner(0, 10, 7)
+
+	ba := NewBinAcc(a)
+	ba.Add(1, 2)
+	if err := ba.Merge(NewBinAcc(b)); err == nil {
+		t.Fatal("BinAcc.Merge accepted a binner mismatch")
+	}
+	if err := ba.Merge(nil); err != nil {
+		t.Fatalf("BinAcc.Merge(nil) = %v", err)
+	}
+	if s := ba.Series(); s.Count[0] != 1 {
+		t.Fatalf("failed merge mutated the receiver: %+v", s)
+	}
+
+	ga := NewGrid2DAcc(a, a)
+	if err := ga.Merge(NewGrid2DAcc(a, b)); err == nil {
+		t.Fatal("Grid2DAcc.Merge accepted a grid mismatch")
+	}
+	if err := ga.Merge(nil); err != nil {
+		t.Fatalf("Grid2DAcc.Merge(nil) = %v", err)
+	}
+
+	ha := NewHist(a)
+	if err := ha.Merge(NewHist(b)); err == nil {
+		t.Fatal("Hist.Merge accepted a binner mismatch")
+	}
+	if err := ha.Merge(nil); err != nil {
+		t.Fatalf("Hist.Merge(nil) = %v", err)
 	}
 }
 

@@ -1,0 +1,200 @@
+package usaas
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"usersignals/internal/faults"
+	"usersignals/internal/telemetry"
+)
+
+// pipelineResult captures everything the chaos test compares between a
+// fault-free and a faulted run: the analysis products and the store state.
+type pipelineResult struct {
+	Sessions   int
+	Posts      int
+	Engagement []byte
+	MOS        []byte
+	Report     []byte
+}
+
+// runChaosPipeline drives generate→ingest→query through optional client and
+// server fault injectors. Ingest uses fixed per-chunk batch IDs so retried
+// deliveries dedup, and the final analyses are fetched over the same faulty
+// path.
+func runChaosPipeline(t *testing.T, clientFaults, serverFaults *faults.Injector) pipelineResult {
+	t.Helper()
+	c, news, cfg := studyCorpus(t)
+	recs := mixDataset(t)
+	if len(recs) > 1200 {
+		recs = recs[:1200]
+	}
+	posts := c.Posts
+	if len(posts) > 1200 {
+		posts = posts[:1200]
+	}
+
+	store := &Store{}
+	srv := NewServer(store, ServerOptions{News: news, Model: cfg.Model})
+	handler := srv.Handler()
+	if serverFaults != nil {
+		handler = serverFaults.Middleware(handler)
+	}
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	transport := ts.Client().Transport
+	if clientFaults != nil {
+		transport = clientFaults.Transport(transport)
+	}
+	client := NewClientWithOptions(ts.URL, ClientOptions{
+		HTTPClient: &http.Client{Transport: transport},
+		Retry:      RetryPolicy{MaxAttempts: 10, BaseBackoff: time.Nanosecond, MaxBackoff: time.Microsecond},
+		Breaker:    BreakerPolicy{FailureThreshold: -1},
+		Sleep:      func(time.Duration) {},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	// Ingest both signal families in chunks, each under a stable batch ID:
+	// exactly what a real uploader resuming over a flaky network would do.
+	const chunks = 4
+	for i := 0; i < chunks; i++ {
+		lo, hi := i*len(recs)/chunks, (i+1)*len(recs)/chunks
+		if _, err := client.IngestSessionsBatch(ctx, fmt.Sprintf("chaos-sess-%d", i), recs[lo:hi]); err != nil {
+			t.Fatalf("session chunk %d: %v", i, err)
+		}
+		lo, hi = i*len(posts)/chunks, (i+1)*len(posts)/chunks
+		if _, err := client.IngestPostsBatch(ctx, fmt.Sprintf("chaos-post-%d", i), posts[lo:hi]); err != nil {
+			t.Fatalf("post chunk %d: %v", i, err)
+		}
+	}
+
+	// Replay one already-acknowledged batch, as a retrying client whose
+	// first acknowledgement was lost would: the store must not grow.
+	beforeS, beforeP := store.Counts()
+	dup, err := client.IngestSessionsBatch(ctx, "chaos-sess-0", recs[:len(recs)/chunks])
+	if err != nil {
+		t.Fatalf("batch replay: %v", err)
+	}
+	if !dup.Duplicate {
+		t.Fatalf("replayed batch not flagged duplicate: %+v", dup)
+	}
+	afterS, afterP := store.Counts()
+	if afterS != beforeS || afterP != beforeP {
+		t.Fatalf("replayed batch grew the store: %d/%d → %d/%d", beforeS, beforeP, afterS, afterP)
+	}
+
+	var out pipelineResult
+	out.Sessions, out.Posts = store.Counts()
+
+	eng, err := client.Engagement(ctx, EngagementQuery{
+		Metric: telemetry.LatencyMean, Engagement: telemetry.MicOn,
+		Lo: 0, Hi: 300, Bins: 8,
+	})
+	if err != nil {
+		t.Fatalf("engagement query: %v", err)
+	}
+	if out.Engagement, err = json.Marshal(eng); err != nil {
+		t.Fatal(err)
+	}
+	mos, err := client.MOS(ctx)
+	if err != nil {
+		t.Fatalf("mos query: %v", err)
+	}
+	if out.MOS, err = json.Marshal(mos); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := client.Report(ctx)
+	if err != nil {
+		t.Fatalf("report query: %v", err)
+	}
+	if out.Report, err = json.Marshal(rep); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestChaosPipelineFaultsAreInvisible is the acceptance gate for the fault
+// layer: with >20% of requests failing (deterministically, per seed), the
+// retrying client plus idempotent ingest must deliver analysis results
+// byte-identical to a fault-free run. Faults may cost latency, never
+// science.
+func TestChaosPipelineFaultsAreInvisible(t *testing.T) {
+	baseline := runChaosPipeline(t, nil, nil)
+	if baseline.Sessions == 0 || baseline.Posts == 0 {
+		t.Fatalf("baseline ingested %d/%d", baseline.Sessions, baseline.Posts)
+	}
+
+	for _, seed := range []uint64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			clientFaults := faults.New(faults.Plan{
+				Seed:       seed,
+				ConnErrP:   0.10,
+				StatusP:    0.10,
+				TruncateP:  0.05,
+				RetryAfter: time.Second,
+			})
+			serverFaults := faults.New(faults.Plan{
+				Seed:       seed + 1000,
+				StatusP:    0.08,
+				DropReplyP: 0.08,
+				RetryAfter: time.Second,
+			})
+			got := runChaosPipeline(t, clientFaults, serverFaults)
+
+			cc, sc := clientFaults.Counts(), serverFaults.Counts()
+			faultsSeen := cc.Faults() + sc.Faults()
+			// Requests are double-counted across the two injectors only for
+			// attempts that reach the server; the client injector sees every
+			// attempt, so rate against it.
+			if cc.Requests == 0 {
+				t.Fatal("client injector saw no requests")
+			}
+			rate := float64(faultsSeen) / float64(cc.Requests)
+			t.Logf("requests=%d faults=%d (%.0f%%: conn=%d clientStatus=%d trunc=%d serverStatus=%d dropped=%d)",
+				cc.Requests, faultsSeen, 100*rate, cc.ConnErrs, cc.Statuses, cc.Truncated, sc.Statuses, sc.DroppedOKs)
+			if rate < 0.20 {
+				t.Fatalf("fault rate %.2f below the 20%% acceptance floor", rate)
+			}
+
+			if got.Sessions != baseline.Sessions || got.Posts != baseline.Posts {
+				t.Fatalf("store counts %d/%d differ from fault-free %d/%d — lost or duplicated ingest",
+					got.Sessions, got.Posts, baseline.Sessions, baseline.Posts)
+			}
+			if string(got.Engagement) != string(baseline.Engagement) {
+				t.Fatalf("engagement differs under faults:\n got %s\nwant %s", got.Engagement, baseline.Engagement)
+			}
+			if string(got.MOS) != string(baseline.MOS) {
+				t.Fatalf("MOS differs under faults:\n got %s\nwant %s", got.MOS, baseline.MOS)
+			}
+			if string(got.Report) != string(baseline.Report) {
+				t.Fatalf("report differs under faults:\n got %s\nwant %s", got.Report, baseline.Report)
+			}
+		})
+	}
+}
+
+// TestChaosRunsAreDeterministic pins the reproducibility contract of the
+// injector itself end-to-end: the same seed must replay the same fault
+// sequence, fault for fault.
+func TestChaosRunsAreDeterministic(t *testing.T) {
+	run := func() faults.Counts {
+		in := faults.New(faults.Plan{Seed: 42, ConnErrP: 0.15, StatusP: 0.15, TruncateP: 0.05})
+		runChaosPipeline(t, in, nil)
+		return in.Counts()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed, different fault history: %+v vs %+v", a, b)
+	}
+	if a.Faults() == 0 {
+		t.Fatal("plan injected nothing")
+	}
+}

@@ -3,42 +3,201 @@ package usaas
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
 
+	"usersignals/internal/simrand"
 	"usersignals/internal/social"
 	"usersignals/internal/telemetry"
 	"usersignals/internal/timeline"
 )
 
-// Client is a typed HTTP client for the USaaS service.
+// BatchIDHeader carries the client-chosen idempotency key on ingest
+// requests. The server deduplicates batches by this key, so a retried
+// ingest whose first acknowledgement was lost is applied exactly once.
+const BatchIDHeader = "X-Usaas-Batch-Id"
+
+// ErrCircuitOpen is returned (wrapped) when the client's circuit breaker is
+// open: recent consecutive failures exceeded the threshold and the cooldown
+// has not elapsed, so requests fail fast instead of hammering a sick server.
+var ErrCircuitOpen = errors.New("usaas client: circuit breaker open")
+
+// RetryPolicy configures the client's retry loop. Retries apply to
+// transport errors, truncated/undecodable response bodies, and 429/5xx
+// statuses; other 4xx statuses and context cancellation fail immediately.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (default 4; 1 disables retries).
+	MaxAttempts int
+	// BaseBackoff seeds the exponential backoff: attempt n waits
+	// BaseBackoff * 2^(n-1), ±50% deterministic jitter (default 50ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps each wait, including server-requested Retry-After
+	// delays (default 2s).
+	MaxBackoff time.Duration
+	// JitterSeed keys the deterministic jitter stream (default 1).
+	JitterSeed uint64
+}
+
+// BreakerPolicy configures the client's circuit breaker, which counts
+// consecutive failed calls (after retries) against FailureThreshold.
+type BreakerPolicy struct {
+	// FailureThreshold is the number of consecutive failures that opens
+	// the breaker (default 8; negative disables the breaker).
+	FailureThreshold int
+	// Cooldown is how long the breaker stays open before allowing a probe
+	// (default 5s). A failed probe reopens it immediately.
+	Cooldown time.Duration
+}
+
+// ClientOptions configures NewClientWithOptions. The zero value gives the
+// same defaults as NewClient.
+type ClientOptions struct {
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// Token, when set, authenticates every request ("Bearer <token>").
+	Token string
+	// Retry tunes the retry loop; zero fields take defaults.
+	Retry RetryPolicy
+	// Breaker tunes the circuit breaker; zero fields take defaults.
+	Breaker BreakerPolicy
+	// BatchPrefix namespaces auto-generated ingest batch IDs. Defaults to
+	// a random per-client value; set it explicitly when batch IDs must be
+	// stable across client restarts (resuming an interrupted upload).
+	BatchPrefix string
+	// Sleep replaces the backoff sleeper (tests). nil uses a
+	// context-aware timer.
+	Sleep func(time.Duration)
+	// Now replaces the clock used by the circuit breaker (tests).
+	Now func() time.Time
+}
+
+// Client is a typed HTTP client for the USaaS service. All calls retry
+// transient failures with exponential backoff and honor Retry-After; ingest
+// calls carry idempotency keys so retries never double-count (at-least-once
+// delivery + server-side dedup = effectively-once ingest).
 type Client struct {
-	base  string
-	http  *http.Client
-	token string
+	base    string
+	http    *http.Client
+	token   string
+	retry   RetryPolicy
+	breaker BreakerPolicy
+	sleep   func(time.Duration)
+	now     func() time.Time
+
+	// Shared across WithToken copies.
+	jitter   *lockedRNG
+	state    *breakerState
+	batchSeq *atomic.Uint64
+	batchPre string
+}
+
+type lockedRNG struct {
+	mu  sync.Mutex
+	rng *simrand.RNG
+}
+
+func (l *lockedRNG) float64() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rng.Float64()
+}
+
+type breakerState struct {
+	mu        sync.Mutex
+	fails     int       // consecutive failures while closed
+	openUntil time.Time // zero when closed
+	halfOpen  bool      // cooldown elapsed, one probe in flight
 }
 
 // NewClient returns a client for the service at baseURL (e.g.
-// "http://127.0.0.1:8080"). httpClient may be nil for the default.
+// "http://127.0.0.1:8080") with default retry and breaker policies.
+// httpClient may be nil for the default.
 func NewClient(baseURL string, httpClient *http.Client) *Client {
-	if httpClient == nil {
-		httpClient = http.DefaultClient
+	return NewClientWithOptions(baseURL, ClientOptions{HTTPClient: httpClient})
+}
+
+// NewClientWithOptions returns a client with explicit fault-tolerance
+// policies.
+func NewClientWithOptions(baseURL string, opts ClientOptions) *Client {
+	hc := opts.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
 	}
-	return &Client{base: baseURL, http: httpClient}
+	r := opts.Retry
+	if r.MaxAttempts <= 0 {
+		r.MaxAttempts = 4
+	}
+	if r.BaseBackoff <= 0 {
+		r.BaseBackoff = 50 * time.Millisecond
+	}
+	if r.MaxBackoff <= 0 {
+		r.MaxBackoff = 2 * time.Second
+	}
+	if r.JitterSeed == 0 {
+		r.JitterSeed = 1
+	}
+	b := opts.Breaker
+	if b.FailureThreshold == 0 {
+		b.FailureThreshold = 8
+	}
+	if b.Cooldown <= 0 {
+		b.Cooldown = 5 * time.Second
+	}
+	pre := opts.BatchPrefix
+	if pre == "" {
+		var buf [8]byte
+		if _, err := rand.Read(buf[:]); err == nil {
+			pre = hex.EncodeToString(buf[:])
+		} else {
+			pre = "batch"
+		}
+	}
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
+	return &Client{
+		base:     baseURL,
+		http:     hc,
+		token:    opts.Token,
+		retry:    r,
+		breaker:  b,
+		sleep:    opts.Sleep,
+		now:      now,
+		jitter:   &lockedRNG{rng: simrand.Root(r.JitterSeed).Derive("usaas/client-jitter").RNG()},
+		state:    &breakerState{},
+		batchSeq: &atomic.Uint64{},
+		batchPre: pre,
+	}
 }
 
 // WithToken returns a copy of the client that authenticates with the given
-// bearer token.
+// bearer token. The copy shares the original's breaker state and batch
+// sequence.
 func (c *Client) WithToken(token string) *Client {
 	cp := *c
 	cp.token = token
 	return &cp
 }
 
-func (c *Client) post(ctx context.Context, path string, in, out any) error {
+// nextBatchID mints a fresh idempotency key: stable for the retries of one
+// logical ingest call, distinct across calls.
+func (c *Client) nextBatchID() string {
+	return c.batchPre + "-" + strconv.FormatUint(c.batchSeq.Add(1), 10)
+}
+
+func (c *Client) post(ctx context.Context, path string, batchID string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return fmt.Errorf("usaas client: encoding %s request: %w", path, err)
@@ -48,6 +207,9 @@ func (c *Client) post(ctx context.Context, path string, in, out any) error {
 		return fmt.Errorf("usaas client: building %s request: %w", path, err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if batchID != "" {
+		req.Header.Set(BatchIDHeader, batchID)
+	}
 	return c.do(req, out)
 }
 
@@ -63,56 +225,286 @@ func (c *Client) get(ctx context.Context, path string, query url.Values, out any
 	return c.do(req, out)
 }
 
+// statusError is a non-200 response; it keeps the status and any
+// Retry-After hint so the retry loop can classify and pace itself.
+type statusError struct {
+	method, path string
+	status       int
+	msg          string
+	retryAfter   time.Duration
+}
+
+func (e *statusError) Error() string {
+	if e.msg != "" {
+		return fmt.Sprintf("usaas client: %s %s: %s (status %d)", e.method, e.path, e.msg, e.status)
+	}
+	return fmt.Sprintf("usaas client: %s %s: status %d", e.method, e.path, e.status)
+}
+
+// transientError marks a failure after the response started (truncated or
+// undecodable body): the request may have been applied, so it is safe to
+// retry only because ingest is idempotent and queries are read-only.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// retryable reports whether the retry loop should try again.
+func retryable(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var se *statusError
+	if errors.As(err, &se) {
+		switch se.status {
+		case http.StatusTooManyRequests, http.StatusInternalServerError,
+			http.StatusBadGateway, http.StatusServiceUnavailable,
+			http.StatusGatewayTimeout:
+			return true
+		}
+		return false
+	}
+	var te *transientError
+	if errors.As(err, &te) {
+		return true
+	}
+	var ue *url.Error
+	return errors.As(err, &ue) // transport-level failure
+}
+
+// countsAgainstBreaker reports whether a failure indicates server sickness
+// (as opposed to a caller mistake like a 400 or a canceled context).
+func countsAgainstBreaker(err error) bool {
+	return retryable(err)
+}
+
+// do runs one logical call: breaker check, attempt, classify, back off,
+// retry. Requests with non-replayable bodies (req.GetBody == nil on a
+// body-carrying request) are never retried.
 func (c *Client) do(req *http.Request, out any) error {
 	if c.token != "" {
 		req.Header.Set("Authorization", "Bearer "+c.token)
 	}
+	ctx := req.Context()
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		if err := c.breakerAllow(); err != nil {
+			if lastErr != nil {
+				return fmt.Errorf("%w (last error: %v)", err, lastErr)
+			}
+			return err
+		}
+		err := c.doOnce(req, out)
+		c.breakerRecord(err)
+		if err == nil {
+			return nil
+		}
+		if !retryable(err) || attempt >= c.retry.MaxAttempts {
+			return err
+		}
+		if req.Body != nil && req.GetBody == nil {
+			return err // streaming body: cannot replay
+		}
+		if werr := c.wait(ctx, c.backoff(attempt, err)); werr != nil {
+			return fmt.Errorf("usaas client: %s %s: %w (last error: %v)", req.Method, req.URL.Path, werr, err)
+		}
+		if req.GetBody != nil {
+			body, berr := req.GetBody()
+			if berr != nil {
+				return fmt.Errorf("usaas client: replaying %s body: %w", req.URL.Path, berr)
+			}
+			req.Body = body
+		}
+		lastErr = err
+	}
+}
+
+// doOnce performs a single HTTP attempt.
+func (c *Client) doOnce(req *http.Request, out any) error {
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return fmt.Errorf("usaas client: %s %s: %w", req.Method, req.URL.Path, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		se := &statusError{
+			method:     req.Method,
+			path:       req.URL.Path,
+			status:     resp.StatusCode,
+			retryAfter: parseRetryAfter(resp.Header.Get("Retry-After"), c.now),
+		}
 		var apiErr apiError
 		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
-			return fmt.Errorf("usaas client: %s %s: %s (status %d)", req.Method, req.URL.Path, apiErr.Error, resp.StatusCode)
+			se.msg = apiErr.Error
 		}
-		return fmt.Errorf("usaas client: %s %s: status %d", req.Method, req.URL.Path, resp.StatusCode)
+		return se
 	}
 	if out == nil {
+		// Drain so the connection can be reused.
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
 		return nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("usaas client: decoding %s response: %w", req.URL.Path, err)
+		if cerr := req.Context().Err(); cerr != nil {
+			return fmt.Errorf("usaas client: decoding %s response: %w", req.URL.Path, cerr)
+		}
+		return &transientError{fmt.Errorf("usaas client: decoding %s response: %w", req.URL.Path, err)}
 	}
 	return nil
 }
 
+// parseRetryAfter handles both delta-seconds and HTTP-date forms.
+func parseRetryAfter(v string, now func() time.Time) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := t.Sub(now()); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// backoff computes the wait before the next attempt: the server's
+// Retry-After when present, otherwise exponential backoff with ±50%
+// deterministic jitter; both capped at MaxBackoff.
+func (c *Client) backoff(attempt int, err error) time.Duration {
+	var se *statusError
+	if errors.As(err, &se) && se.retryAfter > 0 {
+		if se.retryAfter > c.retry.MaxBackoff {
+			return c.retry.MaxBackoff
+		}
+		return se.retryAfter
+	}
+	d := c.retry.BaseBackoff << (attempt - 1)
+	if d > c.retry.MaxBackoff || d <= 0 {
+		d = c.retry.MaxBackoff
+	}
+	jittered := time.Duration(float64(d) * (0.5 + c.jitter.float64()))
+	if jittered > c.retry.MaxBackoff {
+		return c.retry.MaxBackoff
+	}
+	return jittered
+}
+
+// wait sleeps for d or until the context is done.
+func (c *Client) wait(ctx context.Context, d time.Duration) error {
+	if c.sleep != nil {
+		c.sleep(d)
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// breakerAllow fails fast while the breaker is open; after the cooldown it
+// admits a single half-open probe.
+func (c *Client) breakerAllow() error {
+	if c.breaker.FailureThreshold < 0 {
+		return nil
+	}
+	s := c.state
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.openUntil.IsZero() {
+		return nil
+	}
+	if c.now().Before(s.openUntil) {
+		return fmt.Errorf("%w until %s", ErrCircuitOpen, s.openUntil.Format(time.RFC3339))
+	}
+	s.halfOpen = true
+	return nil
+}
+
+// breakerRecord folds one attempt's outcome into the breaker.
+func (c *Client) breakerRecord(err error) {
+	if c.breaker.FailureThreshold < 0 {
+		return
+	}
+	s := c.state
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err == nil {
+		s.fails = 0
+		s.openUntil = time.Time{}
+		s.halfOpen = false
+		return
+	}
+	if !countsAgainstBreaker(err) {
+		return
+	}
+	if s.halfOpen {
+		// Failed probe: reopen for another cooldown.
+		s.openUntil = c.now().Add(c.breaker.Cooldown)
+		s.halfOpen = false
+		return
+	}
+	s.fails++
+	if s.fails >= c.breaker.FailureThreshold {
+		s.openUntil = c.now().Add(c.breaker.Cooldown)
+		s.fails = 0
+	}
+}
+
 // IngestSessionsNDJSON streams session records from r as JSON Lines,
-// without buffering the dataset in the client.
+// without buffering the dataset in the client. The upload carries an
+// idempotency key, but a plain io.Reader cannot be replayed, so transient
+// failures are returned rather than retried — callers that need retries
+// should pass a *bytes.Reader/*strings.Reader (replayable) or re-call with
+// the same batch ID via IngestSessionsNDJSONBatch.
 func (c *Client) IngestSessionsNDJSON(ctx context.Context, r io.Reader) (IngestResponse, error) {
+	return c.IngestSessionsNDJSONBatch(ctx, c.nextBatchID(), r)
+}
+
+// IngestSessionsNDJSONBatch is IngestSessionsNDJSON under an explicit batch
+// ID, for resuming an upload whose acknowledgement was lost.
+func (c *Client) IngestSessionsNDJSONBatch(ctx context.Context, batchID string, r io.Reader) (IngestResponse, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/sessions", r)
 	if err != nil {
 		return IngestResponse{}, fmt.Errorf("usaas client: building NDJSON request: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/x-ndjson")
+	if batchID != "" {
+		req.Header.Set(BatchIDHeader, batchID)
+	}
 	var out IngestResponse
 	err = c.do(req, &out)
 	return out, err
 }
 
-// IngestSessions uploads session records.
+// IngestSessions uploads session records under a fresh idempotency key:
+// retried deliveries are applied at most once by the server.
 func (c *Client) IngestSessions(ctx context.Context, recs []telemetry.SessionRecord) (IngestResponse, error) {
+	return c.IngestSessionsBatch(ctx, c.nextBatchID(), recs)
+}
+
+// IngestSessionsBatch is IngestSessions under an explicit batch ID.
+func (c *Client) IngestSessionsBatch(ctx context.Context, batchID string, recs []telemetry.SessionRecord) (IngestResponse, error) {
 	var out IngestResponse
-	err := c.post(ctx, "/v1/sessions", recs, &out)
+	err := c.post(ctx, "/v1/sessions", batchID, recs, &out)
 	return out, err
 }
 
-// IngestPosts uploads social posts.
+// IngestPosts uploads social posts under a fresh idempotency key.
 func (c *Client) IngestPosts(ctx context.Context, posts []social.Post) (IngestResponse, error) {
+	return c.IngestPostsBatch(ctx, c.nextBatchID(), posts)
+}
+
+// IngestPostsBatch is IngestPosts under an explicit batch ID.
+func (c *Client) IngestPostsBatch(ctx context.Context, batchID string, posts []social.Post) (IngestResponse, error) {
 	var out IngestResponse
-	err := c.post(ctx, "/v1/posts", posts, &out)
+	err := c.post(ctx, "/v1/posts", batchID, posts, &out)
 	return out, err
 }
 

@@ -77,8 +77,8 @@ func ByMeetingSizeN(records []telemetry.SessionRecord, metric telemetry.Metric, 
 			}
 			if total == nil {
 				total = shard[k]
-			} else {
-				total.Merge(shard[k])
+			} else if err := total.Merge(shard[k]); err != nil {
+				return nil, fmt.Errorf("usaas: meeting-size strata: %w", err)
 			}
 		}
 		if total != nil {

@@ -61,7 +61,9 @@ func DoseResponseN(records []telemetry.SessionRecord, metric telemetry.Metric, e
 	}
 	total := stats.NewBinAcc(b)
 	for _, s := range shards {
-		total.Merge(s)
+		if err := total.Merge(s); err != nil {
+			return stats.BinnedSeries{}, err
+		}
 	}
 	return total.Series(), nil
 }
@@ -153,7 +155,9 @@ func CompoundingN(records []telemetry.SessionRecord, xMetric, yMetric telemetry.
 	}
 	total := stats.NewGrid2DAcc(xb, yb)
 	for _, s := range shards {
-		total.Merge(s)
+		if err := total.Merge(s); err != nil {
+			return stats.Grid2D{}, err
+		}
 	}
 	return total.Grid(), nil
 }
@@ -192,7 +196,9 @@ func ByPlatformN(records []telemetry.SessionRecord, metric telemetry.Metric, eng
 	for _, shard := range shards {
 		for platform, acc := range shard {
 			if total := merged[platform]; total != nil {
-				total.Merge(acc)
+				if err := total.Merge(acc); err != nil {
+					return nil, err
+				}
 			} else {
 				merged[platform] = acc
 			}

@@ -31,6 +31,12 @@ type OperatorReport struct {
 	SpeedMonths  int                  `json:"speed_months"`
 	SpeedPosCorr float64              `json:"speed_pos_correlation"`
 	Conditioning *ConditioningFinding `json:"conditioning,omitempty"`
+
+	// Degraded is set when one or more sub-analyses failed; the report
+	// still carries every section that succeeded, and Errors lists what
+	// was lost. Operators get a partial report instead of a blanket 500.
+	Degraded bool     `json:"degraded,omitempty"`
+	Errors   []string `json:"errors,omitempty"`
 }
 
 // reportDropRanges defines the per-metric binning used for the drop
@@ -45,27 +51,53 @@ var reportDropRanges = []struct {
 	{telemetry.BandwidthMean, 0.25, 4},
 }
 
-// BuildReport assembles the report from a store's contents. Sections
-// without data are omitted rather than failing the whole report.
+// BuildReport assembles the report from a store's contents, degrading
+// gracefully: each section runs in isolation, and a section that fails —
+// returns an error, panics, or has no data to work from — is recorded in
+// Errors while every other section still lands. The report never takes the
+// whole response down with it.
 func BuildReport(store *Store, an *nlp.Analyzer, opts ServerOptions) OperatorReport {
 	if an == nil {
 		an = nlp.NewAnalyzer()
 	}
 	rep := OperatorReport{EngagementDrops: map[string]float64{}}
 
+	// guard runs one section, converting errors and panics into Errors
+	// entries instead of failures.
+	guard := func(section string, f func() error) {
+		defer func() {
+			if p := recover(); p != nil {
+				rep.Errors = append(rep.Errors, fmt.Sprintf("%s: panic: %v", section, p))
+			}
+		}()
+		if err := f(); err != nil {
+			rep.Errors = append(rep.Errors, fmt.Sprintf("%s: %v", section, err))
+		}
+	}
+
 	recs := store.Sessions()
 	rep.Sessions = len(recs)
-	if len(recs) > 0 {
-		for _, rr := range reportDropRanges {
-			s, err := DoseResponse(recs, rr.metric, telemetry.Presence,
-				stats.NewBinner(rr.lo, rr.hi, 8), nil)
-			if err == nil {
+	if len(recs) == 0 {
+		rep.Errors = append(rep.Errors, "sessions: none ingested")
+	} else {
+		guard("engagement-drops", func() error {
+			for _, rr := range reportDropRanges {
+				s, err := DoseResponse(recs, rr.metric, telemetry.Presence,
+					stats.NewBinner(rr.lo, rr.hi, 8), nil)
+				if err != nil {
+					return err
+				}
 				if drop := RelativeDrop(s); !math.IsNaN(drop) {
 					rep.EngagementDrops[rr.metric.String()] = drop
 				}
 			}
-		}
-		if mosReport, err := MOSReport(recs, 10, nil); err == nil {
+			return nil
+		})
+		guard("mos-correlations", func() error {
+			mosReport, err := MOSReport(recs, 10, nil)
+			if err != nil {
+				return err
+			}
 			for _, em := range mosReport {
 				rep.MOS = append(rep.MOS, MOSCorrelation{
 					Engagement:    em.Engagement.String(),
@@ -74,36 +106,62 @@ func BuildReport(store *Store, an *nlp.Analyzer, opts ServerOptions) OperatorRep
 					RatedSessions: em.RatedSessions,
 				})
 			}
-		}
-		if eval, err := EvaluateMOSPredictor(recs, 0.7, 1.0); err == nil {
+			return nil
+		})
+		guard("mos-predictor", func() error {
+			eval, err := EvaluateMOSPredictor(recs, 0.7, 1.0)
+			if err != nil {
+				return err
+			}
 			rep.Predictor = &eval
-		}
-		if advice, err := AdviseTrafficEngineering(recs); err == nil {
+			return nil
+		})
+		guard("traffic-engineering", func() error {
+			advice, err := AdviseTrafficEngineering(recs)
+			if err != nil {
+				return err
+			}
 			rep.TEAdvice = advice
-		}
+			return nil
+		})
 	}
 
-	if c := store.Corpus(); c != nil {
+	if c := store.Corpus(); c == nil {
+		rep.Errors = append(rep.Errors, "posts: none ingested")
+	} else {
 		rep.Posts = c.Len()
 		rep.WeeklyPosts, _, _ = c.WeeklyAverages()
-		rep.Peaks = AnnotatePeaks(c, an, opts.News, 3)
-		dict := opts.OutageDict
-		if dict == nil {
-			dict = nlp.OutageDictionary()
-		}
-		series := OutageKeywordSeries(c, an, dict, true)
-		rep.OutageAlerts = len(AlertsFromSeries(series, 3))
-		rep.Trends = MineTrends(c, an, TrendOptions{MaxTerms: 10})
-		months := MonthlySpeeds(c, an, opts.Model, 1)
-		for _, m := range months {
-			if m.Reports > 0 {
-				rep.SpeedMonths++
+		guard("sentiment-peaks", func() error {
+			rep.Peaks = AnnotatePeaks(c, an, opts.News, 3)
+			return nil
+		})
+		guard("outage-monitor", func() error {
+			dict := opts.OutageDict
+			if dict == nil {
+				dict = nlp.OutageDictionary()
 			}
-		}
-		finding := AnalyzeConditioning(months)
-		rep.SpeedPosCorr = finding.SpeedPosCorrelation
-		rep.Conditioning = &finding
+			series := OutageKeywordSeries(c, an, dict, true)
+			rep.OutageAlerts = len(AlertsFromSeries(series, 3))
+			return nil
+		})
+		guard("trends", func() error {
+			rep.Trends = MineTrends(c, an, TrendOptions{MaxTerms: 10})
+			return nil
+		})
+		guard("speeds", func() error {
+			months := MonthlySpeeds(c, an, opts.Model, 1)
+			for _, m := range months {
+				if m.Reports > 0 {
+					rep.SpeedMonths++
+				}
+			}
+			finding := AnalyzeConditioning(months)
+			rep.SpeedPosCorr = finding.SpeedPosCorrelation
+			rep.Conditioning = &finding
+			return nil
+		})
 	}
+	rep.Degraded = len(rep.Errors) > 0
 	return rep
 }
 
@@ -156,6 +214,12 @@ func (r OperatorReport) Render() string {
 			r.SpeedMonths, r.SpeedPosCorr)
 		if r.Conditioning != nil && r.Conditioning.DecemberBelowApril {
 			fmt.Fprintf(&b, "  conditioning detected: sentiment tracks expectations, not absolute speed\n")
+		}
+	}
+	if r.Degraded {
+		fmt.Fprintf(&b, "\nDEGRADED: %d section(s) unavailable\n", len(r.Errors))
+		for _, e := range r.Errors {
+			fmt.Fprintf(&b, "  - %s\n", e)
 		}
 	}
 	return b.String()

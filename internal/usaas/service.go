@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"usersignals/internal/leo"
 	"usersignals/internal/newswire"
@@ -23,26 +24,87 @@ import (
 // Store is the service's ingested-signal repository: session telemetry
 // (implicit + sparse explicit feedback) and social posts (offline explicit
 // feedback). Safe for concurrent use.
+//
+// Ingest is idempotent per batch ID: the first delivery of a batch is
+// applied and its acknowledgement recorded; replays return the recorded
+// acknowledgement without mutating the store. Telemetry arrives over the
+// same flaky networks the service measures, so clients retry lost
+// acknowledgements — dedup here is what turns at-least-once delivery into
+// effectively-once ingest.
 type Store struct {
 	mu       sync.RWMutex
 	sessions []telemetry.SessionRecord
 	posts    []social.Post
-	corpus   *social.Corpus // rebuilt lazily from posts
+	corpus   *social.Corpus           // rebuilt lazily from posts
+	postGen  uint64                   // bumped on every post ingest
+	batches  map[string]IngestResponse // batch ID → first acknowledgement
 }
 
-// AddSessions ingests session records.
+// AddSessions ingests session records unconditionally (no dedup).
 func (s *Store) AddSessions(recs []telemetry.SessionRecord) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.sessions = append(s.sessions, recs...)
+	s.AddSessionsBatch("", recs)
 }
 
-// AddPosts ingests social posts.
-func (s *Store) AddPosts(posts []social.Post) {
+// AddSessionsBatch ingests session records under an idempotency key. A
+// batch ID already seen returns the original acknowledgement with dup=true
+// and leaves the store unchanged; an empty batch ID skips dedup.
+func (s *Store) AddSessionsBatch(batchID string, recs []telemetry.SessionRecord) (resp IngestResponse, dup bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if batchID != "" {
+		if prev, ok := s.batches[batchID]; ok {
+			prev.Duplicate = true
+			return prev, true
+		}
+	}
+	s.sessions = append(s.sessions, recs...)
+	resp = IngestResponse{
+		Accepted:      len(recs),
+		TotalSessions: len(s.sessions),
+		TotalPosts:    len(s.posts),
+		BatchID:       batchID,
+	}
+	s.recordBatchLocked(batchID, resp)
+	return resp, false
+}
+
+// AddPosts ingests social posts unconditionally (no dedup).
+func (s *Store) AddPosts(posts []social.Post) {
+	s.AddPostsBatch("", posts)
+}
+
+// AddPostsBatch ingests social posts under an idempotency key, with the
+// same replay semantics as AddSessionsBatch.
+func (s *Store) AddPostsBatch(batchID string, posts []social.Post) (resp IngestResponse, dup bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if batchID != "" {
+		if prev, ok := s.batches[batchID]; ok {
+			prev.Duplicate = true
+			return prev, true
+		}
+	}
 	s.posts = append(s.posts, posts...)
 	s.corpus = nil
+	s.postGen++
+	resp = IngestResponse{
+		Accepted:      len(posts),
+		TotalSessions: len(s.sessions),
+		TotalPosts:    len(s.posts),
+		BatchID:       batchID,
+	}
+	s.recordBatchLocked(batchID, resp)
+	return resp, false
+}
+
+func (s *Store) recordBatchLocked(batchID string, resp IngestResponse) {
+	if batchID == "" {
+		return
+	}
+	if s.batches == nil {
+		s.batches = map[string]IngestResponse{}
+	}
+	s.batches[batchID] = resp
 }
 
 // Sessions returns a snapshot copy of the sessions.
@@ -53,24 +115,54 @@ func (s *Store) Sessions() []telemetry.SessionRecord {
 }
 
 // Corpus returns the posts as a day-indexed corpus (nil when no posts have
-// been ingested).
+// been ingested). The rebuild runs outside the write lock — a snapshot is
+// taken under RLock, indexed without any lock held, and promoted only if no
+// further posts arrived meanwhile — so a slow rebuild never stalls
+// concurrent ingest.
 func (s *Store) Corpus() *social.Corpus {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.corpus == nil && len(s.posts) > 0 {
-		lo, hi := s.posts[0].Day, s.posts[0].Day
-		for _, p := range s.posts {
-			if p.Day < lo {
-				lo = p.Day
-			}
-			if p.Day > hi {
-				hi = p.Day
-			}
+	for {
+		s.mu.RLock()
+		c := s.corpus
+		gen := s.postGen
+		var snapshot []social.Post
+		if c == nil && len(s.posts) > 0 {
+			snapshot = append([]social.Post(nil), s.posts...)
 		}
-		s.corpus = social.NewCorpus(timeline.Range{From: lo, To: hi},
-			append([]social.Post(nil), s.posts...))
+		s.mu.RUnlock()
+		if c != nil || snapshot == nil {
+			return c
+		}
+		built := buildCorpus(snapshot)
+		s.mu.Lock()
+		switch {
+		case s.corpus != nil:
+			// Another goroutine promoted first; use theirs.
+			built = s.corpus
+		case s.postGen == gen:
+			s.corpus = built
+		default:
+			// Posts arrived mid-rebuild: our snapshot is stale.
+			built = nil
+		}
+		s.mu.Unlock()
+		if built != nil {
+			return built
+		}
 	}
-	return s.corpus
+}
+
+// buildCorpus indexes a post snapshot by day.
+func buildCorpus(posts []social.Post) *social.Corpus {
+	lo, hi := posts[0].Day, posts[0].Day
+	for _, p := range posts {
+		if p.Day < lo {
+			lo = p.Day
+		}
+		if p.Day > hi {
+			hi = p.Day
+		}
+	}
+	return social.NewCorpus(timeline.Range{From: lo, To: hi}, posts)
 }
 
 // Counts returns the store sizes.
@@ -96,6 +188,13 @@ type ServerOptions struct {
 	// "Authorization: Bearer <token>" — the §5 "access control for
 	// different stakeholders" in its simplest form. Empty disables auth.
 	AuthToken string
+	// RequestTimeout bounds each request's total handling time; requests
+	// exceeding it receive a 503 (default 60s; negative disables).
+	RequestTimeout time.Duration
+	// MaxInflight caps concurrently handled requests; excess requests are
+	// rejected with 429 + Retry-After instead of queueing without bound
+	// (0 disables).
+	MaxInflight int
 }
 
 // Server is the USaaS HTTP service.
@@ -118,6 +217,9 @@ func NewServer(store *Store, opts ServerOptions) *Server {
 	}
 	if opts.MaxBodyBytes <= 0 {
 		opts.MaxBodyBytes = 64 << 20
+	}
+	if opts.RequestTimeout == 0 {
+		opts.RequestTimeout = 60 * time.Second
 	}
 	s := &Server{store: store, opts: opts, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/v1/sessions", s.handleSessions)
@@ -181,19 +283,48 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, rep)
 }
 
-// Handler returns the HTTP handler, wrapped with bearer-token auth when
-// configured.
+// Handler returns the HTTP handler, wrapped (outermost first) with
+// bearer-token auth, the inflight limiter, and the per-request timeout.
 func (s *Server) Handler() http.Handler {
-	if s.opts.AuthToken == "" {
-		return s.mux
+	h := http.Handler(s.mux)
+	if s.opts.RequestTimeout > 0 {
+		h = http.TimeoutHandler(h, s.opts.RequestTimeout, `{"error":"request timed out"}`)
 	}
-	want := "Bearer " + s.opts.AuthToken
+	if s.opts.MaxInflight > 0 {
+		h = inflightLimiter(h, s.opts.MaxInflight)
+	}
+	if s.opts.AuthToken != "" {
+		h = bearerAuth(h, s.opts.AuthToken)
+	}
+	return h
+}
+
+// bearerAuth rejects requests without the expected bearer token.
+func bearerAuth(next http.Handler, token string) http.Handler {
+	want := "Bearer " + token
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if subtle.ConstantTimeCompare([]byte(r.Header.Get("Authorization")), []byte(want)) != 1 {
 			writeErr(w, http.StatusUnauthorized, "missing or invalid bearer token")
 			return
 		}
-		s.mux.ServeHTTP(w, r)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// inflightLimiter sheds load beyond max concurrent requests with a 429 and
+// a Retry-After hint, so overload degrades into fast, retryable rejections
+// instead of unbounded queueing.
+func inflightLimiter(next http.Handler, max int) http.Handler {
+	slots := make(chan struct{}, max)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case slots <- struct{}{}:
+			defer func() { <-slots }()
+			next.ServeHTTP(w, r)
+		default:
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusTooManyRequests, "server at capacity (%d in flight)", max)
+		}
 	})
 }
 
@@ -247,11 +378,15 @@ func queryFloat(r *http.Request, key string, def float64) float64 {
 
 // --- ingestion ---
 
-// IngestResponse acknowledges an ingest call.
+// IngestResponse acknowledges an ingest call. A replayed batch returns the
+// original acknowledgement with Duplicate set: Accepted reports what the
+// first delivery applied, and the totals are those recorded at that time.
 type IngestResponse struct {
-	Accepted      int `json:"accepted"`
-	TotalSessions int `json:"total_sessions"`
-	TotalPosts    int `json:"total_posts"`
+	Accepted      int    `json:"accepted"`
+	TotalSessions int    `json:"total_sessions"`
+	TotalPosts    int    `json:"total_posts"`
+	BatchID       string `json:"batch_id,omitempty"`
+	Duplicate     bool   `json:"duplicate,omitempty"`
 }
 
 // isNDJSON reports whether the request body is JSON Lines (one record per
@@ -279,9 +414,8 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "decoding sessions: %v", err)
 		return
 	}
-	s.store.AddSessions(recs)
-	sessions, posts := s.store.Counts()
-	writeJSON(w, http.StatusOK, IngestResponse{Accepted: len(recs), TotalSessions: sessions, TotalPosts: posts})
+	resp, _ := s.store.AddSessionsBatch(r.Header.Get(BatchIDHeader), recs)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handlePosts(w http.ResponseWriter, r *http.Request) {
@@ -314,9 +448,8 @@ func (s *Server) handlePosts(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "decoding posts: %v", err)
 		return
 	}
-	s.store.AddPosts(posts)
-	sessions, total := s.store.Counts()
-	writeJSON(w, http.StatusOK, IngestResponse{Accepted: len(posts), TotalSessions: sessions, TotalPosts: total})
+	resp, _ := s.store.AddPostsBatch(r.Header.Get(BatchIDHeader), posts)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // StatsResponse reports store contents.
