@@ -8,7 +8,10 @@ package usersignals
 // report.
 
 import (
+	"bufio"
+	"bytes"
 	"context"
+	"encoding/json"
 	"net/http/httptest"
 	"runtime"
 	"sync"
@@ -300,6 +303,7 @@ func BenchmarkUSaaSQuery(b *testing.B) {
 		Metric: telemetry.LatencyMean, Engagement: telemetry.MicOn,
 		Lo: 0, Hi: 300, Bins: 10,
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := client.Engagement(ctx, q); err != nil {
@@ -617,6 +621,254 @@ func BenchmarkDoseResponseParallel(b *testing.B) {
 			b.Fatal(err)
 		}
 	})
+}
+
+// --- serving fast path (PR 3) ------------------------------------------------
+
+// synthSessions fabricates a large telemetry dataset directly (no media
+// simulation), sized to make the O(all data) versus O(new data) contrast on
+// the query path visible.
+func synthSessions(n int) []telemetry.SessionRecord {
+	rng := simrand.Root(42).Derive("bench/synth-sessions").RNG()
+	platforms := []string{"desktop", "mobile", "web"}
+	isps := []string{"starlink", "comcast", "verizon", "telstra"}
+	base := time.Date(2022, 2, 1, 0, 0, 0, 0, time.UTC)
+	recs := make([]telemetry.SessionRecord, n)
+	for i := range recs {
+		r := &recs[i]
+		r.CallID = uint64(i / 4)
+		r.UserID = rng.Uint64() % 50000
+		r.Platform = platforms[rng.Intn(len(platforms))]
+		r.MeetingSize = 2 + rng.Intn(10)
+		r.Start = base.Add(time.Duration(rng.Intn(90*24)) * time.Hour)
+		r.DurationSec = 60 + 3000*rng.Float64()
+		lat := rng.Range(5, 300)
+		loss := rng.Range(0, 4)
+		jit := rng.Range(0, 12)
+		bw := rng.Range(0.25, 8)
+		r.Net = telemetry.NetAggregates{
+			LatencyMean: lat, LatencyMedian: lat * 0.9, LatencyP95: lat * 1.4,
+			LossMean: loss, LossMedian: loss * 0.8, LossP95: loss * 1.6,
+			JitterMean: jit, JitterMedian: jit * 0.9, JitterP95: jit * 1.5,
+			BWMean: bw, BWMedian: bw * 0.95, BWP95: bw * 1.2,
+		}
+		r.PresencePct = 100 * rng.Float64()
+		r.CamOnPct = 100 * rng.Float64()
+		r.MicOnPct = 100 * rng.Float64()
+		r.LeftEarly = rng.Bool(0.1)
+		if rng.Bool(0.05) {
+			r.Rated = true
+			r.Rating = 1 + rng.Intn(5)
+		}
+		r.Country = "US"
+		r.Enterprise = rng.Bool(0.7)
+		r.ISP = isps[rng.Intn(len(isps))]
+	}
+	return recs
+}
+
+var (
+	synthOnce    sync.Once
+	synthRecs    []telemetry.SessionRecord
+	synthNDJSON  []byte
+	synthDecoded int
+)
+
+// synthData returns the shared 100k-session dataset and its NDJSON encoding
+// (the first 20k records — enough bytes to dominate fixed costs).
+func synthData(b *testing.B) ([]telemetry.SessionRecord, []byte) {
+	b.Helper()
+	synthOnce.Do(func() {
+		synthRecs = synthSessions(100_000)
+		enc, err := telemetry.AppendNDJSON(nil, synthRecs[:20_000])
+		if err != nil {
+			panic(err)
+		}
+		synthNDJSON = enc
+		synthDecoded = 20_000
+	})
+	return synthRecs, synthNDJSON
+}
+
+// BenchmarkIngestNDJSON decodes the ingest wire format with the pooled
+// telemetry codec — the server's hot path for session uploads.
+func BenchmarkIngestNDJSON(b *testing.B) {
+	_, enc := synthData(b)
+	b.SetBytes(int64(len(enc)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		err := telemetry.ReadJSONL(bytes.NewReader(enc), func(r *telemetry.SessionRecord) error {
+			n++
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != synthDecoded {
+			b.Fatalf("decoded %d records, want %d", n, synthDecoded)
+		}
+	}
+}
+
+// BenchmarkIngestNDJSONStdlib is the encoding/json baseline for the same
+// decode (what the handler did before the codec).
+func BenchmarkIngestNDJSONStdlib(b *testing.B) {
+	_, enc := synthData(b)
+	b.SetBytes(int64(len(enc)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := bufio.NewScanner(bytes.NewReader(enc))
+		sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+		n := 0
+		for sc.Scan() {
+			var r telemetry.SessionRecord
+			if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+				b.Fatal(err)
+			}
+			n++
+		}
+		if err := sc.Err(); err != nil {
+			b.Fatal(err)
+		}
+		if n != synthDecoded {
+			b.Fatalf("decoded %d records, want %d", n, synthDecoded)
+		}
+	}
+}
+
+// BenchmarkEncodeNDJSON measures the client-side upload encoding.
+func BenchmarkEncodeNDJSON(b *testing.B) {
+	recs, _ := synthData(b)
+	recs = recs[:20_000]
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = telemetry.AppendNDJSON(buf[:0], recs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(buf)))
+	}
+}
+
+// BenchmarkEncodeNDJSONStdlib is the encoding/json baseline for the encode.
+func BenchmarkEncodeNDJSONStdlib(b *testing.B) {
+	recs, _ := synthData(b)
+	recs = recs[:20_000]
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		enc := json.NewEncoder(&buf)
+		for j := range recs {
+			if err := enc.Encode(&recs[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(int64(buf.Len()))
+	}
+}
+
+// synthServer builds a service over the 100k-session store.
+func synthServer(b *testing.B, opts usaas.ServerOptions) (*usaas.Client, func()) {
+	b.Helper()
+	recs, _ := synthData(b)
+	store := &usaas.Store{}
+	store.AddSessions(recs)
+	srv := usaas.NewServer(store, opts)
+	ts := httptest.NewServer(srv.Handler())
+	return usaas.NewClient(ts.URL, ts.Client()), ts.Close
+}
+
+// BenchmarkReportCold measures /v1/report with the result cache disabled:
+// every request assembles the full operator report.
+func BenchmarkReportCold(b *testing.B) {
+	client, closeFn := synthServer(b, usaas.ServerOptions{ResultCacheSize: -1})
+	defer closeFn()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Report(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReportWarm measures /v1/report served from the generation-keyed
+// result cache (the steady state between ingests).
+func BenchmarkReportWarm(b *testing.B) {
+	client, closeFn := synthServer(b, usaas.ServerOptions{})
+	defer closeFn()
+	ctx := context.Background()
+	if _, err := client.Report(ctx); err != nil { // prime the cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Report(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var synthEngQuery = usaas.EngagementQuery{
+	Metric: telemetry.LatencyMean, Engagement: telemetry.Presence,
+	Lo: 0, Hi: 300, Bins: 10,
+}
+
+// BenchmarkEngagementRecompute is the pre-view cost model: fold the full
+// store for every dose-response query.
+func BenchmarkEngagementRecompute(b *testing.B) {
+	recs, _ := synthData(b)
+	binner := stats.NewBinner(0, 300, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := usaas.DoseResponse(recs, telemetry.LatencyMean, telemetry.Presence, binner, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngagementView reads the same series from the store's
+// materialized accumulator (view hit, no HTTP, no result cache).
+func BenchmarkEngagementView(b *testing.B) {
+	recs, _ := synthData(b)
+	store := &usaas.Store{}
+	store.AddSessions(recs)
+	binner := stats.NewBinner(0, 300, 10)
+	store.DoseResponseSeries(telemetry.LatencyMean, telemetry.Presence, binner, "") // register
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store.DoseResponseSeries(telemetry.LatencyMean, telemetry.Presence, binner, "")
+	}
+}
+
+// BenchmarkEngagementWarm measures the full HTTP round trip for a cached
+// engagement query.
+func BenchmarkEngagementWarm(b *testing.B) {
+	client, closeFn := synthServer(b, usaas.ServerOptions{})
+	defer closeFn()
+	ctx := context.Background()
+	if _, err := client.Engagement(ctx, synthEngQuery); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Engagement(ctx, synthEngQuery); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // --- substrate micro-benchmarks ----------------------------------------------

@@ -5,7 +5,7 @@
 //
 //	usaasd -addr :8080 -sessions calls.csv -posts posts.jsonl \
 //	    -read-timeout 2m -write-timeout 2m -idle-timeout 2m \
-//	    -request-timeout 1m -max-inflight 256
+//	    -request-timeout 1m -max-inflight 256 -result-cache 256
 //
 // Endpoints (all JSON):
 //
@@ -57,6 +57,7 @@ type serverConfig struct {
 	idleTimeout    time.Duration
 	requestTimeout time.Duration
 	maxInflight    int
+	resultCache    int
 }
 
 func main() {
@@ -72,6 +73,7 @@ func main() {
 	flag.DurationVar(&cfg.idleTimeout, "idle-timeout", 2*time.Minute, "max keep-alive idle time per connection; 0 disables")
 	flag.DurationVar(&cfg.requestTimeout, "request-timeout", time.Minute, "per-request handling deadline (503 past it); <0 disables")
 	flag.IntVar(&cfg.maxInflight, "max-inflight", 0, "max concurrently handled requests (429 past it); 0 disables")
+	flag.IntVar(&cfg.resultCache, "result-cache", 0, "generation-keyed result cache entries (0 = default 256; <0 disables)")
 	flag.Parse()
 	if err := run(cfg, *sessions, *posts); err != nil {
 		fmt.Fprintln(os.Stderr, "usaasd:", err)
@@ -99,11 +101,12 @@ func run(cfg serverConfig, sessionsPath, postsPath string) error {
 	model := leo.NewModel()
 	news := newswire.Build(model.Launches(), leo.MajorOutages(), leo.DefaultMilestones())
 	srv := usaas.NewServer(store, usaas.ServerOptions{
-		Model:          model,
-		News:           news,
-		AuthToken:      cfg.token,
-		RequestTimeout: cfg.requestTimeout,
-		MaxInflight:    cfg.maxInflight,
+		Model:           model,
+		News:            news,
+		AuthToken:       cfg.token,
+		RequestTimeout:  cfg.requestTimeout,
+		MaxInflight:     cfg.maxInflight,
+		ResultCacheSize: cfg.resultCache,
 	})
 
 	httpSrv := &http.Server{

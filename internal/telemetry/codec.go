@@ -1,0 +1,768 @@
+package telemetry
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+	"unicode"
+	"unicode/utf16"
+	"unicode/utf8"
+)
+
+// This file is the hand-rolled SessionRecord codec for the ingest/upload hot
+// path. The wire format is exactly what encoding/json produces for the
+// struct — same field order, same float formatting, same HTML-escaped
+// strings — so mixed fleets of old and new readers/writers interoperate
+// byte for byte. AppendJSON avoids the reflection and interface boxing of
+// json.Marshal; ParseJSON replaces the scanner+reflect decode with a direct
+// recursive-descent parse that borrows number tokens from the input instead
+// of allocating them.
+
+const hexDigits = "0123456789abcdef"
+
+// AppendJSON appends the record encoded as one JSON object to dst and
+// returns the extended buffer. The output is byte-identical to
+// json.Marshal(r). Like the standard library it rejects NaN/Inf values and
+// timestamps outside year [0, 9999].
+func AppendJSON(dst []byte, r *SessionRecord) ([]byte, error) {
+	var err error
+	dst = append(dst, `{"call_id":`...)
+	dst = strconv.AppendUint(dst, r.CallID, 10)
+	dst = append(dst, `,"user_id":`...)
+	dst = strconv.AppendUint(dst, r.UserID, 10)
+	dst = append(dst, `,"platform":`...)
+	dst = appendJSONString(dst, r.Platform)
+	dst = append(dst, `,"meeting_size":`...)
+	dst = strconv.AppendInt(dst, int64(r.MeetingSize), 10)
+	dst = append(dst, `,"start":`...)
+	if dst, err = appendJSONTime(dst, r.Start); err != nil {
+		return dst, err
+	}
+	dst = append(dst, `,"duration_sec":`...)
+	if dst, err = appendJSONFloat(dst, r.DurationSec); err != nil {
+		return dst, err
+	}
+	netFields := [...]struct {
+		key string
+		val float64
+	}{
+		{`"LatencyMean":`, r.Net.LatencyMean},
+		{`,"LatencyMedian":`, r.Net.LatencyMedian},
+		{`,"LatencyP95":`, r.Net.LatencyP95},
+		{`,"LossMean":`, r.Net.LossMean},
+		{`,"LossMedian":`, r.Net.LossMedian},
+		{`,"LossP95":`, r.Net.LossP95},
+		{`,"JitterMean":`, r.Net.JitterMean},
+		{`,"JitterMedian":`, r.Net.JitterMedian},
+		{`,"JitterP95":`, r.Net.JitterP95},
+		{`,"BWMean":`, r.Net.BWMean},
+		{`,"BWMedian":`, r.Net.BWMedian},
+		{`,"BWP95":`, r.Net.BWP95},
+	}
+	dst = append(dst, `,"net":{`...)
+	for _, f := range netFields {
+		dst = append(dst, f.key...)
+		if dst, err = appendJSONFloat(dst, f.val); err != nil {
+			return dst, err
+		}
+	}
+	dst = append(dst, `},"presence_pct":`...)
+	if dst, err = appendJSONFloat(dst, r.PresencePct); err != nil {
+		return dst, err
+	}
+	dst = append(dst, `,"cam_on_pct":`...)
+	if dst, err = appendJSONFloat(dst, r.CamOnPct); err != nil {
+		return dst, err
+	}
+	dst = append(dst, `,"mic_on_pct":`...)
+	if dst, err = appendJSONFloat(dst, r.MicOnPct); err != nil {
+		return dst, err
+	}
+	dst = append(dst, `,"left_early":`...)
+	dst = strconv.AppendBool(dst, r.LeftEarly)
+	dst = append(dst, `,"rated":`...)
+	dst = strconv.AppendBool(dst, r.Rated)
+	if r.Rating != 0 { // mirrors the struct tag's omitempty
+		dst = append(dst, `,"rating":`...)
+		dst = strconv.AppendInt(dst, int64(r.Rating), 10)
+	}
+	dst = append(dst, `,"country":`...)
+	dst = appendJSONString(dst, r.Country)
+	dst = append(dst, `,"enterprise":`...)
+	dst = strconv.AppendBool(dst, r.Enterprise)
+	dst = append(dst, `,"isp":`...)
+	dst = appendJSONString(dst, r.ISP)
+	return append(dst, '}'), nil
+}
+
+// AppendNDJSON appends the records as JSON Lines (one record per
+// newline-terminated line).
+func AppendNDJSON(dst []byte, recs []SessionRecord) ([]byte, error) {
+	var err error
+	for i := range recs {
+		if dst, err = AppendJSON(dst, &recs[i]); err != nil {
+			return dst, err
+		}
+		dst = append(dst, '\n')
+	}
+	return dst, nil
+}
+
+// appendJSONFloat mirrors encoding/json's float formatter: shortest
+// round-trip form, 'f' notation except for very large/small magnitudes,
+// with the exponent's leading zero stripped.
+func appendJSONFloat(dst []byte, f float64) ([]byte, error) {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return dst, fmt.Errorf("telemetry: unsupported float value %v", f)
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		// Convert e-09 to e-9, as encoding/json does.
+		if n := len(dst); n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst, nil
+}
+
+// appendJSONTime mirrors time.Time.MarshalJSON: quoted strict RFC 3339 with
+// nanoseconds, rejecting the timestamps the standard library rejects.
+func appendJSONTime(dst []byte, t time.Time) ([]byte, error) {
+	if y := t.Year(); y < 0 || y >= 10000 {
+		return dst, errors.New("telemetry: timestamp year outside of range [0,9999]")
+	}
+	if _, off := t.Zone(); off%60 != 0 {
+		return dst, errors.New("telemetry: timestamp has sub-minute UTC offset")
+	}
+	dst = append(dst, '"')
+	dst = t.AppendFormat(dst, time.RFC3339Nano)
+	return append(dst, '"'), nil
+}
+
+// appendJSONString mirrors encoding/json's default (HTML-escaping) string
+// encoder byte for byte.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if jsonSafe(b) {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '\\', '"':
+				dst = append(dst, '\\', b)
+			case '\b':
+				dst = append(dst, '\\', 'b')
+			case '\f':
+				dst = append(dst, '\\', 'f')
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				// Control characters, plus <, >, & (HTML escaping).
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, `�`...)
+			i += size
+			start = i
+			continue
+		}
+		if c == ' ' || c == ' ' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}
+
+// jsonSafe reports whether b needs no escaping under HTML-escaped JSON.
+func jsonSafe(b byte) bool {
+	return b >= 0x20 && b != '"' && b != '\\' && b != '<' && b != '>' && b != '&'
+}
+
+// ParseJSON decodes one JSON object into r, zeroing it first. It accepts
+// everything json.Unmarshal produces for a SessionRecord (unknown fields
+// are skipped, null leaves a field zero) and is slightly laxer on exotic
+// number spellings. Unlike json.Unmarshal it matches field names
+// case-sensitively, which is all the canonical encoder ever emits.
+func ParseJSON(data []byte, r *SessionRecord) error {
+	// One string conversion up front lets every number token below be a
+	// free substring instead of a fresh allocation.
+	return parseRecordJSON(string(data), r, nil)
+}
+
+// parseRecordJSON is the shared decode core; intern, when non-nil,
+// deduplicates field strings (platform/country/isp) across records.
+func parseRecordJSON(data string, r *SessionRecord, intern map[string]string) error {
+	p := jsonParser{data: data, intern: intern}
+	*r = SessionRecord{}
+	p.skipSpace()
+	if err := p.expect('{'); err != nil {
+		return err
+	}
+	p.skipSpace()
+	if p.peekIs('}') {
+		p.pos++
+	} else {
+		for {
+			key, err := p.stringToken()
+			if err != nil {
+				return err
+			}
+			p.skipSpace()
+			if err := p.expect(':'); err != nil {
+				return err
+			}
+			p.skipSpace()
+			if err := p.recordField(r, key); err != nil {
+				return err
+			}
+			p.skipSpace()
+			c, err := p.next()
+			if err != nil {
+				return err
+			}
+			if c == '}' {
+				break
+			}
+			if c != ',' {
+				return p.syntaxErr("expected ',' or '}' in object")
+			}
+			p.skipSpace()
+		}
+	}
+	p.skipSpace()
+	if p.pos != len(p.data) {
+		return p.syntaxErr("trailing data after JSON value")
+	}
+	return nil
+}
+
+// jsonParser is a minimal recursive-descent JSON reader over a string.
+type jsonParser struct {
+	data   string
+	pos    int
+	intern map[string]string
+}
+
+func (p *jsonParser) syntaxErr(msg string) error {
+	return fmt.Errorf("telemetry: invalid JSON at offset %d: %s", p.pos, msg)
+}
+
+func (p *jsonParser) skipSpace() {
+	for p.pos < len(p.data) {
+		switch p.data[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *jsonParser) peekIs(c byte) bool {
+	return p.pos < len(p.data) && p.data[p.pos] == c
+}
+
+func (p *jsonParser) next() (byte, error) {
+	if p.pos >= len(p.data) {
+		return 0, p.syntaxErr("unexpected end of input")
+	}
+	c := p.data[p.pos]
+	p.pos++
+	return c, nil
+}
+
+func (p *jsonParser) expect(c byte) error {
+	if !p.peekIs(c) {
+		return p.syntaxErr("expected " + strconv.QuoteRune(rune(c)))
+	}
+	p.pos++
+	return nil
+}
+
+func (p *jsonParser) expectLit(lit string) error {
+	if !strings.HasPrefix(p.data[p.pos:], lit) {
+		return p.syntaxErr("invalid literal")
+	}
+	p.pos += len(lit)
+	return nil
+}
+
+// tryNull consumes a null literal if present; callers leave the target
+// field zeroed, matching json.Unmarshal.
+func (p *jsonParser) tryNull() bool {
+	if strings.HasPrefix(p.data[p.pos:], "null") {
+		p.pos += 4
+		return true
+	}
+	return false
+}
+
+// recordField dispatches one top-level key to its field parser.
+func (p *jsonParser) recordField(r *SessionRecord, key string) error {
+	switch key {
+	case "call_id":
+		return p.parseUint(&r.CallID)
+	case "user_id":
+		return p.parseUint(&r.UserID)
+	case "platform":
+		return p.parseStringField(&r.Platform)
+	case "meeting_size":
+		return p.parseInt(&r.MeetingSize)
+	case "start":
+		return p.parseTime(&r.Start)
+	case "duration_sec":
+		return p.parseFloat(&r.DurationSec)
+	case "net":
+		return p.parseNet(&r.Net)
+	case "presence_pct":
+		return p.parseFloat(&r.PresencePct)
+	case "cam_on_pct":
+		return p.parseFloat(&r.CamOnPct)
+	case "mic_on_pct":
+		return p.parseFloat(&r.MicOnPct)
+	case "left_early":
+		return p.parseBool(&r.LeftEarly)
+	case "rated":
+		return p.parseBool(&r.Rated)
+	case "rating":
+		return p.parseInt(&r.Rating)
+	case "country":
+		return p.parseStringField(&r.Country)
+	case "enterprise":
+		return p.parseBool(&r.Enterprise)
+	case "isp":
+		return p.parseStringField(&r.ISP)
+	default:
+		return p.skipValue(0)
+	}
+}
+
+// parseNet decodes the nested aggregates object. The struct has no JSON
+// tags, so the canonical keys are the Go field names.
+func (p *jsonParser) parseNet(n *NetAggregates) error {
+	if p.tryNull() {
+		return nil
+	}
+	if err := p.expect('{'); err != nil {
+		return err
+	}
+	p.skipSpace()
+	if p.peekIs('}') {
+		p.pos++
+		return nil
+	}
+	for {
+		key, err := p.stringToken()
+		if err != nil {
+			return err
+		}
+		p.skipSpace()
+		if err := p.expect(':'); err != nil {
+			return err
+		}
+		p.skipSpace()
+		var dst *float64
+		switch key {
+		case "LatencyMean":
+			dst = &n.LatencyMean
+		case "LatencyMedian":
+			dst = &n.LatencyMedian
+		case "LatencyP95":
+			dst = &n.LatencyP95
+		case "LossMean":
+			dst = &n.LossMean
+		case "LossMedian":
+			dst = &n.LossMedian
+		case "LossP95":
+			dst = &n.LossP95
+		case "JitterMean":
+			dst = &n.JitterMean
+		case "JitterMedian":
+			dst = &n.JitterMedian
+		case "JitterP95":
+			dst = &n.JitterP95
+		case "BWMean":
+			dst = &n.BWMean
+		case "BWMedian":
+			dst = &n.BWMedian
+		case "BWP95":
+			dst = &n.BWP95
+		}
+		if dst != nil {
+			err = p.parseFloat(dst)
+		} else {
+			err = p.skipValue(0)
+		}
+		if err != nil {
+			return err
+		}
+		p.skipSpace()
+		c, err := p.next()
+		if err != nil {
+			return err
+		}
+		if c == '}' {
+			return nil
+		}
+		if c != ',' {
+			return p.syntaxErr("expected ',' or '}' in object")
+		}
+		p.skipSpace()
+	}
+}
+
+// numberToken consumes a number (or null, returning "") and returns the
+// raw token as a substring of the input.
+func (p *jsonParser) numberToken() (string, error) {
+	if p.tryNull() {
+		return "", nil
+	}
+	start := p.pos
+	if p.peekIs('-') {
+		p.pos++
+	}
+	for p.pos < len(p.data) {
+		c := p.data[p.pos]
+		if (c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return "", p.syntaxErr("expected number")
+	}
+	return p.data[start:p.pos], nil
+}
+
+func (p *jsonParser) parseUint(dst *uint64) error {
+	tok, err := p.numberToken()
+	if err != nil || tok == "" {
+		return err
+	}
+	v, err := strconv.ParseUint(tok, 10, 64)
+	if err != nil {
+		return fmt.Errorf("telemetry: invalid unsigned number %q", tok)
+	}
+	*dst = v
+	return nil
+}
+
+func (p *jsonParser) parseInt(dst *int) error {
+	tok, err := p.numberToken()
+	if err != nil || tok == "" {
+		return err
+	}
+	v, err := strconv.ParseInt(tok, 10, 64)
+	if err != nil {
+		return fmt.Errorf("telemetry: invalid integer %q", tok)
+	}
+	*dst = int(v)
+	return nil
+}
+
+func (p *jsonParser) parseFloat(dst *float64) error {
+	tok, err := p.numberToken()
+	if err != nil || tok == "" {
+		return err
+	}
+	v, err := strconv.ParseFloat(tok, 64)
+	if err != nil || math.IsInf(v, 0) {
+		return fmt.Errorf("telemetry: invalid number %q", tok)
+	}
+	*dst = v
+	return nil
+}
+
+func (p *jsonParser) parseBool(dst *bool) error {
+	switch {
+	case p.tryNull():
+		return nil
+	case p.peekIs('t'):
+		if err := p.expectLit("true"); err != nil {
+			return err
+		}
+		*dst = true
+		return nil
+	case p.peekIs('f'):
+		if err := p.expectLit("false"); err != nil {
+			return err
+		}
+		*dst = false
+		return nil
+	default:
+		return p.syntaxErr("expected boolean")
+	}
+}
+
+func (p *jsonParser) parseTime(dst *time.Time) error {
+	if p.tryNull() {
+		return nil
+	}
+	s, err := p.stringToken()
+	if err != nil {
+		return err
+	}
+	t, err := time.Parse(time.RFC3339, s)
+	if err != nil {
+		return fmt.Errorf("telemetry: invalid timestamp %q: %w", s, err)
+	}
+	*dst = t
+	return nil
+}
+
+// parseStringField decodes a string into dst, interning the result when the
+// parser has an intern table (ingest sees the same few platform/country/ISP
+// values millions of times).
+func (p *jsonParser) parseStringField(dst *string) error {
+	if p.tryNull() {
+		return nil
+	}
+	s, err := p.stringToken()
+	if err != nil {
+		return err
+	}
+	if p.intern != nil {
+		if v, ok := p.intern[s]; ok {
+			*dst = v
+			return nil
+		}
+	}
+	// Clone so the record never pins the whole input line.
+	v := strings.Clone(s)
+	if p.intern != nil && len(p.intern) < 4096 {
+		p.intern[v] = v
+	}
+	*dst = v
+	return nil
+}
+
+// stringToken parses a JSON string. The result aliases the input when no
+// unescaping was needed.
+func (p *jsonParser) stringToken() (string, error) {
+	if !p.peekIs('"') {
+		return "", p.syntaxErr("expected string")
+	}
+	p.pos++
+	start := p.pos
+	simple := true
+	for p.pos < len(p.data) {
+		switch c := p.data[p.pos]; {
+		case c == '"':
+			seg := p.data[start:p.pos]
+			p.pos++
+			if simple {
+				return seg, nil
+			}
+			return unescapeJSONString(seg)
+		case c == '\\':
+			simple = false
+			p.pos++
+			if p.pos < len(p.data) {
+				p.pos++ // the escaped character is never a delimiter
+			}
+		case c < 0x20:
+			return "", p.syntaxErr("control character in string literal")
+		default:
+			if c >= utf8.RuneSelf {
+				simple = false // re-encode to well-formed UTF-8 below
+			}
+			p.pos++
+		}
+	}
+	return "", p.syntaxErr("unterminated string literal")
+}
+
+// unescapeJSONString resolves escapes and coerces the text to well-formed
+// UTF-8, exactly as encoding/json's unquote does (lone surrogates and
+// invalid bytes become U+FFFD).
+func unescapeJSONString(s string) (string, error) {
+	b := make([]byte, 0, len(s)+2*utf8.UTFMax)
+	for r := 0; r < len(s); {
+		switch c := s[r]; {
+		case c == '\\':
+			r++
+			if r >= len(s) {
+				return "", errors.New("telemetry: truncated escape in string")
+			}
+			switch s[r] {
+			case '"', '\\', '/', '\'':
+				b = append(b, s[r])
+				r++
+			case 'b':
+				b = append(b, '\b')
+				r++
+			case 'f':
+				b = append(b, '\f')
+				r++
+			case 'n':
+				b = append(b, '\n')
+				r++
+			case 'r':
+				b = append(b, '\r')
+				r++
+			case 't':
+				b = append(b, '\t')
+				r++
+			case 'u':
+				r--
+				rr := getu4(s[r:])
+				if rr < 0 {
+					return "", errors.New("telemetry: invalid \\u escape in string")
+				}
+				r += 6
+				if utf16.IsSurrogate(rr) {
+					rr1 := getu4(s[r:])
+					if dec := utf16.DecodeRune(rr, rr1); dec != unicode.ReplacementChar {
+						r += 6
+						b = utf8.AppendRune(b, dec)
+						break
+					}
+					rr = unicode.ReplacementChar
+				}
+				b = utf8.AppendRune(b, rr)
+			default:
+				return "", errors.New("telemetry: invalid escape character in string")
+			}
+		case c < utf8.RuneSelf:
+			b = append(b, c)
+			r++
+		default:
+			rr, size := utf8.DecodeRuneInString(s[r:])
+			r += size
+			b = utf8.AppendRune(b, rr)
+		}
+	}
+	return string(b), nil
+}
+
+// getu4 decodes the four hex digits of a \uXXXX escape, or -1.
+func getu4(s string) rune {
+	if len(s) < 6 || s[0] != '\\' || s[1] != 'u' {
+		return -1
+	}
+	var r rune
+	for i := 2; i < 6; i++ {
+		c := s[i]
+		switch {
+		case '0' <= c && c <= '9':
+			c -= '0'
+		case 'a' <= c && c <= 'f':
+			c = c - 'a' + 10
+		case 'A' <= c && c <= 'F':
+			c = c - 'A' + 10
+		default:
+			return -1
+		}
+		r = r*16 + rune(c)
+	}
+	return r
+}
+
+// skipValue consumes any JSON value (for unknown fields).
+func (p *jsonParser) skipValue(depth int) error {
+	if depth > 1000 {
+		return p.syntaxErr("value nested too deeply")
+	}
+	p.skipSpace()
+	if p.pos >= len(p.data) {
+		return p.syntaxErr("unexpected end of input")
+	}
+	switch c := p.data[p.pos]; c {
+	case '"':
+		_, err := p.stringToken()
+		return err
+	case '{':
+		p.pos++
+		p.skipSpace()
+		if p.peekIs('}') {
+			p.pos++
+			return nil
+		}
+		for {
+			if _, err := p.stringToken(); err != nil {
+				return err
+			}
+			p.skipSpace()
+			if err := p.expect(':'); err != nil {
+				return err
+			}
+			if err := p.skipValue(depth + 1); err != nil {
+				return err
+			}
+			p.skipSpace()
+			c, err := p.next()
+			if err != nil {
+				return err
+			}
+			if c == '}' {
+				return nil
+			}
+			if c != ',' {
+				return p.syntaxErr("expected ',' or '}' in object")
+			}
+			p.skipSpace()
+		}
+	case '[':
+		p.pos++
+		p.skipSpace()
+		if p.peekIs(']') {
+			p.pos++
+			return nil
+		}
+		for {
+			if err := p.skipValue(depth + 1); err != nil {
+				return err
+			}
+			p.skipSpace()
+			c, err := p.next()
+			if err != nil {
+				return err
+			}
+			if c == ']' {
+				return nil
+			}
+			if c != ',' {
+				return p.syntaxErr("expected ',' or ']' in array")
+			}
+		}
+	case 't':
+		return p.expectLit("true")
+	case 'f':
+		return p.expectLit("false")
+	case 'n':
+		return p.expectLit("null")
+	default:
+		_, err := p.numberToken()
+		return err
+	}
+}

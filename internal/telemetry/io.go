@@ -3,10 +3,10 @@ package telemetry
 import (
 	"bufio"
 	"encoding/csv"
-	"encoding/json"
 	"fmt"
 	"io"
 	"strconv"
+	"sync"
 	"time"
 )
 
@@ -170,21 +170,27 @@ func parseRow(row []string, rec *SessionRecord) error {
 	return nil
 }
 
-// JSONLWriter streams records as JSON Lines.
+// JSONLWriter streams records as JSON Lines using the hand-rolled codec in
+// codec.go; the output is byte-identical to what json.Encoder produced.
 type JSONLWriter struct {
 	bw  *bufio.Writer
-	enc *json.Encoder
+	buf []byte
 }
 
 // NewJSONLWriter returns a writer targeting w.
 func NewJSONLWriter(w io.Writer) *JSONLWriter {
-	bw := bufio.NewWriter(w)
-	return &JSONLWriter{bw: bw, enc: json.NewEncoder(bw)}
+	return &JSONLWriter{bw: bufio.NewWriter(w)}
 }
 
 // Write emits one record as a JSON line.
 func (jw *JSONLWriter) Write(r *SessionRecord) error {
-	if err := jw.enc.Encode(r); err != nil {
+	b, err := AppendJSON(jw.buf[:0], r)
+	if err != nil {
+		return fmt.Errorf("telemetry: encoding JSONL: %w", err)
+	}
+	b = append(b, '\n')
+	jw.buf = b
+	if _, err := jw.bw.Write(b); err != nil {
 		return fmt.Errorf("telemetry: encoding JSONL: %w", err)
 	}
 	return nil
@@ -198,11 +204,23 @@ func (jw *JSONLWriter) Flush() error {
 	return nil
 }
 
+// scanBufPool recycles the scanner buffers behind ReadJSONL so concurrent
+// ingest requests don't each allocate a fresh 64 KiB window.
+var scanBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 64*1024)
+		return &b
+	},
+}
+
 // ReadJSONL streams records from r, invoking fn for each. As with ReadCSV
-// the record is reused between calls.
+// the record is reused between calls. Lines up to 4 MiB are accepted.
 func ReadJSONL(r io.Reader, fn func(*SessionRecord) error) error {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	bufp := scanBufPool.Get().(*[]byte)
+	defer scanBufPool.Put(bufp)
+	sc.Buffer(*bufp, 4*1024*1024)
+	intern := make(map[string]string)
 	var rec SessionRecord
 	line := 0
 	for sc.Scan() {
@@ -210,8 +228,7 @@ func ReadJSONL(r io.Reader, fn func(*SessionRecord) error) error {
 		if len(sc.Bytes()) == 0 {
 			continue
 		}
-		rec = SessionRecord{}
-		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+		if err := parseRecordJSON(string(sc.Bytes()), &rec, intern); err != nil {
 			return fmt.Errorf("telemetry: JSONL line %d: %w", line, err)
 		}
 		if err := fn(&rec); err != nil {

@@ -1,0 +1,215 @@
+package usaas
+
+import (
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// The result cache memoizes fully-rendered GET responses keyed by the query
+// (path + raw query string) and the store generations at render time. Ingest
+// bumps a generation, which retires every cached entry at once — a cached
+// body is therefore always byte-identical to recomputing against the
+// current store. Concurrent identical queries collapse into one
+// computation (singleflight): one leader renders, followers replay its
+// recorded response.
+
+// CacheMetrics counts result-cache activity.
+type CacheMetrics struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Collapsed uint64 `json:"collapsed"` // follower requests served by a leader's flight
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+}
+
+// cacheEntry is one recorded response.
+type cacheEntry struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// flightCall tracks one in-flight computation; followers wait on done.
+type flightCall struct {
+	done  chan struct{}
+	entry *cacheEntry // nil if the leader's response was not cacheable
+}
+
+// resultCache is a generation-scoped memo of rendered responses with
+// singleflight collapsing. Keys embed the store generations, so entries
+// written by a flight that straddled an ingest land under a dead key
+// instead of poisoning the fresh generation.
+type resultCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*cacheEntry
+	flights map[string]*flightCall
+	order   []string // FIFO eviction order
+	gen     string   // generation prefix of the entries currently held
+
+	hits, misses, collapsed, evictions uint64
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{
+		max:     max,
+		entries: map[string]*cacheEntry{},
+		flights: map[string]*flightCall{},
+	}
+}
+
+// lookup returns a cached entry, an existing flight to follow, or (when
+// both are nil) leadership of a new flight for the key. A generation change
+// purges all previous-generation entries.
+func (c *resultCache) lookup(gen, key string) (entry *cacheEntry, follow *flightCall) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gen != gen {
+		c.gen = gen
+		c.entries = map[string]*cacheEntry{}
+		c.order = c.order[:0]
+	}
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		return e, nil
+	}
+	if f, ok := c.flights[key]; ok {
+		c.collapsed++
+		return nil, f
+	}
+	c.misses++
+	f := &flightCall{done: make(chan struct{})}
+	c.flights[key] = f
+	return nil, nil
+}
+
+// complete finishes the leader's flight, storing the entry (when cacheable
+// and the generation is still current) and waking followers.
+func (c *resultCache) complete(gen, key string, entry *cacheEntry) {
+	c.mu.Lock()
+	if f, ok := c.flights[key]; ok {
+		delete(c.flights, key)
+		f.entry = entry
+		defer close(f.done)
+	}
+	if entry != nil && c.gen == gen {
+		if _, exists := c.entries[key]; !exists {
+			for len(c.order) >= c.max {
+				oldest := c.order[0]
+				c.order = c.order[1:]
+				delete(c.entries, oldest)
+				c.evictions++
+			}
+			c.entries[key] = entry
+			c.order = append(c.order, key)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// inflight reports the number of open flights (test hook).
+func (c *resultCache) inflight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.flights)
+}
+
+func (c *resultCache) metrics() CacheMetrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheMetrics{
+		Hits: c.hits, Misses: c.misses, Collapsed: c.collapsed,
+		Evictions: c.evictions, Entries: len(c.entries),
+	}
+}
+
+// responseRecorder captures a handler's response for caching while
+// streaming nothing: the recorded copy is replayed to the caller.
+type responseRecorder struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+func newResponseRecorder() *responseRecorder {
+	return &responseRecorder{status: http.StatusOK, header: http.Header{}}
+}
+
+func (r *responseRecorder) Header() http.Header { return r.header }
+
+func (r *responseRecorder) WriteHeader(status int) { r.status = status }
+
+func (r *responseRecorder) Write(b []byte) (int, error) {
+	r.body = append(r.body, b...)
+	return len(b), nil
+}
+
+// replay writes a recorded response to a real writer.
+func replayEntry(w http.ResponseWriter, e *cacheEntry) {
+	for k, vs := range e.header {
+		w.Header()[k] = vs
+	}
+	w.WriteHeader(e.status)
+	_, _ = w.Write(e.body)
+}
+
+// cacheKey builds the generation-scoped key for a request.
+func cacheKey(sessGen, postGen uint64, r *http.Request) (gen, key string) {
+	gen = strconv.FormatUint(sessGen, 10) + "." + strconv.FormatUint(postGen, 10)
+	return gen, gen + "|" + r.URL.Path + "?" + r.URL.RawQuery
+}
+
+// cached wraps a GET handler with the generation-keyed result cache and
+// singleflight collapsing. Responses with status >= 500 are not cached
+// (transient failures must not stick until the next ingest).
+func (s *Server) cached(next http.HandlerFunc) http.HandlerFunc {
+	if s.cache == nil {
+		return next
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			next(w, r)
+			return
+		}
+		sessGen, postGen := s.store.Generations()
+		gen, key := cacheKey(sessGen, postGen, r)
+		entry, follow := s.cache.lookup(gen, key)
+		if entry != nil {
+			replayEntry(w, entry)
+			return
+		}
+		if follow != nil {
+			select {
+			case <-follow.done:
+				if follow.entry != nil {
+					replayEntry(w, follow.entry)
+					return
+				}
+				// Leader's response was not cacheable; compute solo.
+				next(w, r)
+			case <-r.Context().Done():
+				writeErr(w, http.StatusServiceUnavailable, "request canceled while waiting for identical query")
+			}
+			return
+		}
+		// Leader: render into a recorder, then publish and replay.
+		rec := newResponseRecorder()
+		var stored *cacheEntry
+		defer func() { s.cache.complete(gen, key, stored) }()
+		next(rec, r)
+		if rec.status < http.StatusInternalServerError {
+			stored = &cacheEntry{status: rec.status, header: rec.header, body: rec.body}
+		}
+		replayEntry(w, &cacheEntry{status: rec.status, header: rec.header, body: rec.body})
+	}
+}
+
+// CacheMetrics reports result-cache counters (zero value when the cache is
+// disabled).
+func (s *Server) CacheMetrics() CacheMetrics {
+	if s.cache == nil {
+		return CacheMetrics{}
+	}
+	return s.cache.metrics()
+}

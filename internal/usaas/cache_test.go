@@ -1,0 +1,222 @@
+package usaas
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"usersignals/internal/telemetry"
+)
+
+// fetchBody GETs a URL and returns the body (shared by the view equivalence
+// tests).
+func fetchBody(t *testing.T, ctx context.Context, url string) string {
+	t.Helper()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// cacheTestServer builds a server over a small ingested store.
+func cacheTestServer(t *testing.T, opts ServerOptions) (*Server, *httptest.Server, []telemetry.SessionRecord) {
+	t.Helper()
+	recs := mixDataset(t)
+	srv := NewServer(nil, opts)
+	srv.store.AddSessions(recs)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts, recs
+}
+
+// TestCacheGenerationInvalidation: a repeated query hits the cache; an
+// ingest bumps the generation, so the same query misses and reflects the new
+// data.
+func TestCacheGenerationInvalidation(t *testing.T) {
+	srv, ts, recs := cacheTestServer(t, ServerOptions{})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	url := ts.URL + "/v1/insights/engagement?metric=latency-mean-ms&engagement=presence&lo=0&hi=300&bins=8"
+
+	cold := fetchBody(t, ctx, url)
+	warm := fetchBody(t, ctx, url)
+	if cold != warm {
+		t.Fatal("warm response differs from cold")
+	}
+	m := srv.CacheMetrics()
+	if m.Misses != 1 || m.Hits != 1 {
+		t.Fatalf("metrics after warm read = %+v, want 1 miss + 1 hit", m)
+	}
+
+	// Ingest more sessions: the generation moves and the cache must not
+	// serve the stale body.
+	srv.store.AddSessions(recs[:100])
+	fresh := fetchBody(t, ctx, url)
+	if fresh == cold {
+		t.Fatal("response unchanged after ingest; cache served stale bytes")
+	}
+	m = srv.CacheMetrics()
+	if m.Misses != 2 {
+		t.Fatalf("metrics after invalidation = %+v, want 2 misses", m)
+	}
+	// The fresh body itself is now cached again.
+	if again := fetchBody(t, ctx, url); again != fresh {
+		t.Fatal("post-ingest warm response differs")
+	}
+}
+
+// TestCacheSingleflightCollapse: concurrent identical queries produce one
+// computation; followers wait and replay the leader's bytes.
+func TestCacheSingleflightCollapse(t *testing.T) {
+	srv := NewServer(nil, ServerOptions{})
+	var computations atomic.Int64
+	release := make(chan struct{})
+	handler := srv.cached(func(w http.ResponseWriter, r *http.Request) {
+		n := computations.Add(1) // leader-only: one flight per key
+		<-release
+		writeJSON(w, http.StatusOK, map[string]int64{"n": n})
+	})
+
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	const followers = 8
+	bodies := make([]string, followers)
+	var wg sync.WaitGroup
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			bodies[i] = fetchBody(t, ctx, ts.URL+"/v1/x?q=1")
+		}(i)
+	}
+	// Wait until the leader's flight is registered and followers queue up,
+	// then let the leader finish.
+	deadline := time.Now().Add(30 * time.Second)
+	for srv.cache.inflight() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no flight registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for srv.CacheMetrics().Collapsed < followers-1 {
+		if time.Now().After(deadline) {
+			break // some followers may have raced ahead to cache hits
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if n := computations.Load(); n != 1 {
+		t.Fatalf("handler ran %d times, want 1", n)
+	}
+	for i := 1; i < followers; i++ {
+		if bodies[i] != bodies[0] {
+			t.Fatalf("follower %d got different bytes", i)
+		}
+	}
+	m := srv.CacheMetrics()
+	if m.Misses != 1 {
+		t.Fatalf("metrics = %+v, want exactly 1 miss", m)
+	}
+	if m.Collapsed+m.Hits != followers-1 {
+		t.Fatalf("metrics = %+v, want %d collapsed+hits", m, followers-1)
+	}
+	if srv.cache.inflight() != 0 {
+		t.Fatal("flight leaked")
+	}
+}
+
+// TestCacheDisabled: a negative ResultCacheSize turns caching off entirely.
+func TestCacheDisabled(t *testing.T) {
+	srv, ts, _ := cacheTestServer(t, ServerOptions{ResultCacheSize: -1})
+	if srv.cache != nil {
+		t.Fatal("cache built despite ResultCacheSize < 0")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	url := ts.URL + "/v1/insights/mos"
+	a := fetchBody(t, ctx, url)
+	b := fetchBody(t, ctx, url)
+	if a != b {
+		t.Fatal("uncached responses diverge")
+	}
+	if m := srv.CacheMetrics(); m != (CacheMetrics{}) {
+		t.Fatalf("disabled cache reported metrics %+v", m)
+	}
+}
+
+// TestCacheErrorResponsesNotCached: a 5xx body must not stick around until
+// the next ingest.
+func TestCacheErrorResponsesNotCached(t *testing.T) {
+	srv := NewServer(nil, ServerOptions{})
+	var fail atomic.Bool
+	fail.Store(true)
+	handler := srv.cached(func(w http.ResponseWriter, r *http.Request) {
+		if fail.Load() {
+			writeErr(w, http.StatusInternalServerError, "transient")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"ok": "yes"})
+	})
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	first := fetchBody(t, ctx, ts.URL+"/v1/x")
+	fail.Store(false)
+	second := fetchBody(t, ctx, ts.URL+"/v1/x")
+	if first == second {
+		t.Fatal("500 response was cached")
+	}
+	// 404s (e.g. "no posts ingested") are cacheable: same generation, same
+	// answer.
+	third := fetchBody(t, ctx, ts.URL+"/v1/x")
+	if third != second {
+		t.Fatal("successful response was not cached")
+	}
+}
+
+// TestCacheEviction: the FIFO cap holds and evictions are counted.
+func TestCacheEviction(t *testing.T) {
+	srv := NewServer(nil, ServerOptions{ResultCacheSize: 2})
+	handler := srv.cached(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, r.URL.RawQuery)
+	})
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	for _, q := range []string{"a", "b", "c"} {
+		fetchBody(t, ctx, ts.URL+"/v1/x?q="+q)
+	}
+	m := srv.CacheMetrics()
+	if m.Entries != 2 || m.Evictions != 1 {
+		t.Fatalf("metrics = %+v, want 2 entries and 1 eviction", m)
+	}
+	// Oldest key ("a") was evicted: re-fetching it misses again.
+	fetchBody(t, ctx, ts.URL+"/v1/x?q=a")
+	if m := srv.CacheMetrics(); m.Misses != 4 {
+		t.Fatalf("metrics = %+v, want 4 misses", m)
+	}
+}

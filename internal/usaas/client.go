@@ -489,10 +489,32 @@ func (c *Client) IngestSessions(ctx context.Context, recs []telemetry.SessionRec
 	return c.IngestSessionsBatch(ctx, c.nextBatchID(), recs)
 }
 
-// IngestSessionsBatch is IngestSessions under an explicit batch ID.
+// ndjsonBufs pools encode buffers for session uploads. A buffer stays out
+// of the pool until do() fully returns: GetBody may replay the bytes on any
+// retry, so the buffer cannot be reused before the last attempt finishes.
+var ndjsonBufs = sync.Pool{New: func() any { b := make([]byte, 0, 64*1024); return &b }}
+
+// IngestSessionsBatch is IngestSessions under an explicit batch ID. The
+// upload is NDJSON encoded with the pooled telemetry codec — the hot ingest
+// path allocates no per-record encoder state.
 func (c *Client) IngestSessionsBatch(ctx context.Context, batchID string, recs []telemetry.SessionRecord) (IngestResponse, error) {
+	bufp := ndjsonBufs.Get().(*[]byte)
+	defer func() { ndjsonBufs.Put(bufp) }()
+	body, err := telemetry.AppendNDJSON((*bufp)[:0], recs)
+	if err != nil {
+		return IngestResponse{}, fmt.Errorf("usaas client: encoding /v1/sessions request: %w", err)
+	}
+	*bufp = body
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/sessions", bytes.NewReader(body))
+	if err != nil {
+		return IngestResponse{}, fmt.Errorf("usaas client: building /v1/sessions request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	if batchID != "" {
+		req.Header.Set(BatchIDHeader, batchID)
+	}
 	var out IngestResponse
-	err := c.post(ctx, "/v1/sessions", batchID, recs, &out)
+	err = c.do(req, &out)
 	return out, err
 }
 

@@ -87,32 +87,26 @@ func (d DayEngagement) Of(eng telemetry.Engagement) float64 {
 	}
 }
 
-// DailyEngagement aggregates sessions by calendar day (UTC), sorted.
-// Days without sessions are absent.
-func DailyEngagement(records []telemetry.SessionRecord, filter telemetry.Filter) []DayEngagement {
-	type acc struct {
-		pres, cam, mic stats.Online
-		ratings        []int
+// dayAcc accumulates one calendar day's engagement telemetry. It is also
+// the unit of the store's incrementally maintained daily view (views.go).
+type dayAcc struct {
+	pres, cam, mic stats.Online
+	ratings        []int
+}
+
+// add folds one session into the day.
+func (a *dayAcc) add(r *telemetry.SessionRecord) {
+	a.pres.Add(r.PresencePct)
+	a.cam.Add(r.CamOnPct)
+	a.mic.Add(r.MicOnPct)
+	if r.Rated {
+		a.ratings = append(a.ratings, r.Rating)
 	}
-	byDay := map[timeline.Day]*acc{}
-	for i := range records {
-		r := &records[i]
-		if filter != nil && !filter(r) {
-			continue
-		}
-		d := timeline.DayOf(r.Start)
-		a := byDay[d]
-		if a == nil {
-			a = &acc{}
-			byDay[d] = a
-		}
-		a.pres.Add(r.PresencePct)
-		a.cam.Add(r.CamOnPct)
-		a.mic.Add(r.MicOnPct)
-		if r.Rated {
-			a.ratings = append(a.ratings, r.Rating)
-		}
-	}
+}
+
+// dayEngagementFrom snapshots per-day accumulators as the sorted series.
+// Read-only on the accumulators.
+func dayEngagementFrom(byDay map[timeline.Day]*dayAcc) []DayEngagement {
 	out := make([]DayEngagement, 0, len(byDay))
 	for d, a := range byDay {
 		de := DayEngagement{
@@ -131,6 +125,26 @@ func DailyEngagement(records []telemetry.SessionRecord, filter telemetry.Filter)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Day < out[j].Day })
 	return out
+}
+
+// DailyEngagement aggregates sessions by calendar day (UTC), sorted.
+// Days without sessions are absent.
+func DailyEngagement(records []telemetry.SessionRecord, filter telemetry.Filter) []DayEngagement {
+	byDay := map[timeline.Day]*dayAcc{}
+	for i := range records {
+		r := &records[i]
+		if filter != nil && !filter(r) {
+			continue
+		}
+		d := timeline.DayOf(r.Start)
+		a := byDay[d]
+		if a == nil {
+			a = &dayAcc{}
+			byDay[d] = a
+		}
+		a.add(r)
+	}
+	return dayEngagementFrom(byDay)
 }
 
 // Incident is a detected span of degraded experience.

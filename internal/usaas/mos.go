@@ -24,17 +24,32 @@ type EngagementMOS struct {
 	RatedSessions int
 }
 
+// ratedOnly extracts the rated subsequence in record order.
+func ratedOnly(records []telemetry.SessionRecord) []telemetry.SessionRecord {
+	var rated []telemetry.SessionRecord
+	for i := range records {
+		if records[i].Rated {
+			rated = append(rated, records[i])
+		}
+	}
+	return rated
+}
+
 // MOSByEngagement computes the Fig. 4 relation for one engagement metric.
 func MOSByEngagement(records []telemetry.SessionRecord, eng telemetry.Engagement, nBins int, filter telemetry.Filter) (EngagementMOS, error) {
+	return mosByEngagementRated(ratedOnly(records), eng, nBins, filter)
+}
+
+// mosByEngagementRated is MOSByEngagement over a pre-extracted rated
+// subsequence (as the store's view maintains), avoiding the full-store
+// scan on the query path.
+func mosByEngagementRated(rated []telemetry.SessionRecord, eng telemetry.Engagement, nBins int, filter telemetry.Filter) (EngagementMOS, error) {
 	if nBins < 2 {
 		nBins = 10
 	}
 	var xs, ys []float64
-	for i := range records {
-		r := &records[i]
-		if !r.Rated {
-			continue
-		}
+	for i := range rated {
+		r := &rated[i]
 		if filter != nil && !filter(r) {
 			continue
 		}
@@ -58,9 +73,14 @@ func MOSByEngagement(records []telemetry.SessionRecord, eng telemetry.Engagement
 
 // MOSReport runs Fig. 4 for all engagement metrics.
 func MOSReport(records []telemetry.SessionRecord, nBins int, filter telemetry.Filter) ([]EngagementMOS, error) {
+	return mosReportRated(ratedOnly(records), nBins, filter)
+}
+
+// mosReportRated is MOSReport over a pre-extracted rated subsequence.
+func mosReportRated(rated []telemetry.SessionRecord, nBins int, filter telemetry.Filter) ([]EngagementMOS, error) {
 	var out []EngagementMOS
 	for _, eng := range telemetry.Engagements() {
-		em, err := MOSByEngagement(records, eng, nBins, filter)
+		em, err := mosByEngagementRated(rated, eng, nBins, filter)
 		if err != nil {
 			return nil, err
 		}
@@ -122,12 +142,7 @@ func predictorFeatures(r *telemetry.SessionRecord) []float64 {
 // FeatureSetMAE evaluates held-out ridge MAE for one feature set (70/30
 // chronological split of the rated sessions).
 func FeatureSetMAE(records []telemetry.SessionRecord, set FeatureSet, lambda float64) (float64, error) {
-	var rated []telemetry.SessionRecord
-	for i := range records {
-		if records[i].Rated {
-			rated = append(rated, records[i])
-		}
-	}
+	rated := ratedOnly(records)
 	if len(rated) < 20 {
 		return 0, fmt.Errorf("usaas: %d rated sessions; need at least 20", len(rated))
 	}
@@ -256,14 +271,14 @@ type PredictorEval struct {
 // EvaluateMOSPredictor trains on the first trainFrac of rated sessions and
 // evaluates on the rest.
 func EvaluateMOSPredictor(records []telemetry.SessionRecord, trainFrac, lambda float64) (PredictorEval, error) {
+	return evaluateMOSPredictorRated(ratedOnly(records), len(records), trainFrac, lambda)
+}
+
+// evaluateMOSPredictorRated is EvaluateMOSPredictor over a pre-extracted
+// rated subsequence; totalSessions sizes the survey-coverage denominator.
+func evaluateMOSPredictorRated(rated []telemetry.SessionRecord, totalSessions int, trainFrac, lambda float64) (PredictorEval, error) {
 	if trainFrac <= 0 || trainFrac >= 1 {
 		trainFrac = 0.7
-	}
-	var rated []telemetry.SessionRecord
-	for i := range records {
-		if records[i].Rated {
-			rated = append(rated, records[i])
-		}
 	}
 	var eval PredictorEval
 	if len(rated) < 20 {
@@ -297,8 +312,8 @@ func EvaluateMOSPredictor(records []telemetry.SessionRecord, trainFrac, lambda f
 	eval.PredictorMAE = sumPred / float64(len(test))
 	eval.BaselineMAE = sumBase / float64(len(test))
 	eval.TreeMAE = sumTree / float64(len(test))
-	if len(records) > 0 {
-		eval.SurveyCoverage = float64(len(rated)) / float64(len(records))
+	if totalSessions > 0 {
+		eval.SurveyCoverage = float64(len(rated)) / float64(totalSessions)
 	}
 	eval.PredictorCoverage = 1 // engagement exists for every session
 	return eval, nil

@@ -75,18 +75,20 @@ func BuildReport(store *Store, an *nlp.Analyzer, opts ServerOptions) OperatorRep
 		}
 	}
 
-	recs := store.Sessions()
-	rep.Sessions = len(recs)
-	if len(recs) == 0 {
+	// Session analyses read the store's materialized views (views.go): the
+	// shared session slice is never copied, dose-response curves come from
+	// incrementally maintained accumulators, and the MOS paths scan only
+	// the rated subsequence.
+	recs := store.SessionsShared()
+	rated, total := store.RatedSessions()
+	rep.Sessions = total
+	if total == 0 {
 		rep.Errors = append(rep.Errors, "sessions: none ingested")
 	} else {
 		guard("engagement-drops", func() error {
 			for _, rr := range reportDropRanges {
-				s, err := DoseResponse(recs, rr.metric, telemetry.Presence,
-					stats.NewBinner(rr.lo, rr.hi, 8), nil)
-				if err != nil {
-					return err
-				}
+				s := store.DoseResponseSeries(rr.metric, telemetry.Presence,
+					stats.NewBinner(rr.lo, rr.hi, 8), "")
 				if drop := RelativeDrop(s); !math.IsNaN(drop) {
 					rep.EngagementDrops[rr.metric.String()] = drop
 				}
@@ -94,7 +96,7 @@ func BuildReport(store *Store, an *nlp.Analyzer, opts ServerOptions) OperatorRep
 			return nil
 		})
 		guard("mos-correlations", func() error {
-			mosReport, err := MOSReport(recs, 10, nil)
+			mosReport, err := mosReportRated(rated, 10, nil)
 			if err != nil {
 				return err
 			}
@@ -109,7 +111,7 @@ func BuildReport(store *Store, an *nlp.Analyzer, opts ServerOptions) OperatorRep
 			return nil
 		})
 		guard("mos-predictor", func() error {
-			eval, err := EvaluateMOSPredictor(recs, 0.7, 1.0)
+			eval, err := evaluateMOSPredictorRated(rated, total, 0.7, 1.0)
 			if err != nil {
 				return err
 			}
@@ -149,7 +151,10 @@ func BuildReport(store *Store, an *nlp.Analyzer, opts ServerOptions) OperatorRep
 			return nil
 		})
 		guard("speeds", func() error {
-			months := MonthlySpeeds(c, an, opts.Model, 1)
+			months, ok := store.monthlySpeedsView(an, opts.Model, 1)
+			if !ok {
+				months = MonthlySpeeds(c, an, opts.Model, 1)
+			}
 			for _, m := range months {
 				if m.Reports > 0 {
 					rep.SpeedMonths++

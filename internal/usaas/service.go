@@ -35,9 +35,15 @@ type Store struct {
 	mu       sync.RWMutex
 	sessions []telemetry.SessionRecord
 	posts    []social.Post
-	corpus   *social.Corpus           // rebuilt lazily from posts
-	postGen  uint64                   // bumped on every post ingest
+	corpus   *social.Corpus            // rebuilt lazily from posts
+	sessGen  uint64                    // bumped on every session ingest
+	postGen  uint64                    // bumped on every post ingest
 	batches  map[string]IngestResponse // batch ID → first acknowledgement
+
+	// views holds the incrementally maintained materialized state the
+	// query handlers read (views.go). Folded only on non-duplicate
+	// batches, so replays never double-count.
+	views viewState
 }
 
 // AddSessions ingests session records unconditionally (no dedup).
@@ -58,6 +64,10 @@ func (s *Store) AddSessionsBatch(batchID string, recs []telemetry.SessionRecord)
 		}
 	}
 	s.sessions = append(s.sessions, recs...)
+	if len(recs) > 0 {
+		s.sessGen++
+		s.views.foldSessions(recs)
+	}
 	resp = IngestResponse{
 		Accepted:      len(recs),
 		TotalSessions: len(s.sessions),
@@ -76,6 +86,10 @@ func (s *Store) AddPosts(posts []social.Post) {
 // AddPostsBatch ingests social posts under an idempotency key, with the
 // same replay semantics as AddSessionsBatch.
 func (s *Store) AddPostsBatch(batchID string, posts []social.Post) (resp IngestResponse, dup bool) {
+	// OCR extraction is the expensive part of post ingest; stage it
+	// outside the lock. On a duplicate replay the staged work is simply
+	// discarded — replays are rare, stalled readers are not.
+	staged := extractSpeeds(posts)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if batchID != "" {
@@ -84,9 +98,13 @@ func (s *Store) AddPostsBatch(batchID string, posts []social.Post) (resp IngestR
 			return prev, true
 		}
 	}
+	base := len(s.posts)
 	s.posts = append(s.posts, posts...)
-	s.corpus = nil
-	s.postGen++
+	if len(posts) > 0 {
+		s.corpus = nil
+		s.postGen++
+		s.views.foldPosts(posts, staged, base)
+	}
 	resp = IngestResponse{
 		Accepted:      len(posts),
 		TotalSessions: len(s.sessions),
@@ -107,7 +125,9 @@ func (s *Store) recordBatchLocked(batchID string, resp IngestResponse) {
 	s.batches[batchID] = resp
 }
 
-// Sessions returns a snapshot copy of the sessions.
+// Sessions returns a snapshot copy of the sessions. Read-only consumers
+// should prefer SessionsShared (views.go), which avoids the O(store) copy;
+// this accessor remains for callers that mutate the returned records.
 func (s *Store) Sessions() []telemetry.SessionRecord {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -195,6 +215,9 @@ type ServerOptions struct {
 	// rejected with 429 + Retry-After instead of queueing without bound
 	// (0 disables).
 	MaxInflight int
+	// ResultCacheSize caps the generation-keyed result cache (cache.go):
+	// 0 means the default of 256 entries, negative disables caching.
+	ResultCacheSize int
 }
 
 // Server is the USaaS HTTP service.
@@ -202,6 +225,7 @@ type Server struct {
 	store *Store
 	opts  ServerOptions
 	mux   *http.ServeMux
+	cache *resultCache // nil when disabled
 }
 
 // NewServer builds a service around a store (a fresh one if nil).
@@ -222,22 +246,31 @@ func NewServer(store *Store, opts ServerOptions) *Server {
 		opts.RequestTimeout = 60 * time.Second
 	}
 	s := &Server{store: store, opts: opts, mux: http.NewServeMux()}
+	if opts.ResultCacheSize >= 0 {
+		size := opts.ResultCacheSize
+		if size == 0 {
+			size = 256
+		}
+		s.cache = newResultCache(size)
+	}
+	// Ingest and store-stats endpoints stay uncached; every insight/query
+	// endpoint goes through the generation-keyed result cache.
 	s.mux.HandleFunc("/v1/sessions", s.handleSessions)
 	s.mux.HandleFunc("/v1/posts", s.handlePosts)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
-	s.mux.HandleFunc("/v1/insights/engagement", s.handleEngagement)
-	s.mux.HandleFunc("/v1/insights/mos", s.handleMOS)
-	s.mux.HandleFunc("/v1/insights/sentiment", s.handleSentiment)
-	s.mux.HandleFunc("/v1/insights/peaks", s.handlePeaks)
-	s.mux.HandleFunc("/v1/insights/outages", s.handleOutages)
-	s.mux.HandleFunc("/v1/insights/speeds", s.handleSpeeds)
-	s.mux.HandleFunc("/v1/insights/trends", s.handleTrends)
-	s.mux.HandleFunc("/v1/query/experience", s.handleExperience)
-	s.mux.HandleFunc("/v1/insights/confounders", s.handleConfounders)
-	s.mux.HandleFunc("/v1/advice/traffic-engineering", s.handleTEAdvice)
-	s.mux.HandleFunc("/v1/advice/deployment", s.handleDeploymentAdvice)
-	s.mux.HandleFunc("/v1/report", s.handleReport)
-	s.mux.HandleFunc("/v1/insights/incidents", s.handleIncidents)
+	s.mux.HandleFunc("/v1/insights/engagement", s.cached(s.handleEngagement))
+	s.mux.HandleFunc("/v1/insights/mos", s.cached(s.handleMOS))
+	s.mux.HandleFunc("/v1/insights/sentiment", s.cached(s.handleSentiment))
+	s.mux.HandleFunc("/v1/insights/peaks", s.cached(s.handlePeaks))
+	s.mux.HandleFunc("/v1/insights/outages", s.cached(s.handleOutages))
+	s.mux.HandleFunc("/v1/insights/speeds", s.cached(s.handleSpeeds))
+	s.mux.HandleFunc("/v1/insights/trends", s.cached(s.handleTrends))
+	s.mux.HandleFunc("/v1/query/experience", s.cached(s.handleExperience))
+	s.mux.HandleFunc("/v1/insights/confounders", s.cached(s.handleConfounders))
+	s.mux.HandleFunc("/v1/advice/traffic-engineering", s.cached(s.handleTEAdvice))
+	s.mux.HandleFunc("/v1/advice/deployment", s.cached(s.handleDeploymentAdvice))
+	s.mux.HandleFunc("/v1/report", s.cached(s.handleReport))
+	s.mux.HandleFunc("/v1/insights/incidents", s.cached(s.handleIncidents))
 	return s
 }
 
@@ -257,7 +290,7 @@ func (s *Server) handleIncidents(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	days := DailyEngagement(s.store.Sessions(), nil)
+	days := s.store.DailyEngagementView()
 	if len(days) == 0 {
 		writeErr(w, http.StatusNotFound, "no sessions ingested")
 		return
@@ -530,15 +563,7 @@ func (s *Server) handleEngagement(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "invalid binning lo=%v hi=%v bins=%d", lo, hi, bins)
 		return
 	}
-	var filter telemetry.Filter
-	if isp := r.URL.Query().Get("isp"); isp != "" {
-		filter = telemetry.OnISP(isp)
-	}
-	series, err := DoseResponse(s.store.Sessions(), metric, eng, stats.NewBinner(lo, hi, bins), filter)
-	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "%v", err)
-		return
-	}
+	series := s.store.DoseResponseSeries(metric, eng, stats.NewBinner(lo, hi, bins), r.URL.Query().Get("isp"))
 	norm := Normalize100(series)
 	writeJSON(w, http.StatusOK, EngagementResponse{
 		Metric:     metric.String(),
@@ -568,8 +593,8 @@ func (s *Server) handleMOS(w http.ResponseWriter, r *http.Request) {
 	if !s.requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	recs := s.store.Sessions()
-	report, err := MOSReport(recs, queryInt(r, "bins", 10), nil)
+	rated, total := s.store.RatedSessions()
+	report, err := mosReportRated(rated, queryInt(r, "bins", 10), nil)
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
 		return
@@ -583,7 +608,7 @@ func (s *Server) handleMOS(w http.ResponseWriter, r *http.Request) {
 			RatedSessions: em.RatedSessions,
 		})
 	}
-	if eval, err := EvaluateMOSPredictor(recs, 0.7, 1.0); err == nil {
+	if eval, err := evaluateMOSPredictorRated(rated, total, 0.7, 1.0); err == nil {
 		resp.Predictor = &eval
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -646,11 +671,12 @@ func (s *Server) handleSpeeds(w http.ResponseWriter, r *http.Request) {
 	if !s.requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	c := s.corpusOr404(w)
-	if c == nil {
+	months, ok := s.store.monthlySpeedsView(s.opts.Analyzer, s.opts.Model, 1)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no posts ingested")
 		return
 	}
-	writeJSON(w, http.StatusOK, MonthlySpeeds(c, s.opts.Analyzer, s.opts.Model, 1))
+	writeJSON(w, http.StatusOK, months)
 }
 
 func (s *Server) handleTrends(w http.ResponseWriter, r *http.Request) {
@@ -673,7 +699,7 @@ func (s *Server) handleConfounders(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	effects, err := ConfounderReport(s.store.Sessions(), eng)
+	effects, err := ConfounderReport(s.store.SessionsShared(), eng)
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
 		return
@@ -685,7 +711,7 @@ func (s *Server) handleTEAdvice(w http.ResponseWriter, r *http.Request) {
 	if !s.requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	recos, err := AdviseTrafficEngineering(s.store.Sessions())
+	recos, err := AdviseTrafficEngineering(s.store.SessionsShared())
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
 		return
@@ -739,7 +765,7 @@ func (s *Server) handleExperience(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "isp parameter required")
 		return
 	}
-	recs := s.store.Sessions()
+	recs := s.store.SessionsShared()
 	var sub []telemetry.SessionRecord
 	for i := range recs {
 		if recs[i].ISP == isp {

@@ -47,80 +47,23 @@ func MonthlySpeeds(c *social.Corpus, an *nlp.Analyzer, model *leo.Model, seed ui
 
 // speedShard accumulates one post-chunk of the Fig. 7 extraction sweep.
 type speedShard struct {
-	reports map[timeline.Month]int
-	speeds  map[timeline.Month][]float64
-	strong  map[timeline.Month][2]int // [pos, neg]
+	speeds map[timeline.Month][]float64
+	strong map[timeline.Month][2]int // [pos, neg]
 }
 
-// MonthlySpeedsN is MonthlySpeeds over an explicit worker count (<= 0 means
-// one per CPU). Posts shard into canonical chunks; per-month extraction
-// results concatenate in chunk order, reproducing the serial scan exactly,
-// so the output is byte-identical at any worker count.
-func MonthlySpeedsN(c *social.Corpus, an *nlp.Analyzer, model *leo.Model, seed uint64, workers int) []MonthSpeed {
-	months := c.Window.Months()
-	byMonth := make(map[timeline.Month]*MonthSpeed, len(months))
-	speeds := make(map[timeline.Month][]float64, len(months))
-	strong := make(map[timeline.Month][2]int, len(months))
-
-	for _, m := range months {
-		byMonth[m] = &MonthSpeed{Month: m}
-	}
-
-	shards, _ := parallel.Map(workers, parallel.Chunks(len(c.Posts)), func(i int) (speedShard, error) {
-		lo, hi := parallel.ChunkBounds(i, len(c.Posts))
-		sh := speedShard{
-			reports: map[timeline.Month]int{},
-			speeds:  map[timeline.Month][]float64{},
-			strong:  map[timeline.Month][2]int{},
-		}
-		for j := lo; j < hi; j++ {
-			p := &c.Posts[j]
-			if p.Screenshot == nil {
-				continue
-			}
-			m := timeline.MonthOf(p.Day)
-			if _, ok := byMonth[m]; !ok {
-				continue
-			}
-			ex, err := ocr.Extract(*p.Screenshot)
-			if err != nil {
-				continue // unreadable screenshot: the pipeline moves on
-			}
-			sh.reports[m]++
-			sh.speeds[m] = append(sh.speeds[m], ex.DownMbps)
-			s := an.Score(p.Text())
-			cnt := sh.strong[m]
-			if s.StrongPositive() {
-				cnt[0]++
-			}
-			if s.StrongNegative() {
-				cnt[1]++
-			}
-			sh.strong[m] = cnt
-		}
-		return sh, nil
-	})
-	for _, sh := range shards {
-		for m, n := range sh.reports {
-			byMonth[m].Reports += n
-		}
-		for _, m := range months {
-			if xs := sh.speeds[m]; len(xs) > 0 {
-				speeds[m] = append(speeds[m], xs...)
-			}
-			cnt := strong[m]
-			add := sh.strong[m]
-			cnt[0] += add[0]
-			cnt[1] += add[1]
-			strong[m] = cnt
-		}
-	}
-
+// assembleMonthSpeeds is the final stage of the Fig. 7 pipeline, shared by
+// the batch scan (MonthlySpeedsN) and the store's materialized view: given
+// per-month extracted speeds (in corpus order) and strong-sentiment counts,
+// produce the monthly series with subsample stability checks and public
+// annotations. The subsample RNG is one stream consumed across months in
+// window order, so callers must pass the full month list.
+func assembleMonthSpeeds(months []timeline.Month, speeds map[timeline.Month][]float64, strong map[timeline.Month][2]int, model *leo.Model, seed uint64) []MonthSpeed {
 	rng := simrand.Root(seed).Derive("usaas/fig7-subsample").RNG()
 	out := make([]MonthSpeed, 0, len(months))
 	for _, m := range months {
-		ms := byMonth[m]
+		ms := MonthSpeed{Month: m}
 		xs := speeds[m]
+		ms.Reports = len(xs)
 		if len(xs) > 0 {
 			ms.MedianDownMbps = stats.Median(xs)
 			ms.Median95 = stats.Median(stats.SubsampleStat(rng, xs, 0.95, stats.Median, 9))
@@ -139,9 +82,70 @@ func MonthlySpeedsN(c *social.Corpus, an *nlp.Analyzer, model *leo.Model, seed u
 			ms.Launches = model.LaunchesBetween(m.First(), m.First()+timeline.Day(m.Days()-1))
 			ms.Users = model.Users(m.First() + timeline.Day(m.Days()-1))
 		}
-		out = append(out, *ms)
+		out = append(out, ms)
 	}
 	return out
+}
+
+// MonthlySpeedsN is MonthlySpeeds over an explicit worker count (<= 0 means
+// one per CPU). Posts shard into canonical chunks; per-month extraction
+// results concatenate in chunk order, reproducing the serial scan exactly,
+// so the output is byte-identical at any worker count.
+func MonthlySpeedsN(c *social.Corpus, an *nlp.Analyzer, model *leo.Model, seed uint64, workers int) []MonthSpeed {
+	months := c.Window.Months()
+	inWindow := make(map[timeline.Month]bool, len(months))
+	speeds := make(map[timeline.Month][]float64, len(months))
+	strong := make(map[timeline.Month][2]int, len(months))
+
+	for _, m := range months {
+		inWindow[m] = true
+	}
+
+	shards, _ := parallel.Map(workers, parallel.Chunks(len(c.Posts)), func(i int) (speedShard, error) {
+		lo, hi := parallel.ChunkBounds(i, len(c.Posts))
+		sh := speedShard{
+			speeds: map[timeline.Month][]float64{},
+			strong: map[timeline.Month][2]int{},
+		}
+		for j := lo; j < hi; j++ {
+			p := &c.Posts[j]
+			if p.Screenshot == nil {
+				continue
+			}
+			m := timeline.MonthOf(p.Day)
+			if !inWindow[m] {
+				continue
+			}
+			ex, err := ocr.Extract(*p.Screenshot)
+			if err != nil {
+				continue // unreadable screenshot: the pipeline moves on
+			}
+			sh.speeds[m] = append(sh.speeds[m], ex.DownMbps)
+			s := an.Score(p.Text())
+			cnt := sh.strong[m]
+			if s.StrongPositive() {
+				cnt[0]++
+			}
+			if s.StrongNegative() {
+				cnt[1]++
+			}
+			sh.strong[m] = cnt
+		}
+		return sh, nil
+	})
+	for _, sh := range shards {
+		for _, m := range months {
+			if xs := sh.speeds[m]; len(xs) > 0 {
+				speeds[m] = append(speeds[m], xs...)
+			}
+			cnt := strong[m]
+			add := sh.strong[m]
+			cnt[0] += add[0]
+			cnt[1] += add[1]
+			strong[m] = cnt
+		}
+	}
+	return assembleMonthSpeeds(months, speeds, strong, model, seed)
 }
 
 // monthSpeedWire is the JSON form: months without data carry nulls instead
