@@ -1,0 +1,135 @@
+package nlp
+
+import (
+	"sync"
+	"testing"
+)
+
+// Benchmarks for the text hot path: each string-based reference primitive
+// paired with its tokenize-once replacement, allocations reported, so the
+// before/after gap recorded in BENCH_nlp.json stays reproducible.
+
+var benchSink int
+
+var (
+	benchOnce    sync.Once
+	benchTexts   []string
+	benchIn      *Interner
+	benchStreams [][]TokenID
+)
+
+func benchSetup() {
+	benchOnce.Do(func() {
+		frags := []string{
+			"Starlink went down again this morning, no connection for two hours",
+			"extremely happy with the service, speeds are great and latency is low",
+			"not great, not terrible — the obstruction map says I'm clear but it keeps dropping out",
+			"anyone else seeing an outage in the northeast? router says offline",
+			"very slow tonight and the app won't connect, support is useless",
+			"the roaming feature is amazing, used it camping all weekend don't regret it",
+		}
+		for i := 0; i < 40; i++ {
+			benchTexts = append(benchTexts, frags[i%len(frags)]+" "+frags[(i+1)%len(frags)])
+		}
+		benchIn = NewInterner()
+		for _, s := range benchTexts {
+			benchStreams = append(benchStreams, benchIn.AppendTokens(nil, s))
+		}
+	})
+}
+
+func BenchmarkTokenize(b *testing.B) {
+	benchSetup()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, s := range benchTexts {
+			benchSink += len(Tokenize(s))
+		}
+	}
+}
+
+func BenchmarkTokenizerIter(b *testing.B) {
+	benchSetup()
+	b.ReportAllocs()
+	var tz Tokenizer
+	for i := 0; i < b.N; i++ {
+		for _, s := range benchTexts {
+			tz.Reset(s)
+			for tok, ok := tz.Next(); ok; tok, ok = tz.Next() {
+				benchSink += len(tok)
+			}
+		}
+	}
+}
+
+func BenchmarkAnalyzerScore(b *testing.B) {
+	benchSetup()
+	an := NewAnalyzer()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range benchTexts {
+			benchSink += int(100 * an.Score(s).Negative)
+		}
+	}
+}
+
+func BenchmarkTokenScorerScore(b *testing.B) {
+	benchSetup()
+	scorer := NewAnalyzer().CompileScorer(benchIn)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, ids := range benchStreams {
+			benchSink += int(100 * scorer.Score(ids).Negative)
+		}
+	}
+}
+
+func BenchmarkDictionaryCount(b *testing.B) {
+	benchSetup()
+	d := OutageDictionary()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range benchTexts {
+			benchSink += d.Count(s)
+		}
+	}
+}
+
+func BenchmarkMatcherCount(b *testing.B) {
+	benchSetup()
+	m := OutageDictionary().CompileMatcher(benchIn)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, ids := range benchStreams {
+			benchSink += m.Count(ids)
+		}
+	}
+}
+
+func BenchmarkWordCloud(b *testing.B) {
+	benchSetup()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSink += len(WordCloud(benchTexts, 12))
+	}
+}
+
+func BenchmarkWordCloudTokenIDs(b *testing.B) {
+	benchSetup()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		counts := map[TokenID]int{}
+		for _, ids := range benchStreams {
+			for _, id := range ids {
+				if benchIn.IsContent(id) {
+					counts[benchIn.StemID(id)]++
+				}
+			}
+		}
+		benchSink += len(TopIDs(benchIn, counts, 12))
+	}
+}

@@ -1,0 +1,63 @@
+package nlp
+
+import "testing"
+
+// FuzzTokenPipeline cross-checks the tokenize-once substrate against the
+// string-based reference pipeline on arbitrary (including invalid) UTF-8:
+// the tokenizer/interner must reproduce Tokenize and StemAll, the compiled
+// scorer must reproduce Analyzer.Score bit for bit, and the compiled
+// automaton must reproduce Dictionary.Count for both word and phrase
+// dictionaries.
+func FuzzTokenPipeline(f *testing.F) {
+	f.Add("Starlink went down again. No connection since 9am, don't know why!")
+	f.Add("very fast service, extremely happy — not terrible at all")
+	f.Add("outage outage and no connection")
+	f.Add("café über naïve 速度 テスト")
+	f.Add("rock'n'roll o'clock ' trailing'")
+	f.Add("\xff\xfeinvalid\x80bytes' mixed with words")
+	f.Add("")
+	f.Add("down down down down")
+
+	an := NewAnalyzer()
+	dicts := []*Dictionary{
+		OutageDictionary(),
+		NewDictionary("down", "went down", "down down", "no connection", "connection"),
+	}
+
+	f.Fuzz(func(t *testing.T, s string) {
+		want := Tokenize(s)
+		in := NewInterner()
+		ids := in.AppendTokens(nil, s)
+		if len(ids) != len(want) {
+			t.Fatalf("token count: iterator %d, Tokenize %d", len(ids), len(want))
+		}
+		stems := StemAll(want)
+		for i, id := range ids {
+			if got := in.Token(id); got != want[i] {
+				t.Fatalf("token %d: %q, want %q", i, got, want[i])
+			}
+			if got := in.Token(in.StemID(id)); got != stems[i] {
+				t.Fatalf("stem %d: %q, want %q", i, got, stems[i])
+			}
+			if in.IsStop(id) != IsStopword(want[i]) {
+				t.Fatalf("stopword flag mismatch for %q", want[i])
+			}
+		}
+		if got, want := scoreVia(an, in, ids), an.Score(s); got != want {
+			t.Fatalf("scorer: %+v, analyzer: %+v", got, want)
+		}
+		for di, d := range dicts {
+			m := d.CompileMatcher(in)
+			if got, want := m.Count(ids), d.Count(s); got != want {
+				t.Fatalf("dict %d: matcher count %d, naive %d", di, got, want)
+			}
+			if got, want := m.Matches(ids), d.Matches(s); got != want {
+				t.Fatalf("dict %d: matcher matches %v, naive %v", di, got, want)
+			}
+		}
+	})
+}
+
+func scoreVia(an *Analyzer, in *Interner, ids []TokenID) Sentiment {
+	return an.CompileScorer(in).Score(ids)
+}

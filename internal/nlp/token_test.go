@@ -1,0 +1,219 @@
+package nlp
+
+import (
+	"reflect"
+	"testing"
+)
+
+// collectTokens drains a Tokenizer into strings.
+func collectTokens(s string) []string {
+	var tz Tokenizer
+	tz.Reset(s)
+	var out []string
+	for tok, ok := tz.Next(); ok; tok, ok = tz.Next() {
+		out = append(out, string(tok))
+	}
+	return out
+}
+
+func TestTokenizerMatchesTokenize(t *testing.T) {
+	cases := []string{
+		"",
+		"   ",
+		"Starlink is DOWN again!!",
+		"don't-stop believing",
+		"café über naïve 速度",
+		"rock'n'roll o'clock '",
+		"trailing apostrophe' and 'leading",
+		"a",
+		"100Mbps down, 20 up",
+		"\xff\xfe invalid \x80 bytes",
+		"word'",
+		"'",
+		"x'y'z",
+	}
+	for _, s := range cases {
+		want := Tokenize(s)
+		got := collectTokens(s)
+		if !reflect.DeepEqual(got, want) && !(len(got) == 0 && len(want) == 0) {
+			t.Errorf("Tokenizer(%q) = %v, Tokenize = %v", s, got, want)
+		}
+	}
+}
+
+func TestInternerProperties(t *testing.T) {
+	in := NewInterner()
+	a := in.Intern("outages")
+	b := in.Intern("outages")
+	if a != b {
+		t.Fatalf("re-interning gave a different ID: %d vs %d", a, b)
+	}
+	if got := in.Token(a); got != "outages" {
+		t.Fatalf("Token(%d) = %q", a, got)
+	}
+	// The stem was interned alongside and memoized.
+	st := in.StemID(a)
+	if got := in.Token(st); got != Stem("outages") {
+		t.Fatalf("stem of outages interned as %q, want %q", got, Stem("outages"))
+	}
+	if id, ok := in.Lookup(Stem("outages")); !ok || id != st {
+		t.Fatalf("stem not directly look-up-able")
+	}
+	// Self-stemming tokens point at themselves.
+	c := in.Intern("down")
+	if in.StemID(c) != c {
+		t.Fatalf("self-stem token should be its own stem")
+	}
+	// Stopword and content tables mirror the string predicates.
+	for _, tok := range []string{"the", "is", "outage", "a", "slow"} {
+		id := in.Intern(tok)
+		if in.IsStop(id) != IsStopword(tok) {
+			t.Errorf("IsStop(%q) mismatch", tok)
+		}
+		wantContent := len(tok) > 1 && !IsStopword(tok)
+		if in.IsContent(id) != wantContent {
+			t.Errorf("IsContent(%q) = %v, want %v", tok, in.IsContent(id), wantContent)
+		}
+	}
+	if in.Len() == 0 {
+		t.Fatal("Len should count interned tokens")
+	}
+}
+
+func TestAppendTokensRoundTrip(t *testing.T) {
+	in := NewInterner()
+	s := "Starlink went DOWN; no connection since don't know when"
+	ids := in.AppendTokens(nil, s)
+	want := Tokenize(s)
+	if len(ids) != len(want) {
+		t.Fatalf("AppendTokens yielded %d tokens, want %d", len(ids), len(want))
+	}
+	for i, id := range ids {
+		if in.Token(id) != want[i] {
+			t.Errorf("token %d = %q, want %q", i, in.Token(id), want[i])
+		}
+	}
+}
+
+func TestTopIDsMatchesTop(t *testing.T) {
+	in := NewInterner()
+	texts := []string{
+		"outage outage outage down down slow",
+		"slow slow service outage",
+		"aaa bbb aaa bbb", // exercises the alphabetical tie-break
+	}
+	counts := map[string]int{}
+	idCounts := map[TokenID]int{}
+	for _, s := range texts {
+		for _, tok := range ContentTokens(s) {
+			st := Stem(tok)
+			counts[st]++
+			idCounts[in.Intern(st)]++
+		}
+	}
+	for _, k := range []int{1, 2, 3, 100} {
+		want := Top(counts, k)
+		got := TopIDs(in, idCounts, k)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("TopIDs(k=%d) = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestTokenScorerMatchesAnalyzer(t *testing.T) {
+	an := NewAnalyzer()
+	texts := []string{
+		"",
+		"the service is great",
+		"not great at all",
+		"very slow and always down",
+		"not very reliable but never terrible",
+		"internet went down again no connection lost signal",
+		"extremely happy with the fast speeds",
+		"don't love it",
+	}
+	in := NewInterner()
+	idStreams := make([][]TokenID, len(texts))
+	for i, s := range texts {
+		idStreams[i] = in.AppendTokens(nil, s)
+	}
+	scorer := an.CompileScorer(in)
+	for i, s := range texts {
+		want := an.Score(s)
+		got := scorer.Score(idStreams[i])
+		if got != want {
+			t.Errorf("Score(%q): scorer %+v, analyzer %+v", s, got, want)
+		}
+	}
+}
+
+func TestMatcherMatchesDictionaryCount(t *testing.T) {
+	cases := []struct {
+		entries []string
+		texts   []string
+	}{
+		{
+			entries: []string{"outage", "no connection", "connection"},
+			texts: []string{
+				"outage outage and no connection", // word inside phrase counts too
+				"no no connection connection",
+				"nothing relevant here",
+				"connection",
+			},
+		},
+		{
+			// Duplicate entries double-count, as in the naive scan.
+			entries: []string{"went down", "went down", "down"},
+			texts: []string{
+				"it went down went down",
+				"down down down",
+			},
+		},
+		{
+			// Overlapping phrase occurrences each count.
+			entries: []string{"down down"},
+			texts:   []string{"down down down down"},
+		},
+		{
+			// Phrase sharing a prefix with another (failure links).
+			entries: []string{"lost connection", "lost signal", "signal"},
+			texts: []string{
+				"lost connection then lost signal",
+				"lost lost signal",
+			},
+		},
+	}
+	for _, tc := range cases {
+		d := NewDictionary(tc.entries...)
+		in := NewInterner()
+		streams := make([][]TokenID, len(tc.texts))
+		for i, s := range tc.texts {
+			streams[i] = in.AppendTokens(nil, s)
+		}
+		m := d.CompileMatcher(in)
+		for i, s := range tc.texts {
+			if got, want := m.Count(streams[i]), d.Count(s); got != want {
+				t.Errorf("entries %v: Count(%q) = %d, want %d", tc.entries, s, got, want)
+			}
+			if got, want := m.Matches(streams[i]), d.Matches(s); got != want {
+				t.Errorf("entries %v: Matches(%q) = %v, want %v", tc.entries, s, got, want)
+			}
+		}
+	}
+}
+
+// TestMatcherUnresolvablePatterns: patterns with vocabulary the interner has
+// never seen can never match and must not grow the interner.
+func TestMatcherUnresolvablePatterns(t *testing.T) {
+	d := NewDictionary("outage", "flux capacitor")
+	in := NewInterner()
+	ids := in.AppendTokens(nil, "an outage but no capacitor in sight")
+	before := in.Len()
+	m := d.CompileMatcher(in)
+	if in.Len() != before {
+		t.Fatalf("CompileMatcher grew the interner: %d -> %d", before, in.Len())
+	}
+	if got, want := m.Count(ids), d.Count("an outage but no capacitor in sight"); got != want {
+		t.Fatalf("Count = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,90 @@
+package nlp
+
+// TokenScorer is an Analyzer compiled against an Interner: every per-token
+// map lookup Score performs (negation, intensifier, lexicon-by-stem with
+// raw-token fallback, stopword) is resolved once per vocabulary entry into
+// dense tables indexed by TokenID. Scoring a post then touches no strings
+// and no maps, and produces bit-identical Sentiment values to
+// Analyzer.Score on the corresponding text.
+//
+// A scorer is valid for the interner state it was compiled against; compile
+// after the interner is fully built. Immutable and safe for concurrent use.
+type TokenScorer struct {
+	neg      []bool
+	hasBoost []bool
+	boost    []float64
+	hasVal   []bool
+	val      []float64
+	plain    []bool // unvalenced non-stopword: counts toward neutral mass
+}
+
+// CompileScorer builds the dense scoring tables for every token currently
+// interned in in.
+func (a *Analyzer) CompileScorer(in *Interner) *TokenScorer {
+	n := in.Len()
+	ts := &TokenScorer{
+		neg:      make([]bool, n),
+		hasBoost: make([]bool, n),
+		boost:    make([]float64, n),
+		hasVal:   make([]bool, n),
+		val:      make([]float64, n),
+		plain:    make([]bool, n),
+	}
+	for id := 0; id < n; id++ {
+		tok := in.Token(TokenID(id))
+		stem := in.Token(in.StemID(TokenID(id)))
+		ts.neg[id] = a.negations[tok]
+		ts.boost[id], ts.hasBoost[id] = a.intensifiers[tok]
+		v, ok := a.lexicon[stem]
+		if !ok {
+			v, ok = a.lexicon[tok]
+		}
+		ts.val[id], ts.hasVal[id] = v, ok
+		ts.plain[id] = !stopwords[tok]
+	}
+	return ts
+}
+
+// Score replays Analyzer.Score over an interned token stream. The control
+// flow and arithmetic mirror Score operation for operation, so the result
+// is bit-identical to scoring the original text.
+func (ts *TokenScorer) Score(ids []TokenID) Sentiment {
+	var pos, neg float64
+	plain := 0
+	negateLeft := 0
+	boost := 1.0
+	for _, id := range ids {
+		if ts.neg[id] {
+			negateLeft = negationWindow
+			boost = 1.0
+			continue
+		}
+		if ts.hasBoost[id] {
+			boost = ts.boost[id]
+			continue
+		}
+		if !ts.hasVal[id] {
+			if ts.plain[id] {
+				plain++
+			}
+			if negateLeft > 0 {
+				negateLeft--
+			}
+			continue
+		}
+		v := ts.val[id] * boost
+		boost = 1.0
+		if negateLeft > 0 {
+			v = -v * 0.8 // negated sentiment is weaker than its opposite
+			negateLeft--
+		}
+		if v > 0 {
+			pos += v
+		} else {
+			neg += -v
+		}
+	}
+	neutral := 0.55 + 0.05*float64(plain)
+	total := pos + neg + neutral
+	return Sentiment{Positive: pos / total, Negative: neg / total, Neutral: neutral / total}
+}

@@ -14,6 +14,7 @@ package social
 import (
 	"sort"
 	"strings"
+	"sync"
 
 	"usersignals/internal/ocr"
 	"usersignals/internal/timeline"
@@ -113,6 +114,10 @@ type Corpus struct {
 	Posts  []Post // sorted by (Day, ID)
 
 	byDay map[timeline.Day][]int
+
+	// tokens is the lazily built tokenize-once index (tokens.go).
+	tokOnce sync.Once
+	tokens  *TokenCache
 }
 
 // NewCorpus builds a corpus over the window from posts (re-sorted and
@@ -139,6 +144,17 @@ func (c *Corpus) OnDay(d timeline.Day) []*Post {
 		out[i] = &c.Posts[j]
 	}
 	return out
+}
+
+// PostIndexRange returns the half-open [lo, hi) range of c.Posts indices on
+// day d — contiguous because Posts is sorted by (Day, ID). Empty days
+// return (0, 0).
+func (c *Corpus) PostIndexRange(d timeline.Day) (lo, hi int) {
+	idx := c.byDay[d]
+	if len(idx) == 0 {
+		return 0, 0
+	}
+	return idx[0], idx[len(idx)-1] + 1
 }
 
 // Len returns the total post count.

@@ -1,0 +1,103 @@
+package social
+
+import (
+	"reflect"
+	"testing"
+
+	"usersignals/internal/nlp"
+	"usersignals/internal/timeline"
+)
+
+func tokenTestCorpus(t *testing.T) (Config, *Corpus) {
+	t.Helper()
+	cfg := DefaultConfig(41)
+	cfg.Window = timeline.Range{
+		From: timeline.StarlinkWindow.From,
+		To:   timeline.StarlinkWindow.From + 119,
+	}
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg, c
+}
+
+// TestTokenCacheMatchesTokenize: each post's cached streams must reproduce
+// Tokenize of the Text()/ThreadText() concatenations exactly — the cache
+// never materializes those strings, so this is the equivalence the whole
+// engine rests on.
+func TestTokenCacheMatchesTokenize(t *testing.T) {
+	_, c := tokenTestCorpus(t)
+	tc := c.Tokens()
+	in := tc.Interner()
+	for i := range c.Posts {
+		p := &c.Posts[i]
+		for name, pair := range map[string]struct {
+			ids  []nlp.TokenID
+			text string
+		}{
+			"text":   {tc.Text(i), p.Text()},
+			"thread": {tc.Thread(i), p.ThreadText()},
+		} {
+			want := nlp.Tokenize(pair.text)
+			if len(pair.ids) != len(want) {
+				t.Fatalf("post %d %s: %d tokens cached, Tokenize gives %d", i, name, len(pair.ids), len(want))
+			}
+			for j, id := range pair.ids {
+				if in.Token(id) != want[j] {
+					t.Fatalf("post %d %s token %d: %q, want %q", i, name, j, in.Token(id), want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestTokenCacheDeterministic: the cache (IDs included, not just the token
+// text) must be identical at any worker count.
+func TestTokenCacheDeterministic(t *testing.T) {
+	cfg, base := tokenTestCorpus(t)
+	ref := clone(cfg, base).BuildTokens(1)
+	for _, w := range []int{4, 16} {
+		got := clone(cfg, base).BuildTokens(w)
+		if !reflect.DeepEqual(got.arena, ref.arena) {
+			t.Fatalf("workers=%d: token arena differs from serial build", w)
+		}
+		if !reflect.DeepEqual(got.spans, ref.spans) {
+			t.Fatalf("workers=%d: spans differ from serial build", w)
+		}
+		if got.in.Len() != ref.in.Len() {
+			t.Fatalf("workers=%d: vocabulary size %d, want %d", w, got.in.Len(), ref.in.Len())
+		}
+		for id := 0; id < ref.in.Len(); id++ {
+			if got.in.Token(nlp.TokenID(id)) != ref.in.Token(nlp.TokenID(id)) {
+				t.Fatalf("workers=%d: TokenID %d names %q, want %q",
+					w, id, got.in.Token(nlp.TokenID(id)), ref.in.Token(nlp.TokenID(id)))
+			}
+		}
+	}
+}
+
+func clone(cfg Config, base *Corpus) *Corpus {
+	return NewCorpus(cfg.Window, append([]Post(nil), base.Posts...))
+}
+
+func TestPostIndexRange(t *testing.T) {
+	_, c := tokenTestCorpus(t)
+	total := 0
+	c.Window.Days(func(d timeline.Day) {
+		lo, hi := c.PostIndexRange(d)
+		byDay := c.OnDay(d)
+		if hi-lo != len(byDay) {
+			t.Fatalf("day %v: range spans %d posts, OnDay has %d", d, hi-lo, len(byDay))
+		}
+		for j := lo; j < hi; j++ {
+			if c.Posts[j].Day != d {
+				t.Fatalf("post %d in range for day %v has Day %v", j, d, c.Posts[j].Day)
+			}
+		}
+		total += hi - lo
+	})
+	if total != c.Len() {
+		t.Fatalf("day ranges cover %d posts, corpus has %d", total, c.Len())
+	}
+}

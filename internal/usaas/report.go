@@ -133,23 +133,36 @@ func BuildReport(store *Store, an *nlp.Analyzer, opts ServerOptions) OperatorRep
 	} else {
 		rep.Posts = c.Len()
 		rep.WeeklyPosts, _, _ = c.WeeklyAverages()
-		guard("sentiment-peaks", func() error {
-			rep.Peaks = AnnotatePeaks(c, an, opts.News, 3)
-			return nil
-		})
-		guard("outage-monitor", func() error {
+		// The three text sections share one fused sweep over the corpus's
+		// cached token streams (sweep.go): daily sentiment, the gated
+		// outage-keyword series, and trend mining all come out of a single
+		// scan instead of three independent re-lexing passes.
+		var sw *Sweep
+		guard("social-sweep", func() error {
 			dict := opts.OutageDict
 			if dict == nil {
 				dict = nlp.OutageDictionary()
 			}
-			series := OutageKeywordSeries(c, an, dict, true)
-			rep.OutageAlerts = len(AlertsFromSeries(series, 3))
+			topts := TrendOptions{MaxTerms: 10}
+			sw = SweepCorpus(c, an, SweepOptions{
+				Sentiment: true, Dict: dict, Gate: true, Trends: &topts,
+			})
 			return nil
 		})
-		guard("trends", func() error {
-			rep.Trends = MineTrends(c, an, TrendOptions{MaxTerms: 10})
-			return nil
-		})
+		if sw != nil {
+			guard("sentiment-peaks", func() error {
+				rep.Peaks = annotatePeaks(c, sw.Sentiment, opts.News, 3)
+				return nil
+			})
+			guard("outage-monitor", func() error {
+				rep.OutageAlerts = len(AlertsFromSeries(sw.Keywords, 3))
+				return nil
+			})
+			guard("trends", func() error {
+				rep.Trends = sw.Trends
+				return nil
+			})
+		}
 		guard("speeds", func() error {
 			months, ok := store.monthlySpeedsView(an, opts.Model, 1)
 			if !ok {

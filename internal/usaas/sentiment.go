@@ -22,24 +22,11 @@ type DaySentiment struct {
 func (d DaySentiment) Strong() int { return d.StrongPos + d.StrongNeg }
 
 // DailySentiment scores every post and aggregates by day over the corpus
-// window.
+// window. It runs on the fused sweep (sweep.go) over the corpus's cached
+// token streams; the output is byte-identical to scoring each post's text
+// directly (golden-tested against the naive path in sweep_test.go).
 func DailySentiment(c *social.Corpus, an *nlp.Analyzer) []DaySentiment {
-	out := make([]DaySentiment, 0, c.Window.Len())
-	c.Window.Days(func(d timeline.Day) {
-		ds := DaySentiment{Day: d}
-		for _, p := range c.OnDay(d) {
-			ds.Posts++
-			s := an.Score(p.Text())
-			if s.StrongPositive() {
-				ds.StrongPos++
-			}
-			if s.StrongNegative() {
-				ds.StrongNeg++
-			}
-		}
-		out = append(out, ds)
-	})
-	return out
+	return SweepCorpus(c, an, SweepOptions{Sentiment: true}).Sentiment
 }
 
 // AnnotatedPeak is a detected sentiment peak with its word-cloud keywords
@@ -63,7 +50,13 @@ type AnnotatedPeak struct {
 // peaks, build each day's word cloud, and search the news index for the
 // top unigrams around the peak date.
 func AnnotatePeaks(c *social.Corpus, an *nlp.Analyzer, news *newswire.Index, k int) []AnnotatedPeak {
-	daily := DailySentiment(c, an)
+	return annotatePeaks(c, DailySentiment(c, an), news, k)
+}
+
+// annotatePeaks is AnnotatePeaks over a precomputed daily series, so a
+// caller that already ran the fused sweep (BuildReport) does not run it
+// again.
+func annotatePeaks(c *social.Corpus, daily []DaySentiment, news *newswire.Index, k int) []AnnotatedPeak {
 	series := make([]float64, len(daily))
 	for i, d := range daily {
 		series[i] = float64(d.Strong())
@@ -80,11 +73,7 @@ func AnnotatePeaks(c *social.Corpus, an *nlp.Analyzer, news *newswire.Index, k i
 	out := make([]AnnotatedPeak, 0, len(peaks))
 	for _, pk := range peaks {
 		ds := daily[pk.Index]
-		var texts []string
-		for _, p := range c.OnDay(ds.Day) {
-			texts = append(texts, p.Text())
-		}
-		top := nlp.WordCloud(texts, 12)
+		top := dayWordCloud(c, ds.Day, 12)
 		keywords := make([]string, 0, 3)
 		for _, wc := range top {
 			if len(keywords) < 3 {
@@ -107,6 +96,24 @@ func AnnotatePeaks(c *social.Corpus, an *nlp.Analyzer, news *newswire.Index, k i
 	return out
 }
 
+// dayWordCloud is nlp.WordCloud over one day's post texts, counted from the
+// corpus's cached token streams: stems resolve through the interner's memo
+// tables and no post text is re-lexed.
+func dayWordCloud(c *social.Corpus, d timeline.Day, k int) []nlp.WordCount {
+	tc := c.Tokens()
+	in := tc.Interner()
+	counts := map[nlp.TokenID]int{}
+	lo, hi := c.PostIndexRange(d)
+	for j := lo; j < hi; j++ {
+		for _, id := range tc.Text(j) {
+			if in.IsContent(id) {
+				counts[in.StemID(id)]++
+			}
+		}
+	}
+	return nlp.TopIDs(in, counts, k)
+}
+
 // DayKeywords is one day of the Fig. 6 series: outage-keyword occurrences
 // in negative-sentiment posts.
 type DayKeywords struct {
@@ -120,25 +127,7 @@ type DayKeywords struct {
 // sentiment to avoid false positives. Pass gate=false for the ablation
 // that shows why the gate exists.
 func OutageKeywordSeries(c *social.Corpus, an *nlp.Analyzer, dict *nlp.Dictionary, gate bool) []DayKeywords {
-	out := make([]DayKeywords, 0, c.Window.Len())
-	c.Window.Days(func(d timeline.Day) {
-		dk := DayKeywords{Day: d}
-		for _, p := range c.OnDay(d) {
-			n := dict.Count(p.ThreadText())
-			if n == 0 {
-				continue
-			}
-			if gate {
-				s := an.Score(p.Text())
-				if s.Negative <= s.Positive || s.Negative < 0.3 {
-					continue
-				}
-			}
-			dk.Count += n
-		}
-		out = append(out, dk)
-	})
-	return out
+	return SweepCorpus(c, an, SweepOptions{Dict: dict, Gate: gate}).Keywords
 }
 
 // OutageGeography localizes one day's outage chatter: negative-gated
@@ -146,16 +135,20 @@ func OutageKeywordSeries(c *social.Corpus, an *nlp.Analyzer, dict *nlp.Dictionar
 // paper established that the 22 Apr '22 incident spanned 14 countries with
 // ~190 US reports despite having no press coverage.
 func OutageGeography(c *social.Corpus, an *nlp.Analyzer, dict *nlp.Dictionary, d timeline.Day) map[string]int {
+	tc := c.Tokens()
+	scorer := an.CompileScorer(tc.Interner())
+	matcher := dict.CompileMatcher(tc.Interner())
 	out := map[string]int{}
-	for _, p := range c.OnDay(d) {
-		if !dict.Matches(p.ThreadText()) {
+	lo, hi := c.PostIndexRange(d)
+	for j := lo; j < hi; j++ {
+		if !matcher.Matches(tc.Thread(j)) {
 			continue
 		}
-		s := an.Score(p.Text())
+		s := scorer.Score(tc.Text(j))
 		if s.Negative <= s.Positive || s.Negative < 0.3 {
 			continue
 		}
-		out[p.Country]++
+		out[c.Posts[j].Country]++
 	}
 	return out
 }

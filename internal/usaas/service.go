@@ -171,7 +171,9 @@ func (s *Store) Corpus() *social.Corpus {
 	}
 }
 
-// buildCorpus indexes a post snapshot by day.
+// buildCorpus indexes a post snapshot by day and pre-builds its tokenize-once
+// index, so the (parallel) lexing cost is paid during the rebuild — which
+// already runs outside the store lock — rather than inside the first query.
 func buildCorpus(posts []social.Post) *social.Corpus {
 	lo, hi := posts[0].Day, posts[0].Day
 	for _, p := range posts {
@@ -182,7 +184,9 @@ func buildCorpus(posts []social.Post) *social.Corpus {
 			hi = p.Day
 		}
 	}
-	return social.NewCorpus(timeline.Range{From: lo, To: hi}, posts)
+	c := social.NewCorpus(timeline.Range{From: lo, To: hi}, posts)
+	c.Tokens()
+	return c
 }
 
 // Counts returns the store sizes.
@@ -803,18 +807,22 @@ func (s *Server) handleExperience(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.PredictedMOS = acc.Mean()
 	}
-	// Social side: overall strong-sentiment balance and outage chatter.
+	// Social side: overall strong-sentiment balance and outage chatter,
+	// computed over the corpus's cached token streams.
 	if c := s.store.Corpus(); c != nil {
+		tc := c.Tokens()
+		scorer := s.opts.Analyzer.CompileScorer(tc.Interner())
+		matcher := s.opts.OutageDict.CompileMatcher(tc.Interner())
 		var pos, neg, outage int
 		for i := range c.Posts {
-			sc := s.opts.Analyzer.Score(c.Posts[i].Text())
+			sc := scorer.Score(tc.Text(i))
 			if sc.StrongPositive() {
 				pos++
 			}
 			if sc.StrongNegative() {
 				neg++
 			}
-			if s.opts.OutageDict.Matches(c.Posts[i].ThreadText()) && sc.Negative > sc.Positive {
+			if sc.Negative > sc.Positive && matcher.Matches(tc.Thread(i)) {
 				outage++
 			}
 		}

@@ -92,6 +92,8 @@ func assembleMonthSpeeds(months []timeline.Month, speeds map[timeline.Month][]fl
 // results concatenate in chunk order, reproducing the serial scan exactly,
 // so the output is byte-identical at any worker count.
 func MonthlySpeedsN(c *social.Corpus, an *nlp.Analyzer, model *leo.Model, seed uint64, workers int) []MonthSpeed {
+	tc := c.Tokens()
+	scorer := an.CompileScorer(tc.Interner())
 	months := c.Window.Months()
 	inWindow := make(map[timeline.Month]bool, len(months))
 	speeds := make(map[timeline.Month][]float64, len(months))
@@ -121,7 +123,7 @@ func MonthlySpeedsN(c *social.Corpus, an *nlp.Analyzer, model *leo.Model, seed u
 				continue // unreadable screenshot: the pipeline moves on
 			}
 			sh.speeds[m] = append(sh.speeds[m], ex.DownMbps)
-			s := an.Score(p.Text())
+			s := scorer.Score(tc.Text(j))
 			cnt := sh.strong[m]
 			if s.StrongPositive() {
 				cnt[0]++

@@ -1,0 +1,304 @@
+package usaas
+
+import (
+	"math"
+
+	"usersignals/internal/nlp"
+	"usersignals/internal/parallel"
+	"usersignals/internal/social"
+	"usersignals/internal/timeline"
+)
+
+// This file is the fused single-pass text sweep: every §4 explicit-signal
+// analysis (daily sentiment, outage-keyword series, trend mining, and the
+// per-post scores feeding all three) computed in ONE scan over the corpus's
+// cached token-ID streams. Before this engine, a /v1/report re-lexed the
+// two-year corpus four-plus times — DailySentiment, AnnotatePeaks (which
+// recomputed DailySentiment), OutageKeywordSeries, and MineTrends each
+// called Tokenize+Stem on every post and scored overlapping sentiment.
+// The sweep tokenizes nothing (social.TokenCache did that once at corpus
+// build), scores each post exactly once, and matches the outage dictionary
+// with a compiled Aho-Corasick automaton.
+//
+// Sharding is by day, not by post: the window's days split into canonical
+// fixed-size chunks (boundaries depend only on window length), each chunk
+// accumulates its own days, and chunks merge in day order. Because every
+// float accumulation (trend term weights) is confined to a single day —
+// and therefore a single chunk — the merged result is bit-identical to the
+// naive sequential scan at any worker count.
+
+// sweepDayChunk is the canonical day-sharding granularity.
+const sweepDayChunk = 32
+
+// SweepOptions selects which fused products to compute.
+type SweepOptions struct {
+	// Sentiment computes the daily strong-sentiment series.
+	Sentiment bool
+	// Dict, when non-nil, computes the per-day dictionary-hit series over
+	// whole threads.
+	Dict *nlp.Dictionary
+	// Gate applies the negative-sentiment gate to dictionary hits.
+	Gate bool
+	// Trends, when non-nil, mines emerging terms with these options.
+	Trends *TrendOptions
+	// Workers shards the sweep; <= 0 means one per CPU.
+	Workers int
+}
+
+// Sweep holds the fused products. Fields for products not requested are
+// nil.
+type Sweep struct {
+	Sentiment []DaySentiment
+	Keywords  []DayKeywords
+	Trends    []Trend
+}
+
+// termDay accumulates one mined term: popularity-weighted volume per day
+// plus positive/total post counts (shared by the fused sweep and the naive
+// reference miner).
+type termDay struct {
+	weight map[timeline.Day]float64
+	pos    int
+	total  int
+}
+
+// termKey packs a unigram stem ID or a bigram stem-ID pair into one map
+// key. The +1 bias keeps unigrams (low word zero) disjoint from bigrams.
+func unigramKey(a nlp.TokenID) uint64 { return (uint64(a) + 1) << 32 }
+func bigramKey(a, b nlp.TokenID) uint64 {
+	return (uint64(a)+1)<<32 | (uint64(b) + 1)
+}
+
+// SweepCorpus runs the fused single-pass sweep. Output is byte-identical
+// to running the string-based reference analyses separately (golden-tested
+// in sweep_test.go) at any worker count.
+func SweepCorpus(c *social.Corpus, an *nlp.Analyzer, opts SweepOptions) *Sweep {
+	tc := c.Tokens()
+	in := tc.Interner()
+	scorer := an.CompileScorer(in)
+	var matcher *nlp.Matcher
+	if opts.Dict != nil {
+		matcher = opts.Dict.CompileMatcher(in)
+	}
+	var topts TrendOptions
+	if opts.Trends != nil {
+		topts = opts.Trends.withDefaults()
+	}
+
+	days := c.Window.Len()
+	chunks := (days + sweepDayChunk - 1) / sweepDayChunk
+	type shard struct {
+		sent  []DaySentiment
+		kw    []DayKeywords
+		terms map[uint64]*termDay
+	}
+	shards, _ := parallel.Map(opts.Workers, chunks, func(ci int) (shard, error) {
+		lo := ci * sweepDayChunk
+		hi := lo + sweepDayChunk
+		if hi > days {
+			hi = days
+		}
+		sh := shard{}
+		if opts.Sentiment {
+			sh.sent = make([]DaySentiment, 0, hi-lo)
+		}
+		if matcher != nil {
+			sh.kw = make([]DayKeywords, 0, hi-lo)
+		}
+		if opts.Trends != nil {
+			sh.terms = map[uint64]*termDay{}
+		}
+		for di := lo; di < hi; di++ {
+			d := c.Window.From + timeline.Day(di)
+			ds := DaySentiment{Day: d}
+			dk := DayKeywords{Day: d}
+			plo, phi := c.PostIndexRange(d)
+			for j := plo; j < phi; j++ {
+				p := &c.Posts[j]
+				ids := tc.Text(j)
+				// Each post is scored at most once, lazily: the keyword
+				// gate only needs a score when the thread actually hits
+				// the dictionary.
+				var sc nlp.Sentiment
+				scored := false
+				score := func() nlp.Sentiment {
+					if !scored {
+						sc, scored = scorer.Score(ids), true
+					}
+					return sc
+				}
+				if opts.Sentiment {
+					ds.Posts++
+					s := score()
+					if s.StrongPositive() {
+						ds.StrongPos++
+					}
+					if s.StrongNegative() {
+						ds.StrongNeg++
+					}
+				}
+				if matcher != nil {
+					if n := matcher.Count(tc.Thread(j)); n > 0 {
+						s := score()
+						if !opts.Gate || (s.Negative > s.Positive && s.Negative >= 0.3) {
+							dk.Count += n
+						}
+					}
+				}
+				if opts.Trends != nil {
+					w := 1 + math.Log1p(float64(p.Upvotes+p.Comments))
+					s := score()
+					positive := s.Positive > s.Negative
+					seen := map[uint64]bool{}
+					record := func(key uint64) {
+						if seen[key] {
+							return
+						}
+						seen[key] = true
+						td := sh.terms[key]
+						if td == nil {
+							td = &termDay{weight: map[timeline.Day]float64{}}
+							sh.terms[key] = td
+						}
+						td.weight[d] += w
+						td.total++
+						if positive {
+							td.pos++
+						}
+					}
+					var prev nlp.TokenID
+					havePrev := false
+					for _, id := range ids {
+						if !in.IsContent(id) {
+							continue
+						}
+						stem := in.StemID(id)
+						record(unigramKey(stem))
+						if topts.Bigrams && havePrev {
+							record(bigramKey(prev, stem))
+						}
+						prev, havePrev = stem, true
+					}
+				}
+			}
+			if opts.Sentiment {
+				sh.sent = append(sh.sent, ds)
+			}
+			if matcher != nil {
+				sh.kw = append(sh.kw, dk)
+			}
+		}
+		return sh, nil
+	})
+
+	out := &Sweep{}
+	if opts.Sentiment {
+		out.Sentiment = make([]DaySentiment, 0, days)
+	}
+	if matcher != nil {
+		out.Keywords = make([]DayKeywords, 0, days)
+	}
+	var terms map[string]*termDay
+	if opts.Trends != nil {
+		terms = map[string]*termDay{}
+	}
+	// Merge in chunk order. Day rows concatenate; term accumulators add —
+	// each (term, day) weight lives in exactly one chunk, so no float is
+	// ever summed across shards and map-iteration order cannot matter.
+	for _, sh := range shards {
+		out.Sentiment = append(out.Sentiment, sh.sent...)
+		out.Keywords = append(out.Keywords, sh.kw...)
+		for key, td := range sh.terms {
+			term := termString(in, key)
+			dst := terms[term]
+			if dst == nil {
+				terms[term] = td
+				continue
+			}
+			for d, w := range td.weight {
+				dst.weight[d] += w
+			}
+			dst.pos += td.pos
+			dst.total += td.total
+		}
+	}
+	if opts.Trends != nil {
+		out.Trends = scanTrends(c.Window, terms, topts)
+	}
+	return out
+}
+
+// termString decodes a packed term key back to the naive miner's term
+// spelling ("stem" or "stem stem").
+func termString(in *nlp.Interner, key uint64) string {
+	a := nlp.TokenID(key>>32 - 1)
+	if low := uint32(key); low != 0 {
+		return in.Token(a) + " " + in.Token(nlp.TokenID(low-1))
+	}
+	return in.Token(a)
+}
+
+// scanTrends runs the surge scan over accumulated term weights — the
+// second half of MineTrends, shared by the fused sweep and the naive
+// reference path.
+func scanTrends(window timeline.Range, terms map[string]*termDay, opts TrendOptions) []Trend {
+	days := window.Len()
+	var out []Trend
+	for term, td := range terms {
+		// Scan for the first window whose weight crosses MinWeight with a
+		// quiet 30-day baseline before it. Windows in the first 30 days
+		// have no baseline to judge against, so they cannot qualify —
+		// otherwise the corpus's ordinary vocabulary would all "emerge"
+		// on day one.
+		for i := 30; i+opts.WindowDays <= days; i++ {
+			start := window.From + timeline.Day(i)
+			var windowW float64
+			for j := 0; j < opts.WindowDays; j++ {
+				windowW += td.weight[start+timeline.Day(j)]
+			}
+			if windowW < opts.MinWeight {
+				continue
+			}
+			var baseW float64
+			baseDays := 0
+			for j := 1; j <= 30; j++ {
+				d := start - timeline.Day(j)
+				if d < window.From {
+					break
+				}
+				baseW += td.weight[d]
+				baseDays++
+			}
+			if baseDays > 0 && baseW/float64(baseDays) > opts.BaselineMax {
+				break // established topic, not emerging
+			}
+			// Anchor the trend at the first day inside the window that
+			// actually carries weight (not the window's leading edge),
+			// and measure the surge weight from there so a surge that
+			// starts mid-window is not under-weighted.
+			first := start
+			for j := 0; j < opts.WindowDays; j++ {
+				if td.weight[start+timeline.Day(j)] > 0 {
+					first = start + timeline.Day(j)
+					break
+				}
+			}
+			surgeW := 0.0
+			for j := 0; j < opts.WindowDays; j++ {
+				surgeW += td.weight[first+timeline.Day(j)]
+			}
+			out = append(out, Trend{
+				Term:          term,
+				FirstDay:      first,
+				Weight:        surgeW,
+				PositiveShare: float64(td.pos) / float64(td.total),
+			})
+			break
+		}
+	}
+	sortTrends(out)
+	if len(out) > opts.MaxTerms {
+		out = out[:opts.MaxTerms]
+	}
+	return out
+}

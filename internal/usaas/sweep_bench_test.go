@@ -1,0 +1,107 @@
+package usaas
+
+import (
+	"sync"
+	"testing"
+
+	"usersignals/internal/newswire"
+	"usersignals/internal/nlp"
+	"usersignals/internal/social"
+)
+
+// Benchmarks for the /v1/report social sections over the full two-year
+// study corpus: the naive string-based pipeline (naive_test.go) versus the
+// fused tokenize-once sweep. The measured gap is recorded in BENCH_nlp.json.
+
+var benchSink int
+
+var (
+	benchCorpusOnce sync.Once
+	benchCorpusVal  *social.Corpus
+	benchNews       *newswire.Index
+)
+
+func benchCorpus(b *testing.B) *social.Corpus {
+	b.Helper()
+	benchCorpusOnce.Do(func() {
+		cfg := social.DefaultConfig(99)
+		c, err := social.Generate(cfg)
+		if err != nil {
+			panic(err)
+		}
+		benchCorpusVal = c
+		benchNews = newswire.Build(cfg.Model.Launches(), cfg.Outages, cfg.Milestones)
+	})
+	return benchCorpusVal
+}
+
+// BenchmarkSocialSectionsNaive is the pre-engine cost of the report's three
+// text sections: every section re-lexes and re-scores the whole corpus.
+func BenchmarkSocialSectionsNaive(b *testing.B) {
+	c := benchCorpus(b)
+	dict := nlp.OutageDictionary()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		peaks := annotatePeaksNaive(c, analyzer, benchNews, 3)
+		series := outageKeywordSeriesNaive(c, analyzer, dict, true)
+		trends := mineTrendsNaive(c, analyzer, TrendOptions{MaxTerms: 10})
+		benchSink += len(peaks) + len(series) + len(trends)
+	}
+}
+
+// BenchmarkSocialSectionsFused is the same three sections from one fused
+// sweep over the cached token streams (the token cache build is amortized
+// across queries and measured separately in BenchmarkTokenCacheBuild).
+func BenchmarkSocialSectionsFused(b *testing.B) {
+	c := benchCorpus(b)
+	c.Tokens()
+	dict := nlp.OutageDictionary()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		topts := TrendOptions{MaxTerms: 10}
+		sw := SweepCorpus(c, analyzer, SweepOptions{
+			Sentiment: true, Dict: dict, Gate: true, Trends: &topts,
+		})
+		peaks := annotatePeaks(c, sw.Sentiment, benchNews, 3)
+		benchSink += len(peaks) + len(sw.Keywords) + len(sw.Trends)
+	}
+}
+
+// BenchmarkFusedSweep isolates the sweep itself (serial and parallel).
+func BenchmarkFusedSweep(b *testing.B) {
+	c := benchCorpus(b)
+	c.Tokens()
+	dict := nlp.OutageDictionary()
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				topts := TrendOptions{MaxTerms: 10}
+				sw := SweepCorpus(c, analyzer, SweepOptions{
+					Sentiment: true, Dict: dict, Gate: true, Trends: &topts,
+					Workers: bc.workers,
+				})
+				benchSink += len(sw.Sentiment)
+			}
+		})
+	}
+}
+
+// BenchmarkTokenCacheBuild is the one-time per-corpus lexing cost the engine
+// pays so every later analysis can skip it.
+func BenchmarkTokenCacheBuild(b *testing.B) {
+	c := benchCorpus(b)
+	cfg := social.DefaultConfig(99)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cc := social.NewCorpus(cfg.Window, append([]social.Post(nil), c.Posts...))
+		tc := cc.BuildTokens(0)
+		benchSink += tc.Interner().Len()
+	}
+}

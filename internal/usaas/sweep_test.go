@@ -1,0 +1,128 @@
+package usaas
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"usersignals/internal/leo"
+	"usersignals/internal/nlp"
+	"usersignals/internal/social"
+	"usersignals/internal/timeline"
+)
+
+// assertSameJSON requires got and want to be deeply equal AND to serialize
+// to identical bytes — the acceptance bar for the fused sweep is
+// byte-identical output, not approximate agreement.
+func assertSameJSON(t *testing.T, label string, got, want any) {
+	t.Helper()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("%s: fused result differs from naive reference", label)
+	}
+	gj, err := json.Marshal(got)
+	if err != nil {
+		t.Fatalf("%s: marshal got: %v", label, err)
+	}
+	wj, err := json.Marshal(want)
+	if err != nil {
+		t.Fatalf("%s: marshal want: %v", label, err)
+	}
+	if !bytes.Equal(gj, wj) {
+		t.Errorf("%s: fused JSON differs from naive reference JSON", label)
+	}
+}
+
+// rebuiltCorpus clones base into a fresh corpus (fresh token cache) whose
+// tokenize-once index is built with the given worker count.
+func rebuiltCorpus(window timeline.Range, base *social.Corpus, workers int) *social.Corpus {
+	cc := social.NewCorpus(window, append([]social.Post(nil), base.Posts...))
+	cc.BuildTokens(workers)
+	return cc
+}
+
+// TestFusedSweepGolden checks the tentpole acceptance criterion on the full
+// study corpus: the fused single-pass sweep reproduces the naive
+// string-based pipeline byte for byte, at every token-cache/sweep worker
+// count.
+func TestFusedSweepGolden(t *testing.T) {
+	c, news, cfg := studyCorpus(t)
+	dict := nlp.OutageDictionary()
+	topts := TrendOptions{Bigrams: true}
+
+	wantSent := dailySentimentNaive(c, analyzer)
+	wantKW := outageKeywordSeriesNaive(c, analyzer, dict, true)
+	wantTrends := mineTrendsNaive(c, analyzer, topts)
+	wantPeaks := annotatePeaksNaive(c, analyzer, news, 3)
+
+	for _, w := range []int{1, 4, 16} {
+		cc := rebuiltCorpus(cfg.Window, c, w)
+		sw := SweepCorpus(cc, analyzer, SweepOptions{
+			Sentiment: true, Dict: dict, Gate: true, Trends: &topts, Workers: w,
+		})
+		assertSameJSON(t, "sentiment", sw.Sentiment, wantSent)
+		assertSameJSON(t, "keywords", sw.Keywords, wantKW)
+		assertSameJSON(t, "trends", sw.Trends, wantTrends)
+		assertSameJSON(t, "peaks", AnnotatePeaks(cc, analyzer, news, 3), wantPeaks)
+	}
+
+	// Geography on the busiest keyword day, and the ungated ablation.
+	best := wantKW[0]
+	for _, dk := range wantKW {
+		if dk.Count > best.Count {
+			best = dk
+		}
+	}
+	assertSameJSON(t, "geography",
+		OutageGeography(c, analyzer, dict, best.Day),
+		outageGeographyNaive(c, analyzer, dict, best.Day))
+	assertSameJSON(t, "keywords-ungated",
+		OutageKeywordSeries(c, analyzer, dict, false),
+		outageKeywordSeriesNaive(c, analyzer, dict, false))
+}
+
+// TestFusedSweepGoldenSeeds repeats the equivalence check on two more seeds
+// (shorter windows keep generation cheap), so the golden is not an artifact
+// of one corpus.
+func TestFusedSweepGoldenSeeds(t *testing.T) {
+	dict := nlp.OutageDictionary()
+	for _, seed := range []uint64{5, 23} {
+		window := timeline.Range{
+			From: timeline.StarlinkWindow.From,
+			To:   timeline.StarlinkWindow.From + 239,
+		}
+		cfg := social.DefaultConfig(seed)
+		cfg.Window = window
+		cfg.Outages = leo.AllOutages(seed, window, 1.5)
+		base, err := social.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		topts := TrendOptions{MinWeight: 20, Bigrams: true}
+		wantSent := dailySentimentNaive(base, analyzer)
+		wantKW := outageKeywordSeriesNaive(base, analyzer, dict, true)
+		wantTrends := mineTrendsNaive(base, analyzer, topts)
+		for _, w := range []int{1, 4, 16} {
+			cc := rebuiltCorpus(window, base, w)
+			sw := SweepCorpus(cc, analyzer, SweepOptions{
+				Sentiment: true, Dict: dict, Gate: true, Trends: &topts, Workers: w,
+			})
+			assertSameJSON(t, "sentiment", sw.Sentiment, wantSent)
+			assertSameJSON(t, "keywords", sw.Keywords, wantKW)
+			assertSameJSON(t, "trends", sw.Trends, wantTrends)
+		}
+	}
+}
+
+// TestMonthlySpeedsTokenPath checks the screenshot sweep's token-compiled
+// scoring against a corpus whose cache was built at several worker counts
+// (the series itself is asserted against figures elsewhere; here we need
+// identity across cache builds).
+func TestMonthlySpeedsTokenPath(t *testing.T) {
+	c, _, cfg := studyCorpus(t)
+	want := MonthlySpeedsN(c, analyzer, cfg.Model, 1, 1)
+	for _, w := range []int{4, 16} {
+		cc := rebuiltCorpus(cfg.Window, c, w)
+		assertSameJSON(t, "speeds", MonthlySpeedsN(cc, analyzer, cfg.Model, 1, w), want)
+	}
+}

@@ -1,7 +1,6 @@
 package usaas
 
 import (
-	"math"
 	"sort"
 
 	"usersignals/internal/nlp"
@@ -61,115 +60,22 @@ func (o TrendOptions) withDefaults() TrendOptions {
 // post by its community traction (log of upvotes+comments), accumulates
 // per-day stemmed-term weights, and reports terms whose windowed weight
 // surges out of a silent baseline — the mechanism that surfaced "roaming"
-// two weeks before the official announcement.
+// two weeks before the official announcement. The accumulation runs on the
+// fused corpus sweep (sweep.go) over cached token streams; the surge scan
+// itself is scanTrends, shared with the sweep.
 func MineTrends(c *social.Corpus, an *nlp.Analyzer, opts TrendOptions) []Trend {
-	opts = opts.withDefaults()
-	days := c.Window.Len()
+	return SweepCorpus(c, an, SweepOptions{Trends: &opts}).Trends
+}
 
-	// Per-day term weights and per-term positive/total post counts.
-	type termDay struct {
-		weight map[timeline.Day]float64
-		pos    int
-		total  int
-	}
-	terms := map[string]*termDay{}
-	c.Window.Days(func(d timeline.Day) {
-		for _, p := range c.OnDay(d) {
-			w := 1 + math.Log1p(float64(p.Upvotes+p.Comments))
-			s := an.Score(p.Text())
-			positive := s.Positive > s.Negative
-			seen := map[string]bool{}
-			record := func(term string) {
-				if seen[term] {
-					return
-				}
-				seen[term] = true
-				td := terms[term]
-				if td == nil {
-					td = &termDay{weight: map[timeline.Day]float64{}}
-					terms[term] = td
-				}
-				td.weight[d] += w
-				td.total++
-				if positive {
-					td.pos++
-				}
-			}
-			prev := ""
-			for _, tok := range nlp.ContentTokens(p.Text()) {
-				stem := nlp.Stem(tok)
-				record(stem)
-				if opts.Bigrams && prev != "" {
-					record(prev + " " + stem)
-				}
-				prev = stem
-			}
-		}
-	})
-
-	var out []Trend
-	for term, td := range terms {
-		// Scan for the first window whose weight crosses MinWeight with a
-		// quiet 30-day baseline before it. Windows in the first 30 days
-		// have no baseline to judge against, so they cannot qualify —
-		// otherwise the corpus's ordinary vocabulary would all "emerge"
-		// on day one.
-		for i := 30; i+opts.WindowDays <= days; i++ {
-			start := c.Window.From + timeline.Day(i)
-			var windowW float64
-			for j := 0; j < opts.WindowDays; j++ {
-				windowW += td.weight[start+timeline.Day(j)]
-			}
-			if windowW < opts.MinWeight {
-				continue
-			}
-			var baseW float64
-			baseDays := 0
-			for j := 1; j <= 30; j++ {
-				d := start - timeline.Day(j)
-				if d < c.Window.From {
-					break
-				}
-				baseW += td.weight[d]
-				baseDays++
-			}
-			if baseDays > 0 && baseW/float64(baseDays) > opts.BaselineMax {
-				break // established topic, not emerging
-			}
-			// Anchor the trend at the first day inside the window that
-			// actually carries weight (not the window's leading edge),
-			// and measure the surge weight from there so a surge that
-			// starts mid-window is not under-weighted.
-			first := start
-			for j := 0; j < opts.WindowDays; j++ {
-				if td.weight[start+timeline.Day(j)] > 0 {
-					first = start + timeline.Day(j)
-					break
-				}
-			}
-			surgeW := 0.0
-			for j := 0; j < opts.WindowDays; j++ {
-				surgeW += td.weight[first+timeline.Day(j)]
-			}
-			out = append(out, Trend{
-				Term:          term,
-				FirstDay:      first,
-				Weight:        surgeW,
-				PositiveShare: float64(td.pos) / float64(td.total),
-			})
-			break
-		}
-	}
+// sortTrends orders trends by weight (descending), ties broken by term for
+// determinism.
+func sortTrends(out []Trend) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Weight != out[j].Weight {
 			return out[i].Weight > out[j].Weight
 		}
 		return out[i].Term < out[j].Term
 	})
-	if len(out) > opts.MaxTerms {
-		out = out[:opts.MaxTerms]
-	}
-	return out
 }
 
 // LeadTime returns how many days before reference the term surged, or
