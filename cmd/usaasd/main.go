@@ -5,7 +5,14 @@
 //
 //	usaasd -addr :8080 -sessions calls.csv -posts posts.jsonl \
 //	    -read-timeout 2m -write-timeout 2m -idle-timeout 2m \
-//	    -request-timeout 1m -max-inflight 256 -result-cache 256
+//	    -request-timeout 1m -max-inflight 256 -result-cache 256 \
+//	    -data-dir /var/lib/usaasd -fsync batch -snapshot-every 1024
+//
+// With -data-dir set, every accepted ingest batch is appended to a
+// write-ahead log before it is acknowledged, and snapshots bound
+// recovery time; on restart the store is rebuilt byte-identically from
+// the newest snapshot plus the log tail. SIGINT/SIGTERM drains in-flight
+// requests, flushes the log, writes a final snapshot, and exits 0.
 //
 // Endpoints (all JSON):
 //
@@ -41,6 +48,7 @@ import (
 	"syscall"
 	"time"
 
+	"usersignals/internal/durable"
 	"usersignals/internal/leo"
 	"usersignals/internal/newswire"
 	"usersignals/internal/social"
@@ -48,7 +56,8 @@ import (
 	"usersignals/internal/usaas"
 )
 
-// serverConfig carries the listener and fault-tolerance knobs from flags.
+// serverConfig carries the listener, fault-tolerance, and durability
+// knobs from flags.
 type serverConfig struct {
 	addr           string
 	token          string
@@ -58,6 +67,10 @@ type serverConfig struct {
 	requestTimeout time.Duration
 	maxInflight    int
 	resultCache    int
+	dataDir        string
+	fsync          string
+	fsyncInterval  time.Duration
+	snapshotEvery  int
 }
 
 func main() {
@@ -74,6 +87,10 @@ func main() {
 	flag.DurationVar(&cfg.requestTimeout, "request-timeout", time.Minute, "per-request handling deadline (503 past it); <0 disables")
 	flag.IntVar(&cfg.maxInflight, "max-inflight", 0, "max concurrently handled requests (429 past it); 0 disables")
 	flag.IntVar(&cfg.resultCache, "result-cache", 0, "generation-keyed result cache entries (0 = default 256; <0 disables)")
+	flag.StringVar(&cfg.dataDir, "data-dir", "", "durable data directory (write-ahead log + snapshots); empty = in-memory only")
+	flag.StringVar(&cfg.fsync, "fsync", "batch", "WAL fsync policy: batch (sync every batch), interval (background cadence), or off")
+	flag.DurationVar(&cfg.fsyncInterval, "fsync-interval", time.Second, "background sync cadence under -fsync=interval")
+	flag.IntVar(&cfg.snapshotEvery, "snapshot-every", 1024, "snapshot after this many logged batches and on shutdown; 0 disables snapshots")
 	flag.Parse()
 	if err := run(cfg, *sessions, *posts); err != nil {
 		fmt.Fprintln(os.Stderr, "usaasd:", err)
@@ -82,20 +99,59 @@ func main() {
 }
 
 func run(cfg serverConfig, sessionsPath, postsPath string) error {
-	store := &usaas.Store{}
+	var (
+		store  *usaas.Store
+		dstore *usaas.DurableStore
+	)
+	if cfg.dataDir != "" {
+		policy, err := durable.ParseFsyncPolicy(cfg.fsync)
+		if err != nil {
+			return err
+		}
+		dstore, err = usaas.OpenDurableStore(usaas.DurabilityOptions{
+			Dir:           cfg.dataDir,
+			Fsync:         policy,
+			FsyncInterval: cfg.fsyncInterval,
+			SnapshotEvery: cfg.snapshotEvery,
+			Logf: func(format string, args ...any) {
+				fmt.Printf("usaasd: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return fmt.Errorf("opening durable store %q: %w", cfg.dataDir, err)
+		}
+		defer dstore.Close()
+		store = dstore.Store
+		rs := dstore.Recovery
+		snap := "no snapshot"
+		if rs.SnapshotFound {
+			snap = fmt.Sprintf("snapshot@%d (%d sessions, %d posts)",
+				rs.SnapshotSeq, rs.SnapshotSessions, rs.SnapshotPosts)
+		}
+		torn := ""
+		if rs.TornTail {
+			torn = fmt.Sprintf(", discarded %dB torn tail", rs.TornBytes)
+		}
+		fmt.Printf("recovered %s + %d replayed batches in %v%s (fsync=%s)\n",
+			snap, rs.ReplayedBatches, rs.Elapsed.Round(time.Millisecond), torn, policy)
+	} else {
+		store = &usaas.Store{}
+	}
+	// Preloads are journaled under a path-derived batch ID, so on a
+	// durable restart the already-recovered dataset is not re-applied.
 	if sessionsPath != "" {
-		n, err := loadSessions(store, sessionsPath)
+		n, dup, err := loadSessions(store, sessionsPath, preloadBatchID(cfg.dataDir, sessionsPath))
 		if err != nil {
 			return fmt.Errorf("loading sessions: %w", err)
 		}
-		fmt.Printf("loaded %d sessions from %s\n", n, sessionsPath)
+		fmt.Printf("loaded %d sessions from %s%s\n", n, sessionsPath, dupNote(dup))
 	}
 	if postsPath != "" {
-		n, err := loadPosts(store, postsPath)
+		n, dup, err := loadPosts(store, postsPath, preloadBatchID(cfg.dataDir, postsPath))
 		if err != nil {
 			return fmt.Errorf("loading posts: %w", err)
 		}
-		fmt.Printf("loaded %d posts from %s\n", n, postsPath)
+		fmt.Printf("loaded %d posts from %s%s\n", n, postsPath, dupNote(dup))
 	}
 
 	model := leo.NewModel()
@@ -139,7 +195,32 @@ func run(cfg serverConfig, sessionsPath, postsPath string) error {
 			return fmt.Errorf("shutdown: %w", err)
 		}
 	}
+	if dstore != nil {
+		// Every request has drained; flush the log and write a final
+		// snapshot so the next start recovers without replay.
+		if err := dstore.Close(); err != nil {
+			return fmt.Errorf("closing durable store: %w", err)
+		}
+		fmt.Println("durable store flushed and closed")
+	}
 	return nil
+}
+
+// preloadBatchID derives the idempotency key for a preload file. It is
+// empty (no dedup) when the store is not durable: an in-memory store is
+// always empty at startup, so dedup would only mask double flags.
+func preloadBatchID(dataDir, path string) string {
+	if dataDir == "" {
+		return ""
+	}
+	return "preload:" + filepath.Base(path)
+}
+
+func dupNote(dup bool) string {
+	if dup {
+		return " (already journaled; skipped)"
+	}
+	return ""
 }
 
 // openMaybeGzip opens a dataset file, transparently decompressing ".gz",
@@ -165,10 +246,10 @@ func openMaybeGzip(path string) (io.ReadCloser, string, error) {
 	return f, strings.ToLower(filepath.Ext(name)), nil
 }
 
-func loadSessions(store *usaas.Store, path string) (int, error) {
+func loadSessions(store *usaas.Store, path, batchID string) (int, bool, error) {
 	f, ext, err := openMaybeGzip(path)
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	defer f.Close()
 	var recs []telemetry.SessionRecord
@@ -182,25 +263,31 @@ func loadSessions(store *usaas.Store, path string) (int, error) {
 	case ".jsonl":
 		err = telemetry.ReadJSONL(f, appendRec)
 	default:
-		return 0, fmt.Errorf("unsupported extension on %q", path)
+		return 0, false, fmt.Errorf("unsupported extension on %q", path)
 	}
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
-	store.AddSessions(recs)
-	return len(recs), nil
+	_, dup, err := store.AddSessionsBatch(batchID, recs)
+	if err != nil {
+		return 0, false, err
+	}
+	return len(recs), dup, nil
 }
 
-func loadPosts(store *usaas.Store, path string) (int, error) {
+func loadPosts(store *usaas.Store, path, batchID string) (int, bool, error) {
 	f, _, err := openMaybeGzip(path)
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	defer f.Close()
 	posts, err := social.CollectPostsJSONL(f)
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
-	store.AddPosts(posts)
-	return len(posts), nil
+	_, dup, err := store.AddPostsBatch(batchID, posts)
+	if err != nil {
+		return 0, false, err
+	}
+	return len(posts), dup, nil
 }

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"usersignals/internal/conference"
+	"usersignals/internal/durable"
 	"usersignals/internal/social"
 	"usersignals/internal/telemetry"
 	"usersignals/internal/usaas"
@@ -42,7 +43,7 @@ func TestLoadSessionsCSV(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "calls.csv")
 	want := writeSessionsCSV(t, path, 15)
 	store := &usaas.Store{}
-	got, err := loadSessions(store, path)
+	got, _, err := loadSessions(store, path, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,14 +58,14 @@ func TestLoadSessionsCSV(t *testing.T) {
 
 func TestLoadSessionsErrors(t *testing.T) {
 	store := &usaas.Store{}
-	if _, err := loadSessions(store, filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+	if _, _, err := loadSessions(store, filepath.Join(t.TempDir(), "missing.csv"), ""); err == nil {
 		t.Fatal("missing file accepted")
 	}
 	bad := filepath.Join(t.TempDir(), "bad.txt")
 	if err := os.WriteFile(bad, []byte("x"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := loadSessions(store, bad); err == nil {
+	if _, _, err := loadSessions(store, bad, ""); err == nil {
 		t.Fatal("bad extension accepted")
 	}
 }
@@ -91,7 +92,7 @@ func TestLoadPosts(t *testing.T) {
 		t.Fatal(err)
 	}
 	store := &usaas.Store{}
-	got, err := loadPosts(store, path)
+	got, _, err := loadPosts(store, path, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestLoadSessionsGzip(t *testing.T) {
 		t.Fatal(err)
 	}
 	store := &usaas.Store{}
-	got, err := loadSessions(store, gzPath)
+	got, _, err := loadSessions(store, gzPath, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,21 +141,54 @@ func TestLoadSessionsGzip(t *testing.T) {
 	if err := os.WriteFile(fake, []byte("not gzip"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := loadSessions(store, fake); err == nil {
+	if _, _, err := loadSessions(store, fake, ""); err == nil {
 		t.Fatal("bogus gzip accepted")
 	}
 }
 
 func TestLoadPostsErrors(t *testing.T) {
 	store := &usaas.Store{}
-	if _, err := loadPosts(store, filepath.Join(t.TempDir(), "missing.jsonl")); err == nil {
+	if _, _, err := loadPosts(store, filepath.Join(t.TempDir(), "missing.jsonl"), ""); err == nil {
 		t.Fatal("missing file accepted")
 	}
 	bad := filepath.Join(t.TempDir(), "bad.jsonl")
 	if err := os.WriteFile(bad, []byte("{broken\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := loadPosts(store, bad); err == nil {
+	if _, _, err := loadPosts(store, bad, ""); err == nil {
 		t.Fatal("broken JSON accepted")
+	}
+}
+
+// TestPreloadDurableDedup: with -data-dir, a preload file is journaled
+// under a path-derived batch ID, so restarting the daemon with the same
+// flags does not double the dataset — recovery already replayed it.
+func TestPreloadDurableDedup(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "calls.csv")
+	want := writeSessionsCSV(t, path, 12)
+	dataDir := t.TempDir()
+
+	d, err := usaas.OpenDurableStore(usaas.DurabilityOptions{Dir: dataDir, Fsync: durable.FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, dup, err := loadSessions(d.Store, path, preloadBatchID(dataDir, path))
+	if err != nil || dup || n != want {
+		t.Fatalf("first preload: n=%d dup=%v err=%v", n, dup, err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := usaas.OpenDurableStore(usaas.DurabilityOptions{Dir: dataDir, Fsync: durable.FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if _, dup, err = loadSessions(d2.Store, path, preloadBatchID(dataDir, path)); err != nil || !dup {
+		t.Fatalf("restart preload not deduped: dup=%v err=%v", dup, err)
+	}
+	if sessions, _ := d2.Counts(); sessions != want {
+		t.Fatalf("store holds %d sessions after restart, want %d", sessions, want)
 	}
 }

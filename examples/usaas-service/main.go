@@ -1,20 +1,124 @@
-// usaas-service demonstrates Fig. 8: it starts the USaaS HTTP service,
-// ingests both signal families through the API, and runs the paper's §5
-// example query — "how do users on the satellite network perceive the
-// conferencing experience?" — fusing implicit actions, sparse surveys, a
-// trained predictor, and social sentiment into one answer.
+// usaas-service demonstrates Fig. 8 with durability: it starts the USaaS
+// HTTP service over a write-ahead-logged store, streams both signal
+// families through the API in batches, kills the server mid-stream, and
+// restarts it — recovery rebuilds the store from the log, the client's
+// retried batches deduplicate, and the paper's §5 example query — "how do
+// users on the satellite network perceive the conferencing experience?" —
+// answers byte-identically to an uninterrupted run.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
+	"os"
 	"time"
 
 	"usersignals"
 )
+
+// batch is one unit of the client's ingest stream: either sessions or
+// posts, under a stable ID so a retry after the crash deduplicates.
+type batch struct {
+	id       string
+	sessions []usersignals.SessionRecord
+	posts    []usersignals.Post
+}
+
+// liveService is one incarnation of the USaaS server process.
+type liveService struct {
+	store  *usersignals.DurableStore // nil for the in-memory reference
+	server *http.Server
+	client *usersignals.ServiceClient
+}
+
+func (s *liveService) sendAll(ctx context.Context, batches []batch) (applied, skipped int, err error) {
+	for _, b := range batches {
+		var dup bool
+		if b.sessions != nil {
+			r, err := s.client.IngestSessionsBatch(ctx, b.id, b.sessions)
+			if err != nil {
+				return applied, skipped, err
+			}
+			dup = r.Duplicate
+		} else {
+			r, err := s.client.IngestPostsBatch(ctx, b.id, b.posts)
+			if err != nil {
+				return applied, skipped, err
+			}
+			dup = r.Duplicate
+		}
+		if dup {
+			skipped++
+		} else {
+			applied++
+		}
+	}
+	return applied, skipped, nil
+}
+
+// crash aborts the HTTP server and abandons the durable store without
+// flushing or closing it — the in-process stand-in for kill -9. Every
+// acknowledged batch is already on disk (fsync per batch), so nothing
+// acknowledged can be lost.
+func (s *liveService) crash() {
+	s.server.Close()
+}
+
+func (s *liveService) shutdown() {
+	s.server.Close()
+	if s.store != nil {
+		s.store.Close()
+	}
+}
+
+// start brings up a service incarnation on an ephemeral port. With dir
+// non-empty the store is durable: opening it recovers whatever the
+// previous incarnation logged.
+func start(dir string, socialCfg usersignals.SocialConfig) (*liveService, error) {
+	opts := usersignals.ServiceOptions{
+		News:  usersignals.BuildNews(socialCfg),
+		Model: socialCfg.Model,
+	}
+	var (
+		svc    *usersignals.Service
+		dstore *usersignals.DurableStore
+	)
+	if dir != "" {
+		var err error
+		dstore, err = usersignals.OpenDurableStore(usersignals.DurabilityOptions{
+			Dir:   dir,
+			Fsync: usersignals.FsyncPerBatch,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rs := dstore.Recovery
+		fmt.Printf("  opened %s: %d batches replayed in %v\n",
+			dir, rs.ReplayedBatches, rs.Elapsed.Round(time.Millisecond))
+		svc = usersignals.NewServiceWithStore(dstore.Store, opts)
+	} else {
+		svc = usersignals.NewService(opts)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	server := &http.Server{Handler: svc.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := server.Serve(ln); err != http.ErrServerClosed {
+			log.Print(err)
+		}
+	}()
+	return &liveService{
+		store:  dstore,
+		server: server,
+		client: usersignals.NewServiceClient("http://" + ln.Addr().String()),
+	}, nil
+}
 
 func main() {
 	// --- generate both signal families ---
@@ -30,42 +134,100 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// --- start the service on an ephemeral port ---
-	svc := usersignals.NewService(usersignals.ServiceOptions{
-		News:  usersignals.BuildNews(socialCfg),
-		Model: socialCfg.Model,
-	})
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		log.Fatal(err)
+	// Cut the workload into the batch stream an operator's exporter would
+	// send: session batches then post batches, each under a stable ID.
+	var batches []batch
+	for i := 0; i*100 < len(sessions); i++ {
+		hi := min((i+1)*100, len(sessions))
+		batches = append(batches, batch{
+			id:       fmt.Sprintf("calls-%03d", i),
+			sessions: sessions[i*100 : hi],
+		})
 	}
-	server := &http.Server{Handler: svc.Handler(), ReadHeaderTimeout: 5 * time.Second}
-	go func() {
-		if err := server.Serve(ln); err != http.ErrServerClosed {
-			log.Fatal(err)
-		}
-	}()
-	defer server.Close()
-	base := "http://" + ln.Addr().String()
-	fmt.Println("USaaS listening on", base)
+	for i := 0; i*500 < len(corpus.Posts); i++ {
+		hi := min((i+1)*500, len(corpus.Posts))
+		batches = append(batches, batch{
+			id:    fmt.Sprintf("posts-%03d", i),
+			posts: corpus.Posts[i*500 : hi],
+		})
+	}
 
-	// --- ingest through the public API ---
-	client := usersignals.NewServiceClient(base)
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()
-	if _, err := client.IngestSessions(ctx, sessions); err != nil {
-		log.Fatal(err)
-	}
-	if _, err := client.IngestPosts(ctx, corpus.Posts); err != nil {
-		log.Fatal(err)
-	}
-	st, err := client.Stats(ctx)
+
+	// --- reference: the same stream into an in-memory service, no crash ---
+	ref, err := start("", socialCfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("ingested %d sessions and %d posts\n\n", st.Sessions, st.Posts)
+	if _, _, err := ref.sendAll(ctx, batches); err != nil {
+		log.Fatal(err)
+	}
+	refExp, err := ref.client.Experience(ctx, "starlink")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref.shutdown()
+	refJSON, err := json.Marshal(refExp)
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	// --- the §5 cross-source query ---
+	// --- durable run: kill the server halfway through the stream ---
+	dir, err := os.MkdirTemp("", "usaas-durable-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	fmt.Println("first incarnation:")
+	first, err := start(dir, socialCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	half := batches[:len(batches)/2]
+	if _, _, err := first.sendAll(ctx, half); err != nil {
+		log.Fatal(err)
+	}
+	first.crash()
+	fmt.Printf("  killed mid-stream after %d of %d batches\n\n", len(half), len(batches))
+
+	fmt.Println("second incarnation (recovery):")
+	second, err := start(dir, socialCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer second.shutdown()
+	// The exporter retries its whole stream; the write-ahead log's
+	// idempotency table absorbs everything already acknowledged.
+	applied, skipped, err := second.sendAll(ctx, batches)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  stream retried: %d batches deduplicated, %d newly applied\n", skipped, applied)
+
+	st, err := second.client.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  store holds %d sessions and %d posts\n\n", st.Sessions, st.Posts)
+
+	// --- the §5 cross-source query, identical across the crash ---
+	client := second.client
+	exp, err := client.Experience(ctx, "starlink")
+	if err != nil {
+		log.Fatal(err)
+	}
+	gotJSON, err := json.Marshal(exp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if string(gotJSON) == string(refJSON) {
+		fmt.Println("§5 Starlink query is byte-identical to the uninterrupted run ✓")
+	} else {
+		log.Fatalf("recovered answer diverged:\n  want %s\n  got  %s", refJSON, gotJSON)
+	}
+
 	for _, isp := range []string{"starlink", "metrofiber", "cellone"} {
 		exp, err := client.Experience(ctx, isp)
 		if err != nil {
@@ -79,10 +241,6 @@ func main() {
 		fmt.Println()
 	}
 
-	exp, err := client.Experience(ctx, "starlink")
-	if err != nil {
-		log.Fatal(err)
-	}
 	fmt.Printf("\nsocial side for the satellite ISP: Pos ratio %.2f, %d outage mentions in the corpus\n",
 		exp.SocialPosRatio, exp.OutageMentions)
 

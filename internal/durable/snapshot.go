@@ -1,0 +1,192 @@
+package durable
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot files: an opaque body (the USaaS layer writes NDJSON sections)
+// followed by an 8-byte trailer — 4-byte magic "usnp" and the little-
+// endian CRC32C of the body. Writes go to a .tmp file that is fsynced and
+// renamed into place, so a crash mid-snapshot leaves at worst a .tmp that
+// open-time cleanup removes; a snapshot that exists under its final name
+// is complete or detectably corrupt (trailer CRC), never silently partial.
+
+const snapTrailerMagic = "usnp"
+
+func snapshotPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("snap-%016x.snap", seq))
+}
+
+// listSnapshots returns the dir's snapshots sorted newest first.
+func listSnapshots(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		// A data dir that doesn't exist yet holds no snapshots; recovery
+		// runs before the WAL open that creates the directory.
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("durable: reading snapshot dir: %w", err)
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".snap") {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".snap"), 16, 64)
+		if err != nil {
+			continue
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
+	return seqs, nil
+}
+
+// removeTemp deletes leftover in-flight snapshot files.
+func removeTemp(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".tmp") {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}
+
+// crcWriter tees writes into a running CRC32C.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.crc = crc32.Update(cw.crc, castagnoli, p[:n])
+	return n, err
+}
+
+// WriteSnapshot streams a snapshot covering log records < seq: write is
+// handed a writer for the body, then the trailer is appended and the file
+// atomically renamed into place. The directory is fsynced so the rename
+// itself is durable.
+func WriteSnapshot(dir string, seq uint64, write func(io.Writer) error) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("durable: creating snapshot dir: %w", err)
+	}
+	tmp := filepath.Join(dir, fmt.Sprintf("snap-%016x.tmp", seq))
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("durable: creating snapshot: %w", err)
+	}
+	defer os.Remove(tmp) // no-op after a successful rename
+	bw := bufio.NewWriterSize(f, 256<<10)
+	cw := &crcWriter{w: bw}
+	if err := write(cw); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: writing snapshot body: %w", err)
+	}
+	var trailer [8]byte
+	copy(trailer[:4], snapTrailerMagic)
+	binary.LittleEndian.PutUint32(trailer[4:], cw.crc)
+	if _, err := bw.Write(trailer[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: writing snapshot trailer: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: flushing snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: fsyncing snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("durable: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, snapshotPath(dir, seq)); err != nil {
+		return fmt.Errorf("durable: publishing snapshot: %w", err)
+	}
+	return syncDir(dir)
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("durable: opening dir for fsync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("durable: fsyncing dir: %w", err)
+	}
+	return nil
+}
+
+// LoadLatestSnapshot returns the newest snapshot whose trailer CRC
+// validates, as (covered seq, body bytes). Corrupt or truncated snapshots
+// are skipped — recovery falls back to the next-older one (and, past the
+// oldest, to full log replay). found is false when none validate.
+func LoadLatestSnapshot(dir string) (seq uint64, body []byte, found bool, err error) {
+	seqs, err := listSnapshots(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil, false, nil
+		}
+		return 0, nil, false, err
+	}
+	for _, s := range seqs {
+		data, err := os.ReadFile(snapshotPath(dir, s))
+		if err != nil {
+			continue
+		}
+		if len(data) < 8 {
+			continue
+		}
+		body, trailer := data[:len(data)-8], data[len(data)-8:]
+		if string(trailer[:4]) != snapTrailerMagic {
+			continue
+		}
+		if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(trailer[4:]) {
+			continue
+		}
+		return s, body, true, nil
+	}
+	return 0, nil, false, nil
+}
+
+// compactSnapshots removes snapshots older than the newest one at or
+// below seq, keeping that one (and anything newer, which cannot exist in
+// normal operation).
+func compactSnapshots(dir string, seq uint64) error {
+	seqs, err := listSnapshots(dir)
+	if err != nil {
+		return err
+	}
+	kept := false
+	for _, s := range seqs { // newest first
+		if s > seq {
+			continue
+		}
+		if !kept {
+			kept = true
+			continue
+		}
+		if err := os.Remove(snapshotPath(dir, s)); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("durable: removing old snapshot: %w", err)
+		}
+	}
+	return nil
+}

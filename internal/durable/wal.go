@@ -1,0 +1,263 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// WAL is the append side of the log. Safe for concurrent use, though the
+// USaaS store already serializes appends under its write lock (append
+// order must equal apply order for replay to reproduce the store
+// byte-for-byte).
+type WAL struct {
+	mu       sync.Mutex
+	dir      string
+	opts     Options
+	f        *os.File // active segment
+	segStart uint64   // seq of the active segment's first record
+	segSize  int64    // bytes written to the active segment
+	seq      uint64   // next record's sequence number
+	buf      []byte   // reusable frame-encoding buffer
+	closed   bool
+}
+
+// segment is one on-disk log file.
+type segment struct {
+	path     string
+	firstSeq uint64
+}
+
+// listSegments returns the dir's segments sorted by first sequence.
+func listSegments(dir string) ([]segment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		// A data dir that doesn't exist yet holds no segments; recovery
+		// lists the log before the append-side open creates the directory.
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("durable: reading log dir: %w", err)
+	}
+	var segs []segment
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		seqStr := strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log")
+		first, err := strconv.ParseUint(seqStr, 16, 64)
+		if err != nil {
+			continue // not ours
+		}
+		segs = append(segs, segment{path: filepath.Join(dir, name), firstSeq: first})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].firstSeq < segs[j].firstSeq })
+	return segs, nil
+}
+
+func segmentPath(dir string, firstSeq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%016x.log", firstSeq))
+}
+
+// OpenWAL opens dir's log for appending, creating the directory as needed.
+// It scans the last segment for a torn tail and truncates it, so appends
+// always continue at a CRC-valid frame boundary. minSeq is the sequence
+// the newest snapshot covers: if the surviving log ends short of it (the
+// tail past the snapshot was torn away), a fresh segment starts at minSeq
+// so that record sequences never fall behind snapshot coverage.
+func OpenWAL(dir string, minSeq uint64, opts Options) (*WAL, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: creating log dir: %w", err)
+	}
+	removeTemp(dir)
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	w := &WAL{dir: dir, opts: opts}
+	if len(segs) == 0 {
+		w.seq = minSeq
+		w.segStart = minSeq
+		return w, nil
+	}
+	last := segs[len(segs)-1]
+	data, err := os.ReadFile(last.path)
+	if err != nil {
+		return nil, fmt.Errorf("durable: reading last segment: %w", err)
+	}
+	valid, count := scanFrames(data)
+	if valid < int64(len(data)) {
+		// Torn tail: truncate to the last valid frame boundary so the
+		// next append does not concatenate onto garbage.
+		if err := os.Truncate(last.path, valid); err != nil {
+			return nil, fmt.Errorf("durable: truncating torn tail: %w", err)
+		}
+	}
+	w.seq = last.firstSeq + uint64(count)
+	w.segStart = last.firstSeq
+	w.segSize = valid
+	if w.seq < minSeq {
+		// The log ends before the snapshot's coverage; appending here
+		// would assign sequences the snapshot already claims. Start a new
+		// segment at minSeq (the old one will be compacted away).
+		w.seq = minSeq
+		w.segStart = minSeq
+		w.segSize = 0
+		return w, nil
+	}
+	f, err := os.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("durable: opening segment for append: %w", err)
+	}
+	w.f = f
+	return w, nil
+}
+
+// scanFrames walks data frame by frame, returning the byte offset of the
+// last valid frame boundary and the number of valid frames.
+func scanFrames(data []byte) (valid int64, count uint64) {
+	off := 0
+	for {
+		_, n, ok := parseFrame(data[off:])
+		if !ok {
+			return int64(off), count
+		}
+		off += n
+		count++
+	}
+}
+
+// Seq returns the next record's sequence number — equivalently, the count
+// of records ever appended (plus any snapshot-covered prefix the log
+// started after).
+func (w *WAL) Seq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
+}
+
+// Append frames the record, writes it to the active segment with a single
+// write call, and — under FsyncPerBatch — forces it to stable storage
+// before returning. Returns the record's sequence number.
+func (w *WAL) Append(rec Record) (seq uint64, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, fmt.Errorf("durable: append on closed WAL")
+	}
+	w.buf = appendFrame(w.buf[:0], rec)
+	if w.f != nil && w.segSize > 0 && w.segSize+int64(len(w.buf)) > w.opts.SegmentBytes {
+		if err := w.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	if w.f == nil {
+		f, err := os.OpenFile(segmentPath(w.dir, w.segStart), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		if err != nil {
+			return 0, fmt.Errorf("durable: creating segment: %w", err)
+		}
+		w.f = f
+	}
+	if _, err := w.f.Write(w.buf); err != nil {
+		return 0, fmt.Errorf("durable: appending record: %w", err)
+	}
+	w.segSize += int64(len(w.buf))
+	if w.opts.Fsync == FsyncPerBatch {
+		if err := w.f.Sync(); err != nil {
+			return 0, fmt.Errorf("durable: fsync: %w", err)
+		}
+	}
+	seq = w.seq
+	w.seq++
+	return seq, nil
+}
+
+// rotateLocked closes the active segment and arranges for the next append
+// to start a new one whose name is the next sequence. The closing segment
+// is fsynced except under FsyncOff, where durability is explicitly left
+// to the OS writeback — syncing 8 MiB at every rotation would make the
+// "off" policy pay the largest fsyncs of any mode.
+func (w *WAL) rotateLocked() error {
+	if w.f != nil {
+		if w.opts.Fsync != FsyncOff {
+			if err := w.f.Sync(); err != nil {
+				return fmt.Errorf("durable: fsync before rotate: %w", err)
+			}
+		}
+		if err := w.f.Close(); err != nil {
+			return fmt.Errorf("durable: closing segment: %w", err)
+		}
+		w.f = nil
+	}
+	w.segStart = w.seq
+	w.segSize = 0
+	return nil
+}
+
+// Sync forces appended frames to stable storage (a no-op when nothing is
+// open). Drives the FsyncInterval policy and shutdown flushes.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("durable: fsync: %w", err)
+	}
+	return nil
+}
+
+// Compact removes closed segments wholly covered by a snapshot at seq:
+// a segment is deletable when the next segment starts at or before seq
+// (so every record in it is < seq) and it is not the active segment. Old
+// snapshots below seq are removed too, keeping one newer-or-equal.
+func (w *WAL) Compact(seq uint64) error {
+	w.mu.Lock()
+	active := w.segStart
+	w.mu.Unlock()
+	segs, err := listSegments(w.dir)
+	if err != nil {
+		return err
+	}
+	for i, s := range segs {
+		if s.firstSeq == active || i == len(segs)-1 {
+			break
+		}
+		if segs[i+1].firstSeq > seq {
+			break
+		}
+		if err := os.Remove(s.path); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("durable: removing compacted segment: %w", err)
+		}
+	}
+	return compactSnapshots(w.dir, seq)
+}
+
+// Close fsyncs and closes the active segment.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.f == nil {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("durable: fsync on close: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("durable: closing segment: %w", err)
+	}
+	w.f = nil
+	return nil
+}

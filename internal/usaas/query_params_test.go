@@ -1,0 +1,73 @@
+package usaas
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestMalformedQueryParamsRejected: a malformed numeric query parameter
+// must answer 400 naming the offending key, never silently fall back to
+// the default. Absent and empty parameters still default.
+func TestMalformedQueryParamsRejected(t *testing.T) {
+	store := &Store{}
+	ts := httptest.NewServer(NewServer(store, ServerOptions{ResultCacheSize: -1}).Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		path string
+		key  string // must be named in the error body
+	}{
+		{"/v1/insights/incidents?engagement=presence&min_drop=xyz", "min_drop"},
+		{"/v1/insights/engagement?metric=latency-mean-ms&engagement=presence&bins=abc", "bins"},
+		{"/v1/insights/engagement?metric=latency-mean-ms&engagement=presence&lo=1..5", "lo"},
+		{"/v1/insights/engagement?metric=latency-mean-ms&engagement=presence&hi=fast", "hi"},
+		{"/v1/insights/mos?bins=many", "bins"},
+		{"/v1/insights/peaks?k=abc", "k"},
+		{"/v1/insights/outages?threshold=low", "threshold"},
+		{"/v1/advice/deployment?horizon=soon", "horizon"},
+		{"/v1/advice/deployment?sats=1e", "sats"},
+		{"/v1/advice/deployment?max=none", "max"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.path, func(t *testing.T) {
+			resp, err := ts.Client().Get(ts.URL + tc.path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400; body: %s", resp.StatusCode, body)
+			}
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(body, &e); err != nil {
+				t.Fatalf("non-JSON error body %q: %v", body, err)
+			}
+			if !strings.Contains(e.Error, `"`+tc.key+`"`) {
+				t.Fatalf("error %q does not name parameter %q", e.Error, tc.key)
+			}
+		})
+	}
+
+	// Absent or empty parameters keep defaulting: these must not 400.
+	for _, path := range []string{
+		"/v1/insights/engagement?metric=latency-mean-ms&engagement=presence",
+		"/v1/insights/engagement?metric=latency-mean-ms&engagement=presence&bins=",
+		"/v1/insights/peaks?k=5",
+	} {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusBadRequest {
+			t.Fatalf("%s answered 400; defaults must still apply", path)
+		}
+	}
+}

@@ -5,8 +5,10 @@ import (
 	"crypto/subtle"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync"
@@ -40,27 +42,53 @@ type Store struct {
 	postGen  uint64                    // bumped on every post ingest
 	batches  map[string]IngestResponse // batch ID → first acknowledgement
 
+	// journal, when non-nil, receives every accepted (non-duplicate)
+	// batch under the write lock BEFORE the in-memory state mutates: the
+	// write-ahead contract (durable.go). Append order equals apply order
+	// because both happen under mu, which is what makes log replay
+	// reproduce the store byte-for-byte.
+	journal batchJournal
+
 	// views holds the incrementally maintained materialized state the
 	// query handlers read (views.go). Folded only on non-duplicate
 	// batches, so replays never double-count.
 	views viewState
 }
 
-// AddSessions ingests session records unconditionally (no dedup).
-func (s *Store) AddSessions(recs []telemetry.SessionRecord) {
-	s.AddSessionsBatch("", recs)
+// AddSessions ingests session records unconditionally (no dedup). The
+// error is non-nil only on a durable store whose log append failed.
+func (s *Store) AddSessions(recs []telemetry.SessionRecord) error {
+	_, _, err := s.AddSessionsBatch("", recs)
+	return err
 }
 
 // AddSessionsBatch ingests session records under an idempotency key. A
 // batch ID already seen returns the original acknowledgement with dup=true
-// and leaves the store unchanged; an empty batch ID skips dedup.
-func (s *Store) AddSessionsBatch(batchID string, recs []telemetry.SessionRecord) (resp IngestResponse, dup bool) {
+// and leaves the store unchanged; an empty batch ID skips dedup. On a
+// durable store a failed log append rejects the batch — nothing is
+// applied or acknowledged, so the client's retry is safe.
+func (s *Store) AddSessionsBatch(batchID string, recs []telemetry.SessionRecord) (resp IngestResponse, dup bool, err error) {
+	return s.addSessionsBatch(batchID, recs, nil)
+}
+
+// addSessionsBatch is the ingest core. wire, when non-nil, is the batch's
+// NDJSON wire form as received (the HTTP handler captures the request
+// body); the journal logs it verbatim instead of re-encoding, which is
+// both cheaper and more faithful — replay parses the same bytes the live
+// path did. The journal copies the frame before returning, so wire may be
+// pooled by the caller.
+func (s *Store) addSessionsBatch(batchID string, recs []telemetry.SessionRecord, wire []byte) (resp IngestResponse, dup bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if batchID != "" {
 		if prev, ok := s.batches[batchID]; ok {
 			prev.Duplicate = true
-			return prev, true
+			return prev, true, nil
+		}
+	}
+	if s.journal != nil {
+		if err := s.journal.logSessions(batchID, recs, wire); err != nil {
+			return IngestResponse{}, false, err
 		}
 	}
 	s.sessions = append(s.sessions, recs...)
@@ -75,17 +103,25 @@ func (s *Store) AddSessionsBatch(batchID string, recs []telemetry.SessionRecord)
 		BatchID:       batchID,
 	}
 	s.recordBatchLocked(batchID, resp)
-	return resp, false
+	return resp, false, nil
 }
 
-// AddPosts ingests social posts unconditionally (no dedup).
-func (s *Store) AddPosts(posts []social.Post) {
-	s.AddPostsBatch("", posts)
+// AddPosts ingests social posts unconditionally (no dedup). The error is
+// non-nil only on a durable store whose log append failed.
+func (s *Store) AddPosts(posts []social.Post) error {
+	_, _, err := s.AddPostsBatch("", posts)
+	return err
 }
 
 // AddPostsBatch ingests social posts under an idempotency key, with the
-// same replay semantics as AddSessionsBatch.
-func (s *Store) AddPostsBatch(batchID string, posts []social.Post) (resp IngestResponse, dup bool) {
+// same replay and durability semantics as AddSessionsBatch.
+func (s *Store) AddPostsBatch(batchID string, posts []social.Post) (resp IngestResponse, dup bool, err error) {
+	return s.addPostsBatch(batchID, posts, nil)
+}
+
+// addPostsBatch mirrors addSessionsBatch: wire, when non-nil, is the
+// received JSONL body and is journaled verbatim.
+func (s *Store) addPostsBatch(batchID string, posts []social.Post, wire []byte) (resp IngestResponse, dup bool, err error) {
 	// OCR extraction is the expensive part of post ingest; stage it
 	// outside the lock. On a duplicate replay the staged work is simply
 	// discarded — replays are rare, stalled readers are not.
@@ -95,7 +131,12 @@ func (s *Store) AddPostsBatch(batchID string, posts []social.Post) (resp IngestR
 	if batchID != "" {
 		if prev, ok := s.batches[batchID]; ok {
 			prev.Duplicate = true
-			return prev, true
+			return prev, true, nil
+		}
+	}
+	if s.journal != nil {
+		if err := s.journal.logPosts(batchID, posts, wire); err != nil {
+			return IngestResponse{}, false, err
 		}
 	}
 	base := len(s.posts)
@@ -112,7 +153,7 @@ func (s *Store) AddPostsBatch(batchID string, posts []social.Post) (resp IngestR
 		BatchID:       batchID,
 	}
 	s.recordBatchLocked(batchID, resp)
-	return resp, false
+	return resp, false, nil
 }
 
 func (s *Store) recordBatchLocked(batchID string, resp IngestResponse) {
@@ -294,14 +335,17 @@ func (s *Server) handleIncidents(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	f := formOf(r)
+	minDrop := f.float("min_drop", 0)
+	if f.reject(w) {
+		return
+	}
 	days := s.store.DailyEngagementView()
 	if len(days) == 0 {
 		writeErr(w, http.StatusNotFound, "no sessions ingested")
 		return
 	}
-	incidents := EngagementIncidents(days, eng, IncidentOptions{
-		MinDrop: queryFloat(r, "min_drop", 0),
-	})
+	incidents := EngagementIncidents(days, eng, IncidentOptions{MinDrop: minDrop})
 	writeJSON(w, http.StatusOK, IncidentResponse{
 		Engagement: eng.String(), Days: days, Incidents: incidents,
 	})
@@ -389,28 +433,55 @@ func (s *Server) requireMethod(w http.ResponseWriter, r *http.Request, method st
 	return true
 }
 
-func queryInt(r *http.Request, key string, def int) int {
-	v := r.URL.Query().Get(key)
+// queryForm parses typed query parameters, remembering the first
+// malformed value so handlers can answer 400 naming the offending key.
+// Only an absent or empty parameter falls back to the default —
+// "?bins=abc" is a client error, not a synonym for "?bins=".
+type queryForm struct {
+	q   url.Values
+	err error
+}
+
+func formOf(r *http.Request) *queryForm { return &queryForm{q: r.URL.Query()} }
+
+func (f *queryForm) int(key string, def int) int {
+	v := f.q.Get(key)
 	if v == "" {
 		return def
 	}
 	n, err := strconv.Atoi(v)
 	if err != nil {
+		if f.err == nil {
+			f.err = fmt.Errorf("query parameter %q: invalid integer %q", key, v)
+		}
 		return def
 	}
 	return n
 }
 
-func queryFloat(r *http.Request, key string, def float64) float64 {
-	v := r.URL.Query().Get(key)
+func (f *queryForm) float(key string, def float64) float64 {
+	v := f.q.Get(key)
 	if v == "" {
 		return def
 	}
-	f, err := strconv.ParseFloat(v, 64)
+	x, err := strconv.ParseFloat(v, 64)
 	if err != nil {
+		if f.err == nil {
+			f.err = fmt.Errorf("query parameter %q: invalid number %q", key, v)
+		}
 		return def
 	}
-	return f
+	return x
+}
+
+// reject answers 400 with the first parse error, reporting whether the
+// handler should stop.
+func (f *queryForm) reject(w http.ResponseWriter) bool {
+	if f.err == nil {
+		return false
+	}
+	writeErr(w, http.StatusBadRequest, "%v", f.err)
+	return true
 }
 
 // --- ingestion ---
@@ -433,25 +504,62 @@ func isNDJSON(r *http.Request) bool {
 	return strings.Contains(ct, "ndjson") || strings.Contains(ct, "jsonlines") || strings.Contains(ct, "jsonl")
 }
 
+// bodyCapture tees an NDJSON request body into a pooled buffer while it
+// is parsed, so the durability journal can log the wire bytes verbatim
+// instead of re-encoding the batch (float formatting dominates encode
+// cost). Replay then parses the exact bytes the live path parsed.
+type bodyCapture struct {
+	r   io.Reader
+	buf *[]byte
+}
+
+func newBodyCapture(r io.Reader) *bodyCapture {
+	b := ndjsonBufs.Get().(*[]byte)
+	*b = (*b)[:0]
+	return &bodyCapture{r: r, buf: b}
+}
+
+func (c *bodyCapture) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	*c.buf = append(*c.buf, p[:n]...)
+	return n, err
+}
+
+func (c *bodyCapture) bytes() []byte { return *c.buf }
+
+// release returns the buffer to the pool. The journal copies the frame
+// before the ingest call returns, so the bytes are dead by handler exit.
+func (c *bodyCapture) release() {
+	ndjsonBufs.Put(c.buf)
+}
+
 func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 	if !s.requireMethod(w, r, http.MethodPost) {
 		return
 	}
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	var recs []telemetry.SessionRecord
+	var wire []byte // NDJSON body as received, journaled verbatim
 	if isNDJSON(r) {
-		if err := telemetry.ReadJSONL(body, func(rec *telemetry.SessionRecord) error {
+		cap := newBodyCapture(body)
+		defer cap.release()
+		if err := telemetry.ReadJSONL(cap, func(rec *telemetry.SessionRecord) error {
 			recs = append(recs, *rec)
 			return nil
 		}); err != nil {
 			writeErr(w, http.StatusBadRequest, "decoding NDJSON sessions: %v", err)
 			return
 		}
+		wire = cap.bytes()
 	} else if err := json.NewDecoder(body).Decode(&recs); err != nil {
 		writeErr(w, http.StatusBadRequest, "decoding sessions: %v", err)
 		return
 	}
-	resp, _ := s.store.AddSessionsBatch(r.Header.Get(BatchIDHeader), recs)
+	resp, _, err := s.store.addSessionsBatch(r.Header.Get(BatchIDHeader), recs, wire)
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, "persisting sessions: %v", err)
+		return
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -461,8 +569,11 @@ func (s *Server) handlePosts(w http.ResponseWriter, r *http.Request) {
 	}
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	var posts []social.Post
+	var wire []byte // JSONL body as received, journaled verbatim
 	if isNDJSON(r) {
-		sc := bufio.NewScanner(body)
+		cap := newBodyCapture(body)
+		defer cap.release()
+		sc := bufio.NewScanner(cap)
 		sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
 		line := 0
 		for sc.Scan() {
@@ -481,11 +592,16 @@ func (s *Server) handlePosts(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, "reading NDJSON posts: %v", err)
 			return
 		}
+		wire = cap.bytes()
 	} else if err := json.NewDecoder(body).Decode(&posts); err != nil {
 		writeErr(w, http.StatusBadRequest, "decoding posts: %v", err)
 		return
 	}
-	resp, _ := s.store.AddPostsBatch(r.Header.Get(BatchIDHeader), posts)
+	resp, _, err := s.store.addPostsBatch(r.Header.Get(BatchIDHeader), posts, wire)
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, "persisting posts: %v", err)
+		return
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -560,9 +676,13 @@ func (s *Server) handleEngagement(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	lo := queryFloat(r, "lo", 0)
-	hi := queryFloat(r, "hi", 300)
-	bins := queryInt(r, "bins", 10)
+	f := formOf(r)
+	lo := f.float("lo", 0)
+	hi := f.float("hi", 300)
+	bins := f.int("bins", 10)
+	if f.reject(w) {
+		return
+	}
 	if hi <= lo || bins < 1 || bins > 1000 {
 		writeErr(w, http.StatusBadRequest, "invalid binning lo=%v hi=%v bins=%d", lo, hi, bins)
 		return
@@ -597,8 +717,13 @@ func (s *Server) handleMOS(w http.ResponseWriter, r *http.Request) {
 	if !s.requireMethod(w, r, http.MethodGet) {
 		return
 	}
+	f := formOf(r)
+	bins := f.int("bins", 10)
+	if f.reject(w) {
+		return
+	}
 	rated, total := s.store.RatedSessions()
-	report, err := mosReportRated(rated, queryInt(r, "bins", 10), nil)
+	report, err := mosReportRated(rated, bins, nil)
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
 		return
@@ -642,13 +767,17 @@ func (s *Server) handlePeaks(w http.ResponseWriter, r *http.Request) {
 	if !s.requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	c := s.corpusOr404(w)
-	if c == nil {
+	f := formOf(r)
+	k := f.int("k", 3)
+	if f.reject(w) {
 		return
 	}
-	k := queryInt(r, "k", 3)
 	if k < 1 || k > 50 {
 		writeErr(w, http.StatusBadRequest, "k out of range")
+		return
+	}
+	c := s.corpusOr404(w)
+	if c == nil {
 		return
 	}
 	writeJSON(w, http.StatusOK, AnnotatePeaks(c, s.opts.Analyzer, s.opts.News, k))
@@ -658,12 +787,16 @@ func (s *Server) handleOutages(w http.ResponseWriter, r *http.Request) {
 	if !s.requireMethod(w, r, http.MethodGet) {
 		return
 	}
+	f := formOf(r)
+	threshold := f.int("threshold", 0)
+	if f.reject(w) {
+		return
+	}
 	c := s.corpusOr404(w)
 	if c == nil {
 		return
 	}
 	series := OutageKeywordSeries(c, s.opts.Analyzer, s.opts.OutageDict, true)
-	threshold := queryInt(r, "threshold", 0)
 	if threshold > 0 {
 		writeJSON(w, http.StatusOK, AlertsFromSeries(series, threshold))
 		return
@@ -727,15 +860,19 @@ func (s *Server) handleDeploymentAdvice(w http.ResponseWriter, r *http.Request) 
 	if !s.requireMethod(w, r, http.MethodGet) {
 		return
 	}
+	f := formOf(r)
+	from := timeline.Day(f.int("from", int(timeline.Date(2022, 6, 1))))
+	horizon := timeline.Day(f.int("horizon", int(timeline.Date(2022, 12, 1))))
+	maxExtra := f.int("max", 8)
+	sats := f.int("sats", 50)
+	target := f.float("target", 0)
+	if f.reject(w) {
+		return
+	}
 	if s.opts.Model == nil {
 		writeErr(w, http.StatusNotFound, "no constellation model configured")
 		return
 	}
-	from := timeline.Day(queryInt(r, "from", int(timeline.Date(2022, 6, 1))))
-	horizon := timeline.Day(queryInt(r, "horizon", int(timeline.Date(2022, 12, 1))))
-	maxExtra := queryInt(r, "max", 8)
-	sats := queryInt(r, "sats", 50)
-	target := queryFloat(r, "target", 0)
 	advice, err := AdviseDeployment(s.opts.Model, from, horizon, maxExtra, sats, target)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)

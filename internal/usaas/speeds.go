@@ -256,6 +256,12 @@ func AnalyzeConditioning(ms []MonthSpeed) ConditioningFinding {
 		}
 	}
 	out.SpeedPosCorrelation, _ = stats.Pearson(xs, ys)
+	// Pearson is NaN for degenerate series (under two usable months, or
+	// zero variance). NaN is not representable in JSON and would make the
+	// whole report unencodable, so report "no correlation" instead.
+	if math.IsNaN(out.SpeedPosCorrelation) {
+		out.SpeedPosCorrelation = 0
+	}
 
 	apr21, dec21 := find(2021, 4), find(2021, 12)
 	if apr21 != nil && dec21 != nil &&

@@ -44,17 +44,17 @@ func ingestUnevenly(t *testing.T, s *Store, recs []telemetry.SessionRecord) {
 			continue
 		}
 		id := fmt.Sprintf("uneven-%d", i)
-		if _, dup := s.AddSessionsBatch(id, recs[prev:cut]); dup {
+		if _, dup, _ := s.AddSessionsBatch(id, recs[prev:cut]); dup {
 			t.Fatalf("batch %s unexpectedly duplicate", id)
 		}
 		// Replay every batch once; the dedup layer must drop it before the
 		// views fold, or every accumulator double-counts.
-		if _, dup := s.AddSessionsBatch(id, recs[prev:cut]); !dup {
+		if _, dup, _ := s.AddSessionsBatch(id, recs[prev:cut]); !dup {
 			t.Fatalf("replay of batch %s not detected", id)
 		}
 		prev = cut
 	}
-	if _, dup := s.AddSessionsBatch("uneven-empty", nil); dup {
+	if _, dup, _ := s.AddSessionsBatch("uneven-empty", nil); dup {
 		t.Fatal("empty batch reported duplicate")
 	}
 }
@@ -152,13 +152,13 @@ func TestSpeedsViewByteIdenticalToRecompute(t *testing.T) {
 	store := &Store{}
 	posts := c.Posts
 	half := len(posts) / 2
-	if _, dup := store.AddPostsBatch("sp-1", posts[:half]); dup {
+	if _, dup, _ := store.AddPostsBatch("sp-1", posts[:half]); dup {
 		t.Fatal("first post batch duplicate")
 	}
-	if _, dup := store.AddPostsBatch("sp-1", posts[:half]); !dup {
+	if _, dup, _ := store.AddPostsBatch("sp-1", posts[:half]); !dup {
 		t.Fatal("post replay not detected")
 	}
-	if _, dup := store.AddPostsBatch("sp-2", posts[half:]); dup {
+	if _, dup, _ := store.AddPostsBatch("sp-2", posts[half:]); dup {
 		t.Fatal("second post batch duplicate")
 	}
 
@@ -177,7 +177,7 @@ func TestSpeedsViewByteIdenticalToRecompute(t *testing.T) {
 func TestDuplicateReplayLeavesViewsUnchanged(t *testing.T) {
 	recs := viewSessions(t, 5, 5000)
 	store := &Store{}
-	if _, dup := store.AddSessionsBatch("replay-me", recs); dup {
+	if _, dup, _ := store.AddSessionsBatch("replay-me", recs); dup {
 		t.Fatal("fresh batch reported duplicate")
 	}
 	b := stats.NewBinner(0, 300, 8)
@@ -185,7 +185,7 @@ func TestDuplicateReplayLeavesViewsUnchanged(t *testing.T) {
 	beforeDaily := marshal(t, store.DailyEngagementView())
 	sg1, pg1 := store.Generations()
 
-	resp, dup := store.AddSessionsBatch("replay-me", recs)
+	resp, dup, _ := store.AddSessionsBatch("replay-me", recs)
 	if !dup || !resp.Duplicate {
 		t.Fatalf("replay not detected: %+v dup=%v", resp, dup)
 	}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"usersignals/internal/conference"
+	"usersignals/internal/durable"
 	"usersignals/internal/leo"
 	"usersignals/internal/newswire"
 	"usersignals/internal/nlp"
@@ -234,6 +235,43 @@ type ServiceOptions = usaas.ServerOptions
 // NewService builds a USaaS service (pass nil for a fresh store).
 func NewService(opts ServiceOptions) *Service {
 	return usaas.NewServer(nil, opts)
+}
+
+// ServiceStore is the service's signal repository.
+type ServiceStore = usaas.Store
+
+// NewServiceWithStore builds a USaaS service over an existing store —
+// for example a recovered DurableStore's.
+func NewServiceWithStore(store *ServiceStore, opts ServiceOptions) *Service {
+	return usaas.NewServer(store, opts)
+}
+
+// --- durability ----------------------------------------------------------
+
+// DurableStore is a ServiceStore whose accepted ingest batches are
+// persisted to a write-ahead log with periodic snapshots; opening one
+// recovers the previous state byte-identically (same reports, same
+// idempotency table) before any new ingest is accepted.
+type DurableStore = usaas.DurableStore
+
+// DurabilityOptions configures the log directory, fsync policy, and
+// snapshot cadence.
+type DurabilityOptions = usaas.DurabilityOptions
+
+// FsyncPolicy selects when WAL appends reach stable storage.
+type FsyncPolicy = durable.FsyncPolicy
+
+// Fsync policies: per-batch (safest), background interval, or left to
+// the OS entirely.
+const (
+	FsyncPerBatch = durable.FsyncPerBatch
+	FsyncInterval = durable.FsyncInterval
+	FsyncOff      = durable.FsyncOff
+)
+
+// OpenDurableStore opens (and on restart, recovers) a durable store.
+func OpenDurableStore(opts DurabilityOptions) (*DurableStore, error) {
+	return usaas.OpenDurableStore(opts)
 }
 
 // ServiceClient is the typed HTTP client.
