@@ -71,6 +71,7 @@ type serverConfig struct {
 	fsync          string
 	fsyncInterval  time.Duration
 	snapshotEvery  int
+	columnar       bool
 }
 
 func main() {
@@ -91,6 +92,7 @@ func main() {
 	flag.StringVar(&cfg.fsync, "fsync", "batch", "WAL fsync policy: batch (sync every batch), interval (background cadence), or off")
 	flag.DurationVar(&cfg.fsyncInterval, "fsync-interval", time.Second, "background sync cadence under -fsync=interval")
 	flag.IntVar(&cfg.snapshotEvery, "snapshot-every", 1024, "snapshot after this many logged batches and on shutdown; 0 disables snapshots")
+	flag.BoolVar(&cfg.columnar, "columnar", true, "maintain the columnar session mirror for fast analyses (false = row path only)")
 	flag.Parse()
 	if err := run(cfg, *sessions, *posts); err != nil {
 		fmt.Fprintln(os.Stderr, "usaasd:", err)
@@ -109,10 +111,11 @@ func run(cfg serverConfig, sessionsPath, postsPath string) error {
 			return err
 		}
 		dstore, err = usaas.OpenDurableStore(usaas.DurabilityOptions{
-			Dir:           cfg.dataDir,
-			Fsync:         policy,
-			FsyncInterval: cfg.fsyncInterval,
-			SnapshotEvery: cfg.snapshotEvery,
+			Dir:             cfg.dataDir,
+			Fsync:           policy,
+			FsyncInterval:   cfg.fsyncInterval,
+			SnapshotEvery:   cfg.snapshotEvery,
+			DisableColumnar: !cfg.columnar,
 			Logf: func(format string, args ...any) {
 				fmt.Printf("usaasd: "+format+"\n", args...)
 			},
@@ -136,6 +139,9 @@ func run(cfg serverConfig, sessionsPath, postsPath string) error {
 			snap, rs.ReplayedBatches, rs.Elapsed.Round(time.Millisecond), torn, policy)
 	} else {
 		store = &usaas.Store{}
+		if !cfg.columnar {
+			store.DisableColumnar()
+		}
 	}
 	// Preloads are journaled under a path-derived batch ID, so on a
 	// durable restart the already-recovered dataset is not re-applied.

@@ -1,0 +1,318 @@
+package colstore
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"usersignals/internal/telemetry"
+	"usersignals/internal/timeline"
+)
+
+// testRecord draws a record stressing every column: NaN metrics, negative
+// ratings, pre-epoch starts, repeated and fresh dictionary values.
+func testRecord(rng *rand.Rand) telemetry.SessionRecord {
+	maybeNaN := func(v float64) float64 {
+		if rng.Intn(12) == 0 {
+			return math.NaN()
+		}
+		return v
+	}
+	var start time.Time
+	if rng.Intn(20) == 0 {
+		start = time.Unix(-rng.Int63n(1e6), rng.Int63n(1e9)).UTC()
+	} else {
+		start = time.Unix(1609459200+rng.Int63n(2*365*86400), rng.Int63n(1e9)).UTC()
+	}
+	return telemetry.SessionRecord{
+		CallID:      rng.Uint64(),
+		UserID:      rng.Uint64(),
+		Platform:    []string{"desktop", "mobile", "web"}[rng.Intn(3)],
+		MeetingSize: rng.Intn(16) - 2,
+		Start:       start,
+		DurationSec: rng.Float64() * 3600,
+		Net: telemetry.NetAggregates{
+			LatencyMean: maybeNaN(rng.Float64() * 80), LatencyMedian: rng.Float64() * 70, LatencyP95: rng.Float64() * 200,
+			LossMean: maybeNaN(rng.Float64() * 0.5), LossMedian: rng.Float64() * 0.3, LossP95: rng.Float64() * 2,
+			JitterMean: maybeNaN(rng.Float64() * 10), JitterMedian: rng.Float64() * 8, JitterP95: rng.Float64() * 30,
+			BWMean: maybeNaN(2.5 + rng.Float64()*2), BWMedian: 2 + rng.Float64()*2, BWP95: 3 + rng.Float64()*3,
+		},
+		PresencePct: rng.Float64() * 100,
+		CamOnPct:    rng.Float64() * 100,
+		MicOnPct:    rng.Float64() * 100,
+		LeftEarly:   rng.Intn(3) == 0,
+		Rated:       rng.Intn(5) == 0,
+		Rating:      rng.Intn(7) - 1,
+		Country:     []string{"US", "DE", "IN", "BR"}[rng.Intn(4)],
+		Enterprise:  rng.Intn(2) == 0,
+		ISP:         []string{"starlink", "comcast", "verizon", ""}[rng.Intn(4)],
+	}
+}
+
+// recordsEqual compares records exactly: float fields by bit pattern (NaN ==
+// NaN), Start by instant and location.
+func recordsEqual(a, b *telemetry.SessionRecord) bool {
+	fb := func(x, y float64) bool { return math.Float64bits(x) == math.Float64bits(y) }
+	na, nb := &a.Net, &b.Net
+	return a.CallID == b.CallID && a.UserID == b.UserID &&
+		a.Platform == b.Platform && a.MeetingSize == b.MeetingSize &&
+		a.Start.Equal(b.Start) && a.Start.Location() == b.Start.Location() &&
+		fb(a.DurationSec, b.DurationSec) &&
+		fb(na.LatencyMean, nb.LatencyMean) && fb(na.LatencyMedian, nb.LatencyMedian) && fb(na.LatencyP95, nb.LatencyP95) &&
+		fb(na.LossMean, nb.LossMean) && fb(na.LossMedian, nb.LossMedian) && fb(na.LossP95, nb.LossP95) &&
+		fb(na.JitterMean, nb.JitterMean) && fb(na.JitterMedian, nb.JitterMedian) && fb(na.JitterP95, nb.JitterP95) &&
+		fb(na.BWMean, nb.BWMean) && fb(na.BWMedian, nb.BWMedian) && fb(na.BWP95, nb.BWP95) &&
+		fb(a.PresencePct, b.PresencePct) && fb(a.CamOnPct, b.CamOnPct) && fb(a.MicOnPct, b.MicOnPct) &&
+		a.LeftEarly == b.LeftEarly && a.Rated == b.Rated && a.Rating == b.Rating &&
+		a.Country == b.Country && a.Enterprise == b.Enterprise && a.ISP == b.ISP
+}
+
+func checkRoundTrip(t *testing.T, s *Store, recs []telemetry.SessionRecord) {
+	t.Helper()
+	snap := s.Snapshot()
+	if snap.Len() != len(recs) {
+		t.Fatalf("snapshot len %d, want %d", snap.Len(), len(recs))
+	}
+	got := snap.AppendRecords(nil)
+	for i := range recs {
+		if !recordsEqual(&got[i], &recs[i]) {
+			t.Fatalf("record %d:\n got %+v\nwant %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestRoundTripAndSealing(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var recs []telemetry.SessionRecord
+	s := New()
+	// Ragged batches, including empties.
+	for b := 0; b < 30; b++ {
+		var batch []telemetry.SessionRecord
+		for i := 0; i < rng.Intn(40); i++ {
+			batch = append(batch, testRecord(rng))
+		}
+		if err := s.Append(batch); err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, batch...)
+	}
+	checkRoundTrip(t, s, recs)
+	s.SealTail()
+	checkRoundTrip(t, s, recs)
+
+	st := s.Stats()
+	if st.Records != len(recs) || st.SealedPartitions != st.Partitions {
+		t.Fatalf("stats after SealTail: %+v", st)
+	}
+}
+
+func TestPartitionsAreIngestOrderDayRuns(t *testing.T) {
+	day := func(d timeline.Day) time.Time { return d.Time().Add(12 * time.Hour) }
+	mk := func(d timeline.Day) telemetry.SessionRecord {
+		return telemetry.SessionRecord{Start: day(d), Platform: "p", Country: "US", ISP: "i"}
+	}
+	// Day-ordered bulk ingest: runs past minDayRun cut at each day change
+	// into pure single-day partitions, in order.
+	s := New()
+	var recs []telemetry.SessionRecord
+	for _, d := range []timeline.Day{3, 4, 5} {
+		for i := 0; i < minDayRun+10; i++ {
+			recs = append(recs, mk(d))
+		}
+	}
+	if err := s.Append(recs); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	if len(snap.parts) != 3 {
+		t.Fatalf("partitions = %d, want 3", len(snap.parts))
+	}
+	wantDays := []timeline.Day{3, 4, 5}
+	for i, pt := range snap.parts {
+		if pt.Day() != wantDays[i] || pt.Len() != minDayRun+10 || pt.Mixed() {
+			t.Fatalf("part %d: day %d len %d mixed %v, want pure day %d len %d",
+				i, pt.Day(), pt.Len(), pt.Mixed(), wantDays[i], minDayRun+10)
+		}
+		if i < 2 && !pt.Sealed() {
+			t.Fatalf("part %d not sealed after day transition", i)
+		}
+	}
+	checkRoundTrip(t, s, recs)
+
+	// A short run must NOT cut at a day change — interleaved days coalesce
+	// into one mixed partition instead of shattering per record. Ingest
+	// order is preserved either way (the round trip is the proof).
+	s2 := New()
+	recs2 := []telemetry.SessionRecord{mk(3), mk(3), mk(4), mk(3)}
+	if err := s2.Append(recs2); err != nil {
+		t.Fatal(err)
+	}
+	snap2 := s2.Snapshot()
+	if len(snap2.parts) != 1 {
+		t.Fatalf("interleaved short runs built %d partitions, want 1", len(snap2.parts))
+	}
+	if pt := snap2.parts[0]; !pt.Mixed() || pt.Day() != 3 {
+		t.Fatalf("coalesced partition: mixed %v day %d, want mixed day 3", pt.Mixed(), pt.Day())
+	}
+	checkRoundTrip(t, s2, recs2)
+
+	// And a full partition cuts even mid-day.
+	s3 := New()
+	var recs3 []telemetry.SessionRecord
+	for i := 0; i < maxPartitionRows+1; i++ {
+		recs3 = append(recs3, mk(6))
+	}
+	if err := s3.Append(recs3); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s3.Snapshot().parts); got != 2 {
+		t.Fatalf("oversize day built %d partitions, want 2", got)
+	}
+	checkRoundTrip(t, s3, recs3)
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	sameDay := timeline.Date(2022, 3, 7)
+	mk := func() telemetry.SessionRecord {
+		r := testRecord(rng)
+		r.Start = sameDay.Time().Add(time.Duration(rng.Intn(86400)) * time.Second)
+		return r
+	}
+	s := New()
+	var first []telemetry.SessionRecord
+	for i := 0; i < 100; i++ {
+		first = append(first, mk())
+	}
+	if err := s.Append(first); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	// Keep appending same-day records: the open partition the snapshot
+	// cloned keeps growing underneath.
+	for i := 0; i < 500; i++ {
+		if err := s.Append([]telemetry.SessionRecord{mk()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := snap.AppendRecords(nil)
+	if len(got) != len(first) {
+		t.Fatalf("snapshot grew: %d records, want %d", len(got), len(first))
+	}
+	for i := range first {
+		if !recordsEqual(&got[i], &first[i]) {
+			t.Fatalf("snapshot record %d changed", i)
+		}
+	}
+}
+
+// selectMatchesRowFilter checks Select and Accept against the row filter
+// compiled from the same spec, for every record, on both open and sealed
+// shapes.
+func TestSelectMatchesRowFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var recs []telemetry.SessionRecord
+	s := New()
+	for b := 0; b < 20; b++ {
+		var batch []telemetry.SessionRecord
+		for i := 0; i < rng.Intn(300); i++ {
+			batch = append(batch, testRecord(rng))
+		}
+		if err := s.Append(batch); err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, batch...)
+	}
+
+	bh := timeline.ESTBusinessHours
+	ist := timeline.BusinessHours{Start: 9, End: 17, Offset: 5*time.Hour + 30*time.Minute}
+	specs := []*telemetry.FilterSpec{
+		nil,
+		{},
+		{Enterprise: true},
+		{Country: "US"},
+		{Country: "FR"}, // not in dictionary: matches nothing
+		{ISP: "starlink"},
+		{MinMeetingSize: 3},
+		{BusinessHours: &bh},
+		{BusinessHours: &ist}, // sub-second-incompatible? whole-second: fast path; still exercised
+		{Bands: []telemetry.MetricBand{{Metric: telemetry.LatencyMean, Lo: 0, Hi: 40}}},
+		func() *telemetry.FilterSpec { sp := telemetry.StudyCohortSpec(); return &sp }(),
+		func() *telemetry.FilterSpec {
+			sp := telemetry.StudyCohortSpec()
+			sp.Bands = telemetry.ControlBandsSpec(telemetry.LatencyMean).Bands
+			return &sp
+		}(),
+	}
+
+	check := func(label string) {
+		snap := s.Snapshot()
+		for si, spec := range specs {
+			var rowFilter telemetry.Filter
+			if spec != nil {
+				rowFilter = spec.Filter()
+			}
+			pred, ok := snap.Compile(spec)
+			if !ok {
+				t.Fatalf("%s spec %d: Compile not ok", label, si)
+			}
+			var sel [64]uint64
+			idx := 0
+			snap.Scan(0, snap.Len(), func(pt *Partition, from, to int) {
+				// Random sub-spans exercise from-offsets.
+				for from < to {
+					span := from + 1 + rng.Intn(to-from)
+					if span > to {
+						span = to
+					}
+					pred.Select(pt, from, span, sel[:])
+					for i := from; i < span; i++ {
+						want := rowFilter == nil || rowFilter(&recs[idx])
+						li := i - from
+						got := sel[li>>6]>>(uint(li)&63)&1 == 1
+						if got != want {
+							t.Fatalf("%s spec %d: record %d Select=%v row=%v\n%+v", label, si, idx, got, want, recs[idx])
+						}
+						if acc := pred.Accept(pt, i); acc != want {
+							t.Fatalf("%s spec %d: record %d Accept=%v row=%v", label, si, idx, acc, want)
+						}
+						idx++
+					}
+					from = span
+				}
+			})
+			if idx != len(recs) {
+				t.Fatalf("%s spec %d: scanned %d of %d records", label, si, idx, len(recs))
+			}
+			idx = 0
+		}
+	}
+	check("mixed")
+	s.SealTail()
+	check("all-sealed")
+}
+
+func TestStatsSealedSmallerThanOpen(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	day := timeline.Date(2022, 5, 2)
+	s := New()
+	var batch []telemetry.SessionRecord
+	for i := 0; i < 5000; i++ {
+		r := testRecord(rng)
+		r.Start = day.Time().Add(time.Duration(rng.Intn(86400)) * time.Second)
+		batch = append(batch, r)
+	}
+	if err := s.Append(batch); err != nil {
+		t.Fatal(err)
+	}
+	open := s.Stats()
+	s.SealTail()
+	sealed := s.Stats()
+	if open.OpenBytes == 0 || sealed.SealedBytes == 0 {
+		t.Fatalf("stats: open=%+v sealed=%+v", open, sealed)
+	}
+	if sealed.SealedBytes >= open.OpenBytes {
+		t.Fatalf("sealing did not shrink: open %d bytes, sealed %d bytes", open.OpenBytes, sealed.SealedBytes)
+	}
+}

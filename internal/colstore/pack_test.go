@@ -1,0 +1,115 @@
+package colstore
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randVals(rng *rand.Rand, n int, spread uint) []uint64 {
+	out := make([]uint64, n)
+	base := rng.Uint64()
+	for i := range out {
+		out[i] = base + rng.Uint64()>>(64-spread)
+	}
+	return out
+}
+
+func TestPackDirectRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(200)
+		spread := uint(1 + rng.Intn(63))
+		vals := randVals(rng, n, spread)
+		p := packDirect(vals)
+		for i, v := range vals {
+			if got := p.directAt(i); got != v {
+				t.Fatalf("trial %d: directAt(%d) = %d, want %d (width %d)", trial, i, got, v, p.width)
+			}
+		}
+	}
+	// Constant column packs to zero words.
+	p := packDirect([]uint64{7, 7, 7})
+	if len(p.words) != 0 || p.directAt(1) != 7 {
+		t.Fatalf("constant column: words=%d at(1)=%d", len(p.words), p.directAt(1))
+	}
+}
+
+func TestPackDeltaRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(200)
+		var vals []uint64
+		switch trial % 3 {
+		case 0: // sorted-ish (timestamps)
+			v := rng.Uint64() >> 20
+			for i := 0; i < n; i++ {
+				v += uint64(rng.Intn(1 << 20))
+				vals = append(vals, v)
+			}
+		case 1: // fully random, including wraparound-sized diffs
+			for i := 0; i < n; i++ {
+				vals = append(vals, rng.Uint64())
+			}
+		default: // small range
+			for i := 0; i < n; i++ {
+				vals = append(vals, uint64(rng.Intn(5)))
+			}
+		}
+		p := packDelta(vals)
+		got := p.unpackDelta(nil)
+		if len(got) != len(vals) {
+			t.Fatalf("trial %d: length %d, want %d", trial, len(got), len(vals))
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("trial %d: [%d] = %d, want %d", trial, i, got[i], vals[i])
+			}
+		}
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	for _, d := range []int64{0, 1, -1, 63, -64, 1 << 40, -(1 << 40), 1<<63 - 1, -1 << 63} {
+		if got := unzigzag(zigzag(d)); got != d {
+			t.Fatalf("zigzag round trip %d -> %d", d, got)
+		}
+	}
+}
+
+func TestAndBitsInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 500; trial++ {
+		total := 1 + rng.Intn(400)
+		bl := make([]bool, total)
+		for i := range bl {
+			bl[i] = rng.Intn(2) == 0
+		}
+		src := packBools(bl)
+		from := rng.Intn(total)
+		n := 1 + rng.Intn(total-from)
+		sel := make([]uint64, (n+63)/64)
+		fillOnes(sel, n)
+		// Randomly pre-clear some bits to check AND semantics.
+		pre := make([]bool, n)
+		for i := range pre {
+			pre[i] = rng.Intn(4) > 0
+			if !pre[i] {
+				sel[i>>6] &^= 1 << (uint(i) & 63)
+			}
+		}
+		andBitsInto(sel, src, from, n)
+		for i := 0; i < n; i++ {
+			want := pre[i] && bl[from+i]
+			got := sel[i>>6]>>(uint(i)&63)&1 == 1
+			if got != want {
+				t.Fatalf("trial %d: bit %d (from=%d n=%d) = %v, want %v", trial, i, from, n, got, want)
+			}
+		}
+		// Tail bits beyond n must stay clear.
+		for i := n; i < len(sel)*64; i++ {
+			if sel[i>>6]>>(uint(i)&63)&1 == 1 {
+				t.Fatalf("trial %d: tail bit %d set (n=%d)", trial, i, n)
+			}
+		}
+	}
+}

@@ -1,0 +1,611 @@
+package colstore
+
+import (
+	"math/bits"
+	"time"
+
+	"usersignals/internal/telemetry"
+	"usersignals/internal/timeline"
+)
+
+// Pred is a telemetry.FilterSpec compiled against the mirror's dictionaries:
+// string constraints become code equalities, the enterprise constraint a
+// bitset AND, metric bands direct float-column comparisons, and the
+// business-hours constraint integer arithmetic over the epoch-nanos column.
+// A nil *Pred accepts everything.
+type Pred struct {
+	never      bool // a dictionary lookup failed: nothing can match
+	enterprise bool
+	hasCountry bool
+	country    uint32
+	hasISP     bool
+	isp        uint32
+	minMeeting int
+	bands      []bandPred
+	hasBH      bool
+	bh         timeline.BusinessHours
+	bhSlow     bool // sub-second offset: fall back to civil time
+}
+
+type bandPred struct {
+	col    FloatCol
+	lo, hi float64
+}
+
+// Compile translates a filter spec into a columnar predicate. Returns
+// (nil, true) for a nil spec — an unfiltered sweep. ok is false when a band
+// references a metric with no column (an invalid Metric value), in which
+// case the caller must use the row path; a Country/ISP absent from the
+// dictionaries is not an error but a predicate that matches nothing.
+func (s Snapshot) Compile(spec *telemetry.FilterSpec) (p *Pred, ok bool) {
+	if spec == nil {
+		return nil, true
+	}
+	p = &Pred{enterprise: spec.Enterprise, minMeeting: spec.MinMeetingSize}
+	if spec.Country != "" {
+		c, found := s.store.country.lookup(spec.Country)
+		if !found {
+			p.never = true
+		}
+		p.hasCountry, p.country = true, c
+	}
+	if spec.ISP != "" {
+		c, found := s.store.isp.lookup(spec.ISP)
+		if !found {
+			p.never = true
+		}
+		p.hasISP, p.isp = true, c
+	}
+	for _, b := range spec.Bands {
+		col, found := MetricCol(b.Metric)
+		if !found {
+			return nil, false
+		}
+		p.bands = append(p.bands, bandPred{col: col, lo: b.Lo, hi: b.Hi})
+	}
+	if spec.BusinessHours != nil {
+		p.hasBH = true
+		p.bh = *spec.BusinessHours
+		p.bhSlow = p.bh.Offset%time.Second != 0
+	}
+	if len(p.bands) > 1 {
+		s.orderBands(p)
+	}
+	return p, true
+}
+
+// bandProbe is how many leading records orderBands samples per band.
+const bandProbe = 256
+
+// orderBands sorts the predicate's bands most-selective-first, estimated by
+// evaluating each band independently over a short prefix of the snapshot.
+// Band selectivity is unknowable at compile time — it depends on the data —
+// and evaluation cost hinges on it: the first band runs dense over every
+// surviving word, while a selective front band thins the set so the rest
+// drop to sparse bit-iteration. Order cannot change the result (the filter
+// is a pure conjunction), only the cost.
+func (s Snapshot) orderBands(p *Pred) {
+	probeN := s.Len()
+	if probeN > bandProbe {
+		probeN = bandProbe
+	}
+	if probeN == 0 {
+		return
+	}
+	counts := make([]int, len(p.bands))
+	s.Scan(0, probeN, func(pt *Partition, from, to int) {
+		for i := range p.bands {
+			bd := &p.bands[i]
+			for _, x := range pt.Floats(bd.col)[from:to] {
+				if !(x < bd.lo || x > bd.hi) {
+					counts[i]++
+				}
+			}
+		}
+	})
+	// Stable insertion sort ascending by probe pass count.
+	for i := 1; i < len(p.bands); i++ {
+		for j := i; j > 0 && counts[j] < counts[j-1]; j-- {
+			counts[j], counts[j-1] = counts[j-1], counts[j]
+			p.bands[j], p.bands[j-1] = p.bands[j-1], p.bands[j]
+		}
+	}
+}
+
+// denseCut is the per-word survivor count above which a clause kernel
+// evaluates all 64 lanes branchlessly instead of iterating set bits. Dense
+// evaluation streams the column (the prefetcher hides memory latency) and
+// emits no data-dependent branches; sparse bit-iteration wins only once
+// the surviving set is thin.
+const denseCut = 16
+
+// Select computes the predicate's selection bitset over partition-local
+// records [from, to): bit i of sel corresponds to record from+i. sel must
+// have at least (to-from+63)/64 words; the tail bits of the last word are
+// cleared.
+//
+// Clause order is chosen by evaluation cost, not spec order (the filter is
+// a pure conjunction, so order cannot change the result). The enterprise
+// clause goes first because it is word-at-a-time ANDs. Float bands go next:
+// their dense kernels are branchless compare-streams, the cheapest way to
+// thin a wide survivor set. The dictionary-code and meeting-size clauses
+// pay a bit-field extraction per record on sealed partitions, so they run
+// over the band-thinned set; business hours, the dearest per record, runs
+// last.
+func (p *Pred) Select(pt *Partition, from, to int, sel []uint64) {
+	n := to - from
+	sel = sel[:(n+63)>>6]
+	if p != nil && p.never {
+		for k := range sel {
+			sel[k] = 0
+		}
+		return
+	}
+	fillOnes(sel, n)
+	if p == nil {
+		return
+	}
+	if p.enterprise {
+		pt.andBool(BEnterprise, sel, from, n)
+	}
+	if len(p.bands) > 0 {
+		// Band-led spec: the front band (most selective, per orderBands)
+		// runs as a dense kernel; everything left is one fused sparse
+		// pass over its survivors, so the selection words are walked
+		// once more, not once per clause.
+		bd := &p.bands[0]
+		refineBand(sel, pt.Floats(bd.col), from, n, bd.lo, bd.hi)
+		p.refineRest(pt, from, sel)
+		return
+	}
+	if p.hasCountry {
+		if pt.seal != nil {
+			refinePackedEq(sel, &pt.seal.country, from, n, uint64(p.country))
+		} else {
+			refineEq(sel, pt.open.country, from, n, uint16(p.country))
+		}
+	}
+	if p.hasISP {
+		if pt.seal != nil {
+			refinePackedEq(sel, &pt.seal.isp, from, n, uint64(p.isp))
+		} else {
+			refineEq(sel, pt.open.isp, from, n, p.isp)
+		}
+	}
+	if p.minMeeting > 0 {
+		if pt.seal != nil {
+			refinePackedGe(sel, &pt.seal.meeting, from, n, int64(p.minMeeting))
+		} else {
+			refineGe(sel, pt.open.meeting, from, n, int64(p.minMeeting))
+		}
+	}
+	if p.hasBH {
+		p.refineBH(pt, from, sel)
+	}
+}
+
+// b2u converts a comparison result to 0 or 1; the compiler lowers it to a
+// flag-set instruction, so dense kernels built on it carry no
+// data-dependent branches.
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// bandCol is a band resolved against one partition's float columns.
+type bandCol struct {
+	xs     []float64
+	lo, hi float64
+}
+
+// maxInlineBands bounds the stack-resident band array in refineRest;
+// larger specs spill the slice to the heap.
+const maxInlineBands = 8
+
+// refineRest applies every clause after the leading band in one fused
+// sparse pass: per surviving bit, an early-exit conjunction of the
+// remaining bands, the dictionary-code and meeting-size clauses, and
+// business hours, with the column bases hoisted into locals.
+func (p *Pred) refineRest(pt *Partition, from int, sel []uint64) {
+	rest := p.bands[1:]
+	if len(rest) == 0 && !p.hasCountry && !p.hasISP && p.minMeeting <= 0 && !p.hasBH {
+		return
+	}
+	var bandArr [maxInlineBands]bandCol
+	bands := bandArr[:0]
+	if len(rest) > maxInlineBands {
+		bands = make([]bandCol, 0, len(rest))
+	}
+	for i := range rest {
+		bands = append(bands, bandCol{xs: pt.Floats(rest[i].col), lo: rest[i].lo, hi: rest[i].hi})
+	}
+	if pt.seal != nil {
+		p.refineRestSealed(pt.seal, from, sel, bands)
+	} else {
+		p.refineRestOpen(pt.open, from, sel, bands)
+	}
+}
+
+// refineRestOpen is refineRest over an open partition's plain slices.
+func (p *Pred) refineRestOpen(oc *openCols, from int, sel []uint64, bands []bandCol) {
+	country, isp := oc.country, oc.isp
+	meeting, startNS := oc.meeting, oc.startNS
+	wantC, wantI := uint16(p.country), p.isp
+	hasC, hasI := p.hasCountry, p.hasISP
+	minMS := int64(p.minMeeting)
+	hasBH, bhSlow, bh := p.hasBH, p.bhSlow, p.bh
+	for k := range sel {
+		w := sel[k]
+		if w == 0 {
+			continue
+		}
+		base := from + k<<6
+		for m := w; m != 0; m &= m - 1 {
+			b := uint(trailing(m))
+			i := base + int(b)
+			if !passBands(bands, i) {
+				w &^= 1 << b
+				continue
+			}
+			if hasC && country[i] != wantC {
+				w &^= 1 << b
+				continue
+			}
+			if hasI && isp[i] != wantI {
+				w &^= 1 << b
+				continue
+			}
+			if minMS > 0 && meeting[i] < minMS {
+				w &^= 1 << b
+				continue
+			}
+			if hasBH && !passBH(bh, bhSlow, startNS[i]) {
+				w &^= 1 << b
+			}
+		}
+		sel[k] = w
+	}
+}
+
+// refineRestSealed is refineRestOpen over bit-packed columns. The
+// dictionary-code clauses first check the partition's packed value range: a
+// target outside it cannot match any record, so the whole selection zeroes
+// without touching a field.
+func (p *Pred) refineRestSealed(sc *sealedCols, from int, sel []uint64, bands []bandCol) {
+	hasC, hasI := p.hasCountry, p.hasISP
+	var cf, ifld uint64
+	if hasC {
+		c := &sc.country
+		want := uint64(p.country)
+		if want < c.base || want > c.base+c.mask {
+			for k := range sel {
+				sel[k] = 0
+			}
+			return
+		}
+		cf = want - c.base
+	}
+	if hasI {
+		c := &sc.isp
+		want := uint64(p.isp)
+		if want < c.base || want > c.base+c.mask {
+			for k := range sel {
+				sel[k] = 0
+			}
+			return
+		}
+		ifld = want - c.base
+	}
+	countryC, ispC := &sc.country, &sc.isp
+	meetingC, startC := &sc.meeting, &sc.startNS
+	minMS := p.minMeeting
+	hasBH, bhSlow, bh := p.hasBH, p.bhSlow, p.bh
+	for k := range sel {
+		w := sel[k]
+		if w == 0 {
+			continue
+		}
+		base := from + k<<6
+		for m := w; m != 0; m &= m - 1 {
+			b := uint(trailing(m))
+			i := base + int(b)
+			if !passBands(bands, i) {
+				w &^= 1 << b
+				continue
+			}
+			if hasC && countryC.at(i) != cf {
+				w &^= 1 << b
+				continue
+			}
+			if hasI && ispC.at(i) != ifld {
+				w &^= 1 << b
+				continue
+			}
+			if minMS > 0 && int(unzigzag(meetingC.directAt(i))) < minMS {
+				w &^= 1 << b
+				continue
+			}
+			if hasBH && !passBH(bh, bhSlow, unzigzag(startC.directAt(i))) {
+				w &^= 1 << b
+			}
+		}
+		sel[k] = w
+	}
+}
+
+// passBands reports whether record i is inside every band. NaN fails both
+// comparisons and passes, matching the row filter.
+func passBands(bands []bandCol, i int) bool {
+	for j := range bands {
+		x := bands[j].xs[i]
+		if x < bands[j].lo || x > bands[j].hi {
+			return false
+		}
+	}
+	return true
+}
+
+// refineBand keeps records with lo <= x <= hi. NaN fails both strict
+// comparisons and therefore passes, matching the row filter.
+func refineBand(sel []uint64, xs []float64, from, n int, lo, hi float64) {
+	for k := range sel {
+		w := sel[k]
+		if w == 0 {
+			continue
+		}
+		base := from + k<<6
+		if bits.OnesCount64(w) >= denseCut {
+			lim := n - k<<6
+			if lim > 64 {
+				lim = 64
+			}
+			seg := xs[base : base+lim]
+			var m uint64
+			j := 0
+			// Unrolled 8 wide: the lane masks combine through constant
+			// shifts in two independent halves, so only one variable
+			// shift and one accumulate per group reach the loop-carried
+			// chain.
+			for ; j+8 <= len(seg); j += 8 {
+				x0, x1, x2, x3 := seg[j], seg[j+1], seg[j+2], seg[j+3]
+				x4, x5, x6, x7 := seg[j+4], seg[j+5], seg[j+6], seg[j+7]
+				g := b2u(!(x0 < lo)) & b2u(!(x0 > hi))
+				g |= (b2u(!(x1 < lo)) & b2u(!(x1 > hi))) << 1
+				g |= (b2u(!(x2 < lo)) & b2u(!(x2 > hi))) << 2
+				g |= (b2u(!(x3 < lo)) & b2u(!(x3 > hi))) << 3
+				h := b2u(!(x4 < lo)) & b2u(!(x4 > hi))
+				h |= (b2u(!(x5 < lo)) & b2u(!(x5 > hi))) << 1
+				h |= (b2u(!(x6 < lo)) & b2u(!(x6 > hi))) << 2
+				h |= (b2u(!(x7 < lo)) & b2u(!(x7 > hi))) << 3
+				m |= (g | h<<4) << uint(j)
+			}
+			for ; j < len(seg); j++ {
+				x := seg[j]
+				m |= (b2u(!(x < lo)) & b2u(!(x > hi))) << uint(j)
+			}
+			w &= m
+		} else {
+			for m := w; m != 0; m &= m - 1 {
+				b := uint(trailing(m))
+				x := xs[base+int(b)]
+				if x < lo || x > hi {
+					w &^= 1 << b
+				}
+			}
+		}
+		sel[k] = w
+	}
+}
+
+// refineEq keeps records whose open-partition code equals want.
+func refineEq[T uint16 | uint32](sel []uint64, codes []T, from, n int, want T) {
+	for k := range sel {
+		w := sel[k]
+		if w == 0 {
+			continue
+		}
+		base := from + k<<6
+		if bits.OnesCount64(w) >= denseCut {
+			lim := n - k<<6
+			if lim > 64 {
+				lim = 64
+			}
+			var m uint64
+			for j := 0; j < lim; j++ {
+				m |= b2u(codes[base+j] == want) << uint(j)
+			}
+			w &= m
+		} else {
+			for m := w; m != 0; m &= m - 1 {
+				b := uint(trailing(m))
+				if codes[base+int(b)] != want {
+					w &^= 1 << b
+				}
+			}
+		}
+		sel[k] = w
+	}
+}
+
+// refinePackedEq is refineEq over a sealed, bit-packed code column. A
+// target outside the partition's packed value range cannot match any
+// record, so the whole selection zeroes without touching a field.
+func refinePackedEq(sel []uint64, c *packed, from, n int, want uint64) {
+	if want < c.base || want > c.base+c.mask {
+		for k := range sel {
+			sel[k] = 0
+		}
+		return
+	}
+	field := want - c.base
+	for k := range sel {
+		w := sel[k]
+		if w == 0 {
+			continue
+		}
+		base := from + k<<6
+		if bits.OnesCount64(w) >= denseCut {
+			lim := n - k<<6
+			if lim > 64 {
+				lim = 64
+			}
+			var m uint64
+			for j := 0; j < lim; j++ {
+				m |= b2u(c.at(base+j) == field) << uint(j)
+			}
+			w &= m
+		} else {
+			for m := w; m != 0; m &= m - 1 {
+				b := uint(trailing(m))
+				if c.at(base+int(b)) != field {
+					w &^= 1 << b
+				}
+			}
+		}
+		sel[k] = w
+	}
+}
+
+// refineGe keeps records whose open-partition value is at least min.
+func refineGe(sel []uint64, vals []int64, from, n int, min int64) {
+	for k := range sel {
+		w := sel[k]
+		if w == 0 {
+			continue
+		}
+		base := from + k<<6
+		if bits.OnesCount64(w) >= denseCut {
+			lim := n - k<<6
+			if lim > 64 {
+				lim = 64
+			}
+			var m uint64
+			for j := 0; j < lim; j++ {
+				m |= b2u(vals[base+j] >= min) << uint(j)
+			}
+			w &= m
+		} else {
+			for m := w; m != 0; m &= m - 1 {
+				b := uint(trailing(m))
+				if vals[base+int(b)] < min {
+					w &^= 1 << b
+				}
+			}
+		}
+		sel[k] = w
+	}
+}
+
+// refinePackedGe is refineGe over a sealed zigzag-transformed column.
+func refinePackedGe(sel []uint64, c *packed, from, n int, min int64) {
+	for k := range sel {
+		w := sel[k]
+		if w == 0 {
+			continue
+		}
+		base := from + k<<6
+		if bits.OnesCount64(w) >= denseCut {
+			lim := n - k<<6
+			if lim > 64 {
+				lim = 64
+			}
+			var m uint64
+			for j := 0; j < lim; j++ {
+				m |= b2u(unzigzag(c.directAt(base+j)) >= min) << uint(j)
+			}
+			w &= m
+		} else {
+			for m := w; m != 0; m &= m - 1 {
+				b := uint(trailing(m))
+				if unzigzag(c.directAt(base+int(b))) < min {
+					w &^= 1 << b
+				}
+			}
+		}
+		sel[k] = w
+	}
+}
+
+// refineBH keeps records whose start falls inside business hours. Always
+// sparse: it runs last over the thinnest set, and its per-record cost
+// dwarfs the iteration overhead. The column access is resolved to the
+// partition shape once, outside the loop.
+func (p *Pred) refineBH(pt *Partition, from int, sel []uint64) {
+	var startC *packed
+	var startNS []int64
+	if pt.seal != nil {
+		startC = &pt.seal.startNS
+	} else {
+		startNS = pt.open.startNS
+	}
+	for k := range sel {
+		w := sel[k]
+		if w == 0 {
+			continue
+		}
+		base := from + k<<6
+		for m := w; m != 0; m &= m - 1 {
+			b := uint(trailing(m))
+			var ns int64
+			if startC != nil {
+				ns = unzigzag(startC.directAt(base + int(b)))
+			} else {
+				ns = startNS[base+int(b)]
+			}
+			if !passBH(p.bh, p.bhSlow, ns) {
+				w &^= 1 << b
+			}
+		}
+		sel[k] = w
+	}
+}
+
+// passBH reports whether the epoch-nanos start falls inside business hours.
+func passBH(bh timeline.BusinessHours, slow bool, ns int64) bool {
+	if slow {
+		return bh.Contains(time.Unix(0, ns).UTC())
+	}
+	sec := ns / 1e9
+	if ns%1e9 < 0 {
+		sec--
+	}
+	return bh.ContainsUnix(sec)
+}
+
+// Accept evaluates the predicate for one record — the sequential path used
+// by the view catch-up fold. Matches Select bit-for-bit.
+func (p *Pred) Accept(pt *Partition, i int) bool {
+	if p == nil {
+		return true
+	}
+	if p.never {
+		return false
+	}
+	if p.enterprise && !pt.boolAt(BEnterprise, i) {
+		return false
+	}
+	if p.hasCountry && pt.countryCode(i) != p.country {
+		return false
+	}
+	if p.hasISP && pt.ispCode(i) != p.isp {
+		return false
+	}
+	if p.minMeeting > 0 && pt.MeetingSize(i) < p.minMeeting {
+		return false
+	}
+	for j := range p.bands {
+		bd := &p.bands[j]
+		x := pt.Floats(bd.col)[i]
+		if x < bd.lo || x > bd.hi {
+			return false
+		}
+	}
+	if p.hasBH {
+		if !passBH(p.bh, p.bhSlow, pt.StartNanos(i)) {
+			return false
+		}
+	}
+	return true
+}

@@ -164,7 +164,7 @@ type SessionRecord struct {
 
 // OnISP filters sessions by access provider.
 func OnISP(isp string) Filter {
-	return func(r *SessionRecord) bool { return r.ISP == isp }
+	return OnISPSpec(isp).Filter()
 }
 
 // EngagementOf extracts an engagement value from the record.
@@ -199,13 +199,7 @@ func And(fs ...Filter) Filter {
 // StudyCohort is the §3.1 dataset filter: enterprise calls during business
 // hours (9 AM–8 PM EST) on weekdays with 3+ participants, all in the US.
 func StudyCohort() Filter {
-	bh := businessHours
-	return func(r *SessionRecord) bool {
-		return r.Enterprise &&
-			r.Country == "US" &&
-			r.MeetingSize >= 3 &&
-			bh.Contains(r.Start)
-	}
+	return StudyCohortSpec().Filter()
 }
 
 // AllControlBands holds every network metric inside the §3.2 bands: the
@@ -218,20 +212,5 @@ func AllControlBands() Filter {
 // bands (latency 0–40 ms, loss 0–0.2%, jitter 0–5 ms, bandwidth 3–4 Mbps),
 // leaving the varied metric free. Use it to isolate one dose-response axis.
 func ControlBands(vary Metric) Filter {
-	return func(r *SessionRecord) bool {
-		a := r.Net
-		if vary != LatencyMean && (a.LatencyMean < 0 || a.LatencyMean > 40) {
-			return false
-		}
-		if vary != LossMean && (a.LossMean < 0 || a.LossMean > 0.2) {
-			return false
-		}
-		if vary != JitterMean && (a.JitterMean < 0 || a.JitterMean > 5) {
-			return false
-		}
-		if vary != BandwidthMean && (a.BWMean < 3 || a.BWMean > 4) {
-			return false
-		}
-		return true
-	}
+	return ControlBandsSpec(vary).Filter()
 }

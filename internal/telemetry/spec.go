@@ -1,0 +1,156 @@
+package telemetry
+
+import (
+	"usersignals/internal/timeline"
+)
+
+// This file is the declarative side of the cohort filters. The original
+// constructors (StudyCohort, ControlBands, OnISP) returned opaque
+// func-per-row closures, which a columnar scan cannot introspect; they now
+// delegate to FilterSpec, a small conjunctive description that compiles two
+// ways: Filter() produces the row predicate (same accept set as before), and
+// colstore compiles the same spec into a per-partition predicate over
+// dictionary codes and bitsets.
+
+// Accessor returns a direct field accessor for the metric, resolving the
+// switch in Of once instead of per record. Sweeps hoist this out of their
+// inner loops.
+func (m Metric) Accessor() func(*NetAggregates) float64 {
+	if m < 0 || int(m) >= len(metricAccessors) {
+		return zeroNet
+	}
+	return metricAccessors[m]
+}
+
+func zeroNet(*NetAggregates) float64 { return 0 }
+
+var metricAccessors = [...]func(*NetAggregates) float64{
+	LatencyMean:   func(a *NetAggregates) float64 { return a.LatencyMean },
+	LossMean:      func(a *NetAggregates) float64 { return a.LossMean },
+	JitterMean:    func(a *NetAggregates) float64 { return a.JitterMean },
+	BandwidthMean: func(a *NetAggregates) float64 { return a.BWMean },
+	LatencyP95:    func(a *NetAggregates) float64 { return a.LatencyP95 },
+	LossP95:       func(a *NetAggregates) float64 { return a.LossP95 },
+	JitterP95:     func(a *NetAggregates) float64 { return a.JitterP95 },
+	BandwidthP95:  func(a *NetAggregates) float64 { return a.BWP95 },
+}
+
+// Accessor returns a direct field accessor for the engagement metric,
+// resolving the EngagementOf switch once per sweep.
+func (e Engagement) Accessor() func(*SessionRecord) float64 {
+	if e < 0 || int(e) >= len(engagementAccessors) {
+		return zeroRec
+	}
+	return engagementAccessors[e]
+}
+
+func zeroRec(*SessionRecord) float64 { return 0 }
+
+var engagementAccessors = [...]func(*SessionRecord) float64{
+	Presence: func(r *SessionRecord) float64 { return r.PresencePct },
+	CamOn:    func(r *SessionRecord) float64 { return r.CamOnPct },
+	MicOn:    func(r *SessionRecord) float64 { return r.MicOnPct },
+}
+
+// MetricBand constrains one network metric to [Lo, Hi]. A record is rejected
+// when the value compares outside the band (x < Lo || x > Hi); NaN compares
+// false on both sides and therefore passes, preserving the historical
+// ControlBands behavior.
+type MetricBand struct {
+	Metric Metric
+	Lo, Hi float64
+}
+
+// FilterSpec describes a conjunctive session filter declaratively. The zero
+// value accepts everything. Every constraint that is "on" must hold:
+//   - Enterprise: record must be an enterprise session
+//   - Country / ISP: exact match when non-empty
+//   - MinMeetingSize: MeetingSize >= the bound, when > 0
+//   - BusinessHours: Start must fall inside the window, when non-nil
+//   - Bands: every MetricBand must hold
+type FilterSpec struct {
+	Enterprise     bool
+	Country        string
+	ISP            string
+	MinMeetingSize int
+	BusinessHours  *timeline.BusinessHours
+	Bands          []MetricBand
+}
+
+// Filter compiles the spec into the row predicate. All per-filter work —
+// accessor resolution, business-hours copy — happens here, once, not per
+// record.
+func (s FilterSpec) Filter() Filter {
+	bands := append([]MetricBand(nil), s.Bands...)
+	accs := make([]func(*NetAggregates) float64, len(bands))
+	for i, b := range bands {
+		accs[i] = b.Metric.Accessor()
+	}
+	var bh timeline.BusinessHours
+	hasBH := s.BusinessHours != nil
+	if hasBH {
+		bh = *s.BusinessHours
+	}
+	ent, country, isp, minMS := s.Enterprise, s.Country, s.ISP, s.MinMeetingSize
+	return func(r *SessionRecord) bool {
+		if ent && !r.Enterprise {
+			return false
+		}
+		if country != "" && r.Country != country {
+			return false
+		}
+		if isp != "" && r.ISP != isp {
+			return false
+		}
+		if minMS > 0 && r.MeetingSize < minMS {
+			return false
+		}
+		if hasBH && !bh.Contains(r.Start) {
+			return false
+		}
+		for i := range bands {
+			x := accs[i](&r.Net)
+			if x < bands[i].Lo || x > bands[i].Hi {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// StudyCohortSpec is the declarative form of the §3.1 dataset filter:
+// enterprise calls during business hours (9 AM–8 PM EST) on weekdays with
+// 3+ participants, all in the US.
+func StudyCohortSpec() FilterSpec {
+	bh := businessHours
+	return FilterSpec{
+		Enterprise:     true,
+		Country:        "US",
+		MinMeetingSize: 3,
+		BusinessHours:  &bh,
+	}
+}
+
+// ControlBandsSpec is the declarative form of the §3.2 confounder bands
+// (latency 0–40 ms, loss 0–0.2%, jitter 0–5 ms, bandwidth 3–4 Mbps), with
+// `vary` left free. Pass Metric(-1) to exempt nothing.
+func ControlBandsSpec(vary Metric) FilterSpec {
+	var s FilterSpec
+	all := []MetricBand{
+		{Metric: LatencyMean, Lo: 0, Hi: 40},
+		{Metric: LossMean, Lo: 0, Hi: 0.2},
+		{Metric: JitterMean, Lo: 0, Hi: 5},
+		{Metric: BandwidthMean, Lo: 3, Hi: 4},
+	}
+	for _, b := range all {
+		if b.Metric != vary {
+			s.Bands = append(s.Bands, b)
+		}
+	}
+	return s
+}
+
+// OnISPSpec is the declarative form of the access-provider filter.
+func OnISPSpec(isp string) FilterSpec {
+	return FilterSpec{ISP: isp}
+}

@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// specTestRecord draws a record whose fields stress every filter clause,
+// including NaN metrics (which must pass bands) and out-of-hours starts.
+func specTestRecord(rng *rand.Rand) SessionRecord {
+	countries := []string{"US", "DE", "IN"}
+	isps := []string{"starlink", "comcast", ""}
+	maybeNaN := func(v float64) float64 {
+		if rng.Intn(10) == 0 {
+			return math.NaN()
+		}
+		return v
+	}
+	return SessionRecord{
+		CallID:      rng.Uint64(),
+		UserID:      rng.Uint64(),
+		Platform:    []string{"desktop", "mobile", "web"}[rng.Intn(3)],
+		MeetingSize: rng.Intn(12) - 1,
+		Start:       time.Unix(1609459200+rng.Int63n(2*365*86400), rng.Int63n(1e9)).UTC(),
+		Net: NetAggregates{
+			LatencyMean: maybeNaN(rng.Float64() * 80),
+			LossMean:    maybeNaN(rng.Float64() * 0.5),
+			JitterMean:  maybeNaN(rng.Float64() * 10),
+			BWMean:      maybeNaN(2.5 + rng.Float64()*2),
+		},
+		PresencePct: rng.Float64() * 100,
+		Country:     countries[rng.Intn(len(countries))],
+		Enterprise:  rng.Intn(2) == 0,
+		ISP:         isps[rng.Intn(len(isps))],
+	}
+}
+
+// legacyStudyCohort / legacyControlBands are the pre-spec closure bodies,
+// kept as the reference the delegating constructors must match.
+func legacyStudyCohort() Filter {
+	bh := businessHours
+	return func(r *SessionRecord) bool {
+		return r.Enterprise &&
+			r.Country == "US" &&
+			r.MeetingSize >= 3 &&
+			bh.Contains(r.Start)
+	}
+}
+
+func legacyControlBands(vary Metric) Filter {
+	return func(r *SessionRecord) bool {
+		a := r.Net
+		if vary != LatencyMean && (a.LatencyMean < 0 || a.LatencyMean > 40) {
+			return false
+		}
+		if vary != LossMean && (a.LossMean < 0 || a.LossMean > 0.2) {
+			return false
+		}
+		if vary != JitterMean && (a.JitterMean < 0 || a.JitterMean > 5) {
+			return false
+		}
+		if vary != BandwidthMean && (a.BWMean < 3 || a.BWMean > 4) {
+			return false
+		}
+		return true
+	}
+}
+
+func TestSpecFiltersMatchLegacy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	varies := []Metric{Metric(-1), LatencyMean, LossMean, JitterMean, BandwidthMean}
+	type pair struct {
+		name        string
+		legacy, now Filter
+	}
+	pairs := []pair{
+		{"study-cohort", legacyStudyCohort(), StudyCohort()},
+		{"on-isp", func(r *SessionRecord) bool { return r.ISP == "starlink" }, OnISP("starlink")},
+	}
+	for _, v := range varies {
+		pairs = append(pairs, pair{"control-bands", legacyControlBands(v), ControlBands(v)})
+	}
+	for i := 0; i < 20000; i++ {
+		r := specTestRecord(rng)
+		for _, p := range pairs {
+			if p.legacy(&r) != p.now(&r) {
+				t.Fatalf("%s diverges on %+v", p.name, r)
+			}
+		}
+	}
+}
+
+func TestAccessorsMatchSwitch(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	metrics := []Metric{LatencyMean, LossMean, JitterMean, BandwidthMean,
+		LatencyP95, LossP95, JitterP95, BandwidthP95, Metric(99)}
+	engs := []Engagement{Presence, CamOn, MicOn, Engagement(99)}
+	for i := 0; i < 1000; i++ {
+		r := specTestRecord(rng)
+		for _, m := range metrics {
+			got, want := m.Accessor()(&r.Net), m.Of(r.Net)
+			if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+				t.Fatalf("metric %v accessor = %v, Of = %v", m, got, want)
+			}
+		}
+		for _, e := range engs {
+			if got, want := e.Accessor()(&r), r.EngagementOf(e); got != want {
+				t.Fatalf("engagement %v accessor = %v, EngagementOf = %v", e, got, want)
+			}
+		}
+	}
+}
+
+func TestMinMeetingSizeZeroAcceptsNegative(t *testing.T) {
+	// A zero MinMeetingSize must not constrain the field at all, even for
+	// malformed negative sizes — the legacy OnISP filter never looked at it.
+	r := SessionRecord{MeetingSize: -5, ISP: "x"}
+	if !(FilterSpec{ISP: "x"}).Filter()(&r) {
+		t.Fatal("zero MinMeetingSize rejected a negative meeting size")
+	}
+}

@@ -146,6 +146,11 @@ var ESTBusinessHours = BusinessHours{Start: 9, End: 20, Offset: -5 * time.Hour}
 // Contains reports whether the instant falls inside business hours on a
 // weekday in the configured zone.
 func (b BusinessHours) Contains(t time.Time) bool {
+	if b.Offset%time.Second == 0 {
+		return b.ContainsUnix(t.Unix())
+	}
+	// Sub-second offsets can move an instant across an hour boundary in a
+	// way second-resolution arithmetic cannot see; take the civil-time path.
 	local := t.UTC().Add(b.Offset)
 	wd := local.Weekday()
 	if wd == time.Saturday || wd == time.Sunday {
@@ -153,6 +158,44 @@ func (b BusinessHours) Contains(t time.Time) bool {
 	}
 	h := local.Hour()
 	return h >= b.Start && h < b.End
+}
+
+// ContainsUnix is Contains over a Unix-seconds timestamp, using pure integer
+// arithmetic: no time.Time construction, no civil-calendar breakdown. Filters
+// that test business hours per record (telemetry.StudyCohort, the columnar
+// predicates) call this in their inner loop. Requires a whole-second Offset
+// (Contains falls back to civil time otherwise). The hour-of-day test ignores
+// sub-second parts by definition, so truncating to seconds is exact.
+func (b BusinessHours) ContainsUnix(sec int64) bool {
+	local := sec + int64(b.Offset/time.Second)
+	days := floorDiv(local, 86400)
+	// The Unix epoch (1970-01-01) was a Thursday; with Sunday=0 that is
+	// weekday 4, matching time.Weekday's numbering.
+	wd := floorMod(days+4, 7)
+	if wd == 0 || wd == 6 {
+		return false
+	}
+	h := int(floorMod(local, 86400) / 3600)
+	return h >= b.Start && h < b.End
+}
+
+// floorDiv is floored (not truncated) integer division, correct for negative
+// numerators: floorDiv(-1, 86400) = -1.
+func floorDiv(a, n int64) int64 {
+	q := a / n
+	if a%n < 0 {
+		q--
+	}
+	return q
+}
+
+// floorMod is the non-negative remainder paired with floorDiv.
+func floorMod(a, n int64) int64 {
+	m := a % n
+	if m < 0 {
+		m += n
+	}
+	return m
 }
 
 // RandomInstant is the signature used by generators to place events inside a

@@ -175,3 +175,64 @@ func TestWeekPartitionProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// containsCivil is the pre-optimization BusinessHours.Contains body, kept as
+// the reference implementation for the integer fast path.
+func containsCivil(b BusinessHours, t time.Time) bool {
+	local := t.UTC().Add(b.Offset)
+	wd := local.Weekday()
+	if wd == time.Saturday || wd == time.Sunday {
+		return false
+	}
+	h := local.Hour()
+	return h >= b.Start && h < b.End
+}
+
+func TestContainsUnixMatchesCivil(t *testing.T) {
+	hours := []BusinessHours{
+		ESTBusinessHours,
+		{Start: 0, End: 24, Offset: 0},
+		{Start: 9, End: 17, Offset: 5*time.Hour + 30*time.Minute}, // IST
+		{Start: 8, End: 18, Offset: -11 * time.Hour},
+		{Start: 23, End: 24, Offset: 14 * time.Hour},
+	}
+	f := func(sec int64, nano int32, pick uint8) bool {
+		sec %= 4e10 // keep instants within a few centuries of the epoch
+		b := hours[int(pick)%len(hours)]
+		ns := int64(nano) % 1e9
+		if ns < 0 {
+			ns += 1e9
+		}
+		instant := time.Unix(sec, ns).UTC()
+		return b.Contains(instant) == containsCivil(b, instant)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContainsUnixKnownInstants(t *testing.T) {
+	b := ESTBusinessHours
+	cases := []struct {
+		when string
+		want bool
+	}{
+		{"2022-01-03T14:00:00Z", true},  // Monday 9 AM EST
+		{"2022-01-03T13:59:59Z", false}, // one second before opening
+		{"2022-01-04T00:59:59Z", true},  // Monday 7:59 PM EST
+		{"2022-01-04T01:00:00Z", false}, // Monday 8 PM EST: closed
+		{"2022-01-08T16:00:00Z", false}, // Saturday
+		{"2022-01-09T16:00:00Z", false}, // Sunday
+		{"1969-12-31T20:00:00Z", true},  // Wednesday 3 PM EST, pre-epoch
+		{"1970-01-04T16:00:00Z", false}, // first post-epoch Sunday
+	}
+	for _, c := range cases {
+		ts, err := time.Parse(time.RFC3339, c.when)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := b.Contains(ts); got != c.want {
+			t.Errorf("Contains(%s) = %v, want %v", c.when, got, c.want)
+		}
+	}
+}

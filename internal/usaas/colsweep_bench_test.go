@@ -1,0 +1,239 @@
+package usaas
+
+import (
+	"sync"
+	"testing"
+	"unsafe"
+
+	"usersignals/internal/conference"
+	"usersignals/internal/parallel"
+	"usersignals/internal/stats"
+	"usersignals/internal/telemetry"
+)
+
+// colBenchState is the shared benchmark fixture: one generated corpus, one
+// store with the live (mostly open) mirror, and one with every partition
+// sealed. Built once — generation dominates otherwise.
+type colBenchState struct {
+	recs   []telemetry.SessionRecord
+	open   *Store
+	sealed *Store
+}
+
+var (
+	colBenchOnce sync.Once
+	colBench     colBenchState
+)
+
+func colBenchSetup(b *testing.B) *colBenchState {
+	b.Helper()
+	colBenchOnce.Do(func() {
+		opts := conference.Defaults(77, 6000)
+		opts.SurveyRate = 0.08
+		g, err := conference.New(opts)
+		if err != nil {
+			panic(err)
+		}
+		recs, err := g.GenerateAll()
+		if err != nil {
+			panic(err)
+		}
+		colBench.recs = recs
+		colBench.open = &Store{}
+		if _, _, err := colBench.open.AddSessionsBatch("bench", recs); err != nil {
+			panic(err)
+		}
+		colBench.sealed = &Store{}
+		if _, _, err := colBench.sealed.AddSessionsBatch("bench", recs); err != nil {
+			panic(err)
+		}
+		colBench.sealed.SealColumnar()
+	})
+	if _, ok := colBench.open.ColumnarSnapshot(); !ok {
+		b.Fatal("bench store has no columnar mirror")
+	}
+	return &colBench
+}
+
+// doseResponseSwitch is the pre-accessor-hoist row sweep: Metric.Of and
+// EngagementOf dispatch through their switches on every record. Kept as the
+// baseline for the dispatch-hoist benchmark pair.
+func doseResponseSwitch(records []telemetry.SessionRecord, metric telemetry.Metric, eng telemetry.Engagement, b stats.Binner, filter telemetry.Filter, workers int) (stats.BinnedSeries, error) {
+	shards, err := parallel.Map(workers, parallel.Chunks(len(records)), func(i int) (*stats.BinAcc, error) {
+		lo, hi := parallel.ChunkBounds(i, len(records))
+		acc := stats.NewBinAcc(b)
+		for j := lo; j < hi; j++ {
+			r := &records[j]
+			if filter != nil && !filter(r) {
+				continue
+			}
+			acc.Add(metric.Of(r.Net), r.EngagementOf(eng))
+		}
+		return acc, nil
+	})
+	if err != nil {
+		return stats.BinnedSeries{}, err
+	}
+	total := stats.NewBinAcc(b)
+	for _, s := range shards {
+		if err := total.Merge(s); err != nil {
+			return stats.BinnedSeries{}, err
+		}
+	}
+	return total.Series(), nil
+}
+
+// BenchmarkDoseResponse compares the row sweep (with and without the
+// per-record switch dispatch) against the columnar sweep over open and
+// sealed partitions, all under the standard Fig. 1 study filter.
+func BenchmarkDoseResponse(b *testing.B) {
+	st := colBenchSetup(b)
+	bn := stats.NewBinner(0, 300, 8)
+	spec := StudyFilterSpec(telemetry.LatencyMean)
+	filter := spec.Filter()
+
+	b.Run("row-switch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := doseResponseSwitch(st.recs, telemetry.LatencyMean, telemetry.Presence, bn, filter, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("row", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := DoseResponseN(st.recs, telemetry.LatencyMean, telemetry.Presence, bn, filter, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("columnar", func(b *testing.B) {
+		b.ReportAllocs()
+		snap, _ := st.open.ColumnarSnapshot()
+		for i := 0; i < b.N; i++ {
+			if _, ok, err := DoseResponseCols(snap, telemetry.LatencyMean, telemetry.Presence, bn, &spec, 1); !ok || err != nil {
+				b.Fatalf("ok=%v err=%v", ok, err)
+			}
+		}
+	})
+	b.Run("columnar-sealed", func(b *testing.B) {
+		b.ReportAllocs()
+		snap, _ := st.sealed.ColumnarSnapshot()
+		for i := 0; i < b.N; i++ {
+			if _, ok, err := DoseResponseCols(snap, telemetry.LatencyMean, telemetry.Presence, bn, &spec, 1); !ok || err != nil {
+				b.Fatalf("ok=%v err=%v", ok, err)
+			}
+		}
+	})
+	b.Run("row-switch-unfiltered", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := doseResponseSwitch(st.recs, telemetry.LatencyMean, telemetry.Presence, bn, nil, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("row-unfiltered", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := DoseResponseN(st.recs, telemetry.LatencyMean, telemetry.Presence, bn, nil, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("columnar-unfiltered", func(b *testing.B) {
+		b.ReportAllocs()
+		snap, _ := st.sealed.ColumnarSnapshot()
+		for i := 0; i < b.N; i++ {
+			if _, ok, err := DoseResponseCols(snap, telemetry.LatencyMean, telemetry.Presence, bn, nil, 1); !ok || err != nil {
+				b.Fatalf("ok=%v err=%v", ok, err)
+			}
+		}
+	})
+}
+
+// BenchmarkCompounding is the same comparison for the Fig. 2 grid.
+func BenchmarkCompounding(b *testing.B) {
+	st := colBenchSetup(b)
+	xb := stats.NewBinner(0, 300, 6)
+	yb := stats.NewBinner(0, 4, 6)
+	spec := StudyFilterSpec(telemetry.LatencyMean)
+	filter := spec.Filter()
+
+	b.Run("row", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := CompoundingN(st.recs, telemetry.LatencyMean, telemetry.LossMean, telemetry.CamOn, xb, yb, filter, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("columnar", func(b *testing.B) {
+		b.ReportAllocs()
+		snap, _ := st.open.ColumnarSnapshot()
+		for i := 0; i < b.N; i++ {
+			if _, ok, err := CompoundingCols(snap, telemetry.LatencyMean, telemetry.LossMean, telemetry.CamOn, xb, yb, &spec, 1); !ok || err != nil {
+				b.Fatalf("ok=%v err=%v", ok, err)
+			}
+		}
+	})
+	b.Run("columnar-sealed", func(b *testing.B) {
+		b.ReportAllocs()
+		snap, _ := st.sealed.ColumnarSnapshot()
+		for i := 0; i < b.N; i++ {
+			if _, ok, err := CompoundingCols(snap, telemetry.LatencyMean, telemetry.LossMean, telemetry.CamOn, xb, yb, &spec, 1); !ok || err != nil {
+				b.Fatalf("ok=%v err=%v", ok, err)
+			}
+		}
+	})
+}
+
+// BenchmarkColumnarFold measures what the mirror costs the ingest path: the
+// per-batch columnar append, isolated from parsing, dedup, and views.
+func BenchmarkColumnarFold(b *testing.B) {
+	st := colBenchSetup(b)
+	const batch = 512
+	recs := st.recs
+	if len(recs) > 8*batch {
+		recs = recs[:8*batch]
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(batch) * int64(unsafe.Sizeof(telemetry.SessionRecord{})))
+	s := &Store{}
+	i := 0
+	for n := 0; n < b.N; n++ {
+		lo := i * batch
+		if lo+batch > len(recs) {
+			b.StopTimer()
+			s = &Store{}
+			i, lo = 0, 0
+			b.StartTimer()
+		}
+		s.mu.Lock()
+		s.sessions = append(s.sessions, recs[lo:lo+batch]...)
+		s.appendColumnar(recs[lo : lo+batch])
+		s.mu.Unlock()
+		i++
+	}
+}
+
+// BenchmarkColumnarMemory reports resident bytes: the row slice versus the
+// mirror's open and sealed forms (b.N is irrelevant; the numbers are the
+// point — see BENCH_columnar.json).
+func BenchmarkColumnarMemory(b *testing.B) {
+	st := colBenchSetup(b)
+	rowBytes := int64(len(st.recs)) * int64(unsafe.Sizeof(telemetry.SessionRecord{}))
+	for i := range st.recs {
+		r := &st.recs[i]
+		rowBytes += int64(len(r.Platform) + len(r.Country) + len(r.ISP))
+	}
+	openStats := st.open.ColumnarStats()
+	sealedStats := st.sealed.ColumnarStats()
+	for i := 0; i < b.N; i++ {
+	}
+	b.ReportMetric(float64(len(st.recs)), "sessions")
+	b.ReportMetric(float64(rowBytes), "row-bytes")
+	b.ReportMetric(float64(openStats.OpenBytes+openStats.SealedBytes+openStats.DictBytes), "open-mirror-bytes")
+	b.ReportMetric(float64(sealedStats.OpenBytes+sealedStats.SealedBytes+sealedStats.DictBytes), "sealed-mirror-bytes")
+}

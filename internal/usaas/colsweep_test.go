@@ -1,0 +1,402 @@
+package usaas
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"usersignals/internal/colstore"
+	"usersignals/internal/durable"
+	"usersignals/internal/stats"
+	"usersignals/internal/telemetry"
+	"usersignals/internal/timeline"
+)
+
+// colsweepSpecs is the filter matrix the identity tests sweep: unfiltered,
+// the full study filters, each clause family alone, and a dictionary miss
+// (a country no record carries compiles to a match-nothing predicate).
+func colsweepSpecs(recs []telemetry.SessionRecord) map[string]*telemetry.FilterSpec {
+	study := StudyFilterSpec(telemetry.LatencyMean)
+	studyLoss := StudyFilterSpec(telemetry.LossMean)
+	country := telemetry.FilterSpec{Country: "US"}
+	ispMin := telemetry.FilterSpec{ISP: recs[0].ISP, MinMeetingSize: 4}
+	bh := timeline.ESTBusinessHours
+	entBH := telemetry.FilterSpec{Enterprise: true, BusinessHours: &bh}
+	miss := telemetry.FilterSpec{Country: "Atlantis"}
+	return map[string]*telemetry.FilterSpec{
+		"none":            nil,
+		"study-latency":   &study,
+		"study-loss":      &studyLoss,
+		"country":         &country,
+		"isp-minmeeting":  &ispMin,
+		"enterprise-bh":   &entBH,
+		"country-missing": &miss,
+	}
+}
+
+// TestColumnarSweepsMatchRow is the tentpole identity property: every
+// columnar sweep must render byte-identically to its row reference over the
+// same records, for every filter spec, at every worker count, on both the
+// open mirror and the fully sealed one.
+func TestColumnarSweepsMatchRow(t *testing.T) {
+	seeds := []uint64{21, 22, 23}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			recs := viewSessions(t, seed, 5000)
+			store := &Store{}
+			ingestUnevenly(t, store, recs)
+			if _, ok := store.ColumnarSnapshot(); !ok {
+				t.Fatal("columnar mirror not built by ingest")
+			}
+
+			b := stats.NewBinner(0, 300, 8)
+			xb := stats.NewBinner(0, 300, 6)
+			yb := stats.NewBinner(0, 4, 6)
+			check := func(shape string) {
+				for name, spec := range colsweepSpecs(recs) {
+					filter := specFilter(spec)
+					wantDose, err := DoseResponseN(recs, telemetry.LatencyMean, telemetry.Presence, b, filter, 1)
+					if err != nil {
+						t.Fatal(err)
+					}
+					wantGrid, err := CompoundingN(recs, telemetry.LatencyMean, telemetry.LossMean, telemetry.CamOn, xb, yb, filter, 1)
+					if err != nil {
+						t.Fatal(err)
+					}
+					wantPlat, err := ByPlatformN(recs, telemetry.LatencyMean, telemetry.MicOn, b, filter, 1)
+					if err != nil {
+						t.Fatal(err)
+					}
+					wantSize, err := ByMeetingSizeN(recs, telemetry.LatencyMean, telemetry.Presence, b, nil, filter, 1)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, workers := range []int{1, 4, 16} {
+						tag := fmt.Sprintf("%s/%s/w%d", shape, name, workers)
+						gotDose, err := store.DoseResponseSpec(telemetry.LatencyMean, telemetry.Presence, b, spec, workers)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if marshal(t, gotDose) != marshal(t, wantDose) {
+							t.Errorf("%s: DoseResponseSpec diverges from row path", tag)
+						}
+						gotGrid, err := store.CompoundingSpec(telemetry.LatencyMean, telemetry.LossMean, telemetry.CamOn, xb, yb, spec, workers)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if marshal(t, gotGrid) != marshal(t, wantGrid) {
+							t.Errorf("%s: CompoundingSpec diverges from row path", tag)
+						}
+						gotPlat, err := store.ByPlatformSpec(telemetry.LatencyMean, telemetry.MicOn, b, spec, workers)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if marshal(t, gotPlat) != marshal(t, wantPlat) {
+							t.Errorf("%s: ByPlatformSpec diverges from row path", tag)
+						}
+						gotSize, err := store.ByMeetingSizeSpec(telemetry.LatencyMean, telemetry.Presence, b, nil, spec, workers)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if marshal(t, gotSize) != marshal(t, wantSize) {
+							t.Errorf("%s: ByMeetingSizeSpec diverges from row path", tag)
+						}
+					}
+				}
+			}
+			check("open")
+			store.SealColumnar()
+			st := store.ColumnarStats()
+			if st.SealedPartitions != st.Partitions {
+				t.Fatalf("SealColumnar left %d of %d partitions open", st.Partitions-st.SealedPartitions, st.Partitions)
+			}
+			check("sealed")
+		})
+	}
+}
+
+// TestColumnarFallsBackToRow: parameterizations without a column plan (an
+// invalid band metric) and stores without a mirror must silently take the
+// row path and still agree with it.
+func TestColumnarFallsBackToRow(t *testing.T) {
+	recs := viewSessions(t, 24, 3000)
+	b := stats.NewBinner(0, 300, 8)
+	bad := telemetry.FilterSpec{Bands: []telemetry.MetricBand{{Metric: telemetry.Metric(99), Lo: 0, Hi: 1e12}}}
+
+	store := &Store{}
+	ingestUnevenly(t, store, recs)
+	want, err := DoseResponseN(recs, telemetry.LatencyMean, telemetry.Presence, b, bad.Filter(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.DoseResponseSpec(telemetry.LatencyMean, telemetry.Presence, b, &bad, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if marshal(t, got) != marshal(t, want) {
+		t.Error("invalid-band spec did not fall back to an identical row scan")
+	}
+
+	off := &Store{}
+	off.DisableColumnar()
+	ingestUnevenly(t, off, recs)
+	if _, ok := off.ColumnarSnapshot(); ok {
+		t.Fatal("DisableColumnar store still built a mirror")
+	}
+	study := StudyFilterSpec(telemetry.LatencyMean)
+	want, err = DoseResponseN(recs, telemetry.LatencyMean, telemetry.Presence, b, study.Filter(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = off.DoseResponseSpec(telemetry.LatencyMean, telemetry.Presence, b, &study, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if marshal(t, got) != marshal(t, want) {
+		t.Error("mirror-off store diverges from row path")
+	}
+}
+
+// reportHTTPBytes fetches /v1/report over HTTP, literally.
+func reportHTTPBytes(t testing.TB, store *Store) []byte {
+	t.Helper()
+	srv := httptest.NewServer(NewServer(store, ServerOptions{ResultCacheSize: -1}).Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/v1/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("report: %d %v", resp.StatusCode, err)
+	}
+	return body
+}
+
+// TestReportIdenticalColumnarOnOff: the operator report served over HTTP
+// must be byte-identical with the mirror on and off — the columnar path is
+// an optimization, never a semantic.
+func TestReportIdenticalColumnarOnOff(t *testing.T) {
+	seeds := []uint64{31, 32, 33}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			recs, posts := crashDataset(t, seed)
+			on := &Store{}
+			off := &Store{}
+			off.DisableColumnar()
+			for _, b := range raggedBatches(recs, posts, seed) {
+				applyBatch(t, on, b)
+				applyBatch(t, off, b)
+			}
+			if _, ok := on.ColumnarSnapshot(); !ok {
+				t.Fatal("columnar mirror not built")
+			}
+			onBytes := reportHTTPBytes(t, on)
+			if !bytes.Equal(onBytes, reportHTTPBytes(t, off)) {
+				t.Fatal("/v1/report differs between columnar and row stores")
+			}
+			// Sealing every partition must not change a byte either.
+			on.SealColumnar()
+			if !bytes.Equal(reportHTTPBytes(t, on), onBytes) {
+				t.Fatal("/v1/report changed after sealing the mirror")
+			}
+		})
+	}
+}
+
+// TestReportIdenticalAfterRecovery: a durable store recovered from disk
+// rebuilds the mirror and must serve the same report bytes as (a) its own
+// pre-crash self and (b) a columnar-off store fed the same batches.
+func TestReportIdenticalAfterRecovery(t *testing.T) {
+	recs, posts := crashDataset(t, 34)
+	batches := raggedBatches(recs, posts, 34)
+	dir := t.TempDir()
+	d, err := OpenDurableStore(DurabilityOptions{Dir: dir, Fsync: durable.FsyncOff, SnapshotEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batches {
+		applyBatch(t, d.Store, b)
+	}
+	live := reportHTTPBytes(t, d.Store)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := OpenDurableStore(DurabilityOptions{Dir: dir, Fsync: durable.FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if _, ok := rec.Store.ColumnarSnapshot(); !ok {
+		t.Fatal("recovery did not rebuild the columnar mirror")
+	}
+	if snap, _ := rec.Store.ColumnarSnapshot(); snap.Len() != len(recs) {
+		t.Fatalf("rebuilt mirror holds %d records, want %d", snap.Len(), len(recs))
+	}
+	if !bytes.Equal(reportHTTPBytes(t, rec.Store), live) {
+		t.Fatal("recovered report differs from pre-crash report")
+	}
+
+	off := &Store{}
+	off.DisableColumnar()
+	for _, b := range batches {
+		applyBatch(t, off, b)
+	}
+	if !bytes.Equal(reportHTTPBytes(t, off), live) {
+		t.Fatal("recovered columnar report differs from row-only reference")
+	}
+
+	// And a recovery with the mirror disabled must agree too.
+	recOff, err := OpenDurableStore(DurabilityOptions{Dir: dir, Fsync: durable.FsyncOff, DisableColumnar: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recOff.Close()
+	if _, ok := recOff.Store.ColumnarSnapshot(); ok {
+		t.Fatal("DisableColumnar recovery still built a mirror")
+	}
+	if !bytes.Equal(reportHTTPBytes(t, recOff.Store), live) {
+		t.Fatal("mirror-off recovery differs from pre-crash report")
+	}
+}
+
+// fuzzRecords derives an arbitrary session slice from fuzz bytes: random
+// fields including NaN metrics, negative sizes, pre-epoch starts, and
+// out-of-order days — the shapes the codec must round-trip.
+func fuzzRecords(data []byte) []telemetry.SessionRecord {
+	if len(data) == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(int64(len(data)) * 2654435761))
+	for _, b := range data {
+		rng = rand.New(rand.NewSource(rng.Int63() ^ int64(b)))
+	}
+	n := int(data[0])%300 + 1
+	platforms := []string{"meet", "zoom", "teams", "webex"}
+	countries := []string{"US", "DE", "IN", "BR"}
+	isps := []string{"comcast", "verizon", "t-home", ""}
+	recs := make([]telemetry.SessionRecord, n)
+	for i := range recs {
+		r := &recs[i]
+		r.CallID = rng.Uint64()
+		r.UserID = rng.Uint64() % 50
+		day := int64(rng.Intn(8)) - 2 // out-of-order and pre-epoch days
+		r.Start = time.Unix(day*86400+int64(rng.Intn(86400)), int64(rng.Intn(1e9))).UTC()
+		r.DurationSec = rng.Float64() * 3600
+		r.Platform = platforms[rng.Intn(len(platforms))]
+		r.Country = countries[rng.Intn(len(countries))]
+		r.ISP = isps[rng.Intn(len(isps))]
+		r.MeetingSize = rng.Intn(16) - 2
+		r.Enterprise = rng.Intn(2) == 0
+		r.LeftEarly = rng.Intn(2) == 0
+		r.Rated = rng.Intn(3) == 0
+		r.Rating = rng.Intn(7) - 1
+		m := func() float64 {
+			if rng.Intn(12) == 0 {
+				return math.NaN()
+			}
+			return rng.Float64() * 300
+		}
+		r.Net = telemetry.NetAggregates{
+			LatencyMean: m(), LatencyMedian: m(), LatencyP95: m(),
+			LossMean: m(), LossMedian: m(), LossP95: m(),
+			JitterMean: m(), JitterMedian: m(), JitterP95: m(),
+			BWMean: m(), BWMedian: m(), BWP95: m(),
+		}
+		r.PresencePct = rng.Float64() * 100
+		r.CamOnPct = rng.Float64() * 100
+		r.MicOnPct = rng.Float64() * 100
+	}
+	return recs
+}
+
+// fuzzRecordsEqual compares records bitwise: NaN equals NaN, and Start must
+// match to the nanosecond in the same location.
+func fuzzRecordsEqual(a, b *telemetry.SessionRecord) bool {
+	fe := func(x, y float64) bool { return math.Float64bits(x) == math.Float64bits(y) }
+	return a.CallID == b.CallID && a.UserID == b.UserID &&
+		a.Start.Equal(b.Start) && a.Start.Location() == b.Start.Location() &&
+		fe(a.DurationSec, b.DurationSec) &&
+		a.Platform == b.Platform && a.Country == b.Country && a.ISP == b.ISP &&
+		a.MeetingSize == b.MeetingSize && a.Enterprise == b.Enterprise &&
+		a.LeftEarly == b.LeftEarly && a.Rated == b.Rated && a.Rating == b.Rating &&
+		fe(a.Net.LatencyMean, b.Net.LatencyMean) && fe(a.Net.LatencyMedian, b.Net.LatencyMedian) && fe(a.Net.LatencyP95, b.Net.LatencyP95) &&
+		fe(a.Net.LossMean, b.Net.LossMean) && fe(a.Net.LossMedian, b.Net.LossMedian) && fe(a.Net.LossP95, b.Net.LossP95) &&
+		fe(a.Net.JitterMean, b.Net.JitterMean) && fe(a.Net.JitterMedian, b.Net.JitterMedian) && fe(a.Net.JitterP95, b.Net.JitterP95) &&
+		fe(a.Net.BWMean, b.Net.BWMean) && fe(a.Net.BWMedian, b.Net.BWMedian) && fe(a.Net.BWP95, b.Net.BWP95) &&
+		fe(a.PresencePct, b.PresencePct) && fe(a.CamOnPct, b.CamOnPct) && fe(a.MicOnPct, b.MicOnPct)
+}
+
+// FuzzColumnarRoundTrip: arbitrary records → columnar encode → seal →
+// materialize must reproduce the records bit for bit, and the columnar
+// sweeps over the mirror must match the row sweeps over the originals.
+func FuzzColumnarRoundTrip(f *testing.F) {
+	f.Add([]byte{1})
+	f.Add([]byte{200, 7, 7, 7})
+	f.Add([]byte("columnar"))
+	f.Add([]byte{255, 0, 128, 64, 32, 16})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs := fuzzRecords(data)
+		if len(recs) == 0 {
+			t.Skip()
+		}
+		cols := colstore.New()
+		if err := cols.Append(recs); err != nil {
+			t.Fatal(err)
+		}
+		check := func(shape string) {
+			snap := cols.Snapshot()
+			if snap.Len() != len(recs) {
+				t.Fatalf("%s: snapshot holds %d records, want %d", shape, snap.Len(), len(recs))
+			}
+			got := snap.AppendRecords(nil)
+			for i := range recs {
+				if !fuzzRecordsEqual(&recs[i], &got[i]) {
+					t.Fatalf("%s: record %d mutated in round trip:\n got %+v\nwant %+v", shape, i, got[i], recs[i])
+				}
+			}
+			study := StudyFilterSpec(telemetry.LatencyMean)
+			b := stats.NewBinner(0, 300, 6)
+			for _, spec := range []*telemetry.FilterSpec{nil, &study} {
+				want, err := DoseResponseN(recs, telemetry.LatencyMean, telemetry.Presence, b, specFilter(spec), 3)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotS, ok, err := DoseResponseCols(snap, telemetry.LatencyMean, telemetry.Presence, b, spec, 3)
+				if err != nil || !ok {
+					t.Fatalf("%s: columnar dose-response: ok=%v err=%v", shape, ok, err)
+				}
+				if fmt.Sprintf("%+v", gotS) != fmt.Sprintf("%+v", want) {
+					t.Fatalf("%s: dose-response diverges from row path", shape)
+				}
+				wantG, err := CompoundingN(recs, telemetry.LatencyMean, telemetry.LossMean, telemetry.CamOn, b, b, specFilter(spec), 3)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotG, ok, err := CompoundingCols(snap, telemetry.LatencyMean, telemetry.LossMean, telemetry.CamOn, b, b, spec, 3)
+				if err != nil || !ok {
+					t.Fatalf("%s: columnar compounding: ok=%v err=%v", shape, ok, err)
+				}
+				if fmt.Sprintf("%+v", gotG) != fmt.Sprintf("%+v", wantG) {
+					t.Fatalf("%s: compounding diverges from row path", shape)
+				}
+			}
+		}
+		check("open")
+		cols.SealTail()
+		check("sealed")
+	})
+}

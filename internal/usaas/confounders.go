@@ -45,6 +45,7 @@ func ByMeetingSizeN(records []telemetry.SessionRecord, metric telemetry.Metric, 
 	if len(buckets) == 0 {
 		buckets = DefaultSizeBuckets()
 	}
+	mf, ef := metric.Accessor(), eng.Accessor()
 	shards, err := parallel.Map(workers, parallel.Chunks(len(records)), func(i int) ([]*stats.BinAcc, error) {
 		lo, hi := parallel.ChunkBounds(i, len(records))
 		accs := make([]*stats.BinAcc, len(buckets))
@@ -58,7 +59,7 @@ func ByMeetingSizeN(records []telemetry.SessionRecord, metric telemetry.Metric, 
 					if accs[k] == nil {
 						accs[k] = stats.NewBinAcc(b)
 					}
-					accs[k].Add(metric.Of(r.Net), r.EngagementOf(eng))
+					accs[k].Add(mf(&r.Net), ef(r))
 					break
 				}
 			}
@@ -120,9 +121,10 @@ func ConfounderReport(records []telemetry.SessionRecord, eng telemetry.Engagemen
 	platAcc := map[string]*stats.Online{}
 	sizeAcc := map[string]*stats.Online{}
 	buckets := DefaultSizeBuckets()
+	ef := eng.Accessor()
 	for i := range inBand {
 		r := &inBand[i]
-		v := r.EngagementOf(eng)
+		v := ef(r)
 		acc := platAcc[r.Platform]
 		if acc == nil {
 			acc = &stats.Online{}

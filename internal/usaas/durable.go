@@ -61,6 +61,13 @@ type DurabilityOptions struct {
 	// snapshot path has no request to answer errors on). Defaults to
 	// discarding them; Close still reports the final snapshot's error.
 	Logf func(format string, args ...any)
+	// DisableColumnar skips rebuilding the columnar mirror during recovery
+	// and keeps it off afterwards; analyses use the row path. The mirror is
+	// not persisted — it is derived state, rebuilt from the recovered rows
+	// (snapshot restore appends the whole prefix; log replay extends it
+	// batch by batch) — so disabling it trades query speed for a cheaper
+	// recovery and a smaller resident set.
+	DisableColumnar bool
 }
 
 // RecoveryStats reports what opening a durable store found on disk.
@@ -121,7 +128,7 @@ func OpenDurableStore(opts DurabilityOptions) (*DurableStore, error) {
 		opts.FsyncInterval = time.Second
 	}
 	start := time.Now()
-	store := &Store{}
+	store := &Store{colsOff: opts.DisableColumnar}
 	d := &DurableStore{
 		Store:  store,
 		opts:   opts,
@@ -519,6 +526,7 @@ func (s *Store) restoreSnapshot(sessions []telemetry.SessionRecord, posts []soci
 	if len(sessions) > 0 {
 		s.sessGen++
 		s.views.foldSessions(sessions)
+		s.appendColumnar(sessions)
 	}
 	s.posts = posts
 	if len(posts) > 0 {

@@ -44,6 +44,7 @@ func DoseResponse(records []telemetry.SessionRecord, metric telemetry.Metric, en
 // accumulators merge in chunk order, so the result is bit-identical at any
 // worker count — parallelism never changes figure shapes.
 func DoseResponseN(records []telemetry.SessionRecord, metric telemetry.Metric, eng telemetry.Engagement, b stats.Binner, filter telemetry.Filter, workers int) (stats.BinnedSeries, error) {
+	mf, ef := metric.Accessor(), eng.Accessor()
 	shards, err := parallel.Map(workers, parallel.Chunks(len(records)), func(i int) (*stats.BinAcc, error) {
 		lo, hi := parallel.ChunkBounds(i, len(records))
 		acc := stats.NewBinAcc(b)
@@ -52,7 +53,7 @@ func DoseResponseN(records []telemetry.SessionRecord, metric telemetry.Metric, e
 			if filter != nil && !filter(r) {
 				continue
 			}
-			acc.Add(metric.Of(r.Net), r.EngagementOf(eng))
+			acc.Add(mf(&r.Net), ef(r))
 		}
 		return acc, nil
 	})
@@ -138,6 +139,7 @@ func Compounding(records []telemetry.SessionRecord, xMetric, yMetric telemetry.M
 // CompoundingN is Compounding over an explicit worker count, with the same
 // canonical-chunk determinism contract as DoseResponseN.
 func CompoundingN(records []telemetry.SessionRecord, xMetric, yMetric telemetry.Metric, eng telemetry.Engagement, xb, yb stats.Binner, filter telemetry.Filter, workers int) (stats.Grid2D, error) {
+	xf, yf, ef := xMetric.Accessor(), yMetric.Accessor(), eng.Accessor()
 	shards, err := parallel.Map(workers, parallel.Chunks(len(records)), func(i int) (*stats.Grid2DAcc, error) {
 		lo, hi := parallel.ChunkBounds(i, len(records))
 		acc := stats.NewGrid2DAcc(xb, yb)
@@ -146,7 +148,7 @@ func CompoundingN(records []telemetry.SessionRecord, xMetric, yMetric telemetry.
 			if filter != nil && !filter(r) {
 				continue
 			}
-			acc.Add(xMetric.Of(r.Net), yMetric.Of(r.Net), r.EngagementOf(eng))
+			acc.Add(xf(&r.Net), yf(&r.Net), ef(r))
 		}
 		return acc, nil
 	})
@@ -172,6 +174,7 @@ func ByPlatform(records []telemetry.SessionRecord, metric telemetry.Metric, eng 
 // one accumulator per platform it encounters, and the per-platform
 // accumulators merge in chunk order.
 func ByPlatformN(records []telemetry.SessionRecord, metric telemetry.Metric, eng telemetry.Engagement, b stats.Binner, filter telemetry.Filter, workers int) (map[string]stats.BinnedSeries, error) {
+	mf, ef := metric.Accessor(), eng.Accessor()
 	shards, err := parallel.Map(workers, parallel.Chunks(len(records)), func(i int) (map[string]*stats.BinAcc, error) {
 		lo, hi := parallel.ChunkBounds(i, len(records))
 		accs := map[string]*stats.BinAcc{}
@@ -185,7 +188,7 @@ func ByPlatformN(records []telemetry.SessionRecord, metric telemetry.Metric, eng
 				acc = stats.NewBinAcc(b)
 				accs[r.Platform] = acc
 			}
-			acc.Add(metric.Of(r.Net), r.EngagementOf(eng))
+			acc.Add(mf(&r.Net), ef(r))
 		}
 		return accs, nil
 	})

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"usersignals/internal/colstore"
 	"usersignals/internal/leo"
 	"usersignals/internal/newswire"
 	"usersignals/internal/nlp"
@@ -53,6 +54,76 @@ type Store struct {
 	// query handlers read (views.go). Folded only on non-duplicate
 	// batches, so replays never double-count.
 	views viewState
+
+	// cols is the columnar mirror of sessions (internal/colstore),
+	// maintained under the same write-lock fold as the views so it is
+	// always generation-consistent with the row store. Lazily created on
+	// the first accepted batch; nil when disabled (colsOff) or dropped
+	// after a dictionary overflow. The durable store rebuilds it on
+	// recovery by replaying batches through the normal ingest path.
+	cols    *colstore.Store
+	colsOff bool
+}
+
+// DisableColumnar drops the columnar mirror and stops maintaining it; every
+// analysis serves from the row store. The cmd/usaasd -columnar=false escape
+// hatch and DurabilityOptions.DisableColumnar land here.
+func (s *Store) DisableColumnar() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cols, s.colsOff = nil, true
+}
+
+// ColumnarSnapshot captures the mirror for a columnar sweep. ok is false
+// when the mirror is disabled, dropped, or has seen no sessions yet.
+func (s *Store) ColumnarSnapshot() (colstore.Snapshot, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.cols == nil {
+		return colstore.Snapshot{}, false
+	}
+	return s.cols.Snapshot(), true
+}
+
+// SealColumnar compresses the mirror's open tail partition. Sealing
+// otherwise happens on day transitions; tests and benchmarks call this to
+// measure the all-sealed shape.
+func (s *Store) SealColumnar() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cols != nil {
+		s.cols.SealTail()
+	}
+}
+
+// ColumnarStats reports the mirror's resident footprint (zero when the
+// mirror is off).
+func (s *Store) ColumnarStats() colstore.Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.cols == nil {
+		return colstore.Stats{}
+	}
+	return s.cols.Stats()
+}
+
+// appendColumnar folds an accepted batch into the mirror. Caller holds the
+// write lock and has already appended recs to s.sessions. The first call
+// mirrors the whole session slice, so a mirror enabled on a store restored
+// from a snapshot starts complete. A dictionary overflow drops the mirror —
+// row ingest is never failed for the mirror's sake.
+func (s *Store) appendColumnar(recs []telemetry.SessionRecord) {
+	if s.colsOff || len(recs) == 0 {
+		return
+	}
+	src := recs
+	if s.cols == nil {
+		s.cols = colstore.New()
+		src = s.sessions
+	}
+	if err := s.cols.Append(src); err != nil {
+		s.cols, s.colsOff = nil, true
+	}
 }
 
 // AddSessions ingests session records unconditionally (no dedup). The
@@ -95,6 +166,7 @@ func (s *Store) addSessionsBatch(batchID string, recs []telemetry.SessionRecord,
 	if len(recs) > 0 {
 		s.sessGen++
 		s.views.foldSessions(recs)
+		s.appendColumnar(recs)
 	}
 	resp = IngestResponse{
 		Accepted:      len(recs),

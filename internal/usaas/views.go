@@ -3,6 +3,7 @@ package usaas
 import (
 	"sort"
 
+	"usersignals/internal/colstore"
 	"usersignals/internal/leo"
 	"usersignals/internal/nlp"
 	"usersignals/internal/ocr"
@@ -43,6 +44,8 @@ const maxEngViews = 64
 // while Add is filter-conditional, exactly like the batch scan.
 type engView struct {
 	key    engViewKey
+	mf     func(*telemetry.NetAggregates) float64
+	ef     func(*telemetry.SessionRecord) float64
 	merged *stats.BinAcc
 	tail   *stats.BinAcc
 	folded int
@@ -51,6 +54,8 @@ type engView struct {
 func newEngView(key engViewKey) *engView {
 	return &engView{
 		key:    key,
+		mf:     key.metric.Accessor(),
+		ef:     key.eng.Accessor(),
 		merged: stats.NewBinAcc(key.b),
 		tail:   stats.NewBinAcc(key.b),
 	}
@@ -66,7 +71,7 @@ func (v *engView) fold(recs []telemetry.SessionRecord) {
 	for i := range recs {
 		r := &recs[i]
 		if filter == nil || filter(r) {
-			v.tail.Add(v.key.metric.Of(r.Net), r.EngagementOf(v.key.eng))
+			v.tail.Add(v.mf(&r.Net), v.ef(r))
 		}
 		v.folded++
 		if v.folded%parallel.ChunkSize == 0 {
@@ -74,6 +79,43 @@ func (v *engView) fold(recs []telemetry.SessionRecord) {
 			v.tail = stats.NewBinAcc(v.key.b)
 		}
 	}
+}
+
+// foldColumns is fold over the columnar mirror: it absorbs records
+// [v.folded, snap.Len()) from the snapshot, replaying the identical
+// filter-conditional Add and chunk-boundary merge sequence, so a view caught
+// up columnar-side is byte-identical to one folded from rows. Returns false
+// (leaving the view untouched) when the parameterization has no column plan;
+// the caller falls back to the row fold.
+func (v *engView) foldColumns(snap colstore.Snapshot) bool {
+	mcol, ok1 := colstore.MetricCol(v.key.metric)
+	ecol, ok2 := colstore.EngagementCol(v.key.eng)
+	if !ok1 || !ok2 {
+		return false
+	}
+	var pred *colstore.Pred
+	if v.key.isp != "" {
+		spec := telemetry.OnISPSpec(v.key.isp)
+		p, ok := snap.Compile(&spec)
+		if !ok {
+			return false
+		}
+		pred = p
+	}
+	snap.Scan(v.folded, snap.Len(), func(pt *colstore.Partition, from, to int) {
+		xs, ys := pt.Floats(mcol), pt.Floats(ecol)
+		for i := from; i < to; i++ {
+			if pred.Accept(pt, i) {
+				v.tail.Add(xs[i], ys[i])
+			}
+			v.folded++
+			if v.folded%parallel.ChunkSize == 0 {
+				_ = v.merged.Merge(v.tail)
+				v.tail = stats.NewBinAcc(v.key.b)
+			}
+		}
+	})
+	return true
 }
 
 // series snapshots the view as the batch fold would produce it: complete
@@ -236,7 +278,9 @@ func (s *Store) DailyEngagementView() []DayEngagement {
 // DoseResponseSeries serves DoseResponse(sessions, ...) from a materialized
 // accumulator, registering the parameterization on first use and catching
 // it up from the snapshot. The catch-up fold runs outside any lock; the
-// write lock only adopts or registers the result.
+// write lock only adopts or registers the result. When the columnar mirror
+// is live the catch-up sweeps columns instead of row structs — same fold,
+// same bytes, a fraction of the memory traffic.
 func (s *Store) DoseResponseSeries(metric telemetry.Metric, eng telemetry.Engagement, b stats.Binner, isp string) stats.BinnedSeries {
 	key := engViewKey{metric: metric, eng: eng, b: b, isp: isp}
 	s.mu.RLock()
@@ -245,11 +289,18 @@ func (s *Store) DoseResponseSeries(metric telemetry.Metric, eng telemetry.Engage
 		s.mu.RUnlock()
 		return series
 	}
-	snapshot := s.sessions
+	rows := s.sessions
+	var cols colstore.Snapshot
+	haveCols := s.cols != nil
+	if haveCols {
+		cols = s.cols.Snapshot()
+	}
 	s.mu.RUnlock()
 
 	nv := newEngView(key)
-	nv.fold(snapshot)
+	if !haveCols || !nv.foldColumns(cols) {
+		nv.fold(rows)
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -260,7 +311,10 @@ func (s *Store) DoseResponseSeries(metric telemetry.Metric, eng telemetry.Engage
 	}
 	// Sessions may have arrived since the snapshot: fold the gap. Chunk
 	// boundaries are absolute record indices, so resuming at nv.folded
-	// continues the same canonical fold.
+	// continues the same canonical fold. The gap is row-folded even when
+	// the mirror is live: it is at most a few batches, and a predicate
+	// compiled against the snapshot's dictionaries could miss strings
+	// interned after it.
 	nv.fold(s.sessions[nv.folded:])
 	if len(s.views.eng) < maxEngViews {
 		if s.views.eng == nil {
