@@ -12,7 +12,16 @@
 // write-ahead log before it is acknowledged, and snapshots bound
 // recovery time; on restart the store is rebuilt byte-identically from
 // the newest snapshot plus the log tail. SIGINT/SIGTERM drains in-flight
-// requests, flushes the log, writes a final snapshot, and exits 0.
+// requests for up to -shutdown-timeout, flushes the log, writes a final
+// snapshot, and exits 0 (nonzero when the drain times out).
+//
+// With -role=leader the node serves its WAL as a replication feed under
+// /v1/replica/; a -role=follower node bootstraps from the leader's
+// snapshot, tails the feed, applies every record through the normal
+// ingest path (so its store — and its own WAL — are byte-identical to
+// the leader's), redirects writes to the leader, and serves reads with
+// explicit staleness headers, refusing past -max-replica-lag. POST
+// /v1/replica/promote flips a follower to leader during failover.
 //
 // Endpoints (all JSON):
 //
@@ -51,6 +60,7 @@ import (
 	"usersignals/internal/durable"
 	"usersignals/internal/leo"
 	"usersignals/internal/newswire"
+	"usersignals/internal/replica"
 	"usersignals/internal/social"
 	"usersignals/internal/telemetry"
 	"usersignals/internal/usaas"
@@ -72,6 +82,11 @@ type serverConfig struct {
 	fsyncInterval  time.Duration
 	snapshotEvery  int
 	columnar       bool
+
+	role            string
+	leaderURL       string
+	maxReplicaLag   time.Duration
+	shutdownTimeout time.Duration
 }
 
 func main() {
@@ -93,6 +108,10 @@ func main() {
 	flag.DurationVar(&cfg.fsyncInterval, "fsync-interval", time.Second, "background sync cadence under -fsync=interval")
 	flag.IntVar(&cfg.snapshotEvery, "snapshot-every", 1024, "snapshot after this many logged batches and on shutdown; 0 disables snapshots")
 	flag.BoolVar(&cfg.columnar, "columnar", true, "maintain the columnar session mirror for fast analyses (false = row path only)")
+	flag.StringVar(&cfg.role, "role", "", "replication role: leader (serve the WAL frame feed) or follower (tail a leader); empty = standalone")
+	flag.StringVar(&cfg.leaderURL, "leader", "", "leader base URL (e.g. http://10.0.0.1:8080); required with -role=follower")
+	flag.DurationVar(&cfg.maxReplicaLag, "max-replica-lag", 0, "follower staleness bound: reads answer 503 once the leader has not been heard from for this long; 0 = serve any staleness (with lag headers)")
+	flag.DurationVar(&cfg.shutdownTimeout, "shutdown-timeout", 10*time.Second, "max time to drain in-flight requests on SIGINT/SIGTERM; exits nonzero when exceeded")
 	flag.Parse()
 	if err := run(cfg, *sessions, *posts); err != nil {
 		fmt.Fprintln(os.Stderr, "usaasd:", err)
@@ -105,6 +124,32 @@ func run(cfg serverConfig, sessionsPath, postsPath string) error {
 		store  *usaas.Store
 		dstore *usaas.DurableStore
 	)
+	switch cfg.role {
+	case "", string(replica.RoleLeader), string(replica.RoleFollower):
+	default:
+		return fmt.Errorf("-role must be %q or %q, got %q", replica.RoleLeader, replica.RoleFollower, cfg.role)
+	}
+	if cfg.role != "" && cfg.dataDir == "" {
+		return errors.New("-role requires -data-dir: replication ships the write-ahead log")
+	}
+	if cfg.role == string(replica.RoleFollower) {
+		if cfg.leaderURL == "" {
+			return errors.New("-role=follower requires -leader")
+		}
+		if sessionsPath != "" || postsPath != "" {
+			return errors.New("a follower cannot preload datasets; ingest through the leader")
+		}
+		// Seed an empty data directory from the leader's newest snapshot so
+		// the follower does not need the leader's whole (possibly partially
+		// compacted) log. No-op when the directory already holds state.
+		installed, err := replica.Bootstrap(context.Background(), cfg.dataDir, cfg.leaderURL, cfg.token, nil)
+		if err != nil {
+			return fmt.Errorf("bootstrapping from leader %q: %w", cfg.leaderURL, err)
+		}
+		if installed {
+			fmt.Printf("bootstrapped %s from leader snapshot at %s\n", cfg.dataDir, cfg.leaderURL)
+		}
+	}
 	if cfg.dataDir != "" {
 		policy, err := durable.ParseFsyncPolicy(cfg.fsync)
 		if err != nil {
@@ -160,20 +205,49 @@ func run(cfg serverConfig, sessionsPath, postsPath string) error {
 		fmt.Printf("loaded %d posts from %s%s\n", n, postsPath, dupNote(dup))
 	}
 
+	// With a role set, wrap the service in a replication node: the leader
+	// serves the WAL frame feed, a follower tails it, redirects writes, and
+	// bounds read staleness. The node's readiness feeds /v1/readyz.
+	var node *replica.Node
+	if cfg.role != "" {
+		var err error
+		node, err = replica.Open(dstore, replica.Options{
+			Role:      replica.Role(cfg.role),
+			LeaderURL: cfg.leaderURL,
+			MaxLag:    cfg.maxReplicaLag,
+			Token:     cfg.token,
+			Logf: func(format string, args ...any) {
+				fmt.Printf("usaasd: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer node.Close()
+	}
+
 	model := leo.NewModel()
 	news := newswire.Build(model.Launches(), leo.MajorOutages(), leo.DefaultMilestones())
-	srv := usaas.NewServer(store, usaas.ServerOptions{
+	sopts := usaas.ServerOptions{
 		Model:           model,
 		News:            news,
 		AuthToken:       cfg.token,
 		RequestTimeout:  cfg.requestTimeout,
 		MaxInflight:     cfg.maxInflight,
 		ResultCacheSize: cfg.resultCache,
-	})
+	}
+	if node != nil {
+		sopts.Ready = node.Ready
+	}
+	srv := usaas.NewServer(store, sopts)
+	var handler http.Handler = srv.Handler()
+	if node != nil {
+		handler = node.Wrap(handler)
+	}
 
 	httpSrv := &http.Server{
 		Addr:              cfg.addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       cfg.readTimeout,
 		WriteTimeout:      cfg.writeTimeout,
@@ -194,12 +268,18 @@ func run(cfg serverConfig, sessionsPath, postsPath string) error {
 			return err
 		}
 	case s := <-sig:
-		fmt.Printf("received %v, shutting down\n", s)
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		fmt.Printf("received %v, draining for up to %v\n", s, cfg.shutdownTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.shutdownTimeout)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
-			return fmt.Errorf("shutdown: %w", err)
+			// The drain did not finish inside the bound. Exit nonzero so an
+			// operator (or init system) knows requests may have been cut off;
+			// the WAL already holds every acknowledged batch.
+			return fmt.Errorf("shutdown: drain exceeded %v: %w", cfg.shutdownTimeout, err)
 		}
+	}
+	if node != nil {
+		node.Close()
 	}
 	if dstore != nil {
 		// Every request has drained; flush the log and write a final

@@ -3,6 +3,7 @@ package durable
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 )
 
 // ReplayInfo summarizes what a replay saw, for recovery logging and the
@@ -55,7 +56,7 @@ func Replay(dir string, fromSeq uint64, fn func(seq uint64, rec Record) error) (
 			rec, n, ok := parseFrame(data[off:])
 			if !ok {
 				if !final {
-					return info, fmt.Errorf("%w: segment %s offset %d", ErrCorrupt, s.path, off)
+					return info, corruptErr(s, seq, off)
 				}
 				info.Torn = true
 				info.TornBytes = int64(len(data) - off)
@@ -74,8 +75,8 @@ func Replay(dir string, fromSeq uint64, fn func(seq uint64, rec Record) error) (
 		// Sanity: segment names must agree with frame counts, or replay
 		// would assign wrong sequences from here on.
 		if !final && segs[i+1].firstSeq != seq {
-			return info, fmt.Errorf("%w: segment %s holds %d records but next segment starts at %d",
-				ErrCorrupt, s.path, seq-s.firstSeq, segs[i+1].firstSeq)
+			return info, fmt.Errorf("%w: segment %s holds %d records (seqs %d-%d) but next segment starts at %d",
+				ErrCorrupt, filepath.Base(s.path), seq-s.firstSeq, s.firstSeq, seq-1, segs[i+1].firstSeq)
 		}
 		info.NextSeq = seq
 	}

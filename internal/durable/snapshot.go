@@ -167,6 +167,64 @@ func LoadLatestSnapshot(dir string) (seq uint64, body []byte, found bool, err er
 	return 0, nil, false, nil
 }
 
+// LatestSnapshotRaw returns the newest valid snapshot as its raw file
+// bytes (trailer included), for shipping to a bootstrapping follower. The
+// trailer CRC is verified before the bytes are handed out; corrupt files
+// fall back to the next-older snapshot, exactly as LoadLatestSnapshot does.
+func LatestSnapshotRaw(dir string) (seq uint64, raw []byte, found bool, err error) {
+	seqs, err := listSnapshots(dir)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	for _, s := range seqs {
+		data, err := os.ReadFile(snapshotPath(dir, s))
+		if err != nil {
+			continue
+		}
+		if !snapshotValid(data) {
+			continue
+		}
+		return s, data, true, nil
+	}
+	return 0, nil, false, nil
+}
+
+// snapshotValid reports whether raw snapshot file bytes end in a correct
+// trailer (magic + CRC32C of the body).
+func snapshotValid(data []byte) bool {
+	if len(data) < 8 {
+		return false
+	}
+	body, trailer := data[:len(data)-8], data[len(data)-8:]
+	if string(trailer[:4]) != snapTrailerMagic {
+		return false
+	}
+	return crc32.Checksum(body, castagnoli) == binary.LittleEndian.Uint32(trailer[4:])
+}
+
+// InstallSnapshot validates raw (a snapshot file as shipped, trailer
+// included) and atomically installs it in dir under the canonical name for
+// the sequence it covers. A follower bootstrapping from a leader snapshot
+// installs it, then opens its store normally — recovery loads it exactly
+// as if this node had written it.
+func InstallSnapshot(dir string, seq uint64, raw []byte) error {
+	if !snapshotValid(raw) {
+		return fmt.Errorf("durable: installing snapshot at seq %d: trailer CRC invalid (%d bytes)", seq, len(raw))
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("durable: creating snapshot dir: %w", err)
+	}
+	tmp := filepath.Join(dir, fmt.Sprintf("snap-%016x.tmp", seq))
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return fmt.Errorf("durable: writing shipped snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, snapshotPath(dir, seq)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("durable: publishing shipped snapshot: %w", err)
+	}
+	return syncDir(dir)
+}
+
 // compactSnapshots removes snapshots older than the newest one at or
 // below seq, keeping that one (and anything newer, which cannot exist in
 // normal operation).

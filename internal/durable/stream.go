@@ -1,0 +1,153 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// This file is the read side of WAL shipping: a leader (or any replica —
+// every node's log is byte-identical by construction) serves raw frame
+// bytes from its segments, and a follower re-verifies the CRCs and applies
+// the records through the normal ingest path. Frames are shipped verbatim:
+// the receiver checks exactly the bytes the sender's crash recovery would
+// check, so a replication link cannot smuggle damage past the same CRC
+// that guards the disk.
+
+// ErrCompacted reports that the requested sequence has been compacted
+// away: a snapshot covered it and its segment was deleted. The caller must
+// bootstrap from a snapshot instead of tailing the log.
+var ErrCompacted = errors.New("durable: requested frames compacted away")
+
+// Frames is one chunk of the replication feed: verbatim frame bytes for a
+// contiguous run of records.
+type Frames struct {
+	// From is the sequence of the first frame in Raw.
+	From uint64
+	// Count is the number of complete frames in Raw.
+	Count int
+	// Raw holds the frames exactly as they sit in the log; the receiver
+	// can CRC-check them with IterFrames or FrameBoundaries.
+	Raw []byte
+	// Next is From + Count — the sequence to request next.
+	Next uint64
+	// OldestAvailable is the first sequence still on disk; a request below
+	// it returns ErrCompacted.
+	OldestAvailable uint64
+}
+
+// ReadFrames returns up to maxBytes of raw frames starting at sequence
+// from (always at least one whole frame when any is available; frames are
+// never split). An empty result with Next == from means the log ends at
+// from — the caller should wait for appends and retry. Safe to call while
+// a WAL in the same directory is appending: a partially written tail frame
+// fails its CRC and is simply not shipped yet.
+func ReadFrames(dir string, from uint64, maxBytes int) (Frames, error) {
+	out := Frames{From: from, Next: from}
+	if maxBytes <= 0 {
+		maxBytes = 1 << 20
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return out, err
+	}
+	if len(segs) == 0 {
+		out.OldestAvailable = from
+		return out, nil
+	}
+	out.OldestAvailable = segs[0].firstSeq
+	if from < segs[0].firstSeq {
+		return out, fmt.Errorf("%w: want seq %d, oldest on disk is %d", ErrCompacted, from, segs[0].firstSeq)
+	}
+	// Skip segments wholly before from without reading them.
+	start := 0
+	for start+1 < len(segs) && segs[start+1].firstSeq <= from {
+		start++
+	}
+	for i := start; i < len(segs); i++ {
+		s := segs[i]
+		data, err := os.ReadFile(s.path)
+		if err != nil {
+			return out, fmt.Errorf("durable: reading segment: %w", err)
+		}
+		final := i == len(segs)-1
+		seq := s.firstSeq
+		off := 0
+		for off < len(data) {
+			_, n, ok := parseFrame(data[off:])
+			if !ok {
+				if !final {
+					return out, corruptErr(s, seq, off)
+				}
+				// Unfinished tail frame: not shipped until complete.
+				return out, nil
+			}
+			if seq >= from {
+				if out.Count > 0 && len(out.Raw)+n > maxBytes {
+					return out, nil
+				}
+				if out.Count == 0 {
+					out.From = seq
+					out.Next = seq
+				}
+				out.Raw = append(out.Raw, data[off:off+n]...)
+				out.Count++
+				out.Next = seq + 1
+			}
+			seq++
+			off += n
+		}
+	}
+	return out, nil
+}
+
+// IterFrames walks raw frame bytes (as shipped by ReadFrames), calling fn
+// for each CRC-valid frame in order. It stops at the first invalid or
+// incomplete frame — on a replication link that is a truncated delivery,
+// and the receiver simply re-requests from where it got to. Returns the
+// number of frames delivered to fn and the byte offset consumed. A non-nil
+// error is fn's, returned as-is.
+//
+// Record slices passed to fn alias data and must not be retained.
+func IterFrames(data []byte, fn func(rec Record) error) (frames int, consumed int64, err error) {
+	off := 0
+	for off < len(data) {
+		rec, n, ok := parseFrame(data[off:])
+		if !ok {
+			break
+		}
+		if err := fn(rec); err != nil {
+			return frames, int64(off), err
+		}
+		frames++
+		off += n
+	}
+	return frames, int64(off), nil
+}
+
+// corruptErr formats the ErrCorrupt family uniformly: segment filename,
+// frame index within the segment, and byte offset — enough for an operator
+// to locate the damage without a hex dump.
+func corruptErr(s segment, seq uint64, off int) error {
+	return fmt.Errorf("%w: segment %s frame %d (seq %d) at byte offset %d fails CRC",
+		ErrCorrupt, filepath.Base(s.path), seq-s.firstSeq, seq, off)
+}
+
+// HasState reports whether dir holds any durable state (log segments or
+// snapshots). A follower with no state bootstraps from the leader's
+// newest snapshot before opening its store.
+func HasState(dir string) (bool, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return false, err
+	}
+	if len(segs) > 0 {
+		return true, nil
+	}
+	snaps, err := listSnapshots(dir)
+	if err != nil {
+		return false, err
+	}
+	return len(snaps) > 0, nil
+}

@@ -1,0 +1,178 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"usersignals/internal/simrand"
+)
+
+// FrameLink injects faults into a WAL-frame replication stream. It sits
+// between a follower's fetch and the frames the leader returned, mangling
+// deliveries the way a flaky network path would — but deterministically,
+// from a seeded stream, so chaos runs replay bit-for-bit.
+//
+// Fault semantics are chosen to match what a real link can do to a
+// fetch-response protocol:
+//
+//   - drop: the delivery is lost; the caller sees an error and retries.
+//   - duplicate: the previous delivery arrives again, with its original
+//     starting sequence — a retransmission of a whole response. (Frames are
+//     never duplicated inside one delivery: a response is one TCP stream,
+//     and re-sequencing within it is not a failure a link produces.)
+//   - truncate: the response is cut mid-frame; the tail frame fails its CRC
+//     on the receiver and is re-requested.
+//   - delay: the delivery is late.
+//
+// Sever/Heal model a partition: while severed, every delivery fails with
+// ErrLinkDown regardless of the drawn fate.
+type FrameLink struct {
+	plan   LinkPlan
+	stream *simrand.Stream
+
+	mu      sync.Mutex
+	seq     uint64
+	counts  LinkCounts
+	severed bool
+
+	// Previous successful delivery, replayed verbatim on a duplicate.
+	lastFrom uint64
+	last     []byte
+	hasLast  bool
+}
+
+// ErrLinkDown is returned for every delivery attempted across a severed
+// link.
+var ErrLinkDown = errors.New("faults: frame link severed")
+
+// LinkPlan configures a FrameLink. Probabilities are evaluated
+// independently per delivery in a fixed order: delay, drop, duplicate,
+// truncate. The zero value injects nothing.
+type LinkPlan struct {
+	// Seed keys the decision stream; the same seed replays the same fault
+	// sequence.
+	Seed uint64
+
+	// DropP is the probability a delivery is lost entirely (the caller gets
+	// an error, as if the fetch timed out).
+	DropP float64
+
+	// DupP is the probability the previous delivery is retransmitted in
+	// place of this one, with its original from-sequence. No-op until a
+	// first delivery has gone through.
+	DupP float64
+
+	// TruncateP is the probability the delivered bytes are cut mid-frame.
+	// No-op on deliveries shorter than two frames' worth of bytes only in
+	// the sense that cutting may leave zero whole frames — which is fine;
+	// the receiver just re-requests.
+	TruncateP float64
+
+	// DelayP is the probability of sleeping a uniform duration in
+	// (0, MaxDelay] before delivering.
+	DelayP   float64
+	MaxDelay time.Duration
+}
+
+// LinkCounts tallies what a FrameLink actually did, so chaos tests can
+// assert a minimum fault rate was exercised.
+type LinkCounts struct {
+	Deliveries int // attempts, including while severed
+	Severed    int // attempts refused by a partition
+	Drops      int
+	Dups       int
+	Truncates  int
+	Delays     int
+}
+
+// Faults returns the number of deliveries that were visibly disturbed
+// (severed, dropped, duplicated, or truncated).
+func (c LinkCounts) Faults() int {
+	return c.Severed + c.Drops + c.Dups + c.Truncates
+}
+
+// NewFrameLink returns a link for the plan.
+func NewFrameLink(plan LinkPlan) *FrameLink {
+	return &FrameLink{plan: plan, stream: simrand.Root(plan.Seed).Derive("framelink")}
+}
+
+// Counts returns a snapshot of the tally so far.
+func (l *FrameLink) Counts() LinkCounts {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.counts
+}
+
+// Sever partitions the link: subsequent deliveries fail with ErrLinkDown
+// until Heal.
+func (l *FrameLink) Sever() {
+	l.mu.Lock()
+	l.severed = true
+	l.mu.Unlock()
+}
+
+// Heal reconnects a severed link.
+func (l *FrameLink) Heal() {
+	l.mu.Lock()
+	l.severed = false
+	l.mu.Unlock()
+}
+
+// Deliver passes one fetched response (raw frames starting at sequence
+// from) through the link and returns what actually arrives. The returned
+// slice may alias frames (clean delivery) or be a retained copy of an
+// earlier delivery (duplicate). An error means the delivery was lost; the
+// caller retries its fetch.
+func (l *FrameLink) Deliver(from uint64, frames []byte) (uint64, []byte, error) {
+	l.mu.Lock()
+	l.counts.Deliveries++
+	if l.severed {
+		l.counts.Severed++
+		l.mu.Unlock()
+		return 0, nil, ErrLinkDown
+	}
+	seq := l.seq
+	l.seq++
+	rng := l.stream.Derive("deliver/%d", seq).RNG()
+	p := l.plan
+	var delay time.Duration
+	if rng.Bool(p.DelayP) && p.MaxDelay > 0 {
+		delay = time.Duration(rng.Range(0, float64(p.MaxDelay))) + 1
+	}
+	drop := rng.Bool(p.DropP)
+	dup := rng.Bool(p.DupP) && l.hasLast
+	trunc := rng.Bool(p.TruncateP) && len(frames) > 0
+
+	if delay > 0 {
+		l.counts.Delays++
+	}
+	outFrom, out := from, frames
+	switch {
+	case drop:
+		l.counts.Drops++
+	case dup:
+		l.counts.Dups++
+		outFrom, out = l.lastFrom, l.last
+	case trunc:
+		l.counts.Truncates++
+		out = frames[:len(frames)-(len(frames)/2+1)]
+	}
+	if !drop && !dup && len(out) > 0 {
+		// Remember the clean (possibly truncated) delivery for a future
+		// retransmission. Copy: the caller's buffer may be reused.
+		l.lastFrom = outFrom
+		l.last = append([]byte(nil), out...)
+		l.hasLast = true
+	}
+	l.mu.Unlock()
+
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if drop {
+		return 0, nil, fmt.Errorf("faults: injected frame-link drop (delivery %d)", seq)
+	}
+	return outFrom, out, nil
+}

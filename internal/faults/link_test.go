@@ -1,0 +1,131 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// deliverAll pushes n synthetic deliveries through a link and records each
+// outcome as a compact fate string for determinism comparison.
+func deliverAll(l *FrameLink, n int) []string {
+	var fates []string
+	payload := bytes.Repeat([]byte("frame-bytes-"), 8)
+	for i := 0; i < n; i++ {
+		from := uint64(i * 10)
+		gotFrom, got, err := l.Deliver(from, payload)
+		switch {
+		case err != nil:
+			fates = append(fates, "drop")
+		case gotFrom != from:
+			fates = append(fates, fmt.Sprintf("dup@%d", gotFrom))
+		case len(got) < len(payload):
+			fates = append(fates, fmt.Sprintf("trunc:%d", len(got)))
+		default:
+			fates = append(fates, "ok")
+		}
+	}
+	return fates
+}
+
+func TestFrameLinkDeterministic(t *testing.T) {
+	plan := LinkPlan{Seed: 7, DropP: 0.2, DupP: 0.2, TruncateP: 0.2}
+	a := deliverAll(NewFrameLink(plan), 200)
+	b := deliverAll(NewFrameLink(plan), 200)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delivery %d differs across identical seeds: %q vs %q", i, a[i], b[i])
+		}
+	}
+	var faults int
+	for _, f := range a {
+		if f != "ok" {
+			faults++
+		}
+	}
+	if faults == 0 {
+		t.Fatal("plan with 20% probabilities injected nothing in 200 deliveries")
+	}
+	c := NewFrameLink(plan)
+	deliverAll(c, 200)
+	if got := c.Counts(); got.Faults() != faults || got.Deliveries != 200 {
+		t.Fatalf("counts %+v disagree with observed %d faults", got, faults)
+	}
+	other := deliverAll(NewFrameLink(LinkPlan{Seed: 8, DropP: 0.2, DupP: 0.2, TruncateP: 0.2}), 200)
+	same := true
+	for i := range a {
+		if a[i] != other[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical fault sequence")
+	}
+}
+
+// TestFrameLinkDuplicate: a duplicate re-delivers the previous whole
+// response with its original from-sequence — never frames re-shuffled
+// inside one delivery.
+func TestFrameLinkDuplicate(t *testing.T) {
+	l := NewFrameLink(LinkPlan{Seed: 3, DupP: 1})
+	first := []byte("first-delivery")
+	gotFrom, got, err := l.Deliver(5, first)
+	if err != nil || gotFrom != 5 || !bytes.Equal(got, first) {
+		t.Fatalf("first delivery (nothing to duplicate yet): from=%d %q err=%v", gotFrom, got, err)
+	}
+	// Mutating the caller's buffer must not corrupt the retained copy.
+	first[0] = 'X'
+	gotFrom, got, err = l.Deliver(9, []byte("second-delivery"))
+	if err != nil || gotFrom != 5 || string(got) != "first-delivery" {
+		t.Fatalf("duplicate: from=%d %q err=%v, want retransmission of first", gotFrom, got, err)
+	}
+	if l.Counts().Dups != 1 {
+		t.Fatalf("counts %+v", l.Counts())
+	}
+}
+
+func TestFrameLinkTruncate(t *testing.T) {
+	l := NewFrameLink(LinkPlan{Seed: 11, TruncateP: 1})
+	payload := bytes.Repeat([]byte("abcd"), 20)
+	gotFrom, got, err := l.Deliver(0, payload)
+	if err != nil || gotFrom != 0 {
+		t.Fatalf("truncated delivery: from=%d err=%v", gotFrom, err)
+	}
+	if len(got) >= len(payload) || !bytes.Equal(got, payload[:len(got)]) {
+		t.Fatalf("truncation must yield a strict prefix: got %d of %d bytes", len(got), len(payload))
+	}
+}
+
+func TestFrameLinkSeverHeal(t *testing.T) {
+	l := NewFrameLink(LinkPlan{Seed: 1})
+	if _, _, err := l.Deliver(0, []byte("x")); err != nil {
+		t.Fatalf("healthy link dropped: %v", err)
+	}
+	l.Sever()
+	if _, _, err := l.Deliver(1, []byte("x")); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("severed link delivered (err=%v)", err)
+	}
+	l.Heal()
+	if _, _, err := l.Deliver(2, []byte("x")); err != nil {
+		t.Fatalf("healed link dropped: %v", err)
+	}
+	if got := l.Counts(); got.Severed != 1 || got.Deliveries != 3 {
+		t.Fatalf("counts %+v", got)
+	}
+}
+
+func TestFrameLinkZeroPlanIsTransparent(t *testing.T) {
+	l := NewFrameLink(LinkPlan{})
+	for i := 0; i < 50; i++ {
+		payload := []byte(fmt.Sprintf("delivery-%d", i))
+		gotFrom, got, err := l.Deliver(uint64(i), payload)
+		if err != nil || gotFrom != uint64(i) || !bytes.Equal(got, payload) {
+			t.Fatalf("zero plan disturbed delivery %d: from=%d %q err=%v", i, gotFrom, got, err)
+		}
+	}
+	if got := l.Counts(); got.Faults() != 0 {
+		t.Fatalf("zero plan counted faults: %+v", got)
+	}
+}

@@ -1,0 +1,72 @@
+package replica
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"usersignals/internal/durable"
+	"usersignals/internal/usaas"
+)
+
+// BenchmarkFollowerCatchup measures how fast a fresh follower drains a
+// leader's log over the frame feed: open an empty store, tail until
+// caught up, report records and payload bytes per second. The leader is
+// built once; each iteration replays the same catch-up from scratch.
+func BenchmarkFollowerCatchup(b *testing.B) {
+	dopts := usaas.DurabilityOptions{Fsync: durable.FsyncOff, SegmentBytes: 1 << 20}
+	leaderDir := b.TempDir()
+	leaderStore, err := usaas.OpenDurableStore(usaas.DurabilityOptions{
+		Dir: leaderDir, Fsync: durable.FsyncOff, SegmentBytes: 1 << 20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer leaderStore.Close()
+	leaderNode, err := Open(leaderStore, Options{Role: RoleLeader})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer leaderNode.Close()
+	srv := usaas.NewServer(leaderStore.Store, usaas.ServerOptions{})
+	ts := httptest.NewServer(leaderNode.Wrap(srv.Handler()))
+	defer ts.Close()
+
+	client := usaas.NewClient(ts.URL, nil)
+	for _, batch := range chaosBatches(b, 99) {
+		sendBatch(b, client, batch)
+	}
+	records := leaderStore.WALSeq()
+	walSize := int64(len(walBytes(b, leaderDir)))
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		store, err := usaas.OpenDurableStore(usaas.DurabilityOptions{
+			Dir: dir, Fsync: dopts.Fsync, SegmentBytes: dopts.SegmentBytes,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		node, err := Open(store, Options{
+			Role: RoleFollower, LeaderURL: ts.URL,
+			PollWait:      100 * time.Millisecond,
+			RetryInterval: time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for store.WALSeq() < records {
+			time.Sleep(200 * time.Microsecond)
+		}
+		b.StopTimer()
+		node.Close()
+		store.Close()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+	b.ReportMetric(float64(walSize)*float64(b.N)/b.Elapsed().Seconds()/(1<<20), "MiB/s")
+	b.SetBytes(walSize)
+}

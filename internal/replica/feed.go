@@ -1,0 +1,209 @@
+package replica
+
+import (
+	"crypto/subtle"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"usersignals/internal/durable"
+)
+
+// The HTTP surface of replication. Every node serves the feed — a
+// follower's log is byte-identical to the leader's, so a newly promoted
+// leader keeps feeding the remaining followers without any state
+// handover. Wrap layers the role discipline over the service handler:
+// follower writes are redirected to the leader, follower reads carry lag
+// headers and degrade to 503 past the staleness bound.
+
+const replicaPrefix = "/v1/replica/"
+
+// Wrap returns the node's HTTP handler: /v1/replica/* endpoints are
+// served here, health endpoints pass through untouched, and everything
+// else goes through the role discipline before reaching next (the usaas
+// service handler).
+func (n *Node) Wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, replicaPrefix) {
+			n.serveReplica(w, r)
+			return
+		}
+		if r.URL.Path == "/v1/healthz" || r.URL.Path == "/v1/readyz" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		n.mu.Lock()
+		role, leaderURL := n.role, n.leaderURL
+		n.mu.Unlock()
+		if role == RoleFollower {
+			if r.Method != http.MethodGet && r.Method != http.MethodHead {
+				// Writes belong on the leader. 307 preserves method+body;
+				// the usaas client re-points itself from the Location.
+				w.Header().Set("Location", leaderURL+r.URL.RequestURI())
+				writeJSON(w, http.StatusTemporaryRedirect,
+					map[string]string{"error": "follower does not accept writes; leader is " + leaderURL})
+				return
+			}
+			records, staleness := n.Lag()
+			w.Header().Set(HeaderReplicaLag, strconv.FormatUint(records, 10))
+			if staleness < time.Duration(1<<62-1) {
+				w.Header().Set(HeaderReplicaStaleness, strconv.FormatInt(staleness.Milliseconds(), 10))
+			}
+			if err := n.Ready(); err != nil {
+				// Stale past the bound (or degraded): refuse rather than
+				// serve silently wrong answers.
+				w.Header().Set("Retry-After", "1")
+				writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+				return
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+func (n *Node) serveReplica(w http.ResponseWriter, r *http.Request) {
+	if n.opts.Token != "" {
+		want := "Bearer " + n.opts.Token
+		if subtle.ConstantTimeCompare([]byte(r.Header.Get("Authorization")), []byte(want)) != 1 {
+			writeJSON(w, http.StatusUnauthorized, map[string]string{"error": "missing or invalid bearer token"})
+			return
+		}
+	}
+	switch r.URL.Path {
+	case "/v1/replica/frames":
+		n.serveFrames(w, r)
+	case "/v1/replica/snapshot":
+		n.serveSnapshot(w, r)
+	case "/v1/replica/status":
+		writeJSON(w, http.StatusOK, n.CurrentStatus())
+	case "/v1/replica/promote":
+		if r.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "promote requires POST"})
+			return
+		}
+		n.Promote()
+		writeJSON(w, http.StatusOK, n.CurrentStatus())
+	default:
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown replica endpoint " + r.URL.Path})
+	}
+}
+
+// serveFrames is the feed: GET /v1/replica/frames?from=N&max_bytes=B&wait_ms=W
+// returns raw WAL frames starting at sequence N, holding an empty
+// response open up to W milliseconds for new appends (long poll). A
+// request below the compaction horizon gets 410 Gone — the follower must
+// bootstrap from a snapshot instead.
+func (n *Node) serveFrames(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "frames requires GET"})
+		return
+	}
+	q := r.URL.Query()
+	from, err := strconv.ParseUint(q.Get("from"), 10, 64)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "from: invalid sequence"})
+		return
+	}
+	maxBytes := n.opts.MaxFetchBytes
+	if v := q.Get("max_bytes"); v != "" {
+		mb, err := strconv.Atoi(v)
+		if err != nil || mb <= 0 {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "max_bytes: invalid size"})
+			return
+		}
+		if mb < maxBytes {
+			maxBytes = mb
+		}
+	}
+	var wait time.Duration
+	if v := q.Get("wait_ms"); v != "" {
+		ms, err := strconv.Atoi(v)
+		if err != nil || ms < 0 {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "wait_ms: invalid duration"})
+			return
+		}
+		wait = time.Duration(ms) * time.Millisecond
+		if wait > 30*time.Second {
+			wait = 30 * time.Second
+		}
+	}
+
+	deadline := time.NewTimer(wait)
+	defer deadline.Stop()
+	for {
+		// Arm the append signal BEFORE reading: an append that lands
+		// between the read and the wait still wakes us.
+		sig := n.store.AppendSignal()
+		fr, err := durable.ReadFrames(n.store.Dir(), from, maxBytes)
+		if err != nil {
+			if errors.Is(err, durable.ErrCompacted) {
+				w.Header().Set(HeaderOldestSeq, strconv.FormatUint(fr.OldestAvailable, 10))
+				writeJSON(w, http.StatusGone, map[string]string{"error": err.Error()})
+				return
+			}
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			return
+		}
+		if fr.Count > 0 || wait <= 0 {
+			w.Header().Set(HeaderFramesFrom, strconv.FormatUint(fr.From, 10))
+			w.Header().Set(HeaderFramesCount, strconv.Itoa(fr.Count))
+			w.Header().Set(HeaderLeaderSeq, strconv.FormatUint(n.store.WALSeq(), 10))
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.WriteHeader(http.StatusOK)
+			w.Write(fr.Raw)
+			return
+		}
+		select {
+		case <-sig:
+			// New append: loop and re-read.
+		case <-deadline.C:
+			wait = 0 // answer empty on the next pass
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// serveSnapshot ships the newest valid snapshot file verbatim (trailer
+// included), for follower bootstrap. 204 when the node has none — the
+// follower then starts from sequence 0 and replays the whole log.
+func (n *Node) serveSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "snapshot requires GET"})
+		return
+	}
+	seq, raw, found, err := durable.LatestSnapshotRaw(n.store.Dir())
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	if !found {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	w.Header().Set(HeaderSnapshotSeq, strconv.FormatUint(seq, 10))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(raw)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(raw)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// errStatus reports a non-2xx feed response.
+type errStatus struct {
+	status int
+	msg    string
+}
+
+func (e *errStatus) Error() string {
+	return fmt.Sprintf("replica: feed answered %d: %s", e.status, e.msg)
+}

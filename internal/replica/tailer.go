@@ -1,0 +1,217 @@
+package replica
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"usersignals/internal/durable"
+)
+
+// The follower's catch-up loop. It fetches raw frames from the leader's
+// feed, optionally runs them through the fault-injecting link, and
+// applies them in sequence order through the store's normal ingest path.
+// Two link pathologies are handled by sequence arithmetic alone:
+//
+//   - duplication: a retransmitted delivery starts at a sequence the
+//     follower has already applied; the overlap is skipped frame by frame.
+//   - truncation: IterFrames stops at the first CRC-invalid frame, the
+//     applied prefix advances the cursor, and the next fetch re-requests
+//     the rest. Nothing corrupt is ever applied — the CRC the link cannot
+//     forge is the same one that guards the disk.
+//
+// A gap (delivery starting past the cursor) is discarded and re-fetched.
+// Falling behind the leader's compaction horizon (410) is sticky
+// degradation: the follower's log can no longer be byte-identical by
+// tailing, so it stops and reports through Ready rather than guessing.
+
+// fetched is one feed response.
+type fetched struct {
+	from      uint64
+	raw       []byte
+	leaderSeq uint64
+}
+
+func (n *Node) tailLoop() {
+	defer n.wg.Done()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-n.stop
+		cancel()
+	}()
+
+	from := n.store.WALSeq()
+	for {
+		select {
+		case <-n.stop:
+			return
+		default:
+		}
+		fr, err := n.fetch(ctx, from)
+		if err != nil {
+			var es *errStatus
+			if isStatus(err, &es) && es.status == http.StatusGone {
+				n.setDegraded(fmt.Errorf("replica: fell behind the leader's compaction horizon: %s", es.msg))
+				return
+			}
+			if ctx.Err() != nil {
+				return
+			}
+			n.sleep(n.opts.RetryInterval)
+			continue
+		}
+		deliverFrom, raw := fr.from, fr.raw
+		if n.opts.Link != nil {
+			deliverFrom, raw, err = n.opts.Link.Deliver(fr.from, fr.raw)
+			if err != nil {
+				// Delivery lost on the link (or the link is severed):
+				// nothing arrived, so the leader was NOT heard from —
+				// staleness keeps growing. Re-fetch.
+				n.sleep(n.opts.RetryInterval)
+				continue
+			}
+		}
+		n.noteContact(fr.leaderSeq)
+		if deliverFrom > from {
+			// Gap: frames for sequences we have not reached. Refetch.
+			continue
+		}
+		skip := from - deliverFrom
+		applied := 0
+		_, _, aerr := durable.IterFrames(raw, func(rec durable.Record) error {
+			if skip > 0 {
+				skip--
+				return nil
+			}
+			if _, err := n.store.ApplyReplicated(rec); err != nil {
+				return err
+			}
+			from++
+			applied++
+			return nil
+		})
+		if aerr != nil {
+			// A CRC-valid record that fails to apply is not a link fault —
+			// the node cannot mirror the leader anymore.
+			n.setDegraded(fmt.Errorf("replica: applying frame at seq %d: %w", from, aerr))
+			return
+		}
+		if applied == 0 && len(fr.raw) == 0 {
+			// Empty long poll: the leader had nothing new within the hold.
+			continue
+		}
+	}
+}
+
+// fetch asks the leader for frames starting at from. The long poll means
+// a healthy idle link blocks server-side rather than spinning here.
+func (n *Node) fetch(ctx context.Context, from uint64) (fetched, error) {
+	n.mu.Lock()
+	leaderURL := n.leaderURL
+	n.mu.Unlock()
+	u := fmt.Sprintf("%s/v1/replica/frames?from=%d&max_bytes=%d&wait_ms=%d",
+		leaderURL, from, n.opts.MaxFetchBytes, n.opts.PollWait.Milliseconds())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return fetched{}, err
+	}
+	if n.opts.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+n.opts.Token)
+	}
+	resp, err := n.opts.HTTPClient.Do(req)
+	if err != nil {
+		return fetched{}, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, int64(n.opts.MaxFetchBytes)+(64<<10)))
+	if err != nil {
+		return fetched{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fetched{}, &errStatus{status: resp.StatusCode, msg: string(body)}
+	}
+	f := fetched{raw: body}
+	if f.from, err = strconv.ParseUint(resp.Header.Get(HeaderFramesFrom), 10, 64); err != nil {
+		return fetched{}, fmt.Errorf("replica: feed response missing %s", HeaderFramesFrom)
+	}
+	if f.leaderSeq, err = strconv.ParseUint(resp.Header.Get(HeaderLeaderSeq), 10, 64); err != nil {
+		return fetched{}, fmt.Errorf("replica: feed response missing %s", HeaderLeaderSeq)
+	}
+	return f, nil
+}
+
+// sleep waits for d or until the node is stopped.
+func (n *Node) sleep(d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-n.stop:
+	}
+}
+
+// isStatus unwraps err into *errStatus.
+func isStatus(err error, out **errStatus) bool {
+	es, ok := err.(*errStatus)
+	if ok {
+		*out = es
+	}
+	return ok
+}
+
+// Bootstrap seeds an empty data directory from the leader's newest
+// snapshot, so a fresh follower starts at the snapshot's sequence instead
+// of replaying the leader's whole history (which may be partially
+// compacted away). Call it BEFORE usaas.OpenDurableStore; recovery then
+// loads the installed snapshot exactly as if this node had written it.
+// No-op (false, nil) when dir already holds state or the leader has no
+// snapshot yet.
+func Bootstrap(ctx context.Context, dir, leaderURL, token string, hc *http.Client) (installed bool, err error) {
+	has, err := durable.HasState(dir)
+	if err != nil {
+		return false, err
+	}
+	if has {
+		return false, nil
+	}
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimRight(leaderURL, "/")+"/v1/replica/snapshot", nil)
+	if err != nil {
+		return false, err
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return false, fmt.Errorf("replica: fetching bootstrap snapshot: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNoContent {
+		return false, nil // leader has no snapshot; tail from sequence 0
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		return false, &errStatus{status: resp.StatusCode, msg: string(body)}
+	}
+	seq, err := strconv.ParseUint(resp.Header.Get(HeaderSnapshotSeq), 10, 64)
+	if err != nil {
+		return false, fmt.Errorf("replica: snapshot response missing %s", HeaderSnapshotSeq)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return false, fmt.Errorf("replica: reading bootstrap snapshot: %w", err)
+	}
+	if err := durable.InstallSnapshot(dir, seq, raw); err != nil {
+		return false, err
+	}
+	return true, nil
+}

@@ -63,8 +63,17 @@ type BreakerPolicy struct {
 // ClientOptions configures NewClientWithOptions. The zero value gives the
 // same defaults as NewClient.
 type ClientOptions struct {
-	// HTTPClient defaults to http.DefaultClient.
+	// HTTPClient defaults to http.DefaultClient. With Endpoints set, the
+	// client is copied with redirect-following disabled so leader
+	// redirects flow through the failover logic (which re-sends with all
+	// headers intact; Go's auto-follow drops Authorization across hosts).
 	HTTPClient *http.Client
+	// Endpoints lists every replica of the service. When set, writes go to
+	// the endpoint currently believed to be the leader (learned from
+	// 307/308 leader-redirects and /v1/replica/status probes) and reads
+	// rotate across the whole set. baseURL may be empty; the first
+	// endpoint seeds the leader belief.
+	Endpoints []string
 	// Token, when set, authenticates every request ("Bearer <token>").
 	Token string
 	// Retry tunes the retry loop; zero fields take defaults.
@@ -100,6 +109,7 @@ type Client struct {
 	state    *breakerState
 	batchSeq *atomic.Uint64
 	batchPre string
+	cluster  *cluster // nil without Endpoints (failover.go)
 }
 
 type lockedRNG struct {
@@ -133,6 +143,20 @@ func NewClientWithOptions(baseURL string, opts ClientOptions) *Client {
 	hc := opts.HTTPClient
 	if hc == nil {
 		hc = http.DefaultClient
+	}
+	cl := newCluster(opts.Endpoints)
+	if cl != nil {
+		if baseURL == "" {
+			baseURL = cl.leaderURL().String()
+		}
+		// Handle redirects ourselves: re-pointing the leader and re-sending
+		// keeps the Authorization header, which Go's auto-follow strips on
+		// cross-host redirects.
+		hcCopy := *hc
+		hcCopy.CheckRedirect = func(*http.Request, []*http.Request) error {
+			return http.ErrUseLastResponse
+		}
+		hc = &hcCopy
 	}
 	r := opts.Retry
 	if r.MaxAttempts <= 0 {
@@ -179,6 +203,7 @@ func NewClientWithOptions(baseURL string, opts ClientOptions) *Client {
 		state:    &breakerState{},
 		batchSeq: &atomic.Uint64{},
 		batchPre: pre,
+		cluster:  cl,
 	}
 }
 
@@ -232,6 +257,14 @@ type statusError struct {
 	status       int
 	msg          string
 	retryAfter   time.Duration
+	location     string // Location header on a 3xx (leader redirect)
+}
+
+// asStatusError unwraps err to a *statusError if one is in the chain.
+func asStatusError(err error) (*statusError, bool) {
+	var se *statusError
+	ok := errors.As(err, &se)
+	return se, ok
 }
 
 func (e *statusError) Error() string {
@@ -261,6 +294,9 @@ func retryable(err error) bool {
 			http.StatusBadGateway, http.StatusServiceUnavailable,
 			http.StatusGatewayTimeout:
 			return true
+		case http.StatusTemporaryRedirect, http.StatusPermanentRedirect:
+			// A leader redirect: retried immediately against the leader.
+			return true
 		}
 		return false
 	}
@@ -273,8 +309,13 @@ func retryable(err error) bool {
 }
 
 // countsAgainstBreaker reports whether a failure indicates server sickness
-// (as opposed to a caller mistake like a 400 or a canceled context).
+// (as opposed to a caller mistake like a 400 or a canceled context). A
+// leader redirect is routing information, not sickness.
 func countsAgainstBreaker(err error) bool {
+	if se, ok := asStatusError(err); ok &&
+		(se.status == http.StatusTemporaryRedirect || se.status == http.StatusPermanentRedirect) {
+		return false
+	}
 	return retryable(err)
 }
 
@@ -294,6 +335,7 @@ func (c *Client) do(req *http.Request, out any) error {
 			}
 			return err
 		}
+		c.retarget(req)
 		err := c.doOnce(req, out)
 		c.breakerRecord(err)
 		if err == nil {
@@ -305,8 +347,16 @@ func (c *Client) do(req *http.Request, out any) error {
 		if req.Body != nil && req.GetBody == nil {
 			return err // streaming body: cannot replay
 		}
-		if werr := c.wait(ctx, c.backoff(attempt, err)); werr != nil {
-			return fmt.Errorf("usaas client: %s %s: %w (last error: %v)", req.Method, req.URL.Path, werr, err)
+		if !c.noteRedirect(err) {
+			// A real failure: back off, and if this was a write on a
+			// replicated cluster, re-discover the leader before retrying —
+			// the node we wrote to may be dead or demoted.
+			if werr := c.wait(ctx, c.backoff(attempt, err)); werr != nil {
+				return fmt.Errorf("usaas client: %s %s: %w (last error: %v)", req.Method, req.URL.Path, werr, err)
+			}
+			if c.cluster != nil && req.Method != http.MethodGet {
+				c.probeLeader(ctx)
+			}
 		}
 		if req.GetBody != nil {
 			body, berr := req.GetBody()
@@ -332,6 +382,7 @@ func (c *Client) doOnce(req *http.Request, out any) error {
 			path:       req.URL.Path,
 			status:     resp.StatusCode,
 			retryAfter: parseRetryAfter(resp.Header.Get("Retry-After"), c.now),
+			location:   resp.Header.Get("Location"),
 		}
 		var apiErr apiError
 		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))

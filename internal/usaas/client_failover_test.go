@@ -1,0 +1,159 @@
+package usaas
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// failoverPair starts two stores behind handlers that emulate the replica
+// write discipline: the node currently marked leader ingests, the other
+// answers writes with a 307 to the leader and serves reads locally.
+type failoverPair struct {
+	stores  [2]*Store
+	servers [2]*httptest.Server
+	leader  atomic.Int32
+	token   string
+}
+
+func newFailoverPair(t *testing.T, token string) *failoverPair {
+	t.Helper()
+	p := &failoverPair{token: token}
+	for i := 0; i < 2; i++ {
+		i := i
+		p.stores[i] = &Store{}
+		inner := NewServer(p.stores[i], ServerOptions{AuthToken: token}).Handler()
+		p.servers[i] = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodGet && int32(i) != p.leader.Load() {
+				w.Header().Set("Location", p.servers[p.leader.Load()].URL+r.URL.Path)
+				w.WriteHeader(http.StatusTemporaryRedirect)
+				return
+			}
+			if r.URL.Path == "/v1/replica/status" {
+				role := "follower"
+				if int32(i) == p.leader.Load() {
+					role = "leader"
+				}
+				w.Header().Set("Content-Type", "application/json")
+				w.Write([]byte(`{"role":"` + role + `"}`))
+				return
+			}
+			inner.ServeHTTP(w, r)
+		}))
+		t.Cleanup(p.servers[i].Close)
+	}
+	return p
+}
+
+func (p *failoverPair) endpoints() []string {
+	return []string{p.servers[0].URL, p.servers[1].URL}
+}
+
+// TestClientFollowsLeaderRedirect: a write hitting a follower is answered
+// with a 307; the client re-points at the leader, re-sends with its
+// Authorization header intact, and remembers the leader for later writes.
+func TestClientFollowsLeaderRedirect(t *testing.T) {
+	p := newFailoverPair(t, "tok")
+	p.leader.Store(1) // client's initial belief (endpoint 0) is wrong
+	c := NewClientWithOptions("", ClientOptions{
+		Endpoints: p.endpoints(),
+		Token:     "tok",
+		Sleep:     func(time.Duration) {},
+	})
+	ctx := context.Background()
+	sessions, _ := crashDataset(t, 1)
+	resp, err := c.IngestSessions(ctx, sessions[:10])
+	if err != nil {
+		t.Fatalf("write via follower: %v", err)
+	}
+	if resp.Accepted != 10 {
+		t.Fatalf("accepted %d, want 10", resp.Accepted)
+	}
+	if n, _ := p.stores[1].Counts(); n != 10 {
+		t.Fatalf("leader store holds %d sessions, want 10", n)
+	}
+	if n, _ := p.stores[0].Counts(); n != 0 {
+		t.Fatalf("follower store holds %d sessions, want 0", n)
+	}
+	// The redirect taught the client where the leader is.
+	if got := c.cluster.leaderURL().Host; got != mustHost(t, p.servers[1].URL) {
+		t.Fatalf("leader belief %q, want %q", got, p.servers[1].URL)
+	}
+}
+
+// TestClientRetryThroughPromotion: the leader dies mid-stream, the other
+// node is promoted, and the client's write retries discover the new
+// leader via the status probe — no reconfiguration, no double-apply.
+func TestClientRetryThroughPromotion(t *testing.T) {
+	p := newFailoverPair(t, "")
+	p.leader.Store(0)
+	c := NewClientWithOptions("", ClientOptions{
+		Endpoints: p.endpoints(),
+		Retry:     RetryPolicy{MaxAttempts: 6},
+		Sleep:     func(time.Duration) {},
+	})
+	ctx := context.Background()
+	sessions, _ := crashDataset(t, 2)
+	if _, err := c.IngestSessionsBatch(ctx, "pre-failover", sessions[:5]); err != nil {
+		t.Fatalf("write before failover: %v", err)
+	}
+	// Kill the leader and promote the follower.
+	p.servers[0].Close()
+	p.leader.Store(1)
+	resp, err := c.IngestSessionsBatch(ctx, "post-failover", sessions[5:12])
+	if err != nil {
+		t.Fatalf("write through promotion: %v", err)
+	}
+	if resp.Accepted != 7 || resp.Duplicate {
+		t.Fatalf("post-failover ack %+v", resp)
+	}
+	if n, _ := p.stores[1].Counts(); n != 7 {
+		t.Fatalf("new leader holds %d sessions, want 7", n)
+	}
+	// An idempotent replay of the same batch stays a duplicate.
+	resp, err = c.IngestSessionsBatch(ctx, "post-failover", sessions[5:12])
+	if err != nil || !resp.Duplicate {
+		t.Fatalf("replay after failover: %+v err=%v", resp, err)
+	}
+}
+
+// TestClientReadFanIn: reads rotate across the replica set instead of
+// pinning the leader.
+func TestClientReadFanIn(t *testing.T) {
+	var hits [2]atomic.Int32
+	var servers [2]*httptest.Server
+	for i := 0; i < 2; i++ {
+		i := i
+		inner := NewServer(&Store{}, ServerOptions{}).Handler()
+		servers[i] = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			hits[i].Add(1)
+			inner.ServeHTTP(w, r)
+		}))
+		defer servers[i].Close()
+	}
+	c := NewClientWithOptions("", ClientOptions{
+		Endpoints: []string{servers[0].URL, servers[1].URL},
+	})
+	ctx := context.Background()
+	for i := 0; i < 6; i++ {
+		if _, err := c.Stats(ctx); err != nil {
+			t.Fatalf("stats %d: %v", i, err)
+		}
+	}
+	if hits[0].Load() != 3 || hits[1].Load() != 3 {
+		t.Fatalf("read fan-in: %d/%d hits, want 3/3", hits[0].Load(), hits[1].Load())
+	}
+}
+
+func mustHost(t *testing.T, raw string) string {
+	t.Helper()
+	u, err := url.Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u.Host
+}

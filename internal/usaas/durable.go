@@ -109,6 +109,11 @@ type DurableStore struct {
 	lastSnapSeq uint64
 	sinceSnap   int
 
+	// sigCh is closed and re-armed on every WAL append; the replication
+	// feed long-polls on it (AppendSignal).
+	sigMu sync.Mutex
+	sigCh chan struct{}
+
 	snapCh    chan struct{}
 	stop      chan struct{}
 	wg        sync.WaitGroup
@@ -132,6 +137,7 @@ func OpenDurableStore(opts DurabilityOptions) (*DurableStore, error) {
 	d := &DurableStore{
 		Store:  store,
 		opts:   opts,
+		sigCh:  make(chan struct{}),
 		snapCh: make(chan struct{}, 1),
 		stop:   make(chan struct{}),
 	}
@@ -245,6 +251,10 @@ func (d *DurableStore) logRecord(rec durable.Record) error {
 	if _, err := d.wal.Append(rec); err != nil {
 		return err
 	}
+	d.sigMu.Lock()
+	close(d.sigCh)
+	d.sigCh = make(chan struct{})
+	d.sigMu.Unlock()
 	if d.opts.SnapshotEvery > 0 {
 		d.snapMu.Lock()
 		d.sinceSnap++
@@ -266,6 +276,51 @@ func (d *DurableStore) logRecord(rec durable.Record) error {
 // Sync forces appended log records to stable storage (meaningful under
 // the interval and off fsync policies).
 func (d *DurableStore) Sync() error { return d.wal.Sync() }
+
+// Dir returns the store's data directory; the replication feed serves
+// frames straight from its sealed segments.
+func (d *DurableStore) Dir() string { return d.opts.Dir }
+
+// AppendSignal returns a channel that is closed when the next batch is
+// appended to the log. Long-poll feeds wait on it instead of spinning;
+// after it fires, call AppendSignal again for the following append.
+func (d *DurableStore) AppendSignal() <-chan struct{} {
+	d.sigMu.Lock()
+	defer d.sigMu.Unlock()
+	return d.sigCh
+}
+
+// ApplyReplicated applies one leader WAL record through the normal ingest
+// path, journaling the payload verbatim. Because the leader journals wire
+// bytes and never logs duplicates, a follower applying the leader's
+// records in sequence order writes a WAL that is byte-identical to the
+// leader's — and rebuilds the same views, dedup table, caches, and
+// columnar mirror, since this IS the ingest path. dup reports a batch the
+// follower had already applied (a retransmitted delivery); it is skipped
+// without journaling.
+func (d *DurableStore) ApplyReplicated(rec durable.Record) (dup bool, err error) {
+	switch rec.Type {
+	case recSessions:
+		var recs []telemetry.SessionRecord
+		if err := telemetry.ReadJSONL(bytes.NewReader(rec.Payload), func(r *telemetry.SessionRecord) error {
+			recs = append(recs, *r)
+			return nil
+		}); err != nil {
+			return false, fmt.Errorf("usaas: decoding replicated session batch %q: %w", rec.BatchID, err)
+		}
+		_, dup, err = d.addSessionsBatch(rec.BatchID, recs, rec.Payload)
+		return dup, err
+	case recPosts:
+		posts, err := social.CollectPostsJSONL(bytes.NewReader(rec.Payload))
+		if err != nil {
+			return false, fmt.Errorf("usaas: decoding replicated post batch %q: %w", rec.BatchID, err)
+		}
+		_, dup, err = d.addPostsBatch(rec.BatchID, posts, rec.Payload)
+		return dup, err
+	default:
+		return false, fmt.Errorf("usaas: replicated record has unknown type %d", rec.Type)
+	}
+}
 
 // WALSeq returns the log sequence the next accepted batch will get.
 func (d *DurableStore) WALSeq() uint64 { return d.wal.Seq() }

@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"testing"
 
@@ -575,5 +576,101 @@ func TestOpenDurableStoreFreshDir(t *testing.T) {
 	defer d2.Close()
 	if got, _ := d2.Counts(); got != 1 {
 		t.Fatalf("recovered %d sessions, want 1", got)
+	}
+}
+
+// TestCrashInCompactionWindow covers the two crash points inside
+// snapshotNow's window: after the snapshot file is durable but before any
+// covered segment is deleted, and after only some covered segments are
+// deleted. Both must recover byte-identically — the snapshot wins and the
+// stale segments are ignored — and the next snapshot pass converges the
+// directory back to its compact form.
+func TestCrashInCompactionWindow(t *testing.T) {
+	recs, posts := crashDataset(t, 9)
+	batches := raggedBatches(recs, posts, 9)
+	dir := t.TempDir()
+	opts := DurabilityOptions{Dir: dir, Fsync: durable.FsyncOff, SegmentBytes: 4 << 10}
+	d, err := OpenDurableStore(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batches {
+		applyBatch(t, d.Store, b)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	want := reportBytes(t, d.Store)
+
+	// First half of snapshotNow: write the snapshot. Crash before Compact —
+	// every covered segment is still on disk next to the snapshot.
+	st, seq := d.captureState()
+	if err := durable.WriteSnapshot(dir, seq, func(w io.Writer) error {
+		return encodeSnapshot(w, seq, st)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("want several segments in the compaction window, got %v (err=%v)", segs, err)
+	}
+	sort.Strings(segs)
+
+	d2, err := OpenDurableStore(opts)
+	if err != nil {
+		t.Fatalf("recovery with snapshot + uncompacted segments: %v", err)
+	}
+	if !d2.Recovery.SnapshotFound || d2.Recovery.SnapshotSeq != seq {
+		t.Fatalf("recovery ignored the snapshot: %+v", d2.Recovery)
+	}
+	if d2.Recovery.ReplayedBatches != 0 {
+		t.Fatalf("replayed %d batches the snapshot already covers", d2.Recovery.ReplayedBatches)
+	}
+	if got := reportBytes(t, d2.Store); !bytes.Equal(got, want) {
+		t.Fatal("report differs after crash between snapshot write and compaction")
+	}
+
+	// Second crash point: compaction got through part of the covered range
+	// before dying. Recovery must not mind the missing prefix.
+	if err := os.Remove(segs[0]); err != nil {
+		t.Fatal(err)
+	}
+	d3, err := OpenDurableStore(opts)
+	if err != nil {
+		t.Fatalf("recovery with partially compacted segments: %v", err)
+	}
+	if got := reportBytes(t, d3.Store); !bytes.Equal(got, want) {
+		t.Fatal("report differs after crash mid-compaction")
+	}
+
+	// Convergence: the next snapshot pass re-runs the whole window and
+	// leaves a compact directory — one snapshot, no fully covered segments.
+	extraRecs, _ := crashDataset(t, 10)
+	applyBatch(t, d3.Store, ingestBatch{id: "window-extra", sessions: extraRecs[:20]})
+	if err := d3.snapshotNow(); err != nil {
+		t.Fatalf("re-compaction: %v", err)
+	}
+	leftSegs, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if len(leftSegs) != 1 {
+		t.Fatalf("re-compaction left %d segments, want 1 (active): %v", len(leftSegs), leftSegs)
+	}
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	if len(snaps) != 1 {
+		t.Fatalf("re-compaction left %d snapshots, want 1: %v", len(snaps), snaps)
+	}
+	want3 := reportBytes(t, d3.Store)
+	if err := d3.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d4, err := OpenDurableStore(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d4.Close()
+	if d4.Recovery.ReplayedBatches != 0 || !d4.Recovery.SnapshotFound {
+		t.Fatalf("post-convergence recovery: %+v", d4.Recovery)
+	}
+	if got := reportBytes(t, d4.Store); !bytes.Equal(got, want3) {
+		t.Fatal("report differs after converged re-compaction")
 	}
 }

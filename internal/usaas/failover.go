@@ -1,0 +1,173 @@
+package usaas
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+)
+
+// Failover-aware endpoint selection for the client. With
+// ClientOptions.Endpoints set, the client knows the whole replica set:
+// writes aim at whichever endpoint it currently believes is the leader,
+// reads fan out round-robin across every endpoint (followers serve reads
+// with an explicit staleness bound), and the leader belief is corrected
+// by 307/308 leader-redirects and, after write failures, by probing
+// /v1/replica/status — so a client keeps ingesting across a failover
+// without reconfiguration: retry-through-promotion.
+
+// cluster is the endpoint set shared by a client and its WithToken copies.
+type cluster struct {
+	mu     sync.Mutex
+	eps    []*url.URL
+	leader int // index of the believed leader
+	rr     int // read round-robin cursor
+}
+
+func newCluster(endpoints []string) *cluster {
+	cl := &cluster{}
+	for _, e := range endpoints {
+		u, err := url.Parse(e)
+		if err != nil || u.Host == "" {
+			continue
+		}
+		u.Path, u.RawQuery, u.Fragment = "", "", ""
+		cl.eps = append(cl.eps, u)
+	}
+	if len(cl.eps) == 0 {
+		return nil
+	}
+	return cl
+}
+
+// leaderURL returns the endpoint writes currently aim at.
+func (cl *cluster) leaderURL() *url.URL {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.eps[cl.leader]
+}
+
+// nextRead returns the next endpoint in the read rotation.
+func (cl *cluster) nextRead() *url.URL {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	u := cl.eps[cl.rr%len(cl.eps)]
+	cl.rr++
+	return u
+}
+
+// setLeader points writes at the endpoint with index i.
+func (cl *cluster) setLeader(i int) {
+	cl.mu.Lock()
+	if i >= 0 && i < len(cl.eps) {
+		cl.leader = i
+	}
+	cl.mu.Unlock()
+}
+
+// noteLeaderHost records that the node at u (a redirect Location or the
+// final URL of a followed redirect) is the leader. An unknown host is
+// added to the endpoint set — a promotion may introduce an address the
+// client was not configured with.
+func (cl *cluster) noteLeaderHost(u *url.URL) {
+	if u == nil || u.Host == "" {
+		return
+	}
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	for i, ep := range cl.eps {
+		if ep.Host == u.Host {
+			cl.leader = i
+			return
+		}
+	}
+	added := &url.URL{Scheme: u.Scheme, Host: u.Host}
+	if added.Scheme == "" {
+		added.Scheme = cl.eps[cl.leader].Scheme
+	}
+	cl.eps = append(cl.eps, added)
+	cl.leader = len(cl.eps) - 1
+}
+
+// snapshot copies the endpoint list for iteration without the lock.
+func (cl *cluster) snapshot() []*url.URL {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return append([]*url.URL(nil), cl.eps...)
+}
+
+// retarget points req at the endpoint the next attempt should use: reads
+// rotate across the replica set, everything else goes to the believed
+// leader. No-op on a single-endpoint client.
+func (c *Client) retarget(req *http.Request) {
+	if c.cluster == nil {
+		return
+	}
+	var ep *url.URL
+	if req.Method == http.MethodGet {
+		ep = c.cluster.nextRead()
+	} else {
+		ep = c.cluster.leaderURL()
+	}
+	req.URL.Scheme = ep.Scheme
+	req.URL.Host = ep.Host
+	req.Host = ""
+}
+
+// noteRedirect absorbs a leader-redirect error: when err is a 307/308
+// carrying a Location, the client re-points its leader belief there and
+// reports true so the retry loop re-sends immediately (a redirect is
+// fresh routing information, not a failure worth backing off from).
+func (c *Client) noteRedirect(err error) bool {
+	se, ok := asStatusError(err)
+	if !ok || (se.status != http.StatusTemporaryRedirect && se.status != http.StatusPermanentRedirect) {
+		return false
+	}
+	if c.cluster != nil && se.location != "" {
+		if u, perr := url.Parse(se.location); perr == nil {
+			c.cluster.noteLeaderHost(u)
+		}
+	}
+	return true
+}
+
+// probeLeader asks each endpoint for its replica status and re-points the
+// leader belief at the first one that claims the leader role. Called
+// after a write fails without a redirect — the old leader may simply be
+// gone, and a promoted follower won't answer on the dead node's address.
+// Best-effort: a cluster with no reachable leader leaves the belief as is.
+func (c *Client) probeLeader(ctx context.Context) {
+	if c.cluster == nil {
+		return
+	}
+	for i, ep := range c.cluster.snapshot() {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, ep.String()+"/v1/replica/status", nil)
+		if err != nil {
+			continue
+		}
+		if c.token != "" {
+			req.Header.Set("Authorization", "Bearer "+c.token)
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			continue
+		}
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			continue
+		}
+		var st struct {
+			Role string `json:"role"`
+		}
+		if json.Unmarshal(data, &st) != nil {
+			continue
+		}
+		if st.Role == "leader" {
+			c.cluster.setLeader(i)
+			return
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package usaas
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestHealthEndpoints: liveness always answers; readiness follows the
+// Ready hook; both bypass bearer auth so an unauthenticated supervisor
+// probe works.
+func TestHealthEndpoints(t *testing.T) {
+	var ready atomic.Pointer[error]
+	srv := NewServer(nil, ServerOptions{
+		AuthToken: "secret",
+		Ready: func() error {
+			if e := ready.Load(); e != nil {
+				return *e
+			}
+			return nil
+		},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(path string) (int, HealthResponse) {
+		resp, err := http.Get(ts.URL + path) // deliberately no Authorization
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h HealthResponse
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatalf("decoding %s: %v", path, err)
+		}
+		return resp.StatusCode, h
+	}
+
+	if code, h := get("/v1/healthz"); code != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("healthz: %d %+v", code, h)
+	}
+	if code, h := get("/v1/readyz"); code != http.StatusOK || h.Status != "ready" {
+		t.Fatalf("readyz while ready: %d %+v", code, h)
+	}
+
+	lagged := errors.New("replica lag 12 records exceeds bound")
+	ready.Store(&lagged)
+	if code, h := get("/v1/readyz"); code != http.StatusServiceUnavailable || h.Error != lagged.Error() {
+		t.Fatalf("readyz while lagged: %d %+v", code, h)
+	}
+	ready.Store(nil)
+	if code, _ := get("/v1/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz after recovery: %d", code)
+	}
+
+	// Everything else still requires the token.
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated /v1/stats: %d, want 401", resp.StatusCode)
+	}
+}
+
+// TestHealthBypassesInflightLimit: a node pinned at its inflight cap must
+// still answer health probes — that is the whole point of the bypass.
+func TestHealthBypassesInflightLimit(t *testing.T) {
+	block := make(chan struct{})
+	entered := make(chan struct{})
+	srv := NewServer(&Store{}, ServerOptions{MaxInflight: 1, RequestTimeout: 5 * time.Second})
+	limited := srv.Handler()
+	defer close(block)
+
+	// Occupy the single inflight slot with a request whose response write
+	// blocks until released.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r := httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
+		limited.ServeHTTP(&slowWriter{hold: block, entered: entered}, r)
+	}()
+	<-entered
+
+	// The slot is held; a plain request is shed, a health probe is not.
+	w2 := httptest.NewRecorder()
+	limited.ServeHTTP(w2, httptest.NewRequest(http.MethodGet, "/v1/stats", nil))
+	if w2.Code != http.StatusTooManyRequests {
+		t.Fatalf("second request while saturated: %d, want 429", w2.Code)
+	}
+	w3 := httptest.NewRecorder()
+	limited.ServeHTTP(w3, httptest.NewRequest(http.MethodGet, "/v1/healthz", nil))
+	if w3.Code != http.StatusOK {
+		t.Fatalf("healthz while saturated: %d, want 200", w3.Code)
+	}
+	block <- struct{}{}
+	<-done
+}
+
+// slowWriter blocks the first write until released, pinning its request
+// inside the inflight limiter.
+type slowWriter struct {
+	hold    chan struct{}
+	entered chan struct{}
+	code    int
+	once    bool
+}
+
+func (s *slowWriter) Header() http.Header { return http.Header{} }
+func (s *slowWriter) WriteHeader(c int)   { s.code = c }
+func (s *slowWriter) Write(p []byte) (int, error) {
+	if !s.once {
+		s.once = true
+		close(s.entered)
+		<-s.hold
+	}
+	return len(p), nil
+}

@@ -335,6 +335,10 @@ type ServerOptions struct {
 	// ResultCacheSize caps the generation-keyed result cache (cache.go):
 	// 0 means the default of 256 entries, negative disables caching.
 	ResultCacheSize int
+	// Ready, when set, gates /v1/readyz: a nil return means the node can
+	// serve (recovery replay finished; a follower's lag is under bound),
+	// any error is reported with a 503. nil Ready means always ready.
+	Ready func() error
 }
 
 // Server is the USaaS HTTP service.
@@ -388,7 +392,46 @@ func NewServer(store *Store, opts ServerOptions) *Server {
 	s.mux.HandleFunc("/v1/advice/deployment", s.cached(s.handleDeploymentAdvice))
 	s.mux.HandleFunc("/v1/report", s.cached(s.handleReport))
 	s.mux.HandleFunc("/v1/insights/incidents", s.cached(s.handleIncidents))
+	s.mux.HandleFunc(healthzPath, s.handleHealthz)
+	s.mux.HandleFunc(readyzPath, s.handleReadyz)
 	return s
+}
+
+// Health endpoints. Liveness answers whenever the process can serve HTTP
+// at all; readiness distinguishes "up but not yet serving correct answers"
+// (recovering, or a follower too far behind the leader) — the state a
+// supervisor or load balancer must not route traffic to. Both bypass
+// auth, the inflight limiter, and the request timeout (Handler), so a
+// saturated or misconfigured node still reports its health.
+const (
+	healthzPath = "/v1/healthz"
+	readyzPath  = "/v1/readyz"
+)
+
+// HealthResponse is the body of /v1/healthz and /v1/readyz.
+type HealthResponse struct {
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	if s.opts.Ready != nil {
+		if err := s.opts.Ready(); err != nil {
+			writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Status: "not ready", Error: err.Error()})
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ready"})
 }
 
 // IncidentResponse pairs the daily series with detected incidents.
@@ -438,6 +481,9 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 
 // Handler returns the HTTP handler, wrapped (outermost first) with
 // bearer-token auth, the inflight limiter, and the per-request timeout.
+// The health endpoints short-circuit past all three wrappers: probes carry
+// no credentials, and a node at its inflight cap or wedged past its
+// timeout is exactly the node whose health must still be observable.
 func (s *Server) Handler() http.Handler {
 	h := http.Handler(s.mux)
 	if s.opts.RequestTimeout > 0 {
@@ -449,7 +495,14 @@ func (s *Server) Handler() http.Handler {
 	if s.opts.AuthToken != "" {
 		h = bearerAuth(h, s.opts.AuthToken)
 	}
-	return h
+	wrapped := h
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == healthzPath || r.URL.Path == readyzPath {
+			s.mux.ServeHTTP(w, r)
+			return
+		}
+		wrapped.ServeHTTP(w, r)
+	})
 }
 
 // bearerAuth rejects requests without the expected bearer token.
