@@ -80,8 +80,12 @@ type serverConfig struct {
 	dataDir        string
 	fsync          string
 	fsyncInterval  time.Duration
+	groupCommit    bool
+	groupDelay     time.Duration
 	snapshotEvery  int
 	columnar       bool
+	admitRate      float64
+	admitBurst     float64
 
 	role            string
 	leaderURL       string
@@ -102,10 +106,14 @@ func main() {
 	flag.DurationVar(&cfg.idleTimeout, "idle-timeout", 2*time.Minute, "max keep-alive idle time per connection; 0 disables")
 	flag.DurationVar(&cfg.requestTimeout, "request-timeout", time.Minute, "per-request handling deadline (503 past it); <0 disables")
 	flag.IntVar(&cfg.maxInflight, "max-inflight", 0, "max concurrently handled requests (429 past it); 0 disables")
+	flag.Float64Var(&cfg.admitRate, "admit-rate", 0, "per-tenant ingest admission rate in batches/sec (429 + Retry-After past it, keyed by "+usaas.TenantHeader+"); 0 disables")
+	flag.Float64Var(&cfg.admitBurst, "admit-burst", 0, "per-tenant ingest admission burst (defaults to -admit-rate)")
 	flag.IntVar(&cfg.resultCache, "result-cache", 0, "generation-keyed result cache entries (0 = default 256; <0 disables)")
 	flag.StringVar(&cfg.dataDir, "data-dir", "", "durable data directory (write-ahead log + snapshots); empty = in-memory only")
 	flag.StringVar(&cfg.fsync, "fsync", "batch", "WAL fsync policy: batch (sync every batch), interval (background cadence), or off")
 	flag.DurationVar(&cfg.fsyncInterval, "fsync-interval", time.Second, "background sync cadence under -fsync=interval")
+	flag.BoolVar(&cfg.groupCommit, "group-commit", true, "under -fsync=batch, coalesce concurrent appends into one fsync per commit group")
+	flag.DurationVar(&cfg.groupDelay, "group-delay", 0, "group-commit linger: let a sealed group wait this long for more batches before its fsync (0 = sync as soon as the scheduler is free)")
 	flag.IntVar(&cfg.snapshotEvery, "snapshot-every", 1024, "snapshot after this many logged batches and on shutdown; 0 disables snapshots")
 	flag.BoolVar(&cfg.columnar, "columnar", true, "maintain the columnar session mirror for fast analyses (false = row path only)")
 	flag.StringVar(&cfg.role, "role", "", "replication role: leader (serve the WAL frame feed) or follower (tail a leader); empty = standalone")
@@ -159,6 +167,8 @@ func run(cfg serverConfig, sessionsPath, postsPath string) error {
 			Dir:             cfg.dataDir,
 			Fsync:           policy,
 			FsyncInterval:   cfg.fsyncInterval,
+			GroupCommit:     cfg.groupCommit,
+			MaxGroupDelay:   cfg.groupDelay,
 			SnapshotEvery:   cfg.snapshotEvery,
 			DisableColumnar: !cfg.columnar,
 			Logf: func(format string, args ...any) {
@@ -235,6 +245,9 @@ func run(cfg serverConfig, sessionsPath, postsPath string) error {
 		RequestTimeout:  cfg.requestTimeout,
 		MaxInflight:     cfg.maxInflight,
 		ResultCacheSize: cfg.resultCache,
+	}
+	if cfg.admitRate > 0 {
+		sopts.Admission = usaas.AdmissionOptions{Rate: cfg.admitRate, Burst: cfg.admitBurst}
 	}
 	if node != nil {
 		sopts.Ready = node.Ready

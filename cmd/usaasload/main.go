@@ -1,0 +1,567 @@
+// Command usaasload is a closed-loop load harness for the usaas ingest
+// pipeline. N concurrent clients each drive a loop of seeded diurnal
+// NDJSON session batches, social-post batches, and query traffic against
+// a server, measuring acked-ingest latency percentiles (p50/p99/p999)
+// and the maximum sustainable batch rate at that concurrency (a closed
+// loop issues the next batch the moment the previous one is acked, so
+// achieved throughput IS the sustainable ceiling for that client count).
+//
+// By default the harness embeds the server in-process on a loopback
+// listener with a throwaway durable data directory, so a single binary
+// measures the full HTTP + journaling path:
+//
+//	usaasload -clients 16 -duration 5s
+//
+// -compare runs three embedded passes over the same workload — fsync
+// per batch without group commit, fsync per batch with the group-commit
+// scheduler, and interval fsync — and reports the acked-throughput
+// ratios. The pipeline's acceptance target is group-commit batch ingest
+// within ~1.5x of interval at >=16 clients. -out writes the full report
+// as JSON (see BENCH_load.json at the repo root).
+//
+// After every pass the harness cross-checks its own client-side counts
+// against the server's /v1/stats ingest gauges: commit batches must
+// equal acked batches, the group-size histogram must sum to the group
+// count, the commit queue must have drained, and (when -admit-rate is
+// set) per-tenant admission counters must cover every acked batch. A
+// mismatch fails the run — the gauges are part of the contract, not
+// decoration.
+//
+// Against an already-running server use -target (the embedded fsync
+// knobs then do not apply, and store-total assertions are skipped since
+// the store may not start empty):
+//
+//	usaasload -target http://127.0.0.1:8080 -clients 32 -duration 30s
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"usersignals/internal/conference"
+	"usersignals/internal/durable"
+	"usersignals/internal/leo"
+	"usersignals/internal/social"
+	"usersignals/internal/telemetry"
+	"usersignals/internal/timeline"
+	"usersignals/internal/usaas"
+)
+
+type config struct {
+	target     string
+	clients    int
+	duration   time.Duration
+	batch      int
+	users      int
+	seed       uint64
+	tenants    int
+	queryEvery int
+	postsEvery int
+	fsync      string
+	group      bool
+	groupDelay time.Duration
+	compare    bool
+	admitRate  float64
+	admitBurst float64
+	out        string
+}
+
+// passConfig names one embedded server configuration under test.
+type passConfig struct {
+	name  string
+	fsync durable.FsyncPolicy
+	group bool
+}
+
+// passResult is what one pass measured, as serialized into -out.
+type passResult struct {
+	Name          string  `json:"name"`
+	Fsync         string  `json:"fsync"`
+	GroupCommit   bool    `json:"group_commit"`
+	Clients       int     `json:"clients"`
+	DurationS     float64 `json:"duration_s"`
+	AckedBatches  int     `json:"acked_batches"`
+	AckedSessions int     `json:"acked_sessions"`
+	AckedPosts    int     `json:"acked_posts"`
+	Duplicates    int     `json:"duplicates,omitempty"`
+	BatchesPerSec float64 `json:"batches_per_sec"`
+	IngestP50Ms   float64 `json:"ingest_p50_ms"`
+	IngestP99Ms   float64 `json:"ingest_p99_ms"`
+	IngestP999Ms  float64 `json:"ingest_p999_ms"`
+	IngestMaxMs   float64 `json:"ingest_max_ms"`
+	Queries       int     `json:"queries"`
+	QueryP99Ms    float64 `json:"query_p99_ms,omitempty"`
+	Throttled     uint64  `json:"throttled,omitempty"`
+	CommitGroups  uint64  `json:"commit_groups,omitempty"`
+	MeanGroup     float64 `json:"mean_commit_group,omitempty"`
+	Fsyncs        uint64  `json:"fsyncs,omitempty"`
+	FsyncMeanMs   float64 `json:"fsync_mean_ms,omitempty"`
+}
+
+// loadReport is the top-level -out document.
+type loadReport struct {
+	Generated            string       `json:"generated"`
+	Clients              int          `json:"clients"`
+	BatchRecords         int          `json:"batch_records"`
+	Seed                 uint64       `json:"seed"`
+	Passes               []passResult `json:"passes"`
+	GroupOverInterval    float64      `json:"batch_group_over_interval,omitempty"`
+	NoGroupOverInterval  float64      `json:"batch_nogroup_over_interval,omitempty"`
+	GroupCommitSpeedup   float64      `json:"group_commit_speedup,omitempty"`
+	GroupWithinIntervalX float64      `json:"target_ratio,omitempty"`
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.target, "target", "", "base URL of a running server; empty = embed the server in-process")
+	flag.IntVar(&cfg.clients, "clients", 16, "concurrent closed-loop clients")
+	flag.DurationVar(&cfg.duration, "duration", 5*time.Second, "measurement window per pass")
+	flag.IntVar(&cfg.batch, "batch", 20, "session records per ingest batch")
+	flag.IntVar(&cfg.users, "users", 400, "conference-generator users behind the seeded diurnal dataset")
+	flag.Uint64Var(&cfg.seed, "seed", 42, "dataset seed")
+	flag.IntVar(&cfg.tenants, "tenants", 4, "distinct tenant labels spread across clients")
+	flag.IntVar(&cfg.queryEvery, "query-every", 8, "every Nth client op is a /v1/stats query; 0 disables")
+	flag.IntVar(&cfg.postsEvery, "posts-every", 10, "every Nth client op is a social-posts batch; 0 disables")
+	flag.StringVar(&cfg.fsync, "fsync", "batch", "embedded server fsync policy (batch, interval, off)")
+	flag.BoolVar(&cfg.group, "group-commit", true, "embedded server group-commit scheduler (fsync=batch only)")
+	flag.DurationVar(&cfg.groupDelay, "group-delay", time.Millisecond, "embedded group-commit linger: how long a sealed group may wait for more batches before its fsync (0 = sync as soon as the scheduler is free)")
+	flag.BoolVar(&cfg.compare, "compare", false, "run batch, batch+group, and interval passes and report ratios (embedded only)")
+	flag.Float64Var(&cfg.admitRate, "admit-rate", 0, "per-tenant admission rate (batches/sec); 0 disables")
+	flag.Float64Var(&cfg.admitBurst, "admit-burst", 0, "per-tenant admission burst (defaults to rate)")
+	flag.StringVar(&cfg.out, "out", "", "write the JSON report here (stdout always gets a summary)")
+	flag.Parse()
+	if err := run(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "usaasload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg config) error {
+	if cfg.compare && cfg.target != "" {
+		return errors.New("-compare needs the embedded server: it controls the fsync policy per pass")
+	}
+	if cfg.clients < 1 || cfg.batch < 1 {
+		return errors.New("-clients and -batch must be >= 1")
+	}
+	w, err := buildWorkload(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload: %d session batches x %d records, %d post batches, %d clients, %v per pass\n",
+		len(w.sessionWires), cfg.batch, len(w.postBatches), cfg.clients, cfg.duration)
+
+	var passes []passConfig
+	switch {
+	case cfg.target != "":
+		passes = []passConfig{{name: "external"}}
+	case cfg.compare:
+		passes = []passConfig{
+			{name: "batch", fsync: durable.FsyncPerBatch, group: false},
+			{name: "batch+group", fsync: durable.FsyncPerBatch, group: true},
+			{name: "interval", fsync: durable.FsyncInterval, group: false},
+		}
+	default:
+		policy, err := durable.ParseFsyncPolicy(cfg.fsync)
+		if err != nil {
+			return err
+		}
+		passes = []passConfig{{name: cfg.fsync, fsync: policy, group: cfg.group}}
+	}
+
+	rep := loadReport{
+		Generated:    time.Now().UTC().Format(time.RFC3339),
+		Clients:      cfg.clients,
+		BatchRecords: cfg.batch,
+		Seed:         cfg.seed,
+	}
+	for _, pc := range passes {
+		res, err := runPass(cfg, pc, w)
+		if err != nil {
+			return fmt.Errorf("pass %s: %w", pc.name, err)
+		}
+		rep.Passes = append(rep.Passes, res)
+		fmt.Printf("pass %-12s %8.1f batches/sec  p50 %6.2fms  p99 %7.2fms  p999 %7.2fms  (%d batches",
+			res.Name, res.BatchesPerSec, res.IngestP50Ms, res.IngestP99Ms, res.IngestP999Ms, res.AckedBatches)
+		if res.MeanGroup > 0 {
+			fmt.Printf(", %.1f batches/group", res.MeanGroup)
+		}
+		if res.Throttled > 0 {
+			fmt.Printf(", %d throttled", res.Throttled)
+		}
+		fmt.Println(")")
+	}
+
+	if cfg.compare {
+		byName := map[string]passResult{}
+		for _, p := range rep.Passes {
+			byName[p.Name] = p
+		}
+		iv, g, ng := byName["interval"], byName["batch+group"], byName["batch"]
+		if iv.BatchesPerSec > 0 {
+			rep.GroupOverInterval = round2(iv.BatchesPerSec / g.BatchesPerSec)
+			rep.NoGroupOverInterval = round2(iv.BatchesPerSec / ng.BatchesPerSec)
+			rep.GroupWithinIntervalX = 1.5
+		}
+		if ng.BatchesPerSec > 0 {
+			rep.GroupCommitSpeedup = round2(g.BatchesPerSec / ng.BatchesPerSec)
+		}
+		fmt.Printf("acked throughput vs interval: batch+group %.2fx slower, plain batch %.2fx slower (group commit: %.2fx speedup)\n",
+			rep.GroupOverInterval, rep.NoGroupOverInterval, rep.GroupCommitSpeedup)
+	}
+
+	if cfg.out != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.out, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", cfg.out)
+	}
+	return nil
+}
+
+// workload is the pre-encoded batch corpus every pass replays. Encoding
+// happens once, up front, so client loops spend their time on the wire
+// and in the server, not in the generator.
+type workload struct {
+	sessionWires [][]byte // NDJSON bodies, cfg.batch records each
+	postBatches  [][]social.Post
+}
+
+func buildWorkload(cfg config) (*workload, error) {
+	g, err := conference.New(conference.Defaults(cfg.seed, cfg.users))
+	if err != nil {
+		return nil, err
+	}
+	recs, err := g.GenerateAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) < cfg.batch {
+		return nil, fmt.Errorf("dataset too small: %d sessions < one batch of %d", len(recs), cfg.batch)
+	}
+	var w workload
+	for i := 0; i+cfg.batch <= len(recs); i += cfg.batch {
+		wire, err := telemetry.AppendNDJSON(nil, recs[i:i+cfg.batch])
+		if err != nil {
+			return nil, err
+		}
+		w.sessionWires = append(w.sessionWires, wire)
+	}
+
+	scfg := social.DefaultConfig(cfg.seed)
+	scfg.Window = timeline.Range{From: timeline.Date(2022, 1, 1), To: timeline.Date(2022, 2, 28)}
+	scfg.Outages = leo.AllOutages(cfg.seed, scfg.Window, 1.5)
+	corpus, err := social.Generate(scfg)
+	if err != nil {
+		return nil, err
+	}
+	posts := corpus.Posts
+	for i := 0; i+cfg.batch <= len(posts) && len(w.postBatches) < 64; i += cfg.batch {
+		w.postBatches = append(w.postBatches, posts[i:i+cfg.batch])
+	}
+	if len(w.postBatches) == 0 {
+		w.postBatches = [][]social.Post{posts}
+	}
+	return &w, nil
+}
+
+// workerStats accumulates one client's measurements; merged after join.
+type workerStats struct {
+	ingestLat  []time.Duration
+	queryLat   []time.Duration
+	batches    int
+	dups       int
+	sessions   int
+	posts      int
+	numQueries int
+}
+
+func runPass(cfg config, pc passConfig, w *workload) (passResult, error) {
+	baseURL := cfg.target
+	if baseURL == "" {
+		var stop func()
+		var err error
+		baseURL, stop, err = startEmbedded(cfg, pc)
+		if err != nil {
+			return passResult{}, err
+		}
+		defer stop()
+	}
+
+	// Unique-per-run batch ID prefix: against an external server, a rerun
+	// must not dedup against a previous run's batches.
+	prefix := fmt.Sprintf("load-%s-%d", pc.name, time.Now().UnixNano())
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	deadline := time.Now().Add(cfg.duration)
+	stats := make([]workerStats, cfg.clients)
+	errCh := make(chan error, cfg.clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			if err := worker(ctx, cfg, w, baseURL, prefix, c, deadline, &stats[c]); err != nil {
+				errCh <- err
+				cancel()
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return passResult{}, err
+	default:
+	}
+
+	var tot workerStats
+	var ingest, query []time.Duration
+	for i := range stats {
+		s := &stats[i]
+		tot.batches += s.batches
+		tot.dups += s.dups
+		tot.sessions += s.sessions
+		tot.posts += s.posts
+		tot.numQueries += s.numQueries
+		ingest = append(ingest, s.ingestLat...)
+		query = append(query, s.queryLat...)
+	}
+	if tot.batches == 0 {
+		return passResult{}, errors.New("no batch acked inside the measurement window")
+	}
+	sort.Slice(ingest, func(i, j int) bool { return ingest[i] < ingest[j] })
+	sort.Slice(query, func(i, j int) bool { return query[i] < query[j] })
+
+	res := passResult{
+		Name:          pc.name,
+		GroupCommit:   pc.group,
+		Clients:       cfg.clients,
+		DurationS:     round2(elapsed.Seconds()),
+		AckedBatches:  tot.batches,
+		AckedSessions: tot.sessions,
+		AckedPosts:    tot.posts,
+		Duplicates:    tot.dups,
+		BatchesPerSec: round2(float64(tot.batches) / elapsed.Seconds()),
+		IngestP50Ms:   ms(percentile(ingest, 0.50)),
+		IngestP99Ms:   ms(percentile(ingest, 0.99)),
+		IngestP999Ms:  ms(percentile(ingest, 0.999)),
+		IngestMaxMs:   ms(ingest[len(ingest)-1]),
+		Queries:       tot.numQueries,
+	}
+	if cfg.target == "" {
+		res.Fsync = pc.fsync.String()
+	} else {
+		res.Fsync = "external"
+	}
+	if len(query) > 0 {
+		res.QueryP99Ms = ms(percentile(query, 0.99))
+	}
+
+	// Cross-check the server's pipeline gauges against what this side
+	// acked. Store totals only hold when the server started empty.
+	probe := usaas.NewClientWithOptions(baseURL, usaas.ClientOptions{})
+	sr, err := probe.Stats(context.Background())
+	if err != nil {
+		return passResult{}, fmt.Errorf("fetching /v1/stats for gauge check: %w", err)
+	}
+	if err := checkGauges(sr, tot, cfg, pc, cfg.target == ""); err != nil {
+		return passResult{}, err
+	}
+	if sr.Ingest != nil {
+		res.CommitGroups = sr.Ingest.CommitGroups
+		res.MeanGroup = round2(sr.Ingest.MeanGroup)
+		res.Fsyncs = sr.Ingest.FsyncCount
+		res.FsyncMeanMs = round2(sr.Ingest.FsyncMeanMs)
+	}
+	for _, ta := range sr.Admission {
+		res.Throttled += ta.Dropped
+	}
+	return res, nil
+}
+
+// worker is one closed-loop client: ingest NDJSON session batches, with
+// every posts-every'th op a social-posts batch and every query-every'th
+// op a stats query.
+func worker(ctx context.Context, cfg config, w *workload, baseURL, prefix string, id int, deadline time.Time, st *workerStats) error {
+	cl := usaas.NewClientWithOptions(baseURL, usaas.ClientOptions{
+		Tenant: fmt.Sprintf("tenant-%d", id%cfg.tenants),
+	})
+	for n := 0; time.Now().Before(deadline); n++ {
+		if ctx.Err() != nil {
+			return nil // another worker already failed the pass
+		}
+		switch {
+		case cfg.queryEvery > 0 && n%cfg.queryEvery == cfg.queryEvery-1:
+			t0 := time.Now()
+			if _, err := cl.Stats(ctx); err != nil {
+				return fmt.Errorf("client %d stats query: %w", id, err)
+			}
+			st.queryLat = append(st.queryLat, time.Since(t0))
+			st.numQueries++
+		case cfg.postsEvery > 0 && n%cfg.postsEvery == cfg.postsEvery-1:
+			batch := w.postBatches[n%len(w.postBatches)]
+			t0 := time.Now()
+			ack, err := cl.IngestPostsBatch(ctx, fmt.Sprintf("%s-c%d-p%d", prefix, id, n), batch)
+			if err != nil {
+				return fmt.Errorf("client %d posts batch: %w", id, err)
+			}
+			st.ingestLat = append(st.ingestLat, time.Since(t0))
+			if ack.Duplicate {
+				st.dups++
+			} else {
+				st.batches++
+				st.posts += len(batch)
+			}
+		default:
+			wire := w.sessionWires[n%len(w.sessionWires)]
+			t0 := time.Now()
+			ack, err := cl.IngestSessionsNDJSONBatch(ctx, fmt.Sprintf("%s-c%d-s%d", prefix, id, n), bytes.NewReader(wire))
+			if err != nil {
+				return fmt.Errorf("client %d sessions batch: %w", id, err)
+			}
+			st.ingestLat = append(st.ingestLat, time.Since(t0))
+			if ack.Duplicate {
+				st.dups++
+			} else {
+				st.batches++
+				st.sessions += cfg.batch
+			}
+		}
+	}
+	return nil
+}
+
+// checkGauges fails the pass when the server's /v1/stats pipeline gauges
+// disagree with client-side accounting.
+func checkGauges(sr usaas.StatsResponse, tot workerStats, cfg config, pc passConfig, embedded bool) error {
+	var errs []string
+	fail := func(format string, args ...any) { errs = append(errs, fmt.Sprintf(format, args...)) }
+	if embedded {
+		// The embedded store started empty, so totals must match exactly.
+		if sr.Sessions != tot.sessions {
+			fail("store sessions = %d, clients acked %d", sr.Sessions, tot.sessions)
+		}
+		if sr.Posts != tot.posts {
+			fail("store posts = %d, clients acked %d", sr.Posts, tot.posts)
+		}
+	}
+	if embedded && pc.group {
+		g := sr.Ingest
+		if g == nil {
+			fail("group-commit pass but /v1/stats has no ingest gauges")
+		} else {
+			if g.CommitBatches != uint64(tot.batches) {
+				fail("commit_batches = %d, clients acked %d non-duplicate batches", g.CommitBatches, tot.batches)
+			}
+			if g.CommitGroups == 0 || g.CommitGroups > g.CommitBatches {
+				fail("commit_groups = %d out of range (1..%d)", g.CommitGroups, g.CommitBatches)
+			}
+			var hist uint64
+			for _, b := range g.GroupSizeHist {
+				hist += b
+			}
+			if hist != g.CommitGroups {
+				fail("group_size_hist sums to %d, want commit_groups %d", hist, g.CommitGroups)
+			}
+			if g.QueueDepth != 0 {
+				fail("queue_depth = %d after all acks returned", g.QueueDepth)
+			}
+			if g.FsyncCount == 0 {
+				fail("fsync_count = 0 under fsync=batch")
+			}
+		}
+	}
+	if cfg.admitRate > 0 {
+		if len(sr.Admission) == 0 {
+			fail("admission enabled but /v1/stats has no admission section")
+		}
+		var admitted uint64
+		for _, ta := range sr.Admission {
+			admitted += ta.Admitted
+		}
+		if admitted < uint64(tot.batches+tot.dups) {
+			fail("admission admitted %d < %d acked ingest requests", admitted, tot.batches+tot.dups)
+		}
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("gauge check failed:\n  - %s", joinLines(errs))
+	}
+	return nil
+}
+
+func joinLines(lines []string) string {
+	out := lines[0]
+	for _, l := range lines[1:] {
+		out += "\n  - " + l
+	}
+	return out
+}
+
+// startEmbedded runs the server in-process on a loopback listener with a
+// throwaway durable data directory, mirroring usaasd's wiring.
+func startEmbedded(cfg config, pc passConfig) (string, func(), error) {
+	dir, err := os.MkdirTemp("", "usaasload-*")
+	if err != nil {
+		return "", nil, err
+	}
+	d, err := usaas.OpenDurableStore(usaas.DurabilityOptions{
+		Dir:           dir,
+		Fsync:         pc.fsync,
+		GroupCommit:   pc.group,
+		MaxGroupDelay: cfg.groupDelay,
+	})
+	if err != nil {
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	sopts := usaas.ServerOptions{}
+	if cfg.admitRate > 0 {
+		sopts.Admission = usaas.AdmissionOptions{Rate: cfg.admitRate, Burst: cfg.admitBurst}
+	}
+	srv := usaas.NewServer(d.Store, sopts)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		d.Close()
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	stop := func() {
+		hs.Close()
+		d.Close()
+		os.RemoveAll(dir)
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}
+
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func ms(d time.Duration) float64 { return round2(float64(d) / float64(time.Millisecond)) }
+
+func round2(f float64) float64 { return math.Round(f*100) / 100 }

@@ -1,0 +1,43 @@
+// Package benchguard guards benchmarks whose numbers are only meaningful
+// under a fixed iteration count.
+//
+// Go's default time-based auto-scaling (-benchtime=1s) keeps growing b.N
+// until the run fills the time budget. For benchmarks that accumulate
+// kernel-visible state — dirty pages from WAL writes are the canonical
+// case — a large enough b.N pushes the system across a threshold (dirty
+// writeback, page-cache eviction) and the benchmark silently measures the
+// disk's sustained bandwidth instead of the per-operation overhead it
+// claims to. BENCH_durable.json was recorded at -benchtime=2000x for
+// exactly this reason; this package turns that comment-only convention
+// into a loud failure.
+package benchguard
+
+import (
+	"flag"
+	"strings"
+	"testing"
+)
+
+// FixedIterations fails the benchmark unless it was invoked with a fixed
+// iteration count (-benchtime=<N>x). Call it at the top of any benchmark
+// whose numbers drift under time-based scaling; a plain `go test -bench`
+// sweep then fails fast with the correct invocation instead of recording
+// garbage.
+func FixedIterations(b *testing.B) {
+	b.Helper()
+	f := flag.Lookup("test.benchtime")
+	if f == nil || !isFixed(f.Value.String()) {
+		got := "unset"
+		if f != nil {
+			got = f.Value.String()
+		}
+		b.Fatalf("benchguard: %s needs a fixed iteration count: run with -benchtime=<N>x (e.g. -benchtime=2000x), not time-based scaling (-benchtime=%s); "+
+			"auto-scaled runs push write volume past kernel dirty-page thresholds and measure disk writeback, not the code under test", b.Name(), got)
+	}
+}
+
+// isFixed reports whether a -benchtime value names a fixed iteration
+// count ("2000x") rather than a duration ("1s", "10ms").
+func isFixed(val string) bool {
+	return strings.HasSuffix(strings.TrimSpace(val), "x")
+}

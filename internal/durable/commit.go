@@ -1,0 +1,259 @@
+package durable
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Group commit: the fix for fsync=batch paying one fsync per acknowledged
+// batch. Appenders write their frames serially under the WAL mutex exactly
+// as before — the log bytes are byte-identical to serial appends — but
+// instead of each append syncing and returning, it receives a Ticket and
+// the frame joins the committer's pending group. A single scheduler
+// goroutine seals the group, issues ONE fsync covering every frame in it,
+// and resolves all their tickets together. While that fsync is in flight,
+// newly arriving appends pile into the next group, so under concurrency the
+// group size grows to match the fsync latency: N clients pay ~one fsync per
+// group instead of N.
+//
+// The durability contract is unchanged: a ticket resolves (and the batch
+// may be acknowledged) only after an fsync whose write set covers the
+// frame completes. A lone appender's group has size one and costs exactly
+// what a serial fsync=batch append costs.
+
+// Ticket is a commit promise handed out by AppendAsync: it resolves once
+// the fsync covering the appended frame has completed (or failed).
+type Ticket struct {
+	done chan struct{}
+	err  error
+}
+
+func newTicket() *Ticket { return &Ticket{done: make(chan struct{})} }
+
+// resolvedTicket returns an already-resolved ticket, used when the append
+// was synchronously durable (or the fsync policy does not require a sync
+// before acknowledgement).
+func resolvedTicket(err error) *Ticket {
+	t := newTicket()
+	t.err = err
+	close(t.done)
+	return t
+}
+
+// Done returns a channel closed when the ticket resolves.
+func (t *Ticket) Done() <-chan struct{} { return t.done }
+
+// Wait blocks until the covering fsync completes and returns its error.
+func (t *Ticket) Wait() error {
+	<-t.done
+	return t.err
+}
+
+// Resolved reports whether the ticket has already resolved (non-blocking).
+func (t *Ticket) Resolved() bool {
+	select {
+	case <-t.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// CommitMetrics describes the scheduler's behavior for /v1/stats and the
+// load harness. Histogram buckets count groups by size:
+// 1, 2, 3-4, 5-8, 9-16, 17-32, >32.
+type CommitMetrics struct {
+	// Groups counts completed commit groups (fsyncs issued).
+	Groups uint64
+	// Batches counts frames those groups covered; Batches/Groups is the
+	// mean amortization factor.
+	Batches uint64
+	// MaxGroup is the largest group committed so far.
+	MaxGroup uint64
+	// GroupSizeHist buckets groups by size: 1, 2, 3-4, 5-8, 9-16, 17-32, >32.
+	GroupSizeHist [7]uint64
+	// QueueDepth is the number of frames currently awaiting their fsync.
+	QueueDepth int
+	// FsyncCount/FsyncTotalNs/FsyncMaxNs describe group fsync latency.
+	FsyncCount   uint64
+	FsyncTotalNs uint64
+	FsyncMaxNs   uint64
+}
+
+// sizeBucket maps a group size to its GroupSizeHist index.
+func sizeBucket(n int) int {
+	switch {
+	case n <= 1:
+		return 0
+	case n == 2:
+		return 1
+	case n <= 4:
+		return 2
+	case n <= 8:
+		return 3
+	case n <= 16:
+		return 4
+	case n <= 32:
+		return 5
+	default:
+		return 6
+	}
+}
+
+// committer is the group-commit scheduler: one goroutine that drains the
+// pending ticket list, fsyncs once per drain, and resolves the group.
+type committer struct {
+	w        *WAL
+	maxBytes int64
+	maxDelay time.Duration
+
+	mu           sync.Mutex
+	pending      []*Ticket
+	pendingBytes int64
+	failed       error // sticky: a failed group fsync poisons the scheduler
+	metrics      CommitMetrics
+
+	wake chan struct{} // buffered(1): appenders signal new work
+	stop chan struct{}
+	done chan struct{}
+}
+
+func newCommitter(w *WAL, opts Options) *committer {
+	c := &committer{
+		w:        w,
+		maxBytes: opts.MaxGroupBytes,
+		maxDelay: opts.MaxGroupDelay,
+		wake:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go c.run()
+	return c
+}
+
+// errState returns the sticky fsync failure, if any. Checked by appends so
+// a poisoned log rejects new batches instead of acknowledging writes it can
+// no longer promise to persist.
+func (c *committer) errState() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failed
+}
+
+// enqueue registers a written frame's ticket with the current group.
+// Called under the WAL mutex, after the frame's write completed — so by
+// the time a ticket is visible to the scheduler, its bytes are in the file.
+func (c *committer) enqueue(t *Ticket, frameBytes int64) {
+	c.mu.Lock()
+	c.pending = append(c.pending, t)
+	c.pendingBytes += frameBytes
+	c.mu.Unlock()
+	select {
+	case c.wake <- struct{}{}:
+	default: // scheduler already signaled
+	}
+}
+
+// shutdown flushes every pending group and stops the scheduler goroutine.
+func (c *committer) shutdown() {
+	close(c.stop)
+	<-c.done
+}
+
+func (c *committer) run() {
+	defer close(c.done)
+	for {
+		select {
+		case <-c.stop:
+			c.flush()
+			return
+		case <-c.wake:
+		}
+		if c.maxDelay > 0 {
+			c.linger()
+		}
+		c.flush()
+	}
+}
+
+// linger holds the group open for up to maxDelay after its first frame,
+// sealing early once pending bytes reach maxBytes. With maxDelay = 0
+// (the default) groups form naturally: whatever accumulates while the
+// previous fsync is in flight commits together.
+func (c *committer) linger() {
+	timer := time.NewTimer(c.maxDelay)
+	defer timer.Stop()
+	for {
+		c.mu.Lock()
+		full := c.pendingBytes >= c.maxBytes
+		c.mu.Unlock()
+		if full {
+			return
+		}
+		select {
+		case <-timer.C:
+			return
+		case <-c.stop:
+			return
+		case <-c.wake: // another frame arrived; keep growing the group
+		}
+	}
+}
+
+// flush seals the current group, issues its fsync, and resolves every
+// ticket in it. Frames that arrive after the seal join the next group —
+// their writes may incidentally be covered by this fsync, which only makes
+// their own sync redundant, never unsafe.
+func (c *committer) flush() {
+	c.mu.Lock()
+	tickets := c.pending
+	c.pending = nil
+	c.pendingBytes = 0
+	err := c.failed
+	c.mu.Unlock()
+	if len(tickets) == 0 {
+		return
+	}
+	var el time.Duration
+	if err == nil {
+		start := time.Now()
+		err = c.w.groupSync()
+		el = time.Since(start)
+	}
+	c.mu.Lock()
+	if err != nil && c.failed == nil {
+		c.failed = err
+	}
+	m := &c.metrics
+	m.Groups++
+	m.Batches += uint64(len(tickets))
+	if uint64(len(tickets)) > m.MaxGroup {
+		m.MaxGroup = uint64(len(tickets))
+	}
+	m.GroupSizeHist[sizeBucket(len(tickets))]++
+	if el > 0 {
+		m.FsyncCount++
+		m.FsyncTotalNs += uint64(el.Nanoseconds())
+		if uint64(el.Nanoseconds()) > m.FsyncMaxNs {
+			m.FsyncMaxNs = uint64(el.Nanoseconds())
+		}
+	}
+	c.mu.Unlock()
+	if err != nil {
+		err = fmt.Errorf("durable: group fsync: %w", err)
+	}
+	for _, t := range tickets {
+		t.err = err
+		close(t.done)
+	}
+}
+
+// snapshotMetrics copies the metrics with the live queue depth filled in.
+func (c *committer) snapshotMetrics() CommitMetrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.metrics
+	m.QueueDepth = len(c.pending)
+	return m
+}

@@ -110,6 +110,23 @@ type Options struct {
 	// itself does not run a ticker (the owner does, calling Sync), but the
 	// value is carried here so one options struct configures the stack.
 	FsyncInterval time.Duration
+	// GroupCommit attaches the group-commit scheduler (commit.go) under
+	// FsyncPerBatch: concurrently arriving appends coalesce into one fsync
+	// per group, resolving their tickets together. Log bytes are identical
+	// to serial appends; only the fsync schedule changes. Ignored under the
+	// interval/off policies, which never wait on a sync.
+	GroupCommit bool
+	// MaxGroupBytes seals a lingering commit group early once its frames
+	// reach this many bytes (default 4 MiB). Only meaningful with
+	// MaxGroupDelay > 0; without a delay, groups are whatever accumulated
+	// while the previous fsync was in flight.
+	MaxGroupBytes int64
+	// MaxGroupDelay, when positive, holds each group open that long after
+	// its first frame so more appends can join, trading single-append
+	// latency for larger groups. The default 0 syncs as soon as the
+	// scheduler is free — under concurrency, grouping then emerges from
+	// fsync latency alone, with no added latency for a lone appender.
+	MaxGroupDelay time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -118,6 +135,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.FsyncInterval <= 0 {
 		o.FsyncInterval = time.Second
+	}
+	if o.MaxGroupBytes <= 0 {
+		o.MaxGroupBytes = 4 << 20
 	}
 	return o
 }

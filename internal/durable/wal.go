@@ -24,6 +24,15 @@ type WAL struct {
 	seq      uint64   // next record's sequence number
 	buf      []byte   // reusable frame-encoding buffer
 	closed   bool
+
+	// gc is the group-commit scheduler (commit.go); non-nil only when
+	// Options.GroupCommit is set under FsyncPerBatch. retired holds
+	// segments rotated out while the scheduler may have a sync in flight:
+	// rotation syncs them (so their frames are durable) but defers the
+	// close to the scheduler, which releases them after its next group
+	// sync — closing a file another goroutine is fsyncing is an error.
+	gc      *committer
+	retired []*os.File
 }
 
 // segment is one on-disk log file.
@@ -71,6 +80,19 @@ func segmentPath(dir string, firstSeq uint64) string {
 // tail past the snapshot was torn away), a fresh segment starts at minSeq
 // so that record sequences never fall behind snapshot coverage.
 func OpenWAL(dir string, minSeq uint64, opts Options) (*WAL, error) {
+	w, err := openWAL(dir, minSeq, opts)
+	if err != nil {
+		return nil, err
+	}
+	// The scheduler goroutine attaches only once the open succeeded, so
+	// error paths above never leak it.
+	if w.opts.GroupCommit && w.opts.Fsync == FsyncPerBatch {
+		w.gc = newCommitter(w, w.opts)
+	}
+	return w, nil
+}
+
+func openWAL(dir string, minSeq uint64, opts Options) (*WAL, error) {
 	opts = opts.withDefaults()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("durable: creating log dir: %w", err)
@@ -143,39 +165,100 @@ func (w *WAL) Seq() uint64 {
 }
 
 // Append frames the record, writes it to the active segment with a single
-// write call, and — under FsyncPerBatch — forces it to stable storage
-// before returning. Returns the record's sequence number.
+// write call, and — under FsyncPerBatch — waits until it is forced to
+// stable storage before returning. Returns the record's sequence number.
+// With group commit enabled the wait shares one fsync with every other
+// append in the same group; the log bytes are identical either way.
 func (w *WAL) Append(rec Record) (seq uint64, err error) {
+	seq, t, err := w.AppendAsync(rec)
+	if err != nil {
+		return 0, err
+	}
+	return seq, t.Wait()
+}
+
+// AppendAsync frames the record and writes it to the active segment, but
+// does not wait for durability: the returned Ticket resolves once an fsync
+// covering the frame completes. Without the group-commit scheduler (or
+// under the interval/off policies, where acknowledgement never waits on a
+// sync) the ticket is already resolved when AppendAsync returns, so callers
+// can treat the two shapes uniformly: append, then Wait before
+// acknowledging.
+func (w *WAL) AppendAsync(rec Record) (seq uint64, t *Ticket, err error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
-		return 0, fmt.Errorf("durable: append on closed WAL")
+		return 0, nil, fmt.Errorf("durable: append on closed WAL")
+	}
+	if w.gc != nil {
+		// A failed group fsync poisons the log: the store can no longer
+		// promise durability, so reject new batches instead of queueing
+		// tickets that can only resolve with the same error.
+		if err := w.gc.errState(); err != nil {
+			return 0, nil, fmt.Errorf("durable: group commit poisoned: %w", err)
+		}
 	}
 	w.buf = appendFrame(w.buf[:0], rec)
 	if w.f != nil && w.segSize > 0 && w.segSize+int64(len(w.buf)) > w.opts.SegmentBytes {
 		if err := w.rotateLocked(); err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 	}
 	if w.f == nil {
 		f, err := os.OpenFile(segmentPath(w.dir, w.segStart), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
 		if err != nil {
-			return 0, fmt.Errorf("durable: creating segment: %w", err)
+			return 0, nil, fmt.Errorf("durable: creating segment: %w", err)
 		}
 		w.f = f
 	}
 	if _, err := w.f.Write(w.buf); err != nil {
-		return 0, fmt.Errorf("durable: appending record: %w", err)
+		return 0, nil, fmt.Errorf("durable: appending record: %w", err)
 	}
 	w.segSize += int64(len(w.buf))
-	if w.opts.Fsync == FsyncPerBatch {
-		if err := w.f.Sync(); err != nil {
-			return 0, fmt.Errorf("durable: fsync: %w", err)
-		}
-	}
 	seq = w.seq
 	w.seq++
-	return seq, nil
+	if w.gc != nil {
+		// The frame is fully written; hand its ticket to the scheduler.
+		// Registration happens under w.mu, so a group gathered by the
+		// scheduler only ever contains fully-written frames.
+		t = newTicket()
+		w.gc.enqueue(t, int64(len(w.buf)))
+		return seq, t, nil
+	}
+	if w.opts.Fsync == FsyncPerBatch {
+		if err := w.f.Sync(); err != nil {
+			return 0, nil, fmt.Errorf("durable: fsync: %w", err)
+		}
+	}
+	return seq, resolvedTicket(nil), nil
+}
+
+// groupSync forces the active segment to stable storage on behalf of a
+// commit group and releases segments retired since the last group sync.
+// The file handle is captured under w.mu but the fsync itself runs outside
+// it, so appends keep flowing into the next group while this one commits.
+// Rotation never closes a file while the scheduler is attached (it retires
+// it instead, already synced), so the captured handle stays valid.
+func (w *WAL) groupSync() error {
+	w.mu.Lock()
+	f := w.f
+	retired := w.retired
+	w.retired = nil
+	w.mu.Unlock()
+	var err error
+	if f != nil {
+		if serr := f.Sync(); serr != nil {
+			err = serr
+		}
+	}
+	for _, rf := range retired {
+		// Retired segments were synced by rotateLocked; this just releases
+		// the descriptors.
+		if cerr := rf.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("durable: closing retired segment: %w", cerr)
+		}
+	}
+	return err
 }
 
 // rotateLocked closes the active segment and arranges for the next append
@@ -190,7 +273,12 @@ func (w *WAL) rotateLocked() error {
 				return fmt.Errorf("durable: fsync before rotate: %w", err)
 			}
 		}
-		if err := w.f.Close(); err != nil {
+		if w.gc != nil {
+			// The scheduler may be fsyncing this handle outside w.mu right
+			// now; it is synced (above), so park it for the scheduler to
+			// close after its next group sync.
+			w.retired = append(w.retired, w.f)
+		} else if err := w.f.Close(); err != nil {
 			return fmt.Errorf("durable: closing segment: %w", err)
 		}
 		w.f = nil
@@ -240,16 +328,42 @@ func (w *WAL) Compact(seq uint64) error {
 	return compactSnapshots(w.dir, seq)
 }
 
-// Close fsyncs and closes the active segment.
+// CommitMetrics reports the group-commit scheduler's counters; ok is false
+// when the scheduler is not attached (group commit off, or a non-per-batch
+// fsync policy).
+func (w *WAL) CommitMetrics() (m CommitMetrics, ok bool) {
+	if w.gc == nil {
+		return CommitMetrics{}, false
+	}
+	return w.gc.snapshotMetrics(), true
+}
+
+// Close flushes any pending commit groups, then fsyncs and closes the
+// active segment. Safe to call twice.
 func (w *WAL) Close() error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if w.closed {
+		w.mu.Unlock()
 		return nil
 	}
 	w.closed = true
+	w.mu.Unlock()
+	if w.gc != nil {
+		// Resolve every outstanding ticket (one final group fsync) and stop
+		// the scheduler before touching the files it may be syncing.
+		w.gc.shutdown()
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var errs error
+	for _, rf := range w.retired {
+		if err := rf.Close(); err != nil && errs == nil {
+			errs = fmt.Errorf("durable: closing retired segment: %w", err)
+		}
+	}
+	w.retired = nil
 	if w.f == nil {
-		return nil
+		return errs
 	}
 	if err := w.f.Sync(); err != nil {
 		w.f.Close()
@@ -259,5 +373,5 @@ func (w *WAL) Close() error {
 		return fmt.Errorf("durable: closing segment: %w", err)
 	}
 	w.f = nil
-	return nil
+	return errs
 }

@@ -79,104 +79,127 @@ func TestReplicaChaosFailover(t *testing.T) {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			t.Parallel()
-			batches := chaosBatches(t, seed)
-			if len(batches) < 8 {
-				t.Fatalf("dataset too small: %d batches", len(batches))
-			}
-			// The link mangles roughly a third of all deliveries. A tiny
-			// fetch window forces the log across many deliveries so the
-			// injector gets plenty of chances.
-			link := faults.NewFrameLink(faults.LinkPlan{
-				Seed: seed, DropP: 0.15, DupP: 0.15, TruncateP: 0.15,
-			})
-			dopts := usaas.DurabilityOptions{Fsync: durable.FsyncOff}
-			leader := startNode(t, t.TempDir(), dopts, Options{Role: RoleLeader})
-			follower := startNode(t, t.TempDir(), dopts, Options{
-				Role: RoleFollower, LeaderURL: leader.server.URL,
-				Link: link,
-				// One whole frame per delivery (ReadFrames always ships at
-				// least one): every record is a separate chance to misbehave.
-				MaxFetchBytes: 512,
-				PollWait:      50 * time.Millisecond,
-				RetryInterval: time.Millisecond,
-			})
-			defer follower.close(t)
-
-			// Ack a seed-chosen number of batches on the leader, then let
-			// the follower replicate a seed-chosen fraction of them — the
-			// exact boundary it reaches before the kill is up to scheduling
-			// and the link; it lands somewhere at or past the target.
-			acked := 12 + int(seed%7)
-			direct := usaas.NewClient(leader.server.URL, nil)
-			for _, b := range batches[:acked] {
-				sendBatch(t, direct, b)
-			}
-			target := leader.store.WALSeq() * uint64(2+seed%2) / 4
-			if target == 0 {
-				target = 1
-			}
-			waitCaughtUp(t, follower, target)
-
-			// Kill -9: the leader's listener vanishes mid-stream; its store
-			// is abandoned, never closed. Promote the survivor.
-			leader.abandon()
-			follower.node.Promote()
-			if err := follower.node.Ready(); err != nil {
-				t.Fatalf("promoted node not ready: %v", err)
-			}
-
-			// The client fails over: its leader belief still points at the
-			// dead node, so the first write fails, probes discover the
-			// promoted follower, and every acked batch is retried with its
-			// original ID. Then the rest of the dataset goes in.
-			fc := usaas.NewClientWithOptions("", usaas.ClientOptions{
-				Endpoints: []string{leader.server.URL, follower.server.URL},
-				Sleep:     func(time.Duration) {},
-			})
-			applied, deduped := 0, 0
-			for _, b := range batches {
-				if sendBatch(t, fc, b).Duplicate {
-					deduped++
-				} else {
-					applied++
-				}
-			}
-			if deduped == 0 {
-				t.Error("no batch deduped: the follower replicated nothing before the kill")
-			}
-			if applied < len(batches)-acked {
-				t.Errorf("applied %d < %d un-acked batches", applied, len(batches)-acked)
-			}
-
-			// Single-node reference fed the same batches in the same order.
-			refDir := t.TempDir()
-			ref, err := usaas.OpenDurableStore(usaas.DurabilityOptions{Dir: refDir, Fsync: durable.FsyncOff})
-			if err != nil {
-				t.Fatal(err)
-			}
-			defer ref.Close()
-			refSrv := usaas.NewServer(ref.Store, usaas.ServerOptions{})
-			refTS := httptest.NewServer(refSrv.Handler())
-			defer refTS.Close()
-			refClient := usaas.NewClient(refTS.URL, nil)
-			for _, b := range batches {
-				sendBatch(t, refClient, b)
-			}
-
-			if got, want := httpReport(t, follower.server.URL), httpReport(t, refTS.URL); !bytes.Equal(got, want) {
-				t.Fatalf("promoted follower /v1/report (%d bytes) differs from reference (%d bytes)",
-					len(got), len(want))
-			}
-
-			// The drill only counts if the link actually misbehaved.
-			counts := link.Counts()
-			if counts.Deliveries < 10 {
-				t.Errorf("only %d link deliveries; chaos never engaged", counts.Deliveries)
-			}
-			if faultRate := float64(counts.Faults()) / float64(counts.Deliveries); faultRate <= 0.20 {
-				t.Errorf("fault rate %.0f%% (counts %+v); want > 20%%", faultRate*100, counts)
-			}
+			runChaosFailover(t, seed, usaas.DurabilityOptions{Fsync: durable.FsyncOff})
 		})
+	}
+}
+
+// TestReplicaChaosFailoverGroupCommit re-runs the failover drill with the
+// group-commit ingest pipeline on both nodes: frames written through the
+// commit scheduler are byte-identical to serial appends, so the follower
+// tails and applies them unchanged, and the promoted report must still
+// match the single-node reference under the same hostile link.
+func TestReplicaChaosFailoverGroupCommit(t *testing.T) {
+	for _, seed := range []uint64{31, 32, 33} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			runChaosFailover(t, seed, usaas.DurabilityOptions{
+				Fsync:       durable.FsyncPerBatch,
+				GroupCommit: true,
+			})
+		})
+	}
+}
+
+// runChaosFailover is the drill body, parameterized by the durability
+// options both the leader and the follower run with.
+func runChaosFailover(t *testing.T, seed uint64, dopts usaas.DurabilityOptions) {
+	batches := chaosBatches(t, seed)
+	if len(batches) < 8 {
+		t.Fatalf("dataset too small: %d batches", len(batches))
+	}
+	// The link mangles roughly a third of all deliveries. A tiny
+	// fetch window forces the log across many deliveries so the
+	// injector gets plenty of chances.
+	link := faults.NewFrameLink(faults.LinkPlan{
+		Seed: seed, DropP: 0.15, DupP: 0.15, TruncateP: 0.15,
+	})
+	leader := startNode(t, t.TempDir(), dopts, Options{Role: RoleLeader})
+	follower := startNode(t, t.TempDir(), dopts, Options{
+		Role: RoleFollower, LeaderURL: leader.server.URL,
+		Link: link,
+		// One whole frame per delivery (ReadFrames always ships at
+		// least one): every record is a separate chance to misbehave.
+		MaxFetchBytes: 512,
+		PollWait:      50 * time.Millisecond,
+		RetryInterval: time.Millisecond,
+	})
+	defer follower.close(t)
+
+	// Ack a seed-chosen number of batches on the leader, then let
+	// the follower replicate a seed-chosen fraction of them — the
+	// exact boundary it reaches before the kill is up to scheduling
+	// and the link; it lands somewhere at or past the target.
+	acked := 12 + int(seed%7)
+	direct := usaas.NewClient(leader.server.URL, nil)
+	for _, b := range batches[:acked] {
+		sendBatch(t, direct, b)
+	}
+	target := leader.store.WALSeq() * uint64(2+seed%2) / 4
+	if target == 0 {
+		target = 1
+	}
+	waitCaughtUp(t, follower, target)
+
+	// Kill -9: the leader's listener vanishes mid-stream; its store
+	// is abandoned, never closed. Promote the survivor.
+	leader.abandon()
+	follower.node.Promote()
+	if err := follower.node.Ready(); err != nil {
+		t.Fatalf("promoted node not ready: %v", err)
+	}
+
+	// The client fails over: its leader belief still points at the
+	// dead node, so the first write fails, probes discover the
+	// promoted follower, and every acked batch is retried with its
+	// original ID. Then the rest of the dataset goes in.
+	fc := usaas.NewClientWithOptions("", usaas.ClientOptions{
+		Endpoints: []string{leader.server.URL, follower.server.URL},
+		Sleep:     func(time.Duration) {},
+	})
+	applied, deduped := 0, 0
+	for _, b := range batches {
+		if sendBatch(t, fc, b).Duplicate {
+			deduped++
+		} else {
+			applied++
+		}
+	}
+	if deduped == 0 {
+		t.Error("no batch deduped: the follower replicated nothing before the kill")
+	}
+	if applied < len(batches)-acked {
+		t.Errorf("applied %d < %d un-acked batches", applied, len(batches)-acked)
+	}
+
+	// Single-node reference fed the same batches in the same order.
+	refDir := t.TempDir()
+	ref, err := usaas.OpenDurableStore(usaas.DurabilityOptions{Dir: refDir, Fsync: durable.FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	refSrv := usaas.NewServer(ref.Store, usaas.ServerOptions{})
+	refTS := httptest.NewServer(refSrv.Handler())
+	defer refTS.Close()
+	refClient := usaas.NewClient(refTS.URL, nil)
+	for _, b := range batches {
+		sendBatch(t, refClient, b)
+	}
+
+	if got, want := httpReport(t, follower.server.URL), httpReport(t, refTS.URL); !bytes.Equal(got, want) {
+		t.Fatalf("promoted follower /v1/report (%d bytes) differs from reference (%d bytes)",
+			len(got), len(want))
+	}
+
+	// The drill only counts if the link actually misbehaved.
+	counts := link.Counts()
+	if counts.Deliveries < 10 {
+		t.Errorf("only %d link deliveries; chaos never engaged", counts.Deliveries)
+	}
+	if faultRate := float64(counts.Faults()) / float64(counts.Deliveries); faultRate <= 0.20 {
+		t.Errorf("fault rate %.0f%% (counts %+v); want > 20%%", faultRate*100, counts)
 	}
 }
 

@@ -1,0 +1,168 @@
+package usaas
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"usersignals/internal/telemetry"
+)
+
+// fakeClock is a manually advanced clock for deterministic bucket tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestAdmissionTokenBucket(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	a := newAdmission(AdmissionOptions{Rate: 2, Burst: 2, now: clk.now})
+
+	// Burst capacity: two batches pass, the third is dropped.
+	for i := 0; i < 2; i++ {
+		if ok, _ := a.admit("acme"); !ok {
+			t.Fatalf("admit %d rejected within burst", i)
+		}
+	}
+	ok, retryAfter := a.admit("acme")
+	if ok {
+		t.Fatal("third batch admitted past burst")
+	}
+	// Deficit is exactly 1 token at 2 tokens/sec -> ceil(0.5) = 1s. The
+	// hint must be deterministic: same state, same header.
+	if retryAfter != 1 {
+		t.Fatalf("Retry-After = %d, want 1", retryAfter)
+	}
+	if _, again := a.admit("acme"); again != retryAfter {
+		t.Fatalf("Retry-After not deterministic: %d then %d", retryAfter, again)
+	}
+
+	// Refill: half a second buys one token at rate 2.
+	clk.advance(500 * time.Millisecond)
+	if ok, _ := a.admit("acme"); !ok {
+		t.Fatal("batch rejected after refill")
+	}
+
+	// A slower tenant: rate 0.25/sec, empty bucket -> ceil(1/0.25) = 4s.
+	b := newAdmission(AdmissionOptions{Rate: 0.25, Burst: 1, now: clk.now})
+	if ok, _ := b.admit("slow"); !ok {
+		t.Fatal("first batch rejected")
+	}
+	if _, ra := b.admit("slow"); ra != 4 {
+		t.Fatalf("Retry-After = %d, want 4 at rate 0.25", ra)
+	}
+}
+
+func TestAdmissionTenantIsolation(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	a := newAdmission(AdmissionOptions{Rate: 1, Burst: 1, now: clk.now})
+	if ok, _ := a.admit("noisy"); !ok {
+		t.Fatal("noisy tenant's first batch rejected")
+	}
+	if ok, _ := a.admit("noisy"); ok {
+		t.Fatal("noisy tenant not limited")
+	}
+	// The noisy tenant's exhaustion must not tax anyone else.
+	for _, tenant := range []string{"quiet", "", "other"} {
+		if ok, _ := a.admit(tenant); !ok {
+			t.Fatalf("tenant %q rejected by noisy tenant's bucket", tenant)
+		}
+	}
+	snap := a.snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot has %d tenants, want 4", len(snap))
+	}
+	// Sorted by tenant; "" first.
+	if snap[0].Tenant != "" || snap[1].Tenant != "noisy" && snap[1].Tenant != "other" {
+		t.Fatalf("snapshot order: %+v", snap)
+	}
+	for _, ts := range snap {
+		want := uint64(0)
+		if ts.Tenant == "noisy" {
+			want = 1
+		}
+		if ts.Dropped != want {
+			t.Errorf("tenant %q dropped = %d, want %d", ts.Tenant, ts.Dropped, want)
+		}
+	}
+}
+
+// TestAdmissionHTTP drives the full middleware stack: over-budget ingest
+// gets 429 + deterministic Retry-After, queries are never metered, and the
+// PR-2 client's retry loop rides the hint to eventual success.
+func TestAdmissionHTTP(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	srv := NewServer(nil, ServerOptions{
+		Admission:      AdmissionOptions{Rate: 1, Burst: 2, now: clk.now},
+		RequestTimeout: -1,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func(tenant string) *http.Response {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/sessions", strings.NewReader("[]"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tenant != "" {
+			req.Header.Set(TenantHeader, tenant)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	for i := 0; i < 2; i++ {
+		if resp := post("acme"); resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest %d status = %d", i, resp.StatusCode)
+		}
+	}
+	resp := post("acme")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-budget ingest status = %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\"", got)
+	}
+	// Another tenant is unaffected, and queries are never admission-metered.
+	if resp := post("other"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("other tenant status = %d", resp.StatusCode)
+	}
+	for i := 0; i < 10; i++ {
+		qr, err := ts.Client().Get(ts.URL + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		qr.Body.Close()
+		if qr.StatusCode != http.StatusOK {
+			t.Fatalf("query %d status = %d; queries must not be admission-limited", i, qr.StatusCode)
+		}
+	}
+
+	// The retrying client labels its traffic and backs off exactly the
+	// hinted second, then succeeds once the bucket refills.
+	var waits []time.Duration
+	cl := NewClientWithOptions(ts.URL, ClientOptions{
+		HTTPClient: ts.Client(),
+		Tenant:     "acme",
+		Sleep: func(d time.Duration) {
+			waits = append(waits, d)
+			clk.advance(d)
+		},
+	})
+	if _, err := cl.IngestSessions(context.Background(), []telemetry.SessionRecord{}); err != nil {
+		t.Fatalf("client ingest through admission limiter: %v", err)
+	}
+	if len(waits) == 0 {
+		t.Fatal("client never backed off; admission 429 not surfaced")
+	}
+	if waits[0] != time.Second {
+		t.Fatalf("first backoff = %v, want the server's Retry-After of 1s", waits[0])
+	}
+}

@@ -76,6 +76,10 @@ type ClientOptions struct {
 	Endpoints []string
 	// Token, when set, authenticates every request ("Bearer <token>").
 	Token string
+	// Tenant, when set, labels every request with the X-Usaas-Tenant
+	// header so server-side admission control meters this client against
+	// its own token bucket.
+	Tenant string
 	// Retry tunes the retry loop; zero fields take defaults.
 	Retry RetryPolicy
 	// Breaker tunes the circuit breaker; zero fields take defaults.
@@ -99,6 +103,7 @@ type Client struct {
 	base    string
 	http    *http.Client
 	token   string
+	tenant  string
 	retry   RetryPolicy
 	breaker BreakerPolicy
 	sleep   func(time.Duration)
@@ -195,6 +200,7 @@ func NewClientWithOptions(baseURL string, opts ClientOptions) *Client {
 		base:     baseURL,
 		http:     hc,
 		token:    opts.Token,
+		tenant:   opts.Tenant,
 		retry:    r,
 		breaker:  b,
 		sleep:    opts.Sleep,
@@ -325,6 +331,9 @@ func countsAgainstBreaker(err error) bool {
 func (c *Client) do(req *http.Request, out any) error {
 	if c.token != "" {
 		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	if c.tenant != "" {
+		req.Header.Set(TenantHeader, c.tenant)
 	}
 	ctx := req.Context()
 	var lastErr error

@@ -465,6 +465,9 @@ func TestServerRequestTimeout(t *testing.T) {
 	if !strings.Contains(string(body), "timed out") {
 		t.Fatalf("timeout body = %q", body)
 	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("timeout Retry-After = %q, want deterministic \"1\"", got)
+	}
 }
 
 func TestDegradedReport(t *testing.T) {

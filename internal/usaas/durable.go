@@ -37,9 +37,16 @@ const (
 // batch is applied.
 // wire, when non-nil, is the batch's JSONL body exactly as received and
 // is logged verbatim; otherwise the records are re-encoded.
+//
+// The returned ticket resolves once the fsync covering the appended frame
+// completes: with group commit the append returns as soon as the frame is
+// written (so the store lock is released while the fsync is in flight, and
+// concurrent batches coalesce into one group), and the caller must Wait on
+// the ticket before acknowledging the batch. Under the other policies the
+// ticket is already resolved at return.
 type batchJournal interface {
-	logSessions(batchID string, recs []telemetry.SessionRecord, wire []byte) error
-	logPosts(batchID string, posts []social.Post, wire []byte) error
+	logSessions(batchID string, recs []telemetry.SessionRecord, wire []byte) (*durable.Ticket, error)
+	logPosts(batchID string, posts []social.Post, wire []byte) (*durable.Ticket, error)
 }
 
 // DurabilityOptions configures a durable store.
@@ -57,6 +64,15 @@ type DurabilityOptions struct {
 	SnapshotEvery int
 	// SegmentBytes rolls WAL segments at this size (default 8 MiB).
 	SegmentBytes int64
+	// GroupCommit coalesces concurrent fsync-per-batch appends into one
+	// fsync per commit group (durable/commit.go); acknowledgement still
+	// waits for the covering fsync, so the durability contract is
+	// unchanged. No effect under the interval/off policies.
+	GroupCommit bool
+	// MaxGroupBytes and MaxGroupDelay tune the commit scheduler; zero
+	// values take the durable package defaults (4 MiB, no linger).
+	MaxGroupBytes int64
+	MaxGroupDelay time.Duration
 	// Logf, when set, receives background-snapshotter diagnostics (the
 	// snapshot path has no request to answer errors on). Defaults to
 	// discarding them; Close still reports the final snapshot's error.
@@ -174,6 +190,9 @@ func OpenDurableStore(opts DurabilityOptions) (*DurableStore, error) {
 		Fsync:         opts.Fsync,
 		SegmentBytes:  opts.SegmentBytes,
 		FsyncInterval: opts.FsyncInterval,
+		GroupCommit:   opts.GroupCommit,
+		MaxGroupBytes: opts.MaxGroupBytes,
+		MaxGroupDelay: opts.MaxGroupDelay,
 	})
 	if err != nil {
 		return nil, err
@@ -224,32 +243,33 @@ func applyRecord(store *Store, rec durable.Record) error {
 
 // --- the journal (write side) ---
 
-func (d *DurableStore) logSessions(batchID string, recs []telemetry.SessionRecord, wire []byte) error {
+func (d *DurableStore) logSessions(batchID string, recs []telemetry.SessionRecord, wire []byte) (*durable.Ticket, error) {
 	if wire == nil {
 		b, err := telemetry.AppendNDJSON(d.sessBuf[:0], recs)
 		d.sessBuf = b
 		if err != nil {
-			return fmt.Errorf("usaas: encoding session batch for WAL: %w", err)
+			return nil, fmt.Errorf("usaas: encoding session batch for WAL: %w", err)
 		}
 		wire = b
 	}
 	return d.logRecord(durable.Record{Type: recSessions, BatchID: batchID, Payload: wire})
 }
 
-func (d *DurableStore) logPosts(batchID string, posts []social.Post, wire []byte) error {
+func (d *DurableStore) logPosts(batchID string, posts []social.Post, wire []byte) (*durable.Ticket, error) {
 	if wire == nil {
 		d.postBuf.Reset()
 		if err := social.WritePostsJSONL(&d.postBuf, posts); err != nil {
-			return fmt.Errorf("usaas: encoding post batch for WAL: %w", err)
+			return nil, fmt.Errorf("usaas: encoding post batch for WAL: %w", err)
 		}
 		wire = d.postBuf.Bytes()
 	}
 	return d.logRecord(durable.Record{Type: recPosts, BatchID: batchID, Payload: wire})
 }
 
-func (d *DurableStore) logRecord(rec durable.Record) error {
-	if _, err := d.wal.Append(rec); err != nil {
-		return err
+func (d *DurableStore) logRecord(rec durable.Record) (*durable.Ticket, error) {
+	_, t, err := d.wal.AppendAsync(rec)
+	if err != nil {
+		return nil, err
 	}
 	d.sigMu.Lock()
 	close(d.sigCh)
@@ -270,7 +290,13 @@ func (d *DurableStore) logRecord(rec durable.Record) error {
 			}
 		}
 	}
-	return nil
+	return t, nil
+}
+
+// CommitMetrics reports the group-commit scheduler's counters (ok=false
+// when group commit is not active). Surfaced through /v1/stats.
+func (d *DurableStore) CommitMetrics() (durable.CommitMetrics, bool) {
+	return d.wal.CommitMetrics()
 }
 
 // Sync forces appended log records to stable storage (meaningful under

@@ -3,8 +3,10 @@ package usaas
 import (
 	"bytes"
 	"fmt"
+	"sync/atomic"
 	"testing"
 
+	"usersignals/internal/benchguard"
 	"usersignals/internal/conference"
 	"usersignals/internal/durable"
 	"usersignals/internal/telemetry"
@@ -35,12 +37,13 @@ func benchSessions(b *testing.B, n int) []telemetry.SessionRecord {
 // verbatim rather than re-encoding. The acceptance target is fsync=off
 // and fsync=interval within 2x of memory.
 //
-// Run with a fixed iteration count (-benchtime=2000x) when recording
-// numbers: time-based auto-scaling pushes total write volume past the
-// kernel's dirty-page thresholds, at which point every durable mode
-// measures the disk's sustained writeback bandwidth instead of the
+// Requires a fixed iteration count (-benchtime=2000x); benchguard fails
+// the run otherwise. Time-based auto-scaling pushes total write volume
+// past the kernel's dirty-page thresholds, at which point every durable
+// mode measures the disk's sustained writeback bandwidth instead of the
 // journaling overhead.
 func BenchmarkIngestWAL(b *testing.B) {
+	benchguard.FixedIterations(b)
 	const batch = 20
 	seedRecs := benchSessions(b, batch)
 	wire, err := telemetry.AppendNDJSON(nil, seedRecs)
@@ -110,6 +113,49 @@ func BenchmarkIngestWAL(b *testing.B) {
 			d.Close()
 		})
 	}
+
+	// wal-fsync-batch-group: the same per-batch durability contract, but
+	// with concurrent appenders sharing commit groups. 16 goroutines
+	// drive the async ingest path against one group-commit store, so a
+	// single fsync covers many acks — this is the shape the load harness
+	// measures over HTTP, minus the network.
+	b.Run("wal-fsync-batch-group", func(b *testing.B) {
+		b.SetBytes(payload)
+		b.ReportAllocs()
+		d, err := OpenDurableStore(DurabilityOptions{
+			Dir: b.TempDir(), Fsync: durable.FsyncPerBatch, GroupCommit: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var seq atomic.Uint64
+		b.SetParallelism(16)
+		b.RunParallel(func(pb *testing.PB) {
+			local := make([]telemetry.SessionRecord, 0, batch)
+			for pb.Next() {
+				local = local[:0]
+				if err := telemetry.ReadJSONL(bytes.NewReader(wire), func(rec *telemetry.SessionRecord) error {
+					local = append(local, *rec)
+					return nil
+				}); err != nil {
+					b.Fatal(err)
+				}
+				id := fmt.Sprintf("g%d", seq.Add(1))
+				_, _, tk, err := d.addSessionsBatchAsync(id, local, wire)
+				if err == nil {
+					err = d.finishIngest(id, tk)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.StopTimer()
+		if m, ok := d.CommitMetrics(); ok && m.Groups > 0 {
+			b.ReportMetric(float64(m.Batches)/float64(m.Groups), "batches/group")
+		}
+		d.Close()
+	})
 }
 
 // BenchmarkRecovery measures cold-start cost for a fixed corpus: full WAL

@@ -1,0 +1,368 @@
+package usaas
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"usersignals/internal/durable"
+)
+
+// groupCommitOptions opens a durable store with the commit scheduler on
+// and a linger long enough that sequential async appends land in shared
+// multi-frame groups — the shape the crash tests need to be meaningful.
+func groupCommitOptions(dir string) DurabilityOptions {
+	return DurabilityOptions{
+		Dir:           dir,
+		Fsync:         durable.FsyncPerBatch,
+		GroupCommit:   true,
+		MaxGroupDelay: 30 * time.Millisecond,
+	}
+}
+
+// ingestAsync pushes one batch through the async path, returning its
+// commit ticket without waiting.
+func ingestAsync(t testing.TB, s *Store, b ingestBatch) *durable.Ticket {
+	t.Helper()
+	var tk *durable.Ticket
+	var err error
+	if b.sessions != nil {
+		_, _, tk, err = s.addSessionsBatchAsync(b.id, b.sessions, nil)
+	} else {
+		_, _, tk, err = s.addPostsBatchAsync(b.id, b.posts, nil)
+	}
+	if err != nil {
+		t.Fatalf("batch %s: %v", b.id, err)
+	}
+	return tk
+}
+
+// allWALBytes concatenates every segment in order.
+func allWALBytes(t testing.TB, dir string) []byte {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, s := range segs {
+		data, err := os.ReadFile(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(data)
+	}
+	return buf.Bytes()
+}
+
+// TestGroupCommitWALByteIdentity: the same batch sequence ingested through
+// the group-commit pipeline and through serial fsync-per-batch appends must
+// produce byte-identical WALs — group commit may only change the fsync
+// schedule. This is the invariant that lets PR-5 crash recovery and PR-7
+// WAL-shipping replication work on grouped logs untouched.
+func TestGroupCommitWALByteIdentity(t *testing.T) {
+	recs, posts := crashDataset(t, 9)
+	batches := raggedBatches(recs, posts, 9)
+
+	serialDir := t.TempDir()
+	sd, err := OpenDurableStore(DurabilityOptions{Dir: serialDir, Fsync: durable.FsyncPerBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batches {
+		applyBatch(t, sd.Store, b)
+	}
+	if err := sd.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	groupDir := t.TempDir()
+	gd, err := OpenDurableStore(groupCommitOptions(groupDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tickets := make([]*durable.Ticket, 0, len(batches))
+	for _, b := range batches {
+		tickets = append(tickets, ingestAsync(t, gd.Store, b))
+	}
+	for i, tk := range tickets {
+		if err := gd.Store.finishIngest(batches[i].id, tk); err != nil {
+			t.Fatalf("batch %s: %v", batches[i].id, err)
+		}
+	}
+	m, ok := gd.CommitMetrics()
+	if !ok {
+		t.Fatal("commit metrics unavailable with group commit on")
+	}
+	if m.Batches != uint64(len(batches)) {
+		t.Fatalf("scheduler committed %d batches, want %d", m.Batches, len(batches))
+	}
+	if m.Groups >= m.Batches {
+		t.Fatalf("no amortization: %d groups for %d batches (linger not forming groups)", m.Groups, m.Batches)
+	}
+	if err := gd.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(allWALBytes(t, serialDir), allWALBytes(t, groupDir)) {
+		t.Fatal("group-commit WAL differs from serial fsync-per-batch WAL")
+	}
+}
+
+// TestGroupCommitCrashEveryOffset cuts a WAL written through multi-frame
+// commit groups at every frame boundary and inside every frame: recovery
+// must never fail, and the surviving prefix must rebuild a store whose
+// /v1/report is byte-identical to replaying only the surviving complete
+// batches — exactly the PR-5 contract, now with frames that were synced in
+// groups. A crash between a group's write and its fsync surfaces here as a
+// cut before those frames (the OS never persisted them): only frames
+// covered by a completed fsync are promised to survive, and whatever
+// prefix does survive must recover cleanly.
+func TestGroupCommitCrashEveryOffset(t *testing.T) {
+	seeds := []uint64{5, 6}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			recs, posts := crashDataset(t, seed)
+			batches := raggedBatches(recs, posts, seed)
+			dir := t.TempDir()
+			d, err := OpenDurableStore(groupCommitOptions(dir))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tickets := make([]*durable.Ticket, 0, len(batches))
+			for _, b := range batches {
+				tickets = append(tickets, ingestAsync(t, d.Store, b))
+			}
+			// A duplicate delivery while its original may still be in an
+			// open group: must not add a frame.
+			if _, dup, _, err := d.Store.addSessionsBatchAsync(batches[0].id, batches[0].sessions, nil); err != nil || !dup {
+				t.Fatalf("duplicate delivery: dup=%v err=%v", dup, err)
+			}
+			for i, tk := range tickets {
+				if err := d.Store.finishIngest(batches[i].id, tk); err != nil {
+					t.Fatalf("batch %s: %v", batches[i].id, err)
+				}
+			}
+			m, _ := d.CommitMetrics()
+			if m.MaxGroup < 2 {
+				t.Fatalf("largest commit group is %d; crash coverage needs multi-frame groups", m.MaxGroup)
+			}
+			if err := d.Close(); err != nil {
+				t.Fatal(err)
+			}
+			data, err := os.ReadFile(onlySegment(t, dir))
+			if err != nil {
+				t.Fatal(err)
+			}
+			bounds := durable.FrameBoundaries(data)
+			if len(bounds) != len(batches) {
+				t.Fatalf("log holds %d frames for %d batches", len(bounds), len(batches))
+			}
+
+			expected := map[int][]byte{}
+			expect := func(k int) []byte {
+				if b, ok := expected[k]; ok {
+					return b
+				}
+				ref := &Store{}
+				for _, b := range batches[:k] {
+					applyBatch(t, ref, b)
+				}
+				rb := reportBytes(t, ref)
+				expected[k] = rb
+				return rb
+			}
+
+			var cuts []int64
+			prev := int64(0)
+			for _, b := range bounds {
+				cuts = append(cuts, b)
+				if mid := (prev + b) / 2; mid > prev {
+					cuts = append(cuts, mid)
+				}
+				prev = b
+			}
+			for _, cut := range cuts {
+				sub := t.TempDir()
+				if err := os.WriteFile(filepath.Join(sub, filepath.Base(onlySegment(t, dir))), data[:cut], 0o644); err != nil {
+					t.Fatal(err)
+				}
+				// Recovery itself reopens with group commit on: replay and
+				// subsequent ingest must work identically on a grouped log.
+				d2, err := OpenDurableStore(groupCommitOptions(sub))
+				if err != nil {
+					t.Fatalf("cut %d: recovery failed: %v", cut, err)
+				}
+				k := 0
+				for _, b := range bounds {
+					if b <= cut {
+						k++
+					}
+				}
+				if d2.Recovery.ReplayedBatches != k {
+					t.Fatalf("cut %d: replayed %d batches, want %d", cut, d2.Recovery.ReplayedBatches, k)
+				}
+				if got := reportBytes(t, d2.Store); !bytes.Equal(got, expect(k)) {
+					t.Fatalf("cut %d (%d surviving batches): recovered report differs from reference", cut, k)
+				}
+				if err := d2.Close(); err != nil {
+					t.Fatalf("cut %d: close: %v", cut, err)
+				}
+			}
+		})
+	}
+}
+
+// TestDuplicateWaitsForPendingCommit: a retry of a batch whose covering
+// fsync has not completed yet must receive the SAME commit ticket as the
+// original — acknowledging the duplicate from the dedup table alone would
+// promise durability the log has not delivered.
+func TestDuplicateWaitsForPendingCommit(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurableStore(DurabilityOptions{
+		Dir:           dir,
+		Fsync:         durable.FsyncPerBatch,
+		GroupCommit:   true,
+		MaxGroupDelay: time.Minute, // hold the group open; Close resolves it
+		MaxGroupBytes: 1 << 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := crashDataset(t, 3)
+	_, _, t1, err := d.Store.addSessionsBatchAsync("dup-1", recs[:5], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 == nil || t1.Resolved() {
+		t.Fatal("original ticket should be pending while the group lingers")
+	}
+	resp, dup, t2, err := d.Store.addSessionsBatchAsync("dup-1", recs[:5], nil)
+	if err != nil || !dup || !resp.Duplicate {
+		t.Fatalf("duplicate delivery: dup=%v err=%v", dup, err)
+	}
+	if t2 != t1 {
+		t.Fatal("duplicate did not receive the original's pending commit ticket")
+	}
+
+	// Close seals and fsyncs the lingering group; both waiters resolve nil
+	// and the pending entry is cleaned up.
+	closed := make(chan error, 1)
+	go func() { closed <- d.Close() }()
+	if err := d.Store.finishIngest("dup-1", t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Store.finishIngest("dup-1", t2); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-closed; err != nil {
+		t.Fatal(err)
+	}
+	d.Store.mu.RLock()
+	npend := len(d.Store.pending)
+	d.Store.mu.RUnlock()
+	if npend != 0 {
+		t.Fatalf("%d pending tickets leaked after resolution", npend)
+	}
+}
+
+// TestStatsIngestGauges: /v1/stats grows ingest + admission sections when
+// (and only when) those subsystems are on.
+func TestStatsIngestGauges(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurableStore(groupCommitOptions(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	srv := NewServer(d.Store, ServerOptions{
+		Admission:      AdmissionOptions{Rate: 1000, Burst: 1000},
+		RequestTimeout: -1,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	recs, _ := crashDataset(t, 4)
+	const n = 6
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var body bytes.Buffer
+			if err := json.NewEncoder(&body).Encode(recs[i*10 : (i+1)*10]); err != nil {
+				panic(err)
+			}
+			req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/sessions", &body)
+			req.Header.Set(BatchIDHeader, fmt.Sprintf("gauge-%d", i))
+			req.Header.Set(TenantHeader, "acme")
+			resp, err := ts.Client().Do(req)
+			if err != nil {
+				panic(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				panic(fmt.Sprintf("ingest status %d", resp.StatusCode))
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Sessions != n*10 {
+		t.Fatalf("sessions = %d, want %d", st.Sessions, n*10)
+	}
+	if st.Ingest == nil {
+		t.Fatal("stats missing ingest pipeline gauges with group commit on")
+	}
+	if st.Ingest.CommitBatches != n {
+		t.Fatalf("commit_batches = %d, want %d", st.Ingest.CommitBatches, n)
+	}
+	if st.Ingest.CommitGroups == 0 || st.Ingest.MeanGroup < 1 {
+		t.Fatalf("implausible scheduler gauges: %+v", st.Ingest)
+	}
+	var hist uint64
+	for _, c := range st.Ingest.GroupSizeHist {
+		hist += c
+	}
+	if hist != st.Ingest.CommitGroups {
+		t.Fatalf("group size histogram sums to %d, want %d", hist, st.Ingest.CommitGroups)
+	}
+	if len(st.Admission) != 1 || st.Admission[0].Tenant != "acme" || st.Admission[0].Admitted != n {
+		t.Fatalf("admission gauges: %+v", st.Admission)
+	}
+
+	// A plain store's stats must not carry the optional sections at all —
+	// several tests byte-compare /v1/stats across stores.
+	plain := httptest.NewServer(NewServer(&Store{}, ServerOptions{RequestTimeout: -1}).Handler())
+	defer plain.Close()
+	pr, err := plain.Client().Get(plain.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Body.Close()
+	raw, _ := io.ReadAll(pr.Body)
+	if bytes.Contains(raw, []byte("ingest")) || bytes.Contains(raw, []byte("admission")) {
+		t.Fatalf("plain store stats leaked optional sections: %s", raw)
+	}
+}

@@ -2,6 +2,8 @@ package usaas
 
 import (
 	"bufio"
+	"bytes"
+	"context"
 	"crypto/subtle"
 	"encoding/json"
 	"fmt"
@@ -15,6 +17,7 @@ import (
 	"time"
 
 	"usersignals/internal/colstore"
+	"usersignals/internal/durable"
 	"usersignals/internal/leo"
 	"usersignals/internal/newswire"
 	"usersignals/internal/nlp"
@@ -49,6 +52,14 @@ type Store struct {
 	// because both happen under mu, which is what makes log replay
 	// reproduce the store byte-for-byte.
 	journal batchJournal
+
+	// pending maps a batch ID to its unresolved commit ticket: under group
+	// commit the journal returns before the covering fsync, and a duplicate
+	// delivery arriving in that window must wait on the SAME fsync as the
+	// original — answering it from the dedup table alone would acknowledge
+	// a batch that is not durable yet. Entries are removed by finishIngest
+	// once the ticket resolves.
+	pending map[string]*durable.Ticket
 
 	// views holds the incrementally maintained materialized state the
 	// query handlers read (views.go). Folded only on non-duplicate
@@ -142,24 +153,45 @@ func (s *Store) AddSessionsBatch(batchID string, recs []telemetry.SessionRecord)
 	return s.addSessionsBatch(batchID, recs, nil)
 }
 
-// addSessionsBatch is the ingest core. wire, when non-nil, is the batch's
-// NDJSON wire form as received (the HTTP handler captures the request
-// body); the journal logs it verbatim instead of re-encoding, which is
-// both cheaper and more faithful — replay parses the same bytes the live
-// path did. The journal copies the frame before returning, so wire may be
-// pooled by the caller.
+// addSessionsBatch is the synchronous ingest shape: append, apply, then
+// wait for the covering fsync before acknowledging.
 func (s *Store) addSessionsBatch(batchID string, recs []telemetry.SessionRecord, wire []byte) (resp IngestResponse, dup bool, err error) {
+	resp, dup, t, err := s.addSessionsBatchAsync(batchID, recs, wire)
+	if err != nil {
+		return IngestResponse{}, dup, err
+	}
+	if err := s.finishIngest(batchID, t); err != nil {
+		return IngestResponse{}, dup, err
+	}
+	return resp, dup, nil
+}
+
+// addSessionsBatchAsync is the ingest core. wire, when non-nil, is the
+// batch's NDJSON wire form as received (the HTTP handler captures the
+// request body); the journal logs it verbatim instead of re-encoding,
+// which is both cheaper and more faithful — replay parses the same bytes
+// the live path did. The journal copies the frame before returning, so
+// wire may be pooled by the caller.
+//
+// The batch is applied and its acknowledgement recorded before the method
+// returns, but the caller MUST NOT release that acknowledgement until
+// finishIngest(batchID, t) returns nil: under group commit the frame's
+// fsync is still in flight, and the store lock is deliberately released
+// while it runs — that window is where concurrent batches coalesce into
+// one commit group.
+func (s *Store) addSessionsBatchAsync(batchID string, recs []telemetry.SessionRecord, wire []byte) (resp IngestResponse, dup bool, t *durable.Ticket, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if batchID != "" {
 		if prev, ok := s.batches[batchID]; ok {
 			prev.Duplicate = true
-			return prev, true, nil
+			return prev, true, s.pending[batchID], nil
 		}
 	}
 	if s.journal != nil {
-		if err := s.journal.logSessions(batchID, recs, wire); err != nil {
-			return IngestResponse{}, false, err
+		t, err = s.journal.logSessions(batchID, recs, wire)
+		if err != nil {
+			return IngestResponse{}, false, nil, err
 		}
 	}
 	s.sessions = append(s.sessions, recs...)
@@ -175,7 +207,8 @@ func (s *Store) addSessionsBatch(batchID string, recs []telemetry.SessionRecord,
 		BatchID:       batchID,
 	}
 	s.recordBatchLocked(batchID, resp)
-	return resp, false, nil
+	s.trackPendingLocked(batchID, t)
+	return resp, false, t, nil
 }
 
 // AddPosts ingests social posts unconditionally (no dedup). The error is
@@ -191,9 +224,21 @@ func (s *Store) AddPostsBatch(batchID string, posts []social.Post) (resp IngestR
 	return s.addPostsBatch(batchID, posts, nil)
 }
 
-// addPostsBatch mirrors addSessionsBatch: wire, when non-nil, is the
-// received JSONL body and is journaled verbatim.
+// addPostsBatch is the synchronous post-ingest shape; see addSessionsBatch.
 func (s *Store) addPostsBatch(batchID string, posts []social.Post, wire []byte) (resp IngestResponse, dup bool, err error) {
+	resp, dup, t, err := s.addPostsBatchAsync(batchID, posts, wire)
+	if err != nil {
+		return IngestResponse{}, dup, err
+	}
+	if err := s.finishIngest(batchID, t); err != nil {
+		return IngestResponse{}, dup, err
+	}
+	return resp, dup, nil
+}
+
+// addPostsBatchAsync mirrors addSessionsBatchAsync: wire, when non-nil, is
+// the received JSONL body and is journaled verbatim.
+func (s *Store) addPostsBatchAsync(batchID string, posts []social.Post, wire []byte) (resp IngestResponse, dup bool, t *durable.Ticket, err error) {
 	// OCR extraction is the expensive part of post ingest; stage it
 	// outside the lock. On a duplicate replay the staged work is simply
 	// discarded — replays are rare, stalled readers are not.
@@ -203,12 +248,13 @@ func (s *Store) addPostsBatch(batchID string, posts []social.Post, wire []byte) 
 	if batchID != "" {
 		if prev, ok := s.batches[batchID]; ok {
 			prev.Duplicate = true
-			return prev, true, nil
+			return prev, true, s.pending[batchID], nil
 		}
 	}
 	if s.journal != nil {
-		if err := s.journal.logPosts(batchID, posts, wire); err != nil {
-			return IngestResponse{}, false, err
+		t, err = s.journal.logPosts(batchID, posts, wire)
+		if err != nil {
+			return IngestResponse{}, false, nil, err
 		}
 	}
 	base := len(s.posts)
@@ -225,7 +271,48 @@ func (s *Store) addPostsBatch(batchID string, posts []social.Post, wire []byte) 
 		BatchID:       batchID,
 	}
 	s.recordBatchLocked(batchID, resp)
-	return resp, false, nil
+	s.trackPendingLocked(batchID, t)
+	return resp, false, t, nil
+}
+
+// trackPendingLocked registers an unresolved commit ticket under the batch
+// ID so duplicate deliveries arriving before the fsync completes wait on
+// it too. Caller holds the write lock. Resolved tickets (the non-group
+// policies) are not tracked — there is nothing left to wait for.
+func (s *Store) trackPendingLocked(batchID string, t *durable.Ticket) {
+	if batchID == "" || t == nil || t.Resolved() {
+		return
+	}
+	if s.pending == nil {
+		s.pending = map[string]*durable.Ticket{}
+	}
+	s.pending[batchID] = t
+}
+
+// finishIngest waits for the commit ticket covering an applied batch and
+// reports the fsync outcome — the acknowledgement gate. On success the
+// batch's pending entry is cleared. On failure the recorded
+// acknowledgement is withdrawn too: the log is poisoned (durable/commit.go)
+// and will reject the retry explicitly, and a dedup hit must not answer
+// "accepted" for a batch whose durability failed. Nil and pre-resolved
+// tickets return immediately, so non-durable stores and the interval/off
+// policies pay nothing.
+func (s *Store) finishIngest(batchID string, t *durable.Ticket) error {
+	if t == nil {
+		return nil
+	}
+	err := t.Wait()
+	if batchID != "" {
+		s.mu.Lock()
+		if s.pending[batchID] == t {
+			delete(s.pending, batchID)
+		}
+		if err != nil {
+			delete(s.batches, batchID)
+		}
+		s.mu.Unlock()
+	}
+	return err
 }
 
 func (s *Store) recordBatchLocked(batchID string, resp IngestResponse) {
@@ -332,6 +419,10 @@ type ServerOptions struct {
 	// rejected with 429 + Retry-After instead of queueing without bound
 	// (0 disables).
 	MaxInflight int
+	// Admission rate-limits ingest per tenant (admission.go); a zero Rate
+	// disables it. Runs outside the inflight limiter, so one tenant's
+	// excess is rejected before it can occupy inflight slots.
+	Admission AdmissionOptions
 	// ResultCacheSize caps the generation-keyed result cache (cache.go):
 	// 0 means the default of 256 entries, negative disables caching.
 	ResultCacheSize int
@@ -347,6 +438,7 @@ type Server struct {
 	opts  ServerOptions
 	mux   *http.ServeMux
 	cache *resultCache // nil when disabled
+	admit *admission   // nil when admission control is disabled
 }
 
 // NewServer builds a service around a store (a fresh one if nil).
@@ -367,6 +459,9 @@ func NewServer(store *Store, opts ServerOptions) *Server {
 		opts.RequestTimeout = 60 * time.Second
 	}
 	s := &Server{store: store, opts: opts, mux: http.NewServeMux()}
+	if opts.Admission.Rate > 0 {
+		s.admit = newAdmission(opts.Admission)
+	}
 	if opts.ResultCacheSize >= 0 {
 		size := opts.ResultCacheSize
 		if size == 0 {
@@ -480,17 +575,22 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 }
 
 // Handler returns the HTTP handler, wrapped (outermost first) with
-// bearer-token auth, the inflight limiter, and the per-request timeout.
-// The health endpoints short-circuit past all three wrappers: probes carry
+// bearer-token auth, per-tenant admission control, the inflight limiter,
+// and the per-request timeout. Admission sits outside the inflight
+// limiter so an over-budget tenant is rejected before occupying a slot.
+// The health endpoints short-circuit past all wrappers: probes carry
 // no credentials, and a node at its inflight cap or wedged past its
 // timeout is exactly the node whose health must still be observable.
 func (s *Server) Handler() http.Handler {
 	h := http.Handler(s.mux)
 	if s.opts.RequestTimeout > 0 {
-		h = http.TimeoutHandler(h, s.opts.RequestTimeout, `{"error":"request timed out"}`)
+		h = timeoutHandler(h, s.opts.RequestTimeout)
 	}
 	if s.opts.MaxInflight > 0 {
 		h = inflightLimiter(h, s.opts.MaxInflight)
+	}
+	if s.admit != nil {
+		h = admissionLimiter(h, s.admit)
 	}
 	if s.opts.AuthToken != "" {
 		h = bearerAuth(h, s.opts.AuthToken)
@@ -515,6 +615,78 @@ func bearerAuth(next http.Handler, token string) http.Handler {
 		}
 		next.ServeHTTP(w, r)
 	})
+}
+
+// timeoutHandler bounds each request's handling time, answering 503 with a
+// deterministic Retry-After when exceeded. A hand-rolled replacement for
+// http.TimeoutHandler, which cannot attach headers to its timeout response
+// — and without the hint the PR-2 client retries a timed-out (likely
+// overloaded) server immediately.
+func timeoutHandler(next http.Handler, d time.Duration) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		tw := &timeoutWriter{h: make(http.Header), code: http.StatusOK}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			next.ServeHTTP(tw, r.WithContext(ctx))
+		}()
+		select {
+		case <-done:
+			tw.mu.Lock()
+			dst := w.Header()
+			for k, v := range tw.h {
+				dst[k] = v
+			}
+			w.WriteHeader(tw.code)
+			_, _ = w.Write(tw.body.Bytes())
+			tw.mu.Unlock()
+		case <-ctx.Done():
+			// The handler goroutine keeps running until it notices the
+			// canceled context; it writes into the buffer, which is
+			// discarded. Mark it timed out so late writes error like
+			// http.TimeoutHandler's do.
+			tw.mu.Lock()
+			tw.timedOut = true
+			tw.mu.Unlock()
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusServiceUnavailable, "request timed out")
+		}
+	})
+}
+
+// timeoutWriter buffers a response so it can be forwarded whole (handler
+// finished in time) or dropped whole (deadline hit first).
+type timeoutWriter struct {
+	mu       sync.Mutex
+	h        http.Header
+	body     bytes.Buffer
+	code     int
+	wrote    bool
+	timedOut bool
+}
+
+func (tw *timeoutWriter) Header() http.Header { return tw.h }
+
+func (tw *timeoutWriter) WriteHeader(code int) {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	if tw.wrote || tw.timedOut {
+		return
+	}
+	tw.wrote = true
+	tw.code = code
+}
+
+func (tw *timeoutWriter) Write(p []byte) (int, error) {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	if tw.timedOut {
+		return 0, http.ErrHandlerTimeout
+	}
+	tw.wrote = true
+	return tw.body.Write(p)
 }
 
 // inflightLimiter sheds load beyond max concurrent requests with a 429 and
@@ -680,7 +852,13 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "decoding sessions: %v", err)
 		return
 	}
-	resp, _, err := s.store.addSessionsBatch(r.Header.Get(BatchIDHeader), recs, wire)
+	// The async shape releases the store lock before the fsync wait, so
+	// concurrent ingest handlers coalesce into shared commit groups.
+	batchID := r.Header.Get(BatchIDHeader)
+	resp, _, t, err := s.store.addSessionsBatchAsync(batchID, recs, wire)
+	if err == nil {
+		err = s.store.finishIngest(batchID, t)
+	}
 	if err != nil {
 		writeErr(w, http.StatusServiceUnavailable, "persisting sessions: %v", err)
 		return
@@ -722,7 +900,11 @@ func (s *Server) handlePosts(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "decoding posts: %v", err)
 		return
 	}
-	resp, _, err := s.store.addPostsBatch(r.Header.Get(BatchIDHeader), posts, wire)
+	batchID := r.Header.Get(BatchIDHeader)
+	resp, _, t, err := s.store.addPostsBatchAsync(batchID, posts, wire)
+	if err == nil {
+		err = s.store.finishIngest(batchID, t)
+	}
 	if err != nil {
 		writeErr(w, http.StatusServiceUnavailable, "persisting posts: %v", err)
 		return
@@ -730,10 +912,44 @@ func (s *Server) handlePosts(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// StatsResponse reports store contents.
+// StatsResponse reports store contents, plus — when the corresponding
+// subsystems are enabled — ingest pipeline and admission gauges. The
+// optional sections are omitted entirely when off, so the wire bytes of a
+// plain store are unchanged (several tests byte-compare /v1/stats across
+// stores).
 type StatsResponse struct {
-	Sessions int `json:"sessions"`
-	Posts    int `json:"posts"`
+	Sessions  int                  `json:"sessions"`
+	Posts     int                  `json:"posts"`
+	Ingest    *IngestPipelineStats `json:"ingest,omitempty"`
+	Admission []TenantAdmission    `json:"admission,omitempty"`
+}
+
+// IngestPipelineStats is the group-commit scheduler's view of ingest: how
+// many fsync groups were issued, how well they amortized, and what each
+// fsync cost. The load harness asserts against these.
+type IngestPipelineStats struct {
+	// CommitGroups counts fsyncs issued; CommitBatches counts the batches
+	// they covered. MeanGroup = CommitBatches/CommitGroups is the
+	// amortization factor.
+	CommitGroups  uint64  `json:"commit_groups"`
+	CommitBatches uint64  `json:"commit_batches"`
+	MeanGroup     float64 `json:"mean_group"`
+	MaxGroup      uint64  `json:"max_group"`
+	// GroupSizeHist buckets groups by size: 1, 2, 3-4, 5-8, 9-16, 17-32, >32.
+	GroupSizeHist []uint64 `json:"group_size_hist"`
+	// QueueDepth is the number of batches awaiting their fsync right now.
+	QueueDepth int `json:"queue_depth"`
+	// Fsync latency over group syncs, milliseconds.
+	FsyncCount  uint64  `json:"fsync_count"`
+	FsyncMeanMs float64 `json:"fsync_mean_ms"`
+	FsyncMaxMs  float64 `json:"fsync_max_ms"`
+}
+
+// commitMetricsSource is implemented by DurableStore; the server reaches
+// the scheduler through the store's journal hook without the Store type
+// needing to know about durability.
+type commitMetricsSource interface {
+	CommitMetrics() (durable.CommitMetrics, bool)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -741,7 +957,31 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sessions, posts := s.store.Counts()
-	writeJSON(w, http.StatusOK, StatsResponse{Sessions: sessions, Posts: posts})
+	resp := StatsResponse{Sessions: sessions, Posts: posts}
+	if src, ok := s.store.journal.(commitMetricsSource); ok {
+		if m, on := src.CommitMetrics(); on {
+			ps := &IngestPipelineStats{
+				CommitGroups:  m.Groups,
+				CommitBatches: m.Batches,
+				MaxGroup:      m.MaxGroup,
+				GroupSizeHist: append([]uint64(nil), m.GroupSizeHist[:]...),
+				QueueDepth:    m.QueueDepth,
+				FsyncCount:    m.FsyncCount,
+				FsyncMaxMs:    float64(m.FsyncMaxNs) / 1e6,
+			}
+			if m.Groups > 0 {
+				ps.MeanGroup = float64(m.Batches) / float64(m.Groups)
+			}
+			if m.FsyncCount > 0 {
+				ps.FsyncMeanMs = float64(m.FsyncTotalNs) / float64(m.FsyncCount) / 1e6
+			}
+			resp.Ingest = ps
+		}
+	}
+	if s.admit != nil {
+		resp.Admission = s.admit.snapshot()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // --- insights ---
