@@ -50,6 +50,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux; served only with -pprof-addr
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -83,9 +84,11 @@ type serverConfig struct {
 	groupCommit    bool
 	groupDelay     time.Duration
 	snapshotEvery  int
+	applyWorkers   int
 	columnar       bool
 	admitRate      float64
 	admitBurst     float64
+	pprofAddr      string
 
 	role            string
 	leaderURL       string
@@ -115,6 +118,8 @@ func main() {
 	flag.BoolVar(&cfg.groupCommit, "group-commit", true, "under -fsync=batch, coalesce concurrent appends into one fsync per commit group")
 	flag.DurationVar(&cfg.groupDelay, "group-delay", 0, "group-commit linger: let a sealed group wait this long for more batches before its fsync (0 = sync as soon as the scheduler is free)")
 	flag.IntVar(&cfg.snapshotEvery, "snapshot-every", 1024, "snapshot after this many logged batches and on shutdown; 0 disables snapshots")
+	flag.IntVar(&cfg.applyWorkers, "apply-workers", 0, "apply-pipeline workers: journal and ack under the sequencing lock, fold batches into memory on this many workers (0 = apply inline; report bytes are identical either way)")
+	flag.StringVar(&cfg.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables")
 	flag.BoolVar(&cfg.columnar, "columnar", true, "maintain the columnar session mirror for fast analyses (false = row path only)")
 	flag.StringVar(&cfg.role, "role", "", "replication role: leader (serve the WAL frame feed) or follower (tail a leader); empty = standalone")
 	flag.StringVar(&cfg.leaderURL, "leader", "", "leader base URL (e.g. http://10.0.0.1:8080); required with -role=follower")
@@ -170,6 +175,7 @@ func run(cfg serverConfig, sessionsPath, postsPath string) error {
 			GroupCommit:     cfg.groupCommit,
 			MaxGroupDelay:   cfg.groupDelay,
 			SnapshotEvery:   cfg.snapshotEvery,
+			ApplyWorkers:    cfg.applyWorkers,
 			DisableColumnar: !cfg.columnar,
 			Logf: func(format string, args ...any) {
 				fmt.Printf("usaasd: "+format+"\n", args...)
@@ -197,6 +203,18 @@ func run(cfg serverConfig, sessionsPath, postsPath string) error {
 		if !cfg.columnar {
 			store.DisableColumnar()
 		}
+		store.StartApplyPipeline(cfg.applyWorkers)
+	}
+	if cfg.pprofAddr != "" {
+		// Opt-in profiling endpoint on its own listener, outside the
+		// service's auth/limiter stack: net/http/pprof registers on the
+		// default mux at import.
+		go func() {
+			fmt.Printf("pprof listening on http://%s/debug/pprof/\n", cfg.pprofAddr)
+			if err := http.ListenAndServe(cfg.pprofAddr, nil); err != nil {
+				fmt.Printf("usaasd: pprof listener: %v\n", err)
+			}
+		}()
 	}
 	// Preloads are journaled under a path-derived batch ID, so on a
 	// durable restart the already-recovered dataset is not re-applied.

@@ -45,6 +45,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"time"
@@ -59,22 +60,26 @@ import (
 )
 
 type config struct {
-	target     string
-	clients    int
-	duration   time.Duration
-	batch      int
-	users      int
-	seed       uint64
-	tenants    int
-	queryEvery int
-	postsEvery int
-	fsync      string
-	group      bool
-	groupDelay time.Duration
-	compare    bool
-	admitRate  float64
-	admitBurst float64
-	out        string
+	target       string
+	clients      int
+	duration     time.Duration
+	batch        int
+	users        int
+	seed         uint64
+	tenants      int
+	queryEvery   int
+	postsEvery   int
+	fsync        string
+	group        bool
+	groupDelay   time.Duration
+	applyWorkers int
+	compare      bool
+	admitRate    float64
+	admitBurst   float64
+	out          string
+	cpuProfile   string
+	baseline     string
+	tailFactor   float64
 }
 
 // passConfig names one embedded server configuration under test.
@@ -115,6 +120,7 @@ type loadReport struct {
 	Clients              int          `json:"clients"`
 	BatchRecords         int          `json:"batch_records"`
 	Seed                 uint64       `json:"seed"`
+	ApplyWorkers         int          `json:"apply_workers,omitempty"`
 	Passes               []passResult `json:"passes"`
 	GroupOverInterval    float64      `json:"batch_group_over_interval,omitempty"`
 	NoGroupOverInterval  float64      `json:"batch_nogroup_over_interval,omitempty"`
@@ -139,7 +145,11 @@ func main() {
 	flag.BoolVar(&cfg.compare, "compare", false, "run batch, batch+group, and interval passes and report ratios (embedded only)")
 	flag.Float64Var(&cfg.admitRate, "admit-rate", 0, "per-tenant admission rate (batches/sec); 0 disables")
 	flag.Float64Var(&cfg.admitBurst, "admit-burst", 0, "per-tenant admission burst (defaults to rate)")
+	flag.IntVar(&cfg.applyWorkers, "apply-workers", 0, "embedded server apply-pipeline workers (0 = apply inline under the sequencing lock)")
+	flag.StringVar(&cfg.baseline, "baseline", "", "committed BENCH_load.json to regress against: fails when the measured batch+group/interval throughput ratio drops more than 20% below the baseline's (ratios are machine-tolerant where absolute rates are not); -compare only")
+	flag.Float64Var(&cfg.tailFactor, "assert-tail-factor", 0, "fail when the batch+group pass's p999 ingest latency exceeds this multiple of the plain batch pass's p999 (0 disables; -compare only) — the group-commit tail regression gate")
 	flag.StringVar(&cfg.out, "out", "", "write the JSON report here (stdout always gets a summary)")
+	flag.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile covering the measurement passes (clients and embedded server share the process, so the profile attributes the whole closed loop)")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "usaasload:", err)
@@ -160,6 +170,18 @@ func run(cfg config) error {
 	}
 	fmt.Printf("workload: %d session batches x %d records, %d post batches, %d clients, %v per pass\n",
 		len(w.sessionWires), cfg.batch, len(w.postBatches), cfg.clients, cfg.duration)
+
+	if cfg.cpuProfile != "" {
+		f, err := os.Create(cfg.cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	var passes []passConfig
 	switch {
@@ -184,6 +206,7 @@ func run(cfg config) error {
 		Clients:      cfg.clients,
 		BatchRecords: cfg.batch,
 		Seed:         cfg.seed,
+		ApplyWorkers: cfg.applyWorkers,
 	}
 	for _, pc := range passes {
 		res, err := runPass(cfg, pc, w)
@@ -218,6 +241,26 @@ func run(cfg config) error {
 		}
 		fmt.Printf("acked throughput vs interval: batch+group %.2fx slower, plain batch %.2fx slower (group commit: %.2fx speedup)\n",
 			rep.GroupOverInterval, rep.NoGroupOverInterval, rep.GroupCommitSpeedup)
+
+		// Tail-regression gate: group commit buys throughput by batching
+		// fsyncs, and the price must stay bounded — a lingering group (or a
+		// rotation fsync serialized under the WAL lock) shows up here as a
+		// p999 far beyond the plain-batch pass's.
+		if cfg.tailFactor > 0 && g.IngestP999Ms > cfg.tailFactor*ng.IngestP999Ms {
+			return fmt.Errorf("tail regression: batch+group p999 %.2fms > %.1fx plain batch p999 %.2fms",
+				g.IngestP999Ms, cfg.tailFactor, ng.IngestP999Ms)
+		}
+
+		// Throughput-regression gate against the committed baseline. CI
+		// machines are slower and noisier than the box the baseline was
+		// recorded on, so the gate compares the batch+group/interval RATIO —
+		// both passes move with the machine, the ratio only moves when the
+		// pipeline does.
+		if cfg.baseline != "" {
+			if err := checkBaseline(cfg.baseline, rep); err != nil {
+				return err
+			}
+		}
 	}
 
 	if cfg.out != "" {
@@ -230,6 +273,34 @@ func run(cfg config) error {
 		}
 		fmt.Printf("report written to %s\n", cfg.out)
 	}
+	return nil
+}
+
+// checkBaseline fails the run when the measured batch+group throughput,
+// relative to the interval pass, has dropped more than 20% below the same
+// ratio in the committed baseline report.
+func checkBaseline(path string, rep loadReport) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base loadReport
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	// The reports store interval/group (slowdown); invert to group/interval
+	// so "bigger is better" and the 0.8 floor reads naturally.
+	if base.GroupOverInterval <= 0 || rep.GroupOverInterval <= 0 {
+		return fmt.Errorf("baseline gate needs batch_group_over_interval in both reports (baseline %v, measured %v)",
+			base.GroupOverInterval, rep.GroupOverInterval)
+	}
+	baseRatio := 1 / base.GroupOverInterval
+	gotRatio := 1 / rep.GroupOverInterval
+	if gotRatio < 0.8*baseRatio {
+		return fmt.Errorf("throughput regression: batch+group achieves %.2fx of interval, baseline %s has %.2fx (floor 80%%)",
+			gotRatio, path, baseRatio)
+	}
+	fmt.Printf("baseline gate: batch+group/interval ratio %.2f vs baseline %.2f (>= 80%%: ok)\n", gotRatio, baseRatio)
 	return nil
 }
 
@@ -525,6 +596,7 @@ func startEmbedded(cfg config, pc passConfig) (string, func(), error) {
 		Fsync:         pc.fsync,
 		GroupCommit:   pc.group,
 		MaxGroupDelay: cfg.groupDelay,
+		ApplyWorkers:  cfg.applyWorkers,
 	})
 	if err != nil {
 		os.RemoveAll(dir)

@@ -164,6 +164,33 @@ type openCols struct {
 	userID   []uint64
 }
 
+// newOpenCols allocates a column set with capacity for a full partition up
+// front. A partition is bounded by maxPartitionRows, so reserving it whole
+// means the 27 per-record column appends never reallocate: the incremental
+// doubling (and, past 256 elements, Go's ~1.25x growth) was reallocating
+// each column several times per partition on the ingest apply path, and the
+// abandoned half-grown arrays were pure GC churn. Short partitions waste
+// some slack only until they seal; SealTail clips or copies columns to
+// their final length.
+func newOpenCols() *openCols {
+	oc := &openCols{}
+	for c := range oc.floats {
+		oc.floats[c] = make([]float64, 0, maxPartitionRows)
+	}
+	for c := range oc.bools {
+		oc.bools[c] = make([]bool, 0, maxPartitionRows)
+	}
+	oc.platform = make([]uint16, 0, maxPartitionRows)
+	oc.country = make([]uint16, 0, maxPartitionRows)
+	oc.isp = make([]uint32, 0, maxPartitionRows)
+	oc.meeting = make([]int64, 0, maxPartitionRows)
+	oc.rating = make([]int64, 0, maxPartitionRows)
+	oc.startNS = make([]int64, 0, maxPartitionRows)
+	oc.callID = make([]uint64, 0, maxPartitionRows)
+	oc.userID = make([]uint64, 0, maxPartitionRows)
+	return oc
+}
+
 // sealedCols is the compressed column set of a sealed partition. Float
 // columns stay raw (the compression spec covers timestamps, small ints, and
 // strings); bools become bitsets; code and small-int columns are min-offset
@@ -349,7 +376,7 @@ func (s *Store) Append(recs []telemetry.SessionRecord) error {
 			(tail.lastDay != day && tail.n >= minDayRun)
 		if cut {
 			s.SealTail()
-			tail = &Partition{day: day, lastDay: day, start: s.total, open: &openCols{}}
+			tail = &Partition{day: day, lastDay: day, start: s.total, open: newOpenCols()}
 			s.parts = append(s.parts, tail)
 		} else if tail.lastDay != day {
 			tail.mixed = true
@@ -415,6 +442,13 @@ func (s *Store) SealTail() {
 	sc := &sealedCols{}
 	for c := FloatCol(0); c < NumFloatCols; c++ {
 		vals := oc.floats[c][:tail.n]
+		if cap(oc.floats[c]) >= tail.n+tail.n/2 {
+			// The open columns are preallocated a full partition's capacity;
+			// a short partition (day-boundary cut) would pin the whole
+			// backing array behind a clipped header forever. Copy those to
+			// exact size; full partitions share the backing array as before.
+			vals = append(make([]float64, 0, tail.n), vals...)
+		}
 		sc.floats[c] = vals[:len(vals):len(vals)]
 	}
 	for c := BoolCol(0); c < numBoolCols; c++ {

@@ -111,7 +111,8 @@ type committer struct {
 	mu           sync.Mutex
 	pending      []*Ticket
 	pendingBytes int64
-	failed       error // sticky: a failed group fsync poisons the scheduler
+	pendingSince time.Time // enqueue instant of the oldest pending frame
+	failed       error     // sticky: a failed group fsync poisons the scheduler
 	metrics      CommitMetrics
 
 	wake chan struct{} // buffered(1): appenders signal new work
@@ -146,6 +147,9 @@ func (c *committer) errState() error {
 // the time a ticket is visible to the scheduler, its bytes are in the file.
 func (c *committer) enqueue(t *Ticket, frameBytes int64) {
 	c.mu.Lock()
+	if len(c.pending) == 0 {
+		c.pendingSince = time.Now()
+	}
 	c.pending = append(c.pending, t)
 	c.pendingBytes += frameBytes
 	c.mu.Unlock()
@@ -177,20 +181,36 @@ func (c *committer) run() {
 	}
 }
 
-// linger holds the group open for up to maxDelay after its first frame,
-// sealing early once pending bytes reach maxBytes. With maxDelay = 0
-// (the default) groups form naturally: whatever accumulates while the
-// previous fsync is in flight commits together.
+// linger holds the group open for up to maxDelay after its FIRST frame was
+// enqueued, sealing early once pending bytes reach maxBytes. The deadline is
+// anchored on pendingSince, not on the scheduler waking up: frames that
+// arrived while the previous group's fsync was in flight have already waited
+// that fsync out, and restarting a full maxDelay for them was the group-commit
+// p999 tail (worst ticket wait was fsync + rotation + maxDelay; now it is
+// capped at maxDelay past enqueue plus one fsync). With maxDelay = 0 (the
+// default) groups form naturally: whatever accumulates while the previous
+// fsync is in flight commits together.
 func (c *committer) linger() {
 	timer := time.NewTimer(c.maxDelay)
 	defer timer.Stop()
 	for {
 		c.mu.Lock()
 		full := c.pendingBytes >= c.maxBytes
+		var wait time.Duration
+		if len(c.pending) > 0 {
+			wait = c.maxDelay - time.Since(c.pendingSince)
+		}
 		c.mu.Unlock()
-		if full {
+		if full || wait <= 0 {
 			return
 		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(wait)
 		select {
 		case <-timer.C:
 			return

@@ -233,12 +233,13 @@ func (w *WAL) AppendAsync(rec Record) (seq uint64, t *Ticket, err error) {
 	return seq, resolvedTicket(nil), nil
 }
 
-// groupSync forces the active segment to stable storage on behalf of a
-// commit group and releases segments retired since the last group sync.
-// The file handle is captured under w.mu but the fsync itself runs outside
-// it, so appends keep flowing into the next group while this one commits.
-// Rotation never closes a file while the scheduler is attached (it retires
-// it instead, already synced), so the captured handle stays valid.
+// groupSync forces every frame written so far to stable storage on behalf
+// of a commit group: retired segments first (rotation defers their final
+// sync to here), then the active segment, then the retired descriptors are
+// released. The handles are captured under w.mu but the fsyncs themselves
+// run outside it, so appends keep flowing into the next group while this
+// one commits. Rotation never closes a file while the scheduler is attached
+// (it retires it instead), so the captured handles stay valid.
 func (w *WAL) groupSync() error {
 	w.mu.Lock()
 	f := w.f
@@ -246,14 +247,19 @@ func (w *WAL) groupSync() error {
 	w.retired = nil
 	w.mu.Unlock()
 	var err error
+	for _, rf := range retired {
+		// A retired segment holds frames from groups still pending, so it
+		// must reach stable storage before any ticket in them resolves.
+		if serr := rf.Sync(); serr != nil && err == nil {
+			err = fmt.Errorf("durable: syncing retired segment: %w", serr)
+		}
+	}
 	if f != nil {
-		if serr := f.Sync(); serr != nil {
+		if serr := f.Sync(); serr != nil && err == nil {
 			err = serr
 		}
 	}
 	for _, rf := range retired {
-		// Retired segments were synced by rotateLocked; this just releases
-		// the descriptors.
 		if cerr := rf.Close(); cerr != nil && err == nil {
 			err = fmt.Errorf("durable: closing retired segment: %w", cerr)
 		}
@@ -262,24 +268,31 @@ func (w *WAL) groupSync() error {
 }
 
 // rotateLocked closes the active segment and arranges for the next append
-// to start a new one whose name is the next sequence. The closing segment
-// is fsynced except under FsyncOff, where durability is explicitly left
-// to the OS writeback — syncing 8 MiB at every rotation would make the
-// "off" policy pay the largest fsyncs of any mode.
+// to start a new one whose name is the next sequence. Without the group
+// scheduler the closing segment is fsynced inline (except under FsyncOff,
+// where durability is explicitly left to the OS writeback — syncing 8 MiB
+// at every rotation would make the "off" policy pay the largest fsyncs of
+// any mode). With the scheduler attached the sync is deferred too: the
+// handle is parked unsynced in retired and the NEXT group sync flushes it
+// before resolving any ticket — a full-segment fsync on the append critical
+// path, under w.mu, was the dominant group-commit p999 spike (every
+// concurrent append stalled behind an 8 MiB sync at each rotation).
 func (w *WAL) rotateLocked() error {
 	if w.f != nil {
-		if w.opts.Fsync != FsyncOff {
-			if err := w.f.Sync(); err != nil {
-				return fmt.Errorf("durable: fsync before rotate: %w", err)
-			}
-		}
 		if w.gc != nil {
 			// The scheduler may be fsyncing this handle outside w.mu right
-			// now; it is synced (above), so park it for the scheduler to
-			// close after its next group sync.
+			// now; park it for the scheduler, which syncs retired segments
+			// ahead of the active one and closes them after the group sync.
 			w.retired = append(w.retired, w.f)
-		} else if err := w.f.Close(); err != nil {
-			return fmt.Errorf("durable: closing segment: %w", err)
+		} else {
+			if w.opts.Fsync != FsyncOff {
+				if err := w.f.Sync(); err != nil {
+					return fmt.Errorf("durable: fsync before rotate: %w", err)
+				}
+			}
+			if err := w.f.Close(); err != nil {
+				return fmt.Errorf("durable: closing segment: %w", err)
+			}
 		}
 		w.f = nil
 	}
@@ -289,10 +302,17 @@ func (w *WAL) rotateLocked() error {
 }
 
 // Sync forces appended frames to stable storage (a no-op when nothing is
-// open). Drives the FsyncInterval policy and shutdown flushes.
+// open). Drives the FsyncInterval policy and shutdown flushes. Retired
+// segments are synced too: with the group scheduler attached, rotation
+// defers their final sync.
 func (w *WAL) Sync() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	for _, rf := range w.retired {
+		if err := rf.Sync(); err != nil {
+			return fmt.Errorf("durable: fsync retired segment: %w", err)
+		}
+	}
 	if w.f == nil {
 		return nil
 	}
@@ -357,6 +377,11 @@ func (w *WAL) Close() error {
 	defer w.mu.Unlock()
 	var errs error
 	for _, rf := range w.retired {
+		// With the scheduler attached, a retired segment may still be
+		// unsynced if no group flush ran after its rotation.
+		if err := rf.Sync(); err != nil && errs == nil {
+			errs = fmt.Errorf("durable: fsync retired segment on close: %w", err)
+		}
 		if err := rf.Close(); err != nil && errs == nil {
 			errs = fmt.Errorf("durable: closing retired segment: %w", err)
 		}

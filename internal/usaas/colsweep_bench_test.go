@@ -210,10 +210,10 @@ func BenchmarkColumnarFold(b *testing.B) {
 			i, lo = 0, 0
 			b.StartTimer()
 		}
-		s.mu.Lock()
+		s.sessMu.Lock()
 		s.sessions = append(s.sessions, recs[lo:lo+batch]...)
 		s.appendColumnar(recs[lo : lo+batch])
-		s.mu.Unlock()
+		s.sessMu.Unlock()
 		i++
 	}
 }

@@ -33,8 +33,9 @@ const (
 )
 
 // batchJournal is the Store's hook into the durability layer; implemented
-// by DurableStore. Called with the store's write lock held, before the
-// batch is applied.
+// by DurableStore. Called with the store's sequencing lock (ingestMu) held,
+// before the batch is applied — the append order the log records is by
+// construction the order the apply pipeline folds batches in.
 // wire, when non-nil, is the batch's JSONL body exactly as received and
 // is logged verbatim; otherwise the records are re-encoded.
 //
@@ -73,6 +74,12 @@ type DurabilityOptions struct {
 	// values take the durable package defaults (4 MiB, no linger).
 	MaxGroupBytes int64
 	MaxGroupDelay time.Duration
+	// ApplyWorkers sizes the apply pipeline: batches are journaled and
+	// acknowledged under the sequencing lock but folded into the in-memory
+	// state by this many workers (pipeline.go). 0 applies inline on the
+	// ingesting goroutine — the PR-8 behavior. Report bytes are identical
+	// at any setting; recovery replay always applies inline.
+	ApplyWorkers int
 	// Logf, when set, receives background-snapshotter diagnostics (the
 	// snapshot path has no request to answer errors on). Defaults to
 	// discarding them; Close still reports the final snapshot's error.
@@ -200,6 +207,10 @@ func OpenDurableStore(opts DurabilityOptions) (*DurableStore, error) {
 	d.wal = wal
 	d.lastSnapSeq = snapSeq
 	store.journal = d
+	// The pipeline attaches only after recovery replay: replay must apply
+	// synchronously (each replayed batch waits its job) and needs no
+	// workers to do so.
+	store.StartApplyPipeline(opts.ApplyWorkers)
 
 	if opts.SnapshotEvery > 0 {
 		d.wg.Add(1)
@@ -365,6 +376,9 @@ func (d *DurableStore) Close() error {
 	d.closeOnce.Do(func() {
 		close(d.stop)
 		d.wg.Wait()
+		// Drain the apply queue before the final snapshot so it captures
+		// every acknowledged batch.
+		d.Store.StopApplyPipeline()
 		var errs []error
 		if d.opts.SnapshotEvery > 0 {
 			if err := d.snapshotNow(); err != nil {
@@ -448,22 +462,37 @@ type snapState struct {
 	batches  map[string]IngestResponse
 }
 
-// captureState copies the store under its read lock. Appends to the WAL
-// happen under the write lock, so the sequence read here is exactly the
-// position the copied state corresponds to.
+// captureState copies the store at one log position. It holds the
+// sequencing lock while it reads the WAL sequence, waits out every batch
+// sequenced before that point (the turn-chain tails), and copies the
+// shards — so the copied state corresponds to the sequence exactly even
+// with apply workers in flight. The shard copies run under RLocks; only
+// sequencing is stalled for the duration, never readers.
 func (d *DurableStore) captureState() (snapState, uint64) {
 	s := d.Store
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	st := snapState{
-		sessions: append([]telemetry.SessionRecord(nil), s.sessions...),
-		posts:    append([]social.Post(nil), s.posts...),
-		batches:  make(map[string]IngestResponse, len(s.batches)),
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	seq := d.wal.Seq()
+	if s.sessTail != nil {
+		<-s.sessTail
 	}
+	if s.postTail != nil {
+		<-s.postTail
+	}
+	st := snapState{}
+	s.sessMu.RLock()
+	st.sessions = append([]telemetry.SessionRecord(nil), s.sessions...)
+	s.sessMu.RUnlock()
+	s.postMu.RLock()
+	st.posts = append([]social.Post(nil), s.posts...)
+	s.postMu.RUnlock()
+	s.dedupMu.RLock()
+	st.batches = make(map[string]IngestResponse, len(s.batches))
 	for id, ack := range s.batches {
 		st.batches[id] = ack
 	}
-	return st, d.wal.Seq()
+	s.dedupMu.RUnlock()
+	return st, seq
 }
 
 // --- snapshot wire format ---
@@ -601,21 +630,30 @@ func decodeSnapshot(body []byte, seq uint64, store *Store) (sessions, posts int,
 // folds bit for bit.
 func (s *Store) restoreSnapshot(sessions []telemetry.SessionRecord, posts []social.Post, batches map[string]IngestResponse) {
 	staged := extractSpeeds(posts)
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	// Seed the sequence-time predicted totals: the next accepted batch's
+	// acknowledgement must report totals continuing from the restored state.
+	s.seqSessions = len(sessions)
+	s.seqPosts = len(posts)
+	s.sessMu.Lock()
 	s.sessions = sessions
 	if len(sessions) > 0 {
 		s.sessGen++
 		s.views.foldSessions(sessions)
 		s.appendColumnar(sessions)
 	}
+	s.sessMu.Unlock()
+	s.postMu.Lock()
 	s.posts = posts
 	if len(posts) > 0 {
-		s.corpus = nil
 		s.postGen++
 		s.views.foldPosts(posts, staged, 0)
 	}
+	s.postMu.Unlock()
 	if len(batches) > 0 {
+		s.dedupMu.Lock()
 		s.batches = batches
+		s.dedupMu.Unlock()
 	}
 }

@@ -141,7 +141,11 @@ func BenchmarkIngestWAL(b *testing.B) {
 					b.Fatal(err)
 				}
 				id := fmt.Sprintf("g%d", seq.Add(1))
-				_, _, tk, err := d.addSessionsBatchAsync(id, local, wire)
+				_, _, tk, job, err := d.addSessionsBatchAsync(id, local, wire, false)
+				if job != nil {
+					// local is reused next iteration; wait out the apply.
+					<-job.done
+				}
 				if err == nil {
 					err = d.finishIngest(id, tk)
 				}

@@ -35,9 +35,9 @@ func ingestAsync(t testing.TB, s *Store, b ingestBatch) *durable.Ticket {
 	var tk *durable.Ticket
 	var err error
 	if b.sessions != nil {
-		_, _, tk, err = s.addSessionsBatchAsync(b.id, b.sessions, nil)
+		_, _, tk, _, err = s.addSessionsBatchAsync(b.id, b.sessions, nil, false)
 	} else {
-		_, _, tk, err = s.addPostsBatchAsync(b.id, b.posts, nil)
+		_, _, tk, _, err = s.addPostsBatchAsync(b.id, b.posts, nil, false)
 	}
 	if err != nil {
 		t.Fatalf("batch %s: %v", b.id, err)
@@ -146,7 +146,7 @@ func TestGroupCommitCrashEveryOffset(t *testing.T) {
 			}
 			// A duplicate delivery while its original may still be in an
 			// open group: must not add a frame.
-			if _, dup, _, err := d.Store.addSessionsBatchAsync(batches[0].id, batches[0].sessions, nil); err != nil || !dup {
+			if _, dup, _, _, err := d.Store.addSessionsBatchAsync(batches[0].id, batches[0].sessions, nil, false); err != nil || !dup {
 				t.Fatalf("duplicate delivery: dup=%v err=%v", dup, err)
 			}
 			for i, tk := range tickets {
@@ -241,14 +241,14 @@ func TestDuplicateWaitsForPendingCommit(t *testing.T) {
 		t.Fatal(err)
 	}
 	recs, _ := crashDataset(t, 3)
-	_, _, t1, err := d.Store.addSessionsBatchAsync("dup-1", recs[:5], nil)
+	_, _, t1, _, err := d.Store.addSessionsBatchAsync("dup-1", recs[:5], nil, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if t1 == nil || t1.Resolved() {
 		t.Fatal("original ticket should be pending while the group lingers")
 	}
-	resp, dup, t2, err := d.Store.addSessionsBatchAsync("dup-1", recs[:5], nil)
+	resp, dup, t2, _, err := d.Store.addSessionsBatchAsync("dup-1", recs[:5], nil, false)
 	if err != nil || !dup || !resp.Duplicate {
 		t.Fatalf("duplicate delivery: dup=%v err=%v", dup, err)
 	}
@@ -269,9 +269,9 @@ func TestDuplicateWaitsForPendingCommit(t *testing.T) {
 	if err := <-closed; err != nil {
 		t.Fatal(err)
 	}
-	d.Store.mu.RLock()
+	d.Store.dedupMu.RLock()
 	npend := len(d.Store.pending)
-	d.Store.mu.RUnlock()
+	d.Store.dedupMu.RUnlock()
 	if npend != 0 {
 		t.Fatalf("%d pending tickets leaked after resolution", npend)
 	}

@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"usersignals/internal/colstore"
@@ -37,20 +38,67 @@ import (
 // same flaky networks the service measures, so clients retry lost
 // acknowledgements — dedup here is what turns at-least-once delivery into
 // effectively-once ingest.
+// Locking. The single store RWMutex of PRs 1–8 is split three ways so the
+// ingest hot path serializes only what the contracts require (DESIGN.md
+// §15 has the full rules):
+//
+//   - ingestMu — the SEQUENCING lock: dedup check, WAL frame write, ack
+//     prediction, turn-chain registration. Holding it pins WAL append
+//     order == apply order (per kind) == ack order.
+//   - sessMu — the session shard: sessions, sessGen, session views
+//     (rated/daily/eng), and the columnar mirror.
+//   - postMu — the post shard: posts, postGen, corpus, post views
+//     (speeds/day-hull).
+//   - dedupMu — the dedup shard: batches (acks) and pending (unresolved
+//     commit tickets). A leaf lock.
+//
+// Lock order: ingestMu ≻ sessMu ≻ postMu ≻ dedupMu (acquire left to
+// right, release any way; skipping levels is fine). Apply workers take
+// only their shard lock; readers take one shard RLock after an apply
+// fence (pipeline.go); nothing acquires ingestMu while holding any other
+// store lock.
 type Store struct {
-	mu       sync.RWMutex
+	// ingestMu guards sequencing: seqSessions/seqPosts (predicted
+	// post-apply totals, what acks report), the per-kind turn-chain tails,
+	// and pipe. The journal append happens under it — that is the
+	// write-ahead contract AND the order pin.
+	ingestMu    sync.Mutex
+	seqSessions int
+	seqPosts    int
+	sessTail    chan struct{} // done of the last sequenced session job
+	postTail    chan struct{} // done of the last sequenced post job
+	pipe        *applyPipeline
+
+	// sessFence/postFence mirror the tails for lock-free reader fences
+	// (they hold chan struct{}; see fenceSessions).
+	sessFence atomic.Value
+	postFence atomic.Value
+
+	// applyDelay, when set (tests only), makes every apply sleep that many
+	// nanoseconds first — the hook that holds the apply queue observably
+	// open for the crash-mid-queue and duplicate-race tests. Atomic so
+	// tests may set it while workers run.
+	applyDelay atomic.Int64
+
+	sessMu   sync.RWMutex
 	sessions []telemetry.SessionRecord
-	posts    []social.Post
-	corpus   *social.Corpus            // rebuilt lazily from posts
-	sessGen  uint64                    // bumped on every session ingest
-	postGen  uint64                    // bumped on every post ingest
-	batches  map[string]IngestResponse // batch ID → first acknowledgement
+	sessGen  uint64 // bumped on every session apply
+
+	postMu    sync.RWMutex
+	posts     []social.Post
+	postGen   uint64 // bumped on every post apply
+	corpus    *social.Corpus // newest built corpus (may lag postGen)
+	corpusGen uint64         // postGen the corpus was built at
+	corpusInFlight chan struct{} // non-nil while one rebuild runs (singleflight)
+
+	dedupMu sync.RWMutex
+	batches map[string]IngestResponse // batch ID → first acknowledgement
 
 	// journal, when non-nil, receives every accepted (non-duplicate)
-	// batch under the write lock BEFORE the in-memory state mutates: the
-	// write-ahead contract (durable.go). Append order equals apply order
-	// because both happen under mu, which is what makes log replay
-	// reproduce the store byte-for-byte.
+	// batch under ingestMu BEFORE the batch is sequenced into the apply
+	// chain: the write-ahead contract (durable.go). The dedup check runs
+	// under the same lock, so duplicates are never journaled — replication
+	// depends on follower WALs being byte-identical to the leader's.
 	journal batchJournal
 
 	// pending maps a batch ID to its unresolved commit ticket: under group
@@ -58,16 +106,18 @@ type Store struct {
 	// delivery arriving in that window must wait on the SAME fsync as the
 	// original — answering it from the dedup table alone would acknowledge
 	// a batch that is not durable yet. Entries are removed by finishIngest
-	// once the ticket resolves.
+	// once the ticket resolves. Guarded by dedupMu.
 	pending map[string]*durable.Ticket
 
 	// views holds the incrementally maintained materialized state the
 	// query handlers read (views.go). Folded only on non-duplicate
-	// batches, so replays never double-count.
+	// batches, so replays never double-count. Session-backed fields
+	// (rated, daily, eng) are guarded by sessMu; post-backed fields
+	// (speeds, day hull) by postMu.
 	views viewState
 
 	// cols is the columnar mirror of sessions (internal/colstore),
-	// maintained under the same write-lock fold as the views so it is
+	// maintained under the same sessMu fold as the views so it is
 	// always generation-consistent with the row store. Lazily created on
 	// the first accepted batch; nil when disabled (colsOff) or dropped
 	// after a dictionary overflow. The durable store rebuilds it on
@@ -80,16 +130,17 @@ type Store struct {
 // analysis serves from the row store. The cmd/usaasd -columnar=false escape
 // hatch and DurabilityOptions.DisableColumnar land here.
 func (s *Store) DisableColumnar() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
 	s.cols, s.colsOff = nil, true
 }
 
 // ColumnarSnapshot captures the mirror for a columnar sweep. ok is false
 // when the mirror is disabled, dropped, or has seen no sessions yet.
 func (s *Store) ColumnarSnapshot() (colstore.Snapshot, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.fenceSessions()
+	s.sessMu.RLock()
+	defer s.sessMu.RUnlock()
 	if s.cols == nil {
 		return colstore.Snapshot{}, false
 	}
@@ -100,8 +151,9 @@ func (s *Store) ColumnarSnapshot() (colstore.Snapshot, bool) {
 // otherwise happens on day transitions; tests and benchmarks call this to
 // measure the all-sealed shape.
 func (s *Store) SealColumnar() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.fenceSessions()
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
 	if s.cols != nil {
 		s.cols.SealTail()
 	}
@@ -110,16 +162,17 @@ func (s *Store) SealColumnar() {
 // ColumnarStats reports the mirror's resident footprint (zero when the
 // mirror is off).
 func (s *Store) ColumnarStats() colstore.Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.fenceSessions()
+	s.sessMu.RLock()
+	defer s.sessMu.RUnlock()
 	if s.cols == nil {
 		return colstore.Stats{}
 	}
 	return s.cols.Stats()
 }
 
-// appendColumnar folds an accepted batch into the mirror. Caller holds the
-// write lock and has already appended recs to s.sessions. The first call
+// appendColumnar folds an accepted batch into the mirror. Caller holds
+// sessMu and has already appended recs to s.sessions. The first call
 // mirrors the whole session slice, so a mirror enabled on a store restored
 // from a snapshot starts complete. A dictionary overflow drops the mirror —
 // row ingest is never failed for the mirror's sake.
@@ -153,12 +206,17 @@ func (s *Store) AddSessionsBatch(batchID string, recs []telemetry.SessionRecord)
 	return s.addSessionsBatch(batchID, recs, nil)
 }
 
-// addSessionsBatch is the synchronous ingest shape: append, apply, then
-// wait for the covering fsync before acknowledging.
+// addSessionsBatch is the synchronous ingest shape: sequence, wait for the
+// batch to be applied, then wait for the covering fsync before
+// acknowledging. Replay, replication, preloads, and the non-HTTP API all
+// come through here, so they observe their own writes immediately.
 func (s *Store) addSessionsBatch(batchID string, recs []telemetry.SessionRecord, wire []byte) (resp IngestResponse, dup bool, err error) {
-	resp, dup, t, err := s.addSessionsBatchAsync(batchID, recs, wire)
+	resp, dup, t, job, err := s.addSessionsBatchAsync(batchID, recs, wire, false)
 	if err != nil {
 		return IngestResponse{}, dup, err
+	}
+	if job != nil {
+		<-job.done
 	}
 	if err := s.finishIngest(batchID, t); err != nil {
 		return IngestResponse{}, dup, err
@@ -166,49 +224,73 @@ func (s *Store) addSessionsBatch(batchID string, recs []telemetry.SessionRecord,
 	return resp, dup, nil
 }
 
-// addSessionsBatchAsync is the ingest core. wire, when non-nil, is the
+// addSessionsBatchAsync is the sequencing core. wire, when non-nil, is the
 // batch's NDJSON wire form as received (the HTTP handler captures the
 // request body); the journal logs it verbatim instead of re-encoding,
 // which is both cheaper and more faithful — replay parses the same bytes
 // the live path did. The journal copies the frame before returning, so
 // wire may be pooled by the caller.
 //
-// The batch is applied and its acknowledgement recorded before the method
-// returns, but the caller MUST NOT release that acknowledgement until
-// finishIngest(batchID, t) returns nil: under group commit the frame's
-// fsync is still in flight, and the store lock is deliberately released
-// while it runs — that window is where concurrent batches coalesce into
-// one commit group.
-func (s *Store) addSessionsBatchAsync(batchID string, recs []telemetry.SessionRecord, wire []byte) (resp IngestResponse, dup bool, t *durable.Ticket, err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// Only sequencing happens under ingestMu: dedup, the WAL frame write, the
+// predicted-total acknowledgement, and the turn-chain registration. The
+// returned job applies the batch outside the lock (worker pool or the
+// caller's runJob); its done channel closes when the batch is visible.
+// pooled marks recs as owned by the handler slice pool — ownership
+// transfers to the job only when job != nil.
+//
+// The acknowledgement is recorded before the method returns, but the
+// caller MUST NOT release it until finishIngest(batchID, t) returns nil:
+// under group commit the frame's fsync is still in flight, and the
+// sequencing lock is deliberately released while it runs — that window is
+// where concurrent batches coalesce into one commit group.
+func (s *Store) addSessionsBatchAsync(batchID string, recs []telemetry.SessionRecord, wire []byte, pooled bool) (resp IngestResponse, dup bool, t *durable.Ticket, job *applyJob, err error) {
+	s.ingestMu.Lock()
 	if batchID != "" {
-		if prev, ok := s.batches[batchID]; ok {
+		s.dedupMu.RLock()
+		prev, seen := s.batches[batchID]
+		pt := s.pending[batchID]
+		s.dedupMu.RUnlock()
+		if seen {
+			s.ingestMu.Unlock()
 			prev.Duplicate = true
-			return prev, true, s.pending[batchID], nil
+			return prev, true, pt, nil, nil
 		}
 	}
 	if s.journal != nil {
 		t, err = s.journal.logSessions(batchID, recs, wire)
 		if err != nil {
-			return IngestResponse{}, false, nil, err
+			s.ingestMu.Unlock()
+			return IngestResponse{}, false, nil, nil, err
 		}
 	}
-	s.sessions = append(s.sessions, recs...)
-	if len(recs) > 0 {
-		s.sessGen++
-		s.views.foldSessions(recs)
-		s.appendColumnar(recs)
-	}
+	s.seqSessions += len(recs)
 	resp = IngestResponse{
 		Accepted:      len(recs),
-		TotalSessions: len(s.sessions),
-		TotalPosts:    len(s.posts),
+		TotalSessions: s.seqSessions,
+		TotalPosts:    s.seqPosts,
 		BatchID:       batchID,
 	}
-	s.recordBatchLocked(batchID, resp)
-	s.trackPendingLocked(batchID, t)
-	return resp, false, t, nil
+	job = &applyJob{kind: recSessions, recs: recs, prev: s.sessTail, done: make(chan struct{}), pooled: pooled}
+	s.sessTail = job.done
+	s.sessFence.Store(job.done)
+	if batchID != "" {
+		s.dedupMu.Lock()
+		s.recordBatchLocked(batchID, resp)
+		s.trackPendingLocked(batchID, t)
+		s.dedupMu.Unlock()
+	}
+	pipe := s.pipe
+	if pipe != nil {
+		// Enqueue under ingestMu: queue order = sequence order, and a
+		// concurrent StopApplyPipeline (which detaches under this lock)
+		// can never close the channel between our load and our send.
+		pipe.queue <- job
+	}
+	s.ingestMu.Unlock()
+	if pipe == nil {
+		s.runJob(job)
+	}
+	return resp, false, t, job, nil
 }
 
 // AddPosts ingests social posts unconditionally (no dedup). The error is
@@ -226,9 +308,12 @@ func (s *Store) AddPostsBatch(batchID string, posts []social.Post) (resp IngestR
 
 // addPostsBatch is the synchronous post-ingest shape; see addSessionsBatch.
 func (s *Store) addPostsBatch(batchID string, posts []social.Post, wire []byte) (resp IngestResponse, dup bool, err error) {
-	resp, dup, t, err := s.addPostsBatchAsync(batchID, posts, wire)
+	resp, dup, t, job, err := s.addPostsBatchAsync(batchID, posts, wire, false)
 	if err != nil {
 		return IngestResponse{}, dup, err
+	}
+	if job != nil {
+		<-job.done
 	}
 	if err := s.finishIngest(batchID, t); err != nil {
 		return IngestResponse{}, dup, err
@@ -238,46 +323,60 @@ func (s *Store) addPostsBatch(batchID string, posts []social.Post, wire []byte) 
 
 // addPostsBatchAsync mirrors addSessionsBatchAsync: wire, when non-nil, is
 // the received JSONL body and is journaled verbatim.
-func (s *Store) addPostsBatchAsync(batchID string, posts []social.Post, wire []byte) (resp IngestResponse, dup bool, t *durable.Ticket, err error) {
-	// OCR extraction is the expensive part of post ingest; stage it
-	// outside the lock. On a duplicate replay the staged work is simply
-	// discarded — replays are rare, stalled readers are not.
+func (s *Store) addPostsBatchAsync(batchID string, posts []social.Post, wire []byte, pooled bool) (resp IngestResponse, dup bool, t *durable.Ticket, job *applyJob, err error) {
+	// OCR extraction is the expensive part of post ingest; stage it before
+	// sequencing. On a duplicate replay the staged work is simply
+	// discarded — replays are rare, a stalled sequencer is not.
 	staged := extractSpeeds(posts)
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.ingestMu.Lock()
 	if batchID != "" {
-		if prev, ok := s.batches[batchID]; ok {
+		s.dedupMu.RLock()
+		prev, seen := s.batches[batchID]
+		pt := s.pending[batchID]
+		s.dedupMu.RUnlock()
+		if seen {
+			s.ingestMu.Unlock()
 			prev.Duplicate = true
-			return prev, true, s.pending[batchID], nil
+			return prev, true, pt, nil, nil
 		}
 	}
 	if s.journal != nil {
 		t, err = s.journal.logPosts(batchID, posts, wire)
 		if err != nil {
-			return IngestResponse{}, false, nil, err
+			s.ingestMu.Unlock()
+			return IngestResponse{}, false, nil, nil, err
 		}
 	}
-	base := len(s.posts)
-	s.posts = append(s.posts, posts...)
-	if len(posts) > 0 {
-		s.corpus = nil
-		s.postGen++
-		s.views.foldPosts(posts, staged, base)
-	}
+	s.seqPosts += len(posts)
 	resp = IngestResponse{
 		Accepted:      len(posts),
-		TotalSessions: len(s.sessions),
-		TotalPosts:    len(s.posts),
+		TotalSessions: s.seqSessions,
+		TotalPosts:    s.seqPosts,
 		BatchID:       batchID,
 	}
-	s.recordBatchLocked(batchID, resp)
-	s.trackPendingLocked(batchID, t)
-	return resp, false, t, nil
+	job = &applyJob{kind: recPosts, posts: posts, staged: staged, prev: s.postTail, done: make(chan struct{}), pooled: pooled}
+	s.postTail = job.done
+	s.postFence.Store(job.done)
+	if batchID != "" {
+		s.dedupMu.Lock()
+		s.recordBatchLocked(batchID, resp)
+		s.trackPendingLocked(batchID, t)
+		s.dedupMu.Unlock()
+	}
+	pipe := s.pipe
+	if pipe != nil {
+		pipe.queue <- job
+	}
+	s.ingestMu.Unlock()
+	if pipe == nil {
+		s.runJob(job)
+	}
+	return resp, false, t, job, nil
 }
 
 // trackPendingLocked registers an unresolved commit ticket under the batch
 // ID so duplicate deliveries arriving before the fsync completes wait on
-// it too. Caller holds the write lock. Resolved tickets (the non-group
+// it too. Caller holds dedupMu. Resolved tickets (the non-group
 // policies) are not tracked — there is nothing left to wait for.
 func (s *Store) trackPendingLocked(batchID string, t *durable.Ticket) {
 	if batchID == "" || t == nil || t.Resolved() {
@@ -303,18 +402,20 @@ func (s *Store) finishIngest(batchID string, t *durable.Ticket) error {
 	}
 	err := t.Wait()
 	if batchID != "" {
-		s.mu.Lock()
+		s.dedupMu.Lock()
 		if s.pending[batchID] == t {
 			delete(s.pending, batchID)
 		}
 		if err != nil {
 			delete(s.batches, batchID)
 		}
-		s.mu.Unlock()
+		s.dedupMu.Unlock()
 	}
 	return err
 }
 
+// recordBatchLocked stores a batch's first acknowledgement. Caller holds
+// dedupMu.
 func (s *Store) recordBatchLocked(batchID string, resp IngestResponse) {
 	if batchID == "" {
 		return
@@ -329,45 +430,64 @@ func (s *Store) recordBatchLocked(batchID string, resp IngestResponse) {
 // should prefer SessionsShared (views.go), which avoids the O(store) copy;
 // this accessor remains for callers that mutate the returned records.
 func (s *Store) Sessions() []telemetry.SessionRecord {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.fenceSessions()
+	s.sessMu.RLock()
+	defer s.sessMu.RUnlock()
 	return append([]telemetry.SessionRecord(nil), s.sessions...)
 }
 
 // Corpus returns the posts as a day-indexed corpus (nil when no posts have
-// been ingested). The rebuild runs outside the write lock — a snapshot is
-// taken under RLock, indexed without any lock held, and promoted only if no
-// further posts arrived meanwhile — so a slow rebuild never stalls
-// concurrent ingest.
+// been ingested). The contract is freshness-as-of-call-start: the returned
+// corpus covers at least every post applied before the call began. Rebuilds
+// are singleflighted — one builder snapshots the posts (an append-only
+// slice header copy, not a data copy), indexes OUTSIDE the lock, and
+// promotes the result; concurrent callers wait that builder instead of
+// racing it. Under sustained post ingest this terminates in at most two
+// waits (the in-flight build plus one covering our start generation),
+// where the old promote-if-unchanged loop would rebuild forever without
+// ever publishing.
 func (s *Store) Corpus() *social.Corpus {
+	s.fencePosts()
+	s.postMu.RLock()
+	startGen := s.postGen
+	s.postMu.RUnlock()
 	for {
-		s.mu.RLock()
-		c := s.corpus
-		gen := s.postGen
-		var snapshot []social.Post
-		if c == nil && len(s.posts) > 0 {
-			snapshot = append([]social.Post(nil), s.posts...)
-		}
-		s.mu.RUnlock()
-		if c != nil || snapshot == nil {
+		s.postMu.Lock()
+		if s.corpus != nil && s.corpusGen >= startGen {
+			c := s.corpus
+			s.postMu.Unlock()
 			return c
 		}
+		if len(s.posts) == 0 {
+			s.postMu.Unlock()
+			return nil
+		}
+		if ch := s.corpusInFlight; ch != nil {
+			// Someone is already building; wait them out and re-check —
+			// their build may or may not cover startGen.
+			s.postMu.Unlock()
+			<-ch
+			continue
+		}
+		ch := make(chan struct{})
+		s.corpusInFlight = ch
+		snapshot := s.posts[:len(s.posts):len(s.posts)] // append-only: header copy is safe
+		gen := s.postGen
+		s.postMu.Unlock()
+
 		built := buildCorpus(snapshot)
-		s.mu.Lock()
-		switch {
-		case s.corpus != nil:
-			// Another goroutine promoted first; use theirs.
-			built = s.corpus
-		case s.postGen == gen:
+
+		s.postMu.Lock()
+		if gen > s.corpusGen {
 			s.corpus = built
-		default:
-			// Posts arrived mid-rebuild: our snapshot is stale.
-			built = nil
+			s.corpusGen = gen
 		}
-		s.mu.Unlock()
-		if built != nil {
-			return built
-		}
+		s.corpusInFlight = nil
+		s.postMu.Unlock()
+		close(ch)
+		// gen >= startGen always holds here (we read startGen first), so
+		// our own build satisfies the freshness contract directly.
+		return built
 	}
 }
 
@@ -391,9 +511,15 @@ func buildCorpus(posts []social.Post) *social.Corpus {
 
 // Counts returns the store sizes.
 func (s *Store) Counts() (sessions, posts int) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.sessions), len(s.posts)
+	s.fenceSessions()
+	s.fencePosts()
+	s.sessMu.RLock()
+	sessions = len(s.sessions)
+	s.sessMu.RUnlock()
+	s.postMu.RLock()
+	posts = len(s.posts)
+	s.postMu.RUnlock()
+	return sessions, posts
 }
 
 // ServerOptions configures the USaaS HTTP service.
@@ -837,13 +963,21 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	var recs []telemetry.SessionRecord
 	var wire []byte // NDJSON body as received, journaled verbatim
+	pooled := false
 	if isNDJSON(r) {
+		// Parse into a pooled slice: the hot load-generator path would
+		// otherwise allocate (and the GC zero) a fresh record slice per
+		// request. Ownership transfers to the applyJob on acceptance; on
+		// any other outcome the handler releases it below.
+		pooled = true
+		recs = getSessionSlice()
 		cap := newBodyCapture(body)
 		defer cap.release()
 		if err := telemetry.ReadJSONL(cap, func(rec *telemetry.SessionRecord) error {
 			recs = append(recs, *rec)
 			return nil
 		}); err != nil {
+			putSessionSlice(recs)
 			writeErr(w, http.StatusBadRequest, "decoding NDJSON sessions: %v", err)
 			return
 		}
@@ -852,10 +986,14 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "decoding sessions: %v", err)
 		return
 	}
-	// The async shape releases the store lock before the fsync wait, so
-	// concurrent ingest handlers coalesce into shared commit groups.
+	// The async shape releases the sequencing lock before the fsync wait,
+	// so concurrent ingest handlers coalesce into shared commit groups —
+	// and before the apply, so they overlap the fold work too.
 	batchID := r.Header.Get(BatchIDHeader)
-	resp, _, t, err := s.store.addSessionsBatchAsync(batchID, recs, wire)
+	resp, _, t, job, err := s.store.addSessionsBatchAsync(batchID, recs, wire, pooled)
+	if pooled && job == nil {
+		putSessionSlice(recs) // duplicate or journal error: ownership stays here
+	}
 	if err == nil {
 		err = s.store.finishIngest(batchID, t)
 	}
@@ -866,6 +1004,9 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// scanBufs pools the bufio.Scanner work buffers of the posts handler.
+var scanBufs = sync.Pool{New: func() any { return make([]byte, 64*1024) }}
+
 func (s *Server) handlePosts(w http.ResponseWriter, r *http.Request) {
 	if !s.requireMethod(w, r, http.MethodPost) {
 		return
@@ -873,11 +1014,16 @@ func (s *Server) handlePosts(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	var posts []social.Post
 	var wire []byte // JSONL body as received, journaled verbatim
+	pooled := false
 	if isNDJSON(r) {
+		pooled = true
+		posts = getPostSlice()
 		cap := newBodyCapture(body)
 		defer cap.release()
 		sc := bufio.NewScanner(cap)
-		sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+		scanBuf := scanBufs.Get().([]byte)
+		defer scanBufs.Put(scanBuf) //nolint:staticcheck // []byte header is fine to pool here
+		sc.Buffer(scanBuf[:0], 8*1024*1024)
 		line := 0
 		for sc.Scan() {
 			line++
@@ -886,12 +1032,14 @@ func (s *Server) handlePosts(w http.ResponseWriter, r *http.Request) {
 			}
 			var p social.Post
 			if err := json.Unmarshal(sc.Bytes(), &p); err != nil {
+				putPostSlice(posts)
 				writeErr(w, http.StatusBadRequest, "decoding NDJSON posts line %d: %v", line, err)
 				return
 			}
 			posts = append(posts, p)
 		}
 		if err := sc.Err(); err != nil {
+			putPostSlice(posts)
 			writeErr(w, http.StatusBadRequest, "reading NDJSON posts: %v", err)
 			return
 		}
@@ -901,7 +1049,10 @@ func (s *Server) handlePosts(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	batchID := r.Header.Get(BatchIDHeader)
-	resp, _, t, err := s.store.addPostsBatchAsync(batchID, posts, wire)
+	resp, _, t, job, err := s.store.addPostsBatchAsync(batchID, posts, wire, pooled)
+	if pooled && job == nil {
+		putPostSlice(posts)
+	}
 	if err == nil {
 		err = s.store.finishIngest(batchID, t)
 	}

@@ -137,8 +137,11 @@ type speedObs struct {
 	post int
 }
 
-// viewState is everything the store maintains incrementally. Guarded by the
-// store's mutex.
+// viewState is everything the store maintains incrementally. Session-backed
+// fields (rated, daily, eng) are guarded by the store's sessMu; post-backed
+// fields (speeds, minDay/maxDay/havePosts) by postMu — the same shard locks
+// as the data they are folded from, so view state is always
+// generation-consistent with its source shard.
 type viewState struct {
 	// rated is the rated-session subsequence in ingest order, feeding the
 	// MOS correlation/predictor paths without a full-store scan.
@@ -155,7 +158,7 @@ type viewState struct {
 }
 
 // foldSessions absorbs an accepted (non-duplicate) session batch into every
-// session-backed view. Caller holds the store's write lock.
+// session-backed view. Caller holds sessMu.
 func (vs *viewState) foldSessions(recs []telemetry.SessionRecord) {
 	if vs.daily == nil {
 		vs.daily = map[timeline.Day]*dayAcc{}
@@ -210,7 +213,7 @@ func extractSpeeds(posts []social.Post) []pendingObs {
 
 // foldPosts absorbs an accepted post batch (with its staged extractions)
 // into the speed views. base is the store's post count before this batch
-// was appended. Caller holds the store's write lock.
+// was appended. Caller holds postMu.
 func (vs *viewState) foldPosts(posts []social.Post, staged []pendingObs, base int) {
 	if len(posts) == 0 {
 		return
@@ -241,20 +244,22 @@ func (vs *viewState) foldPosts(posts []social.Post, staged []pendingObs, base in
 // --- store accessors over the views ---
 
 // SessionsShared returns the live session slice without copying. The slice
-// is append-only under the store's write lock, so a header snapshot taken
-// under RLock is race-free; callers must treat it as read-only. Callers
-// that mutate records should use Sessions (the copying accessor).
+// is append-only under sessMu, so a header snapshot taken under RLock is
+// race-free; callers must treat it as read-only. Callers that mutate
+// records should use Sessions (the copying accessor).
 func (s *Store) SessionsShared() []telemetry.SessionRecord {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.fenceSessions()
+	s.sessMu.RLock()
+	defer s.sessMu.RUnlock()
 	return s.sessions
 }
 
 // RatedSessions returns the rated-session subsequence (shared, read-only)
 // and the total session count, serving the MOS paths without a full scan.
 func (s *Store) RatedSessions() (rated []telemetry.SessionRecord, total int) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.fenceSessions()
+	s.sessMu.RLock()
+	defer s.sessMu.RUnlock()
 	return s.views.rated, len(s.sessions)
 }
 
@@ -262,16 +267,23 @@ func (s *Store) RatedSessions() (rated []telemetry.SessionRecord, total int) {
 // batch bumps the corresponding counter, so (sessGen, postGen) keys exactly
 // the store states a cached result is valid for.
 func (s *Store) Generations() (sessions, posts uint64) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.sessGen, s.postGen
+	s.fenceSessions()
+	s.fencePosts()
+	s.sessMu.RLock()
+	sessions = s.sessGen
+	s.sessMu.RUnlock()
+	s.postMu.RLock()
+	posts = s.postGen
+	s.postMu.RUnlock()
+	return sessions, posts
 }
 
 // DailyEngagementView serves DailyEngagement(sessions, nil) from the
 // incrementally maintained per-day accumulators.
 func (s *Store) DailyEngagementView() []DayEngagement {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.fenceSessions()
+	s.sessMu.RLock()
+	defer s.sessMu.RUnlock()
 	return dayEngagementFrom(s.views.daily)
 }
 
@@ -283,10 +295,11 @@ func (s *Store) DailyEngagementView() []DayEngagement {
 // same bytes, a fraction of the memory traffic.
 func (s *Store) DoseResponseSeries(metric telemetry.Metric, eng telemetry.Engagement, b stats.Binner, isp string) stats.BinnedSeries {
 	key := engViewKey{metric: metric, eng: eng, b: b, isp: isp}
-	s.mu.RLock()
+	s.fenceSessions()
+	s.sessMu.RLock()
 	if v, ok := s.views.eng[key]; ok {
 		series := v.series()
-		s.mu.RUnlock()
+		s.sessMu.RUnlock()
 		return series
 	}
 	rows := s.sessions
@@ -295,15 +308,15 @@ func (s *Store) DoseResponseSeries(metric telemetry.Metric, eng telemetry.Engage
 	if haveCols {
 		cols = s.cols.Snapshot()
 	}
-	s.mu.RUnlock()
+	s.sessMu.RUnlock()
 
 	nv := newEngView(key)
 	if !haveCols || !nv.foldColumns(cols) {
 		nv.fold(rows)
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
 	if v, ok := s.views.eng[key]; ok {
 		// Another query registered this key first; it is at least as
 		// caught-up as ours.
@@ -330,9 +343,10 @@ func (s *Store) DoseResponseSeries(metric telemetry.Metric, eng telemetry.Engage
 // observations into corpus order, scores sentiment, and assembles the
 // series. Returns ok=false when no posts have been ingested.
 func (s *Store) monthlySpeedsView(an *nlp.Analyzer, model *leo.Model, seed uint64) ([]MonthSpeed, bool) {
-	s.mu.RLock()
+	s.fencePosts()
+	s.postMu.RLock()
 	if !s.views.havePosts {
-		s.mu.RUnlock()
+		s.postMu.RUnlock()
 		return nil, false
 	}
 	window := timeline.Range{From: s.views.minDay, To: s.views.maxDay}
@@ -341,7 +355,7 @@ func (s *Store) monthlySpeedsView(an *nlp.Analyzer, model *leo.Model, seed uint6
 	for m, obs := range s.views.speeds {
 		obsByMonth[m] = append([]speedObs(nil), obs...)
 	}
-	s.mu.RUnlock()
+	s.postMu.RUnlock()
 
 	months := window.Months()
 	speeds := make(map[timeline.Month][]float64, len(months))
