@@ -23,6 +23,14 @@
 // explicit staleness headers, refusing past -max-replica-lag. POST
 // /v1/replica/promote flips a follower to leader during failover.
 //
+// With -role=coordinator the process owns no store at all: -shards names
+// the fleet ("a=http://host:8080;b=http://h1:8080,http://h2:8080" — a
+// comma-separated list is a replicated pair the coordinator fails over
+// between), ingest routes to shards by calendar day, and queries
+// scatter-gather mergeable partials so the cluster answers
+// byte-identically to a single node holding all the data (see
+// internal/cluster).
+//
 // Endpoints (all JSON):
 //
 //	POST /v1/sessions             ingest session records (array)
@@ -58,6 +66,7 @@ import (
 	"syscall"
 	"time"
 
+	"usersignals/internal/cluster"
 	"usersignals/internal/durable"
 	"usersignals/internal/leo"
 	"usersignals/internal/newswire"
@@ -94,6 +103,7 @@ type serverConfig struct {
 	leaderURL       string
 	maxReplicaLag   time.Duration
 	shutdownTimeout time.Duration
+	shards          string
 }
 
 func main() {
@@ -121,8 +131,9 @@ func main() {
 	flag.IntVar(&cfg.applyWorkers, "apply-workers", 0, "apply-pipeline workers: journal and ack under the sequencing lock, fold batches into memory on this many workers (0 = apply inline; report bytes are identical either way)")
 	flag.StringVar(&cfg.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables")
 	flag.BoolVar(&cfg.columnar, "columnar", true, "maintain the columnar session mirror for fast analyses (false = row path only)")
-	flag.StringVar(&cfg.role, "role", "", "replication role: leader (serve the WAL frame feed) or follower (tail a leader); empty = standalone")
+	flag.StringVar(&cfg.role, "role", "", "node role: leader (serve the WAL frame feed), follower (tail a leader), or coordinator (storeless scatter-gather front end over -shards); empty = standalone")
 	flag.StringVar(&cfg.leaderURL, "leader", "", "leader base URL (e.g. http://10.0.0.1:8080); required with -role=follower")
+	flag.StringVar(&cfg.shards, "shards", "", "shard fleet for -role=coordinator: semicolon-separated name=url[,url] (comma = replicated pair)")
 	flag.DurationVar(&cfg.maxReplicaLag, "max-replica-lag", 0, "follower staleness bound: reads answer 503 once the leader has not been heard from for this long; 0 = serve any staleness (with lag headers)")
 	flag.DurationVar(&cfg.shutdownTimeout, "shutdown-timeout", 10*time.Second, "max time to drain in-flight requests on SIGINT/SIGTERM; exits nonzero when exceeded")
 	flag.Parse()
@@ -138,9 +149,14 @@ func run(cfg serverConfig, sessionsPath, postsPath string) error {
 		dstore *usaas.DurableStore
 	)
 	switch cfg.role {
+	case "coordinator":
+		return runCoordinator(cfg, sessionsPath, postsPath)
 	case "", string(replica.RoleLeader), string(replica.RoleFollower):
 	default:
-		return fmt.Errorf("-role must be %q or %q, got %q", replica.RoleLeader, replica.RoleFollower, cfg.role)
+		return fmt.Errorf("-role must be %q, %q, or %q, got %q", replica.RoleLeader, replica.RoleFollower, "coordinator", cfg.role)
+	}
+	if cfg.shards != "" {
+		return errors.New("-shards requires -role=coordinator")
 	}
 	if cfg.role != "" && cfg.dataDir == "" {
 		return errors.New("-role requires -data-dir: replication ships the write-ahead log")
@@ -319,6 +335,65 @@ func run(cfg serverConfig, sessionsPath, postsPath string) error {
 			return fmt.Errorf("closing durable store: %w", err)
 		}
 		fmt.Println("durable store flushed and closed")
+	}
+	return nil
+}
+
+// runCoordinator serves the storeless scatter-gather front end: parse the
+// shard map, build the coordinator handler, and run the same graceful
+// listener the store-backed roles use. Durability flags are refused —
+// a coordinator holds no state to make durable.
+func runCoordinator(cfg serverConfig, sessionsPath, postsPath string) error {
+	if sessionsPath != "" || postsPath != "" {
+		return errors.New("-role=coordinator cannot preload datasets; ingest through its HTTP API")
+	}
+	if cfg.dataDir != "" {
+		return errors.New("-role=coordinator is storeless; drop -data-dir")
+	}
+	if cfg.leaderURL != "" {
+		return errors.New("-leader applies to -role=follower, not coordinator")
+	}
+	if cfg.shards == "" {
+		return errors.New("-role=coordinator requires -shards")
+	}
+	pmap, err := cluster.ParseShards(cfg.shards)
+	if err != nil {
+		return err
+	}
+	model := leo.NewModel()
+	coord := cluster.New(pmap, cluster.Options{
+		Token: cfg.token,
+		Model: model,
+		News:  newswire.Build(model.Launches(), leo.MajorOutages(), leo.DefaultMilestones()),
+	})
+
+	httpSrv := &http.Server{
+		Addr:              cfg.addr,
+		Handler:           coord.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       cfg.readTimeout,
+		WriteTimeout:      cfg.writeTimeout,
+		IdleTimeout:       cfg.idleTimeout,
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("usaasd coordinator (%d shards) listening on http://%s\n", len(pmap.Shards), cfg.addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+	case s := <-sig:
+		fmt.Printf("received %v, draining for up to %v\n", s, cfg.shutdownTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.shutdownTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("shutdown: drain exceeded %v: %w", cfg.shutdownTimeout, err)
+		}
 	}
 	return nil
 }

@@ -32,6 +32,22 @@
 // the store may not start empty):
 //
 //	usaasload -target http://127.0.0.1:8080 -clients 32 -duration 30s
+//
+// -target also accepts a comma-separated endpoint list (a replicated
+// pair, or several shard fronts); clients are spread round-robin across
+// the list, each keeping the full list for failover. When the target is
+// a scatter-gather coordinator (usaasd -role=coordinator), the harness
+// additionally cross-checks the coordinator's fleet gauges from
+// /v1/stats: every shard up, per-shard fan-outs covering the acked
+// ingest requests, and — on fault-free embedded runs — zero shard
+// errors and degraded sections.
+//
+// -cluster "1,2,4" embeds one coordinator-fronted cluster per shard
+// count and measures ingest throughput plus cold/warm /v1/report
+// latency at each size; -out then writes the cluster report (see
+// BENCH_cluster.json at the repo root):
+//
+//	usaasload -cluster 1,2,4 -clients 16 -duration 5s -out BENCH_cluster.json
 package main
 
 import (
@@ -41,18 +57,23 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"net"
 	"net/http"
 	"os"
 	"runtime/pprof"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
+	"usersignals/internal/cluster"
 	"usersignals/internal/conference"
 	"usersignals/internal/durable"
 	"usersignals/internal/leo"
+	"usersignals/internal/newswire"
 	"usersignals/internal/social"
 	"usersignals/internal/telemetry"
 	"usersignals/internal/timeline"
@@ -80,6 +101,7 @@ type config struct {
 	cpuProfile   string
 	baseline     string
 	tailFactor   float64
+	cluster      string
 }
 
 // passConfig names one embedded server configuration under test.
@@ -130,7 +152,7 @@ type loadReport struct {
 
 func main() {
 	var cfg config
-	flag.StringVar(&cfg.target, "target", "", "base URL of a running server; empty = embed the server in-process")
+	flag.StringVar(&cfg.target, "target", "", "base URL of a running server, or a comma-separated endpoint list to spread clients across; empty = embed the server in-process")
 	flag.IntVar(&cfg.clients, "clients", 16, "concurrent closed-loop clients")
 	flag.DurationVar(&cfg.duration, "duration", 5*time.Second, "measurement window per pass")
 	flag.IntVar(&cfg.batch, "batch", 20, "session records per ingest batch")
@@ -148,6 +170,7 @@ func main() {
 	flag.IntVar(&cfg.applyWorkers, "apply-workers", 0, "embedded server apply-pipeline workers (0 = apply inline under the sequencing lock)")
 	flag.StringVar(&cfg.baseline, "baseline", "", "committed BENCH_load.json to regress against: fails when the measured batch+group/interval throughput ratio drops more than 20% below the baseline's (ratios are machine-tolerant where absolute rates are not); -compare only")
 	flag.Float64Var(&cfg.tailFactor, "assert-tail-factor", 0, "fail when the batch+group pass's p999 ingest latency exceeds this multiple of the plain batch pass's p999 (0 disables; -compare only) — the group-commit tail regression gate")
+	flag.StringVar(&cfg.cluster, "cluster", "", "comma-separated shard counts (e.g. \"1,2,4\"): embed one coordinator-fronted cluster per count and measure ingest throughput plus cold/warm report latency; -out then writes the cluster report")
 	flag.StringVar(&cfg.out, "out", "", "write the JSON report here (stdout always gets a summary)")
 	flag.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile covering the measurement passes (clients and embedded server share the process, so the profile attributes the whole closed loop)")
 	flag.Parse()
@@ -161,6 +184,9 @@ func run(cfg config) error {
 	if cfg.compare && cfg.target != "" {
 		return errors.New("-compare needs the embedded server: it controls the fsync policy per pass")
 	}
+	if cfg.cluster != "" && (cfg.target != "" || cfg.compare) {
+		return errors.New("-cluster embeds its own shard fleet; drop -target/-compare")
+	}
 	if cfg.clients < 1 || cfg.batch < 1 {
 		return errors.New("-clients and -batch must be >= 1")
 	}
@@ -170,6 +196,10 @@ func run(cfg config) error {
 	}
 	fmt.Printf("workload: %d session batches x %d records, %d post batches, %d clients, %v per pass\n",
 		len(w.sessionWires), cfg.batch, len(w.postBatches), cfg.clients, cfg.duration)
+
+	if cfg.cluster != "" {
+		return runClusterBench(cfg, w)
+	}
 
 	if cfg.cpuProfile != "" {
 		f, err := os.Create(cfg.cpuProfile)
@@ -362,15 +392,28 @@ type workerStats struct {
 }
 
 func runPass(cfg config, pc passConfig, w *workload) (passResult, error) {
-	baseURL := cfg.target
-	if baseURL == "" {
+	target := cfg.target
+	if target == "" {
 		var stop func()
 		var err error
-		baseURL, stop, err = startEmbedded(cfg, pc)
+		target, stop, err = startEmbedded(cfg, pc)
 		if err != nil {
 			return passResult{}, err
 		}
 		defer stop()
+	}
+	return measure(cfg, pc, w, target, cfg.target == "")
+}
+
+// measure drives one closed-loop pass against target — a single base URL
+// or a comma-separated endpoint list. With a list, client c starts at
+// endpoint c mod len (spreading the fleet) while keeping the whole list
+// for failover. embedded marks a fresh in-process store, enabling the
+// exact store-total assertions.
+func measure(cfg config, pc passConfig, w *workload, target string, embedded bool) (passResult, error) {
+	endpoints := strings.Split(target, ",")
+	for i := range endpoints {
+		endpoints[i] = strings.TrimSpace(endpoints[i])
 	}
 
 	// Unique-per-run batch ID prefix: against an external server, a rerun
@@ -387,7 +430,7 @@ func runPass(cfg config, pc passConfig, w *workload) (passResult, error) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			if err := worker(ctx, cfg, w, baseURL, prefix, c, deadline, &stats[c]); err != nil {
+			if err := worker(ctx, cfg, w, rotate(endpoints, c), prefix, c, deadline, &stats[c]); err != nil {
 				errCh <- err
 				cancel()
 			}
@@ -435,7 +478,7 @@ func runPass(cfg config, pc passConfig, w *workload) (passResult, error) {
 		IngestMaxMs:   ms(ingest[len(ingest)-1]),
 		Queries:       tot.numQueries,
 	}
-	if cfg.target == "" {
+	if embedded {
 		res.Fsync = pc.fsync.String()
 	} else {
 		res.Fsync = "external"
@@ -446,13 +489,20 @@ func runPass(cfg config, pc passConfig, w *workload) (passResult, error) {
 
 	// Cross-check the server's pipeline gauges against what this side
 	// acked. Store totals only hold when the server started empty.
-	probe := usaas.NewClientWithOptions(baseURL, usaas.ClientOptions{})
+	probe := usaas.NewClientWithOptions(endpoints[0], usaas.ClientOptions{})
 	sr, err := probe.Stats(context.Background())
 	if err != nil {
 		return passResult{}, fmt.Errorf("fetching /v1/stats for gauge check: %w", err)
 	}
-	if err := checkGauges(sr, tot, cfg, pc, cfg.target == ""); err != nil {
+	if err := checkGauges(sr, tot, cfg, pc, embedded); err != nil {
 		return passResult{}, err
+	}
+	if sr.Cluster != nil {
+		// The target is a scatter-gather coordinator: its fleet gauges are
+		// part of the contract too.
+		if err := checkClusterGauges(sr.Cluster, tot, embedded); err != nil {
+			return passResult{}, err
+		}
 	}
 	if sr.Ingest != nil {
 		res.CommitGroups = sr.Ingest.CommitGroups
@@ -468,11 +518,15 @@ func runPass(cfg config, pc passConfig, w *workload) (passResult, error) {
 
 // worker is one closed-loop client: ingest NDJSON session batches, with
 // every posts-every'th op a social-posts batch and every query-every'th
-// op a stats query.
-func worker(ctx context.Context, cfg config, w *workload, baseURL, prefix string, id int, deadline time.Time, st *workerStats) error {
-	cl := usaas.NewClientWithOptions(baseURL, usaas.ClientOptions{
-		Tenant: fmt.Sprintf("tenant-%d", id%cfg.tenants),
-	})
+// op a stats query. With several endpoints the client prefers the first
+// (its round-robin slot) and fails over across the rest.
+func worker(ctx context.Context, cfg config, w *workload, endpoints []string, prefix string, id int, deadline time.Time, st *workerStats) error {
+	opts := usaas.ClientOptions{Tenant: fmt.Sprintf("tenant-%d", id%cfg.tenants)}
+	base := endpoints[0]
+	if len(endpoints) > 1 {
+		base, opts.Endpoints = "", endpoints
+	}
+	cl := usaas.NewClientWithOptions(base, opts)
 	for n := 0; time.Now().Before(deadline); n++ {
 		if ctx.Err() != nil {
 			return nil // another worker already failed the pass
@@ -582,6 +636,250 @@ func joinLines(lines []string) string {
 		out += "\n  - " + l
 	}
 	return out
+}
+
+// rotate returns endpoints rotated so index i mod len comes first —
+// client i's preferred endpoint, with the rest kept for failover.
+func rotate(endpoints []string, i int) []string {
+	n := len(endpoints)
+	if n <= 1 {
+		return endpoints
+	}
+	k := i % n
+	out := make([]string, 0, n)
+	out = append(out, endpoints[k:]...)
+	return append(out, endpoints[:k]...)
+}
+
+// checkClusterGauges cross-checks a coordinator's fleet gauges against
+// client-side accounting: every shard up, per-shard fan-outs covering the
+// acked ingest requests (the coordinator fans each batch to every shard),
+// and — on a fault-free embedded run — no shard errors or degraded
+// sections.
+func checkClusterGauges(cs *usaas.ClusterStats, tot workerStats, strict bool) error {
+	var errs []string
+	fail := func(format string, args ...any) { errs = append(errs, fmt.Sprintf(format, args...)) }
+	if len(cs.Shards) == 0 {
+		fail("cluster section has no shards")
+	}
+	ingests := uint64(tot.batches + tot.dups)
+	for _, sh := range cs.Shards {
+		if !sh.Up {
+			fail("shard %s marked down", sh.Name)
+		}
+		if sh.Fanouts < ingests {
+			fail("shard %s fan-outs = %d < %d acked ingest requests", sh.Name, sh.Fanouts, ingests)
+		}
+		if strict && sh.Errors != 0 {
+			fail("shard %s recorded %d errors on a fault-free run", sh.Name, sh.Errors)
+		}
+	}
+	if strict && cs.DegradedSections != 0 {
+		fail("degraded_sections = %d on a fault-free run", cs.DegradedSections)
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("cluster gauge check failed:\n  - %s", joinLines(errs))
+	}
+	return nil
+}
+
+// clusterPass is what one shard-count configuration measured.
+type clusterPass struct {
+	Shards        int     `json:"shards"`
+	BatchesPerSec float64 `json:"batches_per_sec"`
+	IngestP50Ms   float64 `json:"ingest_p50_ms"`
+	IngestP99Ms   float64 `json:"ingest_p99_ms"`
+	AckedBatches  int     `json:"acked_batches"`
+	AckedSessions int     `json:"acked_sessions"`
+	AckedPosts    int     `json:"acked_posts"`
+	ReportColdMs  float64 `json:"report_cold_ms"`
+	ReportWarmMs  float64 `json:"report_warm_ms"`
+}
+
+// clusterReport is the -cluster mode's -out document (BENCH_cluster.json).
+type clusterReport struct {
+	Generated    string        `json:"generated"`
+	Clients      int           `json:"clients"`
+	BatchRecords int           `json:"batch_records"`
+	Seed         uint64        `json:"seed"`
+	ApplyWorkers int           `json:"apply_workers,omitempty"`
+	Passes       []clusterPass `json:"passes"`
+}
+
+// runClusterBench embeds one coordinator-fronted cluster per requested
+// shard count and runs the closed-loop workload through the coordinator,
+// then measures cold and warm /v1/report latency against the freshly
+// loaded fleet.
+func runClusterBench(cfg config, w *workload) error {
+	counts, err := parseShardCounts(cfg.cluster)
+	if err != nil {
+		return err
+	}
+	rep := clusterReport{
+		Generated:    time.Now().UTC().Format(time.RFC3339),
+		Clients:      cfg.clients,
+		BatchRecords: cfg.batch,
+		Seed:         cfg.seed,
+		ApplyWorkers: cfg.applyWorkers,
+	}
+	for _, n := range counts {
+		res, cold, warm, err := runClusterPass(cfg, w, n)
+		if err != nil {
+			return fmt.Errorf("cluster pass %d shards: %w", n, err)
+		}
+		rep.Passes = append(rep.Passes, clusterPass{
+			Shards:        n,
+			BatchesPerSec: res.BatchesPerSec,
+			IngestP50Ms:   res.IngestP50Ms,
+			IngestP99Ms:   res.IngestP99Ms,
+			AckedBatches:  res.AckedBatches,
+			AckedSessions: res.AckedSessions,
+			AckedPosts:    res.AckedPosts,
+			ReportColdMs:  cold,
+			ReportWarmMs:  warm,
+		})
+		fmt.Printf("pass %d-shard      %8.1f batches/sec  p50 %6.2fms  p99 %7.2fms  report cold %7.2fms warm %7.2fms\n",
+			n, res.BatchesPerSec, res.IngestP50Ms, res.IngestP99Ms, cold, warm)
+	}
+	if cfg.out != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.out, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", cfg.out)
+	}
+	return nil
+}
+
+func runClusterPass(cfg config, w *workload, n int) (passResult, float64, float64, error) {
+	base, stop, err := startEmbeddedCluster(cfg, n)
+	if err != nil {
+		return passResult{}, 0, 0, err
+	}
+	defer stop()
+	res, err := measure(cfg, passConfig{name: fmt.Sprintf("%dshard", n)}, w, base, true)
+	if err != nil {
+		return passResult{}, 0, 0, err
+	}
+	cold, warm, err := reportLatency(base)
+	if err != nil {
+		return passResult{}, 0, 0, err
+	}
+	return res, cold, warm, nil
+}
+
+func parseShardCounts(spec string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-cluster: shard count %q must be a positive integer", part)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
+}
+
+// reportLatency measures /v1/report through the same HTTP path clients
+// use: one cold fetch, then the best of five warm repeats.
+func reportLatency(base string) (cold, warm float64, err error) {
+	fetch := func() (float64, error) {
+		t0 := time.Now()
+		resp, err := http.Get(base + "/v1/report")
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return 0, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("/v1/report: %d %.200s", resp.StatusCode, body)
+		}
+		return ms(time.Since(t0)), nil
+	}
+	if cold, err = fetch(); err != nil {
+		return 0, 0, err
+	}
+	warm = math.MaxFloat64
+	for i := 0; i < 5; i++ {
+		v, err := fetch()
+		if err != nil {
+			return 0, 0, err
+		}
+		warm = math.Min(warm, v)
+	}
+	return cold, warm, nil
+}
+
+// startEmbeddedCluster runs n durable shard servers plus a scatter-gather
+// coordinator in-process, mirroring usaasd -role=coordinator's wiring.
+func startEmbeddedCluster(cfg config, n int) (string, func(), error) {
+	policy, err := durable.ParseFsyncPolicy(cfg.fsync)
+	if err != nil {
+		return "", nil, err
+	}
+	model := leo.NewModel()
+	news := newswire.Build(model.Launches(), leo.MajorOutages(), leo.DefaultMilestones())
+	var closers []func()
+	stop := func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
+	m := cluster.Map{Version: 1}
+	for i := 0; i < n; i++ {
+		dir, err := os.MkdirTemp("", "usaasload-shard-*")
+		if err != nil {
+			stop()
+			return "", nil, err
+		}
+		d, err := usaas.OpenDurableStore(usaas.DurabilityOptions{
+			Dir:           dir,
+			Fsync:         policy,
+			GroupCommit:   cfg.group,
+			MaxGroupDelay: cfg.groupDelay,
+			ApplyWorkers:  cfg.applyWorkers,
+		})
+		if err != nil {
+			os.RemoveAll(dir)
+			stop()
+			return "", nil, err
+		}
+		srv := usaas.NewServer(d.Store, usaas.ServerOptions{Model: model, News: news})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			d.Close()
+			os.RemoveAll(dir)
+			stop()
+			return "", nil, err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		closers = append(closers, func() {
+			hs.Close()
+			d.Close()
+			os.RemoveAll(dir)
+		})
+		m.Shards = append(m.Shards, cluster.Shard{
+			Name:      fmt.Sprintf("s%d", i),
+			Endpoints: []string{"http://" + ln.Addr().String()},
+		})
+	}
+	coord := cluster.New(m, cluster.Options{Model: model, News: news})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		stop()
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: coord.Handler()}
+	go hs.Serve(ln)
+	closers = append(closers, func() { hs.Close() })
+	return "http://" + ln.Addr().String(), stop, nil
 }
 
 // startEmbedded runs the server in-process on a loopback listener with a

@@ -1,0 +1,457 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"usersignals/internal/conference"
+	"usersignals/internal/newswire"
+	"usersignals/internal/social"
+	"usersignals/internal/telemetry"
+	"usersignals/internal/timeline"
+	"usersignals/internal/usaas"
+)
+
+// The shared study corpus: one post corpus (with its constellation model
+// and news index) reused across every cluster test; sessions vary by seed.
+var (
+	corpusOnce sync.Once
+	corpus     *social.Corpus
+	corpusCfg  social.Config
+	newsIndex  *newswire.Index
+)
+
+func studyCorpus(t *testing.T) (*social.Corpus, social.Config, *newswire.Index) {
+	t.Helper()
+	corpusOnce.Do(func() {
+		corpusCfg = social.DefaultConfig(17)
+		var err error
+		corpus, err = social.Generate(corpusCfg)
+		if err != nil {
+			panic(err)
+		}
+		newsIndex = newswire.Build(corpusCfg.Model.Launches(), corpusCfg.Outages, corpusCfg.Milestones)
+	})
+	return corpus, corpusCfg, newsIndex
+}
+
+// sessionData generates enough sessions to cross the single node's 4096-row
+// chunk boundary, so byte-identity against the coordinator also pins the
+// chunked row store's merged/tail split.
+func sessionData(t *testing.T, seed uint64) []telemetry.SessionRecord {
+	t.Helper()
+	opts := conference.Defaults(seed, 5000)
+	opts.SurveyRate = 0.08
+	g, err := conference.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := g.GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+// testCluster is one coordinator over n single-node shard servers, plus a
+// reference single node fed the identical batches.
+type testCluster struct {
+	coord   *Coordinator
+	coordTS *httptest.Server
+	shards  []*httptest.Server
+	single  *httptest.Server
+}
+
+func newShardServer(t *testing.T, workers int) *httptest.Server {
+	t.Helper()
+	_, cfg, news := studyCorpus(t)
+	store := &usaas.Store{}
+	store.StartApplyPipeline(workers)
+	ts := httptest.NewServer(usaas.NewServer(store, usaas.ServerOptions{Model: cfg.Model, News: news}).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// buildCluster stands up n shards, a coordinator, and the reference single
+// node. workers sets the shards' apply-pipeline width (the reference node
+// applies inline; bytes must match regardless). retry tunes the
+// coordinator's fan-out clients (zero = defaults).
+func buildCluster(t *testing.T, n, workers int, retry usaas.RetryPolicy) *testCluster {
+	t.Helper()
+	_, cfg, news := studyCorpus(t)
+	tc := &testCluster{single: newShardServer(t, 0)}
+	m := Map{Version: 1}
+	for i := 0; i < n; i++ {
+		ts := newShardServer(t, workers)
+		tc.shards = append(tc.shards, ts)
+		m.Shards = append(m.Shards, Shard{Name: fmt.Sprintf("s%d", i), Endpoints: []string{ts.URL}})
+	}
+	tc.coord = New(m, Options{Model: cfg.Model, News: news, Retry: retry})
+	tc.coordTS = httptest.NewServer(tc.coord.Handler())
+	t.Cleanup(tc.coordTS.Close)
+	return tc
+}
+
+// ingestBoth feeds the coordinator and the reference node the same ragged
+// batches (including a duplicate replay) and cross-checks the aggregated
+// acknowledgements.
+func ingestBoth(t *testing.T, tc *testCluster, recs []telemetry.SessionRecord, posts []social.Post) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	cc := usaas.NewClientWithOptions(tc.coordTS.URL, usaas.ClientOptions{})
+	sc := usaas.NewClientWithOptions(tc.single.URL, usaas.ClientOptions{})
+
+	cuts := []int{1, 600, 2047, 2048, 2049, 4500, len(recs)}
+	prev := 0
+	for i, cut := range cuts {
+		if cut > len(recs) {
+			cut = len(recs)
+		}
+		if cut < prev {
+			continue
+		}
+		id := fmt.Sprintf("batch-%d", i)
+		cr, err := cc.IngestSessionsBatch(ctx, id, recs[prev:cut])
+		if err != nil {
+			t.Fatalf("coordinator ingest %s: %v", id, err)
+		}
+		sr, err := sc.IngestSessionsBatch(ctx, id, recs[prev:cut])
+		if err != nil {
+			t.Fatalf("single ingest %s: %v", id, err)
+		}
+		if cr != sr {
+			t.Fatalf("ingest ack diverges for %s: coordinator %+v vs single %+v", id, cr, sr)
+		}
+		prev = cut
+	}
+	// Replay one batch: every routed sub-batch must deduplicate, and the
+	// aggregated acknowledgement must replay the original ack exactly like
+	// the single node does.
+	cr, err := cc.IngestSessionsBatch(ctx, "batch-1", recs[1:600])
+	if err != nil {
+		t.Fatalf("coordinator replay: %v", err)
+	}
+	sr, err := sc.IngestSessionsBatch(ctx, "batch-1", recs[1:600])
+	if err != nil {
+		t.Fatalf("single replay: %v", err)
+	}
+	if !cr.Duplicate {
+		t.Fatalf("coordinator replay not deduplicated: %+v", cr)
+	}
+	if cr != sr {
+		t.Fatalf("replay ack diverges: coordinator %+v vs single %+v", cr, sr)
+	}
+
+	if len(posts) > 0 {
+		half := len(posts) / 2
+		for i, span := range [][]social.Post{posts[:half], posts[half:]} {
+			id := fmt.Sprintf("posts-%d", i)
+			if _, err := cc.IngestPostsBatch(ctx, id, span); err != nil {
+				t.Fatalf("coordinator post ingest: %v", err)
+			}
+			if _, err := sc.IngestPostsBatch(ctx, id, span); err != nil {
+				t.Fatalf("single post ingest: %v", err)
+			}
+		}
+		// Replay the first half against the coordinator only; the shard-side
+		// dedup must swallow it.
+		if cr, err := cc.IngestPostsBatch(ctx, "posts-0", posts[:half]); err != nil || !cr.Duplicate {
+			t.Fatalf("coordinator post replay: resp=%+v err=%v", cr, err)
+		}
+	}
+
+	// The cluster-wide totals must agree with the single node's counts.
+	cs, err := cc.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := sc.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Sessions != ss.Sessions || cs.Posts != ss.Posts {
+		t.Fatalf("store totals diverge: coordinator %d/%d vs single %d/%d",
+			cs.Sessions, cs.Posts, ss.Sessions, ss.Posts)
+	}
+}
+
+// get fetches a path and returns (status, body bytes as string).
+func get(t *testing.T, base, path string) (int, string) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// queryPaths is every read endpoint the coordinator must answer
+// byte-identically to a single node holding all the data.
+func queryPaths(isp string) []string {
+	return []string{
+		"/v1/report",
+		"/v1/report?format=text",
+		"/v1/insights/engagement?metric=latency-mean-ms&engagement=presence&lo=0&hi=300&bins=8",
+		"/v1/insights/engagement?metric=loss-mean-pct&engagement=cam_on&lo=0&hi=4&bins=10",
+		"/v1/insights/mos",
+		"/v1/insights/mos?bins=6",
+		"/v1/insights/sentiment",
+		"/v1/insights/peaks",
+		"/v1/insights/peaks?k=5",
+		"/v1/insights/outages",
+		"/v1/insights/outages?threshold=3",
+		"/v1/insights/speeds",
+		"/v1/insights/trends",
+		"/v1/insights/confounders?engagement=presence",
+		"/v1/advice/traffic-engineering",
+		"/v1/advice/deployment",
+		"/v1/insights/incidents?engagement=presence",
+		"/v1/insights/incidents?engagement=cam_on&min_drop=0.05",
+		"/v1/query/experience?isp=" + isp,
+	}
+}
+
+// assertByteIdentical fetches every query path from the coordinator and the
+// reference node and requires literal response-byte equality.
+func assertByteIdentical(t *testing.T, tc *testCluster, isp string) {
+	t.Helper()
+	for _, p := range queryPaths(isp) {
+		cStatus, cBody := get(t, tc.coordTS.URL, p)
+		sStatus, sBody := get(t, tc.single.URL, p)
+		if cStatus != sStatus {
+			t.Errorf("%s: status %d (coordinator) vs %d (single)", p, cStatus, sStatus)
+			continue
+		}
+		if cBody != sBody {
+			t.Errorf("%s: coordinator bytes differ from single node\ncoordinator: %.400s\nsingle:      %.400s", p, cBody, sBody)
+		}
+	}
+}
+
+// TestClusterByteIdenticalToSingleNode is the tentpole property: for every
+// read endpoint, a coordinator over 1, 2, or 4 shards answers
+// byte-identically to one node fed the same batches — across seeds and
+// shard apply-pipeline widths. Short mode keeps one seed (still covering
+// all three shard counts).
+func TestClusterByteIdenticalToSingleNode(t *testing.T) {
+	c, _, _ := studyCorpus(t)
+	configs := []struct {
+		seed    uint64
+		nShards int
+		workers int
+	}{
+		{5, 1, 0},
+		{5, 2, 4},
+		{5, 4, 1},
+		{6, 2, 0},
+		{6, 4, 4},
+		{7, 1, 4},
+		{7, 2, 1},
+		{7, 4, 0},
+	}
+	if testing.Short() {
+		configs = configs[:3]
+	}
+	for _, tc := range configs {
+		t.Run(fmt.Sprintf("seed%d_shards%d_workers%d", tc.seed, tc.nShards, tc.workers), func(t *testing.T) {
+			recs := sessionData(t, tc.seed)
+			cl := buildCluster(t, tc.nShards, tc.workers, usaas.RetryPolicy{})
+			ingestBoth(t, cl, recs, c.Posts)
+			assertByteIdentical(t, cl, recs[0].ISP)
+		})
+	}
+}
+
+// TestClientSideSplitMatchesCoordinator pins the client-side write path:
+// a cluster.Client splitting batches at the producer and sending them
+// straight to the shards must produce acknowledgements identical to the
+// single node's (replays included), and the coordinator's answers over
+// shard-ingested data must stay byte-identical to the single node's.
+func TestClientSideSplitMatchesCoordinator(t *testing.T) {
+	c, _, _ := studyCorpus(t)
+	recs := sessionData(t, 6)
+	cl := buildCluster(t, 2, 0, usaas.RetryPolicy{})
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	split := NewClient(cl.coord.pmap, ClientConfig{})
+	sc := usaas.NewClientWithOptions(cl.single.URL, usaas.ClientOptions{})
+
+	cuts := []int{1, 600, 2047, 2048, 2049, 4500, len(recs)}
+	prev := 0
+	for i, cut := range cuts {
+		if cut > len(recs) {
+			cut = len(recs)
+		}
+		if cut < prev {
+			continue
+		}
+		id := fmt.Sprintf("split-%d", i)
+		ca, err := split.IngestSessionsBatch(ctx, id, recs[prev:cut])
+		if err != nil {
+			t.Fatalf("split ingest %s: %v", id, err)
+		}
+		sa, err := sc.IngestSessionsBatch(ctx, id, recs[prev:cut])
+		if err != nil {
+			t.Fatalf("single ingest %s: %v", id, err)
+		}
+		if ca != sa {
+			t.Fatalf("split ack diverges for %s: client %+v vs single %+v", id, ca, sa)
+		}
+		prev = cut
+	}
+	// Replay through the splitter: every shard returns its original ack,
+	// and the fold reproduces the single node's duplicate answer.
+	ca, err := split.IngestSessionsBatch(ctx, "split-1", recs[1:600])
+	if err != nil {
+		t.Fatalf("split replay: %v", err)
+	}
+	sa, err := sc.IngestSessionsBatch(ctx, "split-1", recs[1:600])
+	if err != nil {
+		t.Fatalf("single replay: %v", err)
+	}
+	if !ca.Duplicate || ca != sa {
+		t.Fatalf("split replay diverges: client %+v vs single %+v", ca, sa)
+	}
+
+	half := len(c.Posts) / 2
+	for i, span := range [][]social.Post{c.Posts[:half], c.Posts[half:]} {
+		id := fmt.Sprintf("split-posts-%d", i)
+		ca, err := split.IngestPostsBatch(ctx, id, span)
+		if err != nil {
+			t.Fatalf("split post ingest: %v", err)
+		}
+		sa, err := sc.IngestPostsBatch(ctx, id, span)
+		if err != nil {
+			t.Fatalf("single post ingest: %v", err)
+		}
+		if ca != sa {
+			t.Fatalf("post ack diverges for %s: client %+v vs single %+v", id, ca, sa)
+		}
+	}
+
+	// Reads fan through the coordinator as usual — the write path taken
+	// must be invisible in the bytes.
+	assertByteIdentical(t, cl, recs[0].ISP)
+}
+
+// TestCoordinatorErrorPaths pins the coordinator's parameter validation to
+// the single node's: same status, same bytes, no fan-out needed to agree.
+func TestCoordinatorErrorPaths(t *testing.T) {
+	studyCorpus(t)
+	cl := buildCluster(t, 2, 0, usaas.RetryPolicy{})
+	recs := sessionData(t, 5)
+	ingestBoth(t, cl, recs[:600], nil)
+	for _, p := range []string{
+		"/v1/insights/engagement?metric=bogus&engagement=presence",
+		"/v1/insights/engagement?metric=latency-mean-ms&engagement=bogus",
+		"/v1/insights/engagement?metric=latency-mean-ms&engagement=presence&bins=0",
+		"/v1/insights/engagement?metric=latency-mean-ms&engagement=presence&bins=nope",
+		"/v1/insights/peaks?k=0",
+		"/v1/insights/peaks?k=banana",
+		"/v1/query/experience",
+		"/v1/query/experience?isp=no-such-isp",
+		"/v1/insights/confounders?engagement=nope",
+		"/v1/insights/incidents?engagement=",
+		"/v1/insights/sentiment", // no posts ingested
+		"/v1/insights/speeds",
+	} {
+		cStatus, cBody := get(t, cl.coordTS.URL, p)
+		sStatus, sBody := get(t, cl.single.URL, p)
+		if cStatus != sStatus || cBody != sBody {
+			t.Errorf("%s: coordinator (%d, %q) vs single (%d, %q)", p, cStatus, cBody, sStatus, sBody)
+		}
+	}
+}
+
+// TestShardOfDeterminism pins the routing hash: the same (version, day)
+// must land on the same shard across processes and runs, and bumping the
+// version must actually reshuffle.
+func TestShardOfDeterminism(t *testing.T) {
+	m, err := ParseShards("a=http://h1;b=http://h2;c=http://h3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := false
+	for d := 0; d < 1000; d++ {
+		day := timeline.Day(d)
+		i := m.ShardOf(day)
+		if j := m.ShardOf(day); i != j {
+			t.Fatalf("ShardOf(%d) unstable: %d then %d", d, i, j)
+		}
+		if i < 0 || i >= len(m.Shards) {
+			t.Fatalf("ShardOf(%d) = %d out of range", d, i)
+		}
+		m2 := m
+		m2.Version = 2
+		if m2.ShardOf(day) != i {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Error("version bump did not move any of 1000 days")
+	}
+}
+
+func TestSubBatchID(t *testing.T) {
+	m := Map{Version: 3, Shards: make([]Shard, 2)}
+	if got := m.SubBatchID("", 1); got != "" {
+		t.Errorf("empty parent should stay empty, got %q", got)
+	}
+	if got, want := m.SubBatchID("b-7", 1), "b-7@v3/s1"; got != want {
+		t.Errorf("SubBatchID = %q, want %q", got, want)
+	}
+}
+
+func TestParseShards(t *testing.T) {
+	m, err := ParseShards(" a=http://h1 ; b = http://h2,http://h3 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Shards) != 2 || m.Shards[0].Name != "a" || len(m.Shards[1].Endpoints) != 2 {
+		t.Fatalf("unexpected map: %+v", m)
+	}
+	for _, bad := range []string{"", "a", "a=;b=http://h2", "a=http://h1;a=http://h2"} {
+		if _, err := ParseShards(bad); err == nil {
+			t.Errorf("ParseShards(%q) accepted", bad)
+		}
+	}
+}
+
+// TestSplitPreservesOrderAndCompleteness: splitting then concatenating in
+// shard order is a permutation that keeps each shard's records in batch
+// order (the property the per-shard ingest order depends on).
+func TestSplitPreservesOrderAndCompleteness(t *testing.T) {
+	recs := sessionData(t, 5)[:500]
+	m := Map{Version: 1, Shards: make([]Shard, 4)}
+	groups := m.SplitSessions(recs)
+	total := 0
+	for i, g := range groups {
+		total += len(g)
+		for j := range g {
+			if m.ShardOf(timeline.DayOf(g[j].Start)) != i {
+				t.Fatalf("record in group %d routed elsewhere", i)
+			}
+		}
+	}
+	if total != len(recs) {
+		t.Fatalf("split lost records: %d != %d", total, len(recs))
+	}
+}

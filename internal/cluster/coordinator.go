@@ -1,0 +1,916 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"usersignals/internal/leo"
+	"usersignals/internal/newswire"
+	"usersignals/internal/social"
+	"usersignals/internal/stats"
+	"usersignals/internal/telemetry"
+	"usersignals/internal/timeline"
+	"usersignals/internal/usaas"
+)
+
+// Options configures a Coordinator.
+type Options struct {
+	// Token is required from callers and forwarded to shards.
+	Token string
+	// HTTPClient overrides the transport used for shard fan-out.
+	HTTPClient *http.Client
+	// Model and News feed the coordinator-side annotation stages (speed
+	// launch annotations, peak news search, deployment advice).
+	Model *leo.Model
+	News  *newswire.Index
+	// Retry and Breaker tune the per-shard clients; zero values use the
+	// usaas client defaults.
+	Retry   usaas.RetryPolicy
+	Breaker usaas.BreakerPolicy
+	// MaxBodyBytes caps ingest request bodies (default 64 MiB).
+	MaxBodyBytes int64
+}
+
+// shardConn is one shard's client plus its fan-out gauges.
+type shardConn struct {
+	name    string
+	client  *usaas.Client
+	up      atomic.Bool
+	fanouts atomic.Uint64
+	errs    atomic.Uint64
+
+	mu  sync.Mutex
+	lat *stats.Hist // fan-out latency, ms
+}
+
+// latencyBins is the fan-out latency histogram shape: 0-1000 ms in 20 ms
+// buckets (observations past the top bucket are dropped by Hist.Add).
+var latencyBins = stats.Binner{Lo: 0, Hi: 1000, NBins: 50}
+
+// observe records one fan-out RPC against the shard's gauges.
+func (sc *shardConn) observe(start time.Time, err error) {
+	sc.fanouts.Add(1)
+	sc.up.Store(err == nil)
+	if err != nil {
+		sc.errs.Add(1)
+	}
+	ms := float64(time.Since(start)) / float64(time.Millisecond)
+	sc.mu.Lock()
+	sc.lat.Add(ms)
+	sc.mu.Unlock()
+}
+
+// Coordinator is the scatter-gather query front end: it owns no store,
+// routes ingest by the partition map, fans queries to every shard's
+// /v1/partials, and folds the returned accumulator state in canonical
+// ascending-day order (usaas's exported Merge* functions), so its answers
+// are byte-identical to a single node holding all the data.
+type Coordinator struct {
+	pmap   Map
+	opts   Options
+	shards []*shardConn
+	mux    *http.ServeMux
+
+	merges   atomic.Uint64 // queries answered from merged partials
+	degraded atomic.Uint64 // degradation annotations + shard-failure refusals
+}
+
+// New builds a coordinator over the partition map.
+func New(m Map, opts Options) *Coordinator {
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 64 << 20
+	}
+	c := &Coordinator{pmap: m, opts: opts, mux: http.NewServeMux()}
+	for _, sh := range m.Shards {
+		c.shards = append(c.shards, &shardConn{
+			name: sh.Name,
+			client: usaas.NewClientWithOptions("", usaas.ClientOptions{
+				HTTPClient: opts.HTTPClient,
+				Endpoints:  sh.Endpoints,
+				Token:      opts.Token,
+				Retry:      opts.Retry,
+				Breaker:    opts.Breaker,
+			}),
+			lat: stats.NewHist(latencyBins),
+		})
+	}
+	c.mux.HandleFunc("/v1/sessions", c.handleSessions)
+	c.mux.HandleFunc("/v1/posts", c.handlePosts)
+	c.mux.HandleFunc("/v1/stats", c.handleStats)
+	c.mux.HandleFunc("/v1/insights/engagement", c.handleEngagement)
+	c.mux.HandleFunc("/v1/insights/mos", c.handleMOS)
+	c.mux.HandleFunc("/v1/insights/sentiment", c.handleSentiment)
+	c.mux.HandleFunc("/v1/insights/peaks", c.handlePeaks)
+	c.mux.HandleFunc("/v1/insights/outages", c.handleOutages)
+	c.mux.HandleFunc("/v1/insights/speeds", c.handleSpeeds)
+	c.mux.HandleFunc("/v1/insights/trends", c.handleTrends)
+	c.mux.HandleFunc("/v1/query/experience", c.handleExperience)
+	c.mux.HandleFunc("/v1/insights/confounders", c.handleConfounders)
+	c.mux.HandleFunc("/v1/advice/traffic-engineering", c.handleTEAdvice)
+	c.mux.HandleFunc("/v1/advice/deployment", c.handleDeploymentAdvice)
+	c.mux.HandleFunc("/v1/report", c.handleReport)
+	c.mux.HandleFunc("/v1/insights/incidents", c.handleIncidents)
+	c.mux.HandleFunc("/v1/healthz", c.handleHealthz)
+	c.mux.HandleFunc("/v1/readyz", c.handleReadyz)
+	return c
+}
+
+// Handler returns the coordinator's HTTP handler, wrapped with bearer auth
+// when a token is configured (health endpoints bypass, like usaasd).
+func (c *Coordinator) Handler() http.Handler {
+	if c.opts.Token == "" {
+		return c.mux
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/healthz" || r.URL.Path == "/v1/readyz" {
+			c.mux.ServeHTTP(w, r)
+			return
+		}
+		if r.Header.Get("Authorization") != "Bearer "+c.opts.Token {
+			writeErr(w, http.StatusUnauthorized, "missing or invalid bearer token")
+			return
+		}
+		c.mux.ServeHTTP(w, r)
+	})
+}
+
+// --- fan-out plumbing ---
+
+// shardErr is one shard's fan-out failure.
+type shardErr struct {
+	name string
+	err  error
+}
+
+func (e shardErr) String() string { return fmt.Sprintf("shard %s unavailable: %v", e.name, e.err) }
+
+// each runs f against every shard concurrently and returns the failures
+// sorted by shard name (stable degradation annotations).
+func (c *Coordinator) each(f func(i int, sc *shardConn) error) []shardErr {
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for i, sc := range c.shards {
+		wg.Add(1)
+		go func(i int, sc *shardConn) {
+			defer wg.Done()
+			start := time.Now()
+			err := f(i, sc)
+			sc.observe(start, err)
+			errs[i] = err
+		}(i, sc)
+	}
+	wg.Wait()
+	var out []shardErr
+	for i, err := range errs {
+		if err != nil {
+			out = append(out, shardErr{name: c.shards[i].name, err: err})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// gatherPartials fans GET /v1/partials to every shard. bundles[i] is nil
+// for shards that failed.
+func (c *Coordinator) gatherPartials(ctx context.Context, query url.Values) ([]*usaas.ShardPartials, []shardErr) {
+	bundles := make([]*usaas.ShardPartials, len(c.shards))
+	errs := c.each(func(i int, sc *shardConn) error {
+		p, err := sc.client.Partials(ctx, query)
+		if err != nil {
+			return err
+		}
+		bundles[i] = &p
+		return nil
+	})
+	c.merges.Add(1)
+	return bundles, errs
+}
+
+// gatherModelPartials fans the model phase (POST /v1/partials/model) to
+// every shard; any failure fails the phase (a partial model-phase answer
+// would silently change the merged number).
+func (c *Coordinator) gatherModelPartials(ctx context.Context, req usaas.ModelPartialsRequest) ([]usaas.ModelPartials, error) {
+	out := make([]usaas.ModelPartials, len(c.shards))
+	errs := c.each(func(i int, sc *shardConn) error {
+		mp, err := sc.client.ModelPartials(ctx, req)
+		if err != nil {
+			return err
+		}
+		out[i] = mp
+		return nil
+	})
+	if len(errs) > 0 {
+		c.degraded.Add(uint64(len(errs)))
+		return nil, fmt.Errorf("%s", errs[0])
+	}
+	return out, nil
+}
+
+// refuse writes the scatter failure as an explicit 503 naming the shard —
+// the degradation contract for every endpoint except /v1/report (which
+// degrades per section instead). Never a silently partial answer.
+func (c *Coordinator) refuse(w http.ResponseWriter, errs []shardErr) bool {
+	if len(errs) == 0 {
+		return false
+	}
+	c.degraded.Add(uint64(len(errs)))
+	writeErr(w, http.StatusServiceUnavailable, "%s", errs[0])
+	return true
+}
+
+// --- response plumbing (mirrors the usaas service's wire helpers) ---
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method == method {
+		return true
+	}
+	w.Header().Set("Allow", method)
+	writeErr(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+	return false
+}
+
+// queryForm mirrors the usaas service's lenient numeric query parsing,
+// including its error strings.
+type queryForm struct {
+	q   url.Values
+	err error
+}
+
+func formOf(r *http.Request) *queryForm { return &queryForm{q: r.URL.Query()} }
+
+func (f *queryForm) int(key string, def int) int {
+	v := f.q.Get(key)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		if f.err == nil {
+			f.err = fmt.Errorf("query parameter %q: invalid integer %q", key, v)
+		}
+		return def
+	}
+	return n
+}
+
+func (f *queryForm) float(key string, def float64) float64 {
+	v := f.q.Get(key)
+	if v == "" {
+		return def
+	}
+	x, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		if f.err == nil {
+			f.err = fmt.Errorf("query parameter %q: invalid number %q", key, v)
+		}
+		return def
+	}
+	return x
+}
+
+func (f *queryForm) reject(w http.ResponseWriter) bool {
+	if f.err == nil {
+		return false
+	}
+	writeErr(w, http.StatusBadRequest, "%v", f.err)
+	return true
+}
+
+func parseMetric(name string) (telemetry.Metric, error) {
+	for m := telemetry.LatencyMean; m <= telemetry.BandwidthP95; m++ {
+		if m.String() == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown metric %q", name)
+}
+
+func parseEngagement(name string) (telemetry.Engagement, error) {
+	for _, e := range telemetry.Engagements() {
+		if e.String() == name {
+			return e, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown engagement %q", name)
+}
+
+// --- ingest ---
+
+// handleSessions routes a session batch: records split by owning shard
+// (ShardOf the record's start day), each slice ships under a derived
+// sub-batch ID so retries stay idempotent per shard.
+func (c *Coordinator) handleSessions(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, c.opts.MaxBodyBytes)
+	var recs []telemetry.SessionRecord
+	ct := r.Header.Get("Content-Type")
+	if strings.Contains(ct, "ndjson") {
+		if err := telemetry.ReadJSONL(body, func(rec *telemetry.SessionRecord) error {
+			recs = append(recs, *rec)
+			return nil
+		}); err != nil {
+			writeErr(w, http.StatusBadRequest, "decoding sessions: %v", err)
+			return
+		}
+	} else if err := json.NewDecoder(body).Decode(&recs); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding sessions: %v", err)
+		return
+	}
+	groups := c.pmap.SplitSessions(recs)
+	batchID := r.Header.Get(usaas.BatchIDHeader)
+	c.ingest(w, r.Context(), batchID, func(ctx context.Context, i int, sc *shardConn) (usaas.IngestResponse, error) {
+		return sc.client.IngestSessionsBatch(ctx, c.pmap.SubBatchID(batchID, i), groups[i])
+	})
+}
+
+// handlePosts routes a post batch by each post's day.
+func (c *Coordinator) handlePosts(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, c.opts.MaxBodyBytes)
+	var posts []social.Post
+	if err := json.NewDecoder(body).Decode(&posts); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding posts: %v", err)
+		return
+	}
+	groups := c.pmap.SplitPosts(posts)
+	batchID := r.Header.Get(usaas.BatchIDHeader)
+	c.ingest(w, r.Context(), batchID, func(ctx context.Context, i int, sc *shardConn) (usaas.IngestResponse, error) {
+		return sc.client.IngestPostsBatch(ctx, c.pmap.SubBatchID(batchID, i), groups[i])
+	})
+}
+
+// ingest fans the per-shard slices out — every shard gets its sub-batch,
+// even an empty one, so each records the idempotency key — and aggregates
+// the acknowledgement: Accepted and the totals sum the shards' responses,
+// Duplicate is set only when every shard deduplicated. Because a shard
+// replays its original acknowledgement, the sums reproduce the single-node
+// ack exactly, replays included. A shard failure is an explicit 503; the
+// derived sub-batch IDs make a client retry exact (already-applied slices
+// deduplicate shard-side).
+func (c *Coordinator) ingest(w http.ResponseWriter, ctx context.Context, batchID string, send func(ctx context.Context, i int, sc *shardConn) (usaas.IngestResponse, error)) {
+	acks := make([]usaas.IngestResponse, len(c.shards))
+	errs := c.each(func(i int, sc *shardConn) error {
+		resp, err := send(ctx, i, sc)
+		acks[i] = resp
+		return err
+	})
+	if c.refuse(w, errs) {
+		return
+	}
+	out := usaas.IngestResponse{BatchID: batchID, Duplicate: true}
+	for _, a := range acks {
+		out.Accepted += a.Accepted
+		out.TotalSessions += a.TotalSessions
+		out.TotalPosts += a.TotalPosts
+		if !a.Duplicate {
+			out.Duplicate = false
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// --- stats & health ---
+
+func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	totals := make([]usaas.StatsResponse, len(c.shards))
+	errs := c.each(func(i int, sc *shardConn) error {
+		st, err := sc.client.Stats(r.Context())
+		totals[i] = st
+		return err
+	})
+	if c.refuse(w, errs) {
+		return
+	}
+	resp := usaas.StatsResponse{Cluster: c.clusterStats()}
+	for _, st := range totals {
+		resp.Sessions += st.Sessions
+		resp.Posts += st.Posts
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// clusterStats snapshots the coordinator gauges.
+func (c *Coordinator) clusterStats() *usaas.ClusterStats {
+	cs := &usaas.ClusterStats{
+		MapVersion:       c.pmap.Version,
+		PartialMerges:    c.merges.Load(),
+		DegradedSections: c.degraded.Load(),
+	}
+	for _, sc := range c.shards {
+		sc.mu.Lock()
+		hist := stats.Hist{B: sc.lat.B, Counts: append([]int(nil), sc.lat.Counts...)}
+		sc.mu.Unlock()
+		cs.Shards = append(cs.Shards, usaas.ShardStatus{
+			Name:      sc.name,
+			Up:        sc.up.Load(),
+			Fanouts:   sc.fanouts.Load(),
+			Errors:    sc.errs.Load(),
+			LatencyMs: hist,
+		})
+	}
+	return cs
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	writeJSON(w, http.StatusOK, usaas.HealthResponse{Status: "ok"})
+}
+
+// handleReadyz reports ready only when every shard is ready: a coordinator
+// that cannot reach its full fleet would serve refusals, and a load
+// balancer should know before routing to it.
+func (c *Coordinator) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	errs := c.each(func(i int, sc *shardConn) error {
+		return sc.client.Ready(r.Context())
+	})
+	if len(errs) > 0 {
+		writeJSON(w, http.StatusServiceUnavailable, usaas.HealthResponse{Status: "not ready", Error: errs[0].String()})
+		return
+	}
+	writeJSON(w, http.StatusOK, usaas.HealthResponse{Status: "ready"})
+}
+
+// --- scatter-gather queries ---
+
+func sectionsQuery(sections string) url.Values {
+	return url.Values{"sections": {sections}}
+}
+
+// zeroNaNs mirrors the usaas service's NaN scrubbing for JSON.
+func zeroNaNs(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		if x == x { // !NaN
+			out[i] = x
+		}
+	}
+	return out
+}
+
+func (c *Coordinator) handleEngagement(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	metric, err := parseMetric(r.URL.Query().Get("metric"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	eng, err := parseEngagement(r.URL.Query().Get("engagement"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	f := formOf(r)
+	lo := f.float("lo", 0)
+	hi := f.float("hi", 300)
+	bins := f.int("bins", 10)
+	if f.reject(w) {
+		return
+	}
+	if hi <= lo || bins < 1 || bins > 1000 {
+		writeErr(w, http.StatusBadRequest, "invalid binning lo=%v hi=%v bins=%d", lo, hi, bins)
+		return
+	}
+	q := sectionsQuery(usaas.SectionDose)
+	q.Set("metric", metric.String())
+	q.Set("engagement", eng.String())
+	q.Set("lo", fmt.Sprint(lo))
+	q.Set("hi", fmt.Sprint(hi))
+	q.Set("bins", fmt.Sprint(bins))
+	if isp := r.URL.Query().Get("isp"); isp != "" {
+		q.Set("isp", isp)
+	}
+	bundles, errs := c.gatherPartials(r.Context(), q)
+	if c.refuse(w, errs) {
+		return
+	}
+	parts := make([][]usaas.DoseDayPartial, 0, len(bundles))
+	for _, b := range bundles {
+		parts = append(parts, b.Dose)
+	}
+	series, err := usaas.MergeDosePartials(stats.Binner{Lo: lo, Hi: hi, NBins: bins}, parts)
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	norm := usaas.Normalize100(series)
+	writeJSON(w, http.StatusOK, usaas.EngagementResponse{
+		Metric:     metric.String(),
+		Engagement: eng.String(),
+		X:          series.X,
+		Y:          zeroNaNs(series.Y),
+		Normalized: zeroNaNs(norm.Y),
+		Count:      series.Count,
+	})
+}
+
+// gatherSessions fetches the day-major rated subsequence and cluster
+// session count.
+func (c *Coordinator) gatherSessions(ctx context.Context) (rated []telemetry.SessionRecord, total int, errs []shardErr) {
+	bundles, errs := c.gatherPartials(ctx, sectionsQuery(usaas.SectionSessions))
+	if len(errs) > 0 {
+		return nil, 0, errs
+	}
+	parts := make([][]telemetry.SessionRecord, 0, len(bundles))
+	for _, b := range bundles {
+		total += b.Sessions
+		parts = append(parts, b.Rated)
+	}
+	return usaas.MergeRated(parts), total, nil
+}
+
+func (c *Coordinator) handleMOS(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	f := formOf(r)
+	bins := f.int("bins", 10)
+	if f.reject(w) {
+		return
+	}
+	rated, total, errs := c.gatherSessions(r.Context())
+	if c.refuse(w, errs) {
+		return
+	}
+	resp, err := usaas.MOSFromRated(rated, total, bins)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// gatherSocial fetches the social partial bundles; ok is false (and a 404
+// matching the single-node "no posts ingested" has been written) when no
+// shard holds posts.
+func (c *Coordinator) gatherSocial(w http.ResponseWriter, r *http.Request, sections string) ([]*usaas.ShardPartials, timeline.Range, bool) {
+	bundles, errs := c.gatherPartials(r.Context(), sectionsQuery(sections))
+	if c.refuse(w, errs) {
+		return nil, timeline.Range{}, false
+	}
+	window, have := usaas.SocialWindow(bundles)
+	if !have {
+		writeErr(w, http.StatusNotFound, "no posts ingested")
+		return nil, timeline.Range{}, false
+	}
+	return bundles, window, true
+}
+
+func socialParts(bundles []*usaas.ShardPartials) (sent [][]usaas.DaySentiment, kw [][]usaas.DayKeywords, clouds [][]usaas.DayCloud, terms [][]usaas.TermPartial) {
+	for _, b := range bundles {
+		if b == nil || !b.HavePosts {
+			continue
+		}
+		sent = append(sent, b.Sentiment)
+		kw = append(kw, b.Keywords)
+		clouds = append(clouds, b.Clouds)
+		terms = append(terms, b.Terms)
+	}
+	return
+}
+
+func (c *Coordinator) handleSentiment(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	bundles, window, ok := c.gatherSocial(w, r, usaas.SectionSocial)
+	if !ok {
+		return
+	}
+	sent, _, _, _ := socialParts(bundles)
+	writeJSON(w, http.StatusOK, usaas.MergeSentiment(window, sent))
+}
+
+func (c *Coordinator) handlePeaks(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	f := formOf(r)
+	k := f.int("k", 3)
+	if f.reject(w) {
+		return
+	}
+	if k < 1 || k > 50 {
+		writeErr(w, http.StatusBadRequest, "k out of range")
+		return
+	}
+	bundles, window, ok := c.gatherSocial(w, r, usaas.SectionSocial)
+	if !ok {
+		return
+	}
+	sent, _, clouds, _ := socialParts(bundles)
+	daily := usaas.MergeSentiment(window, sent)
+	writeJSON(w, http.StatusOK, usaas.MergePeaks(daily, usaas.MergeClouds(clouds), c.opts.News, k))
+}
+
+func (c *Coordinator) handleOutages(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	f := formOf(r)
+	threshold := f.int("threshold", 0)
+	if f.reject(w) {
+		return
+	}
+	bundles, window, ok := c.gatherSocial(w, r, usaas.SectionSocial)
+	if !ok {
+		return
+	}
+	_, kw, _, _ := socialParts(bundles)
+	series := usaas.MergeKeywords(window, kw)
+	if threshold > 0 {
+		writeJSON(w, http.StatusOK, usaas.AlertsFromSeries(series, threshold))
+		return
+	}
+	writeJSON(w, http.StatusOK, series)
+}
+
+func (c *Coordinator) handleSpeeds(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	bundles, window, ok := c.gatherSocial(w, r, usaas.SectionSpeeds)
+	if !ok {
+		return
+	}
+	var parts [][]usaas.SpeedMonthPartial
+	for _, b := range bundles {
+		if b != nil && b.HavePosts {
+			parts = append(parts, b.Speeds)
+		}
+	}
+	writeJSON(w, http.StatusOK, usaas.MergeSpeeds(window, parts, c.opts.Model, 1))
+}
+
+func (c *Coordinator) handleTrends(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	bundles, window, ok := c.gatherSocial(w, r, usaas.SectionSocial)
+	if !ok {
+		return
+	}
+	_, _, _, terms := socialParts(bundles)
+	writeJSON(w, http.StatusOK, usaas.MergeTrends(window, terms, usaas.TrendOptions{}))
+}
+
+func (c *Coordinator) handleExperience(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	isp := r.URL.Query().Get("isp")
+	if isp == "" {
+		writeErr(w, http.StatusBadRequest, "isp parameter required")
+		return
+	}
+	q := sectionsQuery(usaas.SectionSessions + "," + usaas.SectionExperience)
+	q.Set("isp", isp)
+	bundles, errs := c.gatherPartials(r.Context(), q)
+	if c.refuse(w, errs) {
+		return
+	}
+	var ratedParts [][]telemetry.SessionRecord
+	var expParts []*usaas.ExperiencePartial
+	expSessions := 0
+	for _, b := range bundles {
+		ratedParts = append(ratedParts, b.Rated)
+		expParts = append(expParts, b.Experience)
+		if b.Experience != nil {
+			expSessions += b.Experience.Sessions
+		}
+	}
+	if expSessions == 0 {
+		writeErr(w, http.StatusNotFound, "no sessions for isp %q", isp)
+		return
+	}
+	var predicted [][]usaas.DayOnlinePartial
+	if p, err := usaas.TrainMOSPredictor(usaas.MergeRated(ratedParts), 1.0); err == nil {
+		mps, err := c.gatherModelPartials(r.Context(), usaas.ModelPartialsRequest{
+			Model:    *p.Model(),
+			ISP:      isp,
+			Sections: []string{usaas.ModelSectionExperience},
+		})
+		if err != nil {
+			writeErr(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		for _, mp := range mps {
+			predicted = append(predicted, mp.Predicted)
+		}
+	}
+	writeJSON(w, http.StatusOK, usaas.MergeExperience(isp, expParts, predicted))
+}
+
+func (c *Coordinator) handleConfounders(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	eng, err := parseEngagement(r.URL.Query().Get("engagement"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	q := sectionsQuery(usaas.SectionConfounders)
+	q.Set("engagement", eng.String())
+	bundles, errs := c.gatherPartials(r.Context(), q)
+	if c.refuse(w, errs) {
+		return
+	}
+	parts := make([][]usaas.ConfounderDayPartial, 0, len(bundles))
+	for _, b := range bundles {
+		parts = append(parts, b.Confounders)
+	}
+	effects, err := usaas.MergeConfounders(parts)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, effects)
+}
+
+func (c *Coordinator) handleTEAdvice(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	rated, total, errs := c.gatherSessions(r.Context())
+	if c.refuse(w, errs) {
+		return
+	}
+	if total == 0 {
+		writeErr(w, http.StatusUnprocessableEntity, "usaas: no sessions to advise on")
+		return
+	}
+	p, err := usaas.TrainMOSPredictor(rated, 1.0)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "usaas: traffic-engineering advisor: %v", err)
+		return
+	}
+	mps, err := c.gatherModelPartials(r.Context(), usaas.ModelPartialsRequest{
+		Model:    *p.Model(),
+		Sections: []string{usaas.ModelSectionTE},
+	})
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	parts := make([][]usaas.TEDayPartial, 0, len(mps))
+	for _, mp := range mps {
+		parts = append(parts, mp.TE)
+	}
+	writeJSON(w, http.StatusOK, usaas.MergeTE(total, parts))
+}
+
+// handleDeploymentAdvice serves locally: the launch planner consults only
+// the constellation model, no store state.
+func (c *Coordinator) handleDeploymentAdvice(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	f := formOf(r)
+	from := timeline.Day(f.int("from", int(timeline.Date(2022, 6, 1))))
+	horizon := timeline.Day(f.int("horizon", int(timeline.Date(2022, 12, 1))))
+	maxExtra := f.int("max", 8)
+	sats := f.int("sats", 50)
+	target := f.float("target", 0)
+	if f.reject(w) {
+		return
+	}
+	if c.opts.Model == nil {
+		writeErr(w, http.StatusNotFound, "no constellation model configured")
+		return
+	}
+	advice, err := usaas.AdviseDeployment(c.opts.Model, from, horizon, maxExtra, sats, target)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, advice)
+}
+
+func (c *Coordinator) handleIncidents(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	eng, err := parseEngagement(r.URL.Query().Get("engagement"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	f := formOf(r)
+	minDrop := f.float("min_drop", 0)
+	if f.reject(w) {
+		return
+	}
+	bundles, errs := c.gatherPartials(r.Context(), sectionsQuery(usaas.SectionDaily))
+	if c.refuse(w, errs) {
+		return
+	}
+	parts := make([][]usaas.DayEngagement, 0, len(bundles))
+	for _, b := range bundles {
+		parts = append(parts, b.Daily)
+	}
+	days := usaas.MergeDaily(parts)
+	if len(days) == 0 {
+		writeErr(w, http.StatusNotFound, "no sessions ingested")
+		return
+	}
+	incidents := usaas.EngagementIncidents(days, eng, usaas.IncidentOptions{MinDrop: minDrop})
+	writeJSON(w, http.StatusOK, usaas.IncidentResponse{
+		Engagement: eng.String(), Days: days, Incidents: incidents,
+	})
+}
+
+// reportSections are every section name buildReportFrom can attach notes
+// to, in guard-chain order. A dead shard during the report scatter taints
+// all of them — the data it held could have fed any section.
+var reportSections = []string{
+	"sessions", "engagement-drops", "mos-correlations", "mos-predictor",
+	"traffic-engineering", "posts", "social-sweep", "sentiment-peaks",
+	"outage-monitor", "trends", "speeds",
+}
+
+// handleReport is the scatter-gather report: one partials fan-out covering
+// the report's sections, merged through the exact guard chain BuildReport
+// uses. Shards that fail mid-scatter degrade per section — the report
+// still lands with explicit notes naming the shard, never silently
+// missing its days.
+func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	sections := strings.Join([]string{
+		usaas.SectionSessions, usaas.SectionDrops, usaas.SectionSocial, usaas.SectionSpeeds,
+	}, ",")
+	bundles, errs := c.gatherPartials(r.Context(), sectionsQuery(sections))
+	notes := map[string][]string{}
+	for _, e := range errs {
+		for _, sec := range reportSections {
+			notes[sec] = append(notes[sec], fmt.Sprintf("%s: %s", sec, e))
+		}
+	}
+	if len(errs) > 0 {
+		c.degraded.Add(uint64(len(errs)))
+	}
+	rep := usaas.AssembleClusterReport(usaas.ClusterReportInput{
+		Bundles: bundles,
+		Notes:   notes,
+		News:    c.opts.News,
+		Model:   c.opts.Model,
+		TEPartials: func(model stats.LinearModel) ([][]usaas.TEDayPartial, error) {
+			mps, err := c.gatherModelPartials(r.Context(), usaas.ModelPartialsRequest{
+				Model:    model,
+				Sections: []string{usaas.ModelSectionTE},
+			})
+			if err != nil {
+				return nil, err
+			}
+			parts := make([][]usaas.TEDayPartial, 0, len(mps))
+			for _, mp := range mps {
+				parts = append(parts, mp.TE)
+			}
+			return parts, nil
+		},
+	})
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, rep.Render())
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}

@@ -1,0 +1,123 @@
+// Package cluster shards the USaaS store horizontally: a deterministic
+// version-stamped partition map routes ingest batches to shards by
+// calendar day, and a scatter-gather coordinator fans queries out,
+// collecting mergeable per-day accumulator state (usaas partials) and
+// folding it in canonical ascending-day order, so an N-shard cluster
+// answers every query byte-identically to a single node fed the same
+// batches.
+//
+// The partition unit is the calendar day — telemetry.SessionRecord routes
+// by DayOf(Start), social.Post by Day — because every analysis in the
+// store is (or was refactored to be) a per-day partial plus a strict
+// ascending-day fold. A day living wholly on one shard means no float is
+// ever summed across shards, which is what makes the merge exact rather
+// than approximately correct.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"usersignals/internal/social"
+	"usersignals/internal/telemetry"
+	"usersignals/internal/timeline"
+)
+
+// Shard is one partition: a name plus one or more endpoints. Multiple
+// endpoints mean a replicated pair (leader + follower); the coordinator's
+// usaas.Client fails over between them and follows write redirects.
+type Shard struct {
+	Name      string   `json:"name"`
+	Endpoints []string `json:"endpoints"`
+}
+
+// Map is the versioned partition map. Routing depends only on (Version,
+// day, len(Shards)), so every coordinator and every routing client holding
+// the same map agrees on where each day lives; bumping Version reshuffles
+// deterministically.
+type Map struct {
+	Version uint64  `json:"version"`
+	Shards  []Shard `json:"shards"`
+}
+
+// ShardOf returns the index of the shard owning day d: a stable FNV-1a
+// hash of the version-stamped day key. Stable across processes and runs —
+// never Go map iteration or anything seeded per-process.
+func (m Map) ShardOf(d timeline.Day) int {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "v%d/d%d", m.Version, int(d))
+	return int(h.Sum64() % uint64(len(m.Shards)))
+}
+
+// SubBatchID derives the idempotency key for the slice of a client batch
+// routed to shard idx. Stamping the map version means a re-sent batch
+// after a map change cannot alias a differently-routed earlier slice.
+// Empty parent IDs stay empty (no dedup requested).
+func (m Map) SubBatchID(batchID string, idx int) string {
+	if batchID == "" {
+		return ""
+	}
+	return fmt.Sprintf("%s@v%d/s%d", batchID, m.Version, idx)
+}
+
+// SplitSessions partitions a session batch by owning shard: groups[i]
+// holds the records whose start day hashes to shard i, in their original
+// relative order (per-shard ingest order therefore matches the single-node
+// order restricted to that shard's days).
+func (m Map) SplitSessions(recs []telemetry.SessionRecord) [][]telemetry.SessionRecord {
+	groups := make([][]telemetry.SessionRecord, len(m.Shards))
+	for _, r := range recs {
+		i := m.ShardOf(timeline.DayOf(r.Start))
+		groups[i] = append(groups[i], r)
+	}
+	return groups
+}
+
+// SplitPosts partitions a post batch by each post's day.
+func (m Map) SplitPosts(posts []social.Post) [][]social.Post {
+	groups := make([][]social.Post, len(m.Shards))
+	for _, p := range posts {
+		i := m.ShardOf(p.Day)
+		groups[i] = append(groups[i], p)
+	}
+	return groups
+}
+
+// ParseShards parses a -shards flag: semicolon-separated shards, each
+// "name=url" or "name=url,url" (replicated pair).
+//
+//	a=http://10.0.0.1:8080;b=http://10.0.0.2:8080,http://10.0.0.3:8080
+func ParseShards(spec string) (Map, error) {
+	m := Map{Version: 1}
+	seen := map[string]bool{}
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, urls, ok := strings.Cut(part, "=")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" {
+			return Map{}, fmt.Errorf("cluster: shard %q: want name=url[,url]", part)
+		}
+		if seen[name] {
+			return Map{}, fmt.Errorf("cluster: duplicate shard name %q", name)
+		}
+		seen[name] = true
+		sh := Shard{Name: name}
+		for _, u := range strings.Split(urls, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				sh.Endpoints = append(sh.Endpoints, u)
+			}
+		}
+		if len(sh.Endpoints) == 0 {
+			return Map{}, fmt.Errorf("cluster: shard %q has no endpoints", name)
+		}
+		m.Shards = append(m.Shards, sh)
+	}
+	if len(m.Shards) == 0 {
+		return Map{}, fmt.Errorf("cluster: no shards in %q", spec)
+	}
+	return m, nil
+}

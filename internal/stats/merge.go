@@ -62,6 +62,37 @@ func (a *BinAcc) Series() BinnedSeries {
 	return s
 }
 
+// BinAccState is the exported wire form of a BinAcc: the binner plus each
+// bin's Welford state, carried verbatim so a reconstructed accumulator
+// merges bit-identically to the original.
+type BinAccState struct {
+	B    Binner        `json:"b"`
+	Accs []OnlineState `json:"accs"`
+}
+
+// State exports the accumulator for transport.
+func (a *BinAcc) State() BinAccState {
+	st := BinAccState{B: a.B, Accs: make([]OnlineState, len(a.Accs))}
+	for i := range a.Accs {
+		st.Accs[i] = a.Accs[i].State()
+	}
+	return st
+}
+
+// BinAccFromState reconstructs an accumulator from exported state. A state
+// whose bin count disagrees with its binner is rejected (a malformed shard
+// must degrade the analysis, not crash the process).
+func BinAccFromState(st BinAccState) (*BinAcc, error) {
+	if len(st.Accs) != st.B.NBins {
+		return nil, fmt.Errorf("stats: BinAccFromState: %d accs for %d bins", len(st.Accs), st.B.NBins)
+	}
+	a := NewBinAcc(st.B)
+	for i := range st.Accs {
+		a.Accs[i] = FromState(st.Accs[i])
+	}
+	return a, nil
+}
+
 // Grid2DAcc accumulates a response over a 2D predictor grid; the mergeable
 // form of BinMeans2D. Create with NewGrid2DAcc.
 type Grid2DAcc struct {

@@ -66,6 +66,31 @@ func (o *Online) Merge(other Online) {
 	}
 }
 
+// OnlineState is the exported wire form of an Online accumulator. Every
+// field of Welford state is carried verbatim, so FromState(o.State())
+// reconstructs an accumulator whose future Adds and Merges are bit-identical
+// to the original's — the property the cross-shard partials protocol relies
+// on (Go's JSON encoder emits the shortest float64 representation that
+// round-trips exactly).
+type OnlineState struct {
+	N    int     `json:"n,omitempty"`
+	Mean float64 `json:"mean,omitempty"`
+	M2   float64 `json:"m2,omitempty"`
+	Min  float64 `json:"min,omitempty"`
+	Max  float64 `json:"max,omitempty"`
+	Sum  float64 `json:"sum,omitempty"`
+}
+
+// State exports the accumulator's internal state for transport.
+func (o *Online) State() OnlineState {
+	return OnlineState{N: o.n, Mean: o.mean, M2: o.m2, Min: o.min, Max: o.max, Sum: o.sum}
+}
+
+// FromState reconstructs an accumulator from exported state.
+func FromState(st OnlineState) Online {
+	return Online{n: st.N, mean: st.Mean, m2: st.M2, min: st.Min, max: st.Max, sum: st.Sum}
+}
+
 // N returns the number of observations.
 func (o *Online) N() int { return o.n }
 

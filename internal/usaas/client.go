@@ -733,3 +733,26 @@ func (c *Client) Experience(ctx context.Context, isp string) (ExperienceResponse
 	err := c.get(ctx, "/v1/query/experience", v, &out)
 	return out, err
 }
+
+// Partials fetches a shard's mergeable accumulator state for the requested
+// sections (the cluster coordinator's scatter half; see partials.go).
+// query carries the sections parameter plus any section-specific options.
+func (c *Client) Partials(ctx context.Context, query url.Values) (ShardPartials, error) {
+	var out ShardPartials
+	err := c.get(ctx, "/v1/partials", query, &out)
+	return out, err
+}
+
+// ModelPartials runs the model phase of a two-phase cluster query: ship the
+// coordinator-trained model, get back per-day partials computed under it.
+func (c *Client) ModelPartials(ctx context.Context, req ModelPartialsRequest) (ModelPartials, error) {
+	var out ModelPartials
+	err := c.post(ctx, "/v1/partials/model", "", req, &out)
+	return out, err
+}
+
+// Ready probes /v1/readyz; a nil error means the service reported ready.
+func (c *Client) Ready(ctx context.Context) error {
+	var out HealthResponse
+	return c.get(ctx, "/v1/readyz", nil, &out)
+}

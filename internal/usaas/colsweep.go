@@ -51,7 +51,7 @@ func (s *Store) DoseResponseSpec(metric telemetry.Metric, eng telemetry.Engageme
 			return series, err
 		}
 	}
-	return DoseResponseN(s.SessionsShared(), metric, eng, b, specFilter(spec), workers)
+	return doseResponseRows(s.Rows(), metric, eng, b, specFilter(spec), workers)
 }
 
 // CompoundingSpec is CompoundingN with the same columnar-first contract as
@@ -62,7 +62,7 @@ func (s *Store) CompoundingSpec(xMetric, yMetric telemetry.Metric, eng telemetry
 			return grid, err
 		}
 	}
-	return CompoundingN(s.SessionsShared(), xMetric, yMetric, eng, xb, yb, specFilter(spec), workers)
+	return compoundingRows(s.Rows(), xMetric, yMetric, eng, xb, yb, specFilter(spec), workers)
 }
 
 // ByPlatformSpec is ByPlatformN with the same columnar-first contract as
@@ -73,7 +73,7 @@ func (s *Store) ByPlatformSpec(metric telemetry.Metric, eng telemetry.Engagement
 			return out, err
 		}
 	}
-	return ByPlatformN(s.SessionsShared(), metric, eng, b, specFilter(spec), workers)
+	return byPlatformRows(s.Rows(), metric, eng, b, specFilter(spec), workers)
 }
 
 // ByMeetingSizeSpec is ByMeetingSizeN with the same columnar-first contract
@@ -84,7 +84,7 @@ func (s *Store) ByMeetingSizeSpec(metric telemetry.Metric, eng telemetry.Engagem
 			return out, err
 		}
 	}
-	return ByMeetingSizeN(s.SessionsShared(), metric, eng, b, buckets, specFilter(spec), workers)
+	return byMeetingSizeRows(s.Rows(), metric, eng, b, buckets, specFilter(spec), workers)
 }
 
 // DoseResponseCols is DoseResponseN over the columnar mirror. Byte-identical

@@ -211,7 +211,7 @@ func BenchmarkColumnarFold(b *testing.B) {
 			b.StartTimer()
 		}
 		s.sessMu.Lock()
-		s.sessions = append(s.sessions, recs[lo:lo+batch]...)
+		s.sessions.append(recs[lo : lo+batch])
 		s.appendColumnar(recs[lo : lo+batch])
 		s.sessMu.Unlock()
 		i++

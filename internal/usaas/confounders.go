@@ -8,6 +8,7 @@ import (
 	"usersignals/internal/parallel"
 	"usersignals/internal/stats"
 	"usersignals/internal/telemetry"
+	"usersignals/internal/timeline"
 )
 
 // This file implements the §6 "Are networks to blame always?" analysis: a
@@ -89,6 +90,57 @@ func ByMeetingSizeN(records []telemetry.SessionRecord, metric telemetry.Metric, 
 	return out, nil
 }
 
+// byMeetingSizeRows is ByMeetingSizeN over a chunked row snapshot; see
+// doseResponseRows for the equivalence argument.
+func byMeetingSizeRows(rows Rows, metric telemetry.Metric, eng telemetry.Engagement, b stats.Binner, buckets []SizeBucket, filter telemetry.Filter, workers int) (map[string]stats.BinnedSeries, error) {
+	if len(buckets) == 0 {
+		buckets = DefaultSizeBuckets()
+	}
+	mf, ef := metric.Accessor(), eng.Accessor()
+	shards, err := parallel.Map(workers, parallel.Chunks(rows.Len()), func(i int) ([]*stats.BinAcc, error) {
+		lo, hi := parallel.ChunkBounds(i, rows.Len())
+		records := rows.Chunk(lo, hi)
+		accs := make([]*stats.BinAcc, len(buckets))
+		for j := range records {
+			r := &records[j]
+			if filter != nil && !filter(r) {
+				continue
+			}
+			for k, bk := range buckets {
+				if r.MeetingSize >= bk.Lo && r.MeetingSize <= bk.Hi {
+					if accs[k] == nil {
+						accs[k] = stats.NewBinAcc(b)
+					}
+					accs[k].Add(mf(&r.Net), ef(r))
+					break
+				}
+			}
+		}
+		return accs, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("usaas: meeting-size strata: %w", err)
+	}
+	out := make(map[string]stats.BinnedSeries, len(buckets))
+	for k, bk := range buckets {
+		var total *stats.BinAcc
+		for _, shard := range shards {
+			if shard[k] == nil {
+				continue
+			}
+			if total == nil {
+				total = shard[k]
+			} else if err := total.Merge(shard[k]); err != nil {
+				return nil, fmt.Errorf("usaas: meeting-size strata: %w", err)
+			}
+		}
+		if total != nil {
+			out[bk.Name] = total.Series()
+		}
+	}
+	return out, nil
+}
+
 // ConfounderEffect quantifies one confounder's marginal impact on an
 // engagement metric, holding network conditions in the control bands.
 type ConfounderEffect struct {
@@ -101,48 +153,113 @@ type ConfounderEffect struct {
 	Spread float64
 }
 
-// ConfounderReport measures platform and meeting-size effects on one
-// engagement metric with every network metric held in the §3.2 control
-// bands, so the network cannot be the explanation.
-func ConfounderReport(records []telemetry.SessionRecord, eng telemetry.Engagement) ([]ConfounderEffect, error) {
-	controlled := telemetry.AllControlBands()
-	var inBand []telemetry.SessionRecord
-	for i := range records {
-		if controlled(&records[i]) {
-			inBand = append(inBand, records[i])
-		}
-	}
-	if len(inBand) < 20 {
-		return nil, fmt.Errorf("usaas: only %d sessions inside the control bands", len(inBand))
-	}
+// ConfounderDayPartial carries one calendar day's confounder accumulator
+// state: in-band session count plus per-level Welford state for the platform
+// and meeting-size strata. Days are the cluster's partition unit — a day's
+// sessions always live on one shard — so a shard's partials are exact, and
+// assembleConfounders' ascending-day fold reproduces the single-store answer
+// byte for byte.
+type ConfounderDayPartial struct {
+	Day      timeline.Day                 `json:"day"`
+	InBand   int                          `json:"in_band"`
+	Platform map[string]stats.OnlineState `json:"platform,omitempty"`
+	Size     map[string]stats.OnlineState `json:"size,omitempty"`
+}
 
-	platform := ConfounderEffect{Confounder: "platform", Levels: map[string]float64{}}
-	size := ConfounderEffect{Confounder: "meeting-size", Levels: map[string]float64{}}
-	platAcc := map[string]*stats.Online{}
-	sizeAcc := map[string]*stats.Online{}
+// confounderDayPartials folds the row snapshot into per-day partials for one
+// engagement metric, accumulating each day's in-band sessions in arrival
+// order. Returned partials are sorted ascending by day.
+func confounderDayPartials(rows Rows, eng telemetry.Engagement) []ConfounderDayPartial {
+	type dayAccs struct {
+		inBand int
+		plat   map[string]*stats.Online
+		size   map[string]*stats.Online
+	}
+	controlled := telemetry.AllControlBands()
 	buckets := DefaultSizeBuckets()
 	ef := eng.Accessor()
-	for i := range inBand {
-		r := &inBand[i]
+	days := map[timeline.Day]*dayAccs{}
+	rows.Each(0, rows.Len(), func(r *telemetry.SessionRecord) {
+		if !controlled(r) {
+			return
+		}
+		d := timeline.DayOf(r.Start)
+		da := days[d]
+		if da == nil {
+			da = &dayAccs{plat: map[string]*stats.Online{}, size: map[string]*stats.Online{}}
+			days[d] = da
+		}
+		da.inBand++
 		v := ef(r)
-		acc := platAcc[r.Platform]
+		acc := da.plat[r.Platform]
 		if acc == nil {
 			acc = &stats.Online{}
-			platAcc[r.Platform] = acc
+			da.plat[r.Platform] = acc
 		}
 		acc.Add(v)
 		for _, bk := range buckets {
 			if r.MeetingSize >= bk.Lo && r.MeetingSize <= bk.Hi {
-				acc := sizeAcc[bk.Name]
+				acc := da.size[bk.Name]
 				if acc == nil {
 					acc = &stats.Online{}
-					sizeAcc[bk.Name] = acc
+					da.size[bk.Name] = acc
 				}
 				acc.Add(v)
 				break
 			}
 		}
+	})
+	keys := make([]timeline.Day, 0, len(days))
+	for d := range days {
+		keys = append(keys, d)
 	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]ConfounderDayPartial, 0, len(keys))
+	for _, d := range keys {
+		da := days[d]
+		p := ConfounderDayPartial{Day: d, InBand: da.inBand,
+			Platform: make(map[string]stats.OnlineState, len(da.plat)),
+			Size:     make(map[string]stats.OnlineState, len(da.size))}
+		for name, acc := range da.plat {
+			p.Platform[name] = acc.State()
+		}
+		for name, acc := range da.size {
+			p.Size[name] = acc.State()
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// assembleConfounders folds day partials (from one store or many shards)
+// into the ConfounderReport answer: per-level accumulators merge strictly
+// ascending by day, then means and spreads are read off. The fold order is
+// canonical, so the answer is a pure function of the ingested records.
+func assembleConfounders(parts []ConfounderDayPartial) ([]ConfounderEffect, error) {
+	sort.Slice(parts, func(i, j int) bool { return parts[i].Day < parts[j].Day })
+	total := 0
+	platAcc := map[string]*stats.Online{}
+	sizeAcc := map[string]*stats.Online{}
+	merge := func(dst map[string]*stats.Online, states map[string]stats.OnlineState) {
+		for name, st := range states {
+			acc := dst[name]
+			if acc == nil {
+				acc = &stats.Online{}
+				dst[name] = acc
+			}
+			acc.Merge(stats.FromState(st))
+		}
+	}
+	for i := range parts {
+		total += parts[i].InBand
+		merge(platAcc, parts[i].Platform)
+		merge(sizeAcc, parts[i].Size)
+	}
+	if total < 20 {
+		return nil, fmt.Errorf("usaas: only %d sessions inside the control bands", total)
+	}
+	platform := ConfounderEffect{Confounder: "platform", Levels: map[string]float64{}}
+	size := ConfounderEffect{Confounder: "meeting-size", Levels: map[string]float64{}}
 	for name, acc := range platAcc {
 		platform.Levels[name] = acc.Mean()
 	}
@@ -152,6 +269,17 @@ func ConfounderReport(records []telemetry.SessionRecord, eng telemetry.Engagemen
 	platform.Spread = levelSpread(platform.Levels)
 	size.Spread = levelSpread(size.Levels)
 	return []ConfounderEffect{platform, size}, nil
+}
+
+// ConfounderReport measures platform and meeting-size effects on one
+// engagement metric with every network metric held in the §3.2 control
+// bands, so the network cannot be the explanation. The computation is the
+// day-partitioned fold assembleConfounders describes — the same one the
+// cluster coordinator runs over shard partials.
+func ConfounderReport(records []telemetry.SessionRecord, eng telemetry.Engagement) ([]ConfounderEffect, error) {
+	var rs rowStore
+	rs.append(records)
+	return assembleConfounders(confounderDayPartials(rs.snapshot(), eng))
 }
 
 func levelSpread(levels map[string]float64) float64 {

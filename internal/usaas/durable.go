@@ -481,8 +481,9 @@ func (d *DurableStore) captureState() (snapState, uint64) {
 	}
 	st := snapState{}
 	s.sessMu.RLock()
-	st.sessions = append([]telemetry.SessionRecord(nil), s.sessions...)
+	snap := s.sessions.snapshot()
 	s.sessMu.RUnlock()
+	st.sessions = snap.AppendTo(make([]telemetry.SessionRecord, 0, snap.Len()))
 	s.postMu.RLock()
 	st.posts = append([]social.Post(nil), s.posts...)
 	s.postMu.RUnlock()
@@ -637,7 +638,7 @@ func (s *Store) restoreSnapshot(sessions []telemetry.SessionRecord, posts []soci
 	s.seqSessions = len(sessions)
 	s.seqPosts = len(posts)
 	s.sessMu.Lock()
-	s.sessions = sessions
+	s.sessions.append(sessions)
 	if len(sessions) > 0 {
 		s.sessGen++
 		s.views.foldSessions(sessions)

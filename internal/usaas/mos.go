@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"usersignals/internal/stats"
 	"usersignals/internal/telemetry"
+	"usersignals/internal/timeline"
 )
 
 // EngagementMOS is the Fig. 4 analysis: for sessions with explicit ratings,
@@ -24,7 +26,13 @@ type EngagementMOS struct {
 	RatedSessions int
 }
 
-// ratedOnly extracts the rated subsequence in record order.
+// ratedOnly extracts the rated subsequence in day-major order: ascending by
+// calendar day of session start, arrival order within a day (the sort is
+// stable). Day-major is the cluster's canonical order — each day's sessions
+// live wholly on one shard, so concatenating shard subsequences ascending by
+// day reproduces exactly this sequence — and every rated-session consumer
+// (correlations, train/test splits, ridge fits) reads it, which is what
+// makes a scatter-gathered answer byte-identical to a single store's.
 func ratedOnly(records []telemetry.SessionRecord) []telemetry.SessionRecord {
 	var rated []telemetry.SessionRecord
 	for i := range records {
@@ -32,7 +40,16 @@ func ratedOnly(records []telemetry.SessionRecord) []telemetry.SessionRecord {
 			rated = append(rated, records[i])
 		}
 	}
+	sortRatedDayMajor(rated)
 	return rated
+}
+
+// sortRatedDayMajor orders rated records ascending by start day, preserving
+// arrival order within each day.
+func sortRatedDayMajor(rated []telemetry.SessionRecord) {
+	sort.SliceStable(rated, func(i, j int) bool {
+		return timeline.DayOf(rated[i].Start) < timeline.DayOf(rated[j].Start)
+	})
 }
 
 // MOSByEngagement computes the Fig. 4 relation for one engagement metric.
@@ -195,6 +212,18 @@ func TrainMOSPredictor(records []telemetry.SessionRecord, lambda float64) (*MOSP
 		return nil, fmt.Errorf("usaas: training MOS predictor: %w", err)
 	}
 	return &MOSPredictor{model: m}, nil
+}
+
+// Model exposes the fitted linear model for transport: the coordinator
+// trains once on the gathered rated sessions and ships the coefficients to
+// every shard, so per-shard predictions use the identical model (Predict
+// clamps, so shipping predictions' inputs — not re-deriving models — is the
+// only way shard math matches single-store math).
+func (p *MOSPredictor) Model() *stats.LinearModel { return p.model }
+
+// NewMOSPredictorFromModel wraps shipped coefficients back into a predictor.
+func NewMOSPredictorFromModel(m *stats.LinearModel) *MOSPredictor {
+	return &MOSPredictor{model: m}
 }
 
 // Predict estimates the 1–5 rating for one session, clamped to the scale.

@@ -1,0 +1,897 @@
+package usaas
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"usersignals/internal/leo"
+	"usersignals/internal/newswire"
+	"usersignals/internal/nlp"
+	"usersignals/internal/social"
+	"usersignals/internal/stats"
+	"usersignals/internal/telemetry"
+	"usersignals/internal/timeline"
+)
+
+// This file is the cluster's partial-state wire format: every analysis the
+// service serves is decomposed into per-calendar-day (or per-month)
+// mergeable accumulator state, exported by each shard over GET /v1/partials
+// and POST /v1/partials/model, and folded back together by the coordinator
+// (internal/cluster). Days are the partition unit — a day's sessions and
+// posts live wholly on one shard — so no float is ever summed across
+// shards: the coordinator concatenates disjoint day rows and folds them
+// strictly ascending by day, exactly the computation a single store runs
+// over the same records. That is what makes an N-shard answer byte-identical
+// to a single node's.
+//
+// Two-phase queries: analyses that apply a trained model to every session
+// (traffic engineering, per-ISP predicted MOS) cannot be merged from
+// independent per-shard models (Predict clamps to [1, 5]; ridge fits are
+// not mergeable). The coordinator therefore first gathers the day-major
+// rated subsequence, trains the one canonical model itself, and ships its
+// coefficients to every shard via POST /v1/partials/model; shards answer
+// with per-day partials computed under that exact model.
+
+// Partial-section names accepted by GET /v1/partials.
+const (
+	SectionSessions    = "sessions"    // session count + day-major rated subsequence
+	SectionDaily       = "daily"       // per-day engagement rows (incidents)
+	SectionDose        = "dose"        // one parameterized dose-response view
+	SectionDrops       = "drops"       // the report's four engagement-drop views
+	SectionConfounders = "confounders" // per-day confounder accumulators
+	SectionSocial      = "social"      // sweep day rows, term weights, clouds
+	SectionSpeeds      = "speeds"      // per-month extracted speed observations
+	SectionExperience  = "experience"  // per-day per-ISP engagement + social counts
+)
+
+// Model-phase section names accepted by POST /v1/partials/model.
+const (
+	ModelSectionTE         = "te"         // per-day traffic-engineering partials
+	ModelSectionExperience = "experience" // per-day predicted-MOS accumulators
+)
+
+// DoseDayPartial is one calendar day's dose-response accumulator state.
+type DoseDayPartial struct {
+	Day  timeline.Day      `json:"day"`
+	Bins stats.BinAccState `json:"bins"`
+}
+
+// DayCloud is one day's top word-cloud unigrams, shipped so the coordinator
+// can annotate sentiment peaks without the posts: each day's posts live
+// wholly on one shard, so the shipped cloud is the one the global corpus
+// would yield.
+type DayCloud struct {
+	Day   timeline.Day    `json:"day"`
+	Words []nlp.WordCount `json:"words"`
+}
+
+// DayWeight is one day's popularity-weighted volume for a mined term.
+type DayWeight struct {
+	Day    timeline.Day `json:"day"`
+	Weight float64      `json:"weight"`
+}
+
+// TermPartial is one mined term's accumulated state. Each (term, day)
+// weight is accumulated wholly on one shard, so coordinator merging unions
+// day rows and int-sums the counts — no float crosses shards.
+type TermPartial struct {
+	Term  string      `json:"term"`
+	Days  []DayWeight `json:"days"`
+	Pos   int         `json:"pos"`
+	Total int         `json:"total"`
+}
+
+// SpeedMonthPartial is one month's OCR-extracted speed observations
+// (parallel arrays, sorted by (day, id) — corpus order) plus the
+// strong-sentiment counts of the posts that carried them.
+type SpeedMonthPartial struct {
+	Month     timeline.Month `json:"month"`
+	Days      []timeline.Day `json:"days,omitempty"`
+	IDs       []uint64       `json:"ids,omitempty"`
+	Downs     []float64      `json:"downs,omitempty"`
+	StrongPos int            `json:"strong_pos,omitempty"`
+	StrongNeg int            `json:"strong_neg,omitempty"`
+}
+
+// ExperienceDayPartial is one calendar day's per-ISP engagement state:
+// Welford accumulators for the engagement means plus exact integer rating
+// sums (MOS is an integer mean, so it ships losslessly).
+type ExperienceDayPartial struct {
+	Day       timeline.Day      `json:"day"`
+	Pres      stats.OnlineState `json:"pres"`
+	Cam       stats.OnlineState `json:"cam"`
+	Mic       stats.OnlineState `json:"mic"`
+	RatingSum int               `json:"rating_sum,omitempty"`
+	RatingN   int               `json:"rating_n,omitempty"`
+}
+
+// DayOnlinePartial is one day's generic Welford accumulator state (used for
+// per-day predicted-MOS accumulation under a shipped model).
+type DayOnlinePartial struct {
+	Day timeline.Day      `json:"day"`
+	Acc stats.OnlineState `json:"acc"`
+}
+
+// ExperiencePartial is one shard's contribution to a per-ISP experience
+// query: per-day engagement accumulators plus whole-corpus social counts
+// (exact integers, order-free).
+type ExperiencePartial struct {
+	Sessions       int                    `json:"sessions"`
+	Days           []ExperienceDayPartial `json:"days,omitempty"`
+	SocialPos      int                    `json:"social_pos,omitempty"`
+	SocialNeg      int                    `json:"social_neg,omitempty"`
+	OutageMentions int                    `json:"outage_mentions,omitempty"`
+}
+
+// ShardPartials is the GET /v1/partials response: the union of every
+// requested section's mergeable state. Absent sections stay zero.
+type ShardPartials struct {
+	Sessions int `json:"sessions"`
+
+	Rated       []telemetry.SessionRecord `json:"rated,omitempty"`
+	Daily       []DayEngagement           `json:"daily,omitempty"`
+	Dose        []DoseDayPartial          `json:"dose,omitempty"`
+	Drops       [][]DoseDayPartial        `json:"drops,omitempty"`
+	Confounders []ConfounderDayPartial    `json:"confounders,omitempty"`
+
+	HavePosts  bool                `json:"have_posts,omitempty"`
+	Posts      int                 `json:"posts,omitempty"`
+	WindowFrom timeline.Day        `json:"window_from,omitempty"`
+	WindowTo   timeline.Day        `json:"window_to,omitempty"`
+	Sentiment  []DaySentiment      `json:"sentiment,omitempty"`
+	Keywords   []DayKeywords       `json:"keywords,omitempty"`
+	Clouds     []DayCloud          `json:"clouds,omitempty"`
+	Terms      []TermPartial       `json:"terms,omitempty"`
+	Speeds     []SpeedMonthPartial `json:"speeds,omitempty"`
+
+	Experience *ExperiencePartial `json:"experience,omitempty"`
+}
+
+// ModelPartialsRequest is the POST /v1/partials/model body: the
+// coordinator-trained model plus which model-phase sections to compute.
+type ModelPartialsRequest struct {
+	Model    stats.LinearModel `json:"model"`
+	ISP      string            `json:"isp,omitempty"`
+	Sections []string          `json:"sections"`
+}
+
+// ModelPartials is the POST /v1/partials/model response.
+type ModelPartials struct {
+	Sessions  int                `json:"sessions"`
+	TE        []TEDayPartial     `json:"te,omitempty"`
+	Predicted []DayOnlinePartial `json:"predicted,omitempty"`
+}
+
+// --- shard-side collectors ---
+
+// dosePartialsFromView snapshots a dose view's per-day accumulators, sorted
+// ascending. Called under sessMu via doseView.
+func dosePartialsFromView(v *engView) []DoseDayPartial {
+	keys := make([]timeline.Day, 0, len(v.days))
+	for d := range v.days {
+		keys = append(keys, d)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]DoseDayPartial, 0, len(keys))
+	for _, d := range keys {
+		out = append(out, DoseDayPartial{Day: d, Bins: v.days[d].State()})
+	}
+	return out
+}
+
+// DosePartials exports the per-day dose-response accumulator state for one
+// parameterization, registering the view on first use.
+func (s *Store) DosePartials(metric telemetry.Metric, eng telemetry.Engagement, b stats.Binner, isp string) []DoseDayPartial {
+	var out []DoseDayPartial
+	s.doseView(engViewKey{metric: metric, eng: eng, b: b, isp: isp}, func(v *engView) {
+		out = dosePartialsFromView(v)
+	})
+	return out
+}
+
+// dropPartials exports the report's four engagement-drop views, indexed by
+// reportDropRanges order.
+func (s *Store) dropPartials() [][]DoseDayPartial {
+	out := make([][]DoseDayPartial, len(reportDropRanges))
+	for i, rr := range reportDropRanges {
+		out[i] = s.DosePartials(rr.metric, telemetry.Presence, stats.NewBinner(rr.lo, rr.hi, 8), "")
+	}
+	return out
+}
+
+// sweepPartials runs the fused sweep accumulation and exports its products
+// in wire form: day rows that carry data (the coordinator zero-fills the
+// rest of the global window), per-day word clouds for days with posts, and
+// the term-weight union.
+func sweepPartials(c *social.Corpus, an *nlp.Analyzer, dict *nlp.Dictionary) (sent []DaySentiment, kw []DayKeywords, clouds []DayCloud, termsOut []TermPartial) {
+	topts := TrendOptions{}
+	sentAll, kwAll, terms := sweepAccumulate(c, an, SweepOptions{
+		Sentiment: true, Dict: dict, Gate: true, Trends: &topts,
+	})
+	for _, ds := range sentAll {
+		if ds.Posts > 0 {
+			sent = append(sent, ds)
+			clouds = append(clouds, DayCloud{Day: ds.Day, Words: dayWordCloud(c, ds.Day, 12)})
+		}
+	}
+	for _, dk := range kwAll {
+		if dk.Count > 0 {
+			kw = append(kw, dk)
+		}
+	}
+	names := make([]string, 0, len(terms))
+	for term := range terms {
+		names = append(names, term)
+	}
+	sort.Strings(names)
+	for _, term := range names {
+		td := terms[term]
+		tp := TermPartial{Term: term, Pos: td.pos, Total: td.total}
+		days := make([]timeline.Day, 0, len(td.weight))
+		for d := range td.weight {
+			days = append(days, d)
+		}
+		sort.Slice(days, func(i, j int) bool { return days[i] < days[j] })
+		for _, d := range days {
+			tp.Days = append(tp.Days, DayWeight{Day: d, Weight: td.weight[d]})
+		}
+		termsOut = append(termsOut, tp)
+	}
+	return sent, kw, clouds, termsOut
+}
+
+// speedPartials exports the per-month speed observations in corpus order
+// with their strong-sentiment counts. Returns nil when no posts exist.
+func (s *Store) speedPartials(an *nlp.Analyzer) []SpeedMonthPartial {
+	mo, ok := s.speedObsByMonth()
+	if !ok {
+		return nil
+	}
+	months := make([]timeline.Month, 0, len(mo.months))
+	for m := range mo.months {
+		months = append(months, m)
+	}
+	sort.Slice(months, func(i, j int) bool { return months[i] < months[j] })
+	out := make([]SpeedMonthPartial, 0, len(months))
+	for _, m := range months {
+		obs := mo.months[m]
+		if len(obs) == 0 {
+			continue
+		}
+		_, pos, neg := scoreMonthObs(an, mo.posts, obs)
+		sp := SpeedMonthPartial{Month: m, StrongPos: pos, StrongNeg: neg}
+		for _, ob := range obs {
+			sp.Days = append(sp.Days, ob.day)
+			sp.IDs = append(sp.IDs, ob.id)
+			sp.Downs = append(sp.Downs, ob.down)
+		}
+		out = append(out, sp)
+	}
+	return out
+}
+
+// experienceDayPartials folds the rows with the given ISP into per-day
+// engagement accumulators (arrival order within each day), sorted ascending.
+func experienceDayPartials(rows Rows, isp string) (int, []ExperienceDayPartial) {
+	type dayExp struct {
+		pres, cam, mic stats.Online
+		ratingSum      int
+		ratingN        int
+	}
+	days := map[timeline.Day]*dayExp{}
+	sessions := 0
+	rows.Each(0, rows.Len(), func(r *telemetry.SessionRecord) {
+		if r.ISP != isp {
+			return
+		}
+		sessions++
+		d := timeline.DayOf(r.Start)
+		de := days[d]
+		if de == nil {
+			de = &dayExp{}
+			days[d] = de
+		}
+		de.pres.Add(r.PresencePct)
+		de.cam.Add(r.CamOnPct)
+		de.mic.Add(r.MicOnPct)
+		if r.Rated {
+			de.ratingSum += r.Rating
+			de.ratingN++
+		}
+	})
+	keys := make([]timeline.Day, 0, len(days))
+	for d := range days {
+		keys = append(keys, d)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]ExperienceDayPartial, 0, len(keys))
+	for _, d := range keys {
+		de := days[d]
+		out = append(out, ExperienceDayPartial{
+			Day: d, Pres: de.pres.State(), Cam: de.cam.State(), Mic: de.mic.State(),
+			RatingSum: de.ratingSum, RatingN: de.ratingN,
+		})
+	}
+	return sessions, out
+}
+
+// experienceSocial scans a corpus for the experience query's social counts:
+// strong-sentiment balance and negative-gated outage mentions. All integers,
+// so shard sums are exact.
+func experienceSocial(c *social.Corpus, an *nlp.Analyzer, dict *nlp.Dictionary) (pos, neg, outage int) {
+	tc := c.Tokens()
+	scorer := an.CompileScorer(tc.Interner())
+	matcher := dict.CompileMatcher(tc.Interner())
+	for i := range c.Posts {
+		sc := scorer.Score(tc.Text(i))
+		if sc.StrongPositive() {
+			pos++
+		}
+		if sc.StrongNegative() {
+			neg++
+		}
+		if sc.Negative > sc.Positive && matcher.Matches(tc.Thread(i)) {
+			outage++
+		}
+	}
+	return pos, neg, outage
+}
+
+// experiencePartial builds one shard's experience contribution.
+func (s *Server) experiencePartial(isp string) *ExperiencePartial {
+	sessions, days := experienceDayPartials(s.store.Rows(), isp)
+	p := &ExperiencePartial{Sessions: sessions, Days: days}
+	if c := s.store.Corpus(); c != nil {
+		p.SocialPos, p.SocialNeg, p.OutageMentions = experienceSocial(c, s.opts.Analyzer, s.opts.OutageDict)
+	}
+	return p
+}
+
+// predictedDayPartials folds per-day Welford accumulators of the shipped
+// model's predictions over the ISP's sessions (arrival order within a day),
+// sorted ascending.
+func predictedDayPartials(p *MOSPredictor, rows Rows, isp string) []DayOnlinePartial {
+	days := map[timeline.Day]*stats.Online{}
+	rows.Each(0, rows.Len(), func(r *telemetry.SessionRecord) {
+		if isp != "" && r.ISP != isp {
+			return
+		}
+		d := timeline.DayOf(r.Start)
+		acc := days[d]
+		if acc == nil {
+			acc = &stats.Online{}
+			days[d] = acc
+		}
+		acc.Add(p.Predict(r))
+	})
+	keys := make([]timeline.Day, 0, len(days))
+	for d := range days {
+		keys = append(keys, d)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]DayOnlinePartial, 0, len(keys))
+	for _, d := range keys {
+		out = append(out, DayOnlinePartial{Day: d, Acc: days[d].State()})
+	}
+	return out
+}
+
+// CollectPartials builds the GET /v1/partials response for the requested
+// sections. Returns an error for unknown sections or missing parameters —
+// version skew between coordinator and shard must be loud, not silent.
+func (s *Server) CollectPartials(sections []string, doseKey *engViewKey, confEng telemetry.Engagement, isp string) (*ShardPartials, error) {
+	out := &ShardPartials{}
+	_, out.Sessions = s.store.RatedSessions()
+	for _, section := range sections {
+		switch section {
+		case SectionSessions:
+			out.Rated, out.Sessions = s.store.RatedSessions()
+		case SectionDaily:
+			out.Daily = s.store.DailyEngagementView()
+		case SectionDose:
+			if doseKey == nil {
+				return nil, fmt.Errorf("section %q requires metric/engagement/bin parameters", SectionDose)
+			}
+			out.Dose = s.store.DosePartials(doseKey.metric, doseKey.eng, doseKey.b, doseKey.isp)
+		case SectionDrops:
+			out.Drops = s.store.dropPartials()
+		case SectionConfounders:
+			out.Confounders = confounderDayPartials(s.store.Rows(), confEng)
+		case SectionSocial:
+			if c := s.store.Corpus(); c != nil {
+				out.HavePosts = true
+				out.Posts = c.Len()
+				out.WindowFrom, out.WindowTo = c.Window.From, c.Window.To
+				out.Sentiment, out.Keywords, out.Clouds, out.Terms = sweepPartials(c, s.opts.Analyzer, s.opts.OutageDict)
+			}
+		case SectionSpeeds:
+			if c := s.store.Corpus(); c != nil {
+				out.HavePosts = true
+				out.Posts = c.Len()
+				out.WindowFrom, out.WindowTo = c.Window.From, c.Window.To
+			}
+			out.Speeds = s.store.speedPartials(s.opts.Analyzer)
+		case SectionExperience:
+			if isp == "" {
+				return nil, fmt.Errorf("section %q requires the isp parameter", SectionExperience)
+			}
+			out.Experience = s.experiencePartial(isp)
+		default:
+			return nil, fmt.Errorf("unknown partials section %q", section)
+		}
+	}
+	return out, nil
+}
+
+// CollectModelPartials builds the POST /v1/partials/model response: per-day
+// partials computed under the shipped model.
+func (s *Server) CollectModelPartials(req ModelPartialsRequest) (*ModelPartials, error) {
+	model := req.Model
+	p := NewMOSPredictorFromModel(&model)
+	rows := s.store.Rows()
+	out := &ModelPartials{Sessions: rows.Len()}
+	for _, section := range req.Sections {
+		switch section {
+		case ModelSectionTE:
+			out.TE = teDayPartials(p, rows)
+		case ModelSectionExperience:
+			out.Predicted = predictedDayPartials(p, rows, req.ISP)
+		default:
+			return nil, fmt.Errorf("unknown model-partials section %q", section)
+		}
+	}
+	return out, nil
+}
+
+// --- coordinator-side merge/assemble ---
+
+// MergeRated merges shards' day-major rated subsequences into the global
+// day-major order. Shards hold disjoint day sets, so a stable day sort of
+// the concatenation reproduces a single store's subsequence exactly.
+func MergeRated(parts [][]telemetry.SessionRecord) []telemetry.SessionRecord {
+	var n int
+	for _, p := range parts {
+		n += len(p)
+	}
+	merged := make([]telemetry.SessionRecord, 0, n)
+	for _, p := range parts {
+		merged = append(merged, p...)
+	}
+	sortRatedDayMajor(merged)
+	return merged
+}
+
+// MergeDaily merges shards' per-day engagement rows (disjoint day sets)
+// into the global ascending series.
+func MergeDaily(parts [][]DayEngagement) []DayEngagement {
+	var merged []DayEngagement
+	for _, p := range parts {
+		merged = append(merged, p...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].Day < merged[j].Day })
+	return merged
+}
+
+// MergeDosePartials folds shards' per-day dose accumulators into the final
+// series: day states union (each day lives on one shard), then fold
+// strictly ascending — the DoseResponseDaily computation.
+func MergeDosePartials(b stats.Binner, parts [][]DoseDayPartial) (stats.BinnedSeries, error) {
+	days := dayBins{}
+	for _, part := range parts {
+		for _, dp := range part {
+			acc, err := stats.BinAccFromState(dp.Bins)
+			if err != nil {
+				return stats.BinnedSeries{}, fmt.Errorf("usaas: dose partial day %v: %w", dp.Day, err)
+			}
+			if prev := days[dp.Day]; prev != nil {
+				// A day shared across shards means the partition map was
+				// violated; merging keeps the fold well-defined anyway.
+				if err := prev.Merge(acc); err != nil {
+					return stats.BinnedSeries{}, fmt.Errorf("usaas: dose partial day %v: %w", dp.Day, err)
+				}
+			} else {
+				days[dp.Day] = acc
+			}
+		}
+	}
+	return foldDayBins(b, days).Series(), nil
+}
+
+// MergeConfounders assembles the confounder report from shards' day
+// partials (assembleConfounders' canonical ascending fold).
+func MergeConfounders(parts [][]ConfounderDayPartial) ([]ConfounderEffect, error) {
+	var merged []ConfounderDayPartial
+	for _, p := range parts {
+		merged = append(merged, p...)
+	}
+	return assembleConfounders(merged)
+}
+
+// MergeTE assembles the traffic-engineering recommendations from shards'
+// model-phase day partials; total is the cluster-wide session count.
+func MergeTE(total int, parts [][]TEDayPartial) []TERecommendation {
+	var merged []TEDayPartial
+	for _, p := range parts {
+		merged = append(merged, p...)
+	}
+	return assembleTE(total, merged)
+}
+
+// SocialWindow computes the global corpus window across shard bundles.
+// ok is false when no shard has posts.
+func SocialWindow(bundles []*ShardPartials) (timeline.Range, bool) {
+	var w timeline.Range
+	have := false
+	for _, b := range bundles {
+		if b == nil || !b.HavePosts {
+			continue
+		}
+		if !have {
+			w = timeline.Range{From: b.WindowFrom, To: b.WindowTo}
+			have = true
+			continue
+		}
+		if b.WindowFrom < w.From {
+			w.From = b.WindowFrom
+		}
+		if b.WindowTo > w.To {
+			w.To = b.WindowTo
+		}
+	}
+	return w, have
+}
+
+// MergeSentiment reconstructs the global daily sentiment series: shipped
+// day rows (disjoint across shards) placed over the window, zero rows
+// elsewhere — exactly the series a single corpus sweep produces.
+func MergeSentiment(window timeline.Range, parts [][]DaySentiment) []DaySentiment {
+	rows := map[timeline.Day]DaySentiment{}
+	for _, p := range parts {
+		for _, ds := range p {
+			rows[ds.Day] = ds
+		}
+	}
+	days := window.Len()
+	out := make([]DaySentiment, 0, days)
+	for i := 0; i < days; i++ {
+		d := window.From + timeline.Day(i)
+		if ds, ok := rows[d]; ok {
+			out = append(out, ds)
+		} else {
+			out = append(out, DaySentiment{Day: d})
+		}
+	}
+	return out
+}
+
+// MergeKeywords reconstructs the global outage-keyword series (see
+// MergeSentiment).
+func MergeKeywords(window timeline.Range, parts [][]DayKeywords) []DayKeywords {
+	rows := map[timeline.Day]DayKeywords{}
+	for _, p := range parts {
+		for _, dk := range p {
+			rows[dk.Day] = dk
+		}
+	}
+	days := window.Len()
+	out := make([]DayKeywords, 0, days)
+	for i := 0; i < days; i++ {
+		d := window.From + timeline.Day(i)
+		if dk, ok := rows[d]; ok {
+			out = append(out, dk)
+		} else {
+			out = append(out, DayKeywords{Day: d})
+		}
+	}
+	return out
+}
+
+// MergeTerms unions shards' term partials back into the sweep's accumulator
+// form. Day weights never collide across shards (each day's posts live on
+// one shard), so addition here only reassembles disjoint day rows.
+func mergeTerms(parts [][]TermPartial) map[string]*termDay {
+	terms := map[string]*termDay{}
+	for _, part := range parts {
+		for _, tp := range part {
+			td := terms[tp.Term]
+			if td == nil {
+				td = &termDay{weight: map[timeline.Day]float64{}}
+				terms[tp.Term] = td
+			}
+			for _, dw := range tp.Days {
+				td.weight[dw.Day] += dw.Weight
+			}
+			td.pos += tp.Pos
+			td.total += tp.Total
+		}
+	}
+	return terms
+}
+
+// MergeTrends runs the trend surge scan over the union of shards' term
+// accumulations, exactly as a single corpus sweep would over the global
+// window.
+func MergeTrends(window timeline.Range, parts [][]TermPartial, opts TrendOptions) []Trend {
+	return scanTrends(window, mergeTerms(parts), opts.withDefaults())
+}
+
+// MergeClouds indexes shards' shipped word clouds by day for peak
+// annotation.
+func MergeClouds(parts [][]DayCloud) map[timeline.Day][]nlp.WordCount {
+	out := map[timeline.Day][]nlp.WordCount{}
+	for _, p := range parts {
+		for _, dc := range p {
+			out[dc.Day] = dc.Words
+		}
+	}
+	return out
+}
+
+// MergePeaks annotates the top-k sentiment peaks of the merged daily series
+// using shipped word clouds instead of a local corpus.
+func MergePeaks(daily []DaySentiment, clouds map[timeline.Day][]nlp.WordCount, news *newswire.Index, k int) []AnnotatedPeak {
+	return annotatePeaksWith(daily, news, k, func(d timeline.Day) []nlp.WordCount {
+		return clouds[d]
+	})
+}
+
+// MergeSpeeds assembles the monthly speed series from shards' per-month
+// observations: per month, observations re-interleave into corpus order
+// ((day, id) sort over disjoint shard contributions), strong counts
+// int-sum, and assembleMonthSpeeds runs its single subsample-RNG stream
+// over the global window's months.
+func MergeSpeeds(window timeline.Range, parts [][]SpeedMonthPartial, model *leo.Model, seed uint64) []MonthSpeed {
+	type obs struct {
+		day  timeline.Day
+		id   uint64
+		down float64
+	}
+	byMonth := map[timeline.Month][]obs{}
+	strong := map[timeline.Month][2]int{}
+	for _, part := range parts {
+		for _, sp := range part {
+			for i := range sp.Downs {
+				var d timeline.Day
+				var id uint64
+				if i < len(sp.Days) {
+					d = sp.Days[i]
+				}
+				if i < len(sp.IDs) {
+					id = sp.IDs[i]
+				}
+				byMonth[sp.Month] = append(byMonth[sp.Month], obs{day: d, id: id, down: sp.Downs[i]})
+			}
+			cnt := strong[sp.Month]
+			cnt[0] += sp.StrongPos
+			cnt[1] += sp.StrongNeg
+			strong[sp.Month] = cnt
+		}
+	}
+	months := window.Months()
+	speeds := make(map[timeline.Month][]float64, len(byMonth))
+	for m, os := range byMonth {
+		sort.Slice(os, func(i, j int) bool {
+			if os[i].day != os[j].day {
+				return os[i].day < os[j].day
+			}
+			return os[i].id < os[j].id
+		})
+		xs := make([]float64, len(os))
+		for i, ob := range os {
+			xs[i] = ob.down
+		}
+		speeds[m] = xs
+	}
+	return assembleMonthSpeeds(months, speeds, strong, model, seed)
+}
+
+// MergeExperience assembles the per-ISP experience answer from shards'
+// phase-1 partials and (optionally) phase-2 predicted accumulators. The
+// per-day accumulators merge strictly ascending by day — the same fold the
+// single-node handler runs.
+func MergeExperience(isp string, parts []*ExperiencePartial, predicted [][]DayOnlinePartial) ExperienceResponse {
+	resp := ExperienceResponse{ISP: isp}
+	type dayRow struct {
+		day            timeline.Day
+		pres, cam, mic stats.OnlineState
+	}
+	var days []dayRow
+	var ratingSum, ratingN int
+	var pos, neg, outage int
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		resp.Sessions += p.Sessions
+		for _, d := range p.Days {
+			days = append(days, dayRow{day: d.Day, pres: d.Pres, cam: d.Cam, mic: d.Mic})
+			ratingSum += d.RatingSum
+			ratingN += d.RatingN
+		}
+		pos += p.SocialPos
+		neg += p.SocialNeg
+		outage += p.OutageMentions
+	}
+	sort.Slice(days, func(i, j int) bool { return days[i].day < days[j].day })
+	var pres, cam, mic stats.Online
+	for _, d := range days {
+		pres.Merge(stats.FromState(d.pres))
+		cam.Merge(stats.FromState(d.cam))
+		mic.Merge(stats.FromState(d.mic))
+	}
+	resp.MeanPresence = pres.Mean()
+	resp.MeanCamOn = cam.Mean()
+	resp.MeanMicOn = mic.Mean()
+	if ratingN > 0 {
+		resp.SurveyedMOS = float64(ratingSum) / float64(ratingN)
+		resp.SurveyedCount = ratingN
+	}
+	var predDays []DayOnlinePartial
+	for _, p := range predicted {
+		predDays = append(predDays, p...)
+	}
+	if len(predDays) > 0 {
+		sort.Slice(predDays, func(i, j int) bool { return predDays[i].Day < predDays[j].Day })
+		var acc stats.Online
+		for _, d := range predDays {
+			acc.Merge(stats.FromState(d.Acc))
+		}
+		resp.PredictedMOS = acc.Mean()
+	}
+	if pos+neg > 0 {
+		resp.SocialPosRatio = float64(pos) / float64(pos+neg)
+	}
+	resp.OutageMentions = outage
+	return resp
+}
+
+// MOSFromRated computes the /v1/insights/mos answer from a day-major rated
+// subsequence and the total session count — shared by the single-node
+// handler and the coordinator (which feeds it MergeRated output).
+func MOSFromRated(rated []telemetry.SessionRecord, total, bins int) (MOSResponse, error) {
+	report, err := mosReportRated(rated, bins, nil)
+	if err != nil {
+		return MOSResponse{}, err
+	}
+	resp := MOSResponse{}
+	for _, em := range report {
+		resp.Correlations = append(resp.Correlations, MOSCorrelation{
+			Engagement:    em.Engagement.String(),
+			Pearson:       em.Pearson,
+			Spearman:      em.Spearman,
+			RatedSessions: em.RatedSessions,
+		})
+	}
+	if eval, err := evaluateMOSPredictorRated(rated, total, 0.7, 1.0); err == nil {
+		resp.Predictor = &eval
+	}
+	return resp, nil
+}
+
+// ClusterReportInput carries everything the coordinator gathered for one
+// /v1/report: per-shard bundles (sections "sessions,drops,social,speeds"),
+// a callback that runs the model phase for traffic engineering, per-section
+// degradation notes, and the coordinator's own annotation sources.
+type ClusterReportInput struct {
+	Bundles []*ShardPartials
+	// TEPartials runs the model phase: ship the trained model to every live
+	// shard, gather per-day TE partials. An error degrades the
+	// traffic-engineering section only.
+	TEPartials func(model stats.LinearModel) ([][]TEDayPartial, error)
+	// Notes maps report section names to degradation annotations ("shard X
+	// unavailable: ..."); they append to Errors after each section runs.
+	Notes map[string][]string
+	News  *newswire.Index
+	Model *leo.Model
+}
+
+// AssembleClusterReport folds gathered shard partials into the operator
+// report through the same guard chain BuildReport uses, so section order,
+// names, and error strings match a single node's byte for byte.
+func AssembleClusterReport(in ClusterReportInput) OperatorReport {
+	total := 0
+	var ratedParts [][]telemetry.SessionRecord
+	for _, b := range in.Bundles {
+		if b == nil {
+			continue
+		}
+		total += b.Sessions
+		ratedParts = append(ratedParts, b.Rated)
+	}
+	rated := MergeRated(ratedParts)
+
+	src := reportSource{
+		rated:        rated,
+		total:        total,
+		sectionNotes: in.Notes,
+		dose: func(metric telemetry.Metric, b stats.Binner) stats.BinnedSeries {
+			idx := -1
+			for i, rr := range reportDropRanges {
+				if rr.metric == metric {
+					idx = i
+				}
+			}
+			var parts [][]DoseDayPartial
+			for _, bundle := range in.Bundles {
+				if bundle != nil && idx >= 0 && idx < len(bundle.Drops) {
+					parts = append(parts, bundle.Drops[idx])
+				}
+			}
+			series, err := MergeDosePartials(b, parts)
+			if err != nil {
+				panic(err) // caught by the section guard
+			}
+			return series
+		},
+		te: func() ([]TERecommendation, error) {
+			p, err := TrainMOSPredictor(rated, 1.0)
+			if err != nil {
+				return nil, fmt.Errorf("usaas: traffic-engineering advisor: %w", err)
+			}
+			if in.TEPartials == nil {
+				return nil, fmt.Errorf("usaas: traffic-engineering advisor: no model phase")
+			}
+			parts, err := in.TEPartials(*p.Model())
+			if err != nil {
+				return nil, err
+			}
+			return MergeTE(total, parts), nil
+		},
+	}
+
+	window, havePosts := SocialWindow(in.Bundles)
+	if havePosts {
+		src.havePosts = true
+		var sentParts [][]DaySentiment
+		var kwParts [][]DayKeywords
+		var cloudParts [][]DayCloud
+		var termParts [][]TermPartial
+		var speedParts [][]SpeedMonthPartial
+		for _, b := range in.Bundles {
+			if b == nil || !b.HavePosts {
+				continue
+			}
+			src.posts += b.Posts
+			sentParts = append(sentParts, b.Sentiment)
+			kwParts = append(kwParts, b.Keywords)
+			cloudParts = append(cloudParts, b.Clouds)
+			termParts = append(termParts, b.Terms)
+			speedParts = append(speedParts, b.Speeds)
+		}
+		// WeeklyAverages' exact arithmetic: posts / (window days / 7).
+		if weeks := float64(window.Len()) / 7; weeks > 0 {
+			src.weekly = float64(src.posts) / weeks
+		}
+		src.sweep = func() (*Sweep, error) {
+			return &Sweep{
+				Sentiment: MergeSentiment(window, sentParts),
+				Keywords:  MergeKeywords(window, kwParts),
+				Trends:    MergeTrends(window, termParts, TrendOptions{MaxTerms: 10}),
+			}, nil
+		}
+		clouds := MergeClouds(cloudParts)
+		src.peaks = func(sent []DaySentiment) ([]AnnotatedPeak, error) {
+			return MergePeaks(sent, clouds, in.News, 3), nil
+		}
+		src.speeds = func() ([]MonthSpeed, error) {
+			return MergeSpeeds(window, speedParts, in.Model, 1), nil
+		}
+	}
+	return buildReportFrom(src)
+}
+
+// ParseSections splits a comma-separated sections parameter.
+func ParseSections(raw string) []string {
+	if raw == "" {
+		return nil
+	}
+	parts := strings.Split(raw, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

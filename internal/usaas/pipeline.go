@@ -131,10 +131,12 @@ func (s *Store) runJob(job *applyJob) {
 // applySessions folds a sequenced session batch into the row store, the
 // session views, and the columnar mirror. Jobs arrive here in sequence
 // order (turn chain), so the fold stream is identical to serial ingest.
+// The chunked row store (rows.go) makes the append copy only the batch:
+// published rows are never reallocated, zeroed, or moved again.
 func (s *Store) applySessions(recs []telemetry.SessionRecord) {
 	s.sessMu.Lock()
 	defer s.sessMu.Unlock()
-	s.sessions = appendGrown(s.sessions, recs)
+	s.sessions.append(recs)
 	if len(recs) > 0 {
 		s.sessGen++
 		s.views.foldSessions(recs)
@@ -175,9 +177,10 @@ func (s *Store) fencePosts() {
 	}
 }
 
-// appendGrown is append with explicit doubling. For slices past a few
+// appendGrown is append with explicit doubling, used for the post slice
+// (sessions moved to chunked blocks in rows.go). For slices past a few
 // hundred elements Go's builtin grows by only ~1.25x, which on a
-// multi-gigabyte ingest run reallocates, zeroes, and copies the session
+// multi-gigabyte ingest run reallocates, zeroes, and copies the backing
 // array far more often than doubling does (alloc+zero+copy traffic is
 // cap·f/(f−1) + cap/(f−1): ~9·len at f=1.25 vs ~3·len at f=2) — that
 // zeroing was ~18% of the ingest CPU profile. Growth happens under the

@@ -69,42 +69,109 @@ func defaultInterventions() []teIntervention {
 	}
 }
 
-// AdviseTrafficEngineering ranks the default interventions by their
-// predicted MOS payoff over the given sessions, using a predictor trained
-// on the rated subset. It answers §6's "if call latency is the discerning
-// factor, could resource allocation be tuned?" with a number per metric.
-func AdviseTrafficEngineering(records []telemetry.SessionRecord) ([]TERecommendation, error) {
-	if len(records) == 0 {
-		return nil, errors.New("usaas: no sessions to advise on")
+// TEDayPartial carries one calendar day's traffic-engineering accumulation
+// under a fixed (shipped) predictor: per candidate intervention, how many of
+// the day's sessions qualify and their summed predicted-MOS lift, both
+// accumulated in arrival order. Slots are indexed by defaultInterventions
+// order. Days are the cluster partition unit, so shard partials are exact
+// and assembleTE's ascending-day fold matches the single-store answer.
+type TEDayPartial struct {
+	Day      timeline.Day `json:"day"`
+	Sessions int          `json:"sessions"`
+	Affected []int        `json:"affected"`
+	Lift     []float64    `json:"lift"`
+}
+
+// teDayPartials folds the row snapshot into per-day TE partials with the
+// given predictor. Returned partials are sorted ascending by day.
+func teDayPartials(p *MOSPredictor, rows Rows) []TEDayPartial {
+	ivs := defaultInterventions()
+	type dayTE struct {
+		sessions int
+		affected []int
+		lift     []float64
 	}
-	p, err := TrainMOSPredictor(records, 1.0)
-	if err != nil {
-		return nil, fmt.Errorf("usaas: traffic-engineering advisor: %w", err)
-	}
-	var out []TERecommendation
-	for _, iv := range defaultInterventions() {
-		var affected int
-		var lift float64
-		for i := range records {
-			r := records[i] // copy; we mutate the aggregates
-			if !iv.qualifies(r.Net) {
+	days := map[timeline.Day]*dayTE{}
+	rows.Each(0, rows.Len(), func(rec *telemetry.SessionRecord) {
+		d := timeline.DayOf(rec.Start)
+		dt := days[d]
+		if dt == nil {
+			dt = &dayTE{affected: make([]int, len(ivs)), lift: make([]float64, len(ivs))}
+			days[d] = dt
+		}
+		dt.sessions++
+		for k := range ivs {
+			r := *rec // copy; we mutate the aggregates
+			if !ivs[k].qualifies(r.Net) {
 				continue
 			}
-			affected++
+			dt.affected[k]++
 			before := p.Predict(&r)
-			iv.apply(&r.Net)
-			lift += p.Predict(&r) - before
+			ivs[k].apply(&r.Net)
+			dt.lift[k] += p.Predict(&r) - before
 		}
+	})
+	keys := make([]timeline.Day, 0, len(days))
+	for d := range days {
+		keys = append(keys, d)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]TEDayPartial, 0, len(keys))
+	for _, d := range keys {
+		dt := days[d]
+		out = append(out, TEDayPartial{Day: d, Sessions: dt.sessions, Affected: dt.affected, Lift: dt.lift})
+	}
+	return out
+}
+
+// assembleTE folds TE day partials (from one store or many shards) into the
+// ranked recommendations: lift sums fold strictly ascending by day, and the
+// affected fraction divides by the total session count.
+func assembleTE(total int, parts []TEDayPartial) []TERecommendation {
+	ivs := defaultInterventions()
+	sort.Slice(parts, func(i, j int) bool { return parts[i].Day < parts[j].Day })
+	affected := make([]int, len(ivs))
+	lift := make([]float64, len(ivs))
+	for i := range parts {
+		for k := 0; k < len(ivs) && k < len(parts[i].Affected); k++ {
+			affected[k] += parts[i].Affected[k]
+		}
+		for k := 0; k < len(ivs) && k < len(parts[i].Lift); k++ {
+			lift[k] += parts[i].Lift[k]
+		}
+	}
+	var out []TERecommendation
+	for k, iv := range ivs {
 		rec := TERecommendation{Metric: iv.metric, Improvement: iv.label}
-		if affected > 0 {
-			rec.AffectedFrac = float64(affected) / float64(len(records))
-			rec.MeanMOSLift = lift / float64(affected)
+		if affected[k] > 0 && total > 0 {
+			rec.AffectedFrac = float64(affected[k]) / float64(total)
+			rec.MeanMOSLift = lift[k] / float64(affected[k])
 			rec.TotalLift = rec.AffectedFrac * rec.MeanMOSLift
 		}
 		out = append(out, rec)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].TotalLift > out[j].TotalLift })
-	return out, nil
+	return out
+}
+
+// AdviseTrafficEngineering ranks the default interventions by their
+// predicted MOS payoff over the given sessions, using a predictor trained
+// on the rated subset (in canonical day-major order). It answers §6's "if
+// call latency is the discerning factor, could resource allocation be
+// tuned?" with a number per metric. The computation is the day-partitioned
+// fold assembleTE describes — the same one the cluster coordinator runs
+// over shard partials under a single shipped model.
+func AdviseTrafficEngineering(records []telemetry.SessionRecord) ([]TERecommendation, error) {
+	if len(records) == 0 {
+		return nil, errors.New("usaas: no sessions to advise on")
+	}
+	p, err := TrainMOSPredictor(ratedOnly(records), 1.0)
+	if err != nil {
+		return nil, fmt.Errorf("usaas: traffic-engineering advisor: %w", err)
+	}
+	var rs rowStore
+	rs.append(records)
+	return assembleTE(len(records), teDayPartials(p, rs.snapshot())), nil
 }
 
 // DeploymentScenario is one candidate launch plan evaluated by the

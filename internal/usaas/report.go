@@ -1,6 +1,7 @@
 package usaas
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -51,44 +52,63 @@ var reportDropRanges = []struct {
 	{telemetry.BandwidthMean, 0.25, 4},
 }
 
-// BuildReport assembles the report from a store's contents, degrading
-// gracefully: each section runs in isolation, and a section that fails —
-// returns an error, panics, or has no data to work from — is recorded in
-// Errors while every other section still lands. The report never takes the
-// whole response down with it.
-func BuildReport(store *Store, an *nlp.Analyzer, opts ServerOptions) OperatorReport {
-	if an == nil {
-		an = nlp.NewAnalyzer()
-	}
+// reportSource supplies each report section's inputs, so BuildReport (one
+// store) and the cluster coordinator (merged shard partials) share the one
+// guard chain — identical section order, section names, and error formats,
+// which is what keeps an N-shard report byte-identical to a single-node one.
+type reportSource struct {
+	rated []telemetry.SessionRecord // day-major rated subsequence
+	total int                       // total session count
+	dose  func(metric telemetry.Metric, b stats.Binner) stats.BinnedSeries
+	te    func() ([]TERecommendation, error)
+
+	havePosts bool
+	posts     int
+	weekly    float64
+	sweep     func() (*Sweep, error)
+	peaks     func(sent []DaySentiment) ([]AnnotatedPeak, error)
+	speeds    func() ([]MonthSpeed, error)
+
+	// sectionNotes carries per-section degradation annotations (a cluster
+	// coordinator's "shard X unavailable" notes); each section's notes are
+	// appended to Errors right after the section runs.
+	sectionNotes map[string][]string
+}
+
+// buildReportFrom assembles the report from a source, degrading gracefully:
+// each section runs in isolation, and a section that fails — returns an
+// error, panics, or has no data to work from — is recorded in Errors while
+// every other section still lands. The report never takes the whole
+// response down with it.
+func buildReportFrom(src reportSource) OperatorReport {
 	rep := OperatorReport{EngagementDrops: map[string]float64{}}
 
 	// guard runs one section, converting errors and panics into Errors
-	// entries instead of failures.
+	// entries instead of failures, then attaches the section's degradation
+	// notes.
 	guard := func(section string, f func() error) {
 		defer func() {
 			if p := recover(); p != nil {
 				rep.Errors = append(rep.Errors, fmt.Sprintf("%s: panic: %v", section, p))
 			}
+			rep.Errors = append(rep.Errors, src.sectionNotes[section]...)
 		}()
 		if err := f(); err != nil {
 			rep.Errors = append(rep.Errors, fmt.Sprintf("%s: %v", section, err))
 		}
 	}
 
-	// Session analyses read the store's materialized views (views.go): the
-	// shared session slice is never copied, dose-response curves come from
-	// incrementally maintained accumulators, and the MOS paths scan only
-	// the rated subsequence.
-	recs := store.SessionsShared()
-	rated, total := store.RatedSessions()
-	rep.Sessions = total
-	if total == 0 {
+	rep.Sessions = src.total
+	if src.total == 0 {
 		rep.Errors = append(rep.Errors, "sessions: none ingested")
+		rep.Errors = append(rep.Errors, src.sectionNotes["sessions"]...)
 	} else {
+		// With data present the notes still land: the session count itself
+		// may be partial (a cluster's dead shard held some of the days).
+		rep.Errors = append(rep.Errors, src.sectionNotes["sessions"]...)
 		guard("engagement-drops", func() error {
 			for _, rr := range reportDropRanges {
-				s := store.DoseResponseSeries(rr.metric, telemetry.Presence,
-					stats.NewBinner(rr.lo, rr.hi, 8), "")
+				s := src.dose(rr.metric, stats.NewBinner(rr.lo, rr.hi, 8))
 				if drop := RelativeDrop(s); !math.IsNaN(drop) {
 					rep.EngagementDrops[rr.metric.String()] = drop
 				}
@@ -96,7 +116,7 @@ func BuildReport(store *Store, an *nlp.Analyzer, opts ServerOptions) OperatorRep
 			return nil
 		})
 		guard("mos-correlations", func() error {
-			mosReport, err := mosReportRated(rated, 10, nil)
+			mosReport, err := mosReportRated(src.rated, 10, nil)
 			if err != nil {
 				return err
 			}
@@ -111,7 +131,7 @@ func BuildReport(store *Store, an *nlp.Analyzer, opts ServerOptions) OperatorRep
 			return nil
 		})
 		guard("mos-predictor", func() error {
-			eval, err := evaluateMOSPredictorRated(rated, total, 0.7, 1.0)
+			eval, err := evaluateMOSPredictorRated(src.rated, src.total, 0.7, 1.0)
 			if err != nil {
 				return err
 			}
@@ -119,7 +139,7 @@ func BuildReport(store *Store, an *nlp.Analyzer, opts ServerOptions) OperatorRep
 			return nil
 		})
 		guard("traffic-engineering", func() error {
-			advice, err := AdviseTrafficEngineering(recs)
+			advice, err := src.te()
 			if err != nil {
 				return err
 			}
@@ -128,30 +148,26 @@ func BuildReport(store *Store, an *nlp.Analyzer, opts ServerOptions) OperatorRep
 		})
 	}
 
-	if c := store.Corpus(); c == nil {
+	if !src.havePosts {
 		rep.Errors = append(rep.Errors, "posts: none ingested")
+		rep.Errors = append(rep.Errors, src.sectionNotes["posts"]...)
 	} else {
-		rep.Posts = c.Len()
-		rep.WeeklyPosts, _, _ = c.WeeklyAverages()
-		// The three text sections share one fused sweep over the corpus's
-		// cached token streams (sweep.go): daily sentiment, the gated
-		// outage-keyword series, and trend mining all come out of a single
-		// scan instead of three independent re-lexing passes.
+		rep.Errors = append(rep.Errors, src.sectionNotes["posts"]...)
+		rep.Posts = src.posts
+		rep.WeeklyPosts = src.weekly
 		var sw *Sweep
 		guard("social-sweep", func() error {
-			dict := opts.OutageDict
-			if dict == nil {
-				dict = nlp.OutageDictionary()
-			}
-			topts := TrendOptions{MaxTerms: 10}
-			sw = SweepCorpus(c, an, SweepOptions{
-				Sentiment: true, Dict: dict, Gate: true, Trends: &topts,
-			})
-			return nil
+			var err error
+			sw, err = src.sweep()
+			return err
 		})
 		if sw != nil {
 			guard("sentiment-peaks", func() error {
-				rep.Peaks = annotatePeaks(c, sw.Sentiment, opts.News, 3)
+				peaks, err := src.peaks(sw.Sentiment)
+				if err != nil {
+					return err
+				}
+				rep.Peaks = peaks
 				return nil
 			})
 			guard("outage-monitor", func() error {
@@ -164,9 +180,9 @@ func BuildReport(store *Store, an *nlp.Analyzer, opts ServerOptions) OperatorRep
 			})
 		}
 		guard("speeds", func() error {
-			months, ok := store.monthlySpeedsView(an, opts.Model, 1)
-			if !ok {
-				months = MonthlySpeeds(c, an, opts.Model, 1)
+			months, err := src.speeds()
+			if err != nil {
+				return err
 			}
 			for _, m := range months {
 				if m.Reports > 0 {
@@ -181,6 +197,67 @@ func BuildReport(store *Store, an *nlp.Analyzer, opts ServerOptions) OperatorRep
 	}
 	rep.Degraded = len(rep.Errors) > 0
 	return rep
+}
+
+// BuildReport assembles the report from a store's contents. Session
+// analyses read the store's materialized views (views.go): dose-response
+// curves come from incrementally maintained per-day accumulators, and the
+// MOS paths scan only the day-major rated subsequence.
+func BuildReport(store *Store, an *nlp.Analyzer, opts ServerOptions) OperatorReport {
+	if an == nil {
+		an = nlp.NewAnalyzer()
+	}
+	rated, total := store.RatedSessions()
+	src := reportSource{
+		rated: rated,
+		total: total,
+		dose: func(metric telemetry.Metric, b stats.Binner) stats.BinnedSeries {
+			return store.DoseResponseSeries(metric, telemetry.Presence, b, "")
+		},
+		te: func() ([]TERecommendation, error) {
+			// The day-partial fold AdviseTrafficEngineering describes, over
+			// the row snapshot (no flat copy of the store).
+			rows := store.Rows()
+			if rows.Len() == 0 {
+				return nil, errors.New("usaas: no sessions to advise on")
+			}
+			p, err := TrainMOSPredictor(rated, 1.0)
+			if err != nil {
+				return nil, fmt.Errorf("usaas: traffic-engineering advisor: %w", err)
+			}
+			return assembleTE(rows.Len(), teDayPartials(p, rows)), nil
+		},
+	}
+	if c := store.Corpus(); c != nil {
+		src.havePosts = true
+		src.posts = c.Len()
+		src.weekly, _, _ = c.WeeklyAverages()
+		// The three text sections share one fused sweep over the corpus's
+		// cached token streams (sweep.go): daily sentiment, the gated
+		// outage-keyword series, and trend mining all come out of a single
+		// scan instead of three independent re-lexing passes.
+		src.sweep = func() (*Sweep, error) {
+			dict := opts.OutageDict
+			if dict == nil {
+				dict = nlp.OutageDictionary()
+			}
+			topts := TrendOptions{MaxTerms: 10}
+			return SweepCorpus(c, an, SweepOptions{
+				Sentiment: true, Dict: dict, Gate: true, Trends: &topts,
+			}), nil
+		}
+		src.peaks = func(sent []DaySentiment) ([]AnnotatedPeak, error) {
+			return annotatePeaks(c, sent, opts.News, 3), nil
+		}
+		src.speeds = func() ([]MonthSpeed, error) {
+			months, ok := store.monthlySpeedsView(an, opts.Model, 1)
+			if !ok {
+				months = MonthlySpeeds(c, an, opts.Model, 1)
+			}
+			return months, nil
+		}
+	}
+	return buildReportFrom(src)
 }
 
 // Render produces the human-readable version.

@@ -57,6 +57,17 @@ func AnnotatePeaks(c *social.Corpus, an *nlp.Analyzer, news *newswire.Index, k i
 // caller that already ran the fused sweep (BuildReport) does not run it
 // again.
 func annotatePeaks(c *social.Corpus, daily []DaySentiment, news *newswire.Index, k int) []AnnotatedPeak {
+	return annotatePeaksWith(daily, news, k, func(d timeline.Day) []nlp.WordCount {
+		return dayWordCloud(c, d, 12)
+	})
+}
+
+// annotatePeaksWith is annotatePeaks with the day word cloud abstracted: a
+// single store builds each cloud from its corpus, while the cluster
+// coordinator looks up clouds its shards shipped (each day's posts live
+// wholly on one shard, so the shipped cloud is the same one the corpus
+// would yield).
+func annotatePeaksWith(daily []DaySentiment, news *newswire.Index, k int, cloud func(timeline.Day) []nlp.WordCount) []AnnotatedPeak {
 	series := make([]float64, len(daily))
 	for i, d := range daily {
 		series[i] = float64(d.Strong())
@@ -73,7 +84,7 @@ func annotatePeaks(c *social.Corpus, daily []DaySentiment, news *newswire.Index,
 	out := make([]AnnotatedPeak, 0, len(peaks))
 	for _, pk := range peaks {
 		ds := daily[pk.Index]
-		top := dayWordCloud(c, ds.Day, 12)
+		top := cloud(ds.Day)
 		keywords := make([]string, 0, 3)
 		for _, wc := range top {
 			if len(keywords) < 3 {

@@ -81,15 +81,15 @@ type Store struct {
 	applyDelay atomic.Int64
 
 	sessMu   sync.RWMutex
-	sessions []telemetry.SessionRecord
-	sessGen  uint64 // bumped on every session apply
+	sessions rowStore // chunked row blocks (rows.go)
+	sessGen  uint64   // bumped on every session apply
 
-	postMu    sync.RWMutex
-	posts     []social.Post
-	postGen   uint64 // bumped on every post apply
-	corpus    *social.Corpus // newest built corpus (may lag postGen)
-	corpusGen uint64         // postGen the corpus was built at
-	corpusInFlight chan struct{} // non-nil while one rebuild runs (singleflight)
+	postMu         sync.RWMutex
+	posts          []social.Post
+	postGen        uint64         // bumped on every post apply
+	corpus         *social.Corpus // newest built corpus (may lag postGen)
+	corpusGen      uint64         // postGen the corpus was built at
+	corpusInFlight chan struct{}  // non-nil while one rebuild runs (singleflight)
 
 	dedupMu sync.RWMutex
 	batches map[string]IngestResponse // batch ID → first acknowledgement
@@ -180,12 +180,24 @@ func (s *Store) appendColumnar(recs []telemetry.SessionRecord) {
 	if s.colsOff || len(recs) == 0 {
 		return
 	}
-	src := recs
 	if s.cols == nil {
 		s.cols = colstore.New()
-		src = s.sessions
+		// First call: mirror everything already in the row store, block
+		// by block (the blocks are contiguous slices).
+		snap := s.sessions.snapshot()
+		for lo := 0; lo < snap.Len(); lo += rowBlockSize {
+			hi := lo + rowBlockSize
+			if hi > snap.Len() {
+				hi = snap.Len()
+			}
+			if err := s.cols.Append(snap.Chunk(lo, hi)); err != nil {
+				s.cols, s.colsOff = nil, true
+				return
+			}
+		}
+		return
 	}
-	if err := s.cols.Append(src); err != nil {
+	if err := s.cols.Append(recs); err != nil {
 		s.cols, s.colsOff = nil, true
 	}
 }
@@ -427,13 +439,11 @@ func (s *Store) recordBatchLocked(batchID string, resp IngestResponse) {
 }
 
 // Sessions returns a snapshot copy of the sessions. Read-only consumers
-// should prefer SessionsShared (views.go), which avoids the O(store) copy;
-// this accessor remains for callers that mutate the returned records.
+// should prefer Rows (rows.go), which avoids the O(store) copy; this
+// accessor remains for callers that mutate the returned records.
 func (s *Store) Sessions() []telemetry.SessionRecord {
-	s.fenceSessions()
-	s.sessMu.RLock()
-	defer s.sessMu.RUnlock()
-	return append([]telemetry.SessionRecord(nil), s.sessions...)
+	rows := s.Rows()
+	return rows.AppendTo(make([]telemetry.SessionRecord, 0, rows.Len()))
 }
 
 // Corpus returns the posts as a day-indexed corpus (nil when no posts have
@@ -514,7 +524,7 @@ func (s *Store) Counts() (sessions, posts int) {
 	s.fenceSessions()
 	s.fencePosts()
 	s.sessMu.RLock()
-	sessions = len(s.sessions)
+	sessions = s.sessions.n
 	s.sessMu.RUnlock()
 	s.postMu.RLock()
 	posts = len(s.posts)
@@ -613,6 +623,11 @@ func NewServer(store *Store, opts ServerOptions) *Server {
 	s.mux.HandleFunc("/v1/advice/deployment", s.cached(s.handleDeploymentAdvice))
 	s.mux.HandleFunc("/v1/report", s.cached(s.handleReport))
 	s.mux.HandleFunc("/v1/insights/incidents", s.cached(s.handleIncidents))
+	// Cluster partial-state exchange (partials.go). The GET side is
+	// generation-cached like any insight; the model phase is a POST and
+	// stays uncached.
+	s.mux.HandleFunc("/v1/partials", s.cached(s.handleGetPartials))
+	s.mux.HandleFunc("/v1/partials/model", s.handleModelPartials)
 	s.mux.HandleFunc(healthzPath, s.handleHealthz)
 	s.mux.HandleFunc(readyzPath, s.handleReadyz)
 	return s
@@ -1073,6 +1088,26 @@ type StatsResponse struct {
 	Posts     int                  `json:"posts"`
 	Ingest    *IngestPipelineStats `json:"ingest,omitempty"`
 	Admission []TenantAdmission    `json:"admission,omitempty"`
+	Cluster   *ClusterStats        `json:"cluster,omitempty"`
+}
+
+// ClusterStats is a coordinator's view of its shard fleet, embedded in
+// /v1/stats when usaasd runs in coordinator role (internal/cluster fills
+// it in; single nodes never set it, so their stats bytes are unchanged).
+type ClusterStats struct {
+	MapVersion       uint64        `json:"map_version"`
+	Shards           []ShardStatus `json:"shards"`
+	PartialMerges    uint64        `json:"partial_merges"`
+	DegradedSections uint64        `json:"degraded_sections"`
+}
+
+// ShardStatus is one shard's health and fan-out gauges.
+type ShardStatus struct {
+	Name      string     `json:"name"`
+	Up        bool       `json:"up"`
+	Fanouts   uint64     `json:"fanouts"`
+	Errors    uint64     `json:"errors"`
+	LatencyMs stats.Hist `json:"latency_ms"`
 }
 
 // IngestPipelineStats is the group-commit scheduler's view of ingest: how
@@ -1352,7 +1387,9 @@ func (s *Server) handleConfounders(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	effects, err := ConfounderReport(s.store.SessionsShared(), eng)
+	// The day-partial fold the coordinator runs over shard partials, so a
+	// single node and a cluster compute the identical answer.
+	effects, err := assembleConfounders(confounderDayPartials(s.store.Rows(), eng))
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
 		return
@@ -1364,12 +1401,18 @@ func (s *Server) handleTEAdvice(w http.ResponseWriter, r *http.Request) {
 	if !s.requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	recos, err := AdviseTrafficEngineering(s.store.SessionsShared())
-	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+	rows := s.store.Rows()
+	if rows.Len() == 0 {
+		writeErr(w, http.StatusUnprocessableEntity, "usaas: no sessions to advise on")
 		return
 	}
-	writeJSON(w, http.StatusOK, recos)
+	rated, _ := s.store.RatedSessions()
+	p, err := TrainMOSPredictor(rated, 1.0)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "usaas: traffic-engineering advisor: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, assembleTE(rows.Len(), teDayPartials(p, rows)))
 }
 
 func (s *Server) handleDeploymentAdvice(w http.ResponseWriter, r *http.Request) {
@@ -1422,67 +1465,98 @@ func (s *Server) handleExperience(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "isp parameter required")
 		return
 	}
-	recs := s.store.SessionsShared()
-	var sub []telemetry.SessionRecord
-	for i := range recs {
-		if recs[i].ISP == isp {
-			sub = append(sub, recs[i])
-		}
-	}
-	if len(sub) == 0 {
+	// The day-partial fold the coordinator runs over shard partials: per-day
+	// engagement accumulators merged ascending, ratings as exact integer
+	// sums, and predicted MOS from a model trained on the day-major rated
+	// subsequence of the full population (engagement generalizes across
+	// access networks).
+	part := s.experiencePartial(isp)
+	if part.Sessions == 0 {
 		writeErr(w, http.StatusNotFound, "no sessions for isp %q", isp)
 		return
 	}
-	resp := ExperienceResponse{ISP: isp, Sessions: len(sub)}
-	var pres, cam, mic stats.Online
-	var ratings []int
-	for i := range sub {
-		pres.Add(sub[i].PresencePct)
-		cam.Add(sub[i].CamOnPct)
-		mic.Add(sub[i].MicOnPct)
-		if sub[i].Rated {
-			ratings = append(ratings, sub[i].Rating)
-		}
+	var predicted [][]DayOnlinePartial
+	rated, _ := s.store.RatedSessions()
+	if p, err := TrainMOSPredictor(rated, 1.0); err == nil {
+		predicted = append(predicted, predictedDayPartials(p, s.store.Rows(), isp))
 	}
-	resp.MeanPresence = pres.Mean()
-	resp.MeanCamOn = cam.Mean()
-	resp.MeanMicOn = mic.Mean()
-	if mos, ok := telemetry.MOS(ratings); ok {
-		resp.SurveyedMOS = mos
-		resp.SurveyedCount = len(ratings)
+	writeJSON(w, http.StatusOK, MergeExperience(isp, []*ExperiencePartial{part}, predicted))
+}
+
+// handleGetPartials serves the cluster partial-state exchange (partials.go):
+// the mergeable per-day accumulator state for the requested sections.
+// Answers are generation-cached like any insight.
+func (s *Server) handleGetPartials(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodGet) {
+		return
 	}
-	// Predict MOS over every session of the ISP with a model trained on
-	// the full population (engagement generalizes across access networks).
-	if p, err := TrainMOSPredictor(recs, 1.0); err == nil {
-		var acc stats.Online
-		for i := range sub {
-			acc.Add(p.Predict(&sub[i]))
-		}
-		resp.PredictedMOS = acc.Mean()
+	q := r.URL.Query()
+	sections := ParseSections(q.Get("sections"))
+	if len(sections) == 0 {
+		writeErr(w, http.StatusBadRequest, "sections parameter required")
+		return
 	}
-	// Social side: overall strong-sentiment balance and outage chatter,
-	// computed over the corpus's cached token streams.
-	if c := s.store.Corpus(); c != nil {
-		tc := c.Tokens()
-		scorer := s.opts.Analyzer.CompileScorer(tc.Interner())
-		matcher := s.opts.OutageDict.CompileMatcher(tc.Interner())
-		var pos, neg, outage int
-		for i := range c.Posts {
-			sc := scorer.Score(tc.Text(i))
-			if sc.StrongPositive() {
-				pos++
+	var doseKey *engViewKey
+	confEng := telemetry.Presence
+	for _, section := range sections {
+		switch section {
+		case SectionDose:
+			metric, err := parseMetric(q.Get("metric"))
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, "%v", err)
+				return
 			}
-			if sc.StrongNegative() {
-				neg++
+			eng, err := parseEngagement(q.Get("engagement"))
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, "%v", err)
+				return
 			}
-			if sc.Negative > sc.Positive && matcher.Matches(tc.Thread(i)) {
-				outage++
+			f := formOf(r)
+			lo := f.float("lo", 0)
+			hi := f.float("hi", 300)
+			bins := f.int("bins", 10)
+			if f.reject(w) {
+				return
 			}
+			if hi <= lo || bins < 1 || bins > 1000 {
+				writeErr(w, http.StatusBadRequest, "invalid binning lo=%v hi=%v bins=%d", lo, hi, bins)
+				return
+			}
+			doseKey = &engViewKey{metric: metric, eng: eng, b: stats.NewBinner(lo, hi, bins), isp: q.Get("isp")}
+		case SectionConfounders:
+			eng, err := parseEngagement(q.Get("engagement"))
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+			confEng = eng
 		}
-		if pos+neg > 0 {
-			resp.SocialPosRatio = float64(pos) / float64(pos+neg)
-		}
-		resp.OutageMentions = outage
 	}
-	writeJSON(w, http.StatusOK, resp)
+	out, err := s.CollectPartials(sections, doseKey, confEng, q.Get("isp"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleModelPartials serves the model phase of two-phase cluster queries:
+// the coordinator POSTs the canonical trained model and the shard answers
+// with per-day partials computed under it. POST, so never cached.
+func (s *Server) handleModelPartials(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	var req ModelPartialsRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding model request: %v", err)
+		return
+	}
+	out, err := s.CollectModelPartials(req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
 }

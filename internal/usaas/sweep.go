@@ -73,6 +73,22 @@ func bigramKey(a, b nlp.TokenID) uint64 {
 // to running the string-based reference analyses separately (golden-tested
 // in sweep_test.go) at any worker count.
 func SweepCorpus(c *social.Corpus, an *nlp.Analyzer, opts SweepOptions) *Sweep {
+	sent, kw, terms := sweepAccumulate(c, an, opts)
+	out := &Sweep{Sentiment: sent, Keywords: kw}
+	if opts.Trends != nil {
+		out.Trends = scanTrends(c.Window, terms, opts.Trends.withDefaults())
+	}
+	return out
+}
+
+// sweepAccumulate is the scan half of SweepCorpus: the fused day-sharded
+// accumulation, stopping short of the trend surge scan. The cluster's
+// shard partials are built from exactly these products — day rows are
+// confined to one shard (days are the partition unit) and term day-weights
+// never sum across shards, so a coordinator that concatenates day rows
+// ascending and unions term maps reproduces a single corpus's accumulation
+// bit for bit, then runs the same scanTrends over the global window.
+func sweepAccumulate(c *social.Corpus, an *nlp.Analyzer, opts SweepOptions) (sent []DaySentiment, kw []DayKeywords, terms map[string]*termDay) {
 	tc := c.Tokens()
 	in := tc.Interner()
 	scorer := an.CompileScorer(in)
@@ -191,14 +207,12 @@ func SweepCorpus(c *social.Corpus, an *nlp.Analyzer, opts SweepOptions) *Sweep {
 		return sh, nil
 	})
 
-	out := &Sweep{}
 	if opts.Sentiment {
-		out.Sentiment = make([]DaySentiment, 0, days)
+		sent = make([]DaySentiment, 0, days)
 	}
 	if matcher != nil {
-		out.Keywords = make([]DayKeywords, 0, days)
+		kw = make([]DayKeywords, 0, days)
 	}
-	var terms map[string]*termDay
 	if opts.Trends != nil {
 		terms = map[string]*termDay{}
 	}
@@ -206,8 +220,8 @@ func SweepCorpus(c *social.Corpus, an *nlp.Analyzer, opts SweepOptions) *Sweep {
 	// each (term, day) weight lives in exactly one chunk, so no float is
 	// ever summed across shards and map-iteration order cannot matter.
 	for _, sh := range shards {
-		out.Sentiment = append(out.Sentiment, sh.sent...)
-		out.Keywords = append(out.Keywords, sh.kw...)
+		sent = append(sent, sh.sent...)
+		kw = append(kw, sh.kw...)
 		for key, td := range sh.terms {
 			term := termString(in, key)
 			dst := terms[term]
@@ -222,10 +236,7 @@ func SweepCorpus(c *social.Corpus, an *nlp.Analyzer, opts SweepOptions) *Sweep {
 			dst.total += td.total
 		}
 	}
-	if opts.Trends != nil {
-		out.Trends = scanTrends(c.Window, terms, topts)
-	}
-	return out
+	return sent, kw, terms
 }
 
 // termString decodes a packed term key back to the naive miner's term

@@ -3,11 +3,9 @@ package usaas
 import (
 	"sort"
 
-	"usersignals/internal/colstore"
 	"usersignals/internal/leo"
 	"usersignals/internal/nlp"
 	"usersignals/internal/ocr"
-	"usersignals/internal/parallel"
 	"usersignals/internal/social"
 	"usersignals/internal/stats"
 	"usersignals/internal/telemetry"
@@ -16,11 +14,12 @@ import (
 
 // This file holds the store's materialized views: mergeable accumulators
 // maintained incrementally at ingest time so the query handlers read
-// precomputed state instead of re-scanning every session. Each view's fold
-// replays exactly the canonical chunk-fold the batch analyses use
-// (parallel.ChunkSize boundaries, left-merge in chunk order), so a
-// view-served series is bit-identical to recomputing over a snapshot —
-// parallelism and incrementality never change figure shapes.
+// precomputed state instead of re-scanning every session. Views accumulate
+// per calendar day — the cluster's partition unit — and serve queries by
+// folding the days together strictly ascending, so a view-served series is
+// bit-identical to recomputing over a snapshot AND to merging the same days
+// gathered from N shards: incrementality, parallelism, and sharding never
+// change figure shapes.
 
 // engViewKey identifies one dose-response view: the query parameters that
 // select an accumulator. stats.Binner is comparable, so the key can be used
@@ -37,93 +36,72 @@ type engViewKey struct {
 // accumulator from the snapshot) but are not retained.
 const maxEngViews = 64
 
-// engView incrementally maintains DoseResponseN's fold for one key. merged
-// is the left-fold of all complete canonical chunks in chunk order; tail
-// accumulates the trailing partial chunk. folded counts every session seen
-// (matching the absolute record indices chunk boundaries are defined on),
-// while Add is filter-conditional, exactly like the batch scan.
+// engView incrementally maintains DoseResponseDaily's state for one key:
+// one bin accumulator per calendar day, each fed in arrival order. folded
+// counts every session seen (so a catch-up can resume at an absolute row
+// index), while Add is filter-conditional, exactly like the batch scan.
 type engView struct {
-	key    engViewKey
-	mf     func(*telemetry.NetAggregates) float64
-	ef     func(*telemetry.SessionRecord) float64
-	merged *stats.BinAcc
-	tail   *stats.BinAcc
-	folded int
+	key  engViewKey
+	mf   func(*telemetry.NetAggregates) float64
+	ef   func(*telemetry.SessionRecord) float64
+	days dayBins
+	// lastDay/lastAcc cache the most recent day's accumulator: ingest is
+	// roughly chronological, so most Adds skip the map lookup.
+	lastDay timeline.Day
+	lastAcc *stats.BinAcc
+	folded  int
 }
 
 func newEngView(key engViewKey) *engView {
 	return &engView{
-		key:    key,
-		mf:     key.metric.Accessor(),
-		ef:     key.eng.Accessor(),
-		merged: stats.NewBinAcc(key.b),
-		tail:   stats.NewBinAcc(key.b),
+		key:  key,
+		mf:   key.metric.Accessor(),
+		ef:   key.eng.Accessor(),
+		days: dayBins{},
 	}
 }
 
-// fold absorbs records, merging the tail into the running fold at every
-// canonical chunk boundary.
+// foldOne absorbs one record.
+func (v *engView) foldOne(r *telemetry.SessionRecord, filter telemetry.Filter) {
+	v.folded++
+	if filter != nil && !filter(r) {
+		return
+	}
+	d := timeline.DayOf(r.Start)
+	if v.lastAcc == nil || d != v.lastDay {
+		v.lastDay, v.lastAcc = d, v.days.add(d, v.key.b, v.mf(&r.Net), v.ef(r))
+		return
+	}
+	v.lastAcc.Add(v.mf(&r.Net), v.ef(r))
+}
+
+func (v *engView) filter() telemetry.Filter {
+	if v.key.isp != "" {
+		return telemetry.OnISP(v.key.isp)
+	}
+	return nil
+}
+
+// fold absorbs an arrival-ordered batch.
 func (v *engView) fold(recs []telemetry.SessionRecord) {
-	var filter telemetry.Filter
-	if v.key.isp != "" {
-		filter = telemetry.OnISP(v.key.isp)
-	}
+	filter := v.filter()
 	for i := range recs {
-		r := &recs[i]
-		if filter == nil || filter(r) {
-			v.tail.Add(v.mf(&r.Net), v.ef(r))
-		}
-		v.folded++
-		if v.folded%parallel.ChunkSize == 0 {
-			_ = v.merged.Merge(v.tail) // same binner by construction
-			v.tail = stats.NewBinAcc(v.key.b)
-		}
+		v.foldOne(&recs[i], filter)
 	}
 }
 
-// foldColumns is fold over the columnar mirror: it absorbs records
-// [v.folded, snap.Len()) from the snapshot, replaying the identical
-// filter-conditional Add and chunk-boundary merge sequence, so a view caught
-// up columnar-side is byte-identical to one folded from rows. Returns false
-// (leaving the view untouched) when the parameterization has no column plan;
-// the caller falls back to the row fold.
-func (v *engView) foldColumns(snap colstore.Snapshot) bool {
-	mcol, ok1 := colstore.MetricCol(v.key.metric)
-	ecol, ok2 := colstore.EngagementCol(v.key.eng)
-	if !ok1 || !ok2 {
-		return false
-	}
-	var pred *colstore.Pred
-	if v.key.isp != "" {
-		spec := telemetry.OnISPSpec(v.key.isp)
-		p, ok := snap.Compile(&spec)
-		if !ok {
-			return false
-		}
-		pred = p
-	}
-	snap.Scan(v.folded, snap.Len(), func(pt *colstore.Partition, from, to int) {
-		xs, ys := pt.Floats(mcol), pt.Floats(ecol)
-		for i := from; i < to; i++ {
-			if pred.Accept(pt, i) {
-				v.tail.Add(xs[i], ys[i])
-			}
-			v.folded++
-			if v.folded%parallel.ChunkSize == 0 {
-				_ = v.merged.Merge(v.tail)
-				v.tail = stats.NewBinAcc(v.key.b)
-			}
-		}
+// foldRows absorbs rows [lo, hi) of a snapshot in arrival order.
+func (v *engView) foldRows(rows Rows, lo, hi int) {
+	filter := v.filter()
+	rows.Each(lo, hi, func(r *telemetry.SessionRecord) {
+		v.foldOne(r, filter)
 	})
-	return true
 }
 
-// series snapshots the view as the batch fold would produce it: complete
-// chunks merged in order, then the trailing partial chunk last.
+// series snapshots the view as DoseResponseDaily would produce it: the
+// per-day accumulators merged strictly ascending by day.
 func (v *engView) series() stats.BinnedSeries {
-	total := &stats.BinAcc{B: v.merged.B, Accs: append([]stats.Online(nil), v.merged.Accs...)}
-	_ = total.Merge(v.tail)
-	return total.Series()
+	return foldDayBins(v.key.b, v.days).Series()
 }
 
 // speedObs is one successfully OCR-extracted speed report, recorded at post
@@ -143,8 +121,11 @@ type speedObs struct {
 // as the data they are folded from, so view state is always
 // generation-consistent with its source shard.
 type viewState struct {
-	// rated is the rated-session subsequence in ingest order, feeding the
-	// MOS correlation/predictor paths without a full-store scan.
+	// rated is the rated-session subsequence in day-major order (ascending
+	// start day, arrival order within a day — the cluster's canonical
+	// order), feeding the MOS paths without a full-store scan. The slice is
+	// rebuilt copy-on-write per batch so readers holding the previous slice
+	// never observe the re-sort.
 	rated []telemetry.SessionRecord
 	// daily aggregates engagement by calendar day for incident detection.
 	daily map[timeline.Day]*dayAcc
@@ -163,10 +144,11 @@ func (vs *viewState) foldSessions(recs []telemetry.SessionRecord) {
 	if vs.daily == nil {
 		vs.daily = map[timeline.Day]*dayAcc{}
 	}
+	var newRated []telemetry.SessionRecord
 	for i := range recs {
 		r := &recs[i]
 		if r.Rated {
-			vs.rated = append(vs.rated, *r)
+			newRated = append(newRated, *r)
 		}
 		d := timeline.DayOf(r.Start)
 		a := vs.daily[d]
@@ -175,6 +157,16 @@ func (vs *viewState) foldSessions(recs []telemetry.SessionRecord) {
 			vs.daily[d] = a
 		}
 		a.add(r)
+	}
+	if len(newRated) > 0 {
+		// Copy-on-write day-major merge: the stable sort keeps existing
+		// entries (earlier arrivals) ahead of the batch's within each day,
+		// which is exactly ratedOnly's order over the full arrival sequence.
+		merged := make([]telemetry.SessionRecord, 0, len(vs.rated)+len(newRated))
+		merged = append(merged, vs.rated...)
+		merged = append(merged, newRated...)
+		sortRatedDayMajor(merged)
+		vs.rated = merged
 	}
 	for _, v := range vs.eng {
 		v.fold(recs)
@@ -243,24 +235,14 @@ func (vs *viewState) foldPosts(posts []social.Post, staged []pendingObs, base in
 
 // --- store accessors over the views ---
 
-// SessionsShared returns the live session slice without copying. The slice
-// is append-only under sessMu, so a header snapshot taken under RLock is
-// race-free; callers must treat it as read-only. Callers that mutate
-// records should use Sessions (the copying accessor).
-func (s *Store) SessionsShared() []telemetry.SessionRecord {
-	s.fenceSessions()
-	s.sessMu.RLock()
-	defer s.sessMu.RUnlock()
-	return s.sessions
-}
-
-// RatedSessions returns the rated-session subsequence (shared, read-only)
-// and the total session count, serving the MOS paths without a full scan.
+// RatedSessions returns the rated-session subsequence in day-major order
+// (shared, read-only) and the total session count, serving the MOS paths
+// without a full scan.
 func (s *Store) RatedSessions() (rated []telemetry.SessionRecord, total int) {
 	s.fenceSessions()
 	s.sessMu.RLock()
 	defer s.sessMu.RUnlock()
-	return s.views.rated, len(s.sessions)
+	return s.views.rated, s.sessions.n
 }
 
 // Generations returns the session and post ingest generations. Any accepted
@@ -287,55 +269,112 @@ func (s *Store) DailyEngagementView() []DayEngagement {
 	return dayEngagementFrom(s.views.daily)
 }
 
-// DoseResponseSeries serves DoseResponse(sessions, ...) from a materialized
-// accumulator, registering the parameterization on first use and catching
-// it up from the snapshot. The catch-up fold runs outside any lock; the
-// write lock only adopts or registers the result. When the columnar mirror
-// is live the catch-up sweeps columns instead of row structs — same fold,
-// same bytes, a fraction of the memory traffic.
-func (s *Store) DoseResponseSeries(metric telemetry.Metric, eng telemetry.Engagement, b stats.Binner, isp string) stats.BinnedSeries {
-	key := engViewKey{metric: metric, eng: eng, b: b, isp: isp}
+// doseView runs read against the materialized dose-response view for key,
+// under sessMu, registering the parameterization on first use. The catch-up
+// fold runs outside any lock over a row snapshot; the write lock only folds
+// the (small) gap and adopts or registers the result.
+func (s *Store) doseView(key engViewKey, read func(*engView)) {
 	s.fenceSessions()
 	s.sessMu.RLock()
 	if v, ok := s.views.eng[key]; ok {
-		series := v.series()
+		read(v)
 		s.sessMu.RUnlock()
-		return series
+		return
 	}
-	rows := s.sessions
-	var cols colstore.Snapshot
-	haveCols := s.cols != nil
-	if haveCols {
-		cols = s.cols.Snapshot()
-	}
+	rows := s.sessions.snapshot()
 	s.sessMu.RUnlock()
 
 	nv := newEngView(key)
-	if !haveCols || !nv.foldColumns(cols) {
-		nv.fold(rows)
-	}
+	nv.foldRows(rows, 0, rows.Len())
 
 	s.sessMu.Lock()
 	defer s.sessMu.Unlock()
 	if v, ok := s.views.eng[key]; ok {
 		// Another query registered this key first; it is at least as
 		// caught-up as ours.
-		return v.series()
+		read(v)
+		return
 	}
-	// Sessions may have arrived since the snapshot: fold the gap. Chunk
-	// boundaries are absolute record indices, so resuming at nv.folded
-	// continues the same canonical fold. The gap is row-folded even when
-	// the mirror is live: it is at most a few batches, and a predicate
-	// compiled against the snapshot's dictionaries could miss strings
-	// interned after it.
-	nv.fold(s.sessions[nv.folded:])
+	// Sessions may have arrived since the snapshot: fold the gap. folded is
+	// an absolute row index, so resuming there continues the same
+	// arrival-order fold.
+	cur := s.sessions.snapshot()
+	nv.foldRows(cur, nv.folded, cur.Len())
 	if len(s.views.eng) < maxEngViews {
 		if s.views.eng == nil {
 			s.views.eng = map[engViewKey]*engView{}
 		}
 		s.views.eng[key] = nv
 	}
-	return nv.series()
+	read(nv)
+}
+
+// DoseResponseSeries serves DoseResponseDaily(sessions, ...) from the
+// materialized per-day accumulators.
+func (s *Store) DoseResponseSeries(metric telemetry.Metric, eng telemetry.Engagement, b stats.Binner, isp string) stats.BinnedSeries {
+	var out stats.BinnedSeries
+	s.doseView(engViewKey{metric: metric, eng: eng, b: b, isp: isp}, func(v *engView) {
+		out = v.series()
+	})
+	return out
+}
+
+// speedMonthObs is the snapshot the speed paths read: the post hull window,
+// the shared append-only post slice, and each month's observations restored
+// to corpus order — the batch pipeline scans the corpus, which sorts posts
+// by (Day, ID); ingest order differs. Ties can only be identical duplicate
+// posts, so sort stability is irrelevant to the values produced.
+type speedMonthObs struct {
+	window timeline.Range
+	posts  []social.Post
+	months map[timeline.Month][]speedObs
+}
+
+// speedObsByMonth snapshots the speed views. Returns ok=false when no posts
+// have been ingested.
+func (s *Store) speedObsByMonth() (speedMonthObs, bool) {
+	s.fencePosts()
+	s.postMu.RLock()
+	if !s.views.havePosts {
+		s.postMu.RUnlock()
+		return speedMonthObs{}, false
+	}
+	mo := speedMonthObs{
+		window: timeline.Range{From: s.views.minDay, To: s.views.maxDay},
+		posts:  s.posts, // append-only: safe to index after unlock
+		months: make(map[timeline.Month][]speedObs, len(s.views.speeds)),
+	}
+	for m, obs := range s.views.speeds {
+		mo.months[m] = append([]speedObs(nil), obs...)
+	}
+	s.postMu.RUnlock()
+
+	for _, obs := range mo.months {
+		sort.Slice(obs, func(i, j int) bool {
+			if obs[i].day != obs[j].day {
+				return obs[i].day < obs[j].day
+			}
+			return obs[i].id < obs[j].id
+		})
+	}
+	return mo, true
+}
+
+// scoreMonthObs reads one month's corpus-ordered observations: the speed
+// samples plus the strong-sentiment counts of the posts that carried them.
+func scoreMonthObs(an *nlp.Analyzer, posts []social.Post, obs []speedObs) (xs []float64, strongPos, strongNeg int) {
+	xs = make([]float64, len(obs))
+	for i, ob := range obs {
+		xs[i] = ob.down
+		sc := an.Score(posts[ob.post].Text())
+		if sc.StrongPositive() {
+			strongPos++
+		}
+		if sc.StrongNegative() {
+			strongNeg++
+		}
+	}
+	return xs, strongPos, strongNeg
 }
 
 // monthlySpeedsView serves MonthlySpeeds(corpus, ...) from the extraction
@@ -343,52 +382,21 @@ func (s *Store) DoseResponseSeries(metric telemetry.Metric, eng telemetry.Engage
 // observations into corpus order, scores sentiment, and assembles the
 // series. Returns ok=false when no posts have been ingested.
 func (s *Store) monthlySpeedsView(an *nlp.Analyzer, model *leo.Model, seed uint64) ([]MonthSpeed, bool) {
-	s.fencePosts()
-	s.postMu.RLock()
-	if !s.views.havePosts {
-		s.postMu.RUnlock()
+	mo, ok := s.speedObsByMonth()
+	if !ok {
 		return nil, false
 	}
-	window := timeline.Range{From: s.views.minDay, To: s.views.maxDay}
-	posts := s.posts // append-only: safe to index after unlock
-	obsByMonth := make(map[timeline.Month][]speedObs, len(s.views.speeds))
-	for m, obs := range s.views.speeds {
-		obsByMonth[m] = append([]speedObs(nil), obs...)
-	}
-	s.postMu.RUnlock()
-
-	months := window.Months()
+	months := mo.window.Months()
 	speeds := make(map[timeline.Month][]float64, len(months))
 	strong := make(map[timeline.Month][2]int, len(months))
 	for _, m := range months {
-		obs := obsByMonth[m]
-		// The batch pipeline scans the corpus, which sorts posts by
-		// (Day, ID); ingest order differs, so restore corpus order here.
-		// Ties can only be identical duplicate posts, so stability is
-		// irrelevant to the values produced.
-		sort.Slice(obs, func(i, j int) bool {
-			if obs[i].day != obs[j].day {
-				return obs[i].day < obs[j].day
-			}
-			return obs[i].id < obs[j].id
-		})
+		obs := mo.months[m]
 		if len(obs) == 0 {
 			continue
 		}
-		xs := make([]float64, len(obs))
-		cnt := strong[m]
-		for i, ob := range obs {
-			xs[i] = ob.down
-			sc := an.Score(posts[ob.post].Text())
-			if sc.StrongPositive() {
-				cnt[0]++
-			}
-			if sc.StrongNegative() {
-				cnt[1]++
-			}
-		}
+		xs, pos, neg := scoreMonthObs(an, mo.posts, obs)
 		speeds[m] = xs
-		strong[m] = cnt
+		strong[m] = [2]int{pos, neg}
 	}
 	return assembleMonthSpeeds(months, speeds, strong, model, seed), true
 }

@@ -99,10 +99,9 @@ func TestViewsByteIdenticalToRecompute(t *testing.T) {
 				if tc.isp != "" {
 					filter = telemetry.OnISP(tc.isp)
 				}
-				want, err := DoseResponse(recs, tc.metric, tc.eng, stats.NewBinner(tc.lo, tc.hi, tc.bins), filter)
-				if err != nil {
-					t.Fatal(err)
-				}
+				// DoseResponseDaily is the canonical reference: the views and
+				// the cluster coordinator both replicate its per-day fold.
+				want := DoseResponseDaily(recs, tc.metric, tc.eng, stats.NewBinner(tc.lo, tc.hi, tc.bins), filter)
 				got := store.DoseResponseSeries(tc.metric, tc.eng, stats.NewBinner(tc.lo, tc.hi, tc.bins), tc.isp)
 				if marshal(t, got) != marshal(t, want) {
 					t.Errorf("DoseResponseSeries(%v,%v,isp=%q) diverges from recompute", tc.metric, tc.eng, tc.isp)
